@@ -1,0 +1,112 @@
+// Command tdac-bench regenerates the paper's tables and figures on this
+// repository's implementations and simulated datasets.
+//
+// Usage:
+//
+//	tdac-bench [-experiment id] [-full] [-seed n] [-v] [-o file]
+//
+// Without -experiment it runs everything in paper order. The default
+// scale is a fast smoke scale; -full runs paper-scale workloads
+// (1000 objects, 248 students, the complete k range), which takes
+// minutes. Output goes to stdout or -o.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"tdac/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tdac-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tdac-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		experiment = fs.String("experiment", "", "experiment id to run (e.g. table4a, fig1); empty = all")
+		full       = fs.Bool("full", false, "run paper-scale workloads instead of the fast smoke scale")
+		seed       = fs.Int64("seed", 0, "seed offset for all generators")
+		verbose    = fs.Bool("v", false, "log progress to stderr")
+		outFile    = fs.String("o", "", "write tables to this file instead of stdout")
+		format     = fs.String("format", "text", "output format: text or csv")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "%-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	out := stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	opts := experiments.Options{Full: *full, Seed: *seed}
+	if *verbose {
+		opts.Log = stderr
+	}
+	runner := experiments.NewRunner(opts)
+
+	var selected []experiments.Experiment
+	if *experiment == "" {
+		selected = experiments.All()
+	} else {
+		e, err := experiments.ByID(*experiment)
+		if err != nil {
+			return err
+		}
+		selected = []experiments.Experiment{e}
+	}
+
+	render := (*experiments.Table).Render
+	switch *format {
+	case "text":
+	case "csv":
+		render = (*experiments.Table).RenderCSV
+	default:
+		return fmt.Errorf("unknown -format %q (want text or csv)", *format)
+	}
+
+	scale := "smoke scale"
+	if *full {
+		scale = "paper scale"
+	}
+	if *format == "text" {
+		fmt.Fprintf(out, "TD-AC experiment suite (%s, seed offset %d)\n\n", scale, *seed)
+	}
+	start := time.Now()
+	for _, e := range selected {
+		tables, err := e.Run(runner)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			if err := render(t, out); err != nil {
+				return err
+			}
+		}
+	}
+	if *format == "text" {
+		fmt.Fprintf(out, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

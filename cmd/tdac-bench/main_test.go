@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table3", "table4a", "table9", "fig5"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-experiment", "table3"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "== table3") {
+		t.Errorf("output missing table3:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "smoke scale") {
+		t.Error("output should state the scale")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-experiment", "table42"}, &out, &errBuf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestOutputToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-experiment", "table3", "-o", path}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "== table3") {
+		t.Error("file output missing table")
+	}
+	if out.Len() != 0 {
+		t.Error("stdout should be empty when -o is used")
+	}
+}
+
+func TestVerboseLogsToStderr(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-experiment", "table5", "-v"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "running") {
+		t.Errorf("verbose mode logged nothing:\n%s", errBuf.String())
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-experiment", "table3", "-format", "csv"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# table3:") {
+		t.Errorf("csv output missing comment header:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "m1,1.0,1.0,1.0") {
+		t.Errorf("csv output missing data row:\n%s", out.String())
+	}
+	if err := run([]string{"-experiment", "table3", "-format", "yaml"}, &out, &errBuf); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,127 @@
+// Command tdac-gen emits the evaluation datasets of the paper (synthetic
+// DS1–DS3, the simulated Exam variants, Stocks, Flights) as claim and
+// ground-truth CSV files, so they can be inspected or fed back through
+// the tdac CLI.
+//
+// Usage:
+//
+//	tdac-gen -dataset DS1 [-objects n] [-students n] [-range n] [-fill]
+//	         [-seed n] -out dir
+//
+// Known datasets: DS1, DS2, DS3, exam32, exam62, exam124, stocks,
+// flights. Two files are written: <dir>/<name>-claims.csv and
+// <dir>/<name>-truth.csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tdac"
+	"tdac/internal/exam"
+	"tdac/internal/realdata"
+	"tdac/internal/synth"
+	"tdac/internal/truthdata"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tdac-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tdac-gen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dataset  = fs.String("dataset", "", "dataset to generate: DS1, DS2, DS3, exam32, exam62, exam124, stocks, flights")
+		objects  = fs.Int("objects", 0, "override object count (synthetic, stocks, flights)")
+		students = fs.Int("students", 0, "override student count (exam)")
+		rngSize  = fs.Int("range", 0, "false-answer range size (exam; default 100)")
+		fill     = fs.Bool("fill", false, "exam: build the semi-synthetic filled variant")
+		seed     = fs.Int64("seed", 0, "seed offset")
+		outDir   = fs.String("out", ".", "output directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataset == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -dataset")
+	}
+
+	d, err := build(strings.ToLower(*dataset), *objects, *students, *rngSize, *fill, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stderr, tdac.ComputeStats(d))
+
+	base := strings.ToLower(strings.ReplaceAll(d.Name, " ", "-"))
+	base = strings.Map(func(r rune) rune {
+		if r == '(' || r == ')' || r == ',' {
+			return -1
+		}
+		return r
+	}, base)
+	claimsPath := filepath.Join(*outDir, base+"-claims.csv")
+	truthPath := filepath.Join(*outDir, base+"-truth.csv")
+	if err := writeFile(claimsPath, func(w io.Writer) error { return tdac.WriteClaimsCSV(w, d) }); err != nil {
+		return err
+	}
+	if err := writeFile(truthPath, func(w io.Writer) error { return tdac.WriteTruthCSV(w, d) }); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %s and %s\n", claimsPath, truthPath)
+	return nil
+}
+
+func build(name string, objects, students, rngSize int, fill bool, seed int64) (*truthdata.Dataset, error) {
+	switch name {
+	case "ds1", "ds2", "ds3":
+		cfg := map[string]func() synth.Config{"ds1": synth.DS1, "ds2": synth.DS2, "ds3": synth.DS3}[name]()
+		if objects > 0 {
+			cfg.Objects = objects
+		}
+		cfg.Seed += seed
+		g, err := synth.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return g.Dataset, nil
+	case "exam32", "exam62", "exam124":
+		var attrs int
+		fmt.Sscanf(name, "exam%d", &attrs)
+		cfg := exam.Config{Attrs: attrs, Range: rngSize, Fill: fill, Students: students, Seed: 9000 + seed}
+		return exam.Generate(cfg)
+	case "stocks":
+		g, err := realdata.Stocks(realdata.StocksConfig{Objects: objects, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return g.Dataset, nil
+	case "flights":
+		g, err := realdata.Flights(realdata.FlightsConfig{Objects: objects, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return g.Dataset, nil
+	}
+	return nil, fmt.Errorf("unknown dataset %q", name)
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

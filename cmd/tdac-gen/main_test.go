@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAndReloadEveryDataset(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		args       []string
+		wantClaims string
+	}{
+		{[]string{"-dataset", "DS1", "-objects", "20"}, "ds1-claims.csv"},
+		{[]string{"-dataset", "ds2", "-objects", "10"}, "ds2-claims.csv"},
+		{[]string{"-dataset", "exam32", "-students", "30"}, "exam-32-claims.csv"},
+		{[]string{"-dataset", "exam62", "-students", "20", "-range", "25", "-fill"}, "exam-62-semi-synthetic-range-25-claims.csv"},
+		{[]string{"-dataset", "stocks", "-objects", "10"}, "stocks-claims.csv"},
+		{[]string{"-dataset", "flights", "-objects", "10"}, "flights-claims.csv"},
+	}
+	for _, c := range cases {
+		t.Run(c.args[1], func(t *testing.T) {
+			var errBuf bytes.Buffer
+			args := append(c.args, "-out", dir)
+			if err := run(args, &errBuf); err != nil {
+				t.Fatalf("run(%v): %v", args, err)
+			}
+			path := filepath.Join(dir, c.wantClaims)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("expected output file: %v (stderr: %s)", err, errBuf.String())
+			}
+			if !strings.HasPrefix(string(data), "source,object,attribute,value") {
+				t.Errorf("claims file missing header")
+			}
+			truthPath := strings.Replace(path, "-claims.csv", "-truth.csv", 1)
+			if _, err := os.Stat(truthPath); err != nil {
+				t.Errorf("truth file missing: %v", err)
+			}
+		})
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	var errBuf bytes.Buffer
+	if err := run([]string{}, &errBuf); err == nil {
+		t.Error("missing -dataset accepted")
+	}
+	if err := run([]string{"-dataset", "nope"}, &errBuf); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run([]string{"-dataset", "DS1", "-out", "/definitely/not/a/dir"}, &errBuf); err == nil {
+		t.Error("unwritable output dir accepted")
+	}
+}

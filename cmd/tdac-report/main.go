@@ -1,0 +1,72 @@
+// Command tdac-report validates the reproduction: it runs the
+// experiments, compares the measurements with the numbers published in
+// the paper, and asserts every qualitative claim of the paper's §4.5 as
+// a pass/fail shape check. It exits non-zero if any check fails, so it
+// doubles as a CI gate for the reproduction.
+//
+// Usage:
+//
+//	tdac-report [-full] [-seed n] [-v] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tdac/internal/experiments"
+	"tdac/internal/report"
+)
+
+func main() {
+	ok, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdac-report:", err)
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) (bool, error) {
+	fs := flag.NewFlagSet("tdac-report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		full    = fs.Bool("full", false, "validate at paper scale (minutes)")
+		seed    = fs.Int64("seed", 0, "seed offset for all generators")
+		verbose = fs.Bool("v", false, "log progress to stderr")
+		outFile = fs.String("o", "", "write the report to this file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	out := stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return false, err
+		}
+		defer f.Close()
+		out = f
+	}
+	opts := experiments.Options{Full: *full, Seed: *seed}
+	if *verbose {
+		opts.Log = stderr
+	}
+	runner := experiments.NewRunner(opts)
+	rep, err := report.Generate(runner)
+	if err != nil {
+		return false, err
+	}
+	if err := rep.Render(out); err != nil {
+		return false, err
+	}
+	if rep.Passed() {
+		fmt.Fprintln(out, "all shape checks passed")
+	} else {
+		fmt.Fprintln(out, "SHAPE CHECK FAILURES — see above")
+	}
+	return rep.Passed(), nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReportSmokeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report run in -short mode")
+	}
+	var out, errBuf bytes.Buffer
+	ok, err := run(nil, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("shape checks failed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "all shape checks passed") {
+		t.Errorf("missing success line:\n%s", out.String())
+	}
+}
+
+func TestReportToFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report run in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "report.txt")
+	var out, errBuf bytes.Buffer
+	ok, err := run([]string{"-o", path}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("checks failed")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "reproduction report") {
+		t.Error("file missing report header")
+	}
+}

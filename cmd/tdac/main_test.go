@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFixtures(t *testing.T) (claims, truth string) {
+	t.Helper()
+	dir := t.TempDir()
+	claims = filepath.Join(dir, "claims.csv")
+	truth = filepath.Join(dir, "truth.csv")
+	claimsData := `source,object,attribute,value
+s1,o1,colour,red
+s2,o1,colour,blue
+s3,o1,colour,red
+s1,o1,size,10
+s2,o1,size,10
+s3,o1,size,12
+s1,o2,colour,green
+s2,o2,colour,green
+s3,o2,colour,teal
+s1,o2,size,7
+s2,o2,size,9
+s3,o2,size,7
+`
+	truthData := `object,attribute,value
+o1,colour,red
+o1,size,10
+o2,colour,green
+o2,size,7
+`
+	if err := os.WriteFile(claims, []byte(claimsData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(truth, []byte(truthData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return claims, truth
+}
+
+func TestRunPlainAlgorithm(t *testing.T) {
+	claims, truth := writeFixtures(t)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-claims", claims, "-truth", truth, "-algorithm", "MajorityVote"}, &out, &errBuf)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "o1,colour,red") {
+		t.Errorf("stdout missing prediction:\n%s", out.String())
+	}
+	if !strings.Contains(errBuf.String(), "precision=1.000") {
+		t.Errorf("stderr missing perfect evaluation:\n%s", errBuf.String())
+	}
+}
+
+func TestRunTDACMode(t *testing.T) {
+	claims, truth := writeFixtures(t)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-claims", claims, "-truth", truth, "-tdac", "-algorithm", "TruthFinder", "-trust"}, &out, &errBuf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(errBuf.String(), "TD-AC partition") {
+		t.Errorf("stderr missing partition info:\n%s", errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "trust s1") {
+		t.Errorf("stderr missing trust listing:\n%s", errBuf.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	claims, _ := writeFixtures(t)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-claims", claims, "-json", "-top", "2"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"object"`) {
+		t.Errorf("not JSON:\n%s", out.String())
+	}
+	if strings.Count(out.String(), `"object"`) != 2 {
+		t.Errorf("-top 2 not honoured:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{}, &out, &errBuf); err == nil {
+		t.Error("missing -claims accepted")
+	}
+	if err := run([]string{"-claims", "/does/not/exist.csv"}, &out, &errBuf); err == nil {
+		t.Error("nonexistent claims file accepted")
+	}
+	claims, _ := writeFixtures(t)
+	if err := run([]string{"-claims", claims, "-algorithm", "nope"}, &out, &errBuf); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestExplainFlag(t *testing.T) {
+	claims, truth := writeFixtures(t)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-claims", claims, "-truth", truth, "-explain", "o1/colour"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := errBuf.String()
+	if !strings.Contains(s, "explanation for o1/colour") {
+		t.Errorf("missing explanation header:\n%s", s)
+	}
+	if !strings.Contains(s, `"red"`) || !strings.Contains(s, `"blue"`) {
+		t.Errorf("missing candidate values:\n%s", s)
+	}
+	if !strings.Contains(s, "* ") {
+		t.Errorf("missing chosen marker:\n%s", s)
+	}
+	// Error paths.
+	if err := run([]string{"-claims", claims, "-explain", "nope"}, &out, &errBuf); err == nil {
+		t.Error("malformed -explain accepted")
+	}
+	if err := run([]string{"-claims", claims, "-explain", "zzz/colour"}, &out, &errBuf); err == nil {
+		t.Error("unknown object accepted")
+	}
+	if err := run([]string{"-claims", claims, "-explain", "o1/zzz"}, &out, &errBuf); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}

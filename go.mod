@@ -1,0 +1,3 @@
+module tdac
+
+go 1.22

@@ -1,0 +1,294 @@
+package algorithms
+
+import (
+	"math"
+	"time"
+
+	"tdac/internal/similarity"
+	"tdac/internal/truthdata"
+)
+
+// accuConfig drives the shared Accu-family engine. The three published
+// variants differ along two axes: whether source accuracy is estimated
+// (Accu, AccuSim) or held uniform (Depen), and whether similar values
+// support each other (AccuSim).
+type accuConfig struct {
+	name string
+	// updateAccuracy re-estimates per-source accuracy each round.
+	updateAccuracy bool
+	// similarity enables the AccuSim adjustment when non-nil.
+	similarity similarity.Func
+	rho        float64
+
+	initialAccuracy float64
+	dep             dependenceParams
+	maxIterations   int
+	epsilon         float64
+}
+
+func (c *accuConfig) applyDefaults() {
+	if c.initialAccuracy == 0 {
+		c.initialAccuracy = 0.8
+	}
+	if c.dep.alpha == 0 {
+		c.dep.alpha = 0.2
+	}
+	if c.dep.c == 0 {
+		c.dep.c = 0.8
+	}
+	if c.dep.n == 0 {
+		c.dep.n = 10
+	}
+	if c.dep.minOverlap == 0 {
+		c.dep.minOverlap = 3
+	}
+	if c.dep.minFalseShare == 0 {
+		c.dep.minFalseShare = 0.25
+	}
+	if c.maxIterations == 0 {
+		c.maxIterations = defaultMaxIterations
+	}
+	if c.epsilon == 0 {
+		c.epsilon = defaultEpsilon
+	}
+	if c.rho == 0 {
+		c.rho = 0.5
+	}
+}
+
+// runAccuFamily executes the iterative loop shared by Depen, Accu and
+// AccuSim:
+//
+//  1. estimate pairwise source dependence from the current truth,
+//  2. recompute discounted vote scores per value (accuracy-weighted when
+//     the variant estimates accuracy),
+//  3. turn scores into probabilities, pick the new truth,
+//  4. re-estimate source accuracy as the mean probability of its claims.
+//
+// The loop stops when the accuracy vector moves less than epsilon and the
+// predicted truth is stable, or at the iteration cap.
+func runAccuFamily(cfg accuConfig, d *truthdata.Dataset) (*Result, error) {
+	start := time.Now()
+	if len(d.Claims) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	cfg.applyDefaults()
+	ix := truthdata.NewIndex(d)
+	nSrc := d.NumSources()
+
+	accuracy := make([]float64, nSrc)
+	for s := range accuracy {
+		accuracy[s] = cfg.initialAccuracy
+	}
+	prevAcc := make([]float64, nSrc)
+
+	// Seed the truth with a plain vote so the first dependence estimate
+	// has something to compare against.
+	choice := make([]truthdata.ValueID, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		best, bestVotes := 0, len(cc.Voters[0])
+		for v := 1; v < len(cc.Voters); v++ {
+			if n := len(cc.Voters[v]); n > bestVotes {
+				best, bestVotes = v, n
+			}
+		}
+		choice[i] = truthdata.ValueID(best)
+	}
+
+	// Per-cell similarity matrices for the AccuSim adjustment.
+	var sim [][][]float64
+	if cfg.similarity != nil {
+		sim = make([][][]float64, len(ix.Cells))
+		for i, cc := range ix.Cells {
+			n := cc.NumValues()
+			if n < 2 {
+				continue
+			}
+			m := make([][]float64, n)
+			for a := 0; a < n; a++ {
+				m[a] = make([]float64, n)
+			}
+			for a := 0; a < n; a++ {
+				for b := a + 1; b < n; b++ {
+					s := cfg.similarity(cc.Values[a], cc.Values[b])
+					m[a][b], m[b][a] = s, s
+				}
+			}
+			sim[i] = m
+		}
+	}
+
+	prob := make([][]float64, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		prob[i] = make([]float64, cc.NumValues())
+	}
+
+	iters := 0
+	converged := false
+	for iters < cfg.maxIterations {
+		iters++
+		dep := estimateDependence(ix, choice, accuracy, cfg.dep)
+
+		truthChanged := false
+		for i, cc := range ix.Cells {
+			scores := prob[i]
+			for v := range cc.Values {
+				weights := discountVoters(cc.Voters[v], accuracy, dep, cfg.dep.c)
+				var score float64
+				for k, s := range cc.Voters[v] {
+					w := weights[k]
+					if cfg.updateAccuracy {
+						a := clamp(accuracy[s], 0.01, 0.99)
+						score += w * math.Log(cfg.dep.n*a/(1-a))
+					} else {
+						score += w
+					}
+				}
+				scores[v] = score
+			}
+			if sim != nil && sim[i] != nil {
+				adjusted := make([]float64, len(scores))
+				for v := range scores {
+					adj := scores[v]
+					for w := range scores {
+						if w != v {
+							adj += cfg.rho * sim[i][v][w] * scores[w]
+						}
+					}
+					adjusted[v] = adj
+				}
+				copy(scores, adjusted)
+			}
+			softmaxInPlace(scores)
+			if best := argmaxValue(scores); best != choice[i] {
+				choice[i] = best
+				truthChanged = true
+			}
+		}
+
+		copy(prevAcc, accuracy)
+		if cfg.updateAccuracy {
+			for s, claims := range ix.BySource {
+				if len(claims) == 0 {
+					continue
+				}
+				var sum float64
+				for _, sc := range claims {
+					sum += prob[sc.CellIdx][sc.Value]
+				}
+				accuracy[s] = clamp(sum/float64(len(claims)), 0.01, 0.99)
+			}
+		}
+		if !truthChanged && maxAbsDiff(prevAcc, accuracy) < cfg.epsilon {
+			converged = true
+			break
+		}
+	}
+
+	conf := make([]float64, len(ix.Cells))
+	for i := range ix.Cells {
+		conf[i] = prob[i][choice[i]]
+	}
+	return buildResult(cfg.name, ix, choice, conf, accuracy, iters, converged, start), nil
+}
+
+// Accu is Dong et al.'s AccuVote: Bayesian source-accuracy estimation with
+// copy detection; the vote of a source detected as a probable copier is
+// discounted.
+type Accu struct {
+	// InitialAccuracy seeds every source's accuracy. Default 0.8.
+	InitialAccuracy float64
+	// Alpha is the prior dependence probability between two sources.
+	// Default 0.2.
+	Alpha float64
+	// C is the probability a dependent source copies a value. Default 0.8.
+	C float64
+	// N is the assumed number of uniform false values per cell. Default 10.
+	N float64
+	// MaxIterations caps the loop. Default 20.
+	MaxIterations int
+	// Epsilon is the convergence threshold on accuracies. Default 1e-3.
+	Epsilon float64
+}
+
+// NewAccu returns an Accu with the paper's hyper-parameters.
+func NewAccu() *Accu { return &Accu{} }
+
+// Name implements Algorithm.
+func (*Accu) Name() string { return "Accu" }
+
+// Discover implements Algorithm.
+func (a *Accu) Discover(d *truthdata.Dataset) (*Result, error) {
+	return runAccuFamily(accuConfig{
+		name:            a.Name(),
+		updateAccuracy:  true,
+		initialAccuracy: a.InitialAccuracy,
+		dep:             dependenceParams{alpha: a.Alpha, c: a.C, n: a.N},
+		maxIterations:   a.MaxIterations,
+		epsilon:         a.Epsilon,
+	}, d)
+}
+
+// Depen is the dependence-only variant: sources share one fixed accuracy
+// and only copy detection modulates the votes.
+type Depen struct {
+	// Accuracy is the uniform source accuracy assumption. Default 0.8.
+	Accuracy float64
+	// Alpha, C, N as in Accu.
+	Alpha, C, N float64
+	// MaxIterations caps the loop. Default 20.
+	MaxIterations int
+}
+
+// NewDepen returns a Depen with the paper's hyper-parameters.
+func NewDepen() *Depen { return &Depen{} }
+
+// Name implements Algorithm.
+func (*Depen) Name() string { return "Depen" }
+
+// Discover implements Algorithm.
+func (dp *Depen) Discover(d *truthdata.Dataset) (*Result, error) {
+	return runAccuFamily(accuConfig{
+		name:            dp.Name(),
+		updateAccuracy:  false,
+		initialAccuracy: dp.Accuracy,
+		dep:             dependenceParams{alpha: dp.Alpha, c: dp.C, n: dp.N},
+		maxIterations:   dp.MaxIterations,
+	}, d)
+}
+
+// AccuSim extends Accu with value similarity: scores of similar values
+// reinforce each other before normalisation, so near-identical claims
+// (e.g. 1991 vs 1992) do not split the vote.
+type AccuSim struct {
+	Accu
+	// Rho weighs the similarity adjustment. Default 0.5.
+	Rho float64
+	// Similarity compares values. Default similarity.Numeric, which
+	// handles both numeric and string data.
+	Similarity similarity.Func
+}
+
+// NewAccuSim returns an AccuSim with the paper's hyper-parameters.
+func NewAccuSim() *AccuSim { return &AccuSim{} }
+
+// Name implements Algorithm.
+func (*AccuSim) Name() string { return "AccuSim" }
+
+// Discover implements Algorithm.
+func (as *AccuSim) Discover(d *truthdata.Dataset) (*Result, error) {
+	simFn := as.Similarity
+	if simFn == nil {
+		simFn = similarity.Numeric
+	}
+	return runAccuFamily(accuConfig{
+		name:            as.Name(),
+		updateAccuracy:  true,
+		similarity:      simFn,
+		rho:             as.Rho,
+		initialAccuracy: as.InitialAccuracy,
+		dep:             dependenceParams{alpha: as.Alpha, c: as.C, n: as.N},
+		maxIterations:   as.MaxIterations,
+		epsilon:         as.Epsilon,
+	}, d)
+}

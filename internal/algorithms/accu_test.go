@@ -1,0 +1,167 @@
+package algorithms
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tdac/internal/truthdata"
+)
+
+func TestAccuWeighsAccurateSources(t *testing.T) {
+	// Like the TruthFinder minority test: Accu must learn that good1 is
+	// accurate and let it outvote two inaccurate agreeing sources.
+	b := truthdata.NewBuilder("accu-minority")
+	for i := 0; i < 12; i++ {
+		obj := fmt.Sprintf("o%02d", i)
+		b.Claim("good1", obj, "q", "v"+obj)
+		b.Claim("good2", obj, "q", "v"+obj)
+		b.Claim("good3", obj, "q", "v"+obj)
+		b.Claim("bad1", obj, "q", fmt.Sprintf("x%d", i))
+		b.Claim("bad2", obj, "q", fmt.Sprintf("y%d", i))
+	}
+	b.Claim("good1", "contested", "q", "truth")
+	b.Claim("bad1", "contested", "q", "lie")
+	b.Claim("bad2", "contested", "q", "lie")
+	d := b.MustBuild()
+
+	res, err := NewAccu().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contested := truthdata.Cell{Object: 12, Attr: 0}
+	if got := res.Truth[contested]; got != "truth" {
+		t.Errorf("contested = %q, want truth", got)
+	}
+	if res.Trust[0] <= res.Trust[3] {
+		t.Errorf("good trust %v not above bad trust %v", res.Trust[0], res.Trust[3])
+	}
+}
+
+func TestAccuAccuraciesStayClamped(t *testing.T) {
+	d := easyDataset(t, 30)
+	res, err := NewAccu().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, a := range res.Trust {
+		if a < 0.01 || a > 0.99 {
+			t.Errorf("accuracy of source %d = %v, outside [0.01,0.99]", s, a)
+		}
+	}
+}
+
+func TestDepenDiscountsCopiers(t *testing.T) {
+	// An original source with mediocre accuracy plus two verbatim
+	// copiers form a 3-vote block; seven independents are right 75% of
+	// the time with idiosyncratic errors. On cells where the block is
+	// wrong and few independents are right, plain voting can elect the
+	// copied value, but copy detection discounts the block.
+	rng := rand.New(rand.NewSource(9))
+	b := truthdata.NewBuilder("depen")
+	const nCells = 60
+	const nInd = 7
+	for i := 0; i < nCells; i++ {
+		obj := fmt.Sprintf("o%02d", i)
+		truth := fmt.Sprintf("t%d", i)
+		b.Truth(obj, "q", truth)
+		for s := 0; s < nInd; s++ {
+			v := truth
+			if rng.Float64() > 0.75 {
+				v = fmt.Sprintf("w-%d-%s", s, obj)
+			}
+			b.Claim(fmt.Sprintf("ind%d", s), obj, "q", v)
+		}
+		orig := truth
+		if rng.Float64() > 0.4 {
+			orig = "copied-wrong-" + obj
+		}
+		b.Claim("orig", obj, "q", orig)
+		b.Claim("copy1", obj, "q", orig)
+		b.Claim("copy2", obj, "q", orig)
+	}
+	d := b.MustBuild()
+
+	res, err := NewDepen().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := cellAccuracy(d, res.Truth)
+	if acc < 0.9 {
+		t.Errorf("Depen accuracy with copiers = %v, want >= 0.9", acc)
+	}
+	// The copier pairs must be detected as dependent strongly enough to
+	// matter: compare against majority voting, which treats the block as
+	// three independent votes.
+	mv, _ := NewMajorityVote().Discover(d)
+	if mvAcc := cellAccuracy(d, mv.Truth); mvAcc > acc {
+		t.Errorf("copy detection should not lose to raw voting: mv=%v depen=%v", mvAcc, acc)
+	}
+}
+
+func TestAccuSimGroupsNumericNeighbours(t *testing.T) {
+	b := truthdata.NewBuilder("accusim")
+	// Many background cells to stabilise accuracies at a common level.
+	for i := 0; i < 10; i++ {
+		obj := fmt.Sprintf("bg%d", i)
+		for _, s := range []string{"s1", "s2", "s3", "s4", "s5", "s6"} {
+			b.Claim(s, obj, "q", "bg-"+obj)
+		}
+	}
+	// Contested: four near-identical neighbours vs 250 with two voters.
+	b.Claim("s1", "contested", "q", "100")
+	b.Claim("s2", "contested", "q", "100.5")
+	b.Claim("s5", "contested", "q", "101")
+	b.Claim("s6", "contested", "q", "101.5")
+	b.Claim("s3", "contested", "q", "250")
+	b.Claim("s4", "contested", "q", "250")
+	d := b.MustBuild()
+
+	plain, err := NewAccu().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewAccuSim().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contested := truthdata.Cell{Object: 10, Attr: 0}
+	if got := plain.Truth[contested]; got != "250" {
+		t.Fatalf("Accu should elect the plurality 250, got %q", got)
+	}
+	if got := sim.Truth[contested]; got == "250" {
+		t.Errorf("AccuSim elected %q, want one of the similar neighbours", got)
+	}
+}
+
+func TestAccuFamilyIterationCounts(t *testing.T) {
+	d := easyDataset(t, 31)
+	accu, err := NewAccu().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depen, err := NewDepen().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depen never updates accuracies, so it should converge at least as
+	// fast as Accu on the same data.
+	if depen.Iterations > accu.Iterations {
+		t.Errorf("Depen took %d iterations, Accu %d", depen.Iterations, accu.Iterations)
+	}
+}
+
+func TestAccuCustomHyperParameters(t *testing.T) {
+	d := easyDataset(t, 32)
+	a := &Accu{InitialAccuracy: 0.5, Alpha: 0.1, C: 0.5, N: 100, MaxIterations: 5, Epsilon: 1e-2}
+	res, err := a.Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 5 {
+		t.Errorf("iterations = %d, want <= 5", res.Iterations)
+	}
+	if got := cellAccuracy(d, res.Truth); got < 0.9 {
+		t.Errorf("accuracy with custom params = %v, want >= 0.9", got)
+	}
+}

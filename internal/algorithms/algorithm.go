@@ -1,0 +1,143 @@
+// Package algorithms implements the standard truth discovery algorithms
+// the paper evaluates — MajorityVote, TruthFinder (Yin et al. 2008) and
+// the Accu family with Bayesian copy detection (Depen, Accu, AccuSim;
+// Dong et al. 2009) — plus the fixed-point algorithms of Pasternack &
+// Roth 2010 (Sums, AverageLog, Investment, PooledInvestment) that the
+// paper lists as future comparison targets.
+//
+// Every algorithm consumes a truthdata.Dataset and produces a Result with
+// the predicted truth per cell, the final per-source trust estimates and
+// the iteration count. All algorithms are deterministic.
+package algorithms
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"tdac/internal/truthdata"
+)
+
+// Algorithm is a truth discovery procedure. Implementations are stateless
+// between calls: Discover may be called concurrently on different
+// datasets.
+type Algorithm interface {
+	// Name identifies the algorithm in registries, reports and tables.
+	Name() string
+	// Discover predicts the true value of every claimed cell.
+	Discover(d *truthdata.Dataset) (*Result, error)
+}
+
+// Result is the outcome of one truth discovery run.
+type Result struct {
+	// Algorithm is the name of the producing algorithm.
+	Algorithm string
+	// Truth maps every claimed cell to the predicted true value.
+	Truth map[truthdata.Cell]string
+	// Confidence maps every claimed cell to the confidence score of the
+	// predicted value, in the algorithm's own scale.
+	Confidence map[truthdata.Cell]float64
+	// Trust is the final per-source reliability estimate, indexed by
+	// SourceID, normalised to [0,1] where the algorithm defines one.
+	Trust []float64
+	// Iterations is the number of full update rounds executed.
+	Iterations int
+	// Converged reports whether the run stopped on the convergence
+	// criterion rather than on the iteration cap.
+	Converged bool
+	// Runtime is the wall-clock duration of the Discover call.
+	Runtime time.Duration
+}
+
+// ErrEmptyDataset is returned when a dataset has no claims to corroborate.
+var ErrEmptyDataset = errors.New("algorithms: dataset has no claims")
+
+// defaultMaxIterations caps iterative algorithms, per the experimental
+// protocol of Waguih & Berti-Équille 2014 used by the paper.
+const defaultMaxIterations = 20
+
+// defaultEpsilon is the convergence threshold on the trust vector.
+const defaultEpsilon = 1e-3
+
+// maxAbsDiff returns the L∞ distance between two equal-length vectors.
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// clamp bounds x into [lo, hi].
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// argmaxValue returns the index of the largest score; ties resolve to the
+// smallest index, which is deterministic because cell values are sorted.
+func argmaxValue(scores []float64) truthdata.ValueID {
+	best := 0
+	for i := 1; i < len(scores); i++ {
+		if scores[i] > scores[best] {
+			best = i
+		}
+	}
+	return truthdata.ValueID(best)
+}
+
+// softmaxInPlace rewrites scores with exp(s - max)/Σ, a numerically stable
+// softmax turning additive vote scores into probabilities.
+func softmaxInPlace(scores []float64) {
+	maxS := scores[0]
+	for _, s := range scores[1:] {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	var sum float64
+	for i, s := range scores {
+		e := math.Exp(s - maxS)
+		scores[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		uniform := 1 / float64(len(scores))
+		for i := range scores {
+			scores[i] = uniform
+		}
+		return
+	}
+	for i := range scores {
+		scores[i] /= sum
+	}
+}
+
+// buildResult assembles the common Result fields from per-cell choices.
+func buildResult(name string, ix *truthdata.Index, choice []truthdata.ValueID,
+	conf []float64, trust []float64, iters int, converged bool, start time.Time) *Result {
+	res := &Result{
+		Algorithm:  name,
+		Truth:      make(map[truthdata.Cell]string, len(ix.Cells)),
+		Confidence: make(map[truthdata.Cell]float64, len(ix.Cells)),
+		Trust:      trust,
+		Iterations: iters,
+		Converged:  converged,
+	}
+	for i := range ix.Cells {
+		cell := ix.Cells[i].Cell
+		res.Truth[cell] = ix.ValueText(i, choice[i])
+		if conf != nil {
+			res.Confidence[cell] = conf[i]
+		}
+	}
+	res.Runtime = time.Since(start)
+	return res
+}

@@ -1,0 +1,277 @@
+package algorithms
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tdac/internal/truthdata"
+)
+
+// easyDataset: 5 sources, 20 objects, 2 attrs; sources 0-2 are reliable
+// (95%), sources 3-4 are noisy (20%). Majority is almost always right.
+func easyDataset(t testing.TB, seed int64) *truthdata.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := truthdata.NewBuilder("easy")
+	for o := 0; o < 20; o++ {
+		obj := fmt.Sprintf("o%02d", o)
+		for a := 0; a < 2; a++ {
+			attr := fmt.Sprintf("a%d", a)
+			truth := fmt.Sprintf("t-%d-%d", o, a)
+			b.Truth(obj, attr, truth)
+			for s := 0; s < 5; s++ {
+				acc := 0.95
+				if s >= 3 {
+					acc = 0.2
+				}
+				v := truth
+				if rng.Float64() >= acc {
+					v = fmt.Sprintf("w-%d-%d-%d", o, a, rng.Intn(8))
+				}
+				b.Claim(fmt.Sprintf("s%d", s), obj, attr, v)
+			}
+		}
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func allAlgorithms(t testing.TB) []Algorithm {
+	t.Helper()
+	var algs []Algorithm
+	for _, name := range Names() {
+		a, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		algs = append(algs, a)
+	}
+	return algs
+}
+
+func cellAccuracy(d *truthdata.Dataset, pred map[truthdata.Cell]string) float64 {
+	right := 0
+	for cell, truth := range d.Truth {
+		if pred[cell] == truth {
+			right++
+		}
+	}
+	return float64(right) / float64(len(d.Truth))
+}
+
+func TestAllAlgorithmsOnEasyData(t *testing.T) {
+	d := easyDataset(t, 1)
+	for _, alg := range allAlgorithms(t) {
+		t.Run(alg.Name(), func(t *testing.T) {
+			res, err := alg.Discover(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := cellAccuracy(d, res.Truth); got < 0.9 {
+				t.Errorf("cell accuracy = %v, want >= 0.9 on easy data", got)
+			}
+			if res.Algorithm != alg.Name() {
+				t.Errorf("result algorithm = %q, want %q", res.Algorithm, alg.Name())
+			}
+			if res.Iterations < 1 {
+				t.Errorf("iterations = %d, want >= 1", res.Iterations)
+			}
+			if len(res.Trust) != d.NumSources() {
+				t.Errorf("trust has %d entries, want %d", len(res.Trust), d.NumSources())
+			}
+			if res.Runtime <= 0 {
+				t.Error("runtime not recorded")
+			}
+		})
+	}
+}
+
+func TestAllAlgorithmsPredictEveryClaimedCell(t *testing.T) {
+	d := easyDataset(t, 2)
+	cells := d.Cells()
+	for _, alg := range allAlgorithms(t) {
+		res, err := alg.Discover(d)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if len(res.Truth) != len(cells) {
+			t.Errorf("%s predicted %d cells, want %d", alg.Name(), len(res.Truth), len(cells))
+		}
+		for _, c := range cells {
+			if _, ok := res.Truth[c]; !ok {
+				t.Errorf("%s missed cell %v", alg.Name(), c)
+			}
+		}
+	}
+}
+
+func TestAllAlgorithmsPredictClaimedValues(t *testing.T) {
+	// The predicted value of a cell must be one of its claimed values.
+	d := easyDataset(t, 3)
+	claimed := map[truthdata.Cell]map[string]bool{}
+	for _, c := range d.Claims {
+		cell := c.Cell()
+		if claimed[cell] == nil {
+			claimed[cell] = map[string]bool{}
+		}
+		claimed[cell][c.Value] = true
+	}
+	for _, alg := range allAlgorithms(t) {
+		res, err := alg.Discover(d)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		for cell, v := range res.Truth {
+			if !claimed[cell][v] {
+				t.Errorf("%s predicted unclaimed value %q for %v", alg.Name(), v, cell)
+			}
+		}
+	}
+}
+
+func TestAllAlgorithmsEmptyDataset(t *testing.T) {
+	d := &truthdata.Dataset{Name: "empty", Sources: []string{"s"}, Objects: []string{"o"}, Attrs: []string{"a"}}
+	for _, alg := range allAlgorithms(t) {
+		if _, err := alg.Discover(d); !errors.Is(err, ErrEmptyDataset) {
+			t.Errorf("%s on empty dataset: err = %v, want ErrEmptyDataset", alg.Name(), err)
+		}
+	}
+}
+
+func TestAllAlgorithmsDeterministic(t *testing.T) {
+	d := easyDataset(t, 4)
+	for _, name := range Names() {
+		a1, _ := New(name)
+		a2, _ := New(name)
+		r1, err := a1.Discover(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := a2.Discover(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cell, v := range r1.Truth {
+			if r2.Truth[cell] != v {
+				t.Errorf("%s is not deterministic at %v", name, cell)
+			}
+		}
+		if r1.Iterations != r2.Iterations {
+			t.Errorf("%s iteration counts differ: %d vs %d", name, r1.Iterations, r2.Iterations)
+		}
+	}
+}
+
+func TestAllAlgorithmsDoNotMutateDataset(t *testing.T) {
+	d := easyDataset(t, 5)
+	orig := d.Clone()
+	for _, alg := range allAlgorithms(t) {
+		if _, err := alg.Discover(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(d.Claims) != len(orig.Claims) {
+		t.Fatal("algorithm changed the claim count")
+	}
+	for i := range d.Claims {
+		if d.Claims[i] != orig.Claims[i] {
+			t.Fatalf("claim %d mutated", i)
+		}
+	}
+}
+
+func TestReliableSourcesEarnMoreTrust(t *testing.T) {
+	d := easyDataset(t, 6)
+	for _, name := range []string{"MajorityVote", "TruthFinder", "Accu", "Sums", "AverageLog", "Investment", "PooledInvestment"} {
+		alg, _ := New(name)
+		res, err := alg.Discover(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reliableMin := res.Trust[0]
+		for _, s := range []int{1, 2} {
+			if res.Trust[s] < reliableMin {
+				reliableMin = res.Trust[s]
+			}
+		}
+		noisyMax := res.Trust[3]
+		if res.Trust[4] > noisyMax {
+			noisyMax = res.Trust[4]
+		}
+		if reliableMin <= noisyMax {
+			t.Errorf("%s: reliable trust %v not above noisy trust %v", name, reliableMin, noisyMax)
+		}
+	}
+}
+
+func TestRegistryNewUnknown(t *testing.T) {
+	if _, err := New("definitely-not-an-algorithm"); err == nil {
+		t.Error("New accepted an unknown name")
+	}
+}
+
+func TestRegistryNamesMatchFactories(t *testing.T) {
+	names := Names()
+	if len(names) != len(factories) {
+		t.Errorf("Names() has %d entries, factories %d", len(names), len(factories))
+	}
+	for _, n := range names {
+		a, err := New(n)
+		if err != nil {
+			t.Errorf("New(%q): %v", n, err)
+			continue
+		}
+		if a.Name() != n {
+			t.Errorf("New(%q).Name() = %q", n, a.Name())
+		}
+	}
+}
+
+func TestRegistryCaseInsensitive(t *testing.T) {
+	for _, n := range []string{"accu", "ACCU", "TruthFinder", "truthfinder"} {
+		if _, err := New(n); err != nil {
+			t.Errorf("New(%q): %v", n, err)
+		}
+	}
+}
+
+// Property: on single-voter cells every algorithm must return that
+// single claimed value.
+func TestSingleVoterCellProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := truthdata.NewBuilder("single")
+		want := map[truthdata.Cell]string{}
+		for o := 0; o < 5; o++ {
+			v := fmt.Sprintf("v%d", rng.Intn(100))
+			b.Claim("s0", fmt.Sprintf("o%d", o), "a0", v)
+			want[truthdata.Cell{Object: truthdata.ObjectID(o)}] = v
+		}
+		d, err := b.Build()
+		if err != nil {
+			return false
+		}
+		for _, name := range Names() {
+			alg, _ := New(name)
+			res, err := alg.Discover(d)
+			if err != nil {
+				return false
+			}
+			for cell, v := range want {
+				if res.Truth[cell] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package algorithms
+
+import (
+	"testing"
+
+	"tdac/internal/truthdata"
+)
+
+// Micro-benchmarks of the individual algorithms on a shared mid-size
+// dataset; the per-table macro benches live at the repository root.
+func benchAlgorithm(b *testing.B, name string) {
+	b.Helper()
+	d := easyDataset(b, 99)
+	alg, err := New(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.Discover(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMajorityVote(b *testing.B)     { benchAlgorithm(b, "MajorityVote") }
+func BenchmarkTruthFinder(b *testing.B)      { benchAlgorithm(b, "TruthFinder") }
+func BenchmarkAccu(b *testing.B)             { benchAlgorithm(b, "Accu") }
+func BenchmarkAccuSim(b *testing.B)          { benchAlgorithm(b, "AccuSim") }
+func BenchmarkDepen(b *testing.B)            { benchAlgorithm(b, "Depen") }
+func BenchmarkSums(b *testing.B)             { benchAlgorithm(b, "Sums") }
+func BenchmarkAverageLog(b *testing.B)       { benchAlgorithm(b, "AverageLog") }
+func BenchmarkInvestment(b *testing.B)       { benchAlgorithm(b, "Investment") }
+func BenchmarkPooledInvestment(b *testing.B) { benchAlgorithm(b, "PooledInvestment") }
+
+func BenchmarkEstimateDependence(b *testing.B) {
+	d := easyDataset(b, 100)
+	ix := newIndexForBench(d)
+	choice := majorityChoice(ix)
+	acc := make([]float64, d.NumSources())
+	for i := range acc {
+		acc[i] = 0.8
+	}
+	p := dependenceParams{alpha: 0.2, c: 0.8, n: 10, minOverlap: 3, minFalseShare: 0.25}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		estimateDependence(ix, choice, acc, p)
+	}
+}
+
+// newIndexForBench and majorityChoice keep the benchmark file free of
+// duplicated setup logic.
+func newIndexForBench(d *truthdata.Dataset) *truthdata.Index { return truthdata.NewIndex(d) }
+
+func majorityChoice(ix *truthdata.Index) []truthdata.ValueID {
+	choice := make([]truthdata.ValueID, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		best, votes := 0, len(cc.Voters[0])
+		for v := 1; v < len(cc.Voters); v++ {
+			if len(cc.Voters[v]) > votes {
+				best, votes = v, len(cc.Voters[v])
+			}
+		}
+		choice[i] = truthdata.ValueID(best)
+	}
+	return choice
+}

@@ -1,0 +1,184 @@
+package algorithms
+
+import (
+	"math"
+	"sort"
+
+	"tdac/internal/truthdata"
+)
+
+// dependenceParams configures the Bayesian copy detection of Dong,
+// Berti-Équille & Srivastava (2009).
+type dependenceParams struct {
+	alpha      float64 // prior probability that a pair of sources is dependent
+	c          float64 // probability that a dependent source copies a particular value
+	n          float64 // number of uniformly distributed false values per cell
+	minOverlap int     // pairs sharing fewer cells are treated as independent
+	// minFalseShare guards against a confound: the "false" in kf is
+	// relative to the *estimated* truth, so two honest sources agreeing
+	// on cells the estimate got wrong look like copiers, and discounting
+	// them can invert the whole accuracy bootstrap. Genuine copiers share
+	// false values on a large fraction of their overlap (they replicate
+	// the victim's errors wholesale); honest pairs only on the estimate's
+	// error rate. Pairs whose false-share rate is below this threshold
+	// are treated as independent.
+	minFalseShare float64
+}
+
+// depMatrix stores P(s1~s2 dependent | observations) for unordered source
+// pairs, flattened to a triangular array.
+type depMatrix struct {
+	n int
+	p []float64
+}
+
+func newDepMatrix(sources int) *depMatrix {
+	return &depMatrix{n: sources, p: make([]float64, sources*(sources-1)/2)}
+}
+
+func (m *depMatrix) idx(a, b int) int {
+	if a > b {
+		a, b = b, a
+	}
+	// Index into the strictly upper triangle, rows a, columns b>a.
+	return a*(2*m.n-a-1)/2 + (b - a - 1)
+}
+
+// At returns the dependence probability for the pair (a, b); 0 for a == b.
+func (m *depMatrix) At(a, b truthdata.SourceID) float64 {
+	if a == b {
+		return 0
+	}
+	return m.p[m.idx(int(a), int(b))]
+}
+
+func (m *depMatrix) set(a, b int, v float64) { m.p[m.idx(a, b)] = v }
+
+// estimateDependence computes, for every source pair with enough overlap,
+// the posterior probability that the two sources are dependent (one copies
+// the other), given the current predicted truth and per-source accuracies.
+//
+// For each cell claimed by both sources we observe one of three events:
+// both provide the same true value (kt), both provide the same false value
+// (kf — the telltale sign of copying), or they provide different values
+// (kd). The likelihoods under independence and dependence follow Dong et
+// al.'s model with copy probability c and n uniform false values.
+func estimateDependence(ix *truthdata.Index, choice []truthdata.ValueID,
+	accuracy []float64, p dependenceParams) *depMatrix {
+
+	nSrc := len(ix.BySource)
+	dep := newDepMatrix(nSrc)
+	// rare[i][v] marks value v of cell i as a *rare* value: shared rare
+	// values are the copying signal; popular false values (a common
+	// misconception, a widely replicated stale quote) are shared by
+	// honest sources all the time and carry no dependence evidence.
+	rare := make([][]bool, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		total := 0
+		for _, vs := range cc.Voters {
+			total += len(vs)
+		}
+		rare[i] = make([]bool, len(cc.Values))
+		for v, vs := range cc.Voters {
+			rare[i][v] = len(vs) <= 2 || 3*len(vs) <= total
+		}
+	}
+	for s1 := 0; s1 < nSrc; s1++ {
+		c1 := ix.BySource[s1]
+		if len(c1) == 0 {
+			continue
+		}
+		for s2 := s1 + 1; s2 < nSrc; s2++ {
+			c2 := ix.BySource[s2]
+			if len(c2) == 0 {
+				continue
+			}
+			kt, kf, kd := overlapCounts(c1, c2, choice, rare)
+			if kt+kf+kd < p.minOverlap {
+				continue
+			}
+			if float64(kf) < p.minFalseShare*float64(kt+kf+kd) {
+				continue
+			}
+			a := clamp((accuracy[s1]+accuracy[s2])/2, 0.01, 0.99)
+			ptI := a * a
+			pfI := (1 - a) * (1 - a) / p.n
+			pdI := clamp(1-ptI-pfI, 1e-9, 1)
+			// Sharing a false value is the telltale sign of copying —
+			// independent sources collide on one of n false values with
+			// probability (1-a)²/n, a copier with probability ≈ c(1-a).
+			// Sharing the true value is treated as neutral evidence (two
+			// honest experts agree on every truth), the standard
+			// refinement of the model; providing different values argues
+			// for independence.
+			pfD := p.c*(1-a) + (1-p.c)*pfI
+			pdD := clamp((1-p.c)*pdI, 1e-9, 1)
+
+			logI := float64(kf)*math.Log(pfI) + float64(kd)*math.Log(pdI)
+			logD := float64(kf)*math.Log(pfD) + float64(kd)*math.Log(pdD)
+			// P(dep|obs) = 1 / (1 + (1-alpha)/alpha * e^(logI-logD)).
+			ratio := (1 - p.alpha) / p.alpha * math.Exp(clamp(logI-logD, -300, 300))
+			dep.set(s1, s2, 1/(1+ratio))
+		}
+	}
+	return dep
+}
+
+// overlapCounts walks the two sorted claim lists and classifies every
+// shared cell as both-true, both-same-false or different, relative to the
+// current predicted truth. A shared non-truth value only counts as kf
+// (copying evidence) when it is rare in its cell: popular wrong values
+// are shared by coincidence, rare ones by copying.
+func overlapCounts(c1, c2 []truthdata.SourceClaim, choice []truthdata.ValueID, rare [][]bool) (kt, kf, kd int) {
+	i, j := 0, 0
+	for i < len(c1) && j < len(c2) {
+		switch {
+		case c1[i].CellIdx < c2[j].CellIdx:
+			i++
+		case c1[i].CellIdx > c2[j].CellIdx:
+			j++
+		default:
+			cell := c1[i].CellIdx
+			switch {
+			case c1[i].Value != c2[j].Value:
+				kd++
+			case c1[i].Value != choice[cell] && rare[cell][c1[i].Value]:
+				kf++
+			default:
+				kt++
+			}
+			i++
+			j++
+		}
+	}
+	return kt, kf, kd
+}
+
+// discountVoters returns the vote weight of each voter of one value:
+// voters are ranked by accuracy (descending, ties by id) and each voter's
+// weight is the product over higher-ranked voters of (1 - c*P(dep)), so a
+// probable copier of an already-counted source contributes almost nothing.
+func discountVoters(voters []truthdata.SourceID, accuracy []float64, dep *depMatrix, c float64) []float64 {
+	order := make([]truthdata.SourceID, len(voters))
+	copy(order, voters)
+	sort.SliceStable(order, func(x, y int) bool {
+		ax, ay := accuracy[order[x]], accuracy[order[y]]
+		if ax != ay {
+			return ax > ay
+		}
+		return order[x] < order[y]
+	})
+	weightBySource := make(map[truthdata.SourceID]float64, len(order))
+	for rank, s := range order {
+		w := 1.0
+		for _, prev := range order[:rank] {
+			w *= 1 - c*dep.At(s, prev)
+		}
+		weightBySource[s] = w
+	}
+	out := make([]float64, len(voters))
+	for i, s := range voters {
+		out[i] = weightBySource[s]
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package algorithms
+
+import (
+	"fmt"
+	"testing"
+
+	"tdac/internal/truthdata"
+)
+
+func TestDepMatrixIndexing(t *testing.T) {
+	m := newDepMatrix(4)
+	m.set(0, 1, 0.5)
+	m.set(2, 3, 0.7)
+	if got := m.At(0, 1); got != 0.5 {
+		t.Errorf("At(0,1) = %v", got)
+	}
+	if got := m.At(1, 0); got != 0.5 {
+		t.Errorf("At is not symmetric: At(1,0) = %v", got)
+	}
+	if got := m.At(3, 2); got != 0.7 {
+		t.Errorf("At(3,2) = %v", got)
+	}
+	if got := m.At(2, 2); got != 0 {
+		t.Errorf("At(i,i) = %v, want 0", got)
+	}
+	// All pairs addressable without overlap.
+	seen := map[int]bool{}
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			i := m.idx(a, b)
+			if seen[i] {
+				t.Fatalf("index collision at (%d,%d)", a, b)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 6 {
+		t.Errorf("covered %d slots, want 6", len(seen))
+	}
+}
+
+// buildDepDataset constructs a dataset where "orig" and "copy" share rare
+// wrong values on most cells, while "ind" is independent.
+func buildDepDataset(t *testing.T) (*truthdata.Index, []truthdata.ValueID) {
+	t.Helper()
+	b := truthdata.NewBuilder("dep")
+	for i := 0; i < 20; i++ {
+		obj := fmt.Sprintf("o%02d", i)
+		truth := fmt.Sprintf("t%d", i)
+		wrong := fmt.Sprintf("rare-wrong-%d", i)
+		// Three honest sources establish the truth.
+		b.Claim("h1", obj, "q", truth)
+		b.Claim("h2", obj, "q", truth)
+		b.Claim("h3", obj, "q", truth)
+		// orig and copy share a rare wrong value on most cells.
+		if i%4 != 0 {
+			b.Claim("orig", obj, "q", wrong)
+			b.Claim("copy", obj, "q", wrong)
+		} else {
+			b.Claim("orig", obj, "q", truth)
+			b.Claim("copy", obj, "q", truth)
+		}
+	}
+	d := b.MustBuild()
+	ix := truthdata.NewIndex(d)
+	choice := make([]truthdata.ValueID, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		// Current truth = the honest majority (the "t..." value).
+		best, votes := 0, len(cc.Voters[0])
+		for v := 1; v < len(cc.Voters); v++ {
+			if len(cc.Voters[v]) > votes {
+				best, votes = v, len(cc.Voters[v])
+			}
+		}
+		choice[i] = truthdata.ValueID(best)
+	}
+	return ix, choice
+}
+
+func TestEstimateDependenceFlagsCopiers(t *testing.T) {
+	ix, choice := buildDepDataset(t)
+	acc := []float64{0.8, 0.8, 0.8, 0.8, 0.8}
+	dep := estimateDependence(ix, choice, acc, dependenceParams{
+		alpha: 0.2, c: 0.8, n: 10, minOverlap: 3, minFalseShare: 0.25,
+	})
+	// orig (3) and copy (4) share rare false values on 15 of 20 cells.
+	if got := dep.At(3, 4); got < 0.9 {
+		t.Errorf("P(dep orig~copy) = %v, want > 0.9", got)
+	}
+	// Honest sources agreeing on popular truths stay independent.
+	if got := dep.At(0, 1); got > 0.3 {
+		t.Errorf("P(dep h1~h2) = %v, want small", got)
+	}
+	// Honest vs copier: mostly different values.
+	if got := dep.At(0, 3); got > 0.3 {
+		t.Errorf("P(dep h1~orig) = %v, want small", got)
+	}
+}
+
+func TestEstimateDependenceRespectsMinOverlap(t *testing.T) {
+	ix, choice := buildDepDataset(t)
+	acc := []float64{0.8, 0.8, 0.8, 0.8, 0.8}
+	dep := estimateDependence(ix, choice, acc, dependenceParams{
+		alpha: 0.2, c: 0.8, n: 10, minOverlap: 1000, minFalseShare: 0.25,
+	})
+	if got := dep.At(3, 4); got != 0 {
+		t.Errorf("pair below overlap threshold got P(dep) = %v, want 0", got)
+	}
+}
+
+func TestEstimateDependenceHonestExpertsNotFlagged(t *testing.T) {
+	// Two sources always agreeing on values that equal the estimated
+	// truth must not be flagged even with huge overlap.
+	b := truthdata.NewBuilder("experts")
+	for i := 0; i < 50; i++ {
+		obj := fmt.Sprintf("o%02d", i)
+		truth := fmt.Sprintf("t%d", i)
+		b.Claim("e1", obj, "q", truth)
+		b.Claim("e2", obj, "q", truth)
+		b.Claim("noise", obj, "q", fmt.Sprintf("n%d", i))
+	}
+	d := b.MustBuild()
+	ix := truthdata.NewIndex(d)
+	choice := make([]truthdata.ValueID, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		v, _ := cc.ValueOf(fmt.Sprintf("t%d", int(cc.Cell.Object)))
+		choice[i] = v
+	}
+	dep := estimateDependence(ix, choice, []float64{0.8, 0.8, 0.8}, dependenceParams{
+		alpha: 0.2, c: 0.8, n: 10, minOverlap: 3, minFalseShare: 0.25,
+	})
+	if got := dep.At(0, 1); got > 0.3 {
+		t.Errorf("expert pair flagged with P(dep) = %v", got)
+	}
+}
+
+func TestDiscountVotersOrderAndWeights(t *testing.T) {
+	dep := newDepMatrix(3)
+	dep.set(0, 1, 1.0) // source 1 copies source 0 with certainty
+	voters := []truthdata.SourceID{0, 1, 2}
+	acc := []float64{0.9, 0.5, 0.7}
+	w := discountVoters(voters, acc, dep, 0.8)
+	if w[0] != 1 {
+		t.Errorf("top-ranked voter weight = %v, want 1", w[0])
+	}
+	// Source 1 is ranked last (lowest accuracy) and depends on 0:
+	// weight = (1 - 0.8*1) * (1 - 0.8*0) = 0.2.
+	if w[1] < 0.2-1e-9 || w[1] > 0.2+1e-9 {
+		t.Errorf("copier weight = %v, want 0.2", w[1])
+	}
+	// Source 2 is independent of both.
+	if w[2] != 1 {
+		t.Errorf("independent weight = %v, want 1", w[2])
+	}
+}
+
+func TestOverlapCountsClassification(t *testing.T) {
+	// Hand-built claims: cells 0..3; both sources claim all four.
+	c1 := []truthdata.SourceClaim{{CellIdx: 0, Value: 0}, {CellIdx: 1, Value: 1}, {CellIdx: 2, Value: 0}, {CellIdx: 3, Value: 2}}
+	c2 := []truthdata.SourceClaim{{CellIdx: 0, Value: 0}, {CellIdx: 1, Value: 1}, {CellIdx: 2, Value: 1}, {CellIdx: 3, Value: 2}}
+	choice := []truthdata.ValueID{0, 0, 0, 2}
+	rare := [][]bool{{false, false}, {false, true}, {false, false}, {false, false, true}}
+	kt, kf, kd := overlapCounts(c1, c2, choice, rare)
+	// Cell 0: same value 0 == choice → kt. Cell 1: same value 1 != choice,
+	// rare → kf. Cell 2: differ → kd. Cell 3: same value 2 == choice → kt.
+	if kt != 2 || kf != 1 || kd != 1 {
+		t.Errorf("(kt,kf,kd) = (%d,%d,%d), want (2,1,1)", kt, kf, kd)
+	}
+}
+
+func TestOverlapCountsDisjointSources(t *testing.T) {
+	c1 := []truthdata.SourceClaim{{CellIdx: 0, Value: 0}}
+	c2 := []truthdata.SourceClaim{{CellIdx: 1, Value: 0}}
+	kt, kf, kd := overlapCounts(c1, c2, []truthdata.ValueID{0, 0}, [][]bool{{false}, {false}})
+	if kt+kf+kd != 0 {
+		t.Error("disjoint claim lists should have zero overlap")
+	}
+}
+
+func TestPopularSharedFalseValueIsNotCopyEvidence(t *testing.T) {
+	// Two weak sources sharing a distractor claimed by many others must
+	// not be flagged: the distractor is popular, not rare.
+	b := truthdata.NewBuilder("popular")
+	for i := 0; i < 30; i++ {
+		obj := fmt.Sprintf("o%02d", i)
+		truth := fmt.Sprintf("t%d", i)
+		distractor := fmt.Sprintf("d%d", i)
+		b.Claim("h1", obj, "q", truth)
+		b.Claim("h2", obj, "q", truth)
+		b.Claim("h3", obj, "q", truth)
+		// Five weak sources all pick the distractor.
+		for w := 0; w < 5; w++ {
+			b.Claim(fmt.Sprintf("w%d", w), obj, "q", distractor)
+		}
+	}
+	d := b.MustBuild()
+	ix := truthdata.NewIndex(d)
+	choice := make([]truthdata.ValueID, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		v, _ := cc.ValueOf(fmt.Sprintf("t%d", int(cc.Cell.Object)))
+		choice[i] = v
+	}
+	acc := make([]float64, d.NumSources())
+	for i := range acc {
+		acc[i] = 0.8
+	}
+	dep := estimateDependence(ix, choice, acc, dependenceParams{
+		alpha: 0.2, c: 0.8, n: 10, minOverlap: 3, minFalseShare: 0.25,
+	})
+	// w0 and w1 share the distractor on every cell, but it has 5 voters
+	// of 8 — popular, hence neutral.
+	w0 := truthdata.SourceID(3)
+	w1 := truthdata.SourceID(4)
+	if got := dep.At(w0, w1); got > 0.3 {
+		t.Errorf("distractor sharers flagged with P(dep) = %v", got)
+	}
+}

@@ -1,0 +1,248 @@
+package algorithms
+
+import (
+	"math"
+	"time"
+
+	"tdac/internal/truthdata"
+)
+
+// This file implements the estimation algorithms of Galland, Abiteboul,
+// Marian & Senellart (WSDM 2010), "Corroborating Information from
+// Disagreeing Views" — reference [7] of the paper. Their model treats a
+// source's vote for one value of a cell as an implicit *negative* vote
+// against the cell's other candidate values:
+//
+//   - 2-Estimates iterates two quantities, the truth score of every
+//     (cell, value) fact and the error rate of every source;
+//   - 3-Estimates adds a per-fact difficulty ("trickiness"), so being
+//     right on a hard fact earns more credit than on an easy one.
+//
+// Both use the original paper's affine re-normalisation of each estimate
+// vector to [0,1] after every round, which keeps the fixed point from
+// collapsing to the all-ones or all-zeros corner.
+
+// twoEstimatesKind selects the variant.
+type gallandKind int
+
+const (
+	kindTwoEstimates gallandKind = iota
+	kindThreeEstimates
+)
+
+// Galland runs 2-Estimates or 3-Estimates.
+type Galland struct {
+	kind gallandKind
+	name string
+	// InitialError seeds every source's error rate. Default 0.2.
+	InitialError float64
+	// MaxIterations caps the loop. Default 20.
+	MaxIterations int
+	// Epsilon is the convergence threshold on the error vector. Default 1e-3.
+	Epsilon float64
+}
+
+// NewTwoEstimates returns the 2-Estimates algorithm of [7].
+func NewTwoEstimates() *Galland { return &Galland{kind: kindTwoEstimates, name: "TwoEstimates"} }
+
+// NewThreeEstimates returns the 3-Estimates algorithm of [7].
+func NewThreeEstimates() *Galland { return &Galland{kind: kindThreeEstimates, name: "ThreeEstimates"} }
+
+// Name implements Algorithm.
+func (g *Galland) Name() string { return g.name }
+
+// Discover implements Algorithm.
+func (g *Galland) Discover(d *truthdata.Dataset) (*Result, error) {
+	start := time.Now()
+	if len(d.Claims) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	initErr := g.InitialError
+	if initErr == 0 {
+		initErr = 0.2
+	}
+	maxIters := g.MaxIterations
+	if maxIters == 0 {
+		maxIters = defaultMaxIterations
+	}
+	eps := g.Epsilon
+	if eps == 0 {
+		eps = defaultEpsilon
+	}
+
+	ix := truthdata.NewIndex(d)
+	nSrc := d.NumSources()
+
+	errRate := make([]float64, nSrc)
+	for s := range errRate {
+		errRate[s] = initErr
+	}
+	prevErr := make([]float64, nSrc)
+
+	// truth[i][v] is the estimated probability that value v of cell i is
+	// true; difficulty[i][v] is 3-Estimates' per-fact hardness.
+	truth := make([][]float64, len(ix.Cells))
+	difficulty := make([][]float64, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		truth[i] = make([]float64, cc.NumValues())
+		difficulty[i] = make([]float64, cc.NumValues())
+		for v := range difficulty[i] {
+			difficulty[i][v] = 0.5
+		}
+	}
+
+	iters := 0
+	converged := false
+	for iters < maxIters {
+		iters++
+		// Truth scores: a voter contributes its correctness probability;
+		// a source claiming a *different* value of the same cell is an
+		// implicit negative vote contributing its error probability.
+		for i, cc := range ix.Cells {
+			totalVoters := 0
+			for v := range cc.Values {
+				totalVoters += len(cc.Voters[v])
+			}
+			for v := range cc.Values {
+				var sum float64
+				n := 0
+				for _, s := range cc.Voters[v] {
+					p := 1 - errRate[s]
+					if g.kind == kindThreeEstimates {
+						p = 1 - errRate[s]*difficulty[i][v]
+					}
+					sum += p
+					n++
+				}
+				// Implicit negative voters: everyone claiming another
+				// value of this cell.
+				for w := range cc.Values {
+					if w == v {
+						continue
+					}
+					for _, s := range cc.Voters[w] {
+						p := errRate[s]
+						if g.kind == kindThreeEstimates {
+							p = errRate[s] * difficulty[i][v]
+						}
+						sum += p
+						n++
+					}
+				}
+				if n > 0 {
+					truth[i][v] = sum / float64(n)
+				}
+			}
+		}
+		normalizeUnit(truth)
+
+		// Source error rates: average disbelief in the facts the source
+		// asserted plus belief in the facts it implicitly denied.
+		copy(prevErr, errRate)
+		for s, claims := range ix.BySource {
+			if len(claims) == 0 {
+				continue
+			}
+			var sum float64
+			n := 0
+			for _, sc := range claims {
+				cc := &ix.Cells[sc.CellIdx]
+				sum += 1 - truth[sc.CellIdx][sc.Value]
+				n++
+				for w := range cc.Values {
+					if truthdata.ValueID(w) != sc.Value {
+						sum += truth[sc.CellIdx][w]
+						n++
+					}
+				}
+			}
+			errRate[s] = sum / float64(n)
+		}
+		normalizeUnitVec(errRate, 0.01, 0.99)
+
+		if g.kind == kindThreeEstimates {
+			// Fact difficulty: how often do otherwise-reliable sources
+			// get this fact wrong?
+			for i, cc := range ix.Cells {
+				for v := range cc.Values {
+					var sum float64
+					n := 0
+					for _, s := range cc.Voters[v] {
+						denom := errRate[s]
+						if denom < 0.01 {
+							denom = 0.01
+						}
+						sum += (1 - truth[i][v]) / denom
+						n++
+					}
+					if n > 0 {
+						difficulty[i][v] = sum / float64(n)
+					}
+				}
+			}
+			normalizeUnit(difficulty)
+		}
+
+		if maxAbsDiff(prevErr, errRate) < eps {
+			converged = true
+			break
+		}
+	}
+
+	choice := make([]truthdata.ValueID, len(ix.Cells))
+	conf := make([]float64, len(ix.Cells))
+	trust := make([]float64, nSrc)
+	for i := range ix.Cells {
+		choice[i] = argmaxValue(truth[i])
+		conf[i] = truth[i][choice[i]]
+	}
+	for s := range trust {
+		trust[s] = 1 - errRate[s]
+	}
+	return buildResult(g.name, ix, choice, conf, trust, iters, converged, start), nil
+}
+
+// normalizeUnit affinely rescales all entries of a ragged matrix into
+// [0,1] (the re-normalisation step of [7]); degenerate all-equal inputs
+// are left untouched.
+func normalizeUnit(m [][]float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range m {
+		for _, x := range row {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+	}
+	if !(hi > lo) {
+		return
+	}
+	span := hi - lo
+	for _, row := range m {
+		for i, x := range row {
+			row[i] = (x - lo) / span
+		}
+	}
+}
+
+// normalizeUnitVec rescales a vector into [lo, hi].
+func normalizeUnitVec(v []float64, lo, hi float64) {
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	if !(mx > mn) {
+		return
+	}
+	for i, x := range v {
+		v[i] = lo + (hi-lo)*(x-mn)/(mx-mn)
+	}
+}

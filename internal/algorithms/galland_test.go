@@ -1,0 +1,190 @@
+package algorithms
+
+import (
+	"testing"
+
+	"tdac/internal/truthdata"
+)
+
+func TestGallandConstructors(t *testing.T) {
+	if NewTwoEstimates().Name() != "TwoEstimates" {
+		t.Error("TwoEstimates name wrong")
+	}
+	if NewThreeEstimates().Name() != "ThreeEstimates" {
+		t.Error("ThreeEstimates name wrong")
+	}
+}
+
+func TestGallandOnEasyData(t *testing.T) {
+	d := easyDataset(t, 50)
+	for _, alg := range []*Galland{NewTwoEstimates(), NewThreeEstimates()} {
+		res, err := alg.Discover(d)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if got := cellAccuracy(d, res.Truth); got < 0.9 {
+			t.Errorf("%s cell accuracy = %v, want >= 0.9", alg.Name(), got)
+		}
+	}
+}
+
+func TestGallandTrustSeparatesSources(t *testing.T) {
+	d := easyDataset(t, 51)
+	res, err := NewTwoEstimates().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sources 0-2 reliable, 3-4 noisy (see easyDataset).
+	for _, good := range []int{0, 1, 2} {
+		for _, bad := range []int{3, 4} {
+			if res.Trust[good] <= res.Trust[bad] {
+				t.Errorf("trust(s%d)=%v not above trust(s%d)=%v",
+					good, res.Trust[good], bad, res.Trust[bad])
+			}
+		}
+	}
+}
+
+func TestGallandNegativeVotes(t *testing.T) {
+	// The distinguishing feature of [7]: an implicit negative vote. On
+	// the contested cell, good1 votes "truth"; bad1 and bad2 (shown to
+	// be unreliable on background cells) vote "lie". Their votes also
+	// count *against* "truth", but because their error rate is high that
+	// negative evidence is weak.
+	b := truthdata.NewBuilder("neg")
+	for i := 0; i < 12; i++ {
+		obj := string(rune('A' + i))
+		b.Claim("good1", obj, "q", "v"+obj)
+		b.Claim("good2", obj, "q", "v"+obj)
+		b.Claim("good3", obj, "q", "v"+obj)
+		b.Claim("bad1", obj, "q", "x"+obj)
+		b.Claim("bad2", obj, "q", "y"+obj)
+	}
+	b.Claim("good1", "contested", "q", "truth")
+	b.Claim("bad1", "contested", "q", "lie")
+	b.Claim("bad2", "contested", "q", "lie")
+	d := b.MustBuild()
+	res, err := NewTwoEstimates().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Truth[truthdata.Cell{Object: 12, Attr: 0}]; got != "truth" {
+		t.Errorf("contested = %q, want truth", got)
+	}
+}
+
+func TestGallandConfidenceInRange(t *testing.T) {
+	d := easyDataset(t, 52)
+	for _, alg := range []*Galland{NewTwoEstimates(), NewThreeEstimates()} {
+		res, err := alg.Discover(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cell, c := range res.Confidence {
+			if c < 0 || c > 1 {
+				t.Errorf("%s confidence of %v = %v", alg.Name(), cell, c)
+			}
+		}
+		for s, tr := range res.Trust {
+			if tr < 0 || tr > 1 {
+				t.Errorf("%s trust of %d = %v", alg.Name(), s, tr)
+			}
+		}
+	}
+}
+
+func TestNormalizeUnit(t *testing.T) {
+	m := [][]float64{{2, 4}, {6}}
+	normalizeUnit(m)
+	if m[0][0] != 0 || m[1][0] != 1 || m[0][1] != 0.5 {
+		t.Errorf("normalizeUnit = %v", m)
+	}
+	same := [][]float64{{3, 3}}
+	normalizeUnit(same)
+	if same[0][0] != 3 {
+		t.Error("normalizeUnit mutated a degenerate matrix")
+	}
+}
+
+func TestNormalizeUnitVec(t *testing.T) {
+	v := []float64{1, 3}
+	normalizeUnitVec(v, 0.01, 0.99)
+	if v[0] != 0.01 || v[1] != 0.99 {
+		t.Errorf("normalizeUnitVec = %v", v)
+	}
+}
+
+func TestCRHOnEasyData(t *testing.T) {
+	d := easyDataset(t, 53)
+	res, err := NewCRH().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cellAccuracy(d, res.Truth); got < 0.9 {
+		t.Errorf("CRH cell accuracy = %v, want >= 0.9", got)
+	}
+	// Log-loss weighting must separate reliable from noisy sources.
+	if res.Trust[0] <= res.Trust[4] {
+		t.Errorf("CRH trust: reliable %v not above noisy %v", res.Trust[0], res.Trust[4])
+	}
+}
+
+func TestCRHWeightedPluralityBeatsRawCount(t *testing.T) {
+	b := truthdata.NewBuilder("crh")
+	for i := 0; i < 15; i++ {
+		obj := string(rune('A' + i))
+		b.Claim("good1", obj, "q", "v"+obj)
+		b.Claim("good2", obj, "q", "v"+obj)
+		b.Claim("good3", obj, "q", "v"+obj)
+		b.Claim("bad1", obj, "q", "x"+obj)
+		b.Claim("bad2", obj, "q", "y"+obj)
+		b.Claim("bad3", obj, "q", "z"+obj)
+	}
+	b.Claim("good1", "contested", "q", "truth")
+	b.Claim("good2", "contested", "q", "truth")
+	b.Claim("bad1", "contested", "q", "lie")
+	b.Claim("bad2", "contested", "q", "lie")
+	b.Claim("bad3", "contested", "q", "lie")
+	d := b.MustBuild()
+	res, err := NewCRH().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Truth[truthdata.Cell{Object: 15, Attr: 0}]; got != "truth" {
+		t.Errorf("contested = %q, want truth (2 heavy votes beat 3 light ones)", got)
+	}
+}
+
+func TestSimpleLCAOnEasyData(t *testing.T) {
+	d := easyDataset(t, 54)
+	res, err := NewSimpleLCA().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cellAccuracy(d, res.Truth); got < 0.9 {
+		t.Errorf("SimpleLCA cell accuracy = %v, want >= 0.9", got)
+	}
+	if res.Trust[0] <= res.Trust[4] {
+		t.Errorf("honesty: reliable %v not above noisy %v", res.Trust[0], res.Trust[4])
+	}
+	for _, c := range res.Confidence {
+		if c < 0 || c > 1 {
+			t.Fatalf("posterior %v out of range", c)
+		}
+	}
+}
+
+func TestSimpleLCAPosteriorsSumToOne(t *testing.T) {
+	b := truthdata.NewBuilder("lca")
+	b.Claim("s1", "o", "a", "x")
+	b.Claim("s2", "o", "a", "y")
+	b.Claim("s3", "o", "a", "x")
+	d := b.MustBuild()
+	res, err := NewSimpleLCA().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Truth[truthdata.Cell{}]; got != "x" {
+		t.Errorf("predicted %q, want the majority x", got)
+	}
+}

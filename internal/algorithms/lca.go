@@ -1,0 +1,120 @@
+package algorithms
+
+import (
+	"math"
+	"time"
+
+	"tdac/internal/truthdata"
+)
+
+// SimpleLCA is the single-honesty Latent Credibility Analysis model
+// (Pasternack & Roth, WWW 2013): each source has one latent honesty
+// parameter H(s); a claim is generated truthfully with probability H(s)
+// and uniformly over the cell's other candidate values otherwise. The
+// algorithm is plain EM — the E step computes the posterior of each
+// candidate value per cell, the M step re-estimates honesty as the
+// expected fraction of truthful claims. LCA rounds out the probabilistic
+// end of the algorithm registry next to the vote-based and Bayesian
+// families.
+type SimpleLCA struct {
+	// InitialHonesty seeds every source. Default 0.8.
+	InitialHonesty float64
+	// MaxIterations caps EM. Default 20.
+	MaxIterations int
+	// Epsilon is the convergence threshold on honesty. Default 1e-3.
+	Epsilon float64
+}
+
+// NewSimpleLCA returns a SimpleLCA with default parameters.
+func NewSimpleLCA() *SimpleLCA { return &SimpleLCA{} }
+
+// Name implements Algorithm.
+func (*SimpleLCA) Name() string { return "SimpleLCA" }
+
+// Discover implements Algorithm.
+func (l *SimpleLCA) Discover(d *truthdata.Dataset) (*Result, error) {
+	start := time.Now()
+	if len(d.Claims) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	honesty0 := l.InitialHonesty
+	if honesty0 == 0 {
+		honesty0 = 0.8
+	}
+	maxIters := l.MaxIterations
+	if maxIters == 0 {
+		maxIters = defaultMaxIterations
+	}
+	eps := l.Epsilon
+	if eps == 0 {
+		eps = defaultEpsilon
+	}
+
+	ix := truthdata.NewIndex(d)
+	nSrc := d.NumSources()
+	honesty := make([]float64, nSrc)
+	for s := range honesty {
+		honesty[s] = honesty0
+	}
+	prev := make([]float64, nSrc)
+
+	post := make([][]float64, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		post[i] = make([]float64, cc.NumValues())
+	}
+
+	iters := 0
+	converged := false
+	for iters < maxIters {
+		iters++
+		// E step: P(v true | claims) ∝ Π_s P(claim_s | v true), computed
+		// in log space. A source claiming v contributes H(s); a source
+		// claiming another value contributes (1-H(s))/(m-1) when v is
+		// true (it lied into one of m-1 false values uniformly).
+		for i, cc := range ix.Cells {
+			m := float64(cc.NumValues())
+			logp := post[i]
+			for v := range cc.Values {
+				lp := 0.0
+				for w := range cc.Values {
+					for _, s := range cc.Voters[w] {
+						h := clamp(honesty[s], 1e-6, 1-1e-6)
+						if truthdata.ValueID(w) == truthdata.ValueID(v) {
+							lp += math.Log(h)
+						} else if m > 1 {
+							lp += math.Log((1 - h) / (m - 1))
+						} else {
+							lp += math.Log(1 - h)
+						}
+					}
+				}
+				logp[v] = lp
+			}
+			softmaxInPlace(logp)
+		}
+		// M step: honesty = expected fraction of truthful claims.
+		copy(prev, honesty)
+		for s, claims := range ix.BySource {
+			if len(claims) == 0 {
+				continue
+			}
+			var sum float64
+			for _, sc := range claims {
+				sum += post[sc.CellIdx][sc.Value]
+			}
+			honesty[s] = clamp(sum/float64(len(claims)), 0.01, 0.99)
+		}
+		if maxAbsDiff(prev, honesty) < eps {
+			converged = true
+			break
+		}
+	}
+
+	choice := make([]truthdata.ValueID, len(ix.Cells))
+	conf := make([]float64, len(ix.Cells))
+	for i := range ix.Cells {
+		choice[i] = argmaxValue(post[i])
+		conf[i] = post[i][choice[i]]
+	}
+	return buildResult(l.Name(), ix, choice, conf, honesty, iters, converged, start), nil
+}

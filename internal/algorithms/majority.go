@@ -1,0 +1,58 @@
+package algorithms
+
+import (
+	"time"
+
+	"tdac/internal/truthdata"
+)
+
+// MajorityVote predicts, for every cell, the value claimed by the largest
+// number of sources. Ties resolve to the lexicographically smallest value,
+// keeping the algorithm deterministic. It runs in a single iteration and
+// reports the vote share of the winning value as its confidence.
+type MajorityVote struct{}
+
+// NewMajorityVote returns the voting baseline.
+func NewMajorityVote() *MajorityVote { return &MajorityVote{} }
+
+// Name implements Algorithm.
+func (*MajorityVote) Name() string { return "MajorityVote" }
+
+// Discover implements Algorithm.
+func (m *MajorityVote) Discover(d *truthdata.Dataset) (*Result, error) {
+	start := time.Now()
+	if len(d.Claims) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	ix := truthdata.NewIndex(d)
+	choice := make([]truthdata.ValueID, len(ix.Cells))
+	conf := make([]float64, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		best, bestVotes, total := 0, len(cc.Voters[0]), len(cc.Voters[0])
+		for v := 1; v < len(cc.Voters); v++ {
+			n := len(cc.Voters[v])
+			total += n
+			if n > bestVotes {
+				best, bestVotes = v, n
+			}
+		}
+		choice[i] = truthdata.ValueID(best)
+		conf[i] = float64(bestVotes) / float64(total)
+	}
+	// Trust is the agreement of each source with the majority outcome.
+	trust := make([]float64, d.NumSources())
+	counts := make([]int, d.NumSources())
+	for s, claims := range ix.BySource {
+		agree := 0
+		for _, sc := range claims {
+			if sc.Value == choice[sc.CellIdx] {
+				agree++
+			}
+		}
+		counts[s] = len(claims)
+		if len(claims) > 0 {
+			trust[s] = float64(agree) / float64(len(claims))
+		}
+	}
+	return buildResult(m.Name(), ix, choice, conf, trust, 1, true, start), nil
+}

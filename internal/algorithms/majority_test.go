@@ -1,0 +1,72 @@
+package algorithms
+
+import (
+	"testing"
+
+	"tdac/internal/truthdata"
+)
+
+func TestMajorityVotePicksPlurality(t *testing.T) {
+	b := truthdata.NewBuilder("mv")
+	b.Claim("s1", "o", "a", "x")
+	b.Claim("s2", "o", "a", "x")
+	b.Claim("s3", "o", "a", "y")
+	d := b.MustBuild()
+	res, err := NewMajorityVote().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Truth[truthdata.Cell{}]; got != "x" {
+		t.Errorf("majority = %q, want x", got)
+	}
+	if got := res.Confidence[truthdata.Cell{}]; got != 2.0/3 {
+		t.Errorf("confidence = %v, want 2/3", got)
+	}
+}
+
+func TestMajorityVoteTieBreaksLexicographically(t *testing.T) {
+	b := truthdata.NewBuilder("mv-tie")
+	b.Claim("s1", "o", "a", "zebra")
+	b.Claim("s2", "o", "a", "apple")
+	d := b.MustBuild()
+	res, err := NewMajorityVote().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Truth[truthdata.Cell{}]; got != "apple" {
+		t.Errorf("tie broke to %q, want apple (lexicographic)", got)
+	}
+}
+
+func TestMajorityVoteSingleIteration(t *testing.T) {
+	d := easyDataset(t, 10)
+	res, err := NewMajorityVote().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 || !res.Converged {
+		t.Errorf("iterations=%d converged=%v, want 1/true", res.Iterations, res.Converged)
+	}
+}
+
+func TestMajorityVoteTrustIsAgreementRate(t *testing.T) {
+	b := truthdata.NewBuilder("mv-trust")
+	// Majority value for both cells is "x"; s3 disagrees on one of two.
+	b.Claim("s1", "o", "a1", "x")
+	b.Claim("s2", "o", "a1", "x")
+	b.Claim("s3", "o", "a1", "y")
+	b.Claim("s1", "o", "a2", "x")
+	b.Claim("s2", "o", "a2", "x")
+	b.Claim("s3", "o", "a2", "x")
+	d := b.MustBuild()
+	res, err := NewMajorityVote().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trust[0] != 1 || res.Trust[1] != 1 {
+		t.Errorf("full agreers trust = %v, want 1", res.Trust[:2])
+	}
+	if res.Trust[2] != 0.5 {
+		t.Errorf("half agreer trust = %v, want 0.5", res.Trust[2])
+	}
+}

@@ -1,0 +1,218 @@
+package algorithms
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tdac/internal/truthdata"
+)
+
+// This file implements the fixed-point fact-finders of Pasternack & Roth
+// (COLING 2010): Sums (Hubs & Authorities on the source-claim graph),
+// AverageLog, Investment and PooledInvestment. The paper lists comparing
+// against "a larger set of standard truth discovery algorithms" as a
+// perspective; these four are the usual next candidates and all share the
+// same alternating update structure, captured by fixedPoint below.
+
+// fixedPointKind selects the update rule.
+type fixedPointKind int
+
+const (
+	kindSums fixedPointKind = iota
+	kindAverageLog
+	kindInvestment
+	kindPooledInvestment
+)
+
+// FixedPoint runs one of the Pasternack & Roth fact-finders.
+type FixedPoint struct {
+	kind fixedPointKind
+	name string
+	// G is the investment growth exponent, used by Investment (1.2) and
+	// PooledInvestment (1.4) per the original paper.
+	G float64
+	// MaxIterations caps the loop. Default 20.
+	MaxIterations int
+	// Epsilon is the convergence threshold on normalised trust. Default 1e-3.
+	Epsilon float64
+}
+
+// NewSums returns the Hubs & Authorities fact-finder.
+func NewSums() *FixedPoint { return &FixedPoint{kind: kindSums, name: "Sums"} }
+
+// NewAverageLog returns the AverageLog fact-finder.
+func NewAverageLog() *FixedPoint { return &FixedPoint{kind: kindAverageLog, name: "AverageLog"} }
+
+// NewInvestment returns the Investment fact-finder with g=1.2.
+func NewInvestment() *FixedPoint {
+	return &FixedPoint{kind: kindInvestment, name: "Investment", G: 1.2}
+}
+
+// NewPooledInvestment returns the PooledInvestment fact-finder with g=1.4.
+func NewPooledInvestment() *FixedPoint {
+	return &FixedPoint{kind: kindPooledInvestment, name: "PooledInvestment", G: 1.4}
+}
+
+// Name implements Algorithm.
+func (f *FixedPoint) Name() string { return f.name }
+
+// Discover implements Algorithm.
+func (f *FixedPoint) Discover(d *truthdata.Dataset) (*Result, error) {
+	start := time.Now()
+	if len(d.Claims) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	maxIters := f.MaxIterations
+	if maxIters == 0 {
+		maxIters = defaultMaxIterations
+	}
+	eps := f.Epsilon
+	if eps == 0 {
+		eps = defaultEpsilon
+	}
+	g := f.G
+	if g == 0 {
+		g = 1.2
+	}
+
+	ix := truthdata.NewIndex(d)
+	nSrc := d.NumSources()
+	trust := make([]float64, nSrc)
+	for s := range trust {
+		trust[s] = 1
+	}
+	prev := make([]float64, nSrc)
+	belief := make([][]float64, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		belief[i] = make([]float64, cc.NumValues())
+	}
+
+	iters := 0
+	converged := false
+	for iters < maxIters {
+		iters++
+		// Claim beliefs from source trust.
+		for i, cc := range ix.Cells {
+			for v := range cc.Values {
+				var b float64
+				switch f.kind {
+				case kindSums:
+					for _, s := range cc.Voters[v] {
+						b += trust[s]
+					}
+				case kindAverageLog:
+					for _, s := range cc.Voters[v] {
+						b += trust[s]
+					}
+				case kindInvestment, kindPooledInvestment:
+					// Sources invest trust/|claims(s)| in each claim; the
+					// claim returns the pooled investment raised to g.
+					for _, s := range cc.Voters[v] {
+						if n := len(ix.BySource[s]); n > 0 {
+							b += trust[s] / float64(n)
+						}
+					}
+					b = math.Pow(b, g)
+				}
+				belief[i][v] = b
+			}
+			if f.kind == kindPooledInvestment {
+				// Linear pooling: beliefs of a cell's values are scaled to
+				// share the cell's total invested trust.
+				var total, sum float64
+				for v := range cc.Values {
+					sum += belief[i][v]
+					for _, s := range cc.Voters[v] {
+						if n := len(ix.BySource[s]); n > 0 {
+							total += trust[s] / float64(n)
+						}
+					}
+				}
+				if sum > 0 {
+					for v := range cc.Values {
+						belief[i][v] = total * belief[i][v] / sum
+					}
+				}
+			}
+		}
+		// Source trust from claim beliefs.
+		copy(prev, trust)
+		for s, claims := range ix.BySource {
+			if len(claims) == 0 {
+				continue
+			}
+			var t float64
+			switch f.kind {
+			case kindSums:
+				for _, sc := range claims {
+					t += belief[sc.CellIdx][sc.Value]
+				}
+			case kindAverageLog:
+				for _, sc := range claims {
+					t += belief[sc.CellIdx][sc.Value]
+				}
+				n := float64(len(claims))
+				t = math.Log(n+1) * t / n
+			case kindInvestment, kindPooledInvestment:
+				// Each claim pays back proportionally to this source's
+				// share of the claim's total investment.
+				for _, sc := range claims {
+					var pool float64
+					for _, s2 := range ix.Cells[sc.CellIdx].Voters[sc.Value] {
+						if n := len(ix.BySource[s2]); n > 0 {
+							pool += prev[s2] / float64(n)
+						}
+					}
+					if pool > 0 {
+						share := (prev[s] / float64(len(claims))) / pool
+						t += belief[sc.CellIdx][sc.Value] * share
+					}
+				}
+			}
+			trust[s] = t
+		}
+		normalizeMax(trust)
+		normalizeMax(prev)
+		if maxAbsDiff(prev, trust) < eps {
+			converged = true
+			break
+		}
+	}
+
+	normalizeMax(trust)
+	choice := make([]truthdata.ValueID, len(ix.Cells))
+	conf := make([]float64, len(ix.Cells))
+	for i := range ix.Cells {
+		choice[i] = argmaxValue(belief[i])
+		// Report belief normalised within the cell for comparability.
+		var sum float64
+		for _, b := range belief[i] {
+			sum += b
+		}
+		if sum > 0 {
+			conf[i] = belief[i][choice[i]] / sum
+		}
+	}
+	return buildResult(f.name, ix, choice, conf, trust, iters, converged, start), nil
+}
+
+// normalizeMax scales a non-negative vector so its maximum is 1, keeping
+// the fixed point from diverging; an all-zero vector is left untouched.
+func normalizeMax(v []float64) {
+	var m float64
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	if m == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= m
+	}
+}
+
+// String describes the fixed-point variant, aiding debug output.
+func (f *FixedPoint) String() string { return fmt.Sprintf("FixedPoint(%s)", f.name) }

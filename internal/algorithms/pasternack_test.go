@@ -1,0 +1,91 @@
+package algorithms
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFixedPointConstructors(t *testing.T) {
+	cases := []struct {
+		alg  *FixedPoint
+		name string
+		g    float64
+	}{
+		{NewSums(), "Sums", 0},
+		{NewAverageLog(), "AverageLog", 0},
+		{NewInvestment(), "Investment", 1.2},
+		{NewPooledInvestment(), "PooledInvestment", 1.4},
+	}
+	for _, c := range cases {
+		if c.alg.Name() != c.name {
+			t.Errorf("Name = %q, want %q", c.alg.Name(), c.name)
+		}
+		if c.alg.G != c.g {
+			t.Errorf("%s G = %v, want %v", c.name, c.alg.G, c.g)
+		}
+		if !strings.Contains(c.alg.String(), c.name) {
+			t.Errorf("String() = %q", c.alg.String())
+		}
+	}
+}
+
+func TestFixedPointTrustNormalised(t *testing.T) {
+	d := easyDataset(t, 40)
+	for _, alg := range []*FixedPoint{NewSums(), NewAverageLog(), NewInvestment(), NewPooledInvestment()} {
+		res, err := alg.Discover(d)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		maxTrust := 0.0
+		for _, tr := range res.Trust {
+			if tr < 0 {
+				t.Errorf("%s produced negative trust %v", alg.Name(), tr)
+			}
+			if tr > maxTrust {
+				maxTrust = tr
+			}
+		}
+		if maxTrust != 1 {
+			t.Errorf("%s max trust = %v, want 1 (normalised)", alg.Name(), maxTrust)
+		}
+	}
+}
+
+func TestFixedPointConfidenceNormalisedPerCell(t *testing.T) {
+	d := easyDataset(t, 41)
+	res, err := NewSums().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cell, c := range res.Confidence {
+		if c < 0 || c > 1 {
+			t.Errorf("confidence of %v = %v, out of [0,1]", cell, c)
+		}
+	}
+}
+
+func TestFixedPointConvergesOnEasyData(t *testing.T) {
+	d := easyDataset(t, 42)
+	for _, alg := range []*FixedPoint{NewSums(), NewAverageLog()} {
+		res, err := alg.Discover(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Errorf("%s did not converge within %d iterations", alg.Name(), defaultMaxIterations)
+		}
+	}
+}
+
+func TestNormalizeMax(t *testing.T) {
+	v := []float64{2, 4, 1}
+	normalizeMax(v)
+	if v[0] != 0.5 || v[1] != 1 || v[2] != 0.25 {
+		t.Errorf("normalizeMax = %v", v)
+	}
+	zero := []float64{0, 0}
+	normalizeMax(zero)
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Error("normalizeMax mutated an all-zero vector")
+	}
+}

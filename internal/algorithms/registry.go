@@ -1,0 +1,48 @@
+package algorithms
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// factories maps lower-cased algorithm names to constructors returning a
+// fresh instance with default hyper-parameters.
+var factories = map[string]func() Algorithm{
+	"majorityvote":     func() Algorithm { return NewMajorityVote() },
+	"truthfinder":      func() Algorithm { return NewTruthFinder() },
+	"accu":             func() Algorithm { return NewAccu() },
+	"accusim":          func() Algorithm { return NewAccuSim() },
+	"depen":            func() Algorithm { return NewDepen() },
+	"sums":             func() Algorithm { return NewSums() },
+	"averagelog":       func() Algorithm { return NewAverageLog() },
+	"investment":       func() Algorithm { return NewInvestment() },
+	"pooledinvestment": func() Algorithm { return NewPooledInvestment() },
+	"twoestimates":     func() Algorithm { return NewTwoEstimates() },
+	"threeestimates":   func() Algorithm { return NewThreeEstimates() },
+	"crh":              func() Algorithm { return NewCRH() },
+	"simplelca":        func() Algorithm { return NewSimpleLCA() },
+}
+
+// New returns a fresh instance of the named algorithm with default
+// hyper-parameters. Names are case-insensitive.
+func New(name string) (Algorithm, error) {
+	f, ok := factories[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("algorithms: unknown algorithm %q (known: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return f(), nil
+}
+
+// Names lists the registered algorithm names, sorted, in their canonical
+// capitalisation.
+func Names() []string {
+	canonical := []string{
+		"Accu", "AccuSim", "AverageLog", "CRH", "Depen", "Investment",
+		"MajorityVote", "PooledInvestment", "SimpleLCA", "Sums",
+		"ThreeEstimates", "TruthFinder", "TwoEstimates",
+	}
+	sort.Strings(canonical)
+	return canonical
+}

@@ -1,0 +1,181 @@
+package algorithms
+
+import (
+	"math"
+	"time"
+
+	"tdac/internal/similarity"
+	"tdac/internal/truthdata"
+)
+
+// TruthFinder is the Bayesian-analysis algorithm of Yin, Han & Yu (2008).
+// Source trustworthiness and value confidence reinforce each other: a
+// value is likely true if provided by trustworthy sources, and a source is
+// trustworthy if it provides values with high confidence. Similar values
+// support each other through the implication factor Rho.
+type TruthFinder struct {
+	// InitialTrust seeds every source's trustworthiness. Default 0.9.
+	InitialTrust float64
+	// Gamma is the dampening factor of the logistic confidence. Default 0.3.
+	Gamma float64
+	// Rho weighs how much similar values support each other. Default 0.5.
+	Rho float64
+	// Similarity compares claimed values for the implication term.
+	// Default similarity.Exact, which disables cross-value support.
+	Similarity similarity.Func
+	// MaxIterations caps the reinforcement loop. Default 20.
+	MaxIterations int
+	// Epsilon is the convergence threshold on the trust vector (1 minus
+	// the cosine similarity between consecutive trust vectors, as in the
+	// original paper). Default 1e-3.
+	Epsilon float64
+}
+
+// NewTruthFinder returns a TruthFinder with the hyper-parameters the paper
+// fixes from Waguih & Berti-Équille 2014.
+func NewTruthFinder() *TruthFinder { return &TruthFinder{} }
+
+// Name implements Algorithm.
+func (*TruthFinder) Name() string { return "TruthFinder" }
+
+func (tf *TruthFinder) defaults() TruthFinder {
+	out := *tf
+	if out.InitialTrust == 0 {
+		out.InitialTrust = 0.9
+	}
+	if out.Gamma == 0 {
+		out.Gamma = 0.3
+	}
+	if out.Rho == 0 {
+		out.Rho = 0.5
+	}
+	if out.Similarity == nil {
+		out.Similarity = similarity.Exact
+	}
+	if out.MaxIterations == 0 {
+		out.MaxIterations = defaultMaxIterations
+	}
+	if out.Epsilon == 0 {
+		out.Epsilon = defaultEpsilon
+	}
+	return out
+}
+
+// Discover implements Algorithm.
+func (tf *TruthFinder) Discover(d *truthdata.Dataset) (*Result, error) {
+	start := time.Now()
+	if len(d.Claims) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	cfg := tf.defaults()
+	ix := truthdata.NewIndex(d)
+
+	// Precompute the pairwise similarity of candidate values per cell;
+	// cells have few distinct values, so this stays small.
+	sim := make([][][]float64, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		n := cc.NumValues()
+		if n < 2 {
+			continue
+		}
+		m := make([][]float64, n)
+		for a := 0; a < n; a++ {
+			m[a] = make([]float64, n)
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				if b < a {
+					m[a][b] = m[b][a]
+					continue
+				}
+				m[a][b] = cfg.Similarity(cc.Values[a], cc.Values[b])
+			}
+		}
+		sim[i] = m
+	}
+
+	trust := make([]float64, d.NumSources())
+	for s := range trust {
+		trust[s] = cfg.InitialTrust
+	}
+	prev := make([]float64, len(trust))
+	conf := make([][]float64, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		conf[i] = make([]float64, cc.NumValues())
+	}
+
+	iters := 0
+	converged := false
+	for iters < cfg.MaxIterations {
+		iters++
+		// Value confidence from source trustworthiness.
+		for i, cc := range ix.Cells {
+			scores := conf[i]
+			for v := range scores {
+				var sigma float64
+				for _, s := range cc.Voters[v] {
+					t := clamp(trust[s], 1e-6, 1-1e-6)
+					sigma += -math.Log(1 - t)
+				}
+				scores[v] = sigma
+			}
+			// Implication: similar values lend part of their score.
+			if m := sim[i]; m != nil {
+				adjusted := make([]float64, len(scores))
+				for v := range scores {
+					adj := scores[v]
+					for w := range scores {
+						if w != v && m[v][w] > 0 {
+							adj += cfg.Rho * m[v][w] * scores[w]
+						}
+					}
+					adjusted[v] = adj
+				}
+				copy(scores, adjusted)
+			}
+			for v := range scores {
+				scores[v] = 1 / (1 + math.Exp(-cfg.Gamma*scores[v]))
+			}
+		}
+		// Source trustworthiness from value confidence.
+		copy(prev, trust)
+		for s, claims := range ix.BySource {
+			if len(claims) == 0 {
+				continue
+			}
+			var sum float64
+			for _, sc := range claims {
+				sum += conf[sc.CellIdx][sc.Value]
+			}
+			trust[s] = sum / float64(len(claims))
+		}
+		if 1-cosine(prev, trust) < cfg.Epsilon && maxAbsDiff(prev, trust) < cfg.Epsilon {
+			converged = true
+			break
+		}
+	}
+
+	choice := make([]truthdata.ValueID, len(ix.Cells))
+	chosenConf := make([]float64, len(ix.Cells))
+	for i := range ix.Cells {
+		choice[i] = argmaxValue(conf[i])
+		chosenConf[i] = conf[i][choice[i]]
+	}
+	return buildResult(tf.Name(), ix, choice, chosenConf, trust, iters, converged, start), nil
+}
+
+// cosine returns the cosine similarity of two vectors (1 when either is
+// all-zero, so an empty comparison counts as converged).
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return dot / math.Sqrt(na*nb)
+}

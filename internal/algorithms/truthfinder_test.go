@@ -1,0 +1,128 @@
+package algorithms
+
+import (
+	"fmt"
+	"testing"
+
+	"tdac/internal/similarity"
+	"tdac/internal/truthdata"
+)
+
+func TestTruthFinderConvergesOnEasyData(t *testing.T) {
+	d := easyDataset(t, 20)
+	res, err := NewTruthFinder().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("TruthFinder did not converge on easy data")
+	}
+	if res.Iterations >= defaultMaxIterations {
+		t.Errorf("iterations = %d, expected early convergence", res.Iterations)
+	}
+}
+
+func TestTruthFinderConfidenceInUnitInterval(t *testing.T) {
+	d := easyDataset(t, 21)
+	res, err := NewTruthFinder().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cell, c := range res.Confidence {
+		if c < 0 || c > 1 {
+			t.Errorf("confidence of %v = %v, out of [0,1]", cell, c)
+		}
+	}
+	for s, tr := range res.Trust {
+		if tr < 0 || tr > 1 {
+			t.Errorf("trust of source %d = %v, out of [0,1]", s, tr)
+		}
+	}
+}
+
+func TestTruthFinderTrustedMinorityBeatsUntrustedMajority(t *testing.T) {
+	// Three good sources corroborate each other on many background
+	// cells while two bad sources form a separate, smaller consensus, so
+	// TruthFinder's mutual reinforcement pushes the goods' trust up and
+	// the bads' down. On the contested cell one good source should then
+	// outvote the two agreeing bad ones.
+	b := truthdata.NewBuilder("minority")
+	for i := 0; i < 10; i++ {
+		obj := string(rune('A' + i))
+		for g := 1; g <= 5; g++ {
+			b.Claim(fmt.Sprintf("good%d", g), obj, "q", "v"+obj)
+		}
+		b.Claim("bad1", obj, "q", "x"+obj)
+		b.Claim("bad2", obj, "q", "y"+obj)
+	}
+	b.Claim("good1", "contested", "q", "truth")
+	b.Claim("bad1", "contested", "q", "lie")
+	b.Claim("bad2", "contested", "q", "lie")
+	d := b.MustBuild()
+
+	res, err := NewTruthFinder().Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contested := truthdata.Cell{Object: 10, Attr: 0}
+	if got := res.Truth[contested]; got != "truth" {
+		t.Errorf("contested cell = %q, want truth (trusted minority)", got)
+	}
+}
+
+func TestTruthFinderImplicationSupportsSimilarValues(t *testing.T) {
+	// Four sources claim the near-identical 100/101/102/103 while two
+	// agree exactly on 250. Exact matching elects the 2-vote 250; with
+	// numeric similarity the four neighbours reinforce each other and
+	// win.
+	b := truthdata.NewBuilder("imp")
+	b.Claim("s1", "o", "a", "100")
+	b.Claim("s2", "o", "a", "101")
+	b.Claim("s3", "o", "a", "102")
+	b.Claim("s4", "o", "a", "103")
+	b.Claim("s5", "o", "a", "250")
+	b.Claim("s6", "o", "a", "250")
+	d := b.MustBuild()
+
+	exact := &TruthFinder{Similarity: similarity.Exact}
+	resExact, err := exact.Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resExact.Truth[truthdata.Cell{}]; got != "250" {
+		t.Fatalf("exact similarity should elect the plurality 250, got %q", got)
+	}
+
+	sim := &TruthFinder{Similarity: similarity.Numeric, Rho: 1.0}
+	resSim, err := sim.Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resSim.Truth[truthdata.Cell{}]; got == "250" {
+		t.Errorf("numeric similarity elected %q, want one of the similar neighbours", got)
+	}
+}
+
+func TestTruthFinderHonoursMaxIterations(t *testing.T) {
+	d := easyDataset(t, 22)
+	tf := &TruthFinder{MaxIterations: 2, Epsilon: 1e-12}
+	res, err := tf.Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 2 {
+		t.Errorf("iterations = %d, want <= 2", res.Iterations)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := cosine([]float64{1, 0}, []float64{1, 0}); got != 1 {
+		t.Errorf("cosine identical = %v, want 1", got)
+	}
+	if got := cosine([]float64{1, 0}, []float64{0, 1}); got != 0 {
+		t.Errorf("cosine orthogonal = %v, want 0", got)
+	}
+	if got := cosine([]float64{0, 0}, []float64{1, 1}); got != 1 {
+		t.Errorf("cosine with zero vector = %v, want 1 by convention", got)
+	}
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linkage selects how agglomerative clustering scores the distance
+// between two clusters.
+type Linkage int
+
+const (
+	// AverageLinkage uses the mean pairwise distance (UPGMA).
+	AverageLinkage Linkage = iota
+	// SingleLinkage uses the minimum pairwise distance.
+	SingleLinkage
+	// CompleteLinkage uses the maximum pairwise distance.
+	CompleteLinkage
+)
+
+// String names the linkage.
+func (l Linkage) String() string {
+	switch l {
+	case AverageLinkage:
+		return "average"
+	case SingleLinkage:
+		return "single"
+	case CompleteLinkage:
+		return "complete"
+	}
+	return fmt.Sprintf("linkage(%d)", int(l))
+}
+
+// Clusterer partitions points into k groups. Both KMeans and
+// Agglomerative satisfy it, so TD-AC's clustering step is pluggable.
+type Clusterer interface {
+	Cluster(points [][]float64, k int) (*Clustering, error)
+}
+
+// Agglomerative is bottom-up hierarchical clustering: every point starts
+// as its own cluster and the closest pair (under the linkage) merges
+// until k clusters remain. Deterministic by construction — no seeding —
+// which makes it a natural ablation against k-means in TD-AC.
+type Agglomerative struct {
+	// Linkage selects the cluster distance. Default AverageLinkage.
+	Linkage Linkage
+	// Distance compares points. Default Euclidean.
+	Distance Distance
+}
+
+// Cluster implements Clusterer.
+func (a *Agglomerative) Cluster(points [][]float64, k int) (*Clustering, error) {
+	n := len(points)
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("%w (k=%d, n=%d)", ErrBadK, k, n)
+	}
+	dist := a.Distance
+	if dist == nil {
+		dist = Euclidean{}
+	}
+
+	// active cluster list; members[c] holds point indexes.
+	members := make([][]int, n)
+	for i := range members {
+		members[i] = []int{i}
+	}
+	// Pairwise point distances, computed once.
+	pd := DistanceMatrix(points, dist)
+
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	remaining := n
+	for remaining > k {
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !alive[j] {
+					continue
+				}
+				d := linkage(pd, members[i], members[j], a.Linkage)
+				if d < best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		members[bi] = append(members[bi], members[bj]...)
+		members[bj] = nil
+		alive[bj] = false
+		remaining--
+	}
+
+	assign := make([]int, n)
+	var centroids [][]float64
+	c := 0
+	dim := len(points[0])
+	var inertia float64
+	for i := 0; i < n; i++ {
+		if !alive[i] {
+			continue
+		}
+		centroid := make([]float64, dim)
+		for _, p := range members[i] {
+			assign[p] = c
+			for j, x := range points[p] {
+				centroid[j] += x
+			}
+		}
+		inv := 1 / float64(len(members[i]))
+		for j := range centroid {
+			centroid[j] *= inv
+		}
+		for _, p := range members[i] {
+			inertia += sqEuclidean(points[p], centroid)
+		}
+		centroids = append(centroids, centroid)
+		c++
+	}
+	return &Clustering{K: k, Assign: assign, Centroids: centroids, Inertia: inertia, Iterations: n - k}, nil
+}
+
+// linkage computes the cluster distance between member sets a and b.
+func linkage(pd [][]float64, a, b []int, l Linkage) float64 {
+	switch l {
+	case SingleLinkage:
+		best := math.Inf(1)
+		for _, i := range a {
+			for _, j := range b {
+				if pd[i][j] < best {
+					best = pd[i][j]
+				}
+			}
+		}
+		return best
+	case CompleteLinkage:
+		worst := 0.0
+		for _, i := range a {
+			for _, j := range b {
+				if pd[i][j] > worst {
+					worst = pd[i][j]
+				}
+			}
+		}
+		return worst
+	default: // average
+		var sum float64
+		for _, i := range a {
+			for _, j := range b {
+				sum += pd[i][j]
+			}
+		}
+		return sum / float64(len(a)*len(b))
+	}
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAgglomerativeSeparatesBlobs(t *testing.T) {
+	pts := twoBlobs(15, 11)
+	for _, l := range []Linkage{AverageLinkage, SingleLinkage, CompleteLinkage} {
+		t.Run(l.String(), func(t *testing.T) {
+			hac := &Agglomerative{Linkage: l}
+			c, err := hac.Cluster(pts, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := c.Assign[0]
+			for i := 1; i < 15; i++ {
+				if c.Assign[i] != first {
+					t.Fatal("blob 1 split")
+				}
+			}
+			if c.Assign[15] == first {
+				t.Fatal("blobs merged")
+			}
+			for i := 16; i < 30; i++ {
+				if c.Assign[i] != c.Assign[15] {
+					t.Fatal("blob 2 split")
+				}
+			}
+		})
+	}
+}
+
+func TestAgglomerativeKEqualsN(t *testing.T) {
+	pts := twoBlobs(3, 12)
+	hac := &Agglomerative{}
+	c, err := hac.Cluster(pts, len(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Inertia != 0 {
+		t.Errorf("k=n inertia = %v, want 0", c.Inertia)
+	}
+	seen := map[int]bool{}
+	for _, g := range c.Assign {
+		seen[g] = true
+	}
+	if len(seen) != len(pts) {
+		t.Errorf("%d clusters, want %d", len(seen), len(pts))
+	}
+}
+
+func TestAgglomerativeK1(t *testing.T) {
+	pts := twoBlobs(4, 13)
+	hac := &Agglomerative{}
+	c, err := hac.Cluster(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range c.Assign {
+		if g != 0 {
+			t.Fatal("k=1 produced multiple clusters")
+		}
+	}
+}
+
+func TestAgglomerativeRejectsBadK(t *testing.T) {
+	pts := twoBlobs(2, 14)
+	hac := &Agglomerative{}
+	if _, err := hac.Cluster(pts, 0); !errors.Is(err, ErrBadK) {
+		t.Error("accepted k=0")
+	}
+	if _, err := hac.Cluster(pts, len(pts)+1); !errors.Is(err, ErrBadK) {
+		t.Error("accepted k>n")
+	}
+}
+
+func TestAgglomerativeDeterministic(t *testing.T) {
+	pts := twoBlobs(10, 15)
+	hac := &Agglomerative{Linkage: AverageLinkage}
+	c1, err := hac.Cluster(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := hac.Cluster(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c1.Assign {
+		if c1.Assign[i] != c2.Assign[i] {
+			t.Fatal("agglomerative clustering not deterministic")
+		}
+	}
+}
+
+func TestAgglomerativeCustomDistance(t *testing.T) {
+	pts := [][]float64{{1, 1, 0, 0}, {1, 1, 0, 0}, {0, 0, 1, 1}, {0, 0, 1, 1}}
+	hac := &Agglomerative{Distance: Hamming{}}
+	c, err := hac.Cluster(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Assign[0] != c.Assign[1] || c.Assign[2] != c.Assign[3] || c.Assign[0] == c.Assign[2] {
+		t.Errorf("assign = %v", c.Assign)
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	if AverageLinkage.String() != "average" || SingleLinkage.String() != "single" ||
+		CompleteLinkage.String() != "complete" {
+		t.Error("linkage names wrong")
+	}
+	if Linkage(9).String() == "" {
+		t.Error("unknown linkage should render")
+	}
+}
+
+func TestClustererInterface(t *testing.T) {
+	var _ Clusterer = &KMeans{}
+	var _ Clusterer = &Agglomerative{}
+}
+
+func TestSingleVsCompleteLinkageDiffer(t *testing.T) {
+	// A chain of points: single linkage follows the chain, complete
+	// linkage splits it in the middle.
+	pts := [][]float64{{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}}
+	single := &Agglomerative{Linkage: SingleLinkage}
+	complete := &Agglomerative{Linkage: CompleteLinkage}
+	cs, err := single.Cluster(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := complete.Cluster(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete linkage on a uniform chain yields two contiguous halves.
+	if cc.Assign[0] == cc.Assign[7] {
+		t.Error("complete linkage merged the chain ends")
+	}
+	_ = cs // single linkage is free to chain; only validity is required
+	counts := map[int]int{}
+	for _, g := range cs.Assign {
+		counts[g]++
+	}
+	if len(counts) != 2 {
+		t.Errorf("single linkage produced %d clusters, want 2", len(counts))
+	}
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomBinary builds n random binary vectors of the given dimension —
+// the shape of attribute truth vectors.
+func randomBinary(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		v := make([]float64, dim)
+		for j := range v {
+			if rng.Intn(2) == 1 {
+				v[j] = 1
+			}
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	for _, shape := range []struct{ n, dim, k int }{
+		{6, 1500, 3},    // DS1-like: 6 attrs, 150 objects x 10 sources
+		{62, 248, 8},    // Exam 62
+		{124, 248, 16},  // Exam 124
+		{200, 1000, 10}, // large
+	} {
+		pts := randomBinary(shape.n, shape.dim, 1)
+		b.Run(fmt.Sprintf("n%d_dim%d_k%d", shape.n, shape.dim, shape.k), func(b *testing.B) {
+			km := &KMeans{}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := km.Cluster(pts, shape.k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSilhouette(b *testing.B) {
+	pts := randomBinary(124, 248, 2)
+	km := &KMeans{}
+	c, err := km.Cluster(pts, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Silhouette(pts, c.Assign, 8, Hamming{})
+		}
+	})
+	b.Run("precomputed-matrix", func(b *testing.B) {
+		m := DistanceMatrix(pts, Hamming{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			SilhouetteFromMatrix(m, c.Assign, 8)
+		}
+	})
+}
+
+func BenchmarkDistances(b *testing.B) {
+	pts := randomBinary(2, 2480, 3)
+	for _, d := range []Distance{Hamming{}, Euclidean{}, MaskedHamming{Mask: -1}} {
+		b.Run(d.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d.Between(pts[0], pts[1])
+			}
+		})
+	}
+}

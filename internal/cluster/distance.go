@@ -1,0 +1,99 @@
+// Package cluster implements the clustering machinery TD-AC builds on:
+// Lloyd's k-means with k-means++ seeding and deterministic restarts, the
+// silhouette index for selecting k, and the distance functions the paper
+// uses on attribute truth vectors (Hamming, Equation 2) alongside
+// Euclidean and a sparse-aware masked variant for low-coverage data.
+package cluster
+
+import (
+	"math"
+	"strings"
+)
+
+// Distance measures dissimilarity between two equal-length vectors.
+type Distance interface {
+	// Name identifies the distance in reports and ablation tables.
+	Name() string
+	// Between returns the dissimilarity of a and b; it must be symmetric
+	// and zero on identical vectors.
+	Between(a, b []float64) float64
+}
+
+// Hamming is the paper's similarity measure on binary truth vectors
+// (Equation 2): the sum of absolute coordinate differences, which on 0/1
+// vectors counts disagreeing positions. On fractional vectors (k-means
+// centroids) it degrades gracefully to the L1 distance.
+type Hamming struct{}
+
+// Name implements Distance.
+func (Hamming) Name() string { return "hamming" }
+
+// Between implements Distance.
+func (Hamming) Between(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d
+}
+
+// Euclidean is the L2 distance k-means classically minimises.
+type Euclidean struct{}
+
+// Name implements Distance.
+func (Euclidean) Name() string { return "euclidean" }
+
+// Between implements Distance.
+func (Euclidean) Between(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		diff := a[i] - b[i]
+		d += diff * diff
+	}
+	return math.Sqrt(d)
+}
+
+// MaskedHamming is the sparse-aware distance of the paper's future-work
+// item (i): coordinates where either vector carries the mask value
+// (representing "no claim made") are skipped and the count is rescaled to
+// the full dimension, so sparsely covered attributes are compared only
+// where both were actually observed.
+type MaskedHamming struct {
+	// Mask is the coordinate value meaning "missing". Truth-vector
+	// builders encode missing claims with -1.
+	Mask float64
+}
+
+// Name implements Distance.
+func (MaskedHamming) Name() string { return "masked-hamming" }
+
+// Between implements Distance.
+func (m MaskedHamming) Between(a, b []float64) float64 {
+	var d float64
+	observed := 0
+	for i := range a {
+		if a[i] == m.Mask || b[i] == m.Mask {
+			continue
+		}
+		observed++
+		d += math.Abs(a[i] - b[i])
+	}
+	if observed == 0 {
+		return 0
+	}
+	return d * float64(len(a)) / float64(observed)
+}
+
+// DistanceByName resolves a distance from its registry name ("hamming",
+// "euclidean", "masked-hamming"); the bool reports whether it is known.
+func DistanceByName(name string) (Distance, bool) {
+	switch strings.ToLower(name) {
+	case "hamming":
+		return Hamming{}, true
+	case "euclidean":
+		return Euclidean{}, true
+	case "masked-hamming":
+		return MaskedHamming{Mask: -1}, true
+	}
+	return nil, false
+}

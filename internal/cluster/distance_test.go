@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHammingOnBinaryVectors(t *testing.T) {
+	h := Hamming{}
+	if got := h.Between([]float64{1, 0, 1}, []float64{1, 1, 0}); got != 2 {
+		t.Errorf("Hamming = %v, want 2", got)
+	}
+	if got := h.Between([]float64{1, 0}, []float64{1, 0}); got != 0 {
+		t.Errorf("Hamming identical = %v, want 0", got)
+	}
+}
+
+func TestHammingOnFractionalVectors(t *testing.T) {
+	h := Hamming{}
+	if got := h.Between([]float64{0.5}, []float64{0.25}); got != 0.25 {
+		t.Errorf("fractional Hamming = %v, want 0.25", got)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	e := Euclidean{}
+	if got := e.Between([]float64{0, 0}, []float64{3, 4}); got != 5 {
+		t.Errorf("Euclidean = %v, want 5", got)
+	}
+}
+
+func TestMaskedHammingSkipsMissing(t *testing.T) {
+	m := MaskedHamming{Mask: -1}
+	// Coordinates 1 and 3 masked; of the observed {0, 2}, one differs.
+	a := []float64{1, -1, 0, 1}
+	b := []float64{0, 1, 0, -1}
+	// Observed = 2 of 4 → distance 1 rescaled by 4/2 = 2.
+	if got := m.Between(a, b); got != 2 {
+		t.Errorf("MaskedHamming = %v, want 2", got)
+	}
+}
+
+func TestMaskedHammingAllMissing(t *testing.T) {
+	m := MaskedHamming{Mask: -1}
+	if got := m.Between([]float64{-1, -1}, []float64{-1, 0}); got != 0 {
+		t.Errorf("all-masked distance = %v, want 0", got)
+	}
+}
+
+func TestMaskedHammingNoMissingEqualsHamming(t *testing.T) {
+	m := MaskedHamming{Mask: -1}
+	h := Hamming{}
+	a := []float64{1, 0, 1, 1}
+	b := []float64{0, 0, 1, 0}
+	if m.Between(a, b) != h.Between(a, b) {
+		t.Error("MaskedHamming without masks should equal Hamming")
+	}
+}
+
+func TestDistanceByName(t *testing.T) {
+	for _, name := range []string{"hamming", "euclidean", "masked-hamming", "Hamming"} {
+		d, ok := DistanceByName(name)
+		if !ok || d == nil {
+			t.Errorf("DistanceByName(%q) failed", name)
+		}
+	}
+	if _, ok := DistanceByName("cosine"); ok {
+		t.Error("DistanceByName accepted an unknown name")
+	}
+}
+
+func TestDistanceNames(t *testing.T) {
+	var h Hamming
+	var e Euclidean
+	var m MaskedHamming
+	if h.Name() != "hamming" || e.Name() != "euclidean" || m.Name() != "masked-hamming" {
+		t.Error("distance names wrong")
+	}
+}
+
+// Metric-ish properties: non-negativity, symmetry, identity.
+func TestDistanceProperties(t *testing.T) {
+	dists := []Distance{Hamming{}, Euclidean{}, MaskedHamming{Mask: -1}}
+	f := func(ax, ay, bx, by float64) bool {
+		a := []float64{clampUnit(ax), clampUnit(ay)}
+		b := []float64{clampUnit(bx), clampUnit(by)}
+		for _, d := range dists {
+			if d.Between(a, b) < 0 {
+				return false
+			}
+			if math.Abs(d.Between(a, b)-d.Between(b, a)) > 1e-12 {
+				return false
+			}
+			if d.Between(a, a) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampUnit(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(math.Abs(x), 1)
+}

@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// InitMethod selects how k-means seeds its centroids.
+type InitMethod int
+
+const (
+	// InitKMeansPlusPlus spreads initial centroids with the k-means++
+	// D²-sampling scheme (the default).
+	InitKMeansPlusPlus InitMethod = iota
+	// InitFirstK uses the first k points as centroids — fully
+	// deterministic and the cheapest option; used as an ablation.
+	InitFirstK
+	// InitRandom samples k distinct points uniformly.
+	InitRandom
+)
+
+// String names the initialisation method.
+func (m InitMethod) String() string {
+	switch m {
+	case InitKMeansPlusPlus:
+		return "kmeans++"
+	case InitFirstK:
+		return "first-k"
+	case InitRandom:
+		return "random"
+	}
+	return fmt.Sprintf("init(%d)", int(m))
+}
+
+// KMeans configures Lloyd's algorithm. The zero value is usable: it
+// clusters with k-means++ seeding, 4 restarts, 100 Lloyd iterations and
+// seed 1 (everything here is deliberately deterministic).
+type KMeans struct {
+	// K is the number of clusters; set per call via Cluster's argument.
+	// MaxIterations caps Lloyd iterations per restart. Default 100.
+	MaxIterations int
+	// Restarts runs the algorithm this many times with derived seeds and
+	// keeps the lowest-inertia result. Default 4 (1 for InitFirstK, which
+	// is deterministic anyway).
+	Restarts int
+	// Init selects centroid seeding. Default InitKMeansPlusPlus.
+	Init InitMethod
+	// Seed drives all pseudo-randomness. Default 1.
+	Seed int64
+	// Distance assigns points to centroids. Default Euclidean (classic
+	// k-means); TD-AC's ablations also run Hamming here.
+	Distance Distance
+}
+
+// Clustering is the outcome of one k-means run.
+type Clustering struct {
+	// K is the number of clusters requested.
+	K int
+	// Assign maps each input point to its cluster in [0,K).
+	Assign []int
+	// Centroids holds the final cluster means.
+	Centroids [][]float64
+	// Inertia is the within-cluster sum of squared Euclidean distances —
+	// the objective of Equation 3.
+	Inertia float64
+	// Iterations is the number of Lloyd rounds of the winning restart.
+	Iterations int
+}
+
+// Clusters groups point indices per cluster, ascending within each group.
+func (c *Clustering) Clusters() [][]int {
+	out := make([][]int, c.K)
+	for i, g := range c.Assign {
+		out[g] = append(out[g], i)
+	}
+	return out
+}
+
+// ErrBadK reports an unusable cluster count.
+var ErrBadK = errors.New("cluster: k must satisfy 1 <= k <= number of points")
+
+// Cluster partitions points into k groups. Points must be non-empty and
+// share one dimension.
+func (km *KMeans) Cluster(points [][]float64, k int) (*Clustering, error) {
+	if k < 1 || k > len(points) {
+		return nil, fmt.Errorf("%w (k=%d, n=%d)", ErrBadK, k, len(points))
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	maxIter := km.MaxIterations
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	restarts := km.Restarts
+	if restarts == 0 {
+		restarts = 4
+	}
+	if km.Init == InitFirstK {
+		restarts = 1
+	}
+	seed := km.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	dist := km.Distance
+	if dist == nil {
+		dist = Euclidean{}
+	}
+
+	var best *Clustering
+	for r := 0; r < restarts; r++ {
+		rng := rand.New(rand.NewSource(seed + int64(r)*7919))
+		c := km.run(points, k, maxIter, rng, dist)
+		if best == nil || c.Inertia < best.Inertia {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+func (km *KMeans) run(points [][]float64, k, maxIter int, rng *rand.Rand, dist Distance) *Clustering {
+	centroids := km.initCentroids(points, k, rng)
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		changed := false
+		for i, p := range points {
+			bestC, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := dist.Between(p, centroids[c]); d < bestD {
+					bestC, bestD = c, d
+				}
+			}
+			if assign[i] != bestC {
+				assign[i] = bestC
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		recomputeCentroids(points, assign, centroids)
+		repairEmptyClusters(points, assign, centroids, dist)
+	}
+
+	var inertia float64
+	for i, p := range points {
+		inertia += sqEuclidean(p, centroids[assign[i]])
+	}
+	return &Clustering{K: k, Assign: assign, Centroids: centroids, Inertia: inertia, Iterations: iters}
+}
+
+func (km *KMeans) initCentroids(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	dim := len(points[0])
+	centroids := make([][]float64, k)
+	switch km.Init {
+	case InitFirstK:
+		for c := 0; c < k; c++ {
+			centroids[c] = append(make([]float64, 0, dim), points[c]...)
+		}
+	case InitRandom:
+		perm := rng.Perm(len(points))
+		for c := 0; c < k; c++ {
+			centroids[c] = append(make([]float64, 0, dim), points[perm[c]]...)
+		}
+	default: // k-means++
+		first := rng.Intn(len(points))
+		centroids[0] = append(make([]float64, 0, dim), points[first]...)
+		// d2[i] tracks the distance of point i to its nearest centroid so
+		// far; only the newest centroid can lower it, keeping the whole
+		// seeding O(n·k·dim).
+		d2 := make([]float64, len(points))
+		for i, p := range points {
+			d2[i] = sqEuclidean(p, centroids[0])
+		}
+		for c := 1; c < k; c++ {
+			var sum float64
+			for _, d := range d2 {
+				sum += d
+			}
+			var next int
+			if sum == 0 {
+				// All remaining points coincide with a centroid; any pick
+				// works, keep it deterministic under the rng.
+				next = rng.Intn(len(points))
+			} else {
+				target := rng.Float64() * sum
+				var acc float64
+				for i, d := range d2 {
+					acc += d
+					if acc >= target {
+						next = i
+						break
+					}
+				}
+			}
+			centroids[c] = append(make([]float64, 0, dim), points[next]...)
+			for i, p := range points {
+				if d := sqEuclidean(p, centroids[c]); d < d2[i] {
+					d2[i] = d
+				}
+			}
+		}
+	}
+	return centroids
+}
+
+func recomputeCentroids(points [][]float64, assign []int, centroids [][]float64) {
+	dim := len(points[0])
+	counts := make([]int, len(centroids))
+	for c := range centroids {
+		for j := 0; j < dim; j++ {
+			centroids[c][j] = 0
+		}
+	}
+	for i, p := range points {
+		c := assign[i]
+		counts[c]++
+		for j, x := range p {
+			centroids[c][j] += x
+		}
+	}
+	for c := range centroids {
+		if counts[c] == 0 {
+			continue // repaired separately
+		}
+		inv := 1 / float64(counts[c])
+		for j := range centroids[c] {
+			centroids[c][j] *= inv
+		}
+	}
+}
+
+// repairEmptyClusters moves the point farthest from its centroid into any
+// cluster that lost all members, a standard Lloyd fix that keeps K honest.
+func repairEmptyClusters(points [][]float64, assign []int, centroids [][]float64, dist Distance) {
+	counts := make([]int, len(centroids))
+	for _, c := range assign {
+		counts[c]++
+	}
+	for c := range centroids {
+		if counts[c] > 0 {
+			continue
+		}
+		worst, worstD := -1, -1.0
+		for i, p := range points {
+			if counts[assign[i]] <= 1 {
+				continue // do not empty another cluster
+			}
+			if d := dist.Between(p, centroids[assign[i]]); d > worstD {
+				worst, worstD = i, d
+			}
+		}
+		if worst < 0 {
+			continue
+		}
+		counts[assign[worst]]--
+		assign[worst] = c
+		counts[c] = 1
+		copy(centroids[c], points[worst])
+	}
+}
+
+func sqEuclidean(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		diff := a[i] - b[i]
+		d += diff * diff
+	}
+	return d
+}

@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoBlobs returns points with an obvious 2-cluster structure.
+func twoBlobs(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, 0, 2*n)
+	for i := 0; i < n; i++ {
+		pts = append(pts, []float64{rng.Float64() * 0.5, rng.Float64() * 0.5})
+	}
+	for i := 0; i < n; i++ {
+		pts = append(pts, []float64{10 + rng.Float64()*0.5, 10 + rng.Float64()*0.5})
+	}
+	return pts
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	pts := twoBlobs(20, 1)
+	for _, init := range []InitMethod{InitKMeansPlusPlus, InitFirstK, InitRandom} {
+		t.Run(init.String(), func(t *testing.T) {
+			km := &KMeans{Init: init}
+			c, err := km.Cluster(pts, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := c.Assign[0]
+			for i := 1; i < 20; i++ {
+				if c.Assign[i] != first {
+					t.Fatalf("blob 1 split across clusters")
+				}
+			}
+			second := c.Assign[20]
+			if second == first {
+				t.Fatal("blobs merged")
+			}
+			for i := 21; i < 40; i++ {
+				if c.Assign[i] != second {
+					t.Fatalf("blob 2 split across clusters")
+				}
+			}
+		})
+	}
+}
+
+func TestKMeansRejectsBadK(t *testing.T) {
+	pts := twoBlobs(3, 1)
+	km := &KMeans{}
+	if _, err := km.Cluster(pts, 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0 error = %v, want ErrBadK", err)
+	}
+	if _, err := km.Cluster(pts, len(pts)+1); !errors.Is(err, ErrBadK) {
+		t.Errorf("k>n error = %v, want ErrBadK", err)
+	}
+}
+
+func TestKMeansRejectsMixedDimensions(t *testing.T) {
+	km := &KMeans{}
+	if _, err := km.Cluster([][]float64{{1, 2}, {1}}, 1); err == nil {
+		t.Error("accepted points with mixed dimensions")
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	pts := twoBlobs(3, 2)
+	km := &KMeans{}
+	c, err := km.Cluster(pts, len(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, g := range c.Assign {
+		seen[g] = true
+	}
+	// With k = n every cluster should end non-empty (inertia 0).
+	if len(seen) != len(pts) {
+		t.Errorf("k=n produced %d non-empty clusters, want %d", len(seen), len(pts))
+	}
+	if c.Inertia != 0 {
+		t.Errorf("k=n inertia = %v, want 0", c.Inertia)
+	}
+}
+
+func TestKMeansK1(t *testing.T) {
+	pts := twoBlobs(5, 3)
+	km := &KMeans{}
+	c, err := km.Cluster(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range c.Assign {
+		if g != 0 {
+			t.Fatal("k=1 assigned a point to a second cluster")
+		}
+	}
+	if c.Inertia <= 0 {
+		t.Error("k=1 inertia should be positive for spread points")
+	}
+}
+
+func TestKMeansDeterministicForFixedSeed(t *testing.T) {
+	pts := twoBlobs(15, 4)
+	km1 := &KMeans{Seed: 7}
+	km2 := &KMeans{Seed: 7}
+	c1, err := km1.Cluster(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := km2.Cluster(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c1.Assign {
+		if c1.Assign[i] != c2.Assign[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+	if c1.Inertia != c2.Inertia {
+		t.Error("same seed produced different inertia")
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	pts := make([][]float64, 6)
+	for i := range pts {
+		pts[i] = []float64{1, 1, 1}
+	}
+	km := &KMeans{}
+	c, err := km.Cluster(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Inertia != 0 {
+		t.Errorf("identical points inertia = %v, want 0", c.Inertia)
+	}
+}
+
+func TestKMeansHammingDistanceAssignment(t *testing.T) {
+	// Binary vectors where Hamming and Euclidean agree on structure.
+	pts := [][]float64{
+		{1, 1, 0, 0}, {1, 1, 0, 0}, {1, 0, 0, 0},
+		{0, 0, 1, 1}, {0, 0, 1, 1}, {0, 0, 0, 1},
+	}
+	km := &KMeans{Distance: Hamming{}}
+	c, err := km.Cluster(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Assign[0] != c.Assign[1] || c.Assign[0] != c.Assign[2] {
+		t.Error("first binary group split")
+	}
+	if c.Assign[3] != c.Assign[4] || c.Assign[3] != c.Assign[5] {
+		t.Error("second binary group split")
+	}
+	if c.Assign[0] == c.Assign[3] {
+		t.Error("binary groups merged")
+	}
+}
+
+func TestClustersGrouping(t *testing.T) {
+	c := &Clustering{K: 2, Assign: []int{0, 1, 0, 1, 1}}
+	groups := c.Clusters()
+	if len(groups[0]) != 2 || len(groups[1]) != 3 {
+		t.Errorf("Clusters() = %v", groups)
+	}
+}
+
+func TestInitMethodString(t *testing.T) {
+	if InitKMeansPlusPlus.String() != "kmeans++" || InitFirstK.String() != "first-k" ||
+		InitRandom.String() != "random" {
+		t.Error("InitMethod.String() wrong")
+	}
+	if InitMethod(9).String() == "" {
+		t.Error("unknown InitMethod should still render")
+	}
+}
+
+// Properties: every point is assigned to a cluster in [0,k), no cluster
+// is empty, and inertia never increases when k grows (with first-k this
+// is not guaranteed, so test with k-means++ best-of-restarts which is
+// near-monotone; we only check non-negativity and boundedness here).
+func TestKMeansInvariantsProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		pts := twoBlobs(8, seed)
+		k := int(kRaw)%len(pts) + 1
+		km := &KMeans{Seed: seed}
+		c, err := km.Cluster(pts, k)
+		if err != nil {
+			return false
+		}
+		counts := make([]int, k)
+		for _, g := range c.Assign {
+			if g < 0 || g >= k {
+				return false
+			}
+			counts[g]++
+		}
+		for _, n := range counts {
+			if n == 0 {
+				return false
+			}
+		}
+		return c.Inertia >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRandomProjectionPreservesStructure(t *testing.T) {
+	// Two well-separated binary blobs in 2000 dimensions must remain
+	// separable after projecting to 32.
+	rng := rand.New(rand.NewSource(3))
+	var pts [][]float64
+	for b := 0; b < 2; b++ {
+		for i := 0; i < 10; i++ {
+			v := make([]float64, 2000)
+			for j := b * 1000; j < (b+1)*1000; j++ {
+				if rng.Float64() < 0.8 {
+					v[j] = 1
+				}
+			}
+			pts = append(pts, v)
+		}
+	}
+	proj, err := RandomProjection(pts, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj) != len(pts) || len(proj[0]) != 32 {
+		t.Fatalf("projection shape %dx%d", len(proj), len(proj[0]))
+	}
+	km := &KMeans{}
+	c, err := km.Cluster(proj, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 10; i++ {
+		if c.Assign[i] != c.Assign[0] {
+			t.Fatal("blob 1 split after projection")
+		}
+	}
+	if c.Assign[10] == c.Assign[0] {
+		t.Fatal("blobs merged after projection")
+	}
+}
+
+func TestRandomProjectionDistancePreservation(t *testing.T) {
+	// JL property: relative pairwise distances survive within a modest
+	// multiplicative band for a handful of points.
+	rng := rand.New(rand.NewSource(7))
+	pts := make([][]float64, 8)
+	for i := range pts {
+		v := make([]float64, 4000)
+		for j := range v {
+			if rng.Float64() < 0.3 {
+				v[j] = 1
+			}
+		}
+		pts[i] = v
+	}
+	proj, err := RandomProjection(pts, 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Euclidean
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			orig := e.Between(pts[i], pts[j])
+			got := e.Between(proj[i], proj[j])
+			if ratio := got / orig; ratio < 0.7 || ratio > 1.3 {
+				t.Errorf("distance ratio %v for pair (%d,%d)", ratio, i, j)
+			}
+		}
+	}
+}
+
+func TestRandomProjectionIdentityWhenDimLarge(t *testing.T) {
+	pts := [][]float64{{1, 2}, {3, 4}}
+	proj, err := RandomProjection(pts, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &proj[0][0] != &pts[0][0] {
+		t.Error("dim >= input should return the points unchanged")
+	}
+}
+
+func TestRandomProjectionValidation(t *testing.T) {
+	if _, err := RandomProjection([][]float64{{1, 2}}, 0, 1); err == nil {
+		t.Error("accepted dim 0")
+	}
+	if _, err := RandomProjection([][]float64{{1, 2}, {1}}, 1, 1); err == nil {
+		t.Error("accepted ragged points")
+	}
+	out, err := RandomProjection(nil, 4, 1)
+	if err != nil || out != nil {
+		t.Error("empty input should pass through")
+	}
+}
+
+func TestRandomProjectionDeterministic(t *testing.T) {
+	pts := [][]float64{make([]float64, 100), make([]float64, 100)}
+	pts[0][3], pts[1][77] = 1, 1
+	a, _ := RandomProjection(pts, 8, 42)
+	b, _ := RandomProjection(pts, 8, 42)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("projection not deterministic for fixed seed")
+			}
+		}
+	}
+	c, _ := RandomProjection(pts, 8, 43)
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if math.Abs(a[i][j]-c[i][j]) > 1e-12 {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical projections")
+	}
+}

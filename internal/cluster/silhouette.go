@@ -1,0 +1,166 @@
+package cluster
+
+import "math"
+
+// Silhouette returns the silhouette value of a clustering (Equations 5–7):
+// for each point, cohesion α is its mean distance to the rest of its own
+// cluster and separation β its mean distance to the nearest other cluster;
+// the point's coefficient is (β-α)/max(α,β). Cluster coefficients average
+// their points' coefficients, and the partition's value averages the
+// cluster coefficients — exactly the paper's CS(P), which weighs every
+// cluster equally regardless of size.
+//
+// Points in singleton clusters have coefficient 0 (the conventional
+// choice: cohesion is undefined there). A clustering with a single
+// cluster scores 0.
+func Silhouette(points [][]float64, assign []int, k int, dist Distance) float64 {
+	coeffs := Silhouettes(points, assign, k, dist)
+	clusters := make([][]int, k)
+	for i, g := range assign {
+		clusters[g] = append(clusters[g], i)
+	}
+	var total float64
+	used := 0
+	for g := 0; g < k; g++ {
+		if len(clusters[g]) == 0 {
+			continue
+		}
+		var sum float64
+		for _, i := range clusters[g] {
+			sum += coeffs[i]
+		}
+		total += sum / float64(len(clusters[g]))
+		used++
+	}
+	if used == 0 {
+		return 0
+	}
+	return total / float64(used)
+}
+
+// Silhouettes returns the per-point silhouette coefficients CS(a).
+func Silhouettes(points [][]float64, assign []int, k int, dist Distance) []float64 {
+	return SilhouettesFromMatrix(DistanceMatrix(points, dist), assign, k)
+}
+
+// DistanceMatrix materialises the pairwise distance matrix of points.
+// Callers sweeping many k values over the same points (TD-AC's Algorithm
+// 1 loop) compute it once and reuse it via SilhouettesFromMatrix.
+func DistanceMatrix(points [][]float64, dist Distance) [][]float64 {
+	n := len(points)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := dist.Between(points[i], points[j])
+			d[i][j], d[j][i] = v, v
+		}
+	}
+	return d
+}
+
+// SilhouetteFromMatrix is Silhouette over a precomputed distance matrix.
+func SilhouetteFromMatrix(d [][]float64, assign []int, k int) float64 {
+	coeffs := SilhouettesFromMatrix(d, assign, k)
+	clusters := make([][]int, k)
+	for i, g := range assign {
+		clusters[g] = append(clusters[g], i)
+	}
+	var total float64
+	used := 0
+	for g := 0; g < k; g++ {
+		if len(clusters[g]) == 0 {
+			continue
+		}
+		var sum float64
+		for _, i := range clusters[g] {
+			sum += coeffs[i]
+		}
+		total += sum / float64(len(clusters[g]))
+		used++
+	}
+	if used == 0 {
+		return 0
+	}
+	return total / float64(used)
+}
+
+// SilhouettesFromMatrix computes per-point coefficients from a
+// precomputed distance matrix.
+func SilhouettesFromMatrix(d [][]float64, assign []int, k int) []float64 {
+	n := len(d)
+	coeffs := make([]float64, n)
+	if k < 2 || n < 2 {
+		return coeffs
+	}
+	clusters := make([][]int, k)
+	for i, g := range assign {
+		clusters[g] = append(clusters[g], i)
+	}
+	for i := 0; i < n; i++ {
+		own := clusters[assign[i]]
+		if len(own) < 2 {
+			coeffs[i] = 0
+			continue
+		}
+		var alpha float64
+		for _, j := range own {
+			if j != i {
+				alpha += d[i][j]
+			}
+		}
+		alpha /= float64(len(own) - 1)
+
+		beta := math.Inf(1)
+		for g := 0; g < k; g++ {
+			if g == assign[i] || len(clusters[g]) == 0 {
+				continue
+			}
+			var sum float64
+			for _, j := range clusters[g] {
+				sum += d[i][j]
+			}
+			if mean := sum / float64(len(clusters[g])); mean < beta {
+				beta = mean
+			}
+		}
+		if math.IsInf(beta, 1) {
+			coeffs[i] = 0
+			continue
+		}
+		den := math.Max(alpha, beta)
+		if den == 0 {
+			coeffs[i] = 0
+			continue
+		}
+		coeffs[i] = (beta - alpha) / den
+	}
+	return coeffs
+}
+
+// ElbowK picks k by the "elbow" of the inertia curve: the k whose inertia
+// drop, relative to the previous k, falls below the given fraction of the
+// first drop. It is the classic alternative to the silhouette and exists
+// here for the k-selection ablation. inertias[i] must correspond to
+// k = kMin+i; the returned k is in [kMin, kMin+len(inertias)-1].
+func ElbowK(inertias []float64, kMin int, threshold float64) int {
+	if len(inertias) == 0 {
+		return kMin
+	}
+	if len(inertias) == 1 {
+		return kMin
+	}
+	firstDrop := inertias[0] - inertias[1]
+	if firstDrop <= 0 {
+		return kMin
+	}
+	for i := 1; i < len(inertias)-1; i++ {
+		drop := inertias[i] - inertias[i+1]
+		if drop < threshold*firstDrop {
+			return kMin + i
+		}
+	}
+	return kMin + len(inertias) - 1
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSilhouetteWellSeparatedNearOne(t *testing.T) {
+	pts := twoBlobs(10, 1)
+	assign := make([]int, len(pts))
+	for i := 10; i < 20; i++ {
+		assign[i] = 1
+	}
+	s := Silhouette(pts, assign, 2, Euclidean{})
+	if s < 0.9 {
+		t.Errorf("well-separated silhouette = %v, want > 0.9", s)
+	}
+}
+
+func TestSilhouetteBadClusteringNegative(t *testing.T) {
+	pts := twoBlobs(10, 2)
+	// Deliberately split each blob across the two clusters.
+	assign := make([]int, len(pts))
+	for i := range assign {
+		assign[i] = i % 2
+	}
+	s := Silhouette(pts, assign, 2, Euclidean{})
+	if s > 0.1 {
+		t.Errorf("mixed-blob silhouette = %v, want near or below 0", s)
+	}
+}
+
+func TestSilhouetteSingleClusterZero(t *testing.T) {
+	pts := twoBlobs(5, 3)
+	assign := make([]int, len(pts))
+	if s := Silhouette(pts, assign, 1, Euclidean{}); s != 0 {
+		t.Errorf("single-cluster silhouette = %v, want 0", s)
+	}
+}
+
+func TestSilhouetteSingletonClustersZeroCoefficient(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {10}}
+	assign := []int{0, 0, 1}
+	coeffs := Silhouettes(pts, assign, 2, Euclidean{})
+	if coeffs[2] != 0 {
+		t.Errorf("singleton coefficient = %v, want 0", coeffs[2])
+	}
+	if coeffs[0] <= 0 || coeffs[1] <= 0 {
+		t.Errorf("well-placed coefficients = %v, want positive", coeffs[:2])
+	}
+}
+
+func TestSilhouetteHandbookExample(t *testing.T) {
+	// Three 1-D points, clusters {0,1} and {2}: for point 0, α = 1,
+	// β = 9 → CS = 8/9. For point 1, α = 1, β = 8 → CS = 7/8.
+	pts := [][]float64{{0}, {1}, {9}}
+	assign := []int{0, 0, 1}
+	coeffs := Silhouettes(pts, assign, 2, Euclidean{})
+	if math.Abs(coeffs[0]-8.0/9) > 1e-9 {
+		t.Errorf("CS(p0) = %v, want 8/9", coeffs[0])
+	}
+	if math.Abs(coeffs[1]-7.0/8) > 1e-9 {
+		t.Errorf("CS(p1) = %v, want 7/8", coeffs[1])
+	}
+	// Partition value averages cluster coefficients (Equation 7):
+	// cluster 1 = (8/9+7/8)/2, cluster 2 = 0 → CS(P) = their mean.
+	want := ((8.0/9+7.0/8)/2 + 0) / 2
+	if got := Silhouette(pts, assign, 2, Euclidean{}); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CS(P) = %v, want %v", got, want)
+	}
+}
+
+func TestSilhouetteMatrixConsistency(t *testing.T) {
+	pts := twoBlobs(8, 4)
+	assign := make([]int, len(pts))
+	for i := 8; i < 16; i++ {
+		assign[i] = 1
+	}
+	direct := Silhouette(pts, assign, 2, Hamming{})
+	viaMatrix := SilhouetteFromMatrix(DistanceMatrix(pts, Hamming{}), assign, 2)
+	if math.Abs(direct-viaMatrix) > 1e-12 {
+		t.Errorf("matrix path %v != direct path %v", viaMatrix, direct)
+	}
+}
+
+func TestSilhouetteCoefficientsInRange(t *testing.T) {
+	pts := twoBlobs(12, 5)
+	assign := make([]int, len(pts))
+	for i := range assign {
+		assign[i] = i % 3
+	}
+	for _, c := range Silhouettes(pts, assign, 3, Euclidean{}) {
+		if c < -1 || c > 1 {
+			t.Errorf("coefficient %v out of [-1,1]", c)
+		}
+	}
+}
+
+func TestElbowK(t *testing.T) {
+	// Inertia drops hugely from k=2→3, then flattens: elbow at 3.
+	inertias := []float64{100, 20, 18, 17, 16}
+	if got := ElbowK(inertias, 2, 0.1); got != 3 {
+		t.Errorf("ElbowK = %d, want 3", got)
+	}
+	if got := ElbowK(nil, 2, 0.1); got != 2 {
+		t.Errorf("ElbowK(empty) = %d, want kMin", got)
+	}
+	if got := ElbowK([]float64{5}, 4, 0.1); got != 4 {
+		t.Errorf("ElbowK(single) = %d, want kMin", got)
+	}
+	// Non-decreasing inertia: fall back to kMin.
+	if got := ElbowK([]float64{5, 6, 7}, 2, 0.1); got != 2 {
+		t.Errorf("ElbowK(non-decreasing) = %d, want 2", got)
+	}
+	// Never flattens below threshold: last k wins.
+	if got := ElbowK([]float64{100, 50, 25, 12}, 2, 0.1); got != 5 {
+		t.Errorf("ElbowK(steep) = %d, want 5", got)
+	}
+}

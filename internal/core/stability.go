@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"tdac/internal/partition"
+	"tdac/internal/truthdata"
+)
+
+// Stability quantifies how much TD-AC's selected partition depends on the
+// k-means seeding — the practical diagnostic behind the paper's claim of
+// finding "an optimal partition or a near-optimal one": a high mean Rand
+// index across reseeded runs means the silhouette landscape has one clear
+// optimum; a low one warns that the clustering signal is weak (as on the
+// sparse Exam data) and the partition should not be over-trusted.
+type Stability struct {
+	// Partitions holds the partition selected under each seed.
+	Partitions []partition.Partition
+	// Silhouettes holds each run's best silhouette value.
+	Silhouettes []float64
+	// MeanRandIndex is the mean pairwise Rand index across the runs.
+	MeanRandIndex float64
+	// Modal is the most frequent partition (ties: first seen).
+	Modal partition.Partition
+	// ModalShare is the fraction of runs selecting Modal.
+	ModalShare float64
+}
+
+// CheckStability runs TD-AC's partition-selection stage under `runs`
+// different k-means seeds (derived from the configured seed) and reports
+// agreement. The reference truth is computed once; only the clustering is
+// reseeded, so the cost is runs × (k-sweep), not runs × (full TD-AC).
+func (t *TDAC) CheckStability(d *truthdata.Dataset, runs int) (*Stability, error) {
+	if t.Base == nil {
+		return nil, errNoBase
+	}
+	if runs < 2 {
+		return nil, fmt.Errorf("core: stability needs at least 2 runs, got %d", runs)
+	}
+	ref := t.Reference
+	if ref == nil {
+		ref = t.Base
+	}
+	refResult, err := ref.Discover(d)
+	if err != nil {
+		return nil, fmt.Errorf("core: reference run (%s): %w", ref.Name(), err)
+	}
+	tv := BuildTruthVectors(d, refResult.Truth, t.Masked)
+
+	st := &Stability{}
+	baseSeed := t.KMeans.Seed
+	if baseSeed == 0 {
+		baseSeed = 1
+	}
+	for i := 0; i < runs; i++ {
+		variant := *t
+		variant.KMeans.Seed = baseSeed + int64(i)*15485863
+		// Force the seed to matter even when a custom Clusterer is set:
+		// stability of a deterministic clusterer is trivially 1.
+		part, sil, _, err := variant.selectPartition(tv, d.NumAttrs())
+		if err != nil {
+			return nil, err
+		}
+		st.Partitions = append(st.Partitions, part)
+		st.Silhouettes = append(st.Silhouettes, sil)
+	}
+
+	// Mean pairwise Rand index.
+	var sum float64
+	pairs := 0
+	for i := 0; i < runs; i++ {
+		for j := i + 1; j < runs; j++ {
+			sum += partition.RandIndex(st.Partitions[i], st.Partitions[j])
+			pairs++
+		}
+	}
+	if pairs > 0 {
+		st.MeanRandIndex = sum / float64(pairs)
+	}
+
+	// Modal partition by canonical string.
+	counts := map[string]int{}
+	first := map[string]partition.Partition{}
+	for _, p := range st.Partitions {
+		key := p.String()
+		counts[key]++
+		if _, ok := first[key]; !ok {
+			first[key] = p
+		}
+	}
+	bestKey, bestCount := "", 0
+	for _, p := range st.Partitions {
+		key := p.String()
+		if counts[key] > bestCount {
+			bestKey, bestCount = key, counts[key]
+		}
+	}
+	st.Modal = first[bestKey]
+	st.ModalShare = float64(bestCount) / float64(runs)
+	return st, nil
+}

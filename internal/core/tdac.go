@@ -1,0 +1,356 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tdac/internal/algorithms"
+	"tdac/internal/cluster"
+	"tdac/internal/partition"
+	"tdac/internal/truthdata"
+)
+
+// TDAC is the paper's Algorithm 1. It wraps a base truth discovery
+// algorithm F: a reference truth from one run of the reference algorithm
+// feeds the attribute truth vectors, k-means plus the silhouette index
+// pick the best attribute partition, and F runs once per group before the
+// partial results are merged.
+//
+// The zero value is not usable: Base is required. All other fields have
+// sensible defaults.
+type TDAC struct {
+	// Base is F, the algorithm run on each group of the chosen partition.
+	Base algorithms.Algorithm
+	// Reference produces the reference truth behind the truth vectors.
+	// Defaults to Base, as in the paper's experiments; MajorityVote is a
+	// cheaper alternative studied in the reference ablation.
+	Reference algorithms.Algorithm
+	// Distance scores clusterings in the silhouette index and assigns
+	// points in k-means. Defaults to Hamming (the paper's Equation 2).
+	Distance cluster.Distance
+	// KMeans configures the clustering; its Distance field is overridden
+	// by the field above. The zero value works.
+	KMeans cluster.KMeans
+	// Clusterer, when non-nil, replaces k-means entirely (e.g. an
+	// agglomerative clusterer); the silhouette-based k selection still
+	// applies.
+	Clusterer cluster.Clusterer
+	// MinK and MaxK bound the explored cluster counts. Defaults follow
+	// Algorithm 1: [2, |A|-1]. MaxK may exceed |A|-1; it is clipped.
+	MinK, MaxK int
+	// Masked switches the truth vectors and default distance to the
+	// sparse-aware encoding (future-work item (i)).
+	Masked bool
+	// Parallel runs F on the partition's groups concurrently
+	// (future-work item (ii)).
+	Parallel bool
+	// ProjectDim, when positive, reduces the truth vectors to this many
+	// dimensions with a Johnson–Lindenstrauss random projection before
+	// clustering — the running-time optimisation of future-work item
+	// (ii) for large |O|·|S|. Projection implies Euclidean geometry, so
+	// it overrides the default Hamming distance and is incompatible with
+	// Masked.
+	ProjectDim int
+}
+
+// New returns a TD-AC wrapping base with paper defaults.
+func New(base algorithms.Algorithm) *TDAC { return &TDAC{Base: base} }
+
+// Name implements algorithms.Algorithm; it matches the paper's
+// "TD-AC (F=Accu)" notation.
+func (t *TDAC) Name() string {
+	if t.Base == nil {
+		return "TD-AC"
+	}
+	return fmt.Sprintf("TD-AC (F=%s)", t.Base.Name())
+}
+
+// KScore records the quality of one explored cluster count.
+type KScore struct {
+	K          int
+	Silhouette float64
+	Inertia    float64
+}
+
+// Outcome extends the base Result with everything TD-AC decided along the
+// way, for Table 5-style reporting and debugging.
+type Outcome struct {
+	*algorithms.Result
+	// Partition is the attribute partition TD-AC selected.
+	Partition partition.Partition
+	// Silhouette is the silhouette value of the selected partition.
+	Silhouette float64
+	// Explored lists the score of every k tried, ascending k.
+	Explored []KScore
+	// ReferenceResult is the full result of the reference run, whose
+	// truth seeded the attribute truth vectors.
+	ReferenceResult *algorithms.Result
+	// Sparsity is the missing-coordinate rate of the truth vectors
+	// (only non-zero with Masked).
+	Sparsity float64
+}
+
+var errNoBase = errors.New("core: TDAC requires a Base algorithm")
+
+// Discover implements algorithms.Algorithm.
+func (t *TDAC) Discover(d *truthdata.Dataset) (*algorithms.Result, error) {
+	out, err := t.Run(d)
+	if err != nil {
+		return nil, err
+	}
+	return out.Result, nil
+}
+
+// Run executes Algorithm 1 and returns the full outcome.
+func (t *TDAC) Run(d *truthdata.Dataset) (*Outcome, error) {
+	start := time.Now()
+	if t.Base == nil {
+		return nil, errNoBase
+	}
+	if len(d.Claims) == 0 {
+		return nil, algorithms.ErrEmptyDataset
+	}
+
+	ref := t.Reference
+	if ref == nil {
+		ref = t.Base
+	}
+	refResult, err := ref.Discover(d)
+	if err != nil {
+		return nil, fmt.Errorf("core: reference run (%s): %w", ref.Name(), err)
+	}
+
+	tv := BuildTruthVectors(d, refResult.Truth, t.Masked)
+	part, sil, explored, err := t.selectPartition(tv, d.NumAttrs())
+	if err != nil {
+		return nil, err
+	}
+
+	res, err := t.discoverOnPartition(d, part)
+	if err != nil {
+		return nil, err
+	}
+	res.Algorithm = t.Name()
+	// The paper reports TD-AC as a single-iteration procedure: the outer
+	// loop of Algorithm 1 never revisits the data.
+	res.Iterations = 1
+	res.Runtime = time.Since(start)
+
+	return &Outcome{
+		Result:          res,
+		Partition:       part,
+		Silhouette:      sil,
+		Explored:        explored,
+		ReferenceResult: refResult,
+		Sparsity:        tv.Sparsity(),
+	}, nil
+}
+
+// FindPartition runs only the partition-selection half of TD-AC (reference
+// run, truth vectors, k search) and returns the chosen partition with its
+// silhouette value.
+func (t *TDAC) FindPartition(d *truthdata.Dataset) (partition.Partition, float64, error) {
+	if t.Base == nil {
+		return nil, 0, errNoBase
+	}
+	ref := t.Reference
+	if ref == nil {
+		ref = t.Base
+	}
+	refResult, err := ref.Discover(d)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: reference run (%s): %w", ref.Name(), err)
+	}
+	tv := BuildTruthVectors(d, refResult.Truth, t.Masked)
+	part, sil, _, err := t.selectPartition(tv, d.NumAttrs())
+	return part, sil, err
+}
+
+// selectPartition explores k in [MinK, MaxK] as in Algorithm 1 lines 4–18
+// and returns the partition with the highest silhouette value. When the
+// range is empty (fewer than 3 attributes) the whole attribute set stays
+// one group, making TD-AC degrade to a plain run of F.
+func (t *TDAC) selectPartition(tv *TruthVectors, nAttrs int) (partition.Partition, float64, []KScore, error) {
+	minK := t.MinK
+	if minK < 2 {
+		minK = 2
+	}
+	maxK := t.MaxK
+	if maxK == 0 || maxK > nAttrs-1 {
+		maxK = nAttrs - 1
+	}
+	if minK > maxK {
+		return partition.Whole(nAttrs), 0, nil, nil
+	}
+
+	if t.ProjectDim > 0 {
+		if t.Masked {
+			return nil, 0, nil, fmt.Errorf("core: ProjectDim is incompatible with Masked (the mask markers do not survive projection)")
+		}
+		seed := t.KMeans.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		projected, err := cluster.RandomProjection(tv.Vectors, t.ProjectDim, seed)
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("core: projecting truth vectors: %w", err)
+		}
+		tv = &TruthVectors{Vectors: projected, Dim: len(projected[0])}
+	}
+
+	dist := t.Distance
+	if dist == nil {
+		switch {
+		case t.Masked:
+			dist = cluster.MaskedHamming{Mask: Missing}
+		case t.ProjectDim > 0:
+			dist = cluster.Euclidean{}
+		default:
+			dist = cluster.Hamming{}
+		}
+	}
+	var clusterer cluster.Clusterer = t.Clusterer
+	if clusterer == nil {
+		km := t.KMeans
+		km.Distance = dist
+		clusterer = &km
+	}
+
+	// The silhouette of every explored k reuses one pairwise distance
+	// matrix over the attribute truth vectors.
+	distMatrix := cluster.DistanceMatrix(tv.Vectors, dist)
+
+	var (
+		best     partition.Partition
+		bestSil  float64
+		haveBest bool
+		explored []KScore
+	)
+	for k := minK; k <= maxK; k++ {
+		c, err := clusterer.Cluster(tv.Vectors, k)
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("core: clustering with k=%d: %w", k, err)
+		}
+		sil := cluster.SilhouetteFromMatrix(distMatrix, c.Assign, k)
+		explored = append(explored, KScore{K: k, Silhouette: sil, Inertia: c.Inertia})
+		if !haveBest || sil > bestSil {
+			haveBest = true
+			bestSil = sil
+			best = partition.FromAssign(c.Assign, k)
+		}
+	}
+	return best, bestSil, explored, nil
+}
+
+// discoverOnPartition runs F on every group's projection of the data and
+// merges the partial truths, trusts and confidences back into one result
+// keyed by the original attribute ids (Algorithm 1 lines 20–24).
+func (t *TDAC) discoverOnPartition(d *truthdata.Dataset, part partition.Partition) (*algorithms.Result, error) {
+	type partial struct {
+		res     *algorithms.Result
+		backMap []truthdata.AttrID
+		claims  int
+		err     error
+	}
+	partials := make([]partial, len(part))
+
+	runGroup := func(gi int, group []truthdata.AttrID) {
+		sub, backMap := d.Project(group)
+		if len(sub.Claims) == 0 {
+			partials[gi] = partial{backMap: backMap}
+			return
+		}
+		res, err := t.Base.Discover(sub)
+		partials[gi] = partial{res: res, backMap: backMap, claims: len(sub.Claims), err: err}
+	}
+
+	if t.Parallel {
+		var wg sync.WaitGroup
+		for gi, group := range part {
+			wg.Add(1)
+			go func(gi int, group []truthdata.AttrID) {
+				defer wg.Done()
+				runGroup(gi, group)
+			}(gi, group)
+		}
+		wg.Wait()
+	} else {
+		for gi, group := range part {
+			runGroup(gi, group)
+		}
+	}
+
+	merged := &algorithms.Result{
+		Truth:      make(map[truthdata.Cell]string),
+		Confidence: make(map[truthdata.Cell]float64),
+		Trust:      make([]float64, d.NumSources()),
+		Converged:  true,
+	}
+	weights := make([]float64, d.NumSources())
+	totalClaims := 0
+	for gi := range partials {
+		p := &partials[gi]
+		if p.err != nil {
+			return nil, fmt.Errorf("core: base run on group %d: %w", gi, p.err)
+		}
+		if p.res == nil {
+			continue
+		}
+		for cell, v := range p.res.Truth {
+			orig := truthdata.Cell{Object: cell.Object, Attr: p.backMap[cell.Attr]}
+			merged.Truth[orig] = v
+			if c, ok := p.res.Confidence[cell]; ok {
+				merged.Confidence[orig] = c
+			}
+		}
+		// Per-source trust merges as a claim-weighted mean across groups.
+		w := float64(p.claims)
+		for s, tr := range p.res.Trust {
+			merged.Trust[s] += tr * w
+			weights[s] += w
+		}
+		totalClaims += p.claims
+		if p.res.Iterations > merged.Iterations {
+			merged.Iterations = p.res.Iterations
+		}
+		merged.Converged = merged.Converged && p.res.Converged
+	}
+	for s := range merged.Trust {
+		if weights[s] > 0 {
+			merged.Trust[s] /= weights[s]
+		}
+	}
+	if totalClaims == 0 {
+		return nil, algorithms.ErrEmptyDataset
+	}
+	return merged, nil
+}
+
+// RunOnPartition runs the base algorithm on a caller-supplied attribute
+// partition and merges the results, skipping TD-AC's partition search
+// entirely. It is the building block for domain-aware upper bounds: when
+// the true attribute grouping is known (a planted partition, documented
+// domains), this is the best any partitioning strategy can do with F.
+func RunOnPartition(base algorithms.Algorithm, d *truthdata.Dataset, part partition.Partition) (*algorithms.Result, error) {
+	if base == nil {
+		return nil, errNoBase
+	}
+	if len(d.Claims) == 0 {
+		return nil, algorithms.ErrEmptyDataset
+	}
+	if part.Size() != d.NumAttrs() {
+		return nil, fmt.Errorf("core: partition covers %d attrs, dataset has %d", part.Size(), d.NumAttrs())
+	}
+	t := &TDAC{Base: base}
+	start := time.Now()
+	res, err := t.discoverOnPartition(d, part.Canonical())
+	if err != nil {
+		return nil, err
+	}
+	res.Algorithm = fmt.Sprintf("%s on %s", base.Name(), part)
+	res.Iterations = 1
+	res.Runtime = time.Since(start)
+	return res, nil
+}

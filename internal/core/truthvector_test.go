@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"tdac/internal/truthdata"
+)
+
+func vectorDataset(t *testing.T) *truthdata.Dataset {
+	t.Helper()
+	b := truthdata.NewBuilder("tv")
+	// 2 objects, 2 attrs, 2 sources; source s1 agrees with the reference
+	// everywhere it claims, s2 never does; one claim is missing.
+	b.Claim("s1", "o1", "a1", "t")
+	b.Claim("s2", "o1", "a1", "w")
+	b.Claim("s1", "o1", "a2", "t")
+	b.Claim("s2", "o1", "a2", "w")
+	b.Claim("s1", "o2", "a1", "t")
+	// (o2, a1, s2) and all of (o2, a2) missing.
+	return b.MustBuild()
+}
+
+func refTruth() map[truthdata.Cell]string {
+	return map[truthdata.Cell]string{
+		{Object: 0, Attr: 0}: "t",
+		{Object: 0, Attr: 1}: "t",
+		{Object: 1, Attr: 0}: "t",
+	}
+}
+
+func TestBuildTruthVectorsEquation1(t *testing.T) {
+	d := vectorDataset(t)
+	tv := BuildTruthVectors(d, refTruth(), false)
+	if tv.Dim != d.NumObjects()*d.NumSources() {
+		t.Fatalf("Dim = %d, want %d", tv.Dim, d.NumObjects()*d.NumSources())
+	}
+	if len(tv.Vectors) != d.NumAttrs() {
+		t.Fatalf("%d vectors, want %d", len(tv.Vectors), d.NumAttrs())
+	}
+	// Columns: (o1,s1), (o1,s2), (o2,s1), (o2,s2).
+	a1 := tv.Vectors[0]
+	want1 := []float64{1, 0, 1, 0} // s1 right, s2 wrong; (o2,s2) missing -> 0
+	for i := range want1 {
+		if a1[i] != want1[i] {
+			t.Errorf("a1[%d] = %v, want %v", i, a1[i], want1[i])
+		}
+	}
+	a2 := tv.Vectors[1]
+	want2 := []float64{1, 0, 0, 0}
+	for i := range want2 {
+		if a2[i] != want2[i] {
+			t.Errorf("a2[%d] = %v, want %v", i, a2[i], want2[i])
+		}
+	}
+	if tv.Masked {
+		t.Error("Masked should be false")
+	}
+	if tv.Sparsity() != 0 {
+		t.Error("unmasked sparsity must be 0")
+	}
+}
+
+func TestBuildTruthVectorsMasked(t *testing.T) {
+	d := vectorDataset(t)
+	tv := BuildTruthVectors(d, refTruth(), true)
+	a1 := tv.Vectors[0]
+	if a1[3] != Missing {
+		t.Errorf("missing (o2,s2) = %v, want Missing", a1[3])
+	}
+	if a1[0] != 1 || a1[1] != 0 {
+		t.Errorf("claimed coordinates wrong: %v", a1[:2])
+	}
+	a2 := tv.Vectors[1]
+	if a2[2] != Missing || a2[3] != Missing {
+		t.Errorf("missing o2 coordinates = %v, want Missing", a2[2:])
+	}
+	// Sparsity: 3 missing coordinates of 8.
+	if got, want := tv.Sparsity(), 3.0/8; got != want {
+		t.Errorf("Sparsity = %v, want %v", got, want)
+	}
+}
+
+func TestBuildTruthVectorsClaimNotInReference(t *testing.T) {
+	d := vectorDataset(t)
+	// Reference missing a cell entirely: claims there count as wrong.
+	ref := refTruth()
+	delete(ref, truthdata.Cell{Object: 1, Attr: 0})
+	tv := BuildTruthVectors(d, ref, false)
+	if tv.Vectors[0][2] != 0 {
+		t.Errorf("claim without reference = %v, want 0", tv.Vectors[0][2])
+	}
+}
+
+func TestIdenticallyReliableAttrsGetIdenticalVectors(t *testing.T) {
+	d := vectorDataset(t)
+	// a1 and a2 restricted to object o1 have identical agreement
+	// patterns; with o2 claims removed their full vectors match.
+	d.Claims = d.Claims[:4]
+	tv := BuildTruthVectors(d, refTruth(), false)
+	for i := range tv.Vectors[0] {
+		if tv.Vectors[0][i] != tv.Vectors[1][i] {
+			t.Fatalf("vectors differ at %d: %v vs %v", i, tv.Vectors[0], tv.Vectors[1])
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package exam
+
+import (
+	"strings"
+	"testing"
+
+	"tdac/internal/truthdata"
+)
+
+func TestDomainsSumTo124(t *testing.T) {
+	total := 0
+	mandatory, choice, optional := 0, 0, 0
+	for _, d := range Domains() {
+		total += d.Questions
+		switch d.Kind {
+		case Mandatory:
+			mandatory++
+		case ChoiceA, ChoiceB:
+			choice++
+		case Optional:
+			optional++
+		}
+	}
+	if total != 124 {
+		t.Errorf("questions sum to %d, want 124", total)
+	}
+	if len(Domains()) != 9 {
+		t.Errorf("%d domains, want 9", len(Domains()))
+	}
+	if mandatory != 2 || choice != 2 || optional != 5 {
+		t.Errorf("domain kinds = %d/%d/%d, want 2/2/5", mandatory, choice, optional)
+	}
+}
+
+func TestVariantsArePrefixes(t *testing.T) {
+	// 32 = Math 1A + Physics; 62 adds the two choice domains.
+	ds := Domains()
+	if ds[0].Questions+ds[1].Questions != 32 {
+		t.Errorf("mandatory questions = %d, want 32", ds[0].Questions+ds[1].Questions)
+	}
+	if ds[0].Questions+ds[1].Questions+ds[2].Questions+ds[3].Questions != 62 {
+		t.Error("mandatory + choice != 62")
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	for _, attrs := range []int{32, 62, 124} {
+		d, err := Generate(Config{Attrs: attrs, Seed: 1})
+		if err != nil {
+			t.Fatalf("attrs=%d: %v", attrs, err)
+		}
+		if d.NumAttrs() != attrs {
+			t.Errorf("NumAttrs = %d, want %d", d.NumAttrs(), attrs)
+		}
+		if d.NumSources() != 248 {
+			t.Errorf("NumSources = %d, want 248", d.NumSources())
+		}
+		if d.NumObjects() != 1 {
+			t.Errorf("NumObjects = %d, want 1", d.NumObjects())
+		}
+		if len(d.Truth) != attrs {
+			t.Errorf("truth entries = %d, want %d (complete ground truth)", len(d.Truth), attrs)
+		}
+	}
+}
+
+func TestGenerateDCRMatchesTable8(t *testing.T) {
+	// Table 8: Exam 32 -> 81%, Exam 62 -> 55%, Exam 124 -> 36%.
+	want := map[int]float64{32: 81, 62: 55, 124: 36}
+	for attrs, dcr := range want {
+		d, err := Generate(Config{Attrs: attrs, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := truthdata.ComputeStats(d)
+		if st.DCR < dcr-6 || st.DCR > dcr+6 {
+			t.Errorf("Exam %d DCR = %.1f, want %.0f±6", attrs, st.DCR, dcr)
+		}
+	}
+}
+
+func TestGenerateFillGivesFullCoverage(t *testing.T) {
+	d, err := Generate(Config{Attrs: 62, Range: 25, Fill: true, Students: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.NumClaims(), 60*62; got != want {
+		t.Errorf("filled claims = %d, want %d (every student answers everything)", got, want)
+	}
+	st := truthdata.ComputeStats(d)
+	if st.DCR != 100 {
+		t.Errorf("filled DCR = %v, want 100", st.DCR)
+	}
+}
+
+func TestGenerateFillSharesUnderlyingExam(t *testing.T) {
+	// The four range configurations must share the same real answers:
+	// claims whose value is not fill noise ("x...") must coincide.
+	d25, err := Generate(Config{Attrs: 62, Range: 25, Fill: true, Students: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1000, err := Generate(Config{Attrs: 62, Range: 1000, Fill: true, Students: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	real25 := realClaims(d25)
+	real1000 := realClaims(d1000)
+	if len(real25) == 0 || len(real25) != len(real1000) {
+		t.Fatalf("real claim counts differ: %d vs %d", len(real25), len(real1000))
+	}
+	for k, v := range real25 {
+		if real1000[k] != v {
+			t.Fatalf("real answer differs across ranges at %v", k)
+		}
+	}
+	// Ground truth identical too.
+	for cell, v := range d25.Truth {
+		if d1000.Truth[cell] != v {
+			t.Fatal("truth differs across ranges")
+		}
+	}
+}
+
+type claimKey struct {
+	s truthdata.SourceID
+	o truthdata.ObjectID
+	a truthdata.AttrID
+}
+
+func realClaims(d *truthdata.Dataset) map[claimKey]string {
+	out := map[claimKey]string{}
+	for _, c := range d.Claims {
+		if !strings.HasPrefix(c.Value, "x") {
+			out[claimKey{c.Source, c.Object, c.Attr}] = c.Value
+		}
+	}
+	return out
+}
+
+func TestGenerateFillNoiseRespectsRange(t *testing.T) {
+	d, err := Generate(Config{Attrs: 32, Range: 25, Fill: true, Students: 40, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[string]bool{}
+	for _, c := range d.Claims {
+		if strings.HasPrefix(c.Value, "x") {
+			distinct[c.Value] = true
+		}
+	}
+	if len(distinct) == 0 || len(distinct) > 25 {
+		t.Errorf("fill noise uses %d distinct values, want 1..25", len(distinct))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Attrs: 62, Seed: 7, Students: 50}
+	d1, _ := Generate(cfg)
+	d2, _ := Generate(cfg)
+	if d1.NumClaims() != d2.NumClaims() {
+		t.Fatal("claim counts differ")
+	}
+	for i := range d1.Claims {
+		if d1.Claims[i] != d2.Claims[i] {
+			t.Fatal("claims differ for identical configs")
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfigs(t *testing.T) {
+	if _, err := Generate(Config{Attrs: 50}); err == nil {
+		t.Error("accepted unsupported variant")
+	}
+	if _, err := Generate(Config{Attrs: 32, Range: 2}); err == nil {
+		t.Error("accepted a degenerate range")
+	}
+}
+
+func TestConfigName(t *testing.T) {
+	if got := (Config{Attrs: 62}).Name(); got != "Exam 62" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := (Config{Attrs: 62, Range: 25, Fill: true}).Name(); !strings.Contains(got, "25") {
+		t.Errorf("semi-synthetic Name = %q, should mention the range", got)
+	}
+	if got := (Config{}).Name(); !strings.Contains(got, "124") {
+		t.Errorf("default Name = %q, want Exam 124", got)
+	}
+}
+
+func TestMandatoryHarderThanOptional(t *testing.T) {
+	// Self-selection: answered optional questions should be correct more
+	// often than answered mandatory ones.
+	d, err := Generate(Config{Attrs: 124, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := Domains()
+	// Attribute index ranges per domain kind.
+	kindOf := make([]DomainKind, 0, 124)
+	for _, dom := range domains {
+		for q := 0; q < dom.Questions; q++ {
+			kindOf = append(kindOf, dom.Kind)
+		}
+	}
+	var mandOK, mandN, optOK, optN int
+	for _, c := range d.Claims {
+		truth := d.Truth[c.Cell()]
+		right := c.Value == truth
+		switch kindOf[c.Attr] {
+		case Mandatory:
+			mandN++
+			if right {
+				mandOK++
+			}
+		case Optional:
+			optN++
+			if right {
+				optOK++
+			}
+		}
+	}
+	if mandN == 0 || optN == 0 {
+		t.Fatal("missing claims for some domain kind")
+	}
+	mandAcc := float64(mandOK) / float64(mandN)
+	optAcc := float64(optOK) / float64(optN)
+	if optAcc <= mandAcc {
+		t.Errorf("optional accuracy %v not above mandatory %v", optAcc, mandAcc)
+	}
+}

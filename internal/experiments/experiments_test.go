@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{
+		"table3", "table4a", "table4b", "table4c", "table5", "fig1",
+		"table6", "table7", "fig2", "fig3", "table8", "table9", "fig4", "fig5",
+		"ext-algorithms", "ext-coverage", "ext-scale", "ext-variance",
+	}
+	got := map[string]bool{}
+	for _, e := range All() {
+		got[e.ID] = true
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(got), len(want))
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("table5")
+	if err != nil || e.ID != "table5" {
+		t.Errorf("ByID(table5) = %v, %v", e.ID, err)
+	}
+	// Sub-table ids resolve to their family.
+	e, err = ByID("table6b")
+	if err != nil || e.ID != "table6" {
+		t.Errorf("ByID(table6b) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("table99"); err == nil {
+		t.Error("ByID accepted an unknown id")
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Errorf("IDs not sorted: %v", ids)
+		}
+	}
+}
+
+func TestRunnerDatasets(t *testing.T) {
+	r := NewRunner(Options{})
+	for _, id := range []string{"DS1", "DS2", "DS3", "stocks", "flights", "exam32", "exam62-r25"} {
+		d, err := r.Dataset(id)
+		if err != nil {
+			t.Fatalf("Dataset(%s): %v", id, err)
+		}
+		if d.NumClaims() == 0 {
+			t.Errorf("Dataset(%s) empty", id)
+		}
+	}
+	if _, err := r.Dataset("nope"); err == nil {
+		t.Error("Dataset accepted an unknown id")
+	}
+}
+
+func TestRunnerDatasetCaching(t *testing.T) {
+	r := NewRunner(Options{})
+	d1, err := r.Dataset("DS1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := r.Dataset("DS1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("Dataset not cached: distinct pointers returned")
+	}
+}
+
+func TestRunnerPlanted(t *testing.T) {
+	r := NewRunner(Options{})
+	p, err := r.Planted("DS1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 6 {
+		t.Errorf("planted size = %d, want 6", p.Size())
+	}
+	// Exam datasets have no planted partition.
+	p, err = r.Planted("exam32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != nil {
+		t.Error("exam planted should be nil")
+	}
+}
+
+func TestRunnerMeasureCaching(t *testing.T) {
+	r := NewRunner(Options{})
+	m1, err := r.Measure("DS1", Std("MajorityVote"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := r.Measure("DS1", Std("MajorityVote"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("Measure not cached")
+	}
+	if m1.Report.Accuracy <= 0 {
+		t.Error("measurement has no accuracy")
+	}
+	row := m1.Row()
+	if len(row) != len(measureHeader) {
+		t.Errorf("Row has %d cells, header %d", len(row), len(measureHeader))
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:     "t",
+		Title:  "demo",
+		Header: []string{"A", "Blong"},
+		Rows:   [][]string{{"xxxxxxxx", "y"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== t: demo ==", "xxxxxxxx", "Blong", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestAllExperimentsSmoke runs the complete suite at smoke scale and
+// checks each produces at least one well-formed table. This is the
+// integration test of the whole repository: generators → algorithms →
+// TD-AC → metrics → tables.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	r := NewRunner(Options{})
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(r)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("table %s has no rows", tab.ID)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Header) {
+						t.Errorf("table %s row width %d != header %d", tab.ID, len(row), len(tab.Header))
+					}
+				}
+				var buf bytes.Buffer
+				if err := tab.Render(&buf); err != nil {
+					t.Errorf("render %s: %v", tab.ID, err)
+				}
+			}
+		})
+	}
+}
+
+// TestHeadlineShapesHold asserts the paper's three headline findings on
+// the smoke-scale workloads: (1) TD-AC beats the standard algorithms on
+// structurally correlated synthetic data; (2) TD-AC is dramatically
+// faster than the brute-force AccuGenPartition; (3) TD-AC's partition
+// matches the Oracle-quality partitions on DS2/DS3.
+func TestHeadlineShapesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline shapes need real runs")
+	}
+	r := NewRunner(Options{})
+	for _, ds := range []string{"DS2", "DS3"} {
+		tdac, err := r.Measure(ds, TDACSpec("Accu"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		accu, err := r.Measure(ds, Std("Accu"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mv, err := r.Measure(ds, Std("MajorityVote"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tdac.Report.Accuracy < accu.Report.Accuracy {
+			t.Errorf("%s: TD-AC %.3f below Accu %.3f", ds, tdac.Report.Accuracy, accu.Report.Accuracy)
+		}
+		if tdac.Report.Accuracy < mv.Report.Accuracy {
+			t.Errorf("%s: TD-AC %.3f below MajorityVote %.3f", ds, tdac.Report.Accuracy, mv.Report.Accuracy)
+		}
+		gen, err := r.Measure(ds, GenPartitionSpec("Accu", 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen.Runtime < tdac.Runtime*2 {
+			t.Errorf("%s: AccuGenPartition %.3fs not clearly slower than TD-AC %.3fs",
+				ds, gen.Runtime.Seconds(), tdac.Runtime.Seconds())
+		}
+		planted, err := r.Planted(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tdac.Partition.Equal(planted) {
+			t.Errorf("%s: TD-AC partition %s != planted %s", ds, tdac.Partition, planted)
+		}
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Header: []string{"A", "B"}, Rows: [][]string{{"1", "2"}}}
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# x: demo", "A,B", "1,2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExtensionExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension experiments in -short mode")
+	}
+	r := NewRunner(Options{})
+	for _, id := range []string{"ext-algorithms", "ext-coverage", "ext-scale", "ext-variance"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables, err := e.Run(r)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) != 1 || len(tables[0].Rows) == 0 {
+			t.Errorf("%s produced unexpected shape", id)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tdac/internal/truthdata"
+)
+
+// realSets lists the §4.4 datasets in Table 8 order, with the exam
+// variants at their default range (100).
+var realSets = []struct {
+	label string
+	id    string
+}{
+	{"Stocks", "stocks"},
+	{"Exam 32", "exam32"},
+	{"Exam 62", "exam62"},
+	{"Exam 124", "exam124"},
+	{"Flights", "flights"},
+}
+
+// table8 reproduces Table 8: statistics about the real datasets.
+func table8(r *Runner) ([]*Table, error) {
+	t := &Table{
+		ID:     "table8",
+		Title:  "Statistics about the different real datasets",
+		Header: []string{""},
+	}
+	rows := [][]string{
+		{"Number of sources"},
+		{"Number of objects"},
+		{"Number of attributes"},
+		{"Number of observations"},
+		{"Data Coverage Rate (%)"},
+	}
+	for _, set := range realSets {
+		d, err := r.Dataset(set.id)
+		if err != nil {
+			return nil, err
+		}
+		st := truthdata.ComputeStats(d)
+		t.Header = append(t.Header, set.label)
+		rows[0] = append(rows[0], fmt.Sprintf("%d", st.Sources))
+		rows[1] = append(rows[1], fmt.Sprintf("%d", st.Objects))
+		rows[2] = append(rows[2], fmt.Sprintf("%d", st.Attrs))
+		rows[3] = append(rows[3], fmt.Sprintf("%d", st.Observations))
+		rows[4] = append(rows[4], fmt.Sprintf("%.0f", st.DCR))
+	}
+	t.Rows = rows
+	return []*Table{t}, nil
+}
+
+// table9 reproduces Table 9: Accu, TD-AC+Accu, TruthFinder and
+// TD-AC+TruthFinder on every real dataset, one sub-table each, in the
+// paper's order (Exam 32/62/124, Stocks, Flights).
+func table9(r *Runner) ([]*Table, error) {
+	order := []struct {
+		sub   string
+		label string
+		id    string
+	}{
+		{"a", "Exam 32", "exam32"},
+		{"b", "Exam 62", "exam62"},
+		{"c", "Exam 124", "exam124"},
+		{"d", "Stocks", "stocks"},
+		{"e", "Flights", "flights"},
+	}
+	var out []*Table
+	for _, set := range order {
+		t := &Table{
+			ID:     "table9" + set.sub,
+			Title:  fmt.Sprintf("Performance on %s", set.label),
+			Header: measureHeader,
+		}
+		for _, spec := range pairSpecs() {
+			m, err := r.Measure(set.id, spec)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(m.Row()...)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// dcrFig builds Figures 4/5: accuracy of the base algorithms with and
+// without TD-AC on the real datasets, split by data coverage rate.
+func dcrFig(r *Runner, figID string, highDCR bool) ([]*Table, error) {
+	var title, bound string
+	if highDCR {
+		title, bound = "DCR >= 66", "Exam 32, Stocks, Flights"
+	} else {
+		title, bound = "DCR <= 55", "Exam 62, Exam 124"
+	}
+	t := &Table{
+		ID:     figID,
+		Title:  fmt.Sprintf("Impact of TD-AC on real datasets with %s (%s)", title, bound),
+		Header: []string{"Dataset", "Accu", "TD-AC (F=Accu)", "TruthFinder", "TD-AC (F=TruthFinder)"},
+	}
+	var sets []struct{ label, id string }
+	if highDCR {
+		sets = []struct{ label, id string }{
+			{"Exam 32", "exam32"}, {"Stocks", "stocks"}, {"Flights", "flights"},
+		}
+	} else {
+		sets = []struct{ label, id string }{
+			{"Exam 62", "exam62"}, {"Exam 124", "exam124"},
+		}
+	}
+	for _, set := range sets {
+		row := []string{set.label}
+		for _, spec := range pairSpecs() {
+			m, err := r.Measure(set.id, spec)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(m.Report.Accuracy))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}, nil
+}
+
+func fig4(r *Runner) ([]*Table, error) { return dcrFig(r, "fig4", true) }
+func fig5(r *Runner) ([]*Table, error) { return dcrFig(r, "fig5", false) }

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment regenerates one (or a family of) paper artifacts.
+type Experiment struct {
+	// ID matches the paper artifact ("table4a", "fig1", …).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run produces the tables on the given runner.
+	Run func(*Runner) ([]*Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table3", Title: "Synthetic generator configurations", Run: table3},
+		{ID: "table4a", Title: "All algorithms on DS1", Run: func(r *Runner) ([]*Table, error) { return table4(r, "a", "DS1") }},
+		{ID: "table4b", Title: "All algorithms on DS2", Run: func(r *Runner) ([]*Table, error) { return table4(r, "b", "DS2") }},
+		{ID: "table4c", Title: "All algorithms on DS3", Run: func(r *Runner) ([]*Table, error) { return table4(r, "c", "DS3") }},
+		{ID: "table5", Title: "Partitions chosen on DS1–DS3", Run: table5},
+		{ID: "fig1", Title: "Accuracy comparison on DS1–DS3", Run: fig1},
+		{ID: "table6", Title: "Semi-synthetic, 62 attributes", Run: table6},
+		{ID: "table7", Title: "Semi-synthetic, 124 attributes", Run: table7},
+		{ID: "fig2", Title: "TD-AC impact, 62 attributes", Run: fig2},
+		{ID: "fig3", Title: "TD-AC impact, 124 attributes", Run: fig3},
+		{ID: "table8", Title: "Real dataset statistics", Run: table8},
+		{ID: "table9", Title: "Real dataset performance", Run: table9},
+		{ID: "fig4", Title: "TD-AC impact, DCR >= 66", Run: fig4},
+		{ID: "fig5", Title: "TD-AC impact, DCR <= 55", Run: fig5},
+		// Extensions beyond the paper's published artifacts,
+		// implementing its §6 research perspectives.
+		{ID: "ext-algorithms", Title: "Extension: larger algorithm set on DS2", Run: extAlgorithms},
+		{ID: "ext-coverage", Title: "Extension: accuracy vs data coverage sweep", Run: extCoverage},
+		{ID: "ext-scale", Title: "Extension: runtime scaling, sequential vs parallel", Run: extScale},
+		{ID: "ext-variance", Title: "Extension: seed variance of the headline result", Run: extVariance},
+	}
+}
+
+// ByID resolves one experiment; "table6a" style sub-ids resolve to their
+// family ("table6").
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	// Accept sub-table ids ("table6a"…"table6d") by family prefix plus a
+	// single letter suffix.
+	for _, e := range All() {
+		if len(id) == len(e.ID)+1 && id[:len(e.ID)] == e.ID {
+			if s := id[len(id)-1]; s >= 'a' && s <= 'e' {
+				return e, nil
+			}
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+}
+
+// IDs lists every experiment id, sorted.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"tdac/internal/algorithms"
+	"tdac/internal/core"
+	"tdac/internal/exam"
+	"tdac/internal/genpartition"
+	"tdac/internal/metrics"
+	"tdac/internal/partition"
+	"tdac/internal/realdata"
+	"tdac/internal/synth"
+	"tdac/internal/truthdata"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// Full runs the paper-scale workloads (1000 objects, 248 students,
+	// the complete k range). The default is a scaled-down smoke scale
+	// that preserves every structural property but finishes in seconds.
+	Full bool
+	// Seed offsets every generator seed, for robustness sweeps.
+	Seed int64
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+// Measurement is one (dataset, algorithm) evaluation.
+type Measurement struct {
+	Dataset    string
+	Algorithm  string
+	Report     metrics.Report
+	Runtime    time.Duration
+	Iterations int
+	// Partition and Silhouette are set by partitioning algorithms.
+	Partition  partition.Partition
+	Silhouette float64
+}
+
+// Row renders the measurement in the paper's column layout:
+// Algorithm, Precision, Recall, Accuracy, F1-measure, Time(s), #Iteration.
+func (m *Measurement) Row() []string {
+	return []string{
+		m.Algorithm,
+		f3(m.Report.Precision),
+		f3(m.Report.Recall),
+		f3(m.Report.Accuracy),
+		f3(m.Report.F1),
+		fmt.Sprintf("%.3f", m.Runtime.Seconds()),
+		fmt.Sprintf("%d", m.Iterations),
+	}
+}
+
+// measureHeader is the shared table header of Tables 4, 6, 7 and 9.
+var measureHeader = []string{"Algorithm", "Precision", "Recall", "Accuracy", "F1-measure", "Time(s)", "#Iteration"}
+
+// Runner memoizes datasets and algorithm runs across experiments.
+type Runner struct {
+	Opts Options
+
+	mu       sync.Mutex
+	datasets map[string]*datasetEntry
+	runs     map[string]*Measurement
+}
+
+type datasetEntry struct {
+	d       *truthdata.Dataset
+	planted partition.Partition
+}
+
+// NewRunner returns a Runner over opts.
+func NewRunner(opts Options) *Runner {
+	return &Runner{
+		Opts:     opts,
+		datasets: make(map[string]*datasetEntry),
+		runs:     make(map[string]*Measurement),
+	}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Opts.Log != nil {
+		fmt.Fprintf(r.Opts.Log, format+"\n", args...)
+	}
+}
+
+// Dataset materialises (and caches) a dataset by id. Known ids:
+// "DS1", "DS2", "DS3"; "exam<attrs>-r<range>" (e.g. "exam62-r25");
+// "stocks"; "flights".
+func (r *Runner) Dataset(id string) (*truthdata.Dataset, error) {
+	e, err := r.datasetEntry(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.d, nil
+}
+
+// Planted returns the generator's planted attribute partition for ids
+// that have one (synthetic and real simulators), or nil.
+func (r *Runner) Planted(id string) (partition.Partition, error) {
+	e, err := r.datasetEntry(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.planted, nil
+}
+
+func (r *Runner) datasetEntry(id string) (*datasetEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.datasets[id]; ok {
+		return e, nil
+	}
+	e, err := r.buildDataset(id)
+	if err != nil {
+		return nil, err
+	}
+	r.datasets[id] = e
+	return e, nil
+}
+
+func (r *Runner) buildDataset(id string) (*datasetEntry, error) {
+	switch {
+	case id == "DS1" || id == "DS2" || id == "DS3":
+		cfg := map[string]func() synth.Config{"DS1": synth.DS1, "DS2": synth.DS2, "DS3": synth.DS3}[id]()
+		if !r.Opts.Full {
+			cfg = cfg.Scaled(150)
+		}
+		cfg.Seed += r.Opts.Seed
+		g, err := synth.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("generated %s: %d claims", id, g.Dataset.NumClaims())
+		return &datasetEntry{d: g.Dataset, planted: g.Planted}, nil
+	case id == "stocks":
+		cfg := realdata.StocksConfig{Seed: r.Opts.Seed}
+		if !r.Opts.Full {
+			cfg.Objects = 40
+		}
+		g, err := realdata.Stocks(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("generated stocks: %d claims", g.Dataset.NumClaims())
+		return &datasetEntry{d: g.Dataset, planted: g.Planted}, nil
+	case id == "flights":
+		cfg := realdata.FlightsConfig{Seed: r.Opts.Seed}
+		if !r.Opts.Full {
+			cfg.Objects = 40
+		}
+		g, err := realdata.Flights(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("generated flights: %d claims", g.Dataset.NumClaims())
+		return &datasetEntry{d: g.Dataset, planted: g.Planted}, nil
+	default:
+		// "exam<attrs>-r<range>" is the semi-synthetic (filled) variant of
+		// Tables 6–7; "exam<attrs>" is the real variant of Tables 8–9.
+		var attrs, rng int
+		cfg := exam.Config{Seed: 9000 + r.Opts.Seed}
+		if n, err := fmt.Sscanf(id, "exam%d-r%d", &attrs, &rng); err == nil && n == 2 {
+			cfg.Attrs, cfg.Range, cfg.Fill = attrs, rng, true
+		} else if n, err := fmt.Sscanf(id, "exam%d", &attrs); err == nil && n == 1 {
+			cfg.Attrs = attrs
+		} else {
+			return nil, fmt.Errorf("experiments: unknown dataset id %q", id)
+		}
+		if !r.Opts.Full {
+			cfg.Students = 80
+		}
+		d, err := exam.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("generated %s: %d claims", id, d.NumClaims())
+		return &datasetEntry{d: d}, nil
+	}
+}
+
+// AlgorithmSpec names an algorithm configuration to measure.
+type AlgorithmSpec struct {
+	// Key is the cache key suffix ("Accu", "TD-AC (F=Accu)",
+	// "AccuGenPartition (Max)"...).
+	Key string
+	// Build constructs a fresh instance. TD-AC instances receive the
+	// runner so they can apply scaled-mode clustering caps.
+	Build func(r *Runner) algorithms.Algorithm
+}
+
+// Std returns the spec of a registry algorithm by canonical name.
+func Std(name string) AlgorithmSpec {
+	return AlgorithmSpec{
+		Key: name,
+		Build: func(*Runner) algorithms.Algorithm {
+			a, err := algorithms.New(name)
+			if err != nil {
+				panic(err) // registry names are compile-time constants here
+			}
+			return a
+		},
+	}
+}
+
+// TDACSpec returns the spec of TD-AC over the named base algorithm.
+func TDACSpec(base string) AlgorithmSpec {
+	return AlgorithmSpec{
+		Key: fmt.Sprintf("TD-AC (F=%s)", base),
+		Build: func(r *Runner) algorithms.Algorithm {
+			b, err := algorithms.New(base)
+			if err != nil {
+				panic(err)
+			}
+			t := core.New(b)
+			if !r.Opts.Full {
+				// Smoke scale: cap the explored k range and restarts so
+				// 124-attribute runs stay fast; full mode follows
+				// Algorithm 1 exactly.
+				t.MaxK = 24
+				t.KMeans.Restarts = 2
+			}
+			return t
+		},
+	}
+}
+
+// GenPartitionSpec returns the spec of the brute-force baseline.
+func GenPartitionSpec(base string, w genpartition.Weighting) AlgorithmSpec {
+	return AlgorithmSpec{
+		Key: fmt.Sprintf("%sGenPartition (%s)", base, w),
+		Build: func(*Runner) algorithms.Algorithm {
+			b, err := algorithms.New(base)
+			if err != nil {
+				panic(err)
+			}
+			return genpartition.New(b, w)
+		},
+	}
+}
+
+// Measure runs (and caches) one algorithm on one dataset.
+func (r *Runner) Measure(datasetID string, spec AlgorithmSpec) (*Measurement, error) {
+	key := datasetID + "\x00" + spec.Key
+	r.mu.Lock()
+	if m, ok := r.runs[key]; ok {
+		r.mu.Unlock()
+		return m, nil
+	}
+	r.mu.Unlock()
+
+	d, err := r.Dataset(datasetID)
+	if err != nil {
+		return nil, err
+	}
+	alg := spec.Build(r)
+	r.logf("running %s on %s ...", spec.Key, datasetID)
+
+	m := &Measurement{Dataset: datasetID, Algorithm: spec.Key}
+	switch a := alg.(type) {
+	case *core.TDAC:
+		out, err := a.Run(d)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", spec.Key, datasetID, err)
+		}
+		m.Report = metrics.Evaluate(d, out.Truth)
+		m.Runtime = out.Runtime
+		m.Iterations = out.Iterations
+		m.Partition = out.Partition
+		m.Silhouette = out.Silhouette
+	case *genpartition.GenPartition:
+		out, err := a.Run(d)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", spec.Key, datasetID, err)
+		}
+		m.Report = metrics.Evaluate(d, out.Truth)
+		m.Runtime = out.Runtime
+		m.Iterations = out.Iterations
+		m.Partition = out.Partition
+	default:
+		res, err := alg.Discover(d)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", spec.Key, datasetID, err)
+		}
+		m.Report = metrics.Evaluate(d, res.Truth)
+		m.Runtime = res.Runtime
+		m.Iterations = res.Iterations
+	}
+	r.logf("  %s on %s: %s (%.3fs)", spec.Key, datasetID, m.Report, m.Runtime.Seconds())
+
+	r.mu.Lock()
+	r.runs[key] = m
+	r.mu.Unlock()
+	return m, nil
+}

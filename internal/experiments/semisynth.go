@@ -1,0 +1,71 @@
+package experiments
+
+import "fmt"
+
+// ranges are the false-answer pool sizes of Tables 6–7.
+var ranges = []int{25, 50, 100, 1000}
+
+// pairSpecs lists the four contenders of Tables 6, 7 and 9 in paper order.
+func pairSpecs() []AlgorithmSpec {
+	return []AlgorithmSpec{
+		Std("Accu"),
+		TDACSpec("Accu"),
+		Std("TruthFinder"),
+		TDACSpec("TruthFinder"),
+	}
+}
+
+// semiSynthTables builds the sub-tables of Table 6 (62 attributes) or
+// Table 7 (124 attributes): one sub-table per false-value range.
+func semiSynthTables(r *Runner, tableID string, attrs int) ([]*Table, error) {
+	var out []*Table
+	for i, rng := range ranges {
+		sub := string('a' + rune(i))
+		t := &Table{
+			ID:     tableID + sub,
+			Title:  fmt.Sprintf("Semi-synthetic dataset, %d attributes, range %d", attrs, rng),
+			Header: measureHeader,
+		}
+		dsID := fmt.Sprintf("exam%d-r%d", attrs, rng)
+		for _, spec := range pairSpecs() {
+			m, err := r.Measure(dsID, spec)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(m.Row()...)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func table6(r *Runner) ([]*Table, error) { return semiSynthTables(r, "table6", 62) }
+func table7(r *Runner) ([]*Table, error) { return semiSynthTables(r, "table7", 124) }
+
+// pairwiseFig builds Figures 2/3: the accuracy of each base algorithm
+// with and without TD-AC across false-value ranges, the series behind the
+// paper's grouped bars.
+func pairwiseFig(r *Runner, figID string, attrs int) ([]*Table, error) {
+	t := &Table{
+		ID: figID,
+		Title: fmt.Sprintf(
+			"Impact of TD-AC on Accu and TruthFinder: accuracy on semi-synthetic datasets with %d attributes", attrs),
+		Header: []string{"Range", "Accu", "TD-AC (F=Accu)", "TruthFinder", "TD-AC (F=TruthFinder)"},
+	}
+	for _, rng := range ranges {
+		dsID := fmt.Sprintf("exam%d-r%d", attrs, rng)
+		row := []string{fmt.Sprintf("%d", rng)}
+		for _, spec := range pairSpecs() {
+			m, err := r.Measure(dsID, spec)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(m.Report.Accuracy))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}, nil
+}
+
+func fig2(r *Runner) ([]*Table, error) { return pairwiseFig(r, "fig2", 62) }
+func fig3(r *Runner) ([]*Table, error) { return pairwiseFig(r, "fig3", 124) }

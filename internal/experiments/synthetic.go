@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tdac/internal/genpartition"
+)
+
+// synthIDs are the three synthetic configurations of §4.2.
+var synthIDs = []string{"DS1", "DS2", "DS3"}
+
+// synthConfigs mirrors Table 3.
+var synthConfigs = map[string][3]float64{
+	"DS1": {1.0, 0.0, 1.0},
+	"DS2": {1.0, 0.0, 0.8},
+	"DS3": {1.0, 0.2, 0.8},
+}
+
+// table3 reproduces Table 3: the (m1, m2, m3) configuration per dataset.
+func table3(r *Runner) ([]*Table, error) {
+	t := &Table{
+		ID:     "table3",
+		Title:  "Average accuracy values for the various configurations of the synthetic datasets",
+		Header: []string{"", "DS1", "DS2", "DS3"},
+	}
+	for i, m := range []string{"m1", "m2", "m3"} {
+		row := []string{m}
+		for _, id := range synthIDs {
+			row = append(row, fmt.Sprintf("%.1f", synthConfigs[id][i]))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"m1 = expert-group accuracy, m2 = non-expert accuracy, m3 = fraction of structured sources (see DESIGN.md)")
+	return []*Table{t}, nil
+}
+
+// synthSpecs lists the Table 4 contenders in paper order.
+func synthSpecs() []AlgorithmSpec {
+	return []AlgorithmSpec{
+		Std("MajorityVote"),
+		Std("TruthFinder"),
+		Std("Depen"),
+		Std("Accu"),
+		Std("AccuSim"),
+		GenPartitionSpec("Accu", genpartition.Max),
+		GenPartitionSpec("Accu", genpartition.Avg),
+		GenPartitionSpec("Accu", genpartition.Oracle),
+		TDACSpec("Accu"),
+	}
+}
+
+// table4 reproduces one sub-table of Table 4: every algorithm on one
+// synthetic dataset.
+func table4(r *Runner, sub, dataset string) ([]*Table, error) {
+	t := &Table{
+		ID:     "table4" + sub,
+		Title:  fmt.Sprintf("Performance measures on %s", dataset),
+		Header: measureHeader,
+	}
+	for _, spec := range synthSpecs() {
+		m, err := r.Measure(dataset, spec)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(m.Row()...)
+	}
+	return []*Table{t}, nil
+}
+
+// table5 reproduces Table 5: the planted partition and the partitions
+// returned by every partitioning approach on DS1–DS3.
+func table5(r *Runner) ([]*Table, error) {
+	t := &Table{
+		ID:     "table5",
+		Title:  "Partitions chosen by the generator and returned by the different partitioning algorithms",
+		Header: append([]string{""}, synthIDs...),
+	}
+	rows := []struct {
+		label string
+		spec  *AlgorithmSpec
+	}{
+		{"Synthetic data generator", nil},
+		{"AccuGenPartition (Max)", specPtr(GenPartitionSpec("Accu", genpartition.Max))},
+		{"AccuGenPartition (Avg)", specPtr(GenPartitionSpec("Accu", genpartition.Avg))},
+		{"AccuGenPartition (Oracle)", specPtr(GenPartitionSpec("Accu", genpartition.Oracle))},
+		{"TD-AC (F=Accu)", specPtr(TDACSpec("Accu"))},
+	}
+	for _, row := range rows {
+		cells := []string{row.label}
+		for _, id := range synthIDs {
+			if row.spec == nil {
+				planted, err := r.Planted(id)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, planted.String())
+				continue
+			}
+			m, err := r.Measure(id, *row.spec)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, m.Partition.String())
+		}
+		t.AddRow(cells...)
+	}
+	return []*Table{t}, nil
+}
+
+func specPtr(s AlgorithmSpec) *AlgorithmSpec { return &s }
+
+// fig1 reproduces Figure 1: the accuracy of every tested algorithm on
+// DS1–DS3, as the series behind the bar chart.
+func fig1(r *Runner) ([]*Table, error) {
+	t := &Table{
+		ID:     "fig1",
+		Title:  "Comparison of the accuracy of all tested algorithms on DS1, DS2 and DS3",
+		Header: append([]string{"Algorithm"}, synthIDs...),
+	}
+	for _, spec := range synthSpecs() {
+		row := []string{spec.Key}
+		for _, id := range synthIDs {
+			m, err := r.Measure(id, spec)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(m.Report.Accuracy))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}, nil
+}

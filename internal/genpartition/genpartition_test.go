@@ -1,0 +1,181 @@
+package genpartition
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tdac/internal/algorithms"
+	"tdac/internal/metrics"
+	"tdac/internal/synth"
+	"tdac/internal/truthdata"
+)
+
+func smallSynth(t testing.TB) *synth.Generated {
+	t.Helper()
+	g, err := synth.Generate(synth.DS2().Scaled(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestWeightingString(t *testing.T) {
+	if Max.String() != "Max" || Avg.String() != "Avg" || Oracle.String() != "Oracle" {
+		t.Error("weighting names wrong")
+	}
+	if Weighting(9).String() == "" {
+		t.Error("unknown weighting should still render")
+	}
+}
+
+func TestName(t *testing.T) {
+	g := New(algorithms.NewAccu(), Max)
+	if got := g.Name(); got != "AccuGenPartition (Max)" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := New(nil, Avg).Name(); !strings.Contains(got, "Gen") {
+		t.Errorf("baseless Name = %q", got)
+	}
+}
+
+func TestRunRequiresBase(t *testing.T) {
+	g := &GenPartition{}
+	d := smallSynth(t).Dataset
+	if _, err := g.Run(d); err == nil {
+		t.Error("Run without base succeeded")
+	}
+}
+
+func TestRunEmptyDataset(t *testing.T) {
+	d := &truthdata.Dataset{Name: "empty", Sources: []string{"s"}, Objects: []string{"o"}, Attrs: []string{"a"}}
+	g := New(algorithms.NewMajorityVote(), Max)
+	if _, err := g.Run(d); !errors.Is(err, algorithms.ErrEmptyDataset) {
+		t.Errorf("err = %v, want ErrEmptyDataset", err)
+	}
+}
+
+func TestOracleRequiresTruth(t *testing.T) {
+	d := smallSynth(t).Dataset.Clone()
+	d.Truth = nil
+	g := New(algorithms.NewMajorityVote(), Oracle)
+	if _, err := g.Run(d); err == nil {
+		t.Error("Oracle without ground truth succeeded")
+	}
+}
+
+func TestExploresAllPartitions(t *testing.T) {
+	gen := smallSynth(t)
+	g := New(algorithms.NewMajorityVote(), Avg)
+	out, err := g.Run(gen.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PartitionsExplored != 203 { // Bell(6)
+		t.Errorf("explored %d partitions, want 203", out.PartitionsExplored)
+	}
+	// Memoization: at most 63 distinct non-empty groups of a 6-set.
+	if out.GroupRuns > 63 {
+		t.Errorf("ran the base algorithm %d times, memoization broken", out.GroupRuns)
+	}
+	if out.Partition.Size() != 6 {
+		t.Errorf("winning partition covers %d attrs, want 6", out.Partition.Size())
+	}
+}
+
+func TestOracleFindsBestPartition(t *testing.T) {
+	gen := smallSynth(t)
+	g := New(algorithms.NewAccu(), Oracle)
+	out, err := g.Run(gen.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Oracle's accuracy is an upper bound: no other weighting can
+	// score a better-than-Oracle merged result.
+	oracleAcc := metrics.Evaluate(gen.Dataset, out.Truth).Accuracy
+	for _, w := range []Weighting{Max, Avg} {
+		other, err := New(algorithms.NewAccu(), w).Run(gen.Dataset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc := metrics.Evaluate(gen.Dataset, other.Truth).Accuracy; acc > oracleAcc+1e-9 {
+			t.Errorf("%s scored %v above Oracle %v", w, acc, oracleAcc)
+		}
+	}
+	if out.Score < 0.5 {
+		t.Errorf("Oracle score = %v, suspiciously low", out.Score)
+	}
+}
+
+func TestOracleBeatsUnpartitionedBase(t *testing.T) {
+	gen := smallSynth(t)
+	base := algorithms.NewAccu()
+	baseRes, err := base.Discover(gen.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := New(algorithms.NewAccu(), Oracle).Run(gen.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseAcc := metrics.Evaluate(gen.Dataset, baseRes.Truth).Accuracy
+	oracleAcc := metrics.Evaluate(gen.Dataset, out.Truth).Accuracy
+	// The whole-set partition is among the candidates, so the Oracle can
+	// never do worse than the plain base algorithm.
+	if oracleAcc < baseAcc-1e-9 {
+		t.Errorf("Oracle %v below plain base %v", oracleAcc, baseAcc)
+	}
+}
+
+func TestMergedResultCoversAllCells(t *testing.T) {
+	gen := smallSynth(t)
+	out, err := New(algorithms.NewMajorityVote(), Max).Run(gen.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Truth) != len(gen.Dataset.Cells()) {
+		t.Errorf("merged truth has %d cells, want %d", len(out.Truth), len(gen.Dataset.Cells()))
+	}
+	if len(out.Trust) != gen.Dataset.NumSources() {
+		t.Errorf("trust entries = %d", len(out.Trust))
+	}
+}
+
+func TestDiscoverInterface(t *testing.T) {
+	gen := smallSynth(t)
+	var alg algorithms.Algorithm = New(algorithms.NewMajorityVote(), Avg)
+	res, err := alg.Discover(gen.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "MajorityVoteGenPartition (Avg)" {
+		t.Errorf("Algorithm = %q", res.Algorithm)
+	}
+}
+
+func TestGroupKey(t *testing.T) {
+	k1 := groupKey([]truthdata.AttrID{3, 1, 2})
+	k2 := groupKey([]truthdata.AttrID{2, 3, 1})
+	if k1 != k2 {
+		t.Errorf("groupKey not order-independent: %q vs %q", k1, k2)
+	}
+	if k1 != "1,2,3" {
+		t.Errorf("groupKey = %q, want 1,2,3", k1)
+	}
+}
+
+// failingAlgorithm injects base failures into the enumeration.
+type failingAlgorithm struct{}
+
+func (failingAlgorithm) Name() string { return "failing" }
+func (failingAlgorithm) Discover(*truthdata.Dataset) (*algorithms.Result, error) {
+	return nil, errors.New("injected failure")
+}
+
+func TestRunPropagatesBaseFailure(t *testing.T) {
+	gen := smallSynth(t)
+	g := New(failingAlgorithm{}, Max)
+	if _, err := g.Run(gen.Dataset); err == nil || !strings.Contains(err.Error(), "injected failure") {
+		t.Errorf("err = %v, want injected failure", err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package metrics implements the evaluation measures used in the paper's
+// Section 4: precision, recall, accuracy and F1-measure over claims, plus
+// the per-cell error rate of the predicted truths themselves.
+//
+// A claim is *predicted positive* when its value equals the algorithm's
+// predicted truth for its cell, and *actually positive* when it equals the
+// ground truth. Precision, recall, accuracy and F1 are derived from the
+// resulting confusion matrix; this claim-level view is what lets the four
+// measures diverge on datasets with missing values.
+package metrics
+
+import (
+	"fmt"
+
+	"tdac/internal/truthdata"
+)
+
+// Confusion is a binary confusion matrix over claims.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Total returns the number of classified claims.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// Accuracy returns (TP+TN)/total, or 0 when undefined.
+func (c Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// F1 returns the harmonic mean of precision and recall, or 0 when undefined.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Report bundles every measure the paper tables show for one run.
+type Report struct {
+	Precision float64
+	Recall    float64
+	Accuracy  float64
+	F1        float64
+	// CellAccuracy is the fraction of evaluable cells whose predicted
+	// truth equals the ground truth (the "error rate" view).
+	CellAccuracy float64
+	// EvaluatedCells counts cells with both a prediction and ground truth.
+	EvaluatedCells int
+	// EvaluatedClaims counts claims whose cell has ground truth.
+	EvaluatedClaims int
+	Confusion       Confusion
+}
+
+// String renders the report on one line with three decimals, matching the
+// paper's table precision.
+func (r Report) String() string {
+	return fmt.Sprintf("precision=%.3f recall=%.3f accuracy=%.3f f1=%.3f cellacc=%.3f",
+		r.Precision, r.Recall, r.Accuracy, r.F1, r.CellAccuracy)
+}
+
+// Evaluate scores predicted truths against the dataset's ground truth.
+// Cells without ground truth are skipped; cells with ground truth but no
+// prediction count as wrong at the cell level and classify their claims
+// with "predicted false" labels.
+func Evaluate(d *truthdata.Dataset, predicted map[truthdata.Cell]string) Report {
+	var conf Confusion
+	evaluable := make(map[truthdata.Cell]bool, len(d.Truth))
+	correct := 0
+	for cell, truth := range d.Truth {
+		evaluable[cell] = true
+		if p, ok := predicted[cell]; ok && p == truth {
+			correct++
+		}
+	}
+	claims := 0
+	for _, c := range d.Claims {
+		cell := c.Cell()
+		if !evaluable[cell] {
+			continue
+		}
+		claims++
+		actual := c.Value == d.Truth[cell]
+		pred := false
+		if p, ok := predicted[cell]; ok {
+			pred = c.Value == p
+		}
+		switch {
+		case pred && actual:
+			conf.TP++
+		case pred && !actual:
+			conf.FP++
+		case !pred && actual:
+			conf.FN++
+		default:
+			conf.TN++
+		}
+	}
+	rep := Report{
+		Precision:       conf.Precision(),
+		Recall:          conf.Recall(),
+		Accuracy:        conf.Accuracy(),
+		F1:              conf.F1(),
+		EvaluatedCells:  len(evaluable),
+		EvaluatedClaims: claims,
+		Confusion:       conf,
+	}
+	if len(evaluable) > 0 {
+		rep.CellAccuracy = float64(correct) / float64(len(evaluable))
+	}
+	return rep
+}
+
+// SourceAccuracy returns, per source, the fraction of its claims (on cells
+// with known ground truth) that are correct, and the number of such claims.
+// Sources with no evaluable claims report accuracy 0 and count 0.
+func SourceAccuracy(d *truthdata.Dataset) (acc []float64, n []int) {
+	acc = make([]float64, d.NumSources())
+	n = make([]int, d.NumSources())
+	correct := make([]int, d.NumSources())
+	for _, c := range d.Claims {
+		truth, ok := d.Truth[c.Cell()]
+		if !ok {
+			continue
+		}
+		n[c.Source]++
+		if c.Value == truth {
+			correct[c.Source]++
+		}
+	}
+	for s := range acc {
+		if n[s] > 0 {
+			acc[s] = float64(correct[s]) / float64(n[s])
+		}
+	}
+	return acc, n
+}
+
+// AttrReport is the per-attribute slice of an evaluation: which
+// attributes an algorithm gets right, the natural view for diagnosing
+// structurally correlated data where whole attribute groups fail
+// together.
+type AttrReport struct {
+	// Attr is the attribute id; Name its display name.
+	Attr truthdata.AttrID
+	Name string
+	// CellAccuracy is the fraction of this attribute's evaluable cells
+	// predicted correctly; Cells counts them.
+	CellAccuracy float64
+	Cells        int
+}
+
+// PerAttribute breaks an evaluation down by attribute, ordered by
+// ascending attribute id. Attributes without ground truth are omitted.
+func PerAttribute(d *truthdata.Dataset, predicted map[truthdata.Cell]string) []AttrReport {
+	right := make(map[truthdata.AttrID]int)
+	total := make(map[truthdata.AttrID]int)
+	for cell, truth := range d.Truth {
+		total[cell.Attr]++
+		if predicted[cell] == truth {
+			right[cell.Attr]++
+		}
+	}
+	out := make([]AttrReport, 0, len(total))
+	for a := truthdata.AttrID(0); int(a) < d.NumAttrs(); a++ {
+		n, ok := total[a]
+		if !ok {
+			continue
+		}
+		out = append(out, AttrReport{
+			Attr:         a,
+			Name:         d.AttrName(a),
+			CellAccuracy: float64(right[a]) / float64(n),
+			Cells:        n,
+		})
+	}
+	return out
+}

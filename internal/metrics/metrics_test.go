@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tdac/internal/truthdata"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestConfusionMeasures(t *testing.T) {
+	c := Confusion{TP: 6, FP: 2, TN: 10, FN: 2}
+	if got := c.Precision(); !approx(got, 0.75) {
+		t.Errorf("Precision = %v, want 0.75", got)
+	}
+	if got := c.Recall(); !approx(got, 0.75) {
+		t.Errorf("Recall = %v, want 0.75", got)
+	}
+	if got := c.Accuracy(); !approx(got, 0.8) {
+		t.Errorf("Accuracy = %v, want 0.8", got)
+	}
+	if got := c.F1(); !approx(got, 0.75) {
+		t.Errorf("F1 = %v, want 0.75", got)
+	}
+	if got := c.Total(); got != 20 {
+		t.Errorf("Total = %d, want 20", got)
+	}
+}
+
+func TestConfusionZeroSafe(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.Accuracy() != 0 || c.F1() != 0 {
+		t.Error("empty confusion must report zeros, not NaN")
+	}
+}
+
+func evalDataset(t *testing.T) *truthdata.Dataset {
+	t.Helper()
+	b := truthdata.NewBuilder("eval")
+	// Cell (o,a1): truth "red". s1,s3 say red; s2 says blue.
+	b.Claim("s1", "o", "a1", "red")
+	b.Claim("s2", "o", "a1", "blue")
+	b.Claim("s3", "o", "a1", "red")
+	// Cell (o,a2): truth "10". s1 says 10, s2 says 12.
+	b.Claim("s1", "o", "a2", "10")
+	b.Claim("s2", "o", "a2", "12")
+	b.Truth("o", "a1", "red")
+	b.Truth("o", "a2", "10")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestEvaluatePerfectPrediction(t *testing.T) {
+	d := evalDataset(t)
+	pred := map[truthdata.Cell]string{
+		{Object: 0, Attr: 0}: "red",
+		{Object: 0, Attr: 1}: "10",
+	}
+	rep := Evaluate(d, pred)
+	if rep.Precision != 1 || rep.Recall != 1 || rep.Accuracy != 1 || rep.F1 != 1 {
+		t.Errorf("perfect prediction scored %+v", rep)
+	}
+	if rep.CellAccuracy != 1 {
+		t.Errorf("CellAccuracy = %v, want 1", rep.CellAccuracy)
+	}
+	if rep.EvaluatedCells != 2 || rep.EvaluatedClaims != 5 {
+		t.Errorf("counts = %d cells, %d claims", rep.EvaluatedCells, rep.EvaluatedClaims)
+	}
+}
+
+func TestEvaluateWrongPrediction(t *testing.T) {
+	d := evalDataset(t)
+	pred := map[truthdata.Cell]string{
+		{Object: 0, Attr: 0}: "blue", // wrong
+		{Object: 0, Attr: 1}: "10",   // right
+	}
+	rep := Evaluate(d, pred)
+	// Claims: a1: red(s1) FN, blue(s2) FP, red(s3) FN; a2: 10 TP, 12 TN.
+	if rep.Confusion.TP != 1 || rep.Confusion.FP != 1 || rep.Confusion.FN != 2 || rep.Confusion.TN != 1 {
+		t.Errorf("confusion = %+v", rep.Confusion)
+	}
+	if !approx(rep.CellAccuracy, 0.5) {
+		t.Errorf("CellAccuracy = %v, want 0.5", rep.CellAccuracy)
+	}
+	if !approx(rep.Precision, 0.5) {
+		t.Errorf("Precision = %v, want 0.5", rep.Precision)
+	}
+	if !approx(rep.Recall, 1.0/3) {
+		t.Errorf("Recall = %v, want 1/3", rep.Recall)
+	}
+}
+
+func TestEvaluateMissingPredictionCountsWrong(t *testing.T) {
+	d := evalDataset(t)
+	pred := map[truthdata.Cell]string{
+		{Object: 0, Attr: 0}: "red",
+		// a2 unpredicted
+	}
+	rep := Evaluate(d, pred)
+	if !approx(rep.CellAccuracy, 0.5) {
+		t.Errorf("CellAccuracy = %v, want 0.5 (unpredicted cell is wrong)", rep.CellAccuracy)
+	}
+	// The truthful claim "10" becomes a FN.
+	if rep.Confusion.FN != 1 {
+		t.Errorf("FN = %d, want 1", rep.Confusion.FN)
+	}
+}
+
+func TestEvaluateSkipsCellsWithoutTruth(t *testing.T) {
+	d := evalDataset(t)
+	delete(d.Truth, truthdata.Cell{Object: 0, Attr: 1})
+	rep := Evaluate(d, map[truthdata.Cell]string{{Object: 0, Attr: 0}: "red"})
+	if rep.EvaluatedCells != 1 || rep.EvaluatedClaims != 3 {
+		t.Errorf("counts = %d cells, %d claims; want 1, 3", rep.EvaluatedCells, rep.EvaluatedClaims)
+	}
+}
+
+func TestEvaluateEmptyTruth(t *testing.T) {
+	d := evalDataset(t)
+	d.Truth = nil
+	rep := Evaluate(d, map[truthdata.Cell]string{})
+	if rep.EvaluatedCells != 0 || rep.CellAccuracy != 0 {
+		t.Errorf("rep = %+v, want all-zero", rep)
+	}
+}
+
+func TestSourceAccuracy(t *testing.T) {
+	d := evalDataset(t)
+	acc, n := SourceAccuracy(d)
+	// s1: red(ok), 10(ok) -> 1.0 over 2. s2: blue, 12 -> 0 over 2.
+	// s3: red -> 1.0 over 1.
+	if !approx(acc[0], 1) || n[0] != 2 {
+		t.Errorf("s1 = %v/%d", acc[0], n[0])
+	}
+	if !approx(acc[1], 0) || n[1] != 2 {
+		t.Errorf("s2 = %v/%d", acc[1], n[1])
+	}
+	if !approx(acc[2], 1) || n[2] != 1 {
+		t.Errorf("s3 = %v/%d", acc[2], n[2])
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Report{Precision: 0.5, Recall: 0.25, Accuracy: 0.75, F1: 1.0 / 3, CellAccuracy: 0.5}
+	s := rep.String()
+	if s == "" || len(s) < 20 {
+		t.Errorf("Report.String() = %q", s)
+	}
+}
+
+// Property: accuracy and F1 always stay within [0,1] and the confusion
+// totals always equal the number of evaluated claims.
+func TestEvaluateBoundsProperty(t *testing.T) {
+	d := evalDataset(t)
+	f := func(choice uint8) bool {
+		vals := []string{"red", "blue", "10", "12", "zzz"}
+		pred := map[truthdata.Cell]string{
+			{Object: 0, Attr: 0}: vals[int(choice)%len(vals)],
+			{Object: 0, Attr: 1}: vals[int(choice>>2)%len(vals)],
+		}
+		rep := Evaluate(d, pred)
+		if rep.Accuracy < 0 || rep.Accuracy > 1 || rep.F1 < 0 || rep.F1 > 1 {
+			return false
+		}
+		return rep.Confusion.Total() == rep.EvaluatedClaims
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerAttribute(t *testing.T) {
+	d := evalDataset(t)
+	pred := map[truthdata.Cell]string{
+		{Object: 0, Attr: 0}: "red", // right
+		{Object: 0, Attr: 1}: "12",  // wrong
+	}
+	per := PerAttribute(d, pred)
+	if len(per) != 2 {
+		t.Fatalf("per-attribute entries = %d, want 2", len(per))
+	}
+	if per[0].Name != "a1" || per[0].CellAccuracy != 1 || per[0].Cells != 1 {
+		t.Errorf("a1 report = %+v", per[0])
+	}
+	if per[1].Name != "a2" || per[1].CellAccuracy != 0 {
+		t.Errorf("a2 report = %+v", per[1])
+	}
+}
+
+func TestPerAttributeSkipsAttrsWithoutTruth(t *testing.T) {
+	d := evalDataset(t)
+	delete(d.Truth, truthdata.Cell{Object: 0, Attr: 1})
+	per := PerAttribute(d, nil)
+	if len(per) != 1 {
+		t.Fatalf("entries = %d, want 1", len(per))
+	}
+}

@@ -1,0 +1,130 @@
+package paper
+
+import "testing"
+
+func TestTable4Complete(t *testing.T) {
+	// Every dataset must list the five standard algorithms and the three
+	// AccuGenPartition weightings.
+	required := []string{
+		"MajorityVote", "TruthFinder", "Depen", "Accu", "AccuSim",
+		"AccuGenPartition (Max)", "AccuGenPartition (Avg)", "AccuGenPartition (Oracle)",
+	}
+	for _, ds := range []string{"DS1", "DS2", "DS3"} {
+		rows, ok := Table4[ds]
+		if !ok {
+			t.Fatalf("Table4 missing %s", ds)
+		}
+		for _, alg := range required {
+			if _, ok := rows[alg]; !ok {
+				t.Errorf("Table4[%s] missing %s", ds, alg)
+			}
+		}
+	}
+	// The printed paper includes TD-AC rows for DS1 and DS3.
+	if _, ok := Table4["DS1"]["TD-AC (F=Accu)"]; !ok {
+		t.Error("Table4[DS1] missing TD-AC row")
+	}
+	if _, ok := Table4["DS3"]["TD-AC (F=Accu)"]; !ok {
+		t.Error("Table4[DS3] missing TD-AC row")
+	}
+}
+
+func TestMetricsInRange(t *testing.T) {
+	for ds, rows := range Table4 {
+		for alg, m := range rows {
+			for name, v := range map[string]float64{
+				"precision": m.Precision, "recall": m.Recall,
+				"accuracy": m.Accuracy, "f1": m.F1,
+			} {
+				if v < 0 || v > 1 {
+					t.Errorf("Table4[%s][%s] %s = %v out of [0,1]", ds, alg, name, v)
+				}
+			}
+			if m.TimeSeconds < 0 {
+				t.Errorf("Table4[%s][%s] negative time", ds, alg)
+			}
+		}
+	}
+}
+
+func TestSemiSynthShape(t *testing.T) {
+	for _, attrs := range []int{62, 124} {
+		byRange, ok := SemiSynth[attrs]
+		if !ok {
+			t.Fatalf("SemiSynth missing %d attrs", attrs)
+		}
+		for _, rng := range []int{25, 50, 100, 1000} {
+			rows, ok := byRange[rng]
+			if !ok {
+				t.Fatalf("SemiSynth[%d] missing range %d", attrs, rng)
+			}
+			for _, alg := range []string{"Accu", "TD-AC (F=Accu)", "TruthFinder", "TD-AC (F=TruthFinder)"} {
+				v, ok := rows[alg]
+				if !ok {
+					t.Errorf("SemiSynth[%d][%d] missing %s", attrs, rng, alg)
+				}
+				if v < 0 || v > 1 {
+					t.Errorf("SemiSynth[%d][%d][%s] = %v", attrs, rng, alg, v)
+				}
+			}
+		}
+	}
+}
+
+func TestPaperRangeTrendHolds(t *testing.T) {
+	// Sanity-check the transcription itself: the paper's own numbers
+	// must exhibit the range trend the reproduction asserts.
+	for _, attrs := range []int{62, 124} {
+		for _, alg := range []string{"Accu", "TruthFinder"} {
+			lo := SemiSynth[attrs][25][alg]
+			hi := SemiSynth[attrs][1000][alg]
+			if hi < lo {
+				t.Errorf("paper's own %d-attr %s accuracy decreases with range: %v -> %v",
+					attrs, alg, lo, hi)
+			}
+		}
+	}
+}
+
+func TestTable8And9Consistent(t *testing.T) {
+	if len(Table8) != 5 || len(Table9) != 5 {
+		t.Fatalf("Table8/9 sizes = %d/%d, want 5/5", len(Table8), len(Table9))
+	}
+	for label := range Table8 {
+		if _, ok := Table9[label]; !ok {
+			t.Errorf("Table9 missing %s", label)
+		}
+	}
+	for _, label := range append(append([]string{}, HighDCRDatasets...), LowDCRDatasets...) {
+		if _, ok := Table8[label]; !ok {
+			t.Errorf("DCR split references unknown dataset %s", label)
+		}
+	}
+	// The DCR split must be consistent with the published DCRs.
+	for _, label := range HighDCRDatasets {
+		if Table8[label].DCR < 66 {
+			t.Errorf("%s listed as high-DCR but DCR = %v", label, Table8[label].DCR)
+		}
+	}
+	for _, label := range LowDCRDatasets {
+		if Table8[label].DCR > 55 {
+			t.Errorf("%s listed as low-DCR but DCR = %v", label, Table8[label].DCR)
+		}
+	}
+}
+
+func TestClaimsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Claims() {
+		if c.ID == "" || c.Statement == "" {
+			t.Errorf("claim %+v incomplete", c)
+		}
+		if seen[c.ID] {
+			t.Errorf("duplicate claim id %s", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	if len(seen) != 9 {
+		t.Errorf("%d claims, want 9", len(seen))
+	}
+}

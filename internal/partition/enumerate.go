@@ -1,0 +1,127 @@
+package partition
+
+import (
+	"fmt"
+	"math/big"
+
+	"tdac/internal/truthdata"
+)
+
+// MaxEnumerate bounds full partition enumeration: Bell(15) ≈ 1.38e9 is
+// already hopeless, so enumeration refuses sets larger than this. The
+// brute-force baseline is only meant for the paper's 6-attribute setting.
+const MaxEnumerate = 14
+
+// Bell returns the n-th Bell number — the number of set partitions of an
+// n-element set — computed via the Bell triangle with big integers.
+func Bell(n int) *big.Int {
+	if n < 0 {
+		return big.NewInt(0)
+	}
+	row := []*big.Int{big.NewInt(1)}
+	for i := 1; i <= n; i++ {
+		next := make([]*big.Int, i+1)
+		next[0] = row[len(row)-1]
+		for j := 1; j <= i; j++ {
+			next[j] = new(big.Int).Add(next[j-1], row[j-1])
+		}
+		row = next
+	}
+	return row[0]
+}
+
+// Stirling2 returns the Stirling number of the second kind S(n, k): the
+// number of partitions of an n-set into exactly k non-empty groups.
+func Stirling2(n, k int) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	if n == 0 && k == 0 {
+		return big.NewInt(1)
+	}
+	if k == 0 {
+		return big.NewInt(0)
+	}
+	// S(n,k) = k*S(n-1,k) + S(n-1,k-1), row by row.
+	prev := make([]*big.Int, k+1)
+	cur := make([]*big.Int, k+1)
+	for j := range prev {
+		prev[j] = big.NewInt(0)
+		cur[j] = big.NewInt(0)
+	}
+	prev[0] = big.NewInt(1) // S(0,0)
+	for i := 1; i <= n; i++ {
+		cur[0] = big.NewInt(0)
+		for j := 1; j <= k && j <= i; j++ {
+			cur[j] = new(big.Int).Mul(big.NewInt(int64(j)), prev[j])
+			cur[j].Add(cur[j], prev[j-1])
+		}
+		prev, cur = cur, prev
+	}
+	return prev[k]
+}
+
+// Enumerate calls fn with every set partition of {0, …, n-1}, generated
+// from restricted growth strings in lexicographic order. The Partition
+// passed to fn is freshly allocated; fn may retain it. Enumeration stops
+// early when fn returns false. n above MaxEnumerate is an error.
+func Enumerate(n int, fn func(Partition) bool) error {
+	if n < 1 {
+		return fmt.Errorf("partition: cannot enumerate partitions of %d elements", n)
+	}
+	if n > MaxEnumerate {
+		return fmt.Errorf("partition: refusing to enumerate Bell(%d)=%s partitions (max %d elements)",
+			n, Bell(n).String(), MaxEnumerate)
+	}
+	// A restricted growth string a[0..n-1] has a[0]=0 and
+	// a[i] <= max(a[0..i-1]) + 1; each encodes exactly one set partition.
+	a := make([]int, n)
+	b := make([]int, n) // b[i] = max(a[0..i-1]) + 1, with b[0] = 1
+	for {
+		// Emit current string.
+		k := 0
+		for _, x := range a {
+			if x+1 > k {
+				k = x + 1
+			}
+		}
+		groups := make(Partition, k)
+		for i, g := range a {
+			groups[g] = append(groups[g], truthdata.AttrID(i))
+		}
+		if !fn(groups) {
+			return nil
+		}
+		// Advance to the next restricted growth string: b[j] is the
+		// maximum value a[j] may take (1 + max of the prefix).
+		b[0] = 0
+		for j := 1; j < n; j++ {
+			b[j] = b[j-1]
+			if a[j-1]+1 > b[j-1] {
+				b[j] = a[j-1] + 1
+			}
+		}
+		i := n - 1
+		for i > 0 && a[i] >= b[i] {
+			i--
+		}
+		if i == 0 {
+			return nil // wrapped: all strings emitted
+		}
+		a[i]++
+		for j := i + 1; j < n; j++ {
+			a[j] = 0
+		}
+	}
+}
+
+// Count returns the number of partitions Enumerate would emit, as a
+// cross-check against Bell.
+func Count(n int) (int, error) {
+	total := 0
+	err := Enumerate(n, func(Partition) bool {
+		total++
+		return true
+	})
+	return total, err
+}

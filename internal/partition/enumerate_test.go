@@ -1,0 +1,158 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBellNumbers(t *testing.T) {
+	want := []int64{1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975}
+	for n, w := range want {
+		if got := Bell(n).Int64(); got != w {
+			t.Errorf("Bell(%d) = %d, want %d", n, got, w)
+		}
+	}
+	if Bell(-1).Sign() != 0 {
+		t.Error("Bell(-1) != 0")
+	}
+}
+
+func TestStirling2KnownValues(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {1, 1, 1}, {4, 2, 7}, {5, 3, 25}, {6, 3, 90},
+		{6, 1, 1}, {6, 6, 1}, {5, 0, 0}, {3, 4, 0}, {3, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Stirling2(c.n, c.k).Int64(); got != c.want {
+			t.Errorf("S(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+// Bell(n) must equal the sum of Stirling2(n,k) over k.
+func TestBellStirlingConsistency(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		var sum int64
+		for k := 0; k <= n; k++ {
+			sum += Stirling2(n, k).Int64()
+		}
+		if sum != Bell(n).Int64() {
+			t.Errorf("sum_k S(%d,k) = %d, want Bell = %d", n, sum, Bell(n).Int64())
+		}
+	}
+}
+
+func TestEnumerateCountsMatchBell(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		got, err := Count(n)
+		if err != nil {
+			t.Fatalf("Count(%d): %v", n, err)
+		}
+		if int64(got) != Bell(n).Int64() {
+			t.Errorf("Count(%d) = %d, want Bell = %d", n, got, Bell(n).Int64())
+		}
+	}
+}
+
+func TestEnumerateRejectsHugeSets(t *testing.T) {
+	if err := Enumerate(MaxEnumerate+1, func(Partition) bool { return true }); err == nil {
+		t.Error("Enumerate accepted a set above MaxEnumerate")
+	}
+	if err := Enumerate(0, func(Partition) bool { return true }); err == nil {
+		t.Error("Enumerate accepted an empty set")
+	}
+}
+
+func TestEnumerateStopsEarly(t *testing.T) {
+	n := 0
+	err := Enumerate(5, func(Partition) bool {
+		n++
+		return n < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("visited %d partitions, want 3", n)
+	}
+}
+
+func TestEnumerateEmitsDistinctValidPartitions(t *testing.T) {
+	const n = 6
+	seen := map[string]bool{}
+	err := Enumerate(n, func(p Partition) bool {
+		if p.Size() != n {
+			t.Fatalf("partition %s does not cover %d attrs", p, n)
+		}
+		// Disjointness: every attr appears exactly once.
+		count := map[truthAttr]int{}
+		for _, g := range p {
+			if len(g) == 0 {
+				t.Fatalf("partition %s has an empty group", p)
+			}
+			for _, a := range g {
+				count[truthAttr(a)]++
+			}
+		}
+		for a, c := range count {
+			if c != 1 {
+				t.Fatalf("attr %d appears %d times in %s", a, c, p)
+			}
+		}
+		key := p.String()
+		if seen[key] {
+			t.Fatalf("duplicate partition %s", key)
+		}
+		seen[key] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(seen)) != Bell(n).Int64() {
+		t.Errorf("emitted %d distinct partitions, want %d", len(seen), Bell(n).Int64())
+	}
+}
+
+type truthAttr int
+
+func TestEnumerateFirstAndLast(t *testing.T) {
+	var first, last Partition
+	_ = Enumerate(4, func(p Partition) bool {
+		if first == nil {
+			first = p
+		}
+		last = p
+		return true
+	})
+	if first.String() != "[(1,2,3,4)]" {
+		t.Errorf("first partition = %s, want the whole set", first)
+	}
+	if !last.Equal(Singletons(4)) {
+		t.Errorf("last partition = %s, want all singletons", last)
+	}
+}
+
+// Property: canonicalisation is idempotent over enumerated partitions.
+func TestCanonicalIdempotentProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		size := int(n%6) + 1
+		ok := true
+		_ = Enumerate(size, func(p Partition) bool {
+			c1 := p.Canonical()
+			c2 := c1.Canonical()
+			if !c1.Equal(c2) || c1.String() != c2.String() {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}

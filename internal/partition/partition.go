@@ -1,0 +1,156 @@
+// Package partition provides set partitions of attribute sets: the
+// Partition type with canonicalisation, formatting and comparison, full
+// enumeration via restricted growth strings (the substrate of the
+// brute-force AccuGenPartition baseline), and Bell/Stirling counting to
+// reason about enumeration cost.
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tdac/internal/truthdata"
+)
+
+// Partition is a set partition of attribute ids: a list of disjoint,
+// non-empty groups covering the attribute set.
+type Partition [][]truthdata.AttrID
+
+// Canonical returns an equivalent partition in canonical form: each group
+// sorted ascending, groups ordered by their first element. Two partitions
+// are equal iff their canonical forms are deeply equal.
+func (p Partition) Canonical() Partition {
+	out := make(Partition, 0, len(p))
+	for _, g := range p {
+		if len(g) == 0 {
+			continue
+		}
+		gg := append([]truthdata.AttrID(nil), g...)
+		sort.Slice(gg, func(i, j int) bool { return gg[i] < gg[j] })
+		out = append(out, gg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Equal reports whether p and q describe the same set partition.
+func (p Partition) Equal(q Partition) bool {
+	a, b := p.Canonical(), q.Canonical()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Size returns the number of attributes covered.
+func (p Partition) Size() int {
+	n := 0
+	for _, g := range p {
+		n += len(g)
+	}
+	return n
+}
+
+// String renders the canonical form in the paper's Table 5 notation with
+// 1-based attribute numbers: "[(1,2),(4,6),(3,5)]" — except that groups
+// are canonically ordered.
+func (p Partition) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, g := range p.Canonical() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('(')
+		for j, a := range g {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", int(a)+1)
+		}
+		b.WriteByte(')')
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// FromAssign builds a partition from a cluster-assignment vector: attrs[i]
+// belongs to group assign[i]. Empty groups vanish.
+func FromAssign(assign []int, k int) Partition {
+	groups := make(Partition, k)
+	for i, g := range assign {
+		groups[g] = append(groups[g], truthdata.AttrID(i))
+	}
+	return groups.Canonical()
+}
+
+// Whole returns the trivial single-group partition of n attributes.
+func Whole(n int) Partition {
+	g := make([]truthdata.AttrID, n)
+	for i := range g {
+		g[i] = truthdata.AttrID(i)
+	}
+	return Partition{g}
+}
+
+// Singletons returns the finest partition of n attributes.
+func Singletons(n int) Partition {
+	p := make(Partition, n)
+	for i := range p {
+		p[i] = []truthdata.AttrID{truthdata.AttrID(i)}
+	}
+	return p
+}
+
+// RandIndex measures agreement between two partitions of the same
+// attribute set as the fraction of attribute pairs on which they agree
+// (same group in both, or different groups in both). 1 means identical.
+func RandIndex(p, q Partition) float64 {
+	n := p.Size()
+	if n != q.Size() || n < 2 {
+		if p.Equal(q) {
+			return 1
+		}
+		return 0
+	}
+	gp := groupOf(p, n)
+	gq := groupOf(q, n)
+	agree, total := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			total++
+			sameP := gp[i] == gp[j]
+			sameQ := gq[i] == gq[j]
+			if sameP == sameQ {
+				agree++
+			}
+		}
+	}
+	return float64(agree) / float64(total)
+}
+
+func groupOf(p Partition, n int) []int {
+	g := make([]int, n)
+	for i := range g {
+		g[i] = -1
+	}
+	for gi, group := range p {
+		for _, a := range group {
+			if int(a) >= 0 && int(a) < n {
+				g[a] = gi
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,105 @@
+package partition
+
+import (
+	"testing"
+
+	"tdac/internal/truthdata"
+)
+
+func ids(xs ...int) []truthdata.AttrID {
+	out := make([]truthdata.AttrID, len(xs))
+	for i, x := range xs {
+		out[i] = truthdata.AttrID(x)
+	}
+	return out
+}
+
+func TestCanonicalSortsGroupsAndMembers(t *testing.T) {
+	p := Partition{ids(5, 3), ids(0, 2, 1)}
+	c := p.Canonical()
+	if c.String() != "[(1,2,3),(4,6)]" {
+		t.Errorf("Canonical().String() = %s", c.String())
+	}
+}
+
+func TestCanonicalDropsEmptyGroups(t *testing.T) {
+	p := Partition{ids(1), nil, ids(0)}
+	if got := len(p.Canonical()); got != 2 {
+		t.Errorf("Canonical kept %d groups, want 2", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Partition{ids(0, 1), ids(2)}
+	b := Partition{ids(2), ids(1, 0)}
+	if !a.Equal(b) {
+		t.Error("permuted partitions should be equal")
+	}
+	c := Partition{ids(0), ids(1, 2)}
+	if a.Equal(c) {
+		t.Error("different partitions reported equal")
+	}
+	if a.Equal(Partition{ids(0, 1)}) {
+		t.Error("partitions of different sizes reported equal")
+	}
+}
+
+func TestStringUsesOneBasedAttrs(t *testing.T) {
+	p := Partition{ids(0, 2), ids(1)}
+	if got := p.String(); got != "[(1,3),(2)]" {
+		t.Errorf("String() = %s, want [(1,3),(2)]", got)
+	}
+}
+
+func TestFromAssign(t *testing.T) {
+	p := FromAssign([]int{0, 1, 0, 1}, 2)
+	want := Partition{ids(0, 2), ids(1, 3)}
+	if !p.Equal(want) {
+		t.Errorf("FromAssign = %s, want %s", p, want)
+	}
+}
+
+func TestFromAssignSkipsEmptyClusters(t *testing.T) {
+	p := FromAssign([]int{2, 2, 0}, 3)
+	if len(p) != 2 {
+		t.Errorf("FromAssign kept %d groups, want 2", len(p))
+	}
+}
+
+func TestWholeAndSingletons(t *testing.T) {
+	w := Whole(4)
+	if len(w) != 1 || len(w[0]) != 4 {
+		t.Errorf("Whole(4) = %s", w)
+	}
+	s := Singletons(3)
+	if len(s) != 3 {
+		t.Errorf("Singletons(3) = %s", s)
+	}
+	if s.Size() != 3 || w.Size() != 4 {
+		t.Error("Size() wrong")
+	}
+}
+
+func TestRandIndex(t *testing.T) {
+	a := Partition{ids(0, 1), ids(2, 3)}
+	if got := RandIndex(a, a); got != 1 {
+		t.Errorf("RandIndex(a,a) = %v, want 1", got)
+	}
+	b := Partition{ids(0, 2), ids(1, 3)}
+	got := RandIndex(a, b)
+	// Pairs: (0,1) split in b; (2,3) split in b; (0,2) joined in b only;
+	// (1,3) joined in b only; (0,3) split in both (agree); (1,2) split in
+	// both (agree). 2 agreements of 6.
+	if !closeF(got, 2.0/6) {
+		t.Errorf("RandIndex = %v, want 1/3", got)
+	}
+	// Different sizes.
+	if got := RandIndex(a, Partition{ids(0)}); got != 0 {
+		t.Errorf("RandIndex on mismatched sizes = %v, want 0", got)
+	}
+}
+
+func closeF(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -1,0 +1,143 @@
+package realdata
+
+import (
+	"strings"
+	"testing"
+
+	"tdac/internal/truthdata"
+)
+
+func TestStocksMatchesTable8(t *testing.T) {
+	g, err := Stocks(StocksConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := truthdata.ComputeStats(g.Dataset)
+	if st.Sources != 55 || st.Objects != 100 || st.Attrs != 15 {
+		t.Errorf("dimensions = %d/%d/%d, want 55/100/15", st.Sources, st.Objects, st.Attrs)
+	}
+	if st.DCR < 68 || st.DCR > 82 {
+		t.Errorf("DCR = %.1f, want ≈ 75", st.DCR)
+	}
+	if len(g.Planted) != 3 {
+		t.Errorf("planted groups = %d, want 3 (prices/volumes/fundamentals)", len(g.Planted))
+	}
+}
+
+func TestFlightsMatchesTable8(t *testing.T) {
+	g, err := Flights(FlightsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := truthdata.ComputeStats(g.Dataset)
+	if st.Sources != 38 || st.Objects != 100 || st.Attrs != 6 {
+		t.Errorf("dimensions = %d/%d/%d, want 38/100/6", st.Sources, st.Objects, st.Attrs)
+	}
+	if st.DCR < 58 || st.DCR > 74 {
+		t.Errorf("DCR = %.1f, want ≈ 66", st.DCR)
+	}
+	if len(g.Planted) != 2 {
+		t.Errorf("planted groups = %d, want 2 (departure/arrival)", len(g.Planted))
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, err := Stocks(StocksConfig{Objects: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Stocks(StocksConfig{Objects: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dataset.NumClaims() != b.Dataset.NumClaims() {
+		t.Fatal("claim counts differ")
+	}
+	for i := range a.Dataset.Claims {
+		if a.Dataset.Claims[i] != b.Dataset.Claims[i] {
+			t.Fatal("claims differ between identical configs")
+		}
+	}
+}
+
+func TestGroundTruthComplete(t *testing.T) {
+	g, err := Flights(FlightsConfig{Objects: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(g.Dataset.Truth), 15*6; got != want {
+		t.Errorf("truth entries = %d, want %d", got, want)
+	}
+}
+
+func TestCopiersReplicateAVictim(t *testing.T) {
+	g, err := Stocks(StocksConfig{Objects: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Dataset
+	// Find copier sources by name and check high claim agreement with
+	// some independent source.
+	type cell = truthdata.Cell
+	claims := map[truthdata.SourceID]map[cell]string{}
+	for _, c := range d.Claims {
+		if claims[c.Source] == nil {
+			claims[c.Source] = map[cell]string{}
+		}
+		claims[c.Source][c.Cell()] = c.Value
+	}
+	for s := 0; s < d.NumSources(); s++ {
+		if !strings.Contains(d.SourceName(truthdata.SourceID(s)), "copier") {
+			continue
+		}
+		bestAgree := 0.0
+		for v := 0; v < d.NumSources(); v++ {
+			if v == s || strings.Contains(d.SourceName(truthdata.SourceID(v)), "copier") {
+				continue
+			}
+			shared, agree := 0, 0
+			for k, val := range claims[truthdata.SourceID(s)] {
+				if vv, ok := claims[truthdata.SourceID(v)][k]; ok {
+					shared++
+					if vv == val {
+						agree++
+					}
+				}
+			}
+			if shared > 0 {
+				if r := float64(agree) / float64(shared); r > bestAgree {
+					bestAgree = r
+				}
+			}
+		}
+		if bestAgree < 0.9 {
+			t.Errorf("copier %s best agreement = %v, want >= 0.9", d.SourceName(truthdata.SourceID(s)), bestAgree)
+		}
+	}
+}
+
+func TestStaleValuesPropagate(t *testing.T) {
+	g, err := Stocks(StocksConfig{Objects: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := 0
+	for _, c := range g.Dataset.Claims {
+		if strings.HasSuffix(c.Value, ".stale") {
+			stale++
+		}
+	}
+	frac := float64(stale) / float64(g.Dataset.NumClaims())
+	if frac < 0.1 || frac > 0.5 {
+		t.Errorf("stale claim fraction = %v, want a material share", frac)
+	}
+}
+
+func TestRejectsBadDimensions(t *testing.T) {
+	if _, err := Stocks(StocksConfig{Sources: 1}); err == nil {
+		t.Error("accepted 1 source")
+	}
+	if _, err := Flights(FlightsConfig{Objects: -1}); err == nil {
+		t.Error("accepted negative objects")
+	}
+}

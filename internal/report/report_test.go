@@ -1,0 +1,65 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tdac/internal/experiments"
+	"tdac/internal/paper"
+)
+
+func TestGenerateSmokeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report generation in -short mode")
+	}
+	r := experiments.NewRunner(experiments.Options{})
+	rep, err := Generate(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Checks) != len(paper.Claims()) {
+		t.Errorf("%d checks, want %d (one per claim)", len(rep.Checks), len(paper.Claims()))
+	}
+	for _, c := range rep.Checks {
+		if !c.Passed {
+			t.Errorf("shape check %s failed: %s", c.Claim.ID, c.Detail)
+		}
+		if c.Detail == "" {
+			t.Errorf("check %s has no measurement detail", c.Claim.ID)
+		}
+	}
+	if !rep.Passed() {
+		t.Error("Passed() = false with all checks green")
+	}
+	if len(rep.Comparisons) != 2 {
+		t.Errorf("%d comparison tables, want 2", len(rep.Comparisons))
+	}
+
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"[PASS]", "cmp-synth", "cmp-real", "Paper Accu"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q", want)
+		}
+	}
+}
+
+func TestPassedDetectsFailures(t *testing.T) {
+	rep := &Report{Checks: []Check{{Passed: true}, {Passed: false}}}
+	if rep.Passed() {
+		t.Error("Passed() ignored a failing check")
+	}
+}
+
+func TestAddUnknownClaimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("add accepted an unknown claim id")
+		}
+	}()
+	(&Report{}).add("not-a-claim", true, nil)
+}

@@ -1,0 +1,34 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzSimilarityInvariants(f *testing.F) {
+	f.Add("", "")
+	f.Add("abc", "abd")
+	f.Add("100.5", "101")
+	f.Add("Linus Torvalds", "linus torvalds")
+	f.Add("\x00\xff", "日本語")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 256 || len(b) > 256 {
+			return // keep the quadratic edit distance bounded
+		}
+		for name, fn := range map[string]Func{
+			"exact": Exact, "levenshtein": Levenshtein,
+			"numeric": Numeric, "jaccard": TokenJaccard,
+		} {
+			sab := fn(a, b)
+			if math.IsNaN(sab) || sab < 0 || sab > 1 {
+				t.Fatalf("%s(%q,%q) = %v out of [0,1]", name, a, b, sab)
+			}
+			if sba := fn(b, a); math.Abs(sab-sba) > 1e-9 {
+				t.Fatalf("%s not symmetric on %q,%q: %v vs %v", name, a, b, sab, sba)
+			}
+			if self := fn(a, a); self != 1 {
+				t.Fatalf("%s(%q,%q) = %v, want 1", name, a, a, self)
+			}
+		}
+	})
+}

@@ -1,0 +1,131 @@
+// Package similarity provides value-similarity functions in [0,1] used by
+// truth discovery algorithms that let similar values support each other
+// (TruthFinder's implication, AccuSim's similarity bonus).
+package similarity
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Func scores how similar two claimed values are; 1 means identical,
+// 0 means unrelated. Implementations must be symmetric.
+type Func func(a, b string) float64
+
+// Exact returns 1 for equal strings and 0 otherwise. Using Exact as the
+// similarity disables cross-value support entirely.
+func Exact(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return 0
+}
+
+// Levenshtein returns 1 - editDistance/maxLen, a normalised string edit
+// similarity. Empty-vs-empty counts as identical.
+func Levenshtein(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	// Two-row dynamic program; values are small so int is fine.
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1              // deletion
+			if v := cur[j-1] + 1; v < m { // insertion
+				m = v
+			}
+			if v := prev[j-1] + cost; v < m { // substitution
+				m = v
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	return 1 - float64(prev[lb])/float64(maxLen)
+}
+
+// Numeric treats both values as numbers and returns exp(-|a-b| / scale)
+// where scale adapts to the magnitude of the values (10% of the larger
+// absolute value, floored at 1). Non-numeric inputs fall back to
+// Levenshtein. This matches how truth discovery systems compare prices,
+// years or counts: 1991 vs 1992 is close, 1991 vs 1830 is not.
+func Numeric(a, b string) float64 {
+	fa, errA := strconv.ParseFloat(strings.TrimSpace(a), 64)
+	fb, errB := strconv.ParseFloat(strings.TrimSpace(b), 64)
+	if errA != nil || errB != nil {
+		return Levenshtein(a, b)
+	}
+	if fa == fb {
+		return 1
+	}
+	scale := 0.1 * math.Max(math.Abs(fa), math.Abs(fb))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Exp(-math.Abs(fa-fb) / scale)
+}
+
+// TokenJaccard tokenises on whitespace (lower-cased) and returns the
+// Jaccard index of the token sets. Useful for names and titles.
+func TokenJaccard(a, b string) float64 {
+	ta := tokens(a)
+	tb := tokens(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range ta {
+		if _, ok := tb[t]; ok {
+			inter++
+		}
+	}
+	union := len(ta) + len(tb) - inter
+	return float64(inter) / float64(union)
+}
+
+func tokens(s string) map[string]struct{} {
+	out := make(map[string]struct{})
+	for _, t := range strings.Fields(strings.ToLower(s)) {
+		out[t] = struct{}{}
+	}
+	return out
+}
+
+// ByName resolves a similarity function from its registry name; the bool
+// reports whether the name is known. Names: "exact", "levenshtein",
+// "numeric", "jaccard".
+func ByName(name string) (Func, bool) {
+	switch strings.ToLower(name) {
+	case "exact":
+		return Exact, true
+	case "levenshtein":
+		return Levenshtein, true
+	case "numeric":
+		return Numeric, true
+	case "jaccard":
+		return TokenJaccard, true
+	}
+	return nil, false
+}

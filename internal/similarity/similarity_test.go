@@ -1,0 +1,136 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExact(t *testing.T) {
+	if Exact("a", "a") != 1 {
+		t.Error("Exact on equal strings != 1")
+	}
+	if Exact("a", "b") != 0 {
+		t.Error("Exact on distinct strings != 0")
+	}
+	if Exact("", "") != 1 {
+		t.Error("Exact on empty strings != 1")
+	}
+}
+
+func TestLevenshteinKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"abc", "abc", 1},
+		{"abc", "abd", 1 - 1.0/3},
+		{"kitten", "sitting", 1 - 3.0/7},
+		{"", "abc", 0},
+		{"abc", "", 0},
+		{"a", "b", 0},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); !close(got, c.want) {
+			t.Errorf("Levenshtein(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestNumericCloseValues(t *testing.T) {
+	if got := Numeric("100", "100"); got != 1 {
+		t.Errorf("Numeric(100,100) = %v, want 1", got)
+	}
+	near := Numeric("100", "101")
+	far := Numeric("100", "200")
+	if near <= far {
+		t.Errorf("Numeric should decay with distance: near=%v far=%v", near, far)
+	}
+	if near < 0.8 {
+		t.Errorf("Numeric(100,101) = %v, want close to 1", near)
+	}
+}
+
+func TestNumericFallsBackToLevenshtein(t *testing.T) {
+	if got, want := Numeric("abc", "abd"), Levenshtein("abc", "abd"); !close(got, want) {
+		t.Errorf("Numeric non-numeric fallback = %v, want %v", got, want)
+	}
+}
+
+func TestNumericSmallMagnitudes(t *testing.T) {
+	// Scale floors at 1 so tiny numbers do not blow up the exponent.
+	got := Numeric("0.1", "0.2")
+	if got <= 0 || got >= 1 {
+		t.Errorf("Numeric(0.1,0.2) = %v, want in (0,1)", got)
+	}
+}
+
+func TestTokenJaccard(t *testing.T) {
+	if got := TokenJaccard("linus torvalds", "Linus Torvalds"); got != 1 {
+		t.Errorf("case-insensitive identical = %v, want 1", got)
+	}
+	if got := TokenJaccard("linus torvalds", "torvalds"); !close(got, 0.5) {
+		t.Errorf("half overlap = %v, want 0.5", got)
+	}
+	if got := TokenJaccard("a b", "c d"); got != 0 {
+		t.Errorf("disjoint = %v, want 0", got)
+	}
+	if got := TokenJaccard("", ""); got != 1 {
+		t.Errorf("both empty = %v, want 1", got)
+	}
+	if got := TokenJaccard("a", ""); got != 0 {
+		t.Errorf("one empty = %v, want 0", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"exact", "levenshtein", "numeric", "jaccard", "Exact", "NUMERIC"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) not found", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName accepted an unknown name")
+	}
+}
+
+// Properties every similarity must satisfy: range [0,1], symmetry, and
+// self-similarity 1.
+func TestSimilarityProperties(t *testing.T) {
+	funcs := map[string]Func{
+		"exact": Exact, "levenshtein": Levenshtein,
+		"numeric": Numeric, "jaccard": TokenJaccard,
+	}
+	rng := rand.New(rand.NewSource(5))
+	randWord := func() string {
+		n := rng.Intn(8)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte('0' + rng.Intn(42))
+		}
+		return string(buf)
+	}
+	for name, fn := range funcs {
+		t.Run(name, func(t *testing.T) {
+			f := func(_ int) bool {
+				a, b := randWord(), randWord()
+				sab, sba := fn(a, b), fn(b, a)
+				if sab < 0 || sab > 1 {
+					return false
+				}
+				if !close(sab, sba) {
+					return false
+				}
+				return fn(a, a) == 1
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

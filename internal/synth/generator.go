@@ -1,0 +1,257 @@
+// Package synth re-implements the synthetic data generator of Ba et al.
+// (WebDB 2015) that the paper uses for its Section 4.2 experiments: data
+// whose attributes are structurally correlated, i.e. partitioned into
+// groups such that each source has one reliability level per group.
+//
+// A configuration is the paper's Table 3 triple (m1, m2, m3):
+//
+//   - m1 is a source's accuracy on the attribute group it is expert in,
+//   - m2 is its accuracy on every other group,
+//   - m3 is the fraction of sources that follow this structure at all;
+//     the remaining sources draw an independent reliability per attribute,
+//     breaking the structural-correlation assumption.
+//
+// DS1 = (1.0, 0.0, 1.0) matches the paper's working setting exactly,
+// DS2 = (1.0, 0.0, 0.8) perturbs it, and DS3 = (1.0, 0.2, 0.8) relaxes it
+// further "to test the robustness of the approach".
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tdac/internal/partition"
+	"tdac/internal/truthdata"
+)
+
+// Config parameterises one synthetic dataset.
+type Config struct {
+	// Name labels the dataset ("DS1", …).
+	Name string
+	// Attrs, Objects, Sources give the dimensions. The paper uses
+	// 6 attributes, 1000 objects and 10 sources (60,000 observations at
+	// full coverage).
+	Attrs, Objects, Sources int
+	// GroupSizes describes the planted attribute partition; sizes must
+	// sum to Attrs. Empty means two near-equal halves.
+	GroupSizes []int
+	// M1 is the expert-group accuracy, M2 the non-expert accuracy and M3
+	// the fraction of structured sources (see package comment).
+	M1, M2, M3 float64
+	// FalseValues is the number of distinct wrong values per cell from
+	// which errors are drawn. Default 10.
+	FalseValues int
+	// DistractorProb is the probability a wrong claim lands on the
+	// cell's single distractor value instead of the uniform pool. Wrong
+	// answers concentrating on a popular false value is what keeps
+	// plurality voting honest work: with 0 every wrong vote scatters and
+	// majority voting is near-perfect. The paper configs use 0.3.
+	DistractorProb float64
+	// Coverage is the probability that a (source, object, attribute)
+	// observation exists. Default 1 (the paper's synthetic data are
+	// fully covered: 10·1000·6 = 60,000 observations).
+	Coverage float64
+	// Seed drives all randomness; same config + seed = same dataset.
+	Seed int64
+}
+
+// DS1, DS2 and DS3 return the paper's three configurations at full scale.
+func DS1() Config { return paperConfig("DS1", 1.0, 0.0, 1.0, 101) }
+
+// DS2 returns the paper's second configuration.
+func DS2() Config { return paperConfig("DS2", 1.0, 0.0, 0.8, 102) }
+
+// DS3 returns the paper's third, least structured configuration.
+func DS3() Config { return paperConfig("DS3", 1.0, 0.2, 0.8, 103) }
+
+func paperConfig(name string, m1, m2, m3 float64, seed int64) Config {
+	// Group shapes follow the planted partitions of the paper's Table 5:
+	// DS1 = [(1,2),(4,6),(3),(5)], DS2 = [(2,5),(1,4),(3,6)],
+	// DS3 = [(1,6,3),(2,4,5)]. Attribute-to-group assignment is shuffled
+	// by the seed, so groups are non-contiguous as in the paper.
+	sizes := map[string][]int{
+		"DS1": {2, 2, 1, 1},
+		"DS2": {2, 2, 2},
+		"DS3": {3, 3},
+	}[name]
+	return Config{
+		Name:           name,
+		Attrs:          6,
+		Objects:        1000,
+		Sources:        10,
+		GroupSizes:     sizes,
+		M1:             m1,
+		M2:             m2,
+		M3:             m3,
+		FalseValues:    50,
+		DistractorProb: 0.3,
+		Coverage:       1,
+		Seed:           seed,
+	}
+}
+
+// Scaled returns a copy of c with the object count replaced, for quick
+// test and bench runs that keep the paper's structure.
+func (c Config) Scaled(objects int) Config {
+	c.Objects = objects
+	return c
+}
+
+// Generated bundles a synthetic dataset with everything the generator
+// knows about it.
+type Generated struct {
+	Dataset *truthdata.Dataset
+	// Planted is the attribute partition the generator correlated the
+	// sources on — the partition a perfect algorithm should recover.
+	Planted partition.Partition
+	// Reliability[s][a] is the probability source s answers attribute a
+	// correctly.
+	Reliability [][]float64
+	// Structured[s] reports whether source s follows the planted
+	// partition (the m3 coin).
+	Structured []bool
+}
+
+// Generate builds the dataset. It panics only on programmer error
+// (invalid dimensions); all randomness is taken from c.Seed.
+func Generate(c Config) (*Generated, error) {
+	if c.Attrs < 1 || c.Objects < 1 || c.Sources < 1 {
+		return nil, fmt.Errorf("synth: invalid dimensions %d/%d/%d", c.Attrs, c.Objects, c.Sources)
+	}
+	if c.FalseValues == 0 {
+		c.FalseValues = 10
+	}
+	if c.Coverage == 0 {
+		c.Coverage = 1
+	}
+	if c.Coverage < 0 || c.Coverage > 1 {
+		return nil, fmt.Errorf("synth: coverage %v out of [0,1]", c.Coverage)
+	}
+	groups, err := buildGroups(c)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	// Scatter attributes across groups so planted partitions are
+	// non-contiguous, as in the paper's Table 5.
+	perm := rng.Perm(c.Attrs)
+	for gi := range groups {
+		for j, a := range groups[gi] {
+			groups[gi][j] = perm[a]
+		}
+	}
+
+	// Which group each attribute belongs to.
+	groupOf := make([]int, c.Attrs)
+	for gi, g := range groups {
+		for _, a := range g {
+			groupOf[a] = gi
+		}
+	}
+
+	// Source model: structured sources are expert in exactly one group
+	// (spread round-robin so every group has experts); unstructured
+	// sources draw one reliability per attribute.
+	structured := make([]bool, c.Sources)
+	reliability := make([][]float64, c.Sources)
+	expertOf := make([]int, c.Sources)
+	nextExpert := 0
+	for s := 0; s < c.Sources; s++ {
+		structured[s] = rng.Float64() < c.M3
+		reliability[s] = make([]float64, c.Attrs)
+		if structured[s] {
+			expertOf[s] = nextExpert % len(groups)
+			nextExpert++
+			for a := 0; a < c.Attrs; a++ {
+				if groupOf[a] == expertOf[s] {
+					reliability[s][a] = c.M1
+				} else {
+					reliability[s][a] = c.M2
+				}
+			}
+		} else {
+			for a := 0; a < c.Attrs; a++ {
+				reliability[s][a] = rng.Float64()
+			}
+		}
+	}
+
+	b := truthdata.NewBuilder(c.Name)
+	srcIDs := make([]truthdata.SourceID, c.Sources)
+	for s := 0; s < c.Sources; s++ {
+		srcIDs[s] = b.Source(fmt.Sprintf("source-%02d", s+1))
+	}
+	attrIDs := make([]truthdata.AttrID, c.Attrs)
+	for a := 0; a < c.Attrs; a++ {
+		attrIDs[a] = b.Attr(fmt.Sprintf("A%d", a+1))
+	}
+	for o := 0; o < c.Objects; o++ {
+		oid := b.Object(fmt.Sprintf("object-%04d", o+1))
+		for a := 0; a < c.Attrs; a++ {
+			truth := fmt.Sprintf("true-%d-%d", o, a)
+			distractor := fmt.Sprintf("wrong-%d-%d-%d", o, a, rng.Intn(c.FalseValues))
+			b.TruthIDs(oid, attrIDs[a], truth)
+			for s := 0; s < c.Sources; s++ {
+				if c.Coverage < 1 && rng.Float64() >= c.Coverage {
+					continue
+				}
+				value := truth
+				if rng.Float64() >= reliability[s][a] {
+					if rng.Float64() < c.DistractorProb {
+						value = distractor
+					} else {
+						value = fmt.Sprintf("wrong-%d-%d-%d", o, a, rng.Intn(c.FalseValues))
+					}
+				}
+				b.ClaimIDs(srcIDs[s], oid, attrIDs[a], value)
+			}
+		}
+	}
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	planted := make(partition.Partition, len(groups))
+	for gi, g := range groups {
+		for _, a := range g {
+			planted[gi] = append(planted[gi], truthdata.AttrID(a))
+		}
+	}
+	return &Generated{
+		Dataset:     d,
+		Planted:     planted.Canonical(),
+		Reliability: reliability,
+		Structured:  structured,
+	}, nil
+}
+
+func buildGroups(c Config) ([][]int, error) {
+	sizes := c.GroupSizes
+	if len(sizes) == 0 {
+		half := (c.Attrs + 1) / 2
+		sizes = []int{half, c.Attrs - half}
+		if sizes[1] == 0 {
+			sizes = sizes[:1]
+		}
+	}
+	total := 0
+	for _, s := range sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("synth: group size %d < 1", s)
+		}
+		total += s
+	}
+	if total != c.Attrs {
+		return nil, fmt.Errorf("synth: group sizes sum to %d, want %d attrs", total, c.Attrs)
+	}
+	groups := make([][]int, len(sizes))
+	next := 0
+	for gi, s := range sizes {
+		for j := 0; j < s; j++ {
+			groups[gi] = append(groups[gi], next)
+			next++
+		}
+	}
+	return groups, nil
+}

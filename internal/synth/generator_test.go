@@ -1,0 +1,208 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"tdac/internal/metrics"
+	"tdac/internal/truthdata"
+)
+
+func TestPaperConfigs(t *testing.T) {
+	cases := []struct {
+		cfg        Config
+		m1, m2, m3 float64
+		groups     int
+	}{
+		{DS1(), 1.0, 0.0, 1.0, 4},
+		{DS2(), 1.0, 0.0, 0.8, 3},
+		{DS3(), 1.0, 0.2, 0.8, 2},
+	}
+	for _, c := range cases {
+		if c.cfg.M1 != c.m1 || c.cfg.M2 != c.m2 || c.cfg.M3 != c.m3 {
+			t.Errorf("%s config = (%v,%v,%v), want (%v,%v,%v)",
+				c.cfg.Name, c.cfg.M1, c.cfg.M2, c.cfg.M3, c.m1, c.m2, c.m3)
+		}
+		if len(c.cfg.GroupSizes) != c.groups {
+			t.Errorf("%s has %d planted groups, want %d", c.cfg.Name, len(c.cfg.GroupSizes), c.groups)
+		}
+		if c.cfg.Attrs != 6 || c.cfg.Objects != 1000 || c.cfg.Sources != 10 {
+			t.Errorf("%s dimensions = %d/%d/%d, want 6/1000/10",
+				c.cfg.Name, c.cfg.Attrs, c.cfg.Objects, c.cfg.Sources)
+		}
+	}
+}
+
+func TestGenerateFullCoverageObservationCount(t *testing.T) {
+	g, err := Generate(DS1().Scaled(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full coverage: objects*sources*attrs observations, the paper's
+	// 60,000 shape scaled down.
+	if got, want := g.Dataset.NumClaims(), 50*10*6; got != want {
+		t.Errorf("claims = %d, want %d", got, want)
+	}
+	st := truthdata.ComputeStats(g.Dataset)
+	if st.DCR != 100 {
+		t.Errorf("DCR = %v, want 100", st.DCR)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g1, err := Generate(DS2().Scaled(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(DS2().Scaled(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g1.Dataset.Claims) != len(g2.Dataset.Claims) {
+		t.Fatal("claim counts differ")
+	}
+	for i := range g1.Dataset.Claims {
+		if g1.Dataset.Claims[i] != g2.Dataset.Claims[i] {
+			t.Fatalf("claim %d differs between identical configs", i)
+		}
+	}
+	if !g1.Planted.Equal(g2.Planted) {
+		t.Error("planted partitions differ")
+	}
+}
+
+func TestGenerateSeedChangesData(t *testing.T) {
+	cfg := DS1().Scaled(30)
+	g1, _ := Generate(cfg)
+	cfg.Seed++
+	g2, _ := Generate(cfg)
+	same := true
+	for i := range g1.Dataset.Claims {
+		if g1.Dataset.Claims[i] != g2.Dataset.Claims[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestGenerateRespectsReliability(t *testing.T) {
+	// DS1 (m3=1): every source must be perfect on its expert group and
+	// always wrong elsewhere.
+	g, err := Generate(DS1().Scaled(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, n := metrics.SourceAccuracy(g.Dataset)
+	for s := range acc {
+		if n[s] == 0 {
+			t.Fatalf("source %d made no claims", s)
+		}
+		// Expert on 1-2 of 6 attrs: overall accuracy must be the share
+		// of expert attributes (m1=1 there, m2=0 elsewhere).
+		expertAttrs := 0
+		for a := 0; a < 6; a++ {
+			if g.Reliability[s][a] == 1 {
+				expertAttrs++
+			}
+		}
+		want := float64(expertAttrs) / 6
+		if diff := acc[s] - want; diff < -1e-9 || diff > 1e-9 {
+			t.Errorf("source %d accuracy = %v, want exactly %v", s, acc[s], want)
+		}
+	}
+}
+
+func TestGeneratePlantedPartitionShape(t *testing.T) {
+	g, err := Generate(DS1().Scaled(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Planted.Size() != 6 {
+		t.Errorf("planted covers %d attrs", g.Planted.Size())
+	}
+	sizes := map[int]int{}
+	for _, grp := range g.Planted {
+		sizes[len(grp)]++
+	}
+	if sizes[2] != 2 || sizes[1] != 2 {
+		t.Errorf("DS1 planted group sizes = %v, want two pairs and two singletons", sizes)
+	}
+}
+
+func TestGenerateCoverage(t *testing.T) {
+	cfg := DS1().Scaled(100)
+	cfg.Coverage = 0.5
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := float64(100 * 10 * 6)
+	got := float64(g.Dataset.NumClaims()) / total
+	if got < 0.45 || got > 0.55 {
+		t.Errorf("coverage = %v, want ≈ 0.5", got)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Attrs: 0, Objects: 1, Sources: 1}); err == nil {
+		t.Error("accepted zero attrs")
+	}
+	if _, err := Generate(Config{Attrs: 2, Objects: 1, Sources: 1, Coverage: 2}); err == nil {
+		t.Error("accepted coverage > 1")
+	}
+	if _, err := Generate(Config{Attrs: 3, Objects: 1, Sources: 1, GroupSizes: []int{2, 2}}); err == nil {
+		t.Error("accepted group sizes not summing to attrs")
+	}
+	if _, err := Generate(Config{Attrs: 3, Objects: 1, Sources: 1, GroupSizes: []int{3, 0}}); err == nil {
+		t.Error("accepted empty group")
+	}
+}
+
+func TestGenerateDefaultGroups(t *testing.T) {
+	g, err := Generate(Config{Name: "dflt", Attrs: 5, Objects: 5, Sources: 4, M1: 1, M3: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Planted) != 2 {
+		t.Errorf("default planted groups = %d, want 2 halves", len(g.Planted))
+	}
+}
+
+func TestGenerateStructuredFlags(t *testing.T) {
+	cfg := DS2().Scaled(10) // m3 = 0.8
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	structured := 0
+	for _, s := range g.Structured {
+		if s {
+			structured++
+		}
+	}
+	if structured == 0 || structured == len(g.Structured) {
+		t.Errorf("m3=0.8 gave %d/%d structured sources; expected a mix", structured, len(g.Structured))
+	}
+}
+
+func TestTruthValuesSortBeforeWrongValues(t *testing.T) {
+	// Ties in plurality voting resolve lexicographically; the generator
+	// deliberately names values so the truth wins ties.
+	g, err := Generate(DS1().Scaled(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cell, v := range g.Dataset.Truth {
+		if !strings.HasPrefix(v, "true-") {
+			t.Fatalf("truth value %q for %v lacks true- prefix", v, cell)
+		}
+	}
+	for _, c := range g.Dataset.Claims {
+		if !strings.HasPrefix(c.Value, "true-") && !strings.HasPrefix(c.Value, "wrong-") {
+			t.Fatalf("claim value %q has unexpected prefix", c.Value)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package truthdata
+
+import "fmt"
+
+// Builder assembles a Dataset incrementally from string-named sources,
+// objects and attributes, interning names into dense ids. It is the
+// convenient front door for generators, loaders and tests; algorithms
+// consume the resulting Dataset/Index.
+type Builder struct {
+	d       *Dataset
+	sources map[string]SourceID
+	objects map[string]ObjectID
+	attrs   map[string]AttrID
+}
+
+// NewBuilder returns an empty builder for a dataset with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		d:       &Dataset{Name: name, Truth: make(map[Cell]string)},
+		sources: make(map[string]SourceID),
+		objects: make(map[string]ObjectID),
+		attrs:   make(map[string]AttrID),
+	}
+}
+
+// Source interns a source name and returns its id.
+func (b *Builder) Source(name string) SourceID {
+	if id, ok := b.sources[name]; ok {
+		return id
+	}
+	id := SourceID(len(b.d.Sources))
+	b.sources[name] = id
+	b.d.Sources = append(b.d.Sources, name)
+	return id
+}
+
+// Object interns an object name and returns its id.
+func (b *Builder) Object(name string) ObjectID {
+	if id, ok := b.objects[name]; ok {
+		return id
+	}
+	id := ObjectID(len(b.d.Objects))
+	b.objects[name] = id
+	b.d.Objects = append(b.d.Objects, name)
+	return id
+}
+
+// Attr interns an attribute name and returns its id.
+func (b *Builder) Attr(name string) AttrID {
+	if id, ok := b.attrs[name]; ok {
+		return id
+	}
+	id := AttrID(len(b.d.Attrs))
+	b.attrs[name] = id
+	b.d.Attrs = append(b.d.Attrs, name)
+	return id
+}
+
+// Claim records that source says object's attribute has the given value.
+func (b *Builder) Claim(source, object, attr, value string) {
+	b.d.Claims = append(b.d.Claims, Claim{
+		Source: b.Source(source),
+		Object: b.Object(object),
+		Attr:   b.Attr(attr),
+		Value:  value,
+	})
+}
+
+// ClaimIDs records a claim with pre-interned ids; callers of the typed
+// generators use this to avoid repeated map lookups.
+func (b *Builder) ClaimIDs(s SourceID, o ObjectID, a AttrID, value string) {
+	b.d.Claims = append(b.d.Claims, Claim{Source: s, Object: o, Attr: a, Value: value})
+}
+
+// Truth records the ground-truth value for (object, attr).
+func (b *Builder) Truth(object, attr, value string) {
+	b.d.Truth[Cell{Object: b.Object(object), Attr: b.Attr(attr)}] = value
+}
+
+// TruthIDs records ground truth with pre-interned ids.
+func (b *Builder) TruthIDs(o ObjectID, a AttrID, value string) {
+	b.d.Truth[Cell{Object: o, Attr: a}] = value
+}
+
+// Build validates and returns the assembled dataset. The builder must not
+// be reused afterwards.
+func (b *Builder) Build() (*Dataset, error) {
+	if err := b.d.Validate(); err != nil {
+		return nil, fmt.Errorf("building %q: %w", b.d.Name, err)
+	}
+	return b.d, nil
+}
+
+// MustBuild is Build for generators with programmatically correct output;
+// it panics on validation failure, which indicates a bug in the caller.
+func (b *Builder) MustBuild() *Dataset {
+	d, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,70 @@
+package truthdata
+
+import "testing"
+
+func TestBuilderInternsNames(t *testing.T) {
+	b := NewBuilder("intern")
+	s1 := b.Source("alpha")
+	s2 := b.Source("beta")
+	s3 := b.Source("alpha")
+	if s1 == s2 {
+		t.Error("distinct names share an id")
+	}
+	if s1 != s3 {
+		t.Error("same name got two ids")
+	}
+	if b.Object("x") != b.Object("x") {
+		t.Error("object interning broken")
+	}
+	if b.Attr("y") != b.Attr("y") {
+		t.Error("attr interning broken")
+	}
+}
+
+func TestBuilderClaimAndTruth(t *testing.T) {
+	b := NewBuilder("ct")
+	b.Claim("s", "o", "a", "v")
+	b.Truth("o", "a", "v")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumClaims() != 1 {
+		t.Fatalf("NumClaims = %d", d.NumClaims())
+	}
+	if d.Truth[Cell{}] != "v" {
+		t.Errorf("truth = %q, want v", d.Truth[Cell{}])
+	}
+}
+
+func TestBuilderBuildValidates(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Claim("s", "o", "a", "") // empty value is invalid
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted an empty claim value")
+	}
+}
+
+func TestMustBuildPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on invalid data")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.Claim("s", "o", "a", "")
+	b.MustBuild()
+}
+
+func TestBuilderTruthIDs(t *testing.T) {
+	b := NewBuilder("ids")
+	s := b.Source("s")
+	o := b.Object("o")
+	a := b.Attr("a")
+	b.ClaimIDs(s, o, a, "v")
+	b.TruthIDs(o, a, "v")
+	d := b.MustBuild()
+	if d.Truth[Cell{Object: o, Attr: a}] != "v" {
+		t.Error("TruthIDs did not record the truth")
+	}
+}

@@ -1,0 +1,234 @@
+// Package truthdata defines the claim data model shared by every truth
+// discovery algorithm in this repository: sources, objects, attributes,
+// claims, ground truth, and the derived indexes and statistics (such as
+// the data coverage rate) that the paper's evaluation relies on.
+package truthdata
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// SourceID identifies a data source by its position in Dataset.Sources.
+type SourceID int
+
+// ObjectID identifies a real-world object by its position in Dataset.Objects.
+type ObjectID int
+
+// AttrID identifies a data attribute by its position in Dataset.Attrs.
+type AttrID int
+
+// Cell is one (object, attribute) pair: the unit for which a one-truth
+// setting admits exactly one true value.
+type Cell struct {
+	Object ObjectID
+	Attr   AttrID
+}
+
+// String renders the cell as "object/attr" using numeric ids.
+func (c Cell) String() string { return fmt.Sprintf("%d/%d", c.Object, c.Attr) }
+
+// Claim is a single observation: source Source states that attribute Attr
+// of object Object has value Value.
+type Claim struct {
+	Source SourceID
+	Object ObjectID
+	Attr   AttrID
+	Value  string
+}
+
+// Cell returns the cell the claim is about.
+func (c Claim) Cell() Cell { return Cell{Object: c.Object, Attr: c.Attr} }
+
+// Dataset is the triplet (S, A, O) of the paper plus the claims relating
+// them and, when known, the ground truth used for evaluation. A source may
+// not cover all objects or attributes (missing data), which the DCR
+// statistic quantifies.
+type Dataset struct {
+	// Name labels the dataset in reports (e.g. "DS1", "Exam 62").
+	Name string
+	// Sources holds one display name per source; SourceID indexes it.
+	Sources []string
+	// Objects holds one display name per object; ObjectID indexes it.
+	Objects []string
+	// Attrs holds one display name per attribute; AttrID indexes it.
+	Attrs []string
+	// Claims is the full set of observations.
+	Claims []Claim
+	// Truth maps each cell with known ground truth to its true value.
+	// It may be nil (no evaluation possible) or partial.
+	Truth map[Cell]string
+}
+
+// NumSources returns |S|.
+func (d *Dataset) NumSources() int { return len(d.Sources) }
+
+// NumObjects returns |O|.
+func (d *Dataset) NumObjects() int { return len(d.Objects) }
+
+// NumAttrs returns |A|.
+func (d *Dataset) NumAttrs() int { return len(d.Attrs) }
+
+// NumClaims returns the number of observations.
+func (d *Dataset) NumClaims() int { return len(d.Claims) }
+
+// SourceName returns the display name for s, or a numeric fallback when s
+// is out of range.
+func (d *Dataset) SourceName(s SourceID) string {
+	if int(s) >= 0 && int(s) < len(d.Sources) {
+		return d.Sources[s]
+	}
+	return fmt.Sprintf("source-%d", s)
+}
+
+// AttrName returns the display name for a, or a numeric fallback when a is
+// out of range.
+func (d *Dataset) AttrName(a AttrID) string {
+	if int(a) >= 0 && int(a) < len(d.Attrs) {
+		return d.Attrs[a]
+	}
+	return fmt.Sprintf("attr-%d", a)
+}
+
+// ObjectName returns the display name for o, or a numeric fallback when o
+// is out of range.
+func (d *Dataset) ObjectName(o ObjectID) string {
+	if int(o) >= 0 && int(o) < len(d.Objects) {
+		return d.Objects[o]
+	}
+	return fmt.Sprintf("object-%d", o)
+}
+
+// Validate checks referential integrity: every claim must reference an
+// existing source, object and attribute, values must be non-empty, and no
+// source may claim two different values for the same cell. Ground truth
+// cells must also reference existing objects and attributes.
+func (d *Dataset) Validate() error {
+	if d == nil {
+		return errors.New("truthdata: nil dataset")
+	}
+	seen := make(map[claimKey]string, len(d.Claims))
+	for i, c := range d.Claims {
+		if int(c.Source) < 0 || int(c.Source) >= len(d.Sources) {
+			return fmt.Errorf("truthdata: claim %d: source %d out of range [0,%d)", i, c.Source, len(d.Sources))
+		}
+		if int(c.Object) < 0 || int(c.Object) >= len(d.Objects) {
+			return fmt.Errorf("truthdata: claim %d: object %d out of range [0,%d)", i, c.Object, len(d.Objects))
+		}
+		if int(c.Attr) < 0 || int(c.Attr) >= len(d.Attrs) {
+			return fmt.Errorf("truthdata: claim %d: attr %d out of range [0,%d)", i, c.Attr, len(d.Attrs))
+		}
+		if c.Value == "" {
+			return fmt.Errorf("truthdata: claim %d: empty value", i)
+		}
+		k := claimKey{c.Source, c.Object, c.Attr}
+		if prev, ok := seen[k]; ok && prev != c.Value {
+			return fmt.Errorf("truthdata: source %q claims both %q and %q for cell %v",
+				d.SourceName(c.Source), prev, c.Value, c.Cell())
+		}
+		seen[k] = c.Value
+	}
+	for cell, v := range d.Truth {
+		if int(cell.Object) < 0 || int(cell.Object) >= len(d.Objects) {
+			return fmt.Errorf("truthdata: truth cell %v: object out of range", cell)
+		}
+		if int(cell.Attr) < 0 || int(cell.Attr) >= len(d.Attrs) {
+			return fmt.Errorf("truthdata: truth cell %v: attr out of range", cell)
+		}
+		if v == "" {
+			return fmt.Errorf("truthdata: truth cell %v: empty value", cell)
+		}
+	}
+	return nil
+}
+
+type claimKey struct {
+	s SourceID
+	o ObjectID
+	a AttrID
+}
+
+// Clone returns a deep copy of the dataset; mutating the copy never
+// affects the original.
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{
+		Name:    d.Name,
+		Sources: append([]string(nil), d.Sources...),
+		Objects: append([]string(nil), d.Objects...),
+		Attrs:   append([]string(nil), d.Attrs...),
+		Claims:  append([]Claim(nil), d.Claims...),
+	}
+	if d.Truth != nil {
+		out.Truth = make(map[Cell]string, len(d.Truth))
+		for k, v := range d.Truth {
+			out.Truth[k] = v
+		}
+	}
+	return out
+}
+
+// Project returns a new dataset restricted to the given attributes. Claims
+// and truth entries about other attributes are dropped; attribute ids are
+// remapped to be dense in the projection, in ascending order of the
+// original ids. Sources and objects keep their identities so that results
+// computed on projections can be merged back. The mapping from new AttrID
+// to original AttrID is returned alongside.
+func (d *Dataset) Project(attrs []AttrID) (*Dataset, []AttrID) {
+	keep := make([]AttrID, 0, len(attrs))
+	seen := make(map[AttrID]bool, len(attrs))
+	for _, a := range attrs {
+		if int(a) >= 0 && int(a) < len(d.Attrs) && !seen[a] {
+			seen[a] = true
+			keep = append(keep, a)
+		}
+	}
+	sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+	remap := make(map[AttrID]AttrID, len(keep))
+	names := make([]string, len(keep))
+	for i, a := range keep {
+		remap[a] = AttrID(i)
+		names[i] = d.Attrs[a]
+	}
+	out := &Dataset{
+		Name:    d.Name,
+		Sources: append([]string(nil), d.Sources...),
+		Objects: append([]string(nil), d.Objects...),
+		Attrs:   names,
+	}
+	for _, c := range d.Claims {
+		if na, ok := remap[c.Attr]; ok {
+			c.Attr = na
+			out.Claims = append(out.Claims, c)
+		}
+	}
+	if d.Truth != nil {
+		out.Truth = make(map[Cell]string)
+		for cell, v := range d.Truth {
+			if na, ok := remap[cell.Attr]; ok {
+				out.Truth[Cell{Object: cell.Object, Attr: na}] = v
+			}
+		}
+	}
+	return out, keep
+}
+
+// Cells returns every cell for which at least one claim exists, in a
+// deterministic (object, attr) order.
+func (d *Dataset) Cells() []Cell {
+	set := make(map[Cell]struct{}, len(d.Claims))
+	for _, c := range d.Claims {
+		set[c.Cell()] = struct{}{}
+	}
+	cells := make([]Cell, 0, len(set))
+	for c := range set {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Object != cells[j].Object {
+			return cells[i].Object < cells[j].Object
+		}
+		return cells[i].Attr < cells[j].Attr
+	})
+	return cells
+}

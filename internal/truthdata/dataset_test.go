@@ -1,0 +1,221 @@
+package truthdata
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleDataset(t *testing.T) *Dataset {
+	t.Helper()
+	b := NewBuilder("sample")
+	b.Claim("s1", "o1", "a1", "red")
+	b.Claim("s2", "o1", "a1", "blue")
+	b.Claim("s3", "o1", "a1", "red")
+	b.Claim("s1", "o1", "a2", "10")
+	b.Claim("s2", "o1", "a2", "12")
+	b.Claim("s1", "o2", "a1", "green")
+	b.Claim("s3", "o2", "a2", "7")
+	b.Truth("o1", "a1", "red")
+	b.Truth("o1", "a2", "10")
+	b.Truth("o2", "a1", "green")
+	b.Truth("o2", "a2", "7")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return d
+}
+
+func TestDatasetCounts(t *testing.T) {
+	d := sampleDataset(t)
+	if got, want := d.NumSources(), 3; got != want {
+		t.Errorf("NumSources = %d, want %d", got, want)
+	}
+	if got, want := d.NumObjects(), 2; got != want {
+		t.Errorf("NumObjects = %d, want %d", got, want)
+	}
+	if got, want := d.NumAttrs(), 2; got != want {
+		t.Errorf("NumAttrs = %d, want %d", got, want)
+	}
+	if got, want := d.NumClaims(), 7; got != want {
+		t.Errorf("NumClaims = %d, want %d", got, want)
+	}
+}
+
+func TestDatasetNames(t *testing.T) {
+	d := sampleDataset(t)
+	if got := d.SourceName(0); got != "s1" {
+		t.Errorf("SourceName(0) = %q, want s1", got)
+	}
+	if got := d.ObjectName(1); got != "o2" {
+		t.Errorf("ObjectName(1) = %q, want o2", got)
+	}
+	if got := d.AttrName(1); got != "a2" {
+		t.Errorf("AttrName(1) = %q, want a2", got)
+	}
+	// Out-of-range ids fall back to synthetic names instead of panicking.
+	if got := d.SourceName(99); !strings.Contains(got, "99") {
+		t.Errorf("SourceName(99) = %q, want numeric fallback", got)
+	}
+	if got := d.ObjectName(-1); !strings.Contains(got, "-1") {
+		t.Errorf("ObjectName(-1) = %q, want numeric fallback", got)
+	}
+	if got := d.AttrName(42); !strings.Contains(got, "42") {
+		t.Errorf("AttrName(42) = %q, want numeric fallback", got)
+	}
+}
+
+func TestValidateRejectsBadClaims(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Dataset)
+	}{
+		{"source out of range", func(d *Dataset) { d.Claims[0].Source = 99 }},
+		{"negative source", func(d *Dataset) { d.Claims[0].Source = -1 }},
+		{"object out of range", func(d *Dataset) { d.Claims[0].Object = 99 }},
+		{"attr out of range", func(d *Dataset) { d.Claims[0].Attr = 99 }},
+		{"empty value", func(d *Dataset) { d.Claims[0].Value = "" }},
+		{"conflicting duplicate claim", func(d *Dataset) {
+			c := d.Claims[0]
+			c.Value = c.Value + "-other"
+			d.Claims = append(d.Claims, c)
+		}},
+		{"truth object out of range", func(d *Dataset) { d.Truth[Cell{Object: 9, Attr: 0}] = "x" }},
+		{"truth attr out of range", func(d *Dataset) { d.Truth[Cell{Object: 0, Attr: 9}] = "x" }},
+		{"empty truth value", func(d *Dataset) { d.Truth[Cell{Object: 0, Attr: 0}] = "" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := sampleDataset(t)
+			tc.mutate(d)
+			if err := d.Validate(); err == nil {
+				t.Error("Validate accepted an invalid dataset")
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsIdenticalDuplicateClaims(t *testing.T) {
+	d := sampleDataset(t)
+	d.Claims = append(d.Claims, d.Claims[0])
+	if err := d.Validate(); err != nil {
+		t.Errorf("Validate rejected an identical duplicate claim: %v", err)
+	}
+}
+
+func TestValidateNilDataset(t *testing.T) {
+	var d *Dataset
+	if err := d.Validate(); err == nil {
+		t.Error("Validate accepted a nil dataset")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := sampleDataset(t)
+	c := d.Clone()
+	c.Sources[0] = "mutated"
+	c.Claims[0].Value = "mutated"
+	c.Truth[Cell{Object: 0, Attr: 0}] = "mutated"
+	if d.Sources[0] == "mutated" || d.Claims[0].Value == "mutated" {
+		t.Error("Clone shares slices with the original")
+	}
+	if d.Truth[Cell{Object: 0, Attr: 0}] == "mutated" {
+		t.Error("Clone shares the truth map with the original")
+	}
+}
+
+func TestProjectKeepsOnlyRequestedAttrs(t *testing.T) {
+	d := sampleDataset(t)
+	sub, backMap := d.Project([]AttrID{1})
+	if got, want := sub.NumAttrs(), 1; got != want {
+		t.Fatalf("projected NumAttrs = %d, want %d", got, want)
+	}
+	if sub.Attrs[0] != "a2" {
+		t.Errorf("projected attr = %q, want a2", sub.Attrs[0])
+	}
+	if len(backMap) != 1 || backMap[0] != 1 {
+		t.Errorf("backMap = %v, want [1]", backMap)
+	}
+	for _, c := range sub.Claims {
+		if c.Attr != 0 {
+			t.Errorf("projected claim has attr %d, want 0", c.Attr)
+		}
+	}
+	if got, want := sub.NumClaims(), 3; got != want {
+		t.Errorf("projected NumClaims = %d, want %d", got, want)
+	}
+	// Truth is projected too.
+	if got, want := len(sub.Truth), 2; got != want {
+		t.Errorf("projected truth size = %d, want %d", got, want)
+	}
+	if sub.Truth[Cell{Object: 0, Attr: 0}] != "10" {
+		t.Errorf("projected truth = %q, want 10", sub.Truth[Cell{Object: 0, Attr: 0}])
+	}
+}
+
+func TestProjectDeduplicatesAndSortsAttrs(t *testing.T) {
+	d := sampleDataset(t)
+	sub, backMap := d.Project([]AttrID{1, 0, 1, 99, -1})
+	if got, want := sub.NumAttrs(), 2; got != want {
+		t.Fatalf("projected NumAttrs = %d, want %d", got, want)
+	}
+	if backMap[0] != 0 || backMap[1] != 1 {
+		t.Errorf("backMap = %v, want sorted [0 1]", backMap)
+	}
+}
+
+func TestProjectPreservesSourcesAndObjects(t *testing.T) {
+	d := sampleDataset(t)
+	sub, _ := d.Project([]AttrID{0})
+	if sub.NumSources() != d.NumSources() || sub.NumObjects() != d.NumObjects() {
+		t.Error("Project must keep source and object identities for merging")
+	}
+}
+
+func TestCellsDeterministicOrder(t *testing.T) {
+	d := sampleDataset(t)
+	cells := d.Cells()
+	if len(cells) != 4 {
+		t.Fatalf("Cells() returned %d cells, want 4", len(cells))
+	}
+	for i := 1; i < len(cells); i++ {
+		prev, cur := cells[i-1], cells[i]
+		if prev.Object > cur.Object || (prev.Object == cur.Object && prev.Attr >= cur.Attr) {
+			t.Errorf("Cells() not sorted at %d: %v then %v", i, prev, cur)
+		}
+	}
+}
+
+func TestCellString(t *testing.T) {
+	c := Cell{Object: 3, Attr: 7}
+	if got := c.String(); got != "3/7" {
+		t.Errorf("Cell.String() = %q, want 3/7", got)
+	}
+}
+
+// TestProjectPartitionCoversAllClaims checks the invariant TD-AC relies
+// on: projecting a dataset onto the groups of any partition of its
+// attributes splits the claims without loss or duplication.
+func TestProjectPartitionCoversAllClaims(t *testing.T) {
+	d := sampleDataset(t)
+	f := func(assignSeed uint8) bool {
+		groups := [][]AttrID{nil, nil}
+		for a := 0; a < d.NumAttrs(); a++ {
+			g := int(assignSeed>>uint(a)) & 1
+			groups[g] = append(groups[g], AttrID(a))
+		}
+		total := 0
+		for _, g := range groups {
+			if len(g) == 0 {
+				continue
+			}
+			sub, _ := d.Project(g)
+			total += sub.NumClaims()
+		}
+		return total == d.NumClaims()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

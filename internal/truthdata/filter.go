@@ -1,0 +1,97 @@
+package truthdata
+
+import "fmt"
+
+// Merge combines several datasets over disjoint or overlapping worlds
+// into one: sources, objects and attributes are matched by name, claims
+// are concatenated and ground truths unioned. Conflicting ground truths
+// (two inputs asserting different true values for the same named cell)
+// are an error, as are conflicting duplicate claims.
+func Merge(name string, datasets ...*Dataset) (*Dataset, error) {
+	b := NewBuilder(name)
+	for _, d := range datasets {
+		if d == nil {
+			continue
+		}
+		for _, c := range d.Claims {
+			b.Claim(d.SourceName(c.Source), d.ObjectName(c.Object), d.AttrName(c.Attr), c.Value)
+		}
+	}
+	for _, d := range datasets {
+		if d == nil {
+			continue
+		}
+		for cell, v := range d.Truth {
+			o := b.Object(d.ObjectName(cell.Object))
+			a := b.Attr(d.AttrName(cell.Attr))
+			if prev, ok := b.d.Truth[Cell{Object: o, Attr: a}]; ok && prev != v {
+				return nil, fmt.Errorf("truthdata: merge conflict: truth of %s/%s is both %q and %q",
+					d.ObjectName(cell.Object), d.AttrName(cell.Attr), prev, v)
+			}
+			b.TruthIDs(o, a, v)
+		}
+	}
+	return b.Build()
+}
+
+// FilterSources returns a copy of d keeping only the claims of sources
+// for which keep returns true. Source identities (ids and names) are
+// preserved so trust vectors remain comparable; ground truth is kept.
+func FilterSources(d *Dataset, keep func(SourceID, string) bool) *Dataset {
+	out := d.Clone()
+	filtered := out.Claims[:0]
+	for _, c := range out.Claims {
+		if keep(c.Source, d.SourceName(c.Source)) {
+			filtered = append(filtered, c)
+		}
+	}
+	out.Claims = filtered
+	return out
+}
+
+// WithoutSource returns a copy of d with one source's claims removed —
+// the building block of leave-one-source-out influence analysis.
+func WithoutSource(d *Dataset, s SourceID) *Dataset {
+	return FilterSources(d, func(id SourceID, _ string) bool { return id != s })
+}
+
+// FilterObjects returns a copy of d keeping only claims and truths about
+// objects for which keep returns true. Object ids are preserved.
+func FilterObjects(d *Dataset, keep func(ObjectID, string) bool) *Dataset {
+	out := d.Clone()
+	filtered := out.Claims[:0]
+	for _, c := range out.Claims {
+		if keep(c.Object, d.ObjectName(c.Object)) {
+			filtered = append(filtered, c)
+		}
+	}
+	out.Claims = filtered
+	for cell := range out.Truth {
+		if !keep(cell.Object, d.ObjectName(cell.Object)) {
+			delete(out.Truth, cell)
+		}
+	}
+	return out
+}
+
+// SplitObjects partitions d's objects into two datasets by the fraction
+// frac (0 < frac < 1) of objects, in object-id order: the first return
+// holds the first ceil(frac*|O|) objects. Useful for holdout evaluation
+// of hyper-parameters. Object ids are preserved in both halves.
+func SplitObjects(d *Dataset, frac float64) (*Dataset, *Dataset, error) {
+	if frac <= 0 || frac >= 1 {
+		return nil, nil, fmt.Errorf("truthdata: split fraction %v out of (0,1)", frac)
+	}
+	cut := int(frac*float64(d.NumObjects()) + 0.999999)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= d.NumObjects() {
+		cut = d.NumObjects() - 1
+	}
+	first := FilterObjects(d, func(o ObjectID, _ string) bool { return int(o) < cut })
+	second := FilterObjects(d, func(o ObjectID, _ string) bool { return int(o) >= cut })
+	first.Name = d.Name + "-a"
+	second.Name = d.Name + "-b"
+	return first, second, nil
+}

@@ -1,0 +1,156 @@
+package truthdata
+
+import "testing"
+
+func TestMergeDisjointWorlds(t *testing.T) {
+	b1 := NewBuilder("one")
+	b1.Claim("s1", "o1", "a", "x")
+	b1.Truth("o1", "a", "x")
+	d1 := b1.MustBuild()
+
+	b2 := NewBuilder("two")
+	b2.Claim("s2", "o2", "a", "y")
+	b2.Truth("o2", "a", "y")
+	d2 := b2.MustBuild()
+
+	m, err := Merge("merged", d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumClaims() != 2 || m.NumSources() != 2 || m.NumObjects() != 2 || m.NumAttrs() != 1 {
+		t.Errorf("merged stats: %d claims, %d sources, %d objects, %d attrs",
+			m.NumClaims(), m.NumSources(), m.NumObjects(), m.NumAttrs())
+	}
+	if len(m.Truth) != 2 {
+		t.Errorf("merged truth size = %d", len(m.Truth))
+	}
+}
+
+func TestMergeOverlappingSourcesByName(t *testing.T) {
+	b1 := NewBuilder("one")
+	b1.Claim("shared", "o1", "a", "x")
+	d1 := b1.MustBuild()
+	b2 := NewBuilder("two")
+	b2.Claim("shared", "o2", "a", "y")
+	d2 := b2.MustBuild()
+	m, err := Merge("merged", d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSources() != 1 {
+		t.Errorf("same-named sources not unified: %d sources", m.NumSources())
+	}
+}
+
+func TestMergeConflictingTruth(t *testing.T) {
+	b1 := NewBuilder("one")
+	b1.Claim("s", "o", "a", "x")
+	b1.Truth("o", "a", "x")
+	d1 := b1.MustBuild()
+	b2 := NewBuilder("two")
+	b2.Claim("s", "o", "a", "y")
+	b2.Truth("o", "a", "y")
+	d2 := b2.MustBuild()
+	if _, err := Merge("merged", d1, d2); err == nil {
+		t.Error("Merge accepted conflicting ground truths")
+	}
+}
+
+func TestMergeConflictingClaims(t *testing.T) {
+	b1 := NewBuilder("one")
+	b1.Claim("s", "o", "a", "x")
+	d1 := b1.MustBuild()
+	b2 := NewBuilder("two")
+	b2.Claim("s", "o", "a", "y")
+	d2 := b2.MustBuild()
+	if _, err := Merge("merged", d1, d2); err == nil {
+		t.Error("Merge accepted a source claiming two values for one cell")
+	}
+}
+
+func TestMergeSkipsNil(t *testing.T) {
+	b := NewBuilder("one")
+	b.Claim("s", "o", "a", "x")
+	d := b.MustBuild()
+	m, err := Merge("merged", nil, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumClaims() != 1 {
+		t.Errorf("claims = %d", m.NumClaims())
+	}
+}
+
+func TestFilterSources(t *testing.T) {
+	d := sampleDataset(t)
+	out := FilterSources(d, func(_ SourceID, name string) bool { return name != "s2" })
+	for _, c := range out.Claims {
+		if d.SourceName(c.Source) == "s2" {
+			t.Fatal("s2 claim survived the filter")
+		}
+	}
+	if out.NumSources() != d.NumSources() {
+		t.Error("source identities must be preserved")
+	}
+	// Original untouched.
+	if d.NumClaims() != 7 {
+		t.Error("FilterSources mutated the input")
+	}
+}
+
+func TestWithoutSource(t *testing.T) {
+	d := sampleDataset(t)
+	out := WithoutSource(d, 0)
+	for _, c := range out.Claims {
+		if c.Source == 0 {
+			t.Fatal("source 0 claim survived")
+		}
+	}
+	if out.NumClaims() >= d.NumClaims() {
+		t.Error("nothing removed")
+	}
+}
+
+func TestFilterObjects(t *testing.T) {
+	d := sampleDataset(t)
+	out := FilterObjects(d, func(_ ObjectID, name string) bool { return name == "o1" })
+	for _, c := range out.Claims {
+		if d.ObjectName(c.Object) != "o1" {
+			t.Fatal("claim about filtered object survived")
+		}
+	}
+	for cell := range out.Truth {
+		if d.ObjectName(cell.Object) != "o1" {
+			t.Fatal("truth about filtered object survived")
+		}
+	}
+}
+
+func TestSplitObjects(t *testing.T) {
+	d := sampleDataset(t)
+	a, b, err := SplitObjects(d, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumClaims()+b.NumClaims() != d.NumClaims() {
+		t.Errorf("split lost claims: %d + %d != %d", a.NumClaims(), b.NumClaims(), d.NumClaims())
+	}
+	if len(a.Truth)+len(b.Truth) != len(d.Truth) {
+		t.Error("split lost ground truth")
+	}
+	seen := map[ObjectID]bool{}
+	for _, c := range a.Claims {
+		seen[c.Object] = true
+	}
+	for _, c := range b.Claims {
+		if seen[c.Object] {
+			t.Fatal("object appears in both halves")
+		}
+	}
+	if _, _, err := SplitObjects(d, 0); err == nil {
+		t.Error("accepted fraction 0")
+	}
+	if _, _, err := SplitObjects(d, 1); err == nil {
+		t.Error("accepted fraction 1")
+	}
+}

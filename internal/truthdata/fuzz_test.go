@@ -1,0 +1,60 @@
+package truthdata
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzReadClaimsCSV(f *testing.F) {
+	f.Add("source,object,attribute,value\ns1,o1,a1,v1\n")
+	f.Add("s1,o1,a1,v1\ns1,o1,a1,v1\n")
+	f.Add("a,b,c\n")
+	f.Add("\"quoted,source\",o,a,v\n")
+	f.Add("s,o,a,\n")
+	f.Add(strings.Repeat("s,o,a,v\n", 50))
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadClaimsCSV(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return // malformed input may be rejected, never panic
+		}
+		// Anything accepted must be valid and must round-trip.
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted invalid dataset: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteClaimsCSV(&buf, d); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		d2, err := ReadClaimsCSV(&buf, "fuzz2")
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if d2.NumClaims() != d.NumClaims() {
+			t.Fatalf("round trip changed claims: %d -> %d", d.NumClaims(), d2.NumClaims())
+		}
+	})
+}
+
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	d := &Dataset{
+		Name: "seed", Sources: []string{"s"}, Objects: []string{"o"}, Attrs: []string{"a"},
+		Claims: []Claim{{Value: "v"}}, Truth: map[Cell]string{{}: "v"},
+	}
+	if err := WriteJSON(&seed, d); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("{}")
+	f.Add(`{"claims":[{"s":9,"o":0,"a":0,"v":"x"}]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted invalid dataset: %v", err)
+		}
+	})
+}

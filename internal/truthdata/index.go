@@ -1,0 +1,150 @@
+package truthdata
+
+import "sort"
+
+// ValueID identifies a distinct value within one cell's candidate set.
+type ValueID int
+
+// CellClaims groups, for one cell, the distinct candidate values and which
+// sources vote for each of them.
+type CellClaims struct {
+	Cell Cell
+	// Values are the distinct claimed values, sorted lexicographically so
+	// that ValueIDs are deterministic.
+	Values []string
+	// Voters[v] lists the sources claiming Values[v], ascending.
+	Voters [][]SourceID
+}
+
+// NumValues returns the number of distinct claimed values for the cell.
+func (cc *CellClaims) NumValues() int { return len(cc.Values) }
+
+// ValueOf returns the ValueID of val and whether it is claimed at all.
+func (cc *CellClaims) ValueOf(val string) (ValueID, bool) {
+	// Values is sorted; binary search keeps hot loops allocation-free.
+	lo, hi := 0, len(cc.Values)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cc.Values[mid] < val {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(cc.Values) && cc.Values[lo] == val {
+		return ValueID(lo), true
+	}
+	return -1, false
+}
+
+// SourceClaim is one claim as seen from a source's perspective: the index
+// of the cell in Index.Cells and the ValueID the source voted for.
+type SourceClaim struct {
+	CellIdx int
+	Value   ValueID
+}
+
+// Index is the compiled, read-only view of a Dataset that algorithms
+// iterate over. Building it once per run keeps every iteration of every
+// algorithm free of map lookups on string keys.
+type Index struct {
+	Dataset *Dataset
+	// Cells lists all claimed cells in deterministic order.
+	Cells []CellClaims
+	// CellIdx maps a Cell to its position in Cells.
+	CellIdx map[Cell]int
+	// BySource[s] lists the claims of source s, ordered by CellIdx.
+	BySource [][]SourceClaim
+	// TruthValue[i] is the ValueID of the ground-truth value of Cells[i]
+	// within its candidate set, or -1 when the truth is unknown or was
+	// claimed by no source.
+	TruthValue []ValueID
+}
+
+// NewIndex compiles d. The dataset must be valid (see Dataset.Validate);
+// duplicate identical claims collapse to a single vote.
+func NewIndex(d *Dataset) *Index {
+	type cellAcc struct {
+		values map[string][]SourceID
+	}
+	acc := make(map[Cell]*cellAcc, len(d.Claims)/2+1)
+	for _, c := range d.Claims {
+		cell := c.Cell()
+		a, ok := acc[cell]
+		if !ok {
+			a = &cellAcc{values: make(map[string][]SourceID, 4)}
+			acc[cell] = a
+		}
+		a.values[c.Value] = append(a.values[c.Value], c.Source)
+	}
+
+	cells := make([]Cell, 0, len(acc))
+	for c := range acc {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Object != cells[j].Object {
+			return cells[i].Object < cells[j].Object
+		}
+		return cells[i].Attr < cells[j].Attr
+	})
+
+	idx := &Index{
+		Dataset:    d,
+		Cells:      make([]CellClaims, len(cells)),
+		CellIdx:    make(map[Cell]int, len(cells)),
+		BySource:   make([][]SourceClaim, len(d.Sources)),
+		TruthValue: make([]ValueID, len(cells)),
+	}
+	for i, cell := range cells {
+		a := acc[cell]
+		vals := make([]string, 0, len(a.values))
+		for v := range a.values {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		voters := make([][]SourceID, len(vals))
+		for vi, v := range vals {
+			srcs := a.values[v]
+			sort.Slice(srcs, func(x, y int) bool { return srcs[x] < srcs[y] })
+			// Collapse duplicate identical claims from the same source.
+			dedup := srcs[:0]
+			for k, s := range srcs {
+				if k == 0 || srcs[k-1] != s {
+					dedup = append(dedup, s)
+				}
+			}
+			voters[vi] = dedup
+		}
+		idx.Cells[i] = CellClaims{Cell: cell, Values: vals, Voters: voters}
+		idx.CellIdx[cell] = i
+
+		idx.TruthValue[i] = -1
+		if tv, ok := d.Truth[cell]; ok {
+			if vid, ok := idx.Cells[i].ValueOf(tv); ok {
+				idx.TruthValue[i] = vid
+			}
+		}
+		for vi, vs := range voters {
+			for _, s := range vs {
+				idx.BySource[s] = append(idx.BySource[s], SourceClaim{CellIdx: i, Value: ValueID(vi)})
+			}
+		}
+	}
+	return idx
+}
+
+// NumCells returns the number of claimed cells.
+func (ix *Index) NumCells() int { return len(ix.Cells) }
+
+// ClaimCount returns the total number of (deduplicated) claims.
+func (ix *Index) ClaimCount() int {
+	n := 0
+	for _, sc := range ix.BySource {
+		n += len(sc)
+	}
+	return n
+}
+
+// ValueText returns the string value of (cell i, value v).
+func (ix *Index) ValueText(i int, v ValueID) string { return ix.Cells[i].Values[v] }

@@ -1,0 +1,227 @@
+package truthdata
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// The CSV claim format is one record per claim:
+//
+//	source,object,attribute,value
+//
+// with an optional header line (detected when the first record is exactly
+// "source,object,attribute,value"). The truth format is:
+//
+//	object,attribute,value
+//
+// also with an optional header. Names are free-form strings; ids are
+// assigned in order of first appearance.
+
+// ReadClaimsCSV parses a claims CSV stream into a new dataset named name.
+func ReadClaimsCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	cr.TrimLeadingSpace = true
+	b := NewBuilder(name)
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("truthdata: reading claims csv: %w", err)
+		}
+		if first {
+			first = false
+			if strings.EqualFold(rec[0], "source") && strings.EqualFold(rec[1], "object") {
+				continue
+			}
+		}
+		b.Claim(rec[0], rec[1], rec[2], rec[3])
+	}
+	return b.Build()
+}
+
+// ReadTruthCSV parses a truth CSV stream and merges it into d. Names that
+// do not already exist in d are rejected: the ground truth must be about
+// the claimed world.
+func ReadTruthCSV(r io.Reader, d *Dataset) error {
+	objects := make(map[string]ObjectID, len(d.Objects))
+	for i, n := range d.Objects {
+		objects[n] = ObjectID(i)
+	}
+	attrs := make(map[string]AttrID, len(d.Attrs))
+	for i, n := range d.Attrs {
+		attrs[n] = AttrID(i)
+	}
+	if d.Truth == nil {
+		d.Truth = make(map[Cell]string)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	cr.TrimLeadingSpace = true
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("truthdata: reading truth csv: %w", err)
+		}
+		if first {
+			first = false
+			if strings.EqualFold(rec[0], "object") && strings.EqualFold(rec[1], "attribute") {
+				continue
+			}
+		}
+		o, ok := objects[rec[0]]
+		if !ok {
+			return fmt.Errorf("truthdata: truth references unknown object %q", rec[0])
+		}
+		a, ok := attrs[rec[1]]
+		if !ok {
+			return fmt.Errorf("truthdata: truth references unknown attribute %q", rec[1])
+		}
+		d.Truth[Cell{Object: o, Attr: a}] = rec[2]
+	}
+}
+
+// WriteClaimsCSV writes d's claims in the claims CSV format, including a
+// header line.
+func WriteClaimsCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"source", "object", "attribute", "value"}); err != nil {
+		return err
+	}
+	for _, c := range d.Claims {
+		rec := []string{d.SourceName(c.Source), d.ObjectName(c.Object), d.AttrName(c.Attr), c.Value}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTruthCSV writes d's ground truth in the truth CSV format, with a
+// header line and deterministic row order.
+func WriteTruthCSV(w io.Writer, d *Dataset) error {
+	cells := make([]Cell, 0, len(d.Truth))
+	for c := range d.Truth {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Object != cells[j].Object {
+			return cells[i].Object < cells[j].Object
+		}
+		return cells[i].Attr < cells[j].Attr
+	})
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"object", "attribute", "value"}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		rec := []string{d.ObjectName(c.Object), d.AttrName(c.Attr), d.Truth[c]}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonDataset is the on-disk JSON shape: truth is keyed by
+// "objectName\x1fattrName" to stay a flat object.
+type jsonDataset struct {
+	Name    string            `json:"name"`
+	Sources []string          `json:"sources"`
+	Objects []string          `json:"objects"`
+	Attrs   []string          `json:"attributes"`
+	Claims  []jsonClaim       `json:"claims"`
+	Truth   map[string]string `json:"truth,omitempty"`
+}
+
+type jsonClaim struct {
+	Source int    `json:"s"`
+	Object int    `json:"o"`
+	Attr   int    `json:"a"`
+	Value  string `json:"v"`
+}
+
+const truthKeySep = "\x1f"
+
+// WriteJSON serialises the full dataset, ground truth included.
+func WriteJSON(w io.Writer, d *Dataset) error {
+	jd := jsonDataset{
+		Name:    d.Name,
+		Sources: d.Sources,
+		Objects: d.Objects,
+		Attrs:   d.Attrs,
+		Claims:  make([]jsonClaim, len(d.Claims)),
+	}
+	for i, c := range d.Claims {
+		jd.Claims[i] = jsonClaim{Source: int(c.Source), Object: int(c.Object), Attr: int(c.Attr), Value: c.Value}
+	}
+	if len(d.Truth) > 0 {
+		jd.Truth = make(map[string]string, len(d.Truth))
+		for cell, v := range d.Truth {
+			jd.Truth[d.ObjectName(cell.Object)+truthKeySep+d.AttrName(cell.Attr)] = v
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jd)
+}
+
+// ReadJSON deserialises a dataset written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var jd jsonDataset
+	if err := json.NewDecoder(r).Decode(&jd); err != nil {
+		return nil, fmt.Errorf("truthdata: decoding json dataset: %w", err)
+	}
+	d := &Dataset{
+		Name:    jd.Name,
+		Sources: jd.Sources,
+		Objects: jd.Objects,
+		Attrs:   jd.Attrs,
+		Claims:  make([]Claim, len(jd.Claims)),
+	}
+	for i, c := range jd.Claims {
+		d.Claims[i] = Claim{Source: SourceID(c.Source), Object: ObjectID(c.Object), Attr: AttrID(c.Attr), Value: c.Value}
+	}
+	if len(jd.Truth) > 0 {
+		objects := make(map[string]ObjectID, len(d.Objects))
+		for i, n := range d.Objects {
+			objects[n] = ObjectID(i)
+		}
+		attrs := make(map[string]AttrID, len(d.Attrs))
+		for i, n := range d.Attrs {
+			attrs[n] = AttrID(i)
+		}
+		d.Truth = make(map[Cell]string, len(jd.Truth))
+		for k, v := range jd.Truth {
+			sep := strings.Index(k, truthKeySep)
+			if sep < 0 {
+				return nil, fmt.Errorf("truthdata: malformed truth key %q", k)
+			}
+			o, ok := objects[k[:sep]]
+			if !ok {
+				return nil, fmt.Errorf("truthdata: truth references unknown object %q", k[:sep])
+			}
+			a, ok := attrs[k[sep+1:]]
+			if !ok {
+				return nil, fmt.Errorf("truthdata: truth references unknown attribute %q", k[sep+1:])
+			}
+			d.Truth[Cell{Object: o, Attr: a}] = v
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,135 @@
+package truthdata
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestClaimsCSVRoundTrip(t *testing.T) {
+	d := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := WriteClaimsCSV(&buf, d); err != nil {
+		t.Fatalf("WriteClaimsCSV: %v", err)
+	}
+	got, err := ReadClaimsCSV(&buf, "sample")
+	if err != nil {
+		t.Fatalf("ReadClaimsCSV: %v", err)
+	}
+	if got.NumClaims() != d.NumClaims() {
+		t.Errorf("round trip lost claims: %d vs %d", got.NumClaims(), d.NumClaims())
+	}
+	if got.NumSources() != d.NumSources() || got.NumObjects() != d.NumObjects() || got.NumAttrs() != d.NumAttrs() {
+		t.Error("round trip changed dimensions")
+	}
+	for i, c := range got.Claims {
+		o := d.Claims[i]
+		if got.SourceName(c.Source) != d.SourceName(o.Source) || c.Value != o.Value {
+			t.Fatalf("claim %d mismatch after round trip", i)
+		}
+	}
+}
+
+func TestReadClaimsCSVWithoutHeader(t *testing.T) {
+	in := "s1,o1,a1,v1\ns2,o1,a1,v2\n"
+	d, err := ReadClaimsCSV(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatalf("ReadClaimsCSV: %v", err)
+	}
+	if d.NumClaims() != 2 {
+		t.Errorf("NumClaims = %d, want 2", d.NumClaims())
+	}
+}
+
+func TestReadClaimsCSVRejectsShortRecords(t *testing.T) {
+	in := "s1,o1,a1\n"
+	if _, err := ReadClaimsCSV(strings.NewReader(in), "x"); err == nil {
+		t.Error("accepted a record with 3 fields")
+	}
+}
+
+func TestTruthCSVRoundTrip(t *testing.T) {
+	d := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := WriteTruthCSV(&buf, d); err != nil {
+		t.Fatalf("WriteTruthCSV: %v", err)
+	}
+	d2 := sampleDataset(t)
+	d2.Truth = nil
+	if err := ReadTruthCSV(&buf, d2); err != nil {
+		t.Fatalf("ReadTruthCSV: %v", err)
+	}
+	if len(d2.Truth) != len(d.Truth) {
+		t.Fatalf("round trip truth size = %d, want %d", len(d2.Truth), len(d.Truth))
+	}
+	for cell, v := range d.Truth {
+		if d2.Truth[cell] != v {
+			t.Errorf("truth %v = %q, want %q", cell, d2.Truth[cell], v)
+		}
+	}
+}
+
+func TestReadTruthCSVRejectsUnknownNames(t *testing.T) {
+	d := sampleDataset(t)
+	if err := ReadTruthCSV(strings.NewReader("nobody,a1,v\n"), d); err == nil {
+		t.Error("accepted truth about an unknown object")
+	}
+	if err := ReadTruthCSV(strings.NewReader("o1,nothing,v\n"), d); err == nil {
+		t.Error("accepted truth about an unknown attribute")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, d); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.Name != d.Name {
+		t.Errorf("Name = %q, want %q", got.Name, d.Name)
+	}
+	if got.NumClaims() != d.NumClaims() {
+		t.Errorf("claims = %d, want %d", got.NumClaims(), d.NumClaims())
+	}
+	if len(got.Truth) != len(d.Truth) {
+		t.Fatalf("truth size = %d, want %d", len(got.Truth), len(d.Truth))
+	}
+	for cell, v := range d.Truth {
+		if got.Truth[cell] != v {
+			t.Errorf("truth %v = %q, want %q", cell, got.Truth[cell], v)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("accepted malformed JSON")
+	}
+}
+
+func TestReadJSONValidates(t *testing.T) {
+	// A claim referencing source 5 of a 1-source dataset must be caught.
+	in := `{"name":"bad","sources":["s"],"objects":["o"],"attributes":["a"],` +
+		`"claims":[{"s":5,"o":0,"a":0,"v":"x"}]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Error("accepted out-of-range source id")
+	}
+}
+
+func TestWriteTruthCSVDeterministicOrder(t *testing.T) {
+	d := sampleDataset(t)
+	var a, b bytes.Buffer
+	if err := WriteTruthCSV(&a, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTruthCSV(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("WriteTruthCSV output is not deterministic")
+	}
+}

@@ -1,0 +1,64 @@
+package truthdata
+
+import "fmt"
+
+// Stats summarises a dataset the way the paper's Table 8 does.
+type Stats struct {
+	Name         string
+	Sources      int
+	Objects      int
+	Attrs        int
+	Observations int
+	// DCR is the data coverage rate, in percent (Equation 7 of §4.4).
+	DCR float64
+}
+
+// String renders the statistics on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d sources, %d objects, %d attrs, %d observations, DCR=%.0f%%",
+		s.Name, s.Sources, s.Objects, s.Attrs, s.Observations, s.DCR)
+}
+
+// ComputeStats derives the Table 8 statistics for d.
+//
+// The DCR follows the paper's Equation 7: for each object o, S_o is the
+// set of sources claiming anything about o and A_o the set of attributes
+// claimed for o; |S_o|*|A_o| would be the observation count at full
+// coverage, and sum_s |A_{o-s}| the observations actually present. DCR is
+// the ratio of present to potential observations, across objects, in
+// percent.
+func ComputeStats(d *Dataset) Stats {
+	type objAcc struct {
+		sources map[SourceID]int // -> number of attrs claimed by that source for this object
+		attrs   map[AttrID]struct{}
+	}
+	perObj := make(map[ObjectID]*objAcc)
+	for _, c := range d.Claims {
+		a, ok := perObj[c.Object]
+		if !ok {
+			a = &objAcc{sources: make(map[SourceID]int), attrs: make(map[AttrID]struct{})}
+			perObj[c.Object] = a
+		}
+		a.sources[c.Source]++
+		a.attrs[c.Attr] = struct{}{}
+	}
+	var potential, present int
+	for _, a := range perObj {
+		potential += len(a.sources) * len(a.attrs)
+		for _, n := range a.sources {
+			present += n
+		}
+	}
+	dcr := 100.0
+	if potential > 0 {
+		dcr = 100 * float64(present) / float64(potential)
+	}
+	return Stats{
+		Name:         d.Name,
+		Sources:      d.NumSources(),
+		Objects:      d.NumObjects(),
+		Attrs:        d.NumAttrs(),
+		Observations: d.NumClaims(),
+		DCR:          dcr,
+	}
+}

@@ -1,0 +1,88 @@
+package truthdata
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStatsFullCoverage(t *testing.T) {
+	b := NewBuilder("full")
+	for s := 0; s < 3; s++ {
+		for o := 0; o < 2; o++ {
+			for a := 0; a < 2; a++ {
+				b.Claim(
+					string(rune('S'+s)),
+					string(rune('O'+o)),
+					string(rune('A'+a)),
+					"v",
+				)
+			}
+		}
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeStats(d)
+	if st.DCR != 100 {
+		t.Errorf("DCR = %v, want 100", st.DCR)
+	}
+	if st.Sources != 3 || st.Objects != 2 || st.Attrs != 2 || st.Observations != 12 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestComputeStatsPartialCoverage(t *testing.T) {
+	// Object o: sources S1, S2 both seen; attrs a1, a2 both seen; but S2
+	// only claims a1. Potential = 2 sources * 2 attrs = 4, present = 3.
+	b := NewBuilder("partial")
+	b.Claim("S1", "o", "a1", "v")
+	b.Claim("S1", "o", "a2", "v")
+	b.Claim("S2", "o", "a1", "v")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeStats(d)
+	if want := 75.0; st.DCR != want {
+		t.Errorf("DCR = %v, want %v", st.DCR, want)
+	}
+}
+
+func TestComputeStatsPerObjectDenominator(t *testing.T) {
+	// The Equation-7 denominator is per object: a source that never
+	// touches object o2 does not count against o2's coverage.
+	b := NewBuilder("perobject")
+	b.Claim("S1", "o1", "a1", "v")
+	b.Claim("S2", "o1", "a1", "v")
+	b.Claim("S1", "o2", "a1", "v")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeStats(d)
+	if st.DCR != 100 {
+		t.Errorf("DCR = %v, want 100 (S2 never covers o2)", st.DCR)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	d := &Dataset{Name: "empty"}
+	st := ComputeStats(d)
+	if st.DCR != 100 {
+		t.Errorf("empty dataset DCR = %v, want 100 by convention", st.DCR)
+	}
+	if st.Observations != 0 {
+		t.Errorf("Observations = %d, want 0", st.Observations)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	st := Stats{Name: "x", Sources: 1, Objects: 2, Attrs: 3, Observations: 4, DCR: 56.4}
+	s := st.String()
+	for _, want := range []string{"x", "1 sources", "2 objects", "3 attrs", "4 observations", "56%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Stats.String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,403 @@
+// Package tdac implements TD-AC — Truth Discovery with Attribute
+// Clustering (Tossou & Ba, EDBT 2021) — together with the standard truth
+// discovery algorithms it builds on and compares against.
+//
+// Truth discovery takes conflicting claims made by many sources about the
+// attributes of real-world objects and predicts which value is true, with
+// no prior knowledge of source reliability. When groups of attributes are
+// structurally correlated — every source keeps one reliability level
+// within a group but different levels across groups — running one
+// algorithm over all attributes biases the reliability estimates. TD-AC
+// fixes this by abstracting the truth into per-attribute truth vectors,
+// clustering them with k-means scored by the silhouette index, and
+// running the base algorithm independently on every attribute cluster.
+//
+// # Quick start
+//
+//	b := tdac.NewBuilder("my-data")
+//	b.Claim("source-1", "object-1", "colour", "red")
+//	b.Claim("source-2", "object-1", "colour", "blue")
+//	// ... more claims ...
+//	ds, err := b.Build()
+//	if err != nil { ... }
+//	result, err := tdac.Discover(ds, tdac.WithBase("Accu"))
+//	if err != nil { ... }
+//	fmt.Println(result.Truth)     // predicted value per (object, attribute)
+//	fmt.Println(result.Partition) // the attribute partition TD-AC selected
+//
+// The base algorithm can be any registered name (see Algorithms):
+// MajorityVote, TruthFinder, Accu, AccuSim, Depen (Dong et al. 2009),
+// Sums, AverageLog, Investment, PooledInvestment (Pasternack & Roth
+// 2010), TwoEstimates, ThreeEstimates (Galland et al. 2010), CRH (Li et
+// al. 2014) and SimpleLCA (Pasternack & Roth 2013). Base algorithms can
+// also be run directly, without the TD-AC wrapper, via Run.
+package tdac
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"tdac/internal/algorithms"
+	"tdac/internal/core"
+	"tdac/internal/metrics"
+	"tdac/internal/partition"
+	"tdac/internal/truthdata"
+)
+
+// Re-exported identifier types of the data model.
+type (
+	// SourceID identifies a source within a Dataset.
+	SourceID = truthdata.SourceID
+	// ObjectID identifies an object within a Dataset.
+	ObjectID = truthdata.ObjectID
+	// AttrID identifies an attribute within a Dataset.
+	AttrID = truthdata.AttrID
+	// Cell is one (object, attribute) pair with exactly one true value.
+	Cell = truthdata.Cell
+	// Claim is a single observation by a source about a cell.
+	Claim = truthdata.Claim
+	// Dataset is the (sources, attributes, objects, claims) bundle all
+	// algorithms consume.
+	Dataset = truthdata.Dataset
+	// Builder assembles a Dataset from string-named claims.
+	Builder = truthdata.Builder
+	// Stats summarises a dataset (source/object/attribute/observation
+	// counts and the data coverage rate).
+	Stats = truthdata.Stats
+	// Partition is a set partition of a dataset's attributes.
+	Partition = partition.Partition
+	// Report carries precision, recall, accuracy, F1 and cell accuracy
+	// of a prediction against ground truth.
+	Report = metrics.Report
+)
+
+// NewBuilder returns a builder for a dataset with the given name.
+func NewBuilder(name string) *Builder { return truthdata.NewBuilder(name) }
+
+// ComputeStats derives Table 8-style statistics, including the DCR.
+func ComputeStats(d *Dataset) Stats { return truthdata.ComputeStats(d) }
+
+// ReadClaimsCSV parses "source,object,attribute,value" records.
+func ReadClaimsCSV(r io.Reader, name string) (*Dataset, error) {
+	return truthdata.ReadClaimsCSV(r, name)
+}
+
+// ReadTruthCSV merges "object,attribute,value" ground truth into d.
+func ReadTruthCSV(r io.Reader, d *Dataset) error { return truthdata.ReadTruthCSV(r, d) }
+
+// WriteClaimsCSV writes d's claims in the claims CSV format.
+func WriteClaimsCSV(w io.Writer, d *Dataset) error { return truthdata.WriteClaimsCSV(w, d) }
+
+// WriteTruthCSV writes d's ground truth in the truth CSV format.
+func WriteTruthCSV(w io.Writer, d *Dataset) error { return truthdata.WriteTruthCSV(w, d) }
+
+// ReadJSON deserialises a dataset written by WriteJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) { return truthdata.ReadJSON(r) }
+
+// WriteJSON serialises the full dataset, ground truth included.
+func WriteJSON(w io.Writer, d *Dataset) error { return truthdata.WriteJSON(w, d) }
+
+// Algorithms lists the registered base algorithm names.
+func Algorithms() []string { return algorithms.Names() }
+
+// Result is the outcome of a TD-AC run: the predicted truth plus the
+// partitioning decisions behind it.
+type Result struct {
+	// Truth maps every claimed cell to its predicted true value.
+	Truth map[Cell]string
+	// Confidence maps every claimed cell to the confidence score of the
+	// predicted value, in the base algorithm's own scale.
+	Confidence map[Cell]float64
+	// Trust is the final per-source reliability estimate.
+	Trust []float64
+	// Partition is the attribute partition TD-AC selected; a single
+	// group when the dataset has fewer than three attributes.
+	Partition Partition
+	// Silhouette is the silhouette value of the selected partition.
+	Silhouette float64
+	// Runtime is the wall-clock duration of the whole run.
+	Runtime time.Duration
+}
+
+// Option configures Discover.
+type Option func(*config) error
+
+type config struct {
+	base      string
+	reference string
+	minK      int
+	maxK      int
+	parallel  bool
+	masked    bool
+	seed      int64
+}
+
+// WithBase selects the base algorithm F (default "Accu", the paper's
+// choice).
+func WithBase(name string) Option {
+	return func(c *config) error { c.base = name; return nil }
+}
+
+// WithReference selects the algorithm producing the reference truth for
+// the attribute truth vectors. Default: the base algorithm itself.
+func WithReference(name string) Option {
+	return func(c *config) error { c.reference = name; return nil }
+}
+
+// WithKRange bounds the cluster counts explored (default [2, |A|-1], as
+// in the paper's Algorithm 1).
+func WithKRange(minK, maxK int) Option {
+	return func(c *config) error {
+		if minK < 2 || (maxK != 0 && maxK < minK) {
+			return fmt.Errorf("tdac: invalid k range [%d,%d]", minK, maxK)
+		}
+		c.minK, c.maxK = minK, maxK
+		return nil
+	}
+}
+
+// WithParallel runs the base algorithm on the partition's groups
+// concurrently (the paper's future-work item (ii)).
+func WithParallel() Option {
+	return func(c *config) error { c.parallel = true; return nil }
+}
+
+// WithSparseAware switches the truth vectors and clustering distance to
+// the missing-claim-masked encoding, which helps on low-coverage data
+// (the paper's future-work item (i)).
+func WithSparseAware() Option {
+	return func(c *config) error { c.masked = true; return nil }
+}
+
+// WithSeed fixes the k-means seed (default 1; all runs are deterministic
+// either way).
+func WithSeed(seed int64) Option {
+	return func(c *config) error { c.seed = seed; return nil }
+}
+
+// Discover runs TD-AC (Algorithm 1 of the paper) on the dataset.
+func Discover(d *Dataset, opts ...Option) (*Result, error) {
+	cfg := config{base: "Accu"}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	base, err := algorithms.New(cfg.base)
+	if err != nil {
+		return nil, err
+	}
+	t := core.New(base)
+	if cfg.reference != "" {
+		ref, err := algorithms.New(cfg.reference)
+		if err != nil {
+			return nil, err
+		}
+		t.Reference = ref
+	}
+	t.MinK, t.MaxK = cfg.minK, cfg.maxK
+	t.Parallel = cfg.parallel
+	t.Masked = cfg.masked
+	t.KMeans.Seed = cfg.seed
+	out, err := t.Run(d)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Truth:      out.Truth,
+		Confidence: out.Confidence,
+		Trust:      out.Trust,
+		Partition:  out.Partition,
+		Silhouette: out.Silhouette,
+		Runtime:    out.Runtime,
+	}, nil
+}
+
+// BaseResult is the outcome of running a base algorithm directly.
+type BaseResult struct {
+	// Algorithm is the name of the algorithm that ran.
+	Algorithm string
+	// Truth maps every claimed cell to its predicted true value.
+	Truth map[Cell]string
+	// Trust is the final per-source reliability estimate.
+	Trust []float64
+	// Iterations counts the update rounds executed.
+	Iterations int
+	// Runtime is the wall-clock duration of the run.
+	Runtime time.Duration
+}
+
+// Run executes a registered base algorithm by name, without attribute
+// partitioning.
+func Run(d *Dataset, algorithm string) (*BaseResult, error) {
+	alg, err := algorithms.New(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	res, err := alg.Discover(d)
+	if err != nil {
+		return nil, err
+	}
+	return &BaseResult{
+		Algorithm:  res.Algorithm,
+		Truth:      res.Truth,
+		Trust:      res.Trust,
+		Iterations: res.Iterations,
+		Runtime:    res.Runtime,
+	}, nil
+}
+
+// Evaluate scores a prediction against the dataset's ground truth using
+// the paper's metrics (precision, recall, accuracy, F1 at claim level,
+// plus per-cell accuracy).
+func Evaluate(d *Dataset, predicted map[Cell]string) Report {
+	return metrics.Evaluate(d, predicted)
+}
+
+// Merge combines several datasets by matching sources, objects and
+// attributes by name; conflicting ground truths or claims are an error.
+func Merge(name string, datasets ...*Dataset) (*Dataset, error) {
+	return truthdata.Merge(name, datasets...)
+}
+
+// FilterSources returns a copy of d keeping only claims of sources
+// accepted by keep; source identities are preserved.
+func FilterSources(d *Dataset, keep func(SourceID, string) bool) *Dataset {
+	return truthdata.FilterSources(d, keep)
+}
+
+// WithoutSource returns a copy of d with one source's claims removed —
+// the building block of leave-one-source-out influence analysis.
+func WithoutSource(d *Dataset, s SourceID) *Dataset { return truthdata.WithoutSource(d, s) }
+
+// FilterObjects returns a copy of d keeping only claims and truths about
+// objects accepted by keep.
+func FilterObjects(d *Dataset, keep func(ObjectID, string) bool) *Dataset {
+	return truthdata.FilterObjects(d, keep)
+}
+
+// SplitObjects partitions d's objects into two datasets by fraction, for
+// holdout experiments.
+func SplitObjects(d *Dataset, frac float64) (*Dataset, *Dataset, error) {
+	return truthdata.SplitObjects(d, frac)
+}
+
+// SourceAccuracy returns each source's true accuracy on cells with known
+// ground truth, plus its evaluable claim count.
+func SourceAccuracy(d *Dataset) (acc []float64, n []int) { return metrics.SourceAccuracy(d) }
+
+// Stability reports how consistently TD-AC selects its partition when
+// the clustering is reseeded (see CheckStability).
+type Stability struct {
+	// MeanRandIndex is the mean pairwise Rand index across runs; near 1
+	// means the silhouette landscape has one clear optimum.
+	MeanRandIndex float64
+	// Modal is the most frequently selected partition and ModalShare the
+	// fraction of runs selecting it.
+	Modal      Partition
+	ModalShare float64
+	// Silhouettes holds each run's best silhouette value.
+	Silhouettes []float64
+}
+
+// CheckStability reruns TD-AC's partition selection under `runs`
+// different clustering seeds and reports agreement — a practical warning
+// signal on low-coverage data where the truth vectors are too sparse to
+// cluster reliably (the regime of the paper's Figure 5).
+func CheckStability(d *Dataset, runs int, opts ...Option) (*Stability, error) {
+	cfg := config{base: "Accu"}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	base, err := algorithms.New(cfg.base)
+	if err != nil {
+		return nil, err
+	}
+	t := core.New(base)
+	if cfg.reference != "" {
+		ref, err := algorithms.New(cfg.reference)
+		if err != nil {
+			return nil, err
+		}
+		t.Reference = ref
+	}
+	t.MinK, t.MaxK = cfg.minK, cfg.maxK
+	t.Masked = cfg.masked
+	t.KMeans.Seed = cfg.seed
+	st, err := t.CheckStability(d, runs)
+	if err != nil {
+		return nil, err
+	}
+	return &Stability{
+		MeanRandIndex: st.MeanRandIndex,
+		Modal:         st.Modal,
+		ModalShare:    st.ModalShare,
+		Silhouettes:   st.Silhouettes,
+	}, nil
+}
+
+// ValueVotes describes one candidate value of a cell: who claimed it and
+// how much trust those sources carry under a given result.
+type ValueVotes struct {
+	// Value is the claimed value.
+	Value string
+	// Sources lists the names of the sources claiming it.
+	Sources []string
+	// TrustSum is the sum of the result's trust scores over Sources
+	// (zero when no trust vector is supplied).
+	TrustSum float64
+	// Chosen marks the value the prediction selected.
+	Chosen bool
+}
+
+// Inspect explains a prediction: it returns, for one cell, every claimed
+// value with its voters and their aggregate trust under the supplied
+// trust vector (pass a Result's or BaseResult's Trust; nil is allowed).
+// The slice is ordered by descending vote count, ties by value. Useful
+// for auditing why an algorithm preferred one value over another.
+func Inspect(d *Dataset, cell Cell, predicted map[Cell]string, trust []float64) []ValueVotes {
+	votes := map[string]*ValueVotes{}
+	for _, c := range d.Claims {
+		if c.Cell() != cell {
+			continue
+		}
+		v, ok := votes[c.Value]
+		if !ok {
+			v = &ValueVotes{Value: c.Value}
+			votes[c.Value] = v
+		}
+		v.Sources = append(v.Sources, d.SourceName(c.Source))
+		if int(c.Source) < len(trust) {
+			v.TrustSum += trust[c.Source]
+		}
+	}
+	chosen := predicted[cell]
+	out := make([]ValueVotes, 0, len(votes))
+	for _, v := range votes {
+		v.Chosen = v.Value == chosen
+		sort.Strings(v.Sources)
+		out = append(out, *v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Sources) != len(out[j].Sources) {
+			return len(out[i].Sources) > len(out[j].Sources)
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// AttrReport is the per-attribute slice of an evaluation (see
+// EvaluatePerAttribute).
+type AttrReport = metrics.AttrReport
+
+// EvaluatePerAttribute breaks an evaluation down by attribute — the
+// natural view for structurally correlated data, where whole attribute
+// groups succeed or fail together.
+func EvaluatePerAttribute(d *Dataset, predicted map[Cell]string) []AttrReport {
+	return metrics.PerAttribute(d, predicted)
+}
