@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race bench ci fmt vet
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench regenerates the paper's tables/figures at smoke scale; see
+# bench_test.go for TDAC_FULL=1.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+# ci is the full verification gate (fmt check, vet, build, race tests,
+# k-sweep benchmark smoke); scripts/ci.sh holds the exact sequence.
+ci:
+	sh scripts/ci.sh

@@ -10,6 +10,7 @@
 package tdac_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -254,6 +255,89 @@ func BenchmarkAblationProjection(b *testing.B) {
 		dim := dim
 		b.Run(fmt.Sprintf("project-%d", dim), func(b *testing.B) {
 			runTDACVariant(b, g, func(t *core.TDAC) { t.ProjectDim = dim })
+		})
+	}
+}
+
+// --- K-sweep benchmark: the clustering hot path in isolation. ---
+
+// ksweepTruthVectors builds the truth vectors the sweep clusters, outside
+// the timer: |A| = 24 attributes over 150 objects × 10 sources (vector
+// dimension 1500, k swept over [2, 23]).
+func ksweepTruthVectors(b *testing.B) (*truthdata.Dataset, *core.TruthVectors) {
+	b.Helper()
+	cfg := synth.DS2().Scaled(150)
+	cfg.Attrs = 24
+	cfg.GroupSizes = []int{8, 8, 4, 4}
+	g, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := algorithms.NewMajorityVote().Discover(g.Dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g.Dataset, core.BuildTruthVectors(g.Dataset, ref.Truth, false)
+}
+
+// seedKSweep reimplements the k-sweep exactly as the repository's original
+// code did — sequential loop, unaccelerated float k-means, dense
+// [][]float64 distance matrix — as the baseline the packed path is
+// measured against (and held bit-identical to, see internal/core's
+// TestKSweepMatchesSeedImplementation).
+func seedKSweep(b *testing.B, tv *core.TruthVectors, nAttrs int) float64 {
+	b.Helper()
+	km := cluster.KMeans{Seed: 1, Distance: cluster.Hamming{}, DisableAccel: true}
+	distMatrix := cluster.DistanceMatrix(tv.Vectors, cluster.Hamming{})
+	bestSil, haveBest := 0.0, false
+	for k := 2; k <= nAttrs-1; k++ {
+		c, err := km.Cluster(tv.Vectors, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sil := cluster.SilhouetteFromMatrix(distMatrix, c.Assign, k)
+		if !haveBest || sil > bestSil {
+			haveBest, bestSil = true, sil
+		}
+	}
+	return bestSil
+}
+
+// BenchmarkKSweep compares the original sequential byte-vector sweep
+// ("seed") against the rebuilt hot path: packed popcount kernels and the
+// shared flat distance matrix on one worker, then with the full worker
+// pool. The packed variants are bit-identical to the seed path in output;
+// only the time changes.
+func BenchmarkKSweep(b *testing.B) {
+	d, tv := ksweepTruthVectors(b)
+	nAttrs := d.NumAttrs()
+	b.Run("seed", func(b *testing.B) {
+		b.ReportAllocs()
+		var sil float64
+		for i := 0; i < b.N; i++ {
+			sil = seedKSweep(b, tv, nAttrs)
+		}
+		b.ReportMetric(sil, "silhouette")
+	})
+	for _, workers := range []int{1, 0} {
+		workers := workers
+		name := "packed-workers-1"
+		if workers == 0 {
+			name = "packed-workers-all"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var sil float64
+			for i := 0; i < b.N; i++ {
+				t := core.New(algorithms.NewMajorityVote())
+				t.Workers = workers
+				_, s, _, err := t.SelectPartition(context.Background(), tv, nAttrs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sil = s
+			}
+			b.ReportMetric(sil, "silhouette")
 		})
 	}
 }

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	tdac -claims claims.csv [-truth truth.csv] [-algorithm Accu]
-//	     [-tdac] [-parallel] [-sparse] [-top n] [-trust] [-json]
+//	     [-tdac] [-parallel] [-workers n] [-project dim] [-sparse]
+//	     [-top n] [-trust] [-json]
 //
 // The claims file holds "source,object,attribute,value" records; the
 // optional truth file holds "object,attribute,value" ground truth, which
@@ -13,11 +14,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -25,13 +29,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// Ctrl-C cancels the run at the next cancellation point (per explored
+	// k of the sweep, per partition group) instead of killing it mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "tdac: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "tdac:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("tdac", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -40,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		algorithm  = fs.String("algorithm", "Accu", "base algorithm: "+strings.Join(tdac.Algorithms(), ", "))
 		useTDAC    = fs.Bool("tdac", false, "wrap the algorithm in TD-AC attribute partitioning")
 		parallel   = fs.Bool("parallel", false, "with -tdac: run partition groups concurrently")
+		workers    = fs.Int("workers", 0, "with -tdac: worker pool size for the k-sweep (0 = all CPUs)")
+		project    = fs.Int("project", 0, "with -tdac: project truth vectors to this many dimensions before clustering (0 = off)")
 		sparse     = fs.Bool("sparse", false, "with -tdac: use the sparse-aware truth-vector encoding")
 		top        = fs.Int("top", 0, "print only the first n predictions (0 = all)")
 		showTrust  = fs.Bool("trust", false, "print the final per-source trust estimates")
@@ -81,14 +95,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		trust []float64
 	)
 	if *useTDAC {
-		opts := []tdac.Option{tdac.WithBase(*algorithm)}
+		opts := []tdac.Option{tdac.WithBase(*algorithm), tdac.WithWorkers(*workers)}
 		if *parallel {
 			opts = append(opts, tdac.WithParallel())
+		}
+		if *project > 0 {
+			opts = append(opts, tdac.WithProjection(*project))
 		}
 		if *sparse {
 			opts = append(opts, tdac.WithSparseAware())
 		}
-		res, err := tdac.Discover(ds, opts...)
+		res, err := tdac.DiscoverContext(ctx, ds, opts...)
 		if err != nil {
 			return err
 		}
@@ -96,7 +113,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "TD-AC partition: %s (silhouette %.3f), %s\n",
 			res.Partition, res.Silhouette, res.Runtime.Round(0))
 	} else {
-		res, err := tdac.Run(ds, *algorithm)
+		res, err := tdac.RunContext(ctx, ds, *algorithm)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -45,7 +46,7 @@ o2,size,7
 func TestRunPlainAlgorithm(t *testing.T) {
 	claims, truth := writeFixtures(t)
 	var out, errBuf bytes.Buffer
-	err := run([]string{"-claims", claims, "-truth", truth, "-algorithm", "MajorityVote"}, &out, &errBuf)
+	err := run(context.Background(), []string{"-claims", claims, "-truth", truth, "-algorithm", "MajorityVote"}, &out, &errBuf)
 	if err != nil {
 		t.Fatalf("run: %v\nstderr: %s", err, errBuf.String())
 	}
@@ -60,7 +61,7 @@ func TestRunPlainAlgorithm(t *testing.T) {
 func TestRunTDACMode(t *testing.T) {
 	claims, truth := writeFixtures(t)
 	var out, errBuf bytes.Buffer
-	err := run([]string{"-claims", claims, "-truth", truth, "-tdac", "-algorithm", "TruthFinder", "-trust"}, &out, &errBuf)
+	err := run(context.Background(), []string{"-claims", claims, "-truth", truth, "-tdac", "-algorithm", "TruthFinder", "-trust"}, &out, &errBuf)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -75,7 +76,7 @@ func TestRunTDACMode(t *testing.T) {
 func TestRunJSONOutput(t *testing.T) {
 	claims, _ := writeFixtures(t)
 	var out, errBuf bytes.Buffer
-	err := run([]string{"-claims", claims, "-json", "-top", "2"}, &out, &errBuf)
+	err := run(context.Background(), []string{"-claims", claims, "-json", "-top", "2"}, &out, &errBuf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,14 +90,14 @@ func TestRunJSONOutput(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	if err := run([]string{}, &out, &errBuf); err == nil {
+	if err := run(context.Background(), []string{}, &out, &errBuf); err == nil {
 		t.Error("missing -claims accepted")
 	}
-	if err := run([]string{"-claims", "/does/not/exist.csv"}, &out, &errBuf); err == nil {
+	if err := run(context.Background(), []string{"-claims", "/does/not/exist.csv"}, &out, &errBuf); err == nil {
 		t.Error("nonexistent claims file accepted")
 	}
 	claims, _ := writeFixtures(t)
-	if err := run([]string{"-claims", claims, "-algorithm", "nope"}, &out, &errBuf); err == nil {
+	if err := run(context.Background(), []string{"-claims", claims, "-algorithm", "nope"}, &out, &errBuf); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 }
@@ -104,7 +105,7 @@ func TestRunErrors(t *testing.T) {
 func TestExplainFlag(t *testing.T) {
 	claims, truth := writeFixtures(t)
 	var out, errBuf bytes.Buffer
-	err := run([]string{"-claims", claims, "-truth", truth, "-explain", "o1/colour"}, &out, &errBuf)
+	err := run(context.Background(), []string{"-claims", claims, "-truth", truth, "-explain", "o1/colour"}, &out, &errBuf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,13 +120,13 @@ func TestExplainFlag(t *testing.T) {
 		t.Errorf("missing chosen marker:\n%s", s)
 	}
 	// Error paths.
-	if err := run([]string{"-claims", claims, "-explain", "nope"}, &out, &errBuf); err == nil {
+	if err := run(context.Background(), []string{"-claims", claims, "-explain", "nope"}, &out, &errBuf); err == nil {
 		t.Error("malformed -explain accepted")
 	}
-	if err := run([]string{"-claims", claims, "-explain", "zzz/colour"}, &out, &errBuf); err == nil {
+	if err := run(context.Background(), []string{"-claims", claims, "-explain", "zzz/colour"}, &out, &errBuf); err == nil {
 		t.Error("unknown object accepted")
 	}
-	if err := run([]string{"-claims", claims, "-explain", "o1/zzz"}, &out, &errBuf); err == nil {
+	if err := run(context.Background(), []string{"-claims", claims, "-explain", "o1/zzz"}, &out, &errBuf); err == nil {
 		t.Error("unknown attribute accepted")
 	}
 }

@@ -1,0 +1,131 @@
+package cluster
+
+import "math/bits"
+
+// PackedVectors stores binary vectors as bit-planes: each logical
+// coordinate becomes one bit of a []uint64 word array, so a Hamming
+// distance is a run of XOR + popcount over dim/64 words instead of dim
+// float loads — the packed kernel behind TD-AC's distance matrix.
+//
+// Two planes are kept. The value plane holds the 0/1 coordinates. The
+// optional presence plane (the "two-plane" masked encoding) marks which
+// coordinates were actually observed, so the sparse-aware masked Hamming
+// distance of the paper's future-work item (i) packs too: a coordinate
+// participates only when both vectors observed it.
+type PackedVectors struct {
+	// N is the number of vectors, Dim their logical dimension.
+	N, Dim int
+	// Words is the number of uint64 words per vector: ceil(Dim/64).
+	Words int
+	// values holds N*Words words: bit j%64 of word i*Words+j/64 is
+	// vector i's coordinate j. Padding bits beyond Dim are zero.
+	values []uint64
+	// present is nil for dense vectors; otherwise it mirrors values and
+	// a set bit means "coordinate observed". Padding bits are zero, so
+	// they never count as observed.
+	present []uint64
+}
+
+// Masked reports whether the vectors carry a presence plane.
+func (pv *PackedVectors) Masked() bool { return pv.present != nil }
+
+// PackBinary packs strictly binary vectors (every coordinate exactly 0
+// or 1) into a dense bit-plane. It reports false when the input is
+// empty, ragged, or contains any non-binary coordinate (fractional
+// centroids, masked encodings, projected vectors), in which case the
+// caller must stay on the float kernels.
+func PackBinary(points [][]float64) (*PackedVectors, bool) {
+	pv, ok := pack(points, nil, 0)
+	return pv, ok
+}
+
+// PackMasked packs vectors whose coordinates are 0, 1 or the given
+// missing marker into the two-plane encoding. It reports false when the
+// input is empty, ragged, or contains any other coordinate value.
+func PackMasked(points [][]float64, missing float64) (*PackedVectors, bool) {
+	return pack(points, &missing, missing)
+}
+
+func pack(points [][]float64, missingPtr *float64, missing float64) (*PackedVectors, bool) {
+	if len(points) == 0 || len(points[0]) == 0 {
+		return nil, false
+	}
+	dim := len(points[0])
+	words := (dim + 63) / 64
+	pv := &PackedVectors{
+		N:      len(points),
+		Dim:    dim,
+		Words:  words,
+		values: make([]uint64, len(points)*words),
+	}
+	if missingPtr != nil {
+		pv.present = make([]uint64, len(points)*words)
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, false
+		}
+		row := pv.values[i*words : (i+1)*words]
+		var presRow []uint64
+		if pv.present != nil {
+			presRow = pv.present[i*words : (i+1)*words]
+		}
+		for j, x := range p {
+			switch {
+			case x == 1:
+				row[j/64] |= 1 << (uint(j) % 64)
+				if presRow != nil {
+					presRow[j/64] |= 1 << (uint(j) % 64)
+				}
+			case x == 0:
+				if presRow != nil {
+					presRow[j/64] |= 1 << (uint(j) % 64)
+				}
+			case missingPtr != nil && x == missing:
+				// missing: value bit 0, presence bit 0
+			default:
+				return nil, false
+			}
+		}
+	}
+	return pv, true
+}
+
+// HammingInt returns the number of differing coordinates between vectors
+// i and j — the packed core of the paper's Equation 2.
+func (pv *PackedVectors) HammingInt(i, j int) int {
+	a := pv.values[i*pv.Words : (i+1)*pv.Words]
+	b := pv.values[j*pv.Words : (j+1)*pv.Words]
+	b = b[:len(a)]
+	d := 0
+	for w := range a {
+		d += bits.OnesCount64(a[w] ^ b[w])
+	}
+	return d
+}
+
+// Distance returns the distance between vectors i and j, bit-for-bit
+// identical to the float kernels: Hamming.Between for dense vectors,
+// MaskedHamming.Between for the two-plane encoding.
+func (pv *PackedVectors) Distance(i, j int) float64 {
+	if pv.present == nil {
+		return float64(pv.HammingInt(i, j))
+	}
+	a := pv.values[i*pv.Words : (i+1)*pv.Words]
+	b := pv.values[j*pv.Words : (j+1)*pv.Words]
+	ma := pv.present[i*pv.Words : (i+1)*pv.Words]
+	mb := pv.present[j*pv.Words : (j+1)*pv.Words]
+	b, ma, mb = b[:len(a)], ma[:len(a)], mb[:len(a)]
+	d, observed := 0, 0
+	for w := range a {
+		both := ma[w] & mb[w]
+		observed += bits.OnesCount64(both)
+		d += bits.OnesCount64((a[w] ^ b[w]) & both)
+	}
+	if observed == 0 {
+		return 0
+	}
+	// Same operation order as MaskedHamming.Between, so the result is
+	// bit-identical: (d * n) / observed.
+	return float64(d) * float64(pv.Dim) / float64(observed)
+}

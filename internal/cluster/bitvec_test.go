@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randBinary builds n random 0/1 vectors of the given dimension.
+func randBinary(rng *rand.Rand, n, dim int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		v := make([]float64, dim)
+		for j := range v {
+			if rng.Intn(2) == 1 {
+				v[j] = 1
+			}
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+// randMasked builds n random vectors over {0, 1, mask}.
+func randMasked(rng *rand.Rand, n, dim int, mask float64) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		v := make([]float64, dim)
+		for j := range v {
+			switch rng.Intn(3) {
+			case 0:
+				v[j] = 1
+			case 1:
+				v[j] = mask
+			}
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+func TestPackedHammingMatchesFloatKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Dimensions straddling word boundaries: 1, exactly one word, a ragged
+	// tail, several words.
+	for _, dim := range []int{1, 63, 64, 65, 128, 130, 1000} {
+		pts := randBinary(rng, 12, dim)
+		pv, ok := PackBinary(pts)
+		if !ok {
+			t.Fatalf("dim=%d: PackBinary rejected binary input", dim)
+		}
+		if pv.Masked() {
+			t.Fatalf("dim=%d: dense pack reports masked", dim)
+		}
+		h := Hamming{}
+		for i := range pts {
+			for j := range pts {
+				want := h.Between(pts[i], pts[j])
+				if got := pv.Distance(i, j); got != want {
+					t.Fatalf("dim=%d: Distance(%d,%d)=%v, float kernel %v", dim, i, j, got, want)
+				}
+				if got := float64(pv.HammingInt(i, j)); got != want {
+					t.Fatalf("dim=%d: HammingInt(%d,%d)=%v, want %v", dim, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPackedMaskedHammingMatchesFloatKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const mask = -1.0
+	for _, dim := range []int{1, 64, 65, 200} {
+		pts := randMasked(rng, 10, dim, mask)
+		pv, ok := PackMasked(pts, mask)
+		if !ok {
+			t.Fatalf("dim=%d: PackMasked rejected masked input", dim)
+		}
+		if !pv.Masked() {
+			t.Fatalf("dim=%d: masked pack reports dense", dim)
+		}
+		mh := MaskedHamming{Mask: mask}
+		for i := range pts {
+			for j := range pts {
+				want := mh.Between(pts[i], pts[j])
+				got := pv.Distance(i, j)
+				// Bit-identical, not approximately equal: the packed kernel
+				// must use the same operation order as the float kernel.
+				if got != want {
+					t.Fatalf("dim=%d: masked Distance(%d,%d)=%v, float kernel %v",
+						dim, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPackedMaskedAllMissingIsZero(t *testing.T) {
+	pts := [][]float64{{-1, -1, 0}, {0, -1, -1}}
+	pv, ok := PackMasked(pts, -1)
+	if !ok {
+		t.Fatal("PackMasked rejected valid input")
+	}
+	// Only coordinate shared is index 1, missing in both; coordinate 0 and
+	// 2 are each missing on one side. No overlap means distance 0, matching
+	// MaskedHamming.Between.
+	want := MaskedHamming{Mask: -1}.Between(pts[0], pts[1])
+	if got := pv.Distance(0, 1); got != want {
+		t.Fatalf("no-overlap distance = %v, want %v", got, want)
+	}
+}
+
+func TestPackBinaryRejectsNonBinary(t *testing.T) {
+	cases := map[string][][]float64{
+		"fractional": {{0, 0.5}},
+		"negative":   {{0, -1}},
+		"ragged":     {{0, 1}, {1}},
+		"empty":      {},
+		"zero-dim":   {{}},
+	}
+	for name, pts := range cases {
+		if _, ok := PackBinary(pts); ok {
+			t.Errorf("%s: PackBinary accepted invalid input", name)
+		}
+	}
+	if _, ok := PackMasked([][]float64{{0, 1, 0.5}}, -1); ok {
+		t.Error("PackMasked accepted a coordinate that is neither 0, 1 nor the marker")
+	}
+}
+
+func TestDistMatrixLayout(t *testing.T) {
+	pts := randBinary(rand.New(rand.NewSource(3)), 9, 40)
+	m := NewDistMatrix(pts, Hamming{})
+	if len(m.Tri) != 9*8/2 {
+		t.Fatalf("Tri length %d, want %d", len(m.Tri), 9*8/2)
+	}
+	h := Hamming{}
+	for i := 0; i < 9; i++ {
+		if m.At(i, i) != 0 {
+			t.Errorf("At(%d,%d) = %v, want 0", i, i, m.At(i, i))
+		}
+		for j := 0; j < 9; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Errorf("At not symmetric at (%d,%d)", i, j)
+			}
+			if i != j && m.At(i, j) != h.Between(pts[i], pts[j]) {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, m.At(i, j), h.Between(pts[i], pts[j]))
+			}
+		}
+	}
+}
+
+func TestDistMatrixPackedMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randBinary(rng, 15, 130)
+	pv, ok := PackBinary(pts)
+	if !ok {
+		t.Fatal("PackBinary rejected binary input")
+	}
+	want := NewDistMatrix(pts, Hamming{})
+	got := NewDistMatrixPacked(pv)
+	for i := range want.Tri {
+		if got.Tri[i] != want.Tri[i] {
+			t.Fatalf("Tri[%d]: packed %v, float %v", i, got.Tri[i], want.Tri[i])
+		}
+	}
+
+	mpts := randMasked(rng, 15, 130, -1)
+	mpv, ok := PackMasked(mpts, -1)
+	if !ok {
+		t.Fatal("PackMasked rejected masked input")
+	}
+	mwant := NewDistMatrix(mpts, MaskedHamming{Mask: -1})
+	mgot := NewDistMatrixPacked(mpv)
+	for i := range mwant.Tri {
+		if mgot.Tri[i] != mwant.Tri[i] {
+			t.Fatalf("masked Tri[%d]: packed %v, float %v", i, mgot.Tri[i], mwant.Tri[i])
+		}
+	}
+}
+
+func TestSilhouetteFromDistMatrixMatchesDenseMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pts := randBinary(rng, 20, 64)
+	flat := NewDistMatrix(pts, Hamming{})
+	dense := DistanceMatrix(pts, Hamming{})
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + rng.Intn(5)
+		assign := make([]int, len(pts))
+		for i := range assign {
+			assign[i] = rng.Intn(k)
+		}
+		want := SilhouetteFromMatrix(dense, assign, k)
+		got := SilhouetteFromDistMatrix(flat, assign, k)
+		if got != want {
+			t.Fatalf("trial %d (k=%d): flat %v, dense %v", trial, k, got, want)
+		}
+		wantC := SilhouettesFromMatrix(dense, assign, k)
+		gotC := SilhouettesFromDistMatrix(flat, assign, k)
+		for i := range wantC {
+			if gotC[i] != wantC[i] {
+				t.Fatalf("trial %d coeff %d: flat %v, dense %v", trial, i, gotC[i], wantC[i])
+			}
+		}
+	}
+}
+
+func TestL1PartialMatchesFullScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		dim := 1 + rng.Intn(300)
+		a, b := make([]float64, dim), make([]float64, dim)
+		for i := range a {
+			a[i] = rng.Float64() * 3
+			b[i] = rng.Float64() * 3
+		}
+		full := Hamming{}.Between(a, b)
+		// With an infinite cutoff the scan must complete and match exactly.
+		if got := l1Partial(a, b, math.Inf(1)); got != full {
+			t.Fatalf("uncut l1Partial = %v, want %v", got, full)
+		}
+		// With a finite cutoff the verdict d < cutoff must agree.
+		cutoff := full * rng.Float64() * 2
+		got := l1Partial(a, b, cutoff)
+		if (got < cutoff) != (full < cutoff) {
+			t.Fatalf("cutoff verdict differs: partial %v, full %v, cutoff %v", got, full, cutoff)
+		}
+		if got < cutoff && got != full {
+			t.Fatalf("accepted partial %v differs from full %v", got, full)
+		}
+	}
+}

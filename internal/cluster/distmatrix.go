@@ -1,0 +1,142 @@
+package cluster
+
+import "math"
+
+// DistMatrix is a pairwise distance matrix stored as a flat
+// upper-triangular []float64 — half the memory of the dense [][] form
+// and a single allocation. TD-AC computes one per Discover call and
+// shares it across every explored k: the silhouette index reads it
+// directly and k-means++ seeding reuses it for its D² samples.
+type DistMatrix struct {
+	// N is the number of points.
+	N int
+	// Tri holds the N*(N-1)/2 distances d(i,j) for i < j, row-major:
+	// (0,1), (0,2), …, (0,N-1), (1,2), …
+	Tri []float64
+}
+
+// triIndex maps i < j to the flat position of d(i,j).
+func triIndex(n, i, j int) int { return i*(2*n-i-1)/2 + j - i - 1 }
+
+// At returns d(i,j); the diagonal is zero.
+func (m *DistMatrix) At(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return m.Tri[triIndex(m.N, i, j)]
+}
+
+// NewDistMatrix materialises the pairwise distances of points under dist.
+func NewDistMatrix(points [][]float64, dist Distance) *DistMatrix {
+	n := len(points)
+	m := &DistMatrix{N: n, Tri: make([]float64, n*(n-1)/2)}
+	p := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Tri[p] = dist.Between(points[i], points[j])
+			p++
+		}
+	}
+	return m
+}
+
+// NewDistMatrixPacked materialises the pairwise distances of packed
+// bit-vectors with the popcount kernels. Entries are bit-identical to
+// NewDistMatrix over the unpacked vectors with Hamming (dense) or
+// MaskedHamming (two-plane) distances.
+func NewDistMatrixPacked(pv *PackedVectors) *DistMatrix {
+	n := pv.N
+	m := &DistMatrix{N: n, Tri: make([]float64, n*(n-1)/2)}
+	p := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Tri[p] = pv.Distance(i, j)
+			p++
+		}
+	}
+	return m
+}
+
+// SilhouetteFromDistMatrix is Silhouette over a shared flat distance
+// matrix; it matches SilhouetteFromMatrix bit-for-bit on equal inputs.
+func SilhouetteFromDistMatrix(m *DistMatrix, assign []int, k int) float64 {
+	coeffs := SilhouettesFromDistMatrix(m, assign, k)
+	clusters := make([][]int, k)
+	for i, g := range assign {
+		clusters[g] = append(clusters[g], i)
+	}
+	var total float64
+	used := 0
+	for g := 0; g < k; g++ {
+		if len(clusters[g]) == 0 {
+			continue
+		}
+		var sum float64
+		for _, i := range clusters[g] {
+			sum += coeffs[i]
+		}
+		total += sum / float64(len(clusters[g]))
+		used++
+	}
+	if used == 0 {
+		return 0
+	}
+	return total / float64(used)
+}
+
+// SilhouettesFromDistMatrix computes per-point silhouette coefficients
+// from a shared flat distance matrix, with the same accumulation order
+// as SilhouettesFromMatrix so results are bit-identical.
+func SilhouettesFromDistMatrix(m *DistMatrix, assign []int, k int) []float64 {
+	n := m.N
+	coeffs := make([]float64, n)
+	if k < 2 || n < 2 {
+		return coeffs
+	}
+	clusters := make([][]int, k)
+	for i, g := range assign {
+		clusters[g] = append(clusters[g], i)
+	}
+	for i := 0; i < n; i++ {
+		own := clusters[assign[i]]
+		if len(own) < 2 {
+			coeffs[i] = 0
+			continue
+		}
+		var alpha float64
+		for _, j := range own {
+			if j != i {
+				alpha += m.At(i, j)
+			}
+		}
+		alpha /= float64(len(own) - 1)
+
+		beta := math.Inf(1)
+		for g := 0; g < k; g++ {
+			if g == assign[i] || len(clusters[g]) == 0 {
+				continue
+			}
+			var sum float64
+			for _, j := range clusters[g] {
+				sum += m.At(i, j)
+			}
+			if mean := sum / float64(len(clusters[g])); mean < beta {
+				beta = mean
+			}
+		}
+		if math.IsInf(beta, 1) {
+			coeffs[i] = 0
+			continue
+		}
+		den := math.Max(alpha, beta)
+		if den == 0 {
+			coeffs[i] = 0
+			continue
+		}
+		coeffs[i] = (beta - alpha) / den
+	}
+	return coeffs
+}

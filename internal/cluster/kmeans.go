@@ -52,6 +52,20 @@ type KMeans struct {
 	// Distance assigns points to centroids. Default Euclidean (classic
 	// k-means); TD-AC's ablations also run Hamming here.
 	Distance Distance
+	// SeedSqDists, when non-nil, supplies precomputed point-to-point
+	// squared Euclidean distances used to skip the O(n·dim) scans of
+	// k-means++ seeding. The matrix must hold exactly
+	// sqEuclidean(points[i], points[j]) for the points later passed to
+	// Cluster — TD-AC's sweep satisfies this by sharing its packed
+	// Hamming matrix, whose entries equal the squared Euclidean distance
+	// on binary vectors. Results are bit-identical with or without it.
+	SeedSqDists *DistMatrix
+	// DisableAccel switches off the exact accelerations (seeding from
+	// SeedSqDists, metric lower-bound pruning and early-exit distance
+	// scans in Lloyd assignment) and runs the reference implementation.
+	// Results are identical either way; the flag exists so equivalence
+	// tests and benchmarks can pin the unaccelerated path.
+	DisableAccel bool
 }
 
 // Clustering is the outcome of one k-means run.
@@ -131,13 +145,67 @@ func (km *KMeans) run(points [][]float64, k, maxIter int, rng *rand.Rand, dist D
 		assign[i] = -1
 	}
 
+	// Exact acceleration of the assignment step, valid only for proper
+	// metrics (triangle inequality): per-(point, centroid) lower bounds
+	// contracted by the centroid shift each round let most distance
+	// computations be skipped outright, and the L1 kernel can abandon a
+	// scan once its monotone partial sum already exceeds the incumbent.
+	// Neither trick ever changes which centroid wins — a skipped or
+	// truncated candidate is provably not strictly closer — so the
+	// clustering is bit-identical to the reference loop.
+	_, isL1 := dist.(Hamming)
+	_, isL2 := dist.(Euclidean)
+	bounded := !km.DisableAccel && (isL1 || isL2)
+	var (
+		lower []float64   // lower[i*k+c] bounds dist(points[i], centroids[c])
+		prev  [][]float64 // centroid snapshot for shift computation
+	)
+	if bounded {
+		lower = make([]float64, len(points)*k)
+		prev = make([][]float64, k)
+		for c := range prev {
+			prev[c] = make([]float64, len(points[0]))
+		}
+	}
+
 	iters := 0
 	for ; iters < maxIter; iters++ {
+		if bounded && iters > 0 {
+			// Centroid c moved by shift(c) last round; by the triangle
+			// inequality every bound degrades by at most that much.
+			for c := range centroids {
+				shift := dist.Between(prev[c], centroids[c])
+				if shift == 0 {
+					continue
+				}
+				for i := range points {
+					if l := lower[i*k+c] - shift; l > 0 {
+						lower[i*k+c] = l
+					} else {
+						lower[i*k+c] = 0
+					}
+				}
+			}
+		}
 		changed := false
 		for i, p := range points {
 			bestC, bestD := 0, math.Inf(1)
 			for c := range centroids {
-				if d := dist.Between(p, centroids[c]); d < bestD {
+				if bounded && lower[i*k+c] >= bestD {
+					continue // provably no closer than the incumbent
+				}
+				var d float64
+				if bounded && isL1 {
+					d = l1Partial(p, centroids[c], bestD)
+				} else {
+					d = dist.Between(p, centroids[c])
+				}
+				if bounded {
+					// Exact on a full scan; on a truncated scan the
+					// partial sum still lower-bounds the distance.
+					lower[i*k+c] = d
+				}
+				if d < bestD {
 					bestC, bestD = c, d
 				}
 			}
@@ -148,6 +216,11 @@ func (km *KMeans) run(points [][]float64, k, maxIter int, rng *rand.Rand, dist D
 		}
 		if !changed {
 			break
+		}
+		if bounded {
+			for c := range centroids {
+				copy(prev[c], centroids[c])
+			}
 		}
 		recomputeCentroids(points, assign, centroids)
 		repairEmptyClusters(points, assign, centroids, dist)
@@ -174,6 +247,10 @@ func (km *KMeans) initCentroids(points [][]float64, k int, rng *rand.Rand) [][]f
 			centroids[c] = append(make([]float64, 0, dim), points[perm[c]]...)
 		}
 	default: // k-means++
+		// Every centroid picked here is a copy of an input point, so when
+		// SeedSqDists is available the O(n·dim) distance scans collapse to
+		// O(n) matrix lookups with identical values.
+		useM := km.SeedSqDists != nil && !km.DisableAccel && km.SeedSqDists.N == len(points)
 		first := rng.Intn(len(points))
 		centroids[0] = append(make([]float64, 0, dim), points[first]...)
 		// d2[i] tracks the distance of point i to its nearest centroid so
@@ -181,7 +258,11 @@ func (km *KMeans) initCentroids(points [][]float64, k int, rng *rand.Rand) [][]f
 		// seeding O(n·k·dim).
 		d2 := make([]float64, len(points))
 		for i, p := range points {
-			d2[i] = sqEuclidean(p, centroids[0])
+			if useM {
+				d2[i] = km.SeedSqDists.At(i, first)
+			} else {
+				d2[i] = sqEuclidean(p, centroids[0])
+			}
 		}
 		for c := 1; c < k; c++ {
 			var sum float64
@@ -206,7 +287,13 @@ func (km *KMeans) initCentroids(points [][]float64, k int, rng *rand.Rand) [][]f
 			}
 			centroids[c] = append(make([]float64, 0, dim), points[next]...)
 			for i, p := range points {
-				if d := sqEuclidean(p, centroids[c]); d < d2[i] {
+				var d float64
+				if useM {
+					d = km.SeedSqDists.At(i, next)
+				} else {
+					d = sqEuclidean(p, centroids[c])
+				}
+				if d < d2[i] {
 					d2[i] = d
 				}
 			}
@@ -269,6 +356,31 @@ func repairEmptyClusters(points [][]float64, assign []int, centroids [][]float64
 		counts[c] = 1
 		copy(centroids[c], points[worst])
 	}
+}
+
+// l1Partial accumulates the L1 distance between a and b exactly as
+// Hamming.Between does, but abandons the scan once the running sum
+// reaches cutoff: the terms are non-negative, so the partial sum already
+// proves the full distance is >= cutoff. The returned value is the exact
+// distance on a full scan and a valid lower bound (>= cutoff) on a
+// truncated one — either way `d < cutoff` evaluates identically to the
+// full computation.
+func l1Partial(a, b []float64, cutoff float64) float64 {
+	var d float64
+	b = b[:len(a)]
+	for i := 0; i < len(a); {
+		end := i + 128
+		if end > len(a) {
+			end = len(a)
+		}
+		for ; i < end; i++ {
+			d += math.Abs(a[i] - b[i])
+		}
+		if d >= cutoff {
+			return d
+		}
+	}
+	return d
 }
 
 func sqEuclidean(a, b []float64) float64 {

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// equalClustering asserts two clusterings are bit-identical: same
+// assignment, same inertia, same centroids, same iteration count.
+func equalClustering(t *testing.T, label string, got, want *Clustering) {
+	t.Helper()
+	if got.Iterations != want.Iterations {
+		t.Fatalf("%s: iterations %d vs %d", label, got.Iterations, want.Iterations)
+	}
+	for i := range want.Assign {
+		if got.Assign[i] != want.Assign[i] {
+			t.Fatalf("%s: assign[%d] = %d, want %d", label, i, got.Assign[i], want.Assign[i])
+		}
+	}
+	if got.Inertia != want.Inertia {
+		t.Fatalf("%s: inertia %v, want %v", label, got.Inertia, want.Inertia)
+	}
+	for c := range want.Centroids {
+		for j := range want.Centroids[c] {
+			if got.Centroids[c][j] != want.Centroids[c][j] {
+				t.Fatalf("%s: centroid[%d][%d] = %v, want %v",
+					label, c, j, got.Centroids[c][j], want.Centroids[c][j])
+			}
+		}
+	}
+}
+
+// TestKMeansAccelerationIsExact pins the central claim behind the packed
+// hot path: lower-bound pruning and the early-exit L1 kernel never change
+// the result — runs with DisableAccel produce bit-identical clusterings.
+func TestKMeansAccelerationIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	dists := []Distance{Hamming{}, Euclidean{}}
+	for _, dist := range dists {
+		for _, n := range []int{8, 25, 60} {
+			for _, dim := range []int{5, 70, 150} {
+				pts := randBinary(rng, n, dim)
+				for seed := int64(1); seed <= 4; seed++ {
+					for _, k := range []int{2, 3, n / 2} {
+						ref := KMeans{Seed: seed, Distance: dist, DisableAccel: true}
+						acc := KMeans{Seed: seed, Distance: dist}
+						want, err := ref.Cluster(pts, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := acc.Cluster(pts, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						label := dist.Name()
+						equalClustering(t, label, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKMeansAccelerationExactOnFloats repeats the equivalence on
+// non-binary data, where the L1 early exit and the Euclidean bounds see
+// fractional coordinates.
+func TestKMeansAccelerationExactOnFloats(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	pts := make([][]float64, 40)
+	for i := range pts {
+		v := make([]float64, 30)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+			if i < 20 {
+				v[j] += 4
+			}
+		}
+		pts[i] = v
+	}
+	for _, dist := range []Distance{Hamming{}, Euclidean{}} {
+		for seed := int64(1); seed <= 3; seed++ {
+			ref := KMeans{Seed: seed, Distance: dist, DisableAccel: true}
+			acc := KMeans{Seed: seed, Distance: dist}
+			want, err := ref.Cluster(pts, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := acc.Cluster(pts, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalClustering(t, dist.Name(), got, want)
+		}
+	}
+}
+
+// TestKMeansSeedMatrixIsExact checks that k-means++ seeding from a shared
+// distance matrix (the TD-AC sweep configuration: binary points, Hamming
+// matrix whose entries equal the squared Euclidean distances) reproduces
+// the scan-based seeding bit for bit.
+func TestKMeansSeedMatrixIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	pts := randBinary(rng, 30, 90)
+	pv, ok := PackBinary(pts)
+	if !ok {
+		t.Fatal("PackBinary rejected binary input")
+	}
+	m := NewDistMatrixPacked(pv)
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, k := range []int{2, 4, 7} {
+			ref := KMeans{Seed: seed, Distance: Hamming{}, DisableAccel: true}
+			acc := KMeans{Seed: seed, Distance: Hamming{}, SeedSqDists: m}
+			want, err := ref.Cluster(pts, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := acc.Cluster(pts, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalClustering(t, "seed-matrix", got, want)
+		}
+	}
+}
+
+// TestKMeansSeedMatrixSizeMismatchIgnored ensures a stale matrix (wrong
+// point count) is ignored rather than misused.
+func TestKMeansSeedMatrixSizeMismatchIgnored(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	pts := randBinary(rng, 20, 40)
+	other := randBinary(rng, 10, 40)
+	pv, _ := PackBinary(other)
+	stale := NewDistMatrixPacked(pv)
+	ref := KMeans{Seed: 2, Distance: Hamming{}}
+	acc := KMeans{Seed: 2, Distance: Hamming{}, SeedSqDists: stale}
+	want, err := ref.Cluster(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := acc.Cluster(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalClustering(t, "stale-matrix", got, want)
+}

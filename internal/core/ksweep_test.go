@@ -1,0 +1,265 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"tdac/internal/algorithms"
+	"tdac/internal/cluster"
+	"tdac/internal/partition"
+	"tdac/internal/synth"
+	"tdac/internal/truthdata"
+)
+
+// seedSelectPartition reimplements the k-sweep exactly as the repository's
+// original (pre-packed-kernel) code did: sequential loop over k, the
+// unaccelerated float k-means, a dense [][]float64 distance matrix and
+// SilhouetteFromMatrix. The rebuilt SelectPartition must reproduce it bit
+// for bit.
+func seedSelectPartition(t *TDAC, tv *TruthVectors, nAttrs int) (partition.Partition, float64, []KScore) {
+	minK := t.MinK
+	if minK < 2 {
+		minK = 2
+	}
+	maxK := t.MaxK
+	if maxK == 0 || maxK > nAttrs-1 {
+		maxK = nAttrs - 1
+	}
+	if minK > maxK {
+		return partition.Whole(nAttrs), 0, nil
+	}
+	dist := t.Distance
+	if dist == nil {
+		if t.Masked {
+			dist = cluster.MaskedHamming{Mask: Missing}
+		} else {
+			dist = cluster.Hamming{}
+		}
+	}
+	km := t.KMeans
+	km.Distance = dist
+	km.DisableAccel = true
+	distMatrix := cluster.DistanceMatrix(tv.Vectors, dist)
+	var (
+		best     partition.Partition
+		bestSil  float64
+		haveBest bool
+		explored []KScore
+	)
+	for k := minK; k <= maxK; k++ {
+		c, err := km.Cluster(tv.Vectors, k)
+		if err != nil {
+			panic(err)
+		}
+		sil := cluster.SilhouetteFromMatrix(distMatrix, c.Assign, k)
+		explored = append(explored, KScore{K: k, Silhouette: sil, Inertia: c.Inertia})
+		if !haveBest || sil > bestSil {
+			haveBest = true
+			bestSil = sil
+			best = partition.FromAssign(c.Assign, k)
+		}
+	}
+	return best, bestSil, explored
+}
+
+// sweepTruthVectors builds the truth vectors a TD-AC run would cluster on
+// for the given synthetic config.
+func sweepTruthVectors(t *testing.T, cfg synth.Config, masked bool) (*truthdata.Dataset, *TruthVectors) {
+	t.Helper()
+	g, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := algorithms.NewMajorityVote().Discover(g.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Dataset, BuildTruthVectors(g.Dataset, ref.Truth, masked)
+}
+
+// TestKSweepMatchesSeedImplementation is the PR's acceptance gate: the
+// packed + shared-matrix + pooled sweep must return bit-identical
+// partitions, silhouettes and Explored tables to the original sequential
+// byte-vector implementation, for every paper config and several seeds,
+// whether it runs on one worker or many.
+func TestKSweepMatchesSeedImplementation(t *testing.T) {
+	configs := map[string]synth.Config{
+		"DS1": synth.DS1().Scaled(60),
+		"DS2": synth.DS2().Scaled(60),
+		"DS3": synth.DS3().Scaled(60),
+	}
+	for name, cfg := range configs {
+		// More attributes than the paper's 6 gives the sweep a real k
+		// range (k in [2, |A|-1]).
+		cfg.Attrs = 12
+		cfg.GroupSizes = []int{4, 4, 2, 2}
+		d, tv := sweepTruthVectors(t, cfg, false)
+		for seed := int64(1); seed <= 5; seed++ {
+			ref := &TDAC{Base: algorithms.NewMajorityVote()}
+			ref.KMeans.Seed = seed
+			wantPart, wantSil, wantExplored := seedSelectPartition(ref, tv, d.NumAttrs())
+
+			for _, workers := range []int{1, 4} {
+				got := &TDAC{Base: algorithms.NewMajorityVote(), Workers: workers}
+				got.KMeans.Seed = seed
+				part, sil, explored, err := got.SelectPartition(context.Background(), tv, d.NumAttrs())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !part.Equal(wantPart) {
+					t.Fatalf("%s seed %d workers %d: partition %v, seed impl %v",
+						name, seed, workers, part, wantPart)
+				}
+				if sil != wantSil {
+					t.Fatalf("%s seed %d workers %d: silhouette %v, seed impl %v",
+						name, seed, workers, sil, wantSil)
+				}
+				if len(explored) != len(wantExplored) {
+					t.Fatalf("%s seed %d workers %d: %d explored, seed impl %d",
+						name, seed, workers, len(explored), len(wantExplored))
+				}
+				for i := range wantExplored {
+					if explored[i] != wantExplored[i] {
+						t.Fatalf("%s seed %d workers %d: explored[%d] = %+v, seed impl %+v",
+							name, seed, workers, i, explored[i], wantExplored[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKSweepMatchesSeedImplementationMasked repeats the equivalence on the
+// sparse-aware encoding, which exercises the two-plane packed kernel and
+// keeps k-means++ on its scan path (the rescaled masked distance is not a
+// squared Euclidean distance).
+func TestKSweepMatchesSeedImplementationMasked(t *testing.T) {
+	cfg := synth.DS2().Scaled(50)
+	cfg.Attrs = 10
+	cfg.GroupSizes = []int{4, 3, 3}
+	cfg.Coverage = 0.6
+	d, tv := sweepTruthVectors(t, cfg, true)
+	for seed := int64(1); seed <= 3; seed++ {
+		ref := &TDAC{Base: algorithms.NewMajorityVote(), Masked: true}
+		ref.KMeans.Seed = seed
+		wantPart, wantSil, wantExplored := seedSelectPartition(ref, tv, d.NumAttrs())
+		for _, workers := range []int{1, 4} {
+			got := &TDAC{Base: algorithms.NewMajorityVote(), Masked: true, Workers: workers}
+			got.KMeans.Seed = seed
+			part, sil, explored, err := got.SelectPartition(context.Background(), tv, d.NumAttrs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !part.Equal(wantPart) || sil != wantSil {
+				t.Fatalf("masked seed %d workers %d: (%v, %v), seed impl (%v, %v)",
+					seed, workers, part, sil, wantPart, wantSil)
+			}
+			for i := range wantExplored {
+				if explored[i] != wantExplored[i] {
+					t.Fatalf("masked seed %d workers %d: explored[%d] differs", seed, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRunParallelSweepMatchesSequential drives the full pipeline end to
+// end: a Run with the pooled sweep must produce the same truth, partition
+// and silhouette as the single-worker run. This test also exercises the
+// worker pool under the race detector.
+func TestRunParallelSweepMatchesSequential(t *testing.T) {
+	cfg := synth.DS2().Scaled(60)
+	cfg.Attrs = 10
+	cfg.GroupSizes = []int{4, 3, 3}
+	g, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := &TDAC{Base: algorithms.NewAccu(), Workers: 1}
+	par := &TDAC{Base: algorithms.NewAccu(), Workers: 4}
+	seqOut, err := seq.Run(g.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOut, err := par.Run(g.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parOut.Partition.Equal(seqOut.Partition) {
+		t.Fatalf("partition %v vs sequential %v", parOut.Partition, seqOut.Partition)
+	}
+	if parOut.Silhouette != seqOut.Silhouette {
+		t.Fatalf("silhouette %v vs sequential %v", parOut.Silhouette, seqOut.Silhouette)
+	}
+	if len(parOut.Truth) != len(seqOut.Truth) {
+		t.Fatalf("truth sizes %d vs %d", len(parOut.Truth), len(seqOut.Truth))
+	}
+	for cell, v := range seqOut.Truth {
+		if parOut.Truth[cell] != v {
+			t.Fatalf("truth[%v] = %q vs sequential %q", cell, parOut.Truth[cell], v)
+		}
+	}
+}
+
+// TestContextCancellationIsPrompt verifies every context-aware entry point
+// refuses to start work under an already-cancelled context.
+func TestContextCancellationIsPrompt(t *testing.T) {
+	cfg := synth.DS1().Scaled(20)
+	g, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	td := New(algorithms.NewMajorityVote())
+	if _, err := td.RunContext(ctx, g.Dataset); err != context.Canceled {
+		t.Errorf("RunContext: %v, want context.Canceled", err)
+	}
+	if _, _, err := td.FindPartitionContext(ctx, g.Dataset); err != context.Canceled {
+		t.Errorf("FindPartitionContext: %v, want context.Canceled", err)
+	}
+	if _, err := td.CheckStabilityContext(ctx, g.Dataset, 3); err != context.Canceled {
+		t.Errorf("CheckStabilityContext: %v, want context.Canceled", err)
+	}
+	ref, err := algorithms.NewMajorityVote().Discover(g.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := BuildTruthVectors(g.Dataset, ref.Truth, false)
+	for _, workers := range []int{1, 4} {
+		td.Workers = workers
+		if _, _, _, err := td.SelectPartition(ctx, tv, g.Dataset.NumAttrs()); err != context.Canceled {
+			t.Errorf("SelectPartition (workers=%d): %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// TestStabilityUsesPooledSweep pins that CheckStability runs through the
+// same rebuilt sweep and stays deterministic across worker counts.
+func TestStabilityUsesPooledSweep(t *testing.T) {
+	cfg := synth.DS1().Scaled(40)
+	g, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := &TDAC{Base: algorithms.NewMajorityVote(), Workers: 1}
+	par := &TDAC{Base: algorithms.NewMajorityVote(), Workers: 4}
+	a, err := seq.CheckStability(g.Dataset, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.CheckStability(g.Dataset, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanRandIndex != b.MeanRandIndex || a.ModalShare != b.ModalShare {
+		t.Fatalf("stability differs across worker counts: (%v,%v) vs (%v,%v)",
+			a.MeanRandIndex, a.ModalShare, b.MeanRandIndex, b.ModalShare)
+	}
+	for i := range a.Partitions {
+		if !a.Partitions[i].Equal(b.Partitions[i]) {
+			t.Fatalf("run %d: partition %v vs %v", i, a.Partitions[i], b.Partitions[i])
+		}
+	}
+}

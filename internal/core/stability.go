@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"tdac/internal/partition"
@@ -31,11 +32,20 @@ type Stability struct {
 // agreement. The reference truth is computed once; only the clustering is
 // reseeded, so the cost is runs × (k-sweep), not runs × (full TD-AC).
 func (t *TDAC) CheckStability(d *truthdata.Dataset, runs int) (*Stability, error) {
+	return t.CheckStabilityContext(context.Background(), d, runs)
+}
+
+// CheckStabilityContext is CheckStability under a context: cancellation
+// aborts between reseeded runs and inside each run's k-sweep.
+func (t *TDAC) CheckStabilityContext(ctx context.Context, d *truthdata.Dataset, runs int) (*Stability, error) {
 	if t.Base == nil {
 		return nil, errNoBase
 	}
 	if runs < 2 {
 		return nil, fmt.Errorf("core: stability needs at least 2 runs, got %d", runs)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	ref := t.Reference
 	if ref == nil {
@@ -57,7 +67,7 @@ func (t *TDAC) CheckStability(d *truthdata.Dataset, runs int) (*Stability, error
 		variant.KMeans.Seed = baseSeed + int64(i)*15485863
 		// Force the seed to matter even when a custom Clusterer is set:
 		// stability of a deterministic clusterer is trivially 1.
-		part, sil, _, err := variant.selectPartition(tv, d.NumAttrs())
+		part, sil, _, err := variant.SelectPartition(ctx, tv, d.NumAttrs())
 		if err != nil {
 			return nil, err
 		}

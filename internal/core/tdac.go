@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tdac/internal/algorithms"
@@ -46,6 +49,15 @@ type TDAC struct {
 	// Parallel runs F on the partition's groups concurrently
 	// (future-work item (ii)).
 	Parallel bool
+	// Workers bounds the worker pool of the k-sweep: the independent
+	// k-means + silhouette evaluations for different k run concurrently
+	// on up to this many goroutines. 0 means runtime.GOMAXPROCS(0); 1
+	// forces the sequential sweep. Every worker derives its randomness
+	// from the configured base seed independently of scheduling order,
+	// so results are bit-identical to the sequential sweep. A custom
+	// Clusterer must be safe for concurrent Cluster calls when Workers
+	// exceeds 1 (both KMeans and Agglomerative are).
+	Workers int
 	// ProjectDim, when positive, reduces the truth vectors to this many
 	// dimensions with a Johnson–Lindenstrauss random projection before
 	// clustering — the running-time optimisation of future-work item
@@ -105,12 +117,23 @@ func (t *TDAC) Discover(d *truthdata.Dataset) (*algorithms.Result, error) {
 
 // Run executes Algorithm 1 and returns the full outcome.
 func (t *TDAC) Run(d *truthdata.Dataset) (*Outcome, error) {
+	return t.RunContext(context.Background(), d)
+}
+
+// RunContext executes Algorithm 1 under a context. Cancellation is
+// honoured between the major stages, at every k of the k-sweep and
+// before every per-group base run, so an already-cancelled context
+// returns promptly without touching the data.
+func (t *TDAC) RunContext(ctx context.Context, d *truthdata.Dataset) (*Outcome, error) {
 	start := time.Now()
 	if t.Base == nil {
 		return nil, errNoBase
 	}
 	if len(d.Claims) == 0 {
 		return nil, algorithms.ErrEmptyDataset
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	ref := t.Reference
@@ -123,12 +146,12 @@ func (t *TDAC) Run(d *truthdata.Dataset) (*Outcome, error) {
 	}
 
 	tv := BuildTruthVectors(d, refResult.Truth, t.Masked)
-	part, sil, explored, err := t.selectPartition(tv, d.NumAttrs())
+	part, sil, explored, err := t.SelectPartition(ctx, tv, d.NumAttrs())
 	if err != nil {
 		return nil, err
 	}
 
-	res, err := t.discoverOnPartition(d, part)
+	res, err := t.discoverOnPartition(ctx, d, part)
 	if err != nil {
 		return nil, err
 	}
@@ -152,8 +175,17 @@ func (t *TDAC) Run(d *truthdata.Dataset) (*Outcome, error) {
 // run, truth vectors, k search) and returns the chosen partition with its
 // silhouette value.
 func (t *TDAC) FindPartition(d *truthdata.Dataset) (partition.Partition, float64, error) {
+	return t.FindPartitionContext(context.Background(), d)
+}
+
+// FindPartitionContext is FindPartition under a context; cancellation
+// aborts the k-sweep at k granularity.
+func (t *TDAC) FindPartitionContext(ctx context.Context, d *truthdata.Dataset) (partition.Partition, float64, error) {
 	if t.Base == nil {
 		return nil, 0, errNoBase
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
 	}
 	ref := t.Reference
 	if ref == nil {
@@ -164,15 +196,34 @@ func (t *TDAC) FindPartition(d *truthdata.Dataset) (partition.Partition, float64
 		return nil, 0, fmt.Errorf("core: reference run (%s): %w", ref.Name(), err)
 	}
 	tv := BuildTruthVectors(d, refResult.Truth, t.Masked)
-	part, sil, _, err := t.selectPartition(tv, d.NumAttrs())
+	part, sil, _, err := t.SelectPartition(ctx, tv, d.NumAttrs())
 	return part, sil, err
 }
 
-// selectPartition explores k in [MinK, MaxK] as in Algorithm 1 lines 4–18
-// and returns the partition with the highest silhouette value. When the
-// range is empty (fewer than 3 attributes) the whole attribute set stays
-// one group, making TD-AC degrade to a plain run of F.
-func (t *TDAC) selectPartition(tv *TruthVectors, nAttrs int) (partition.Partition, float64, []KScore, error) {
+// workerCount resolves the k-sweep pool size.
+func (t *TDAC) workerCount() int {
+	if t.Workers > 0 {
+		return t.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SelectPartition explores k in [MinK, MaxK] as in Algorithm 1 lines
+// 4–18 over prebuilt truth vectors and returns the partition with the
+// highest silhouette value, its silhouette, and the full Explored table.
+// When the range is empty (fewer than 3 attributes) the whole attribute
+// set stays one group, making TD-AC degrade to a plain run of F.
+//
+// This is the clustering hot path, rebuilt in three layers: binary truth
+// vectors are packed into bit-planes so every pairwise distance is a
+// popcount kernel; one flat upper-triangular distance matrix is shared
+// by k-means++ seeding and the silhouette index across all explored k;
+// and the independent per-k evaluations run on a bounded worker pool
+// (see Workers). Each k draws its randomness from the base seed alone,
+// never from scheduling order, and the best k is resolved in ascending
+// order afterwards, so the outcome is bit-identical to the sequential
+// sweep. Cancellation is honoured at k granularity.
+func (t *TDAC) SelectPartition(ctx context.Context, tv *TruthVectors, nAttrs int) (partition.Partition, float64, []KScore, error) {
 	minK := t.MinK
 	if minK < 2 {
 		minK = 2
@@ -211,34 +262,114 @@ func (t *TDAC) selectPartition(tv *TruthVectors, nAttrs int) (partition.Partitio
 			dist = cluster.Hamming{}
 		}
 	}
-	var clusterer cluster.Clusterer = t.Clusterer
-	if clusterer == nil {
-		km := t.KMeans
-		km.Distance = dist
-		clusterer = &km
+
+	// Pack the truth vectors into bit-planes whenever the distance is one
+	// the popcount kernels reproduce exactly; fractional or foreign
+	// encodings fall back to the float kernels.
+	var packed *cluster.PackedVectors
+	switch dd := dist.(type) {
+	case cluster.Hamming:
+		packed, _ = cluster.PackBinary(tv.Vectors)
+	case cluster.MaskedHamming:
+		packed, _ = cluster.PackMasked(tv.Vectors, dd.Mask)
 	}
 
-	// The silhouette of every explored k reuses one pairwise distance
-	// matrix over the attribute truth vectors.
-	distMatrix := cluster.DistanceMatrix(tv.Vectors, dist)
+	// The silhouette of every explored k — and, on binary vectors,
+	// k-means++ seeding — reuses one pairwise distance matrix over the
+	// attribute truth vectors, computed once per Discover call.
+	var distMatrix *cluster.DistMatrix
+	if packed != nil {
+		distMatrix = cluster.NewDistMatrixPacked(packed)
+	} else {
+		distMatrix = cluster.NewDistMatrix(tv.Vectors, dist)
+	}
 
+	newClusterer := func() cluster.Clusterer {
+		if t.Clusterer != nil {
+			return t.Clusterer
+		}
+		km := t.KMeans
+		km.Distance = dist
+		if packed != nil && !packed.Masked() {
+			// On binary vectors the Hamming matrix entries equal the
+			// squared Euclidean distances k-means++ samples from.
+			km.SeedSqDists = distMatrix
+		}
+		return &km
+	}
+
+	type kResult struct {
+		clustering *cluster.Clustering
+		sil        float64
+		err        error
+	}
+	numK := maxK - minK + 1
+	results := make([]kResult, numK)
+	evalK := func(clusterer cluster.Clusterer, i int) {
+		k := minK + i
+		c, err := clusterer.Cluster(tv.Vectors, k)
+		if err != nil {
+			results[i] = kResult{err: fmt.Errorf("core: clustering with k=%d: %w", k, err)}
+			return
+		}
+		sil := cluster.SilhouetteFromDistMatrix(distMatrix, c.Assign, k)
+		results[i] = kResult{clustering: c, sil: sil}
+	}
+
+	workers := t.workerCount()
+	if workers > numK {
+		workers = numK
+	}
+	if workers <= 1 {
+		clusterer := newClusterer()
+		for i := 0; i < numK; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, nil, err
+			}
+			evalK(clusterer, i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				clusterer := newClusterer()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= numK || ctx.Err() != nil {
+						return
+					}
+					evalK(clusterer, i)
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, 0, nil, err
+		}
+	}
+
+	// Resolve errors and the best silhouette in ascending k, exactly as
+	// the sequential loop would.
 	var (
 		best     partition.Partition
 		bestSil  float64
 		haveBest bool
 		explored []KScore
 	)
-	for k := minK; k <= maxK; k++ {
-		c, err := clusterer.Cluster(tv.Vectors, k)
-		if err != nil {
-			return nil, 0, nil, fmt.Errorf("core: clustering with k=%d: %w", k, err)
+	for i := 0; i < numK; i++ {
+		r := &results[i]
+		if r.err != nil {
+			return nil, 0, nil, r.err
 		}
-		sil := cluster.SilhouetteFromMatrix(distMatrix, c.Assign, k)
-		explored = append(explored, KScore{K: k, Silhouette: sil, Inertia: c.Inertia})
-		if !haveBest || sil > bestSil {
+		k := minK + i
+		explored = append(explored, KScore{K: k, Silhouette: r.sil, Inertia: r.clustering.Inertia})
+		if !haveBest || r.sil > bestSil {
 			haveBest = true
-			bestSil = sil
-			best = partition.FromAssign(c.Assign, k)
+			bestSil = r.sil
+			best = partition.FromAssign(r.clustering.Assign, k)
 		}
 	}
 	return best, bestSil, explored, nil
@@ -246,8 +377,11 @@ func (t *TDAC) selectPartition(tv *TruthVectors, nAttrs int) (partition.Partitio
 
 // discoverOnPartition runs F on every group's projection of the data and
 // merges the partial truths, trusts and confidences back into one result
-// keyed by the original attribute ids (Algorithm 1 lines 20–24).
-func (t *TDAC) discoverOnPartition(d *truthdata.Dataset, part partition.Partition) (*algorithms.Result, error) {
+// keyed by the original attribute ids (Algorithm 1 lines 20–24). A
+// cancelled context stops further groups from starting and is returned
+// once the in-flight ones drain (base algorithms are not interruptible
+// mid-run).
+func (t *TDAC) discoverOnPartition(ctx context.Context, d *truthdata.Dataset, part partition.Partition) (*algorithms.Result, error) {
 	type partial struct {
 		res     *algorithms.Result
 		backMap []truthdata.AttrID
@@ -257,6 +391,9 @@ func (t *TDAC) discoverOnPartition(d *truthdata.Dataset, part partition.Partitio
 	partials := make([]partial, len(part))
 
 	runGroup := func(gi int, group []truthdata.AttrID) {
+		if ctx.Err() != nil {
+			return
+		}
 		sub, backMap := d.Project(group)
 		if len(sub.Claims) == 0 {
 			partials[gi] = partial{backMap: backMap}
@@ -280,6 +417,9 @@ func (t *TDAC) discoverOnPartition(d *truthdata.Dataset, part partition.Partitio
 		for gi, group := range part {
 			runGroup(gi, group)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	merged := &algorithms.Result{
@@ -345,7 +485,7 @@ func RunOnPartition(base algorithms.Algorithm, d *truthdata.Dataset, part partit
 	}
 	t := &TDAC{Base: base}
 	start := time.Now()
-	res, err := t.discoverOnPartition(d, part.Canonical())
+	res, err := t.discoverOnPartition(context.Background(), d, part.Canonical())
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -373,12 +374,14 @@ func TestTDACProjection(t *testing.T) {
 	}
 }
 
-// failingAlgorithm lets the tests inject base-algorithm failures.
-type failingAlgorithm struct{ calls int }
+// failingAlgorithm lets the tests inject base-algorithm failures. The call
+// counter is atomic because TD-AC's parallel mode invokes Discover from
+// several goroutines.
+type failingAlgorithm struct{ calls atomic.Int64 }
 
 func (f *failingAlgorithm) Name() string { return "failing" }
 func (f *failingAlgorithm) Discover(d *truthdata.Dataset) (*algorithms.Result, error) {
-	f.calls++
+	f.calls.Add(1)
 	return nil, errors.New("injected failure")
 }
 

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // SourceID identifies a data source by its position in Dataset.Sources.
@@ -59,6 +60,22 @@ type Dataset struct {
 	// Truth maps each cell with known ground truth to its true value.
 	// It may be nil (no evaluation possible) or partial.
 	Truth map[Cell]string
+
+	// indexOnce guards the lazily-built compiled index; see Index.
+	indexOnce sync.Once
+	index     *Index
+}
+
+// Index returns the dataset's compiled cell index, building it on first
+// use and caching it, so repeated per-cell lookups (auditing with
+// Inspect, serving explanation queries) cost O(1) instead of a linear
+// scan of Claims. The dataset must not be structurally modified (claims
+// added, removed or rewritten) after the first call; datasets derived
+// via Clone, Project, Merge or the Filter helpers start with a fresh
+// cache. The returned index is safe for concurrent readers.
+func (d *Dataset) Index() *Index {
+	d.indexOnce.Do(func() { d.index = NewIndex(d) })
+	return d.index
 }
 
 // NumSources returns |S|.

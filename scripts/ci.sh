@@ -1,0 +1,32 @@
+#!/bin/sh
+# ci.sh — the full verification gate, runnable locally or from CI.
+#
+# Checks, in order: formatting, vet, build, the complete test suite under
+# the race detector (which exercises the parallel k-sweep and the parallel
+# per-group base runs), and a one-shot smoke run of the k-sweep benchmark
+# so the packed hot path is executed at benchmark scale on every change.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "==> benchmark smoke (KSweep, 1x)"
+go test -run '^$' -bench KSweep -benchtime 1x .
+
+echo "==> ci OK"

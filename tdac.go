@@ -34,6 +34,7 @@
 package tdac
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -121,17 +122,63 @@ type Result struct {
 	Runtime time.Duration
 }
 
-// Option configures Discover.
+// Option configures Discover, DiscoverContext, CheckStability and
+// CheckStabilityContext. Every entry point accepts the same option set
+// and routes it through one shared configuration builder; an option an
+// entry point cannot honour is reported as an error instead of being
+// silently dropped.
 type Option func(*config) error
 
 type config struct {
-	base      string
-	reference string
-	minK      int
-	maxK      int
-	parallel  bool
-	masked    bool
-	seed      int64
+	base        string
+	reference   string
+	minK        int
+	maxK        int
+	parallel    bool
+	parallelSet bool
+	masked      bool
+	seed        int64
+	workers     int
+	projectDim  int
+}
+
+// apply runs the options over a default config.
+func newConfig(opts []Option) (*config, error) {
+	cfg := &config{base: "Accu"}
+	for _, o := range opts {
+		if err := o(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return cfg, nil
+}
+
+// buildTDAC is the single shared config→core.TDAC wiring used by every
+// entry point, so no option can be honoured by one and dropped by
+// another.
+func buildTDAC(cfg *config) (*core.TDAC, error) {
+	if cfg.masked && cfg.projectDim > 0 {
+		return nil, fmt.Errorf("tdac: WithProjection cannot be combined with WithSparseAware (the mask markers do not survive projection)")
+	}
+	base, err := algorithms.New(cfg.base)
+	if err != nil {
+		return nil, err
+	}
+	t := core.New(base)
+	if cfg.reference != "" {
+		ref, err := algorithms.New(cfg.reference)
+		if err != nil {
+			return nil, err
+		}
+		t.Reference = ref
+	}
+	t.MinK, t.MaxK = cfg.minK, cfg.maxK
+	t.Parallel = cfg.parallel
+	t.Masked = cfg.masked
+	t.Workers = cfg.workers
+	t.ProjectDim = cfg.projectDim
+	t.KMeans.Seed = cfg.seed
+	return t, nil
 }
 
 // WithBase selects the base algorithm F (default "Accu", the paper's
@@ -159,9 +206,43 @@ func WithKRange(minK, maxK int) Option {
 }
 
 // WithParallel runs the base algorithm on the partition's groups
-// concurrently (the paper's future-work item (ii)).
+// concurrently (the paper's future-work item (ii)). CheckStability
+// rejects this option: it never runs the base algorithm per group, so
+// there is nothing for it to parallelise (use WithWorkers to speed up
+// its k-sweeps instead).
 func WithParallel() Option {
-	return func(c *config) error { c.parallel = true; return nil }
+	return func(c *config) error { c.parallel = true; c.parallelSet = true; return nil }
+}
+
+// WithWorkers bounds the worker pool of the k-sweep: the independent
+// k-means + silhouette evaluations for different cluster counts run on
+// up to n goroutines. n = 0 (the default) means runtime.GOMAXPROCS;
+// n = 1 forces the sequential sweep. Results are bit-identical for any
+// n — every k derives its randomness from the base seed, never from
+// scheduling order.
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("tdac: WithWorkers(%d): worker count cannot be negative", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithProjection reduces the attribute truth vectors to dim dimensions
+// with a Johnson–Lindenstrauss random projection before clustering — a
+// running-time lever for very large |O|·|S|. Projection implies
+// Euclidean geometry on the projected vectors and is incompatible with
+// WithSparseAware.
+func WithProjection(dim int) Option {
+	return func(c *config) error {
+		if dim <= 0 {
+			return fmt.Errorf("tdac: WithProjection(%d): dimension must be positive", dim)
+		}
+		c.projectDim = dim
+		return nil
+	}
 }
 
 // WithSparseAware switches the truth vectors and clustering distance to
@@ -177,31 +258,26 @@ func WithSeed(seed int64) Option {
 	return func(c *config) error { c.seed = seed; return nil }
 }
 
-// Discover runs TD-AC (Algorithm 1 of the paper) on the dataset.
+// Discover runs TD-AC (Algorithm 1 of the paper) on the dataset. It is
+// DiscoverContext with context.Background().
 func Discover(d *Dataset, opts ...Option) (*Result, error) {
-	cfg := config{base: "Accu"}
-	for _, o := range opts {
-		if err := o(&cfg); err != nil {
-			return nil, err
-		}
-	}
-	base, err := algorithms.New(cfg.base)
+	return DiscoverContext(context.Background(), d, opts...)
+}
+
+// DiscoverContext runs TD-AC (Algorithm 1 of the paper) on the dataset
+// under a context. Cancellation aborts the k-sweep at k granularity and
+// stops parallel per-group base runs from starting; an already-cancelled
+// context returns promptly without touching the data.
+func DiscoverContext(ctx context.Context, d *Dataset, opts ...Option) (*Result, error) {
+	cfg, err := newConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	t := core.New(base)
-	if cfg.reference != "" {
-		ref, err := algorithms.New(cfg.reference)
-		if err != nil {
-			return nil, err
-		}
-		t.Reference = ref
+	t, err := buildTDAC(cfg)
+	if err != nil {
+		return nil, err
 	}
-	t.MinK, t.MaxK = cfg.minK, cfg.maxK
-	t.Parallel = cfg.parallel
-	t.Masked = cfg.masked
-	t.KMeans.Seed = cfg.seed
-	out, err := t.Run(d)
+	out, err := t.RunContext(ctx, d)
 	if err != nil {
 		return nil, err
 	}
@@ -230,10 +306,21 @@ type BaseResult struct {
 }
 
 // Run executes a registered base algorithm by name, without attribute
-// partitioning.
+// partitioning. It is RunContext with context.Background().
 func Run(d *Dataset, algorithm string) (*BaseResult, error) {
+	return RunContext(context.Background(), d, algorithm)
+}
+
+// RunContext executes a registered base algorithm by name under a
+// context. Base algorithms are not interruptible mid-iteration, so
+// cancellation is checked before the run starts: an already-cancelled
+// context returns its error without touching the data.
+func RunContext(ctx context.Context, d *Dataset, algorithm string) (*BaseResult, error) {
 	alg, err := algorithms.New(algorithm)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	res, err := alg.Discover(d)
@@ -305,30 +392,31 @@ type Stability struct {
 // CheckStability reruns TD-AC's partition selection under `runs`
 // different clustering seeds and reports agreement — a practical warning
 // signal on low-coverage data where the truth vectors are too sparse to
-// cluster reliably (the regime of the paper's Figure 5).
+// cluster reliably (the regime of the paper's Figure 5). It is
+// CheckStabilityContext with context.Background().
 func CheckStability(d *Dataset, runs int, opts ...Option) (*Stability, error) {
-	cfg := config{base: "Accu"}
-	for _, o := range opts {
-		if err := o(&cfg); err != nil {
-			return nil, err
-		}
-	}
-	base, err := algorithms.New(cfg.base)
+	return CheckStabilityContext(context.Background(), d, runs, opts...)
+}
+
+// CheckStabilityContext is CheckStability under a context: cancellation
+// aborts between reseeded runs and inside each run's k-sweep. It accepts
+// the same option set as DiscoverContext, except WithParallel: stability
+// checking never runs the base algorithm per group, so that option is
+// rejected with an error rather than silently ignored (use WithWorkers
+// to parallelise the k-sweeps instead).
+func CheckStabilityContext(ctx context.Context, d *Dataset, runs int, opts ...Option) (*Stability, error) {
+	cfg, err := newConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	t := core.New(base)
-	if cfg.reference != "" {
-		ref, err := algorithms.New(cfg.reference)
-		if err != nil {
-			return nil, err
-		}
-		t.Reference = ref
+	if cfg.parallelSet {
+		return nil, fmt.Errorf("tdac: CheckStability cannot honour WithParallel (it never runs the base algorithm per group); use WithWorkers to parallelise its k-sweeps")
 	}
-	t.MinK, t.MaxK = cfg.minK, cfg.maxK
-	t.Masked = cfg.masked
-	t.KMeans.Seed = cfg.seed
-	st, err := t.CheckStability(d, runs)
+	t, err := buildTDAC(cfg)
+	if err != nil {
+		return nil, err
+	}
+	st, err := t.CheckStabilityContext(ctx, d, runs)
 	if err != nil {
 		return nil, err
 	}
@@ -359,28 +447,35 @@ type ValueVotes struct {
 // trust vector (pass a Result's or BaseResult's Trust; nil is allowed).
 // The slice is ordered by descending vote count, ties by value. Useful
 // for auditing why an algorithm preferred one value over another.
+//
+// Lookups go through the dataset's cached cell index, so auditing costs
+// O(votes of the cell) per call instead of a linear scan of every claim;
+// the first Inspect on a dataset compiles the index (see the caveat on
+// mutating a dataset after that). Duplicate identical claims collapse to
+// a single vote, as everywhere else in the evaluation.
 func Inspect(d *Dataset, cell Cell, predicted map[Cell]string, trust []float64) []ValueVotes {
-	votes := map[string]*ValueVotes{}
-	for _, c := range d.Claims {
-		if c.Cell() != cell {
-			continue
-		}
-		v, ok := votes[c.Value]
-		if !ok {
-			v = &ValueVotes{Value: c.Value}
-			votes[c.Value] = v
-		}
-		v.Sources = append(v.Sources, d.SourceName(c.Source))
-		if int(c.Source) < len(trust) {
-			v.TrustSum += trust[c.Source]
-		}
+	ix := d.Index()
+	ci, ok := ix.CellIdx[cell]
+	if !ok {
+		return nil
 	}
+	cc := &ix.Cells[ci]
 	chosen := predicted[cell]
-	out := make([]ValueVotes, 0, len(votes))
-	for _, v := range votes {
-		v.Chosen = v.Value == chosen
+	out := make([]ValueVotes, 0, len(cc.Values))
+	for vi, val := range cc.Values {
+		v := ValueVotes{
+			Value:   val,
+			Chosen:  val == chosen,
+			Sources: make([]string, 0, len(cc.Voters[vi])),
+		}
+		for _, s := range cc.Voters[vi] {
+			v.Sources = append(v.Sources, d.SourceName(s))
+			if int(s) < len(trust) {
+				v.TrustSum += trust[s]
+			}
+		}
 		sort.Strings(v.Sources)
-		out = append(out, *v)
+		out = append(out, v)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if len(out[i].Sources) != len(out[j].Sources) {
