@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench ci fmt vet
+.PHONY: all build test race bench bench-report ci fmt vet
 
 all: build
 
@@ -18,6 +18,13 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# bench-report regenerates BENCH_tdac.json (schema tdac-bench/1): per-phase
+# median wall times for the paper configs, then re-validates the file so a
+# broken write never lands.
+bench-report:
+	$(GO) run ./cmd/tdacbench -reps 5 -o BENCH_tdac.json
+	$(GO) run ./cmd/tdacbench -validate BENCH_tdac.json
+
 fmt:
 	gofmt -l -w .
 
@@ -25,6 +32,7 @@ vet:
 	$(GO) vet ./...
 
 # ci is the full verification gate (fmt check, vet, build, race tests,
-# k-sweep benchmark smoke); scripts/ci.sh holds the exact sequence.
+# k-sweep benchmark smoke, fuzz smoke, bench report schema check);
+# scripts/ci.sh holds the exact sequence.
 ci:
 	sh scripts/ci.sh

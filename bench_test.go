@@ -21,6 +21,7 @@ import (
 	"tdac/internal/core"
 	"tdac/internal/experiments"
 	"tdac/internal/metrics"
+	"tdac/internal/obs"
 	"tdac/internal/partition"
 	"tdac/internal/synth"
 	"tdac/internal/truthdata"
@@ -340,4 +341,22 @@ func BenchmarkKSweep(b *testing.B) {
 			b.ReportMetric(sil, "silhouette")
 		})
 	}
+	// The observability overhead gate (DESIGN.md §8): stats-off must stay
+	// within 2% of packed-workers-1 — it differs only by nil Recorder
+	// checks — and stats-on shows the full collection cost.
+	b.Run("packed-workers-1-stats", func(b *testing.B) {
+		b.ReportAllocs()
+		var sil float64
+		for i := 0; i < b.N; i++ {
+			t := core.New(algorithms.NewMajorityVote())
+			t.Workers = 1
+			t.Recorder = obs.NewRecorder(nil)
+			_, s, _, err := t.SelectPartition(context.Background(), tv, nAttrs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sil = s
+		}
+		b.ReportMetric(sil, "silhouette")
+	})
 }

@@ -5,12 +5,18 @@
 //
 //	tdac -claims claims.csv [-truth truth.csv] [-algorithm Accu]
 //	     [-tdac] [-parallel] [-workers n] [-project dim] [-sparse]
-//	     [-top n] [-trust] [-json]
+//	     [-top n] [-trust] [-json] [-stats]
+//	     [-cpuprofile f.pprof] [-memprofile f.pprof]
 //
 // The claims file holds "source,object,attribute,value" records; the
 // optional truth file holds "object,attribute,value" ground truth, which
 // enables the evaluation report. With -tdac, the named algorithm becomes
 // the base algorithm F of TD-AC; without it, the algorithm runs plain.
+//
+// -stats prints the run's phase-scoped observation tree (wall times,
+// per-k convergence, per-group base-run cost, cache reuse, allocation
+// deltas) to stderr. -cpuprofile and -memprofile write pprof profiles
+// covering the discovery run, for `go tool pprof`.
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -59,6 +67,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		showTrust  = fs.Bool("trust", false, "print the final per-source trust estimates")
 		asJSON     = fs.Bool("json", false, "emit predictions as JSON instead of CSV")
 		explain    = fs.String("explain", "", "explain one prediction: \"object/attribute\"")
+		showStats  = fs.Bool("stats", false, "print the run's phase-scoped observation tree")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the discovery run to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile taken after the discovery run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,9 +101,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintln(stderr, tdac.ComputeStats(ds))
 
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var (
 		truth map[tdac.Cell]string
 		trust []float64
+		stats *tdac.RunStats
 	)
 	if *useTDAC {
 		opts := []tdac.Option{tdac.WithBase(*algorithm), tdac.WithWorkers(*workers)}
@@ -105,20 +129,43 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if *sparse {
 			opts = append(opts, tdac.WithSparseAware())
 		}
+		if *showStats {
+			opts = append(opts, tdac.WithStats())
+		}
 		res, err := tdac.DiscoverContext(ctx, ds, opts...)
 		if err != nil {
 			return err
 		}
-		truth, trust = res.Truth, res.Trust
+		truth, trust, stats = res.Truth, res.Trust, res.Stats
 		fmt.Fprintf(stderr, "TD-AC partition: %s (silhouette %.3f), %s\n",
 			res.Partition, res.Silhouette, res.Runtime.Round(0))
 	} else {
-		res, err := tdac.RunContext(ctx, ds, *algorithm)
+		var opts []tdac.Option
+		if *showStats {
+			opts = append(opts, tdac.WithStats())
+		}
+		res, err := tdac.RunContext(ctx, ds, *algorithm, opts...)
 		if err != nil {
 			return err
 		}
-		truth, trust = res.Truth, res.Trust
+		truth, trust, stats = res.Truth, res.Trust, res.Stats
 		fmt.Fprintf(stderr, "%s: %d iterations, %s\n", res.Algorithm, res.Iterations, res.Runtime.Round(0))
+	}
+	if stats != nil {
+		if err := stats.Render(stderr); err != nil {
+			return err
+		}
+	}
+	if *memProfile != "" {
+		mf, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return fmt.Errorf("writing heap profile: %w", err)
+		}
 	}
 
 	if len(ds.Truth) > 0 {

@@ -73,6 +73,48 @@ func TestRunTDACMode(t *testing.T) {
 	}
 }
 
+// TestStatsAndProfiles covers the observability flags: -stats renders
+// the phase tree to stderr in both modes, and the pprof flags write
+// non-empty profile files.
+func TestStatsAndProfiles(t *testing.T) {
+	claims, _ := writeFixtures(t)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	var out, errBuf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-claims", claims, "-tdac", "-stats", "-cpuprofile", cpu, "-memprofile", mem,
+	}, &out, &errBuf)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errBuf.String())
+	}
+	s := errBuf.String()
+	for _, want := range []string{"run stats: total", "reference", "memory:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("-stats output missing %q:\n%s", want, s)
+		}
+	}
+	for _, f := range []string{cpu, mem} {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+		} else if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", f)
+		}
+	}
+
+	// Plain mode renders the single discover phase.
+	errBuf.Reset()
+	err = run(context.Background(), []string{"-claims", claims, "-algorithm", "MajorityVote", "-stats"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "discover") {
+		t.Errorf("plain-mode -stats missing discover phase:\n%s", errBuf.String())
+	}
+}
+
 func TestRunJSONOutput(t *testing.T) {
 	claims, _ := writeFixtures(t)
 	var out, errBuf bytes.Buffer

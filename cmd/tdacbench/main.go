@@ -1,0 +1,285 @@
+// Command tdacbench records the repo's performance trajectory: it runs
+// TD-AC over the paper's synthetic and semi-synthetic configurations
+// (the ones internal/experiments builds for Tables 4–7) with the
+// observability subsystem enabled and emits a schema-versioned
+// BENCH_tdac.json of per-phase median wall times over N repetitions.
+//
+// Usage:
+//
+//	tdacbench [-configs DS1,DS2,DS3,exam62-r25] [-reps 5] [-base Accu]
+//	          [-full] [-smoke] [-o BENCH_tdac.json]
+//	tdacbench -validate BENCH_tdac.json
+//
+// The default scale is the experiments' smoke scale (seconds, CI-safe);
+// -full runs the paper-scale workloads. -smoke forces reps=1 for the
+// fastest possible end-to-end check. -validate parses an existing report
+// and checks it against the schema instead of running anything, so CI
+// can fail on schema drift without re-benchmarking.
+//
+// Unlike cmd/tdac-bench (which regenerates the paper's accuracy tables),
+// this command measures only where time goes, phase by phase.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"tdac/internal/algorithms"
+	"tdac/internal/core"
+	"tdac/internal/experiments"
+	"tdac/internal/obs"
+)
+
+// Schema identifies the report's wire format; bump on breaking changes.
+const Schema = "tdac-bench/1"
+
+// phases lists the phase keys every config entry must report, matching
+// the pipeline's execution order.
+var phases = []obs.Phase{
+	obs.PhaseReference,
+	obs.PhaseTruthVectors,
+	obs.PhaseDistanceMatrix,
+	obs.PhaseKSweep,
+	obs.PhaseBaseRuns,
+	obs.PhaseMerge,
+}
+
+// Report is the top-level BENCH_tdac.json document.
+type Report struct {
+	Schema  string         `json:"schema"`
+	Base    string         `json:"base"`
+	Full    bool           `json:"full"`
+	Reps    int            `json:"reps"`
+	Configs []ConfigResult `json:"configs"`
+}
+
+// ConfigResult aggregates the repetitions of one benchmark config.
+type ConfigResult struct {
+	Dataset string `json:"dataset"`
+	Attrs   int    `json:"attrs"`
+	Sources int    `json:"sources"`
+	Objects int    `json:"objects"`
+	Claims  int    `json:"claims"`
+	// PhaseMedianMS maps each pipeline phase to its median wall time in
+	// milliseconds across the repetitions.
+	PhaseMedianMS map[string]float64 `json:"phase_median_ms"`
+	// TotalMedianMS is the median end-to-end wall time.
+	TotalMedianMS float64 `json:"total_median_ms"`
+	// SweepIterations is the median total Lloyd rounds over the k-sweep.
+	SweepIterations int `json:"sweep_iterations"`
+	// BestK and Silhouette describe the selected partition (identical
+	// across repetitions: runs are deterministic under a fixed seed).
+	BestK      int     `json:"best_k"`
+	Silhouette float64 `json:"silhouette"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tdacbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tdacbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		configs  = fs.String("configs", "DS1,DS2,DS3,exam62-r25", "comma-separated dataset ids to benchmark")
+		reps     = fs.Int("reps", 5, "repetitions per config (medians are reported)")
+		base     = fs.String("base", "Accu", "base algorithm F of TD-AC")
+		full     = fs.Bool("full", false, "run the paper-scale workloads instead of the smoke scale")
+		smoke    = fs.Bool("smoke", false, "fastest end-to-end check: forces -reps 1")
+		out      = fs.String("o", "BENCH_tdac.json", "output file; \"-\" writes to stdout")
+		validate = fs.String("validate", "", "validate an existing report against the schema and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *validate != "" {
+		raw, err := os.ReadFile(*validate)
+		if err != nil {
+			return err
+		}
+		if err := Validate(raw); err != nil {
+			return fmt.Errorf("%s: %w", *validate, err)
+		}
+		fmt.Fprintf(stderr, "%s: valid %s report\n", *validate, Schema)
+		return nil
+	}
+
+	if *smoke {
+		*reps = 1
+	}
+	if *reps < 1 {
+		return fmt.Errorf("-reps must be at least 1, got %d", *reps)
+	}
+	ids := strings.Split(*configs, ",")
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+
+	report := &Report{Schema: Schema, Base: *base, Full: *full, Reps: *reps}
+	runner := experiments.NewRunner(experiments.Options{Full: *full, Log: stderr})
+	for _, id := range ids {
+		if id == "" {
+			continue
+		}
+		cr, err := benchConfig(runner, id, *base, *reps)
+		if err != nil {
+			return err
+		}
+		report.Configs = append(report.Configs, *cr)
+		fmt.Fprintf(stderr, "%s: total %.2fms median over %d rep(s), best k=%d\n",
+			id, cr.TotalMedianMS, *reps, cr.BestK)
+	}
+
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := Validate(raw); err != nil {
+		return fmt.Errorf("generated report failed its own schema: %w", err)
+	}
+	if *out == "-" {
+		_, err := stdout.Write(raw)
+		return err
+	}
+	return os.WriteFile(*out, raw, 0o644)
+}
+
+// benchConfig runs TD-AC reps times on one dataset with stats collection
+// on and aggregates per-phase medians.
+func benchConfig(runner *experiments.Runner, id, base string, reps int) (*ConfigResult, error) {
+	d, err := runner.Dataset(id)
+	if err != nil {
+		return nil, err
+	}
+	b, err := algorithms.New(base)
+	if err != nil {
+		return nil, err
+	}
+
+	cr := &ConfigResult{
+		Dataset:       id,
+		Attrs:         d.NumAttrs(),
+		Sources:       d.NumSources(),
+		Objects:       d.NumObjects(),
+		Claims:        d.NumClaims(),
+		PhaseMedianMS: make(map[string]float64, len(phases)),
+	}
+	perPhase := make(map[obs.Phase][]time.Duration, len(phases))
+	var totals []time.Duration
+	var sweepIters []int
+	for rep := 0; rep < reps; rep++ {
+		t := core.New(b)
+		if !runner.Opts.Full {
+			// Mirror the experiments' smoke-scale clustering caps so the
+			// numbers line up with what `make experiments` exercises.
+			t.MaxK = 24
+			t.KMeans.Restarts = 2
+		}
+		t.Recorder = obs.NewRecorder(nil)
+		out, err := t.Run(d)
+		if err != nil {
+			return nil, fmt.Errorf("TD-AC (F=%s) on %s: %w", base, id, err)
+		}
+		s := out.Stats
+		totals = append(totals, s.Total)
+		for _, p := range phases {
+			perPhase[p] = append(perPhase[p], s.PhaseDuration(p))
+		}
+		iters := 0
+		for _, sw := range s.Sweeps {
+			iters += sw.Iterations()
+		}
+		sweepIters = append(sweepIters, iters)
+		if rep == 0 {
+			cr.Silhouette = out.Silhouette
+			if len(s.Sweeps) > 0 {
+				cr.BestK, _ = s.Sweeps[0].Best()
+			}
+		}
+	}
+	for _, p := range phases {
+		cr.PhaseMedianMS[string(p)] = medianMS(perPhase[p])
+	}
+	cr.TotalMedianMS = medianMS(totals)
+	cr.SweepIterations = medianInt(sweepIters)
+	return cr, nil
+}
+
+func medianMS(ds []time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	mid := sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		mid = (mid + sorted[len(sorted)/2-1]) / 2
+	}
+	return float64(mid) / float64(time.Millisecond)
+}
+
+func medianInt(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	mid := sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		mid = (mid + sorted[len(sorted)/2-1]) / 2
+	}
+	return mid
+}
+
+// Validate checks a serialized report against the tdac-bench/1 schema:
+// the version marker, at least one config, and for every config a
+// complete per-phase median map plus sane totals. CI runs this against
+// the committed BENCH_tdac.json so schema drift fails fast.
+func Validate(raw []byte) error {
+	var r Report
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return fmt.Errorf("schema %s: %w", Schema, err)
+	}
+	if r.Schema != Schema {
+		return fmt.Errorf("schema mismatch: got %q, want %q", r.Schema, Schema)
+	}
+	if r.Base == "" {
+		return fmt.Errorf("schema %s: missing base algorithm", Schema)
+	}
+	if r.Reps < 1 {
+		return fmt.Errorf("schema %s: reps = %d, want >= 1", Schema, r.Reps)
+	}
+	if len(r.Configs) == 0 {
+		return fmt.Errorf("schema %s: no configs", Schema)
+	}
+	for _, c := range r.Configs {
+		if c.Dataset == "" {
+			return fmt.Errorf("schema %s: config with empty dataset id", Schema)
+		}
+		if c.Attrs <= 0 || c.Claims <= 0 {
+			return fmt.Errorf("schema %s: %s: non-positive attrs/claims", Schema, c.Dataset)
+		}
+		if c.TotalMedianMS <= 0 {
+			return fmt.Errorf("schema %s: %s: non-positive total_median_ms", Schema, c.Dataset)
+		}
+		for _, p := range phases {
+			if _, ok := c.PhaseMedianMS[string(p)]; !ok {
+				return fmt.Errorf("schema %s: %s: phase_median_ms missing %q", Schema, c.Dataset, p)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSmokeRunEmitsValidReport drives the full command end to end at
+// smoke scale: two paper configs, one repetition, and the generated
+// report must pass its own schema validation (the acceptance criterion
+// behind make bench-report).
+func TestSmokeRunEmitsValidReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_tdac.json")
+	var stderr strings.Builder
+	err := run([]string{"-smoke", "-configs", "DS1,exam62-r25", "-o", out}, &strings.Builder{}, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(raw); err != nil {
+		t.Fatalf("generated report invalid: %v\n%s", err, raw)
+	}
+	for _, want := range []string{`"schema": "tdac-bench/1"`, `"dataset": "DS1"`, `"dataset": "exam62-r25"`, `"k-sweep"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("report missing %s:\n%s", want, raw)
+		}
+	}
+	// Validate mode must accept the file it just wrote.
+	if err := run([]string{"-validate", out}, &strings.Builder{}, &stderr); err != nil {
+		t.Fatalf("-validate rejected a fresh report: %v", err)
+	}
+}
+
+// TestValidateRejectsDrift pins the schema gate: structural drift — a
+// version bump, a dropped phase, an unknown field — must fail.
+func TestValidateRejectsDrift(t *testing.T) {
+	valid := `{
+	  "schema": "tdac-bench/1", "base": "Accu", "full": false, "reps": 1,
+	  "configs": [{
+	    "dataset": "DS1", "attrs": 12, "sources": 30, "objects": 150, "claims": 5000,
+	    "phase_median_ms": {"reference": 1, "truth-vectors": 1, "distance-matrix": 1,
+	                        "k-sweep": 1, "base-runs": 1, "merge": 1},
+	    "total_median_ms": 6, "sweep_iterations": 40, "best_k": 4, "silhouette": 0.4
+	  }]
+	}`
+	if err := Validate([]byte(valid)); err != nil {
+		t.Fatalf("baseline document rejected: %v", err)
+	}
+	cases := map[string]string{
+		"version bump":  strings.Replace(valid, "tdac-bench/1", "tdac-bench/2", 1),
+		"missing phase": strings.Replace(valid, `"k-sweep": 1,`, "", 1),
+		"unknown field": strings.Replace(valid, `"reps": 1,`, `"reps": 1, "surprise": true,`, 1),
+		"no configs":    strings.Replace(valid, `"configs": [{`, `"configs": [], "was": [{`, 1),
+		"zero total":    strings.Replace(valid, `"total_median_ms": 6`, `"total_median_ms": 0`, 1),
+		"empty dataset": strings.Replace(valid, `"dataset": "DS1"`, `"dataset": ""`, 1),
+		"not even JSON": "}{",
+		"wrong reps":    strings.Replace(valid, `"reps": 1`, `"reps": 0`, 1),
+	}
+	for name, doc := range cases {
+		if err := Validate([]byte(doc)); err == nil {
+			t.Errorf("%s: Validate accepted a drifted document", name)
+		}
+	}
+}

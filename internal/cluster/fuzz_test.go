@@ -1,0 +1,96 @@
+package cluster
+
+import "testing"
+
+// FuzzPackedHammingEquivalence fuzzes the packed XOR+popcount kernels
+// against the naive float references they replace: for random binary
+// vectors (including the two-plane masked encoding with missing
+// coordinates) the packed distances must equal Hamming.Between and
+// MaskedHamming.Between bit for bit, stay symmetric, and vanish on the
+// diagonal. The dimension crosses the 64-bit word boundary so the
+// multi-word path and the padding bits are both exercised.
+func FuzzPackedHammingEquivalence(f *testing.F) {
+	f.Add([]byte{0x00}, uint8(1))
+	f.Add([]byte{0xff, 0x0f}, uint8(7))
+	f.Add([]byte{0xaa, 0x55, 0x13}, uint8(63))
+	f.Add([]byte{0x12, 0x34, 0x56, 0x78}, uint8(64))
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef}, uint8(129))
+	f.Fuzz(func(t *testing.T, data []byte, dimRaw uint8) {
+		if len(data) == 0 {
+			return
+		}
+		dim := int(dimRaw)%130 + 1
+		const n = 3
+		// Two bits of fuzz input per coordinate: 0b00 → 0, 0b01/0b11 → 1,
+		// 0b10 → missing (masked variant only; dense maps it to 0).
+		code := func(v, j int) byte {
+			idx := v*dim + j
+			return data[(idx/4)%len(data)] >> ((idx % 4) * 2) & 3
+		}
+		dense := make([][]float64, n)
+		masked := make([][]float64, n)
+		hasMissing := false
+		for v := 0; v < n; v++ {
+			dense[v] = make([]float64, dim)
+			masked[v] = make([]float64, dim)
+			for j := 0; j < dim; j++ {
+				c := code(v, j)
+				dense[v][j] = float64(c & 1)
+				if c == 2 {
+					masked[v][j] = -1
+					hasMissing = true
+				} else {
+					masked[v][j] = float64(c & 1)
+				}
+			}
+		}
+
+		pd, ok := PackBinary(dense)
+		if !ok {
+			t.Fatalf("PackBinary rejected binary vectors (dim=%d)", dim)
+		}
+		pm, ok := PackMasked(masked, -1)
+		if !ok {
+			t.Fatalf("PackMasked rejected 0/1/-1 vectors (dim=%d)", dim)
+		}
+		if hasMissing {
+			if _, ok := PackBinary(masked); ok {
+				t.Fatal("PackBinary accepted vectors containing the missing marker")
+			}
+		}
+
+		href := Hamming{}
+		mref := MaskedHamming{Mask: -1}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := href.Between(dense[i], dense[j])
+				if got := pd.Distance(i, j); got != want {
+					t.Fatalf("dense dim=%d (%d,%d): packed %v, naive %v", dim, i, j, got, want)
+				}
+				if got := pd.HammingInt(i, j); float64(got) != want {
+					t.Fatalf("dense dim=%d (%d,%d): HammingInt %d, naive %v", dim, i, j, got, want)
+				}
+				wantM := mref.Between(masked[i], masked[j])
+				if got := pm.Distance(i, j); got != wantM {
+					t.Fatalf("masked dim=%d (%d,%d): packed %v, naive %v", dim, i, j, got, wantM)
+				}
+			}
+			if d := pd.Distance(i, i); d != 0 {
+				t.Fatalf("dense self-distance (%d) = %v", i, d)
+			}
+			if d := pm.Distance(i, i); d != 0 {
+				t.Fatalf("masked self-distance (%d) = %v", i, d)
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if pd.Distance(i, j) != pd.Distance(j, i) {
+					t.Fatalf("dense distance not symmetric at (%d,%d)", i, j)
+				}
+				if pm.Distance(i, j) != pm.Distance(j, i) {
+					t.Fatalf("masked distance not symmetric at (%d,%d)", i, j)
+				}
+			}
+		}
+	})
+}

