@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-report ci fmt vet
+.PHONY: all build test race bench bench-report ci fmt vet serve
 
 all: build
 
@@ -30,6 +30,16 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# serve generates the example exam dataset and starts tdacd against it on
+# the default port; Ctrl-C (or SIGTERM) drains gracefully. See README
+# "Serving: tdacd" for the curl quickstart.
+serve:
+	mkdir -p data
+	$(GO) run ./cmd/tdac-gen -dataset exam62 -out ./data
+	$(GO) run ./cmd/tdacd -addr :8321 \
+		-load exam62=./data/exam-62-claims.csv \
+		-truth exam62=./data/exam-62-truth.csv
 
 # ci is the full verification gate (fmt check, vet, build, race tests,
 # k-sweep benchmark smoke, fuzz smoke, bench report schema check);

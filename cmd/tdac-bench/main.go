@@ -9,6 +9,10 @@
 // scale is a fast smoke scale; -full runs paper-scale workloads
 // (1000 objects, 248 students, the complete k range), which takes
 // minutes. Output goes to stdout or -o.
+//
+// Not to be confused with cmd/tdacbench (no hyphen), which measures the
+// performance trajectory — per-phase wall times into BENCH_tdac.json —
+// rather than regenerating the paper's accuracy tables.
 package main
 
 import (

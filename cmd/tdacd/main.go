@@ -1,0 +1,221 @@
+// Command tdacd is the long-running truth-discovery daemon: it keeps
+// named datasets resident in a versioned registry, accepts claim
+// ingestion over HTTP/JSON, and runs TD-AC (or any registered base
+// algorithm) asynchronously through a bounded job queue drained by a
+// worker pool. See DESIGN.md §9 for the serving architecture.
+//
+// Usage:
+//
+//	tdacd [-addr :8321] [-load name=claims.csv]... [-truth name=truth.csv]...
+//	      [-workers n] [-queue n] [-job-timeout 5m] [-request-timeout 30s]
+//	      [-max-body bytes] [-max-datasets n] [-drain 15s] [-pprof]
+//
+// The API (all JSON; every error is {"error": "..."}):
+//
+//	POST   /v1/datasets                  create an empty named dataset
+//	GET    /v1/datasets                  list datasets and versions
+//	GET    /v1/datasets/{name}           one dataset's stats (incl. DCR)
+//	POST   /v1/datasets/{name}/claims    ingest claims/truth → new version
+//	POST   /v1/datasets/{name}/discover  enqueue an async discovery job
+//	GET    /v1/jobs                      list jobs
+//	GET    /v1/jobs/{id}                 poll one job (result when done)
+//	DELETE /v1/jobs/{id}                 cancel a queued or running job
+//	GET    /healthz /readyz /metrics     liveness / backpressure / counters
+//
+// On SIGTERM or SIGINT the daemon stops accepting work and drains
+// running jobs up to -drain, then cancels whatever is still in flight.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"tdac"
+	"tdac/internal/server"
+	"tdac/internal/truthdata"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tdacd:", err)
+		os.Exit(1)
+	}
+}
+
+// namedPath is one "name=path" command-line binding.
+type namedPath struct{ name, path string }
+
+// parseNamedPath splits "name=path" and validates the name.
+func parseNamedPath(s string) (namedPath, error) {
+	name, path, ok := strings.Cut(s, "=")
+	if !ok || name == "" || path == "" {
+		return namedPath{}, fmt.Errorf("want name=path, got %q", s)
+	}
+	if err := server.ValidateDatasetName(name); err != nil {
+		return namedPath{}, err
+	}
+	return namedPath{name: name, path: path}, nil
+}
+
+// run is the testable body of main: it serves until ctx is cancelled,
+// then shuts down gracefully and returns.
+func run(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tdacd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", ":8321", "listen address")
+		workers     = fs.Int("workers", 2, "discovery worker-pool size")
+		queue       = fs.Int("queue", 64, "job queue capacity (backpressure bound)")
+		maxJobs     = fs.Int("max-jobs", 1000, "finished jobs retained for polling")
+		jobTimeout  = fs.Duration("job-timeout", 5*time.Minute, "per-job deadline (and cap on requested deadlines)")
+		reqTimeout  = fs.Duration("request-timeout", 30*time.Second, "per-request deadline")
+		maxBody     = fs.Int64("max-body", 8<<20, "request body size limit in bytes")
+		maxDatasets = fs.Int("max-datasets", 256, "dataset registry capacity")
+		drain       = fs.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
+		pprofOn     = fs.Bool("pprof", false, "mount /debug/pprof (opt-in)")
+	)
+	var loads, truths []namedPath
+	fs.Func("load", "preload a dataset: name=claims.csv or name=dataset.json (repeatable)", func(s string) error {
+		np, err := parseNamedPath(s)
+		if err == nil {
+			loads = append(loads, np)
+		}
+		return err
+	})
+	fs.Func("truth", "merge ground truth into a preloaded dataset: name=truth.csv (repeatable)", func(s string) error {
+		np, err := parseNamedPath(s)
+		if err == nil {
+			truths = append(truths, np)
+		}
+		return err
+	})
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := log.New(stderr, "tdacd: ", log.LstdFlags)
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueSize:      *queue,
+		MaxJobs:        *maxJobs,
+		JobTimeout:     *jobTimeout,
+		RequestTimeout: *reqTimeout,
+		MaxBodyBytes:   *maxBody,
+		MaxDatasets:    *maxDatasets,
+		EnablePprof:    *pprofOn,
+	})
+	if err := preload(srv, loads, truths, logger); err != nil {
+		// The daemon never starts half-loaded; shut the pool down first.
+		shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+		return err
+	}
+	logger.Printf("listening on http://%s", ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections and let in-flight
+	// requests finish, then drain the job engine; both share the drain
+	// deadline, after which running jobs are cancelled.
+	logger.Printf("shutting down (drain %s)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Printf("drain deadline hit, in-flight jobs cancelled (%v)", err)
+	} else {
+		logger.Printf("drained cleanly")
+	}
+	return nil
+}
+
+// preload loads -load datasets (claims CSV or dataset JSON by file
+// extension), merges -truth files into them and registers the results.
+func preload(srv *server.Server, loads, truths []namedPath, logger *log.Logger) error {
+	datasets := make(map[string]*truthdata.Dataset, len(loads))
+	for _, l := range loads {
+		f, err := os.Open(l.path)
+		if err != nil {
+			return err
+		}
+		var d *tdac.Dataset
+		switch strings.ToLower(filepath.Ext(l.path)) {
+		case ".json":
+			d, err = tdac.ReadJSON(f)
+		default:
+			d, err = tdac.ReadClaimsCSV(f, l.name)
+		}
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", l.path, err)
+		}
+		if _, ok := datasets[l.name]; ok {
+			return fmt.Errorf("dataset %q loaded twice", l.name)
+		}
+		datasets[l.name] = d
+	}
+	for _, t := range truths {
+		d, ok := datasets[t.name]
+		if !ok {
+			return fmt.Errorf("-truth %s=%s: no matching -load", t.name, t.path)
+		}
+		f, err := os.Open(t.path)
+		if err != nil {
+			return err
+		}
+		err = tdac.ReadTruthCSV(f, d)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", t.path, err)
+		}
+	}
+	for name, d := range datasets {
+		if err := srv.Registry().Create(name, d); err != nil {
+			return err
+		}
+	}
+	for _, name := range srv.Registry().Names() {
+		snap, err := srv.Registry().Get(name)
+		if err != nil {
+			return err
+		}
+		logger.Printf("loaded dataset %q: %s", name, truthdata.ComputeStats(snap.Data))
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for the daemon's stderr.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://[\d.:\[\]]+)`)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL plus a channel carrying run's return value.
+func startDaemon(t *testing.T, ctx context.Context, args []string, stderr *syncBuffer) (string, <-chan error) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), stderr)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(stderr.String()); m != nil {
+			return m[1], done
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited before listening: %v\nstderr: %s", err, stderr.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never listened\nstderr: %s", stderr.String())
+		}
+	}
+}
+
+func writeClaimsFixture(t *testing.T) (claims, truth string) {
+	t.Helper()
+	dir := t.TempDir()
+	claims = filepath.Join(dir, "claims.csv")
+	truth = filepath.Join(dir, "truth.csv")
+	claimsData := `source,object,attribute,value
+s1,o1,colour,red
+s2,o1,colour,blue
+s3,o1,colour,red
+s1,o1,size,10
+s2,o1,size,10
+s3,o1,size,12
+`
+	truthData := `object,attribute,value
+o1,colour,red
+o1,size,10
+`
+	if err := os.WriteFile(claims, []byte(claimsData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(truth, []byte(truthData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return claims, truth
+}
+
+// TestDaemonServesPreloadedDataset boots the daemon with -load/-truth,
+// exercises the API end to end over real TCP, and shuts down via
+// context cancellation (the code path SIGTERM triggers in main).
+func TestDaemonServesPreloadedDataset(t *testing.T) {
+	claims, truth := writeClaimsFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stderr syncBuffer
+	base, done := startDaemon(t, ctx, []string{
+		"-load", "demo=" + claims,
+		"-truth", "demo=" + truth,
+		"-drain", "5s",
+	}, &stderr)
+
+	resp, err := http.Get(base + "/v1/datasets/demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"version": 1`) {
+		t.Fatalf("GET dataset: %d %s", resp.StatusCode, body)
+	}
+
+	// Submit a discovery job and poll it to completion over the wire.
+	resp, err = http.Post(base+"/v1/datasets/demo/discover", "application/json",
+		strings.NewReader(`{"mode":"base","algorithm":"MajorityVote"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readAll(t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("discover: %d %s", resp.StatusCode, body)
+	}
+	idRE := regexp.MustCompile(`"id": "(job-\d+)"`)
+	m := idRE.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("no job id in %s", body)
+	}
+	pollDeadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err = http.Get(base + "/v1/jobs/" + m[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		body = readAll(t, resp)
+		if strings.Contains(body, `"state": "done"`) {
+			break
+		}
+		if time.Now().After(pollDeadline) {
+			t.Fatalf("job never finished: %s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(body, `"value": "red"`) {
+		t.Fatalf("result missing majority value: %s", body)
+	}
+
+	// Shut down and verify the listener is really gone.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not exit\nstderr: %s", stderr.String())
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+	if !strings.Contains(stderr.String(), "drained cleanly") {
+		t.Fatalf("expected clean drain in log:\n%s", stderr.String())
+	}
+}
+
+// TestDaemonGracefulSIGTERM delivers a real SIGTERM through
+// signal.NotifyContext — exactly main()'s wiring — and verifies the
+// daemon drains and the listener refuses new work with a clean error.
+func TestDaemonGracefulSIGTERM(t *testing.T) {
+	claims, _ := writeClaimsFixture(t)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	var stderr syncBuffer
+	base, done := startDaemon(t, ctx, []string{"-load", "demo=" + claims, "-drain", "5s"}, &stderr)
+
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not exit on SIGTERM\nstderr: %s", stderr.String())
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after SIGTERM")
+	}
+}
+
+func TestDaemonRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-load", "no-equals"},
+		{"-load", "bad name=/tmp/x.csv"},
+		{"-truth", "orphan=/tmp/y.csv"}, // -truth without matching -load
+		{"-load", "d=/nonexistent/claims.csv"},
+	}
+	for _, args := range cases {
+		var stderr syncBuffer
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &stderr)
+		cancel()
+		if err == nil {
+			t.Errorf("run(%v) = nil, want error", args)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// PhaseTotal is the cumulative cost of one pipeline phase across many
+// runs: how often it executed and how much wall time it consumed in
+// total.
+type PhaseTotal struct {
+	Phase Phase         `json:"phase"`
+	Count int           `json:"count"`
+	Total time.Duration `json:"total_ns"`
+}
+
+// AggregateSnapshot is a point-in-time copy of an Aggregate, safe to
+// read, render or serialise without further locking.
+type AggregateSnapshot struct {
+	// Runs is the number of RunStats trees folded in.
+	Runs int `json:"runs"`
+	// Total is the summed wall time of all folded runs.
+	Total time.Duration `json:"total_ns"`
+	// Phases holds cumulative per-phase totals in pipeline order
+	// (unknown phases follow, alphabetically).
+	Phases []PhaseTotal `json:"phases,omitempty"`
+}
+
+// Aggregate folds many RunStats trees into cumulative counters — the
+// long-running face of the subsystem: while a Recorder observes one run,
+// an Aggregate accumulates a whole process lifetime of runs (the tdacd
+// daemon feeds every finished job's stats into one and renders the
+// totals on /metrics). All methods are safe for concurrent use; like the
+// Recorder, a nil *Aggregate is the disabled subsystem and every method
+// no-ops.
+type Aggregate struct {
+	mu     sync.Mutex
+	runs   int
+	total  time.Duration
+	counts map[Phase]int
+	durs   map[Phase]time.Duration
+}
+
+// NewAggregate returns an empty, enabled Aggregate.
+func NewAggregate() *Aggregate {
+	return &Aggregate{
+		counts: make(map[Phase]int),
+		durs:   make(map[Phase]time.Duration),
+	}
+}
+
+// Add folds one finished run into the totals. A nil receiver or a nil
+// tree is a no-op, so callers can pass a Result's Stats field without
+// checking whether observation was on.
+func (a *Aggregate) Add(s *RunStats) {
+	if a == nil || s == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.runs++
+	a.total += s.Total
+	for _, p := range s.Phases {
+		a.counts[p.Phase]++
+		a.durs[p.Phase] += p.Duration
+	}
+}
+
+// phaseOrder is the canonical pipeline order used to sort snapshots.
+var phaseOrder = map[Phase]int{
+	PhaseReference:      0,
+	PhaseTruthVectors:   1,
+	PhaseDistanceMatrix: 2,
+	PhaseKSweep:         3,
+	PhaseBaseRuns:       4,
+	PhaseMerge:          5,
+	PhaseDiscover:       6,
+}
+
+// Snapshot returns a consistent copy of the totals. A nil receiver
+// returns a zero snapshot.
+func (a *Aggregate) Snapshot() AggregateSnapshot {
+	if a == nil {
+		return AggregateSnapshot{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := AggregateSnapshot{Runs: a.runs, Total: a.total}
+	for p, n := range a.counts {
+		out.Phases = append(out.Phases, PhaseTotal{Phase: p, Count: n, Total: a.durs[p]})
+	}
+	sort.Slice(out.Phases, func(i, j int) bool {
+		oi, iOK := phaseOrder[out.Phases[i].Phase]
+		oj, jOK := phaseOrder[out.Phases[j].Phase]
+		switch {
+		case iOK && jOK:
+			return oi < oj
+		case iOK != jOK:
+			return iOK // known pipeline phases first
+		default:
+			return out.Phases[i].Phase < out.Phases[j].Phase
+		}
+	})
+	return out
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAggregateNilSafety(t *testing.T) {
+	var a *Aggregate
+	a.Add(&RunStats{Total: time.Second}) // must not panic
+	snap := a.Snapshot()
+	if snap.Runs != 0 || snap.Total != 0 || len(snap.Phases) != 0 {
+		t.Fatalf("nil aggregate snapshot not zero: %+v", snap)
+	}
+	NewAggregate().Add(nil) // nil tree must not panic either
+}
+
+func TestAggregateFoldsRuns(t *testing.T) {
+	a := NewAggregate()
+	a.Add(&RunStats{
+		Total: 10 * time.Millisecond,
+		Phases: []PhaseStats{
+			{Phase: PhaseKSweep, Duration: 6 * time.Millisecond},
+			{Phase: PhaseReference, Duration: 2 * time.Millisecond},
+		},
+	})
+	a.Add(&RunStats{
+		Total: 5 * time.Millisecond,
+		Phases: []PhaseStats{
+			{Phase: PhaseKSweep, Duration: 3 * time.Millisecond},
+		},
+	})
+	snap := a.Snapshot()
+	if snap.Runs != 2 {
+		t.Fatalf("runs = %d, want 2", snap.Runs)
+	}
+	if snap.Total != 15*time.Millisecond {
+		t.Fatalf("total = %v, want 15ms", snap.Total)
+	}
+	if len(snap.Phases) != 2 {
+		t.Fatalf("phases = %+v, want 2 entries", snap.Phases)
+	}
+	// Pipeline order: reference before k-sweep.
+	if snap.Phases[0].Phase != PhaseReference || snap.Phases[1].Phase != PhaseKSweep {
+		t.Fatalf("phase order wrong: %+v", snap.Phases)
+	}
+	if snap.Phases[1].Count != 2 || snap.Phases[1].Total != 9*time.Millisecond {
+		t.Fatalf("k-sweep totals wrong: %+v", snap.Phases[1])
+	}
+}
+
+func TestAggregateUnknownPhasesSortAfterKnown(t *testing.T) {
+	a := NewAggregate()
+	a.Add(&RunStats{Phases: []PhaseStats{
+		{Phase: Phase("zz-custom"), Duration: time.Millisecond},
+		{Phase: Phase("aa-custom"), Duration: time.Millisecond},
+		{Phase: PhaseMerge, Duration: time.Millisecond},
+	}})
+	snap := a.Snapshot()
+	want := []Phase{PhaseMerge, "aa-custom", "zz-custom"}
+	for i, p := range snap.Phases {
+		if p.Phase != want[i] {
+			t.Fatalf("order[%d] = %q, want %q (all: %+v)", i, p.Phase, want[i], snap.Phases)
+		}
+	}
+}
+
+func TestAggregateConcurrentAdd(t *testing.T) {
+	a := NewAggregate()
+	var wg sync.WaitGroup
+	const goroutines, adds = 8, 50
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < adds; i++ {
+				a.Add(&RunStats{
+					Total:  time.Millisecond,
+					Phases: []PhaseStats{{Phase: PhaseDiscover, Duration: time.Millisecond}},
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	snap := a.Snapshot()
+	if snap.Runs != goroutines*adds {
+		t.Fatalf("runs = %d, want %d", snap.Runs, goroutines*adds)
+	}
+	if snap.Phases[0].Count != goroutines*adds {
+		t.Fatalf("discover count = %d, want %d", snap.Phases[0].Count, goroutines*adds)
+	}
+}
+
+// BenchmarkAggregateAdd measures folding one RunStats tree into the
+// process-lifetime aggregate, the per-job cost /metrics imposes.
+func BenchmarkAggregateAdd(b *testing.B) {
+	a := NewAggregate()
+	stats := &RunStats{
+		Total: 10 * time.Millisecond,
+		Phases: []PhaseStats{
+			{Phase: PhaseReference, Duration: 2 * time.Millisecond},
+			{Phase: PhaseKSweep, Duration: 6 * time.Millisecond},
+			{Phase: PhaseBaseRuns, Duration: 2 * time.Millisecond},
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Add(stats)
+	}
+}

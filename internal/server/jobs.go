@@ -1,0 +1,504 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tdac"
+	"tdac/internal/obs"
+)
+
+// Engine errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrQueueFull reports a submit against a saturated queue (429).
+	ErrQueueFull = errors.New("job queue is full")
+	// ErrShuttingDown reports a submit after shutdown began (503).
+	ErrShuttingDown = errors.New("server is shutting down")
+	// ErrUnknownJob reports an id with no job (404).
+	ErrUnknownJob = errors.New("unknown job")
+)
+
+// JobState is one stage of the job lifecycle. Legal transitions:
+// queued → running → done|failed|cancelled, and queued → cancelled
+// (cancelled before a worker picked it up).
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// JobSpec describes one discovery request: the pinned dataset snapshot
+// it must run against and how to run it.
+type JobSpec struct {
+	// Snapshot is the immutable dataset version the job is pinned to;
+	// ingestion after submit never changes what the job observes.
+	Snapshot *Snapshot
+	// Mode is "tdac" (full Algorithm 1) or "base" (the base algorithm
+	// alone, tdac.RunContext).
+	Mode string
+	// Algorithm is the registered base-algorithm name.
+	Algorithm string
+	// Options are the assembled tdac options (stats are always added by
+	// the runner).
+	Options []tdac.Option
+	// Timeout is the per-job deadline.
+	Timeout time.Duration
+}
+
+// JobOutcome is what a finished job produced: exactly one of TDAC or
+// Base is set, per the spec's Mode.
+type JobOutcome struct {
+	TDAC *tdac.Result
+	Base *tdac.BaseResult
+}
+
+// Stats returns the outcome's observation tree.
+func (o *JobOutcome) Stats() *obs.RunStats {
+	switch {
+	case o == nil:
+		return nil
+	case o.TDAC != nil:
+		return o.TDAC.Stats
+	case o.Base != nil:
+		return o.Base.Stats
+	}
+	return nil
+}
+
+// Job is one unit of work in the engine. All mutable state is guarded by
+// mu; accessors return consistent copies.
+type Job struct {
+	// ID is the engine-assigned identifier ("job-1", "job-2", …).
+	ID string
+	// Spec is the immutable request.
+	Spec JobSpec
+
+	mu         sync.Mutex
+	state      JobState
+	err        string
+	outcome    *JobOutcome
+	enqueuedAt time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+	// cancelRequested survives the queued→running race: a DELETE before
+	// the worker picks the job up marks it here and the worker skips it.
+	cancelRequested bool
+	// cancel aborts the running job's context; nil until running.
+	cancel context.CancelFunc
+	// done is closed when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// State returns the job's current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Outcome returns the job's result and error message (both zero until
+// the job is terminal).
+func (j *Job) Outcome() (*JobOutcome, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.outcome, j.err
+}
+
+// Times returns the lifecycle timestamps (zero when not reached yet).
+func (j *Job) Times() (enqueued, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.enqueuedAt, j.startedAt, j.finishedAt
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// finish moves the job to a terminal state and wakes waiters.
+func (j *Job) finish(state JobState, outcome *JobOutcome, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.outcome = outcome
+	j.err = errMsg
+	j.finishedAt = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// RunFunc executes one job. The production function dispatches to
+// tdac.DiscoverContext / tdac.RunContext; tests substitute controllable
+// fakes.
+type RunFunc func(ctx context.Context, spec JobSpec) (*JobOutcome, error)
+
+// defaultRun executes the spec against the real pipeline with stats
+// collection on, so the engine can aggregate phase timings.
+func defaultRun(ctx context.Context, spec JobSpec) (*JobOutcome, error) {
+	opts := append(append([]tdac.Option(nil), spec.Options...), tdac.WithStats())
+	if spec.Mode == ModeBase {
+		res, err := tdac.RunContext(ctx, spec.Snapshot.Data, spec.Algorithm, tdac.WithStats())
+		if err != nil {
+			return nil, err
+		}
+		return &JobOutcome{Base: res}, nil
+	}
+	res, err := tdac.DiscoverContext(ctx, spec.Snapshot.Data, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &JobOutcome{TDAC: res}, nil
+}
+
+// Job modes.
+const (
+	ModeTDAC = "tdac"
+	ModeBase = "base"
+)
+
+// EngineConfig sizes the job engine.
+type EngineConfig struct {
+	// Workers is the worker-pool size (≥ 1).
+	Workers int
+	// QueueSize bounds the FIFO backlog (≥ 1); submits beyond it fail
+	// with ErrQueueFull.
+	QueueSize int
+	// MaxJobs bounds the finished-job history kept for polling; the
+	// oldest terminal jobs are evicted first (0 = keep everything).
+	MaxJobs int
+	// Run executes one job; nil means the real pipeline.
+	Run RunFunc
+	// Aggregate receives every finished job's RunStats (may be nil).
+	Aggregate *obs.Aggregate
+}
+
+// Counters is a point-in-time copy of the engine's lifetime counters.
+type Counters struct {
+	Enqueued  uint64 `json:"enqueued"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	Rejected  uint64 `json:"rejected"`
+}
+
+// Engine runs discovery jobs: a bounded FIFO queue drained by a fixed
+// worker pool, with per-job deadlines, cancellation and graceful
+// shutdown. All methods are safe for concurrent use.
+type Engine struct {
+	cfg   EngineConfig
+	run   RunFunc
+	queue chan *Job
+
+	// baseCtx parents every job context; cancelBase aborts all running
+	// jobs at the shutdown drain deadline.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // insertion order, for listing and eviction
+	next  int
+
+	running atomic.Int64
+
+	enqueued  atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	cancelled atomic.Uint64
+	rejected  atomic.Uint64
+}
+
+// NewEngine starts an engine with cfg's worker pool running.
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueSize < 1 {
+		cfg.QueueSize = 1
+	}
+	run := cfg.Run
+	if run == nil {
+		run = defaultRun
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		cfg:        cfg,
+		run:        run,
+		queue:      make(chan *Job, cfg.QueueSize),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		jobs:       make(map[string]*Job),
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Submit enqueues a job for spec. It never blocks: a full queue returns
+// ErrQueueFull immediately (the HTTP layer's 429), and an engine that
+// began shutting down returns ErrShuttingDown. The enqueue happens under
+// the engine mutex so it can never race Shutdown's close of the queue.
+func (e *Engine) Submit(spec JobSpec) (*Job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed.Load() {
+		return nil, ErrShuttingDown
+	}
+	e.next++
+	j := &Job{
+		ID:         fmt.Sprintf("job-%d", e.next),
+		Spec:       spec,
+		state:      JobQueued,
+		enqueuedAt: time.Now(),
+		done:       make(chan struct{}),
+	}
+	select {
+	case e.queue <- j:
+		e.enqueued.Add(1)
+	default:
+		e.rejected.Add(1)
+		return nil, fmt.Errorf("%w (capacity %d)", ErrQueueFull, cap(e.queue))
+	}
+	e.jobs[j.ID] = j
+	e.order = append(e.order, j.ID)
+	e.evictLocked()
+	return j, nil
+}
+
+// evictLocked drops the oldest terminal jobs beyond the history cap.
+// Queued and running jobs are never evicted.
+func (e *Engine) evictLocked() {
+	if e.cfg.MaxJobs <= 0 {
+		return
+	}
+	for len(e.jobs) > e.cfg.MaxJobs {
+		evicted := false
+		for i, id := range e.order {
+			j := e.jobs[id]
+			if j == nil {
+				e.order = append(e.order[:i], e.order[i+1:]...)
+				evicted = true
+				break
+			}
+			switch j.State() {
+			case JobDone, JobFailed, JobCancelled:
+				delete(e.jobs, id)
+				e.order = append(e.order[:i], e.order[i+1:]...)
+				evicted = true
+			}
+			if evicted {
+				break
+			}
+		}
+		if !evicted {
+			return // everything live; let the map exceed the cap
+		}
+	}
+}
+
+// Get returns the job with the given id.
+func (e *Engine) Get(id string) (*Job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Jobs returns the retained jobs in submission order.
+func (e *Engine) Jobs() []*Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Job, 0, len(e.order))
+	for _, id := range e.order {
+		if j, ok := e.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job. A queued job is terminally
+// cancelled on the spot; a running job has its context cancelled and
+// reaches the cancelled state when the pipeline unwinds. Cancelling an
+// already-terminal job is a no-op reporting the current state.
+func (e *Engine) Cancel(id string) (JobState, error) {
+	j, err := e.Get(id)
+	if err != nil {
+		return "", err
+	}
+	j.mu.Lock()
+	switch j.state {
+	case JobQueued:
+		j.cancelRequested = true
+		j.state = JobCancelled
+		j.finishedAt = time.Now()
+		j.mu.Unlock()
+		close(j.done)
+		e.cancelled.Add(1)
+		return JobCancelled, nil
+	case JobRunning:
+		j.cancelRequested = true
+		cancel := j.cancel
+		state := j.state
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return state, nil
+	default:
+		state := j.state
+		j.mu.Unlock()
+		return state, nil
+	}
+}
+
+// QueueDepth returns the number of queued-but-unstarted jobs.
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
+// QueueCapacity returns the queue bound.
+func (e *Engine) QueueCapacity() int { return cap(e.queue) }
+
+// Running returns the number of jobs currently executing.
+func (e *Engine) Running() int { return int(e.running.Load()) }
+
+// Saturated reports whether the queue is at capacity (readiness gate).
+func (e *Engine) Saturated() bool { return len(e.queue) == cap(e.queue) }
+
+// ShuttingDown reports whether Shutdown has begun.
+func (e *Engine) ShuttingDown() bool { return e.closed.Load() }
+
+// Counters returns the lifetime job counters.
+func (e *Engine) Counters() Counters {
+	return Counters{
+		Enqueued:  e.enqueued.Load(),
+		Done:      e.completed.Load(),
+		Failed:    e.failed.Load(),
+		Cancelled: e.cancelled.Load(),
+		Rejected:  e.rejected.Load(),
+	}
+}
+
+// worker drains the queue until Shutdown closes it.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.runJob(j)
+	}
+}
+
+// runJob executes one job through its lifecycle.
+func (e *Engine) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != JobQueued || j.cancelRequested {
+		// Cancelled while queued: Cancel already finished it.
+		j.mu.Unlock()
+		return
+	}
+	timeout := j.Spec.Timeout
+	ctx := e.baseCtx
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(e.baseCtx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(e.baseCtx)
+	}
+	j.state = JobRunning
+	j.startedAt = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	e.running.Add(1)
+	outcome, err := e.run(ctx, j.Spec)
+	e.running.Add(-1)
+	cancel()
+
+	switch {
+	case err == nil:
+		if e.cfg.Aggregate != nil {
+			e.cfg.Aggregate.Add(outcome.Stats())
+		}
+		e.completed.Add(1)
+		j.finish(JobDone, outcome, "")
+	case errors.Is(err, context.Canceled):
+		// context.Canceled reaches a job only through Cancel or the
+		// shutdown drain deadline — both are cancellations, not failures.
+		e.cancelled.Add(1)
+		j.finish(JobCancelled, nil, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		e.failed.Add(1)
+		j.finish(JobFailed, nil, fmt.Sprintf("deadline exceeded after %s", j.Spec.Timeout))
+	default:
+		e.failed.Add(1)
+		j.finish(JobFailed, nil, err.Error())
+	}
+}
+
+// Shutdown gracefully stops the engine: it refuses new submissions,
+// lets workers drain the queued and running jobs, and — if ctx expires
+// first — cancels every in-flight job and waits for the workers to
+// unwind. Remaining queued jobs are terminally cancelled. Shutdown
+// returns ctx.Err() when the drain deadline was hit, nil on a clean
+// drain. It must be called exactly once.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	e.closed.Store(true)
+	close(e.queue)
+	e.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(drained)
+	}()
+
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		// Drain deadline: abort running jobs and flush the queue.
+		e.cancelBase()
+		e.markQueuedCancelled()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// markQueuedCancelled terminally cancels jobs still in the queued state
+// (the workers, unwinding on a cancelled base context, may also race to
+// do this — transitions are guarded by the job mutex).
+func (e *Engine) markQueuedCancelled() {
+	e.mu.Lock()
+	jobs := make([]*Job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		jobs = append(jobs, j)
+	}
+	e.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.state == JobQueued {
+			j.cancelRequested = true
+			j.state = JobCancelled
+			j.err = ErrShuttingDown.Error()
+			j.finishedAt = time.Now()
+			j.mu.Unlock()
+			close(j.done)
+			e.cancelled.Add(1)
+			continue
+		}
+		j.mu.Unlock()
+	}
+}

@@ -1,0 +1,329 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"tdac"
+	"tdac/internal/obs"
+)
+
+// fakeRunner is a controllable RunFunc: each invocation blocks until
+// released or its context ends.
+type fakeRunner struct {
+	started chan string   // receives a token per run start
+	release chan struct{} // one receive per run unblocks it
+	outcome *JobOutcome   // returned on release
+	err     error         // returned on release
+}
+
+func newFakeRunner() *fakeRunner {
+	return &fakeRunner{
+		started: make(chan string, 64),
+		release: make(chan struct{}, 64),
+		outcome: &JobOutcome{TDAC: &tdac.Result{Stats: &obs.RunStats{Total: time.Millisecond}}},
+	}
+}
+
+func (f *fakeRunner) run(ctx context.Context, spec JobSpec) (*JobOutcome, error) {
+	f.started <- spec.Snapshot.Dataset
+	select {
+	case <-f.release:
+		return f.outcome, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// testSnapshot builds a minimal pinned snapshot for specs.
+func testSnapshot(name string) *Snapshot {
+	return &Snapshot{Dataset: name, Version: 1, Data: nil}
+}
+
+func waitState(t *testing.T, j *Job, want JobState) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		if j.State() == want {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("job %s stuck in %s, want %s", j.ID, j.State(), want)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatalf("job %s never reached a terminal state (state %s)", j.ID, j.State())
+	}
+}
+
+func TestEngineRunsJobToDone(t *testing.T) {
+	f := newFakeRunner()
+	agg := obs.NewAggregate()
+	e := NewEngine(EngineConfig{Workers: 1, QueueSize: 4, Run: f.run, Aggregate: agg})
+	defer shutdownClean(t, e)
+
+	j, err := e.Submit(JobSpec{Snapshot: testSnapshot("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-f.started
+	waitState(t, j, JobRunning)
+	f.release <- struct{}{}
+	waitDone(t, j)
+	if j.State() != JobDone {
+		t.Fatalf("state = %s, want done", j.State())
+	}
+	outcome, errMsg := j.Outcome()
+	if outcome == nil || errMsg != "" {
+		t.Fatalf("outcome = %v, err = %q", outcome, errMsg)
+	}
+	if agg.Snapshot().Runs != 1 {
+		t.Fatalf("aggregate runs = %d, want 1", agg.Snapshot().Runs)
+	}
+	c := e.Counters()
+	if c.Enqueued != 1 || c.Done != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	enq, started, finished := j.Times()
+	if enq.IsZero() || started.IsZero() || finished.IsZero() {
+		t.Fatalf("timestamps missing: %v %v %v", enq, started, finished)
+	}
+}
+
+func TestEngineQueueFull(t *testing.T) {
+	f := newFakeRunner()
+	e := NewEngine(EngineConfig{Workers: 1, QueueSize: 1, Run: f.run})
+	defer shutdownClean(t, e)
+
+	// First job occupies the worker; second fills the queue slot.
+	j1, err := e.Submit(JobSpec{Snapshot: testSnapshot("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-f.started
+	j2, err := e.Submit(JobSpec{Snapshot: testSnapshot("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Saturated() {
+		t.Fatal("queue should be saturated")
+	}
+	if _, err := e.Submit(JobSpec{Snapshot: testSnapshot("c")}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit err = %v, want ErrQueueFull", err)
+	}
+	if e.Counters().Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", e.Counters().Rejected)
+	}
+	f.release <- struct{}{}
+	<-f.started
+	f.release <- struct{}{}
+	waitDone(t, j1)
+	waitDone(t, j2)
+}
+
+func TestEngineCancelQueuedJob(t *testing.T) {
+	f := newFakeRunner()
+	e := NewEngine(EngineConfig{Workers: 1, QueueSize: 2, Run: f.run})
+	defer shutdownClean(t, e)
+
+	running, _ := e.Submit(JobSpec{Snapshot: testSnapshot("a")})
+	<-f.started
+	queued, _ := e.Submit(JobSpec{Snapshot: testSnapshot("b")})
+
+	state, err := e.Cancel(queued.ID)
+	if err != nil || state != JobCancelled {
+		t.Fatalf("cancel queued: state=%s err=%v", state, err)
+	}
+	waitDone(t, queued)
+
+	// Release the running job; the worker must skip the cancelled one
+	// without re-running it.
+	f.release <- struct{}{}
+	waitDone(t, running)
+	if running.State() != JobDone {
+		t.Fatalf("running job state = %s, want done", running.State())
+	}
+	select {
+	case <-f.started:
+		t.Fatal("cancelled queued job was started anyway")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if e.Counters().Cancelled != 1 {
+		t.Fatalf("cancelled counter = %d, want 1", e.Counters().Cancelled)
+	}
+}
+
+func TestEngineCancelRunningJob(t *testing.T) {
+	f := newFakeRunner()
+	e := NewEngine(EngineConfig{Workers: 1, QueueSize: 2, Run: f.run})
+	defer shutdownClean(t, e)
+
+	j, _ := e.Submit(JobSpec{Snapshot: testSnapshot("a")})
+	<-f.started
+	if _, err := e.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j) // fake returns ctx.Err() on context cancellation
+	if j.State() != JobCancelled {
+		t.Fatalf("state = %s, want cancelled", j.State())
+	}
+	// Cancelling a terminal job is a no-op reporting the state.
+	state, err := e.Cancel(j.ID)
+	if err != nil || state != JobCancelled {
+		t.Fatalf("re-cancel: state=%s err=%v", state, err)
+	}
+}
+
+func TestEngineJobDeadline(t *testing.T) {
+	f := newFakeRunner()
+	e := NewEngine(EngineConfig{Workers: 1, QueueSize: 2, Run: f.run})
+	defer shutdownClean(t, e)
+
+	j, _ := e.Submit(JobSpec{Snapshot: testSnapshot("a"), Timeout: 20 * time.Millisecond})
+	<-f.started
+	waitDone(t, j)
+	if j.State() != JobFailed {
+		t.Fatalf("state = %s, want failed (deadline)", j.State())
+	}
+	if _, errMsg := j.Outcome(); errMsg == "" {
+		t.Fatal("deadline failure carries no error message")
+	}
+	if e.Counters().Failed != 1 {
+		t.Fatalf("failed counter = %d, want 1", e.Counters().Failed)
+	}
+}
+
+func TestEngineRunFailure(t *testing.T) {
+	f := newFakeRunner()
+	f.err = fmt.Errorf("algorithm exploded")
+	e := NewEngine(EngineConfig{Workers: 1, QueueSize: 2, Run: f.run})
+	defer shutdownClean(t, e)
+
+	j, _ := e.Submit(JobSpec{Snapshot: testSnapshot("a")})
+	<-f.started
+	f.release <- struct{}{}
+	waitDone(t, j)
+	if j.State() != JobFailed {
+		t.Fatalf("state = %s, want failed", j.State())
+	}
+	if _, errMsg := j.Outcome(); errMsg != "algorithm exploded" {
+		t.Fatalf("error = %q", errMsg)
+	}
+}
+
+func TestEngineUnknownJob(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 1, QueueSize: 1, Run: newFakeRunner().run})
+	defer shutdownClean(t, e)
+	if _, err := e.Get("job-404"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Get err = %v, want ErrUnknownJob", err)
+	}
+	if _, err := e.Cancel("job-404"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Cancel err = %v, want ErrUnknownJob", err)
+	}
+}
+
+func TestEngineHistoryEviction(t *testing.T) {
+	f := newFakeRunner()
+	e := NewEngine(EngineConfig{Workers: 1, QueueSize: 8, MaxJobs: 2, Run: f.run})
+	defer shutdownClean(t, e)
+
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		j, err := e.Submit(JobSpec{Snapshot: testSnapshot("d")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-f.started
+		f.release <- struct{}{}
+		waitDone(t, j)
+		jobs = append(jobs, j)
+	}
+	if got := len(e.Jobs()); got > 2 {
+		t.Fatalf("retained %d jobs, want ≤ 2", got)
+	}
+	// The newest job must still be pollable, the oldest evicted.
+	if _, err := e.Get(jobs[3].ID); err != nil {
+		t.Fatalf("newest job evicted: %v", err)
+	}
+	if _, err := e.Get(jobs[0].ID); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("oldest job still retained: err = %v", err)
+	}
+}
+
+// TestEngineShutdownDrainsCleanly covers the clean half of the shutdown
+// contract: running jobs finish, Shutdown returns nil.
+func TestEngineShutdownDrainsCleanly(t *testing.T) {
+	f := newFakeRunner()
+	e := NewEngine(EngineConfig{Workers: 1, QueueSize: 4, Run: f.run})
+
+	running, _ := e.Submit(JobSpec{Snapshot: testSnapshot("a")})
+	queued, _ := e.Submit(JobSpec{Snapshot: testSnapshot("b")})
+	<-f.started
+
+	// Release both jobs as the workers reach them, then shut down.
+	go func() {
+		f.release <- struct{}{}
+		<-f.started
+		f.release <- struct{}{}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatalf("clean drain returned %v", err)
+	}
+	if running.State() != JobDone || queued.State() != JobDone {
+		t.Fatalf("states after drain: %s / %s, want done/done", running.State(), queued.State())
+	}
+	if _, err := e.Submit(JobSpec{Snapshot: testSnapshot("c")}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("submit after shutdown err = %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestEngineShutdownDeadlineCancels covers the forced half: a job that
+// will not finish is cancelled at the drain deadline, queued jobs are
+// terminally cancelled, and Shutdown reports the deadline error.
+func TestEngineShutdownDeadlineCancels(t *testing.T) {
+	f := newFakeRunner()
+	e := NewEngine(EngineConfig{Workers: 1, QueueSize: 4, Run: f.run})
+
+	running, _ := e.Submit(JobSpec{Snapshot: testSnapshot("a")})
+	queued, _ := e.Submit(JobSpec{Snapshot: testSnapshot("b")})
+	<-f.started // the running job now blocks forever (never released)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := e.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced drain returned %v, want DeadlineExceeded", err)
+	}
+	waitDone(t, running)
+	waitDone(t, queued)
+	if running.State() != JobCancelled {
+		t.Fatalf("running job state = %s, want cancelled", running.State())
+	}
+	if queued.State() != JobCancelled {
+		t.Fatalf("queued job state = %s, want cancelled", queued.State())
+	}
+}
+
+// shutdownClean shuts an engine down, releasing nothing — tests calling
+// it must have drained their own jobs first.
+func shutdownClean(t *testing.T, e *Engine) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}

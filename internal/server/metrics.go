@@ -1,0 +1,74 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// handleMetrics renders the daemon's operational counters in the
+// Prometheus text exposition format (stdlib-only rendering; any scraper
+// or a plain curl can read it): uptime, registry size, queue state, the
+// lifetime job counters and the aggregated obs phase timings of every
+// finished job.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+
+	writeMetric := func(help, typ, name string, value float64, labels string) {
+		if help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		}
+		if labels != "" {
+			fmt.Fprintf(&b, "%s{%s} %g\n", name, labels, value)
+		} else {
+			fmt.Fprintf(&b, "%s %g\n", name, value)
+		}
+	}
+
+	writeMetric("Seconds since the server started.", "gauge",
+		"tdacd_uptime_seconds", time.Since(s.started).Seconds(), "")
+	writeMetric("Registered datasets.", "gauge",
+		"tdacd_datasets", float64(s.registry.Len()), "")
+
+	writeMetric("Jobs waiting in the queue.", "gauge",
+		"tdacd_queue_depth", float64(s.engine.QueueDepth()), "")
+	writeMetric("Queue capacity.", "gauge",
+		"tdacd_queue_capacity", float64(s.engine.QueueCapacity()), "")
+	writeMetric("Jobs currently executing.", "gauge",
+		"tdacd_jobs_running", float64(s.engine.Running()), "")
+
+	c := s.engine.Counters()
+	writeMetric("Lifetime job counts by outcome.", "counter",
+		"tdacd_jobs_total", float64(c.Enqueued), `event="enqueued"`)
+	writeMetric("", "", "tdacd_jobs_total", float64(c.Done), `event="done"`)
+	writeMetric("", "", "tdacd_jobs_total", float64(c.Failed), `event="failed"`)
+	writeMetric("", "", "tdacd_jobs_total", float64(c.Cancelled), `event="cancelled"`)
+	writeMetric("", "", "tdacd_jobs_total", float64(c.Rejected), `event="rejected"`)
+
+	snap := s.agg.Snapshot()
+	writeMetric("Finished jobs whose run stats were aggregated.", "counter",
+		"tdacd_runs_total", float64(snap.Runs), "")
+	writeMetric("Total wall time of aggregated runs.", "counter",
+		"tdacd_run_seconds_total", snap.Total.Seconds(), "")
+	for i, p := range snap.Phases {
+		help, typ := "", ""
+		if i == 0 {
+			help, typ = "Cumulative pipeline phase wall time.", "counter"
+		}
+		writeMetric(help, typ, "tdacd_phase_seconds_total", p.Total.Seconds(),
+			fmt.Sprintf("phase=%q", string(p.Phase)))
+	}
+	for i, p := range snap.Phases {
+		help, typ := "", ""
+		if i == 0 {
+			help, typ = "Cumulative pipeline phase executions.", "counter"
+		}
+		writeMetric(help, typ, "tdacd_phase_runs_total", float64(p.Count),
+			fmt.Sprintf("phase=%q", string(p.Phase)))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}

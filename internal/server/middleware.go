@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// errorBody is the uniform JSON error envelope: every non-2xx response
+// carries {"error": "..."} so clients never have to sniff content types.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSON renders v with the given status. Encoding failures at this
+// point mean a programming bug; they are logged, not surfaced.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("tdacd: encoding response: %v", err)
+	}
+}
+
+// writeError renders the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeStrict parses the request body into v with the strictness the
+// abuse constraints demand: unknown fields, malformed JSON and trailing
+// garbage are client errors (400), an oversized body is 413 (the
+// MaxBytesReader installed by the body-limit middleware reports it), and
+// an empty body is 400. The returned error has already been written to w.
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		switch {
+		case errors.As(err, &maxErr):
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", maxErr.Limit)
+		case errors.Is(err, io.EOF):
+			writeError(w, http.StatusBadRequest, "request body is empty")
+		default:
+			writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		}
+		return err
+	}
+	// Reject trailing data so "{}garbage" cannot pass as valid.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		writeError(w, http.StatusBadRequest, "request body contains trailing data")
+		return errors.New("trailing data")
+	}
+	return nil
+}
+
+// withRecover converts handler panics into 500s instead of tearing down
+// the whole daemon connection-side.
+func withRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				log.Printf("tdacd: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withBodyLimit caps request bodies at limit bytes. Reads beyond the cap
+// fail with *http.MaxBytesError, which decodeStrict maps to 413.
+func withBodyLimit(limit int64, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if limit > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withTimeout bounds each request's context. Handlers are all
+// short-running (discovery is asynchronous), so this is a backstop
+// against slow-loris bodies and stuck handlers, not a job deadline.
+func withTimeout(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

@@ -1,0 +1,267 @@
+// Package server implements tdacd, the long-running truth-discovery
+// service: a versioned dataset registry with copy-on-append snapshots, an
+// asynchronous discovery job engine (bounded FIFO queue drained by a
+// worker pool, per-job deadlines, cancellation), and the HTTP/JSON
+// handlers, middleware and operational endpoints that expose both. See
+// DESIGN.md §9 for the serving architecture.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"tdac/internal/truthdata"
+)
+
+// Registry errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrUnknownDataset reports a name with no registered dataset (404).
+	ErrUnknownDataset = errors.New("unknown dataset")
+	// ErrDatasetExists reports a create colliding with a name (409).
+	ErrDatasetExists = errors.New("dataset already exists")
+	// ErrRegistryFull reports the dataset cap being hit (429).
+	ErrRegistryFull = errors.New("dataset registry is full")
+)
+
+// badInputError marks ingestion problems caused by the request body
+// (empty names, conflicting claims); handlers render it as a 4xx while
+// anything else would be a bug.
+type badInputError struct{ msg string }
+
+func (e *badInputError) Error() string { return e.msg }
+
+// badInputf builds a badInputError.
+func badInputf(format string, args ...any) error {
+	return &badInputError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsBadInput reports whether err describes invalid request data (as
+// opposed to a server-side failure).
+func IsBadInput(err error) bool {
+	var b *badInputError
+	return errors.As(err, &b)
+}
+
+// Snapshot is one immutable version of a registered dataset. The Data
+// pointer is shared freely across goroutines — ingestion never mutates a
+// published snapshot, it installs a new one (copy-on-append) — so a
+// discovery job holding a Snapshot can run to completion while claims
+// keep arriving.
+type Snapshot struct {
+	// Dataset is the registered name (Data.Name may differ: it keeps the
+	// name of the originally loaded file or generator).
+	Dataset string
+	// Version counts appends: 1 on create/load, +1 per ingested batch.
+	Version int
+	// Data is the immutable dataset of this version.
+	Data *truthdata.Dataset
+}
+
+// ClaimInput is one claim in an ingestion batch, in display-name form.
+type ClaimInput struct {
+	Source    string `json:"source"`
+	Object    string `json:"object"`
+	Attribute string `json:"attribute"`
+	Value     string `json:"value"`
+}
+
+// TruthInput is one ground-truth cell in an ingestion batch.
+type TruthInput struct {
+	Object    string `json:"object"`
+	Attribute string `json:"attribute"`
+	Value     string `json:"value"`
+}
+
+// entry is one registered dataset: a mutex serialising appends and the
+// currently published snapshot. Readers take the entry mutex only long
+// enough to copy the snapshot pointer.
+type entry struct {
+	mu   sync.Mutex
+	snap *Snapshot
+}
+
+// Registry is the versioned dataset store. All methods are safe for
+// concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+	// maxDatasets bounds Create/load (0 = unbounded).
+	maxDatasets int
+}
+
+// NewRegistry returns an empty registry capped at maxDatasets names
+// (0 = unbounded).
+func NewRegistry(maxDatasets int) *Registry {
+	return &Registry{entries: make(map[string]*entry), maxDatasets: maxDatasets}
+}
+
+// ValidateDatasetName enforces the naming rules for registered datasets:
+// 1–128 characters of letters, digits, '.', '_' or '-'. Names appear in
+// URL paths, so the alphabet is deliberately conservative.
+func ValidateDatasetName(name string) error {
+	if name == "" {
+		return badInputf("dataset name must not be empty")
+	}
+	if len(name) > 128 {
+		return badInputf("dataset name exceeds 128 characters")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return badInputf("dataset name contains %q; allowed: letters, digits, '.', '_', '-'", r)
+		}
+	}
+	return nil
+}
+
+// Create registers a dataset under name. d may be nil for an empty
+// dataset awaiting ingestion. The dataset must not be mutated by the
+// caller afterwards: the registry publishes it as version 1.
+func (r *Registry) Create(name string, d *truthdata.Dataset) error {
+	if err := ValidateDatasetName(name); err != nil {
+		return err
+	}
+	if d == nil {
+		d = &truthdata.Dataset{Name: name, Truth: make(map[truthdata.Cell]string)}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	if r.maxDatasets > 0 && len(r.entries) >= r.maxDatasets {
+		return fmt.Errorf("%w (cap %d)", ErrRegistryFull, r.maxDatasets)
+	}
+	r.entries[name] = &entry{snap: &Snapshot{Dataset: name, Version: 1, Data: d}}
+	return nil
+}
+
+// lookup returns the entry for name.
+func (r *Registry) lookup(name string) (*entry, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	return e, nil
+}
+
+// Get returns the current snapshot of name.
+func (r *Registry) Get(name string) (*Snapshot, error) {
+	e, err := r.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.snap, nil
+}
+
+// Names returns the registered dataset names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Append ingests a batch of claims (and optional ground truth) into
+// name, producing and publishing a new immutable snapshot. The published
+// predecessor is never touched — in-flight discoveries keep reading it.
+// Batch problems (empty fields, a source contradicting itself, a claim
+// conflicting with the existing data) reject the whole batch atomically
+// with a bad-input error; the published version is unchanged.
+func (r *Registry) Append(name string, claims []ClaimInput, truth []TruthInput) (*Snapshot, error) {
+	if len(claims) == 0 && len(truth) == 0 {
+		return nil, badInputf("ingestion batch is empty: provide claims and/or truth")
+	}
+	e, err := r.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	// Serialise appends per dataset; concurrent readers of the previous
+	// snapshot are unaffected.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	next, err := appendBatch(e.snap.Data, claims, truth)
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{Dataset: name, Version: e.snap.Version + 1, Data: next}
+	e.snap = snap
+	return snap, nil
+}
+
+// appendBatch builds the successor dataset: a deep copy of base with the
+// batch interned and appended, fully validated before it is returned.
+func appendBatch(base *truthdata.Dataset, claims []ClaimInput, truth []TruthInput) (*truthdata.Dataset, error) {
+	for i, c := range claims {
+		if c.Source == "" || c.Object == "" || c.Attribute == "" || c.Value == "" {
+			return nil, badInputf("claim %d: source, object, attribute and value must all be non-empty", i)
+		}
+	}
+	for i, t := range truth {
+		if t.Object == "" || t.Attribute == "" || t.Value == "" {
+			return nil, badInputf("truth %d: object, attribute and value must all be non-empty", i)
+		}
+	}
+	// Rebuild through the Builder so new names intern onto the existing
+	// id space deterministically; the clone starts with a fresh index
+	// cache, which Dataset.Index requires after structural change.
+	b := truthdata.NewBuilder(base.Name)
+	for _, s := range base.Sources {
+		b.Source(s)
+	}
+	for _, o := range base.Objects {
+		b.Object(o)
+	}
+	for _, a := range base.Attrs {
+		b.Attr(a)
+	}
+	for _, c := range base.Claims {
+		b.ClaimIDs(c.Source, c.Object, c.Attr, c.Value)
+	}
+	for cell, v := range base.Truth {
+		b.TruthIDs(cell.Object, cell.Attr, v)
+	}
+	for _, c := range claims {
+		b.Claim(c.Source, c.Object, c.Attribute, c.Value)
+	}
+	seenTruth := make(map[truthdata.Cell]string, len(truth))
+	for i, t := range truth {
+		cell := truthdata.Cell{Object: b.Object(t.Object), Attr: b.Attr(t.Attribute)}
+		if prev, ok := base.Truth[cell]; ok && prev != t.Value {
+			return nil, badInputf("truth %d: cell %s/%s already has ground truth %q (got %q)",
+				i, t.Object, t.Attribute, prev, t.Value)
+		}
+		if prev, ok := seenTruth[cell]; ok && prev != t.Value {
+			return nil, badInputf("truth %d: batch states both %q and %q for cell %s/%s",
+				i, prev, t.Value, t.Object, t.Attribute)
+		}
+		seenTruth[cell] = t.Value
+		b.Truth(t.Object, t.Attribute, t.Value)
+	}
+	next, err := b.Build()
+	if err != nil {
+		// Build validates; on a well-formed base the only failures are
+		// batch-induced (e.g. a source contradicting itself).
+		return nil, badInputf("batch rejected: %v", err)
+	}
+	return next, nil
+}

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tdac/internal/truthdata"
+)
+
+// smallDataset builds a three-source, two-object, two-attribute dataset.
+func smallDataset(t testing.TB, name string) *truthdata.Dataset {
+	t.Helper()
+	b := truthdata.NewBuilder(name)
+	for _, c := range [][4]string{
+		{"s1", "o1", "colour", "red"},
+		{"s2", "o1", "colour", "blue"},
+		{"s3", "o1", "colour", "red"},
+		{"s1", "o1", "size", "10"},
+		{"s2", "o1", "size", "10"},
+		{"s3", "o1", "size", "12"},
+		{"s1", "o2", "colour", "green"},
+		{"s2", "o2", "colour", "green"},
+		{"s3", "o2", "colour", "teal"},
+		{"s1", "o2", "size", "7"},
+		{"s2", "o2", "size", "9"},
+		{"s3", "o2", "size", "7"},
+	} {
+		b.Claim(c[0], c[1], c[2], c[3])
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRegistryCreateGetVersioning(t *testing.T) {
+	r := NewRegistry(0)
+	if err := r.Create("exam", smallDataset(t, "exam")); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := r.Get("exam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 1 || snap.Dataset != "exam" {
+		t.Fatalf("snapshot = %+v, want version 1", snap)
+	}
+	if _, err := r.Get("nope"); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("Get(nope) err = %v, want ErrUnknownDataset", err)
+	}
+	if err := r.Create("exam", nil); !errors.Is(err, ErrDatasetExists) {
+		t.Fatalf("duplicate create err = %v, want ErrDatasetExists", err)
+	}
+
+	next, err := r.Append("exam", []ClaimInput{
+		{Source: "s4", Object: "o1", Attribute: "colour", Value: "red"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Version != 2 {
+		t.Fatalf("version after append = %d, want 2", next.Version)
+	}
+	if next.Data.NumClaims() != snap.Data.NumClaims()+1 {
+		t.Fatalf("claims = %d, want %d", next.Data.NumClaims(), snap.Data.NumClaims()+1)
+	}
+	if next.Data.NumSources() != 4 {
+		t.Fatalf("sources = %d, want 4 (s4 interned)", next.Data.NumSources())
+	}
+}
+
+// TestRegistryAppendIsCopyOnAppend pins snapshot isolation: the
+// predecessor's dataset is untouched by an append.
+func TestRegistryAppendIsCopyOnAppend(t *testing.T) {
+	r := NewRegistry(0)
+	if err := r.Create("d", smallDataset(t, "d")); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := r.Get("d")
+	claimsBefore := v1.Data.NumClaims()
+	sourcesBefore := v1.Data.NumSources()
+
+	if _, err := r.Append("d", []ClaimInput{
+		{Source: "new-src", Object: "o1", Attribute: "size", Value: "10"},
+	}, []TruthInput{{Object: "o1", Attribute: "size", Value: "10"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if v1.Data.NumClaims() != claimsBefore || v1.Data.NumSources() != sourcesBefore {
+		t.Fatalf("v1 snapshot mutated: claims %d→%d, sources %d→%d",
+			claimsBefore, v1.Data.NumClaims(), sourcesBefore, v1.Data.NumSources())
+	}
+	v2, _ := r.Get("d")
+	if v2.Data == v1.Data {
+		t.Fatal("append published the same *Dataset pointer")
+	}
+}
+
+func TestRegistryAppendRejectsBadBatches(t *testing.T) {
+	r := NewRegistry(0)
+	if err := r.Create("d", smallDataset(t, "d")); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		claims []ClaimInput
+		truth  []TruthInput
+		want   string
+	}{
+		{"empty batch", nil, nil, "batch is empty"},
+		{"empty field", []ClaimInput{{Source: "s", Object: "o", Attribute: "a"}}, nil, "non-empty"},
+		{"self-contradicting source", []ClaimInput{
+			{Source: "sx", Object: "o1", Attribute: "colour", Value: "red"},
+			{Source: "sx", Object: "o1", Attribute: "colour", Value: "blue"},
+		}, nil, "claims both"},
+		{"conflicts with existing claim", []ClaimInput{
+			{Source: "s1", Object: "o1", Attribute: "colour", Value: "mauve"},
+		}, nil, "claims both"},
+		{"conflicting ground truth", nil, []TruthInput{
+			{Object: "o1", Attribute: "colour", Value: "red"},
+			{Object: "o1", Attribute: "colour", Value: "blue"},
+		}, "already has ground truth"},
+	}
+	// Seed ground truth for the truth-conflict case.
+	if _, err := r.Append("d", nil, []TruthInput{{Object: "o1", Attribute: "colour", Value: "red"}}); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := r.Get("d")
+	for _, tc := range cases {
+		_, err := r.Append("d", tc.claims, tc.truth)
+		if err == nil {
+			t.Errorf("%s: append succeeded, want error", tc.name)
+			continue
+		}
+		if !IsBadInput(err) {
+			t.Errorf("%s: err %v is not bad-input", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+	after, _ := r.Get("d")
+	if after.Version != before.Version {
+		t.Fatalf("rejected batches changed the version: %d → %d", before.Version, after.Version)
+	}
+}
+
+func TestRegistryTruthConflictAcrossBatches(t *testing.T) {
+	r := NewRegistry(0)
+	if err := r.Create("d", smallDataset(t, "d")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Append("d", nil, []TruthInput{{Object: "o1", Attribute: "colour", Value: "red"}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Append("d", nil, []TruthInput{{Object: "o1", Attribute: "colour", Value: "blue"}})
+	if err == nil || !IsBadInput(err) {
+		t.Fatalf("contradicting earlier truth: err = %v, want bad input", err)
+	}
+	// Restating the same truth is fine.
+	if _, err := r.Append("d", nil, []TruthInput{{Object: "o1", Attribute: "colour", Value: "red"}}); err != nil {
+		t.Fatalf("restating identical truth: %v", err)
+	}
+}
+
+func TestRegistryDatasetCap(t *testing.T) {
+	r := NewRegistry(2)
+	if err := r.Create("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Create("b", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Create("c", nil); !errors.Is(err, ErrRegistryFull) {
+		t.Fatalf("third create err = %v, want ErrRegistryFull", err)
+	}
+	if got := r.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Names() = %v", got)
+	}
+}
+
+func TestValidateDatasetName(t *testing.T) {
+	for _, ok := range []string{"exam", "DS-1", "a.b_c", "X"} {
+		if err := ValidateDatasetName(ok); err != nil {
+			t.Errorf("ValidateDatasetName(%q) = %v, want nil", ok, err)
+		}
+	}
+	long := strings.Repeat("a", 129)
+	for _, bad := range []string{"", "has space", "slash/y", "q?x", long, "é"} {
+		if err := ValidateDatasetName(bad); err == nil {
+			t.Errorf("ValidateDatasetName(%q) = nil, want error", bad)
+		}
+	}
+}
+
+// BenchmarkRegistryAppend measures the copy-on-append ingestion path:
+// each iteration rebuilds the successor dataset and publishes a new
+// snapshot. This is also the bench smoke CI runs for the server package
+// when staticcheck is unavailable.
+func BenchmarkRegistryAppend(b *testing.B) {
+	r := NewRegistry(0)
+	if err := r.Create("bench", smallDataset(b, "bench")); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		batch := []ClaimInput{
+			{Source: "bench-src-" + strconv.Itoa(i), Object: "o1", Attribute: "colour", Value: "red"},
+		}
+		if _, err := r.Append("bench", batch, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

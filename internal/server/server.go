@@ -1,0 +1,574 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+
+	"tdac"
+	"tdac/internal/algorithms"
+	"tdac/internal/obs"
+	"tdac/internal/truthdata"
+)
+
+// Config sizes and hardens one Server. The zero value is usable; every
+// field has a production default.
+type Config struct {
+	// Workers is the discovery worker-pool size (default 2).
+	Workers int
+	// QueueSize bounds the job backlog (default 64); submits beyond it
+	// get 429.
+	QueueSize int
+	// MaxJobs bounds the finished-job history kept for polling
+	// (default 1000).
+	MaxJobs int
+	// JobTimeout is the per-job deadline applied when a request does not
+	// set one; it is also the cap on requested deadlines (default 5m).
+	JobTimeout time.Duration
+	// RequestTimeout bounds each HTTP request (default 30s). Discovery
+	// is asynchronous, so no handler legitimately runs longer.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxDatasets bounds the registry (default 256).
+	MaxDatasets int
+	// EnablePprof mounts /debug/pprof (off by default: profiling
+	// endpoints are opt-in, they expose internals).
+	EnablePprof bool
+	// run substitutes the job runner in tests; nil = real pipeline.
+	run RunFunc
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1000
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxDatasets <= 0 {
+		c.MaxDatasets = 256
+	}
+	return c
+}
+
+// Server is the tdacd application: registry + engine + HTTP surface.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	engine   *Engine
+	agg      *obs.Aggregate
+	handler  http.Handler
+	started  time.Time
+}
+
+// New assembles a Server and starts its worker pool. Call Shutdown to
+// stop it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	agg := obs.NewAggregate()
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(cfg.MaxDatasets),
+		agg:      agg,
+		started:  time.Now(),
+	}
+	s.engine = NewEngine(EngineConfig{
+		Workers:   cfg.Workers,
+		QueueSize: cfg.QueueSize,
+		MaxJobs:   cfg.MaxJobs,
+		Run:       cfg.run,
+		Aggregate: agg,
+	})
+	s.handler = s.buildHandler()
+	return s
+}
+
+// Registry exposes the dataset store (preloading, tests).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Engine exposes the job engine (tests, metrics).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// Handler returns the fully middleware-wrapped HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Shutdown gracefully stops the job engine; see Engine.Shutdown for the
+// drain semantics. The HTTP listener itself is owned by the caller
+// (cmd/tdacd pairs this with http.Server.Shutdown).
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.engine.Shutdown(ctx)
+}
+
+// buildHandler mounts the API under the robustness middleware.
+func (s *Server) buildHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
+	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	mux.HandleFunc("POST /v1/datasets/{name}/claims", s.handleIngest)
+	mux.HandleFunc("POST /v1/datasets/{name}/discover", s.handleDiscover)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return withRecover(withTimeout(s.cfg.RequestTimeout,
+		withBodyLimit(s.cfg.MaxBodyBytes, mux)))
+}
+
+// ---- dataset handlers -------------------------------------------------
+
+// datasetInfo is the wire form of one registered dataset version.
+type datasetInfo struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	Sources int    `json:"sources"`
+	Objects int    `json:"objects"`
+	Attrs   int    `json:"attributes"`
+	Claims  int    `json:"claims"`
+	Truths  int    `json:"truths"`
+}
+
+func infoOf(snap *Snapshot) datasetInfo {
+	return datasetInfo{
+		Name:    snap.Dataset,
+		Version: snap.Version,
+		Sources: snap.Data.NumSources(),
+		Objects: snap.Data.NumObjects(),
+		Attrs:   snap.Data.NumAttrs(),
+		Claims:  snap.Data.NumClaims(),
+		Truths:  len(snap.Data.Truth),
+	}
+}
+
+type createDatasetRequest struct {
+	Name string `json:"name"`
+}
+
+func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	var req createDatasetRequest
+	if decodeStrict(w, r, &req) != nil {
+		return
+	}
+	if err := s.registry.Create(req.Name, nil); err != nil {
+		s.writeRegistryError(w, err)
+		return
+	}
+	snap, _ := s.registry.Get(req.Name)
+	writeJSON(w, http.StatusCreated, infoOf(snap))
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	names := s.registry.Names()
+	out := make([]datasetInfo, 0, len(names))
+	for _, n := range names {
+		if snap, err := s.registry.Get(n); err == nil {
+			out = append(out, infoOf(snap))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.registry.Get(r.PathValue("name"))
+	if err != nil {
+		s.writeRegistryError(w, err)
+		return
+	}
+	info := infoOf(snap)
+	stats := truthdata.ComputeStats(snap.Data)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":       info.Name,
+		"version":    info.Version,
+		"sources":    info.Sources,
+		"objects":    info.Objects,
+		"attributes": info.Attrs,
+		"claims":     info.Claims,
+		"truths":     info.Truths,
+		"coverage":   stats.DCR,
+	})
+}
+
+type ingestRequest struct {
+	Claims []ClaimInput `json:"claims"`
+	Truth  []TruthInput `json:"truth"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if decodeStrict(w, r, &req) != nil {
+		return
+	}
+	snap, err := s.registry.Append(r.PathValue("name"), req.Claims, req.Truth)
+	if err != nil {
+		s.writeRegistryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, infoOf(snap))
+}
+
+// writeRegistryError maps registry errors onto HTTP statuses.
+func (s *Server) writeRegistryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownDataset):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrDatasetExists):
+		writeError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, ErrRegistryFull):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case IsBadInput(err):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// ---- job handlers -----------------------------------------------------
+
+// discoverRequest parameterises one asynchronous discovery run. All
+// fields are optional; zero values select the library defaults, so an
+// empty body {} runs plain TD-AC with Accu exactly like tdac.Discover.
+type discoverRequest struct {
+	// Mode is "tdac" (default) or "base".
+	Mode string `json:"mode"`
+	// Algorithm is the base algorithm name (default "Accu").
+	Algorithm string `json:"algorithm"`
+	// Reference overrides the reference algorithm (tdac mode only).
+	Reference string `json:"reference"`
+	// KMin/KMax bound the explored cluster counts (tdac mode only).
+	KMin int `json:"k_min"`
+	KMax int `json:"k_max"`
+	// Parallel runs per-group base runs concurrently (tdac mode only).
+	Parallel bool `json:"parallel"`
+	// Workers bounds the k-sweep worker pool (tdac mode only).
+	Workers int `json:"workers"`
+	// SparseAware switches to the masked encoding (tdac mode only).
+	SparseAware bool `json:"sparse_aware"`
+	// Projection reduces truth vectors to this dimension (tdac mode only).
+	Projection int `json:"projection"`
+	// Seed fixes the k-means seed (tdac mode only).
+	Seed *int64 `json:"seed"`
+	// TimeoutMS overrides the per-job deadline, capped at the server's
+	// configured JobTimeout.
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// jobView is the wire form of one job.
+type jobView struct {
+	ID        string     `json:"id"`
+	Dataset   string     `json:"dataset"`
+	Snapshot  int        `json:"snapshot_version"`
+	Mode      string     `json:"mode"`
+	Algorithm string     `json:"algorithm"`
+	State     JobState   `json:"state"`
+	Enqueued  time.Time  `json:"enqueued_at"`
+	Started   *time.Time `json:"started_at,omitempty"`
+	Finished  *time.Time `json:"finished_at,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Result    *jobResult `json:"result,omitempty"`
+}
+
+// jobResult is the wire form of a finished discovery.
+type jobResult struct {
+	Algorithm  string       `json:"algorithm"`
+	Silhouette *float64     `json:"silhouette,omitempty"`
+	Partition  [][]string   `json:"partition,omitempty"`
+	Iterations int          `json:"iterations,omitempty"`
+	RuntimeMS  float64      `json:"runtime_ms"`
+	Truth      []cellValue  `json:"truth"`
+	Trust      []trustValue `json:"trust"`
+}
+
+type cellValue struct {
+	Object     string   `json:"object"`
+	Attribute  string   `json:"attribute"`
+	Value      string   `json:"value"`
+	Confidence *float64 `json:"confidence,omitempty"`
+}
+
+type trustValue struct {
+	Source string  `json:"source"`
+	Trust  float64 `json:"trust"`
+}
+
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.registry.Get(r.PathValue("name"))
+	if err != nil {
+		s.writeRegistryError(w, err)
+		return
+	}
+	var req discoverRequest
+	if decodeStrict(w, r, &req) != nil {
+		return
+	}
+	spec, err := s.buildSpec(snap, &req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if snap.Data.NumClaims() == 0 {
+		writeError(w, http.StatusConflict, "dataset %q is empty: ingest claims before discovering", snap.Dataset)
+		return
+	}
+	job, err := s.engine.Submit(*spec)
+	if err != nil {
+		s.writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.viewOf(job))
+}
+
+// buildSpec validates a discover request into a JobSpec; errors are
+// client errors.
+func (s *Server) buildSpec(snap *Snapshot, req *discoverRequest) (*JobSpec, error) {
+	mode := req.Mode
+	if mode == "" {
+		mode = ModeTDAC
+	}
+	if mode != ModeTDAC && mode != ModeBase {
+		return nil, errors.New(`mode must be "tdac" or "base"`)
+	}
+	alg := req.Algorithm
+	if alg == "" {
+		alg = "Accu"
+	}
+	if _, err := algorithms.New(alg); err != nil {
+		return nil, err
+	}
+	var opts []tdac.Option
+	if mode == ModeTDAC {
+		opts = append(opts, tdac.WithBase(alg))
+		if req.Reference != "" {
+			if _, err := algorithms.New(req.Reference); err != nil {
+				return nil, err
+			}
+			opts = append(opts, tdac.WithReference(req.Reference))
+		}
+		if req.KMin != 0 || req.KMax != 0 {
+			opts = append(opts, tdac.WithKRange(req.KMin, req.KMax))
+		}
+		if req.Parallel {
+			opts = append(opts, tdac.WithParallel())
+		}
+		if req.Workers != 0 {
+			opts = append(opts, tdac.WithWorkers(req.Workers))
+		}
+		if req.SparseAware {
+			opts = append(opts, tdac.WithSparseAware())
+		}
+		if req.Projection != 0 {
+			opts = append(opts, tdac.WithProjection(req.Projection))
+		}
+		if req.Seed != nil {
+			opts = append(opts, tdac.WithSeed(*req.Seed))
+		}
+	} else {
+		switch {
+		case req.Reference != "", req.KMin != 0, req.KMax != 0, req.Parallel,
+			req.Workers != 0, req.SparseAware, req.Projection != 0, req.Seed != nil:
+			return nil, errors.New(`mode "base" accepts only algorithm and timeout_ms`)
+		}
+	}
+	// Dry-run the option set so invalid combinations (e.g. projection
+	// with sparse_aware) fail the submit, not the job.
+	if err := tdac.ValidateOptions(opts...); err != nil {
+		return nil, err
+	}
+	timeout := s.cfg.JobTimeout
+	if req.TimeoutMS < 0 {
+		return nil, errors.New("timeout_ms must be non-negative")
+	}
+	if req.TimeoutMS > 0 {
+		requested := time.Duration(req.TimeoutMS) * time.Millisecond
+		if requested < timeout {
+			timeout = requested
+		}
+	}
+	return &JobSpec{
+		Snapshot:  snap,
+		Mode:      mode,
+		Algorithm: alg,
+		Options:   opts,
+		Timeout:   timeout,
+	}, nil
+}
+
+// writeEngineError maps engine errors onto HTTP statuses.
+func (s *Server) writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.engine.Jobs()
+	out := make([]jobView, 0, len(jobs))
+	for _, j := range jobs {
+		v := s.viewOf(j)
+		v.Result = nil // listing stays light; poll the job for results
+		out = append(out, v)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.engine.Get(r.PathValue("id"))
+	if err != nil {
+		s.writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.viewOf(j))
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	_, err := s.engine.Cancel(r.PathValue("id"))
+	if err != nil {
+		s.writeEngineError(w, err)
+		return
+	}
+	j, err := s.engine.Get(r.PathValue("id"))
+	if err != nil {
+		s.writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.viewOf(j))
+}
+
+// viewOf renders a job for the wire.
+func (s *Server) viewOf(j *Job) jobView {
+	enq, started, finished := j.Times()
+	v := jobView{
+		ID:        j.ID,
+		Dataset:   j.Spec.Snapshot.Dataset,
+		Snapshot:  j.Spec.Snapshot.Version,
+		Mode:      j.Spec.Mode,
+		Algorithm: j.Spec.Algorithm,
+		State:     j.State(),
+		Enqueued:  enq,
+	}
+	if !started.IsZero() {
+		v.Started = &started
+	}
+	if !finished.IsZero() {
+		v.Finished = &finished
+	}
+	outcome, errMsg := j.Outcome()
+	v.Error = errMsg
+	if outcome != nil {
+		v.Result = renderOutcome(j.Spec.Snapshot.Data, outcome)
+	}
+	return v
+}
+
+// renderOutcome converts a pipeline result into the name-based wire
+// form, deterministically ordered.
+func renderOutcome(d *truthdata.Dataset, o *JobOutcome) *jobResult {
+	out := &jobResult{}
+	var truth map[truthdata.Cell]string
+	var confidence map[truthdata.Cell]float64
+	var trust []float64
+	switch {
+	case o.TDAC != nil:
+		r := o.TDAC
+		out.Algorithm = "TD-AC"
+		sil := r.Silhouette
+		out.Silhouette = &sil
+		out.RuntimeMS = float64(r.Runtime) / float64(time.Millisecond)
+		for _, group := range r.Partition {
+			names := make([]string, 0, len(group))
+			for _, a := range group {
+				names = append(names, d.AttrName(a))
+			}
+			sort.Strings(names)
+			out.Partition = append(out.Partition, names)
+		}
+		truth, confidence, trust = r.Truth, r.Confidence, r.Trust
+	case o.Base != nil:
+		r := o.Base
+		out.Algorithm = r.Algorithm
+		out.Iterations = r.Iterations
+		out.RuntimeMS = float64(r.Runtime) / float64(time.Millisecond)
+		truth, trust = r.Truth, r.Trust
+	default:
+		return nil
+	}
+	out.Truth = make([]cellValue, 0, len(truth))
+	for cell, val := range truth {
+		cv := cellValue{
+			Object:    d.ObjectName(cell.Object),
+			Attribute: d.AttrName(cell.Attr),
+			Value:     val,
+		}
+		if confidence != nil {
+			if c, ok := confidence[cell]; ok {
+				conf := c
+				cv.Confidence = &conf
+			}
+		}
+		out.Truth = append(out.Truth, cv)
+	}
+	sort.Slice(out.Truth, func(i, j int) bool {
+		if out.Truth[i].Object != out.Truth[j].Object {
+			return out.Truth[i].Object < out.Truth[j].Object
+		}
+		return out.Truth[i].Attribute < out.Truth[j].Attribute
+	})
+	out.Trust = make([]trustValue, 0, len(trust))
+	for i, t := range trust {
+		out.Trust = append(out.Trust, trustValue{Source: d.SourceName(truthdata.SourceID(i)), Trust: t})
+	}
+	return out
+}
+
+// ---- operational handlers --------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz gates load balancing: not ready while shutting down or
+// while the job queue is saturated (new discoveries would only 429).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.engine.ShuttingDown():
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+	case s.engine.Saturated():
+		writeError(w, http.StatusServiceUnavailable, "job queue saturated (%d/%d)",
+			s.engine.QueueDepth(), s.engine.QueueCapacity())
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}

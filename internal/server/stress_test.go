@@ -1,0 +1,123 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"tdac"
+	"tdac/internal/exam"
+)
+
+// TestStressIngestWhileDiscovering proves snapshot isolation under
+// concurrency: ingester goroutines append claims over HTTP while
+// discovery jobs run, and every job's result must be bit-identical to a
+// direct Discover on the snapshot version the job was pinned to. Run
+// under -race (scripts/ci.sh does) this also proves the registry and
+// engine are free of torn reads and data races.
+func TestStressIngestWhileDiscovering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	s, ts := newTestServer(t, Config{Workers: 4, QueueSize: 64})
+	if err := s.Registry().Create("exam", examFixtureSmall(t)); err != nil {
+		t.Fatal(err)
+	}
+	client := ts.Client()
+
+	const (
+		ingesters        = 3
+		batchesPerWorker = 15
+		jobs             = 10
+	)
+
+	var wg sync.WaitGroup
+	// Ingesters: each appends batches of claims from unique sources, so
+	// batches never conflict with each other or the base data.
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < batchesPerWorker; i++ {
+				batch := ingestRequest{Claims: []ClaimInput{
+					{Source: fmt.Sprintf("ing-%d-%d", g, i), Object: "exam", Attribute: "Math 1A Q1", Value: fmt.Sprintf("v%d", i)},
+					{Source: fmt.Sprintf("ing-%d-%d", g, i), Object: "exam", Attribute: "Physics Q2", Value: fmt.Sprintf("w%d", g)},
+				}}
+				code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/datasets/exam/claims", batch, nil)
+				if code != http.StatusOK {
+					t.Errorf("ingester %d batch %d: status %d", g, i, code)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Submitters: enqueue discovery jobs while ingestion is in flight.
+	ids := make([]string, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var accepted jobView
+			code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/datasets/exam/discover",
+				map[string]any{"algorithm": "MajorityVote"}, &accepted)
+			if code != http.StatusAccepted {
+				t.Errorf("job %d: submit status %d", i, code)
+				return
+			}
+			ids[i] = accepted.ID
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Every job ran against its pinned snapshot, untouched by the
+	// concurrent appends: results match a direct run bit for bit.
+	versions := make(map[int]bool)
+	for i, id := range ids {
+		final := pollJob(t, client, ts.URL, id)
+		if final.State != JobDone {
+			t.Fatalf("job %d state = %s (error %q)", i, final.State, final.Error)
+		}
+		job, err := s.Engine().Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := job.Spec.Snapshot
+		versions[snap.Version] = true
+		direct, err := tdac.Discover(snap.Data, tdac.WithBase("MajorityVote"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcome, _ := job.Outcome()
+		if outcome == nil || outcome.TDAC == nil {
+			t.Fatalf("job %d outcome missing", i)
+		}
+		assertSameResult(t, outcome.TDAC, direct)
+	}
+
+	// The registry must have advanced through every ingested batch.
+	snap, err := s.Registry().Get("exam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVersion := 1 + ingesters*batchesPerWorker
+	if snap.Version != wantVersion {
+		t.Fatalf("final version = %d, want %d", snap.Version, wantVersion)
+	}
+	t.Logf("jobs pinned %d distinct snapshot versions (final %d)", len(versions), snap.Version)
+}
+
+// examFixtureSmall is a reduced exam fixture keeping the stress test
+// fast: full 32-attribute structure, fewer students.
+func examFixtureSmall(t *testing.T) *tdac.Dataset {
+	t.Helper()
+	d, err := exam.Generate(exam.Config{Attrs: 32, Students: 15, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

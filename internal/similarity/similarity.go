@@ -71,7 +71,11 @@ func Levenshtein(a, b string) float64 {
 func Numeric(a, b string) float64 {
 	fa, errA := strconv.ParseFloat(strings.TrimSpace(a), 64)
 	fb, errB := strconv.ParseFloat(strings.TrimSpace(b), 64)
-	if errA != nil || errB != nil {
+	// ParseFloat also accepts "NaN" and "Inf"; neither is a meaningful
+	// magnitude and both poison the exp formula below (NaN result), so
+	// non-finite values take the string fallback too.
+	if errA != nil || errB != nil ||
+		math.IsNaN(fa) || math.IsInf(fa, 0) || math.IsNaN(fb) || math.IsInf(fb, 0) {
 		return Levenshtein(a, b)
 	}
 	if fa == fb {

@@ -62,6 +62,25 @@ func TestNumericFallsBackToLevenshtein(t *testing.T) {
 	}
 }
 
+// TestNumericNonFiniteFallsBack pins the fuzz-found NaN escape:
+// ParseFloat accepts "NaN"/"Inf" spellings, which must take the string
+// fallback instead of poisoning the exp formula (Numeric("NAN","0")
+// used to return NaN, outside the documented [0,1]).
+func TestNumericNonFiniteFallsBack(t *testing.T) {
+	for _, tc := range [][2]string{
+		{"NAN", "0"}, {"nan", "nan"}, {"Inf", "0"}, {"-Inf", "+Inf"}, {"1", "Infinity"},
+	} {
+		got := Numeric(tc[0], tc[1])
+		if got != Levenshtein(tc[0], tc[1]) {
+			t.Errorf("Numeric(%q,%q) = %v, want Levenshtein fallback %v",
+				tc[0], tc[1], got, Levenshtein(tc[0], tc[1]))
+		}
+		if got < 0 || got > 1 {
+			t.Errorf("Numeric(%q,%q) = %v out of [0,1]", tc[0], tc[1], got)
+		}
+	}
+}
+
 func TestNumericSmallMagnitudes(t *testing.T) {
 	// Scale floors at 1 so tiny numbers do not blow up the exponent.
 	got := Numeric("0.1", "0.2")

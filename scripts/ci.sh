@@ -26,7 +26,21 @@ echo "==> go build"
 go build ./...
 
 echo "==> go test -race"
+# Includes the tdacd server suite: the ingest-while-discovering stress
+# test and the engine shutdown tests only prove anything under the race
+# detector, so they must never move out of this invocation.
 go test -race ./...
+
+# Static analysis beyond vet, when the tool exists in the environment;
+# otherwise exercise the serving packages' benchmarks as a compile+run
+# smoke so the fallback still touches the new code paths.
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "==> staticcheck"
+    staticcheck ./...
+else
+    echo "==> staticcheck not installed; bench smoke for serving packages"
+    go test -run TestNone -bench . -benchtime 1x ./internal/server ./internal/obs ./cmd/tdacd
+fi
 
 echo "==> benchmark smoke (KSweep, 1x)"
 go test -run '^$' -bench KSweep -benchtime 1x .

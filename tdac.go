@@ -406,6 +406,21 @@ func WithObserver(fn Observer) Option {
 	}
 }
 
+// ValidateOptions checks an option list for well-formedness and mutual
+// consistency — unknown algorithm names, invalid ranges, incompatible
+// combinations (WithProjection + WithSparseAware) — without running
+// anything. Serving frontends use it as a submit-time guard: cmd/tdacd
+// rejects a bad request with a 400 instead of enqueueing a job doomed to
+// fail.
+func ValidateOptions(opts ...Option) error {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return err
+	}
+	_, err = buildTDAC(cfg)
+	return err
+}
+
 // Discover runs TD-AC (Algorithm 1 of the paper) on the dataset. It is
 // DiscoverContext with context.Background().
 func Discover(d *Dataset, opts ...Option) (*Result, error) {
