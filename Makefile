@@ -18,9 +18,9 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# bench-report regenerates BENCH_tdac.json (schema tdac-bench/1): per-phase
-# median wall times for the paper configs, then re-validates the file so a
-# broken write never lands.
+# bench-report regenerates BENCH_tdac.json (schema tdac-bench/2): per-phase
+# median wall times for the paper configs plus the WAL ingest-overhead
+# section, then re-validates the file so a broken write never lands.
 bench-report:
 	$(GO) run ./cmd/tdacbench -reps 5 -o BENCH_tdac.json
 	$(GO) run ./cmd/tdacbench -validate BENCH_tdac.json
@@ -42,7 +42,8 @@ serve:
 		-truth exam62=./data/exam-62-truth.csv
 
 # ci is the full verification gate (fmt check, vet, build, race tests,
-# k-sweep benchmark smoke, fuzz smoke, bench report schema check);
-# scripts/ci.sh holds the exact sequence.
+# the seeded crash-recovery matrix, k-sweep benchmark smoke, fuzz smoke
+# incl. WAL recovery, bench report schema check); scripts/ci.sh holds
+# the exact sequence.
 ci:
 	sh scripts/ci.sh

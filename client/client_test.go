@@ -1,0 +1,210 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testClient(t *testing.T, h http.Handler) (*Client, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, WithRetry(Retry{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ts
+}
+
+func TestRetriesTransientRejections(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"job queue is full"}`))
+			return
+		}
+		w.Write([]byte(`{"id":"job-1","state":"queued"}`))
+	}))
+	job, err := c.Discover(context.Background(), "d", DiscoverRequest{})
+	if err != nil {
+		t.Fatalf("Discover after 429s: %v", err)
+	}
+	if job.ID != "job-1" || calls.Load() != 3 {
+		t.Fatalf("job=%+v calls=%d", job, calls.Load())
+	}
+}
+
+func TestGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"shutting down"}`))
+	}))
+	_, err := c.GetJob(context.Background(), "job-1")
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want wrapped 503 APIError", err)
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("calls = %d, want MaxAttempts = 4", calls.Load())
+	}
+}
+
+func TestDefinitiveErrorsAreNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"unknown job"}`))
+	}))
+	_, err := c.GetJob(context.Background(), "job-404")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusNotFound {
+		t.Fatalf("err = %v, want 404 APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d; a 404 must not be retried", calls.Load())
+	}
+}
+
+func TestHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	var first, second time.Time
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			first = time.Now()
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"busy"}`))
+		default:
+			second = time.Now()
+			w.Write([]byte(`{"id":"job-1","state":"queued"}`))
+		}
+	}))
+	// MaxDelay is 20ms, so the 1s hint must be capped — the call should
+	// finish quickly but still wait a bounded, positive amount.
+	start := time.Now()
+	if _, err := c.GetJob(context.Background(), "job-1"); err != nil {
+		t.Fatal(err)
+	}
+	if gap := second.Sub(first); gap < 15*time.Millisecond {
+		t.Fatalf("retry after %v, want ≥ capped Retry-After (20ms - scheduling slop)", gap)
+	}
+	if total := time.Since(start); total > 5*time.Second {
+		t.Fatalf("Retry-After cap ignored; call took %v", total)
+	}
+}
+
+func TestContextCancelsBackoff(t *testing.T) {
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"busy"}`))
+	}))
+	c.retry.MaxDelay = time.Hour // don't cap the server's 30s hint
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.GetJob(ctx, "job-1")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("backoff ignored context cancellation")
+	}
+}
+
+func TestNonIdempotentCallsDontRetryTransportErrors(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		// Kill the connection mid-response: the client cannot know
+		// whether the batch was applied.
+		hj, _ := w.(http.Hijacker)
+		conn, _, _ := hj.Hijack()
+		conn.Close()
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL, WithRetry(Retry{MaxAttempts: 4, BaseDelay: time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(context.Background(), "d", []Claim{{Source: "s", Object: "o", Attribute: "a", Value: "v"}}, nil); err == nil {
+		t.Fatal("expected a transport error")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d; ambiguous ingest failures must not be retried", calls.Load())
+	}
+}
+
+func TestDiscoverRetriesTransportErrorsViaIdempotencyKey(t *testing.T) {
+	var calls atomic.Int32
+	var keys []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req DiscoverRequest
+		if err := jsonDecode(r, &req); err != nil {
+			t.Errorf("decoding: %v", err)
+		}
+		keys = append(keys, req.Key)
+		if calls.Add(1) == 1 {
+			hj, _ := w.(http.Hijacker)
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+			return
+		}
+		w.Write([]byte(`{"id":"job-1","state":"queued"}`))
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL, WithRetry(Retry{MaxAttempts: 4, BaseDelay: time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Discover(context.Background(), "d", DiscoverRequest{})
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	if job.ID != "job-1" {
+		t.Fatalf("job = %+v", job)
+	}
+	if len(keys) != 2 || keys[0] == "" || keys[0] != keys[1] {
+		t.Fatalf("keys = %q; retries must reuse one generated idempotency key", keys)
+	}
+}
+
+func TestTerminalConflict(t *testing.T) {
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusConflict)
+		w.Write([]byte(`{"error":"job \"job-1\" is already terminal","state":"done"}`))
+	}))
+	_, err := c.CancelJob(context.Background(), "job-1")
+	state, ok := IsTerminalConflict(err)
+	if !ok || state != "done" {
+		t.Fatalf("IsTerminalConflict(%v) = %q, %t; want done, true", err, state, ok)
+	}
+}
+
+func TestRejectsBadBaseURL(t *testing.T) {
+	for _, bad := range []string{"ftp://x", "://", "localhost:8321"} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%q) succeeded", bad)
+		}
+	}
+}
+
+func jsonDecode(r *http.Request, out any) error {
+	defer r.Body.Close()
+	return json.NewDecoder(r.Body).Decode(out)
+}

@@ -1,0 +1,187 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tdac/internal/server"
+	"tdac/internal/wal"
+)
+
+// These tests drive a real in-process tdacd through the retrying
+// client: the happy path, idempotent re-submission against the live
+// dedupe, and retry-until-capacity against a saturated queue.
+
+func e2eServer(t *testing.T, cfg server.Config) (*server.Server, *Client) {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	c, err := New(ts.URL, WithRetry(Retry{MaxAttempts: 8, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c
+}
+
+func seedClaims() []Claim {
+	var claims []Claim
+	for _, src := range []string{"s1", "s2", "s3"} {
+		for _, obj := range []string{"o1", "o2"} {
+			claims = append(claims,
+				Claim{Source: src, Object: obj, Attribute: "colour", Value: "red"},
+				Claim{Source: src, Object: obj, Attribute: "size", Value: "10"},
+			)
+		}
+	}
+	return claims
+}
+
+func TestEndToEndDiscovery(t *testing.T) {
+	_, c := e2eServer(t, server.Config{Workers: 2, QueueSize: 8})
+	ctx := context.Background()
+
+	if _, err := c.CreateDataset(ctx, "exam"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Ingest(ctx, "exam", seedClaims(), []Truth{{Object: "o1", Attribute: "colour", Value: "red"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 || info.Claims != 12 {
+		t.Fatalf("ingest info = %+v", info)
+	}
+	job, err := c.Run(ctx, "exam", DiscoverRequest{Mode: "base", Algorithm: "Accu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != "done" || job.Result == nil {
+		t.Fatalf("job = %+v", job)
+	}
+	if len(job.Result.Truth) == 0 || len(job.Result.Trust) != 3 {
+		t.Fatalf("result = %+v", job.Result)
+	}
+
+	// Cancelling the finished job surfaces the typed 409.
+	_, err = c.CancelJob(ctx, job.ID)
+	if state, ok := IsTerminalConflict(err); !ok || state != "done" {
+		t.Fatalf("cancel finished job: err=%v state=%q", err, state)
+	}
+}
+
+func TestEndToEndIdempotentResubmit(t *testing.T) {
+	s, c := e2eServer(t, server.Config{Workers: 1, QueueSize: 8})
+	ctx := context.Background()
+	if _, err := c.CreateDataset(ctx, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(ctx, "d", seedClaims(), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	req := DiscoverRequest{Mode: "base", Key: "stable-key"}
+	first, err := c.Discover(ctx, "d", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Discover(ctx, "d", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ID != first.ID {
+		t.Fatalf("resubmit created %s, want dedup onto %s", second.ID, first.ID)
+	}
+	if got := s.Engine().Counters().Enqueued; got != 1 {
+		t.Fatalf("enqueued = %d, want 1", got)
+	}
+	if _, err := c.Wait(ctx, first.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEndToEndRetryThroughBackpressure saturates a 1-slot queue and
+// lets the client's 429 retry loop win the race for the freed slot.
+func TestEndToEndRetryThroughBackpressure(t *testing.T) {
+	_, c := e2eServer(t, server.Config{Workers: 1, QueueSize: 1})
+	ctx := context.Background()
+	if _, err := c.CreateDataset(ctx, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(ctx, "d", seedClaims(), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the worker and the queue slot, then submit a third job: the
+	// first attempts see 429 + Retry-After, and the retry loop lands it
+	// once the pipeline drains.
+	var ids []string
+	for i := 0; i < 3; i++ {
+		job, err := c.Discover(ctx, "d", DiscoverRequest{Mode: "base"})
+		if err != nil {
+			t.Fatalf("discover %d: %v", i, err)
+		}
+		ids = append(ids, job.ID)
+	}
+	for _, id := range ids {
+		job, err := c.Wait(ctx, id, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.State != "done" {
+			t.Fatalf("job %s finished %s: %s", id, job.State, job.Error)
+		}
+	}
+}
+
+// TestEndToEndDurableRestart ties the client to the WAL: jobs submitted
+// with client keys survive a server restart and dedupe across it.
+func TestEndToEndDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := server.Config{Workers: 1, QueueSize: 8, DataDir: dir, Fsync: wal.SyncAlways}
+	s1, c1 := e2eServer(t, cfg)
+	ctx := context.Background()
+	if _, err := c1.CreateDataset(ctx, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Ingest(ctx, "d", seedClaims(), nil); err != nil {
+		t.Fatal(err)
+	}
+	job, err := c1.Run(ctx, "d", DiscoverRequest{Mode: "base", Key: "run-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != "done" {
+		t.Fatalf("job = %+v", job)
+	}
+	shutCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	_ = s1.Shutdown(shutCtx)
+
+	// A second server on the same directory recovers the dataset; the
+	// finished job journaled its end, so the key is free again.
+	_, c2 := e2eServer(t, cfg)
+	info, err := c2.GetDataset(ctx, "d")
+	if err != nil {
+		t.Fatalf("dataset lost across restart: %v", err)
+	}
+	if info.Version != 2 || info.Claims != 12 {
+		t.Fatalf("recovered info = %+v", info)
+	}
+	again, err := c2.Run(ctx, "d", DiscoverRequest{Mode: "base", Key: "run-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.State != "done" {
+		t.Fatalf("rerun after restart = %+v", again)
+	}
+}

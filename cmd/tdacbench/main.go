@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,10 +35,14 @@ import (
 	"tdac/internal/core"
 	"tdac/internal/experiments"
 	"tdac/internal/obs"
+	"tdac/internal/server"
+	"tdac/internal/wal"
 )
 
 // Schema identifies the report's wire format; bump on breaking changes.
-const Schema = "tdac-bench/1"
+// tdac-bench/2 added the "wal" section: ingest overhead of the write-
+// ahead log versus the in-memory registry.
+const Schema = "tdac-bench/2"
 
 // phases lists the phase keys every config entry must report, matching
 // the pipeline's execution order.
@@ -57,6 +62,22 @@ type Report struct {
 	Full    bool           `json:"full"`
 	Reps    int            `json:"reps"`
 	Configs []ConfigResult `json:"configs"`
+	WAL     *WALResult     `json:"wal"`
+}
+
+// WALResult measures what durability costs: the same ingest workload
+// through an in-memory registry and through a WAL-backed one (fsync on
+// every append), as median wall time across the repetitions.
+type WALResult struct {
+	Batches        int    `json:"batches"`
+	ClaimsPerBatch int    `json:"claims_per_batch"`
+	Fsync          string `json:"fsync"`
+	// OffMedianMS / OnMedianMS are the median total wall times for the
+	// whole ingest workload without and with the WAL.
+	OffMedianMS float64 `json:"ingest_off_median_ms"`
+	OnMedianMS  float64 `json:"ingest_on_median_ms"`
+	// OverheadX is OnMedianMS / OffMedianMS.
+	OverheadX float64 `json:"overhead_x"`
 }
 
 // ConfigResult aggregates the repetitions of one benchmark config.
@@ -140,6 +161,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			id, cr.TotalMedianMS, *reps, cr.BestK)
 	}
 
+	wr, err := benchWAL(*full, *reps)
+	if err != nil {
+		return fmt.Errorf("wal ingest benchmark: %w", err)
+	}
+	report.WAL = wr
+	fmt.Fprintf(stderr, "wal: ingest %.2fms off / %.2fms on (%.2fx, fsync=%s)\n",
+		wr.OffMedianMS, wr.OnMedianMS, wr.OverheadX, wr.Fsync)
+
 	raw, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -216,6 +245,74 @@ func benchConfig(runner *experiments.Runner, id, base string, reps int) (*Config
 	return cr, nil
 }
 
+// benchWAL times one ingest workload against two servers that differ
+// only in durability: no WAL versus a WAL fsyncing every append.
+func benchWAL(full bool, reps int) (*WALResult, error) {
+	batches, perBatch := 32, 25
+	if full {
+		batches, perBatch = 128, 50
+	}
+	wr := &WALResult{Batches: batches, ClaimsPerBatch: perBatch, Fsync: wal.SyncAlways.String()}
+
+	run := func(dataDir string) (time.Duration, error) {
+		srv, err := server.New(server.Config{
+			Workers: 1, QueueSize: 1,
+			DataDir: dataDir, Fsync: wal.SyncAlways,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+		if err := srv.Registry().Create("bench", nil); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for b := 0; b < batches; b++ {
+			claims := make([]server.ClaimInput, perBatch)
+			for i := range claims {
+				claims[i] = server.ClaimInput{
+					Source:    fmt.Sprintf("s%d", i%7),
+					Object:    fmt.Sprintf("o%d-%d", b, i),
+					Attribute: "a",
+					Value:     "v",
+				}
+			}
+			if _, err := srv.Registry().Append("bench", claims, nil); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	var offs, ons []time.Duration
+	for rep := 0; rep < reps; rep++ {
+		off, err := run("")
+		if err != nil {
+			return nil, err
+		}
+		dir, err := os.MkdirTemp("", "tdacbench-wal-*")
+		if err != nil {
+			return nil, err
+		}
+		on, err := run(dir)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		offs, ons = append(offs, off), append(ons, on)
+	}
+	wr.OffMedianMS = medianMS(offs)
+	wr.OnMedianMS = medianMS(ons)
+	if wr.OffMedianMS > 0 {
+		wr.OverheadX = wr.OnMedianMS / wr.OffMedianMS
+	}
+	return wr, nil
+}
+
 func medianMS(ds []time.Duration) float64 {
 	if len(ds) == 0 {
 		return 0
@@ -242,10 +339,11 @@ func medianInt(xs []int) int {
 	return mid
 }
 
-// Validate checks a serialized report against the tdac-bench/1 schema:
-// the version marker, at least one config, and for every config a
-// complete per-phase median map plus sane totals. CI runs this against
-// the committed BENCH_tdac.json so schema drift fails fast.
+// Validate checks a serialized report against the tdac-bench/2 schema:
+// the version marker, at least one config, for every config a complete
+// per-phase median map plus sane totals, and a wal section with
+// positive ingest timings. CI runs this against the committed
+// BENCH_tdac.json so schema drift fails fast.
 func Validate(raw []byte) error {
 	var r Report
 	dec := json.NewDecoder(strings.NewReader(string(raw)))
@@ -280,6 +378,21 @@ func Validate(raw []byte) error {
 				return fmt.Errorf("schema %s: %s: phase_median_ms missing %q", Schema, c.Dataset, p)
 			}
 		}
+	}
+	if r.WAL == nil {
+		return fmt.Errorf("schema %s: missing wal section", Schema)
+	}
+	if r.WAL.Batches < 1 || r.WAL.ClaimsPerBatch < 1 {
+		return fmt.Errorf("schema %s: wal: non-positive workload", Schema)
+	}
+	if r.WAL.Fsync == "" {
+		return fmt.Errorf("schema %s: wal: missing fsync mode", Schema)
+	}
+	if r.WAL.OffMedianMS <= 0 || r.WAL.OnMedianMS <= 0 {
+		return fmt.Errorf("schema %s: wal: non-positive ingest timings", Schema)
+	}
+	if r.WAL.OverheadX <= 0 {
+		return fmt.Errorf("schema %s: wal: non-positive overhead_x", Schema)
 	}
 	return nil
 }

@@ -25,7 +25,8 @@ func TestSmokeRunEmitsValidReport(t *testing.T) {
 	if err := Validate(raw); err != nil {
 		t.Fatalf("generated report invalid: %v\n%s", err, raw)
 	}
-	for _, want := range []string{`"schema": "tdac-bench/1"`, `"dataset": "DS1"`, `"dataset": "exam62-r25"`, `"k-sweep"`} {
+	for _, want := range []string{`"schema": "tdac-bench/2"`, `"dataset": "DS1"`, `"dataset": "exam62-r25"`, `"k-sweep"`,
+		`"ingest_off_median_ms"`, `"ingest_on_median_ms"`, `"overhead_x"`} {
 		if !strings.Contains(string(raw), want) {
 			t.Errorf("report missing %s:\n%s", want, raw)
 		}
@@ -37,29 +38,37 @@ func TestSmokeRunEmitsValidReport(t *testing.T) {
 }
 
 // TestValidateRejectsDrift pins the schema gate: structural drift — a
-// version bump, a dropped phase, an unknown field — must fail.
+// version bump, a dropped phase, an unknown field, a missing wal
+// section — must fail.
 func TestValidateRejectsDrift(t *testing.T) {
 	valid := `{
-	  "schema": "tdac-bench/1", "base": "Accu", "full": false, "reps": 1,
+	  "schema": "tdac-bench/2", "base": "Accu", "full": false, "reps": 1,
 	  "configs": [{
 	    "dataset": "DS1", "attrs": 12, "sources": 30, "objects": 150, "claims": 5000,
 	    "phase_median_ms": {"reference": 1, "truth-vectors": 1, "distance-matrix": 1,
 	                        "k-sweep": 1, "base-runs": 1, "merge": 1},
 	    "total_median_ms": 6, "sweep_iterations": 40, "best_k": 4, "silhouette": 0.4
-	  }]
+	  }],
+	  "wal": {"batches": 32, "claims_per_batch": 25, "fsync": "always",
+	          "ingest_off_median_ms": 2.5, "ingest_on_median_ms": 9.1, "overhead_x": 3.64}
 	}`
 	if err := Validate([]byte(valid)); err != nil {
 		t.Fatalf("baseline document rejected: %v", err)
 	}
 	cases := map[string]string{
-		"version bump":  strings.Replace(valid, "tdac-bench/1", "tdac-bench/2", 1),
-		"missing phase": strings.Replace(valid, `"k-sweep": 1,`, "", 1),
-		"unknown field": strings.Replace(valid, `"reps": 1,`, `"reps": 1, "surprise": true,`, 1),
-		"no configs":    strings.Replace(valid, `"configs": [{`, `"configs": [], "was": [{`, 1),
-		"zero total":    strings.Replace(valid, `"total_median_ms": 6`, `"total_median_ms": 0`, 1),
-		"empty dataset": strings.Replace(valid, `"dataset": "DS1"`, `"dataset": ""`, 1),
-		"not even JSON": "}{",
-		"wrong reps":    strings.Replace(valid, `"reps": 1`, `"reps": 0`, 1),
+		"old version":     strings.Replace(valid, "tdac-bench/2", "tdac-bench/1", 1),
+		"missing phase":   strings.Replace(valid, `"k-sweep": 1,`, "", 1),
+		"unknown field":   strings.Replace(valid, `"reps": 1,`, `"reps": 1, "surprise": true,`, 1),
+		"no configs":      strings.Replace(valid, `"configs": [{`, `"configs": [], "was": [{`, 1),
+		"zero total":      strings.Replace(valid, `"total_median_ms": 6`, `"total_median_ms": 0`, 1),
+		"empty dataset":   strings.Replace(valid, `"dataset": "DS1"`, `"dataset": ""`, 1),
+		"not even JSON":   "}{",
+		"wrong reps":      strings.Replace(valid, `"reps": 1`, `"reps": 0`, 1),
+		"missing wal":     strings.Replace(valid, `"wal": {`, `"wal2": {`, 1),
+		"zero wal timing": strings.Replace(valid, `"ingest_on_median_ms": 9.1`, `"ingest_on_median_ms": 0`, 1),
+		"no fsync mode":   strings.Replace(valid, `"fsync": "always"`, `"fsync": ""`, 1),
+		"empty wal batch": strings.Replace(valid, `"batches": 32`, `"batches": 0`, 1),
+		"zero overhead":   strings.Replace(valid, `"overhead_x": 3.64`, `"overhead_x": 0`, 1),
 	}
 	for name, doc := range cases {
 		if err := Validate([]byte(doc)); err == nil {

@@ -44,6 +44,7 @@ import (
 	"tdac"
 	"tdac/internal/server"
 	"tdac/internal/truthdata"
+	"tdac/internal/wal"
 )
 
 func main() {
@@ -86,6 +87,10 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		maxDatasets = fs.Int("max-datasets", 256, "dataset registry capacity")
 		drain       = fs.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
 		pprofOn     = fs.Bool("pprof", false, "mount /debug/pprof (opt-in)")
+		dataDir     = fs.String("data-dir", "", "WAL directory for crash-safe persistence (empty = in-memory only)")
+		fsyncMode   = fs.String("fsync", "always", `WAL fsync policy: "always", "interval" or "never"`)
+		fsyncEvery  = fs.Duration("fsync-interval", 100*time.Millisecond, "flush period for -fsync=interval")
+		noWAL       = fs.Bool("no-wal", false, "ignore -data-dir and run fully in-memory")
 	)
 	var loads, truths []namedPath
 	fs.Func("load", "preload a dataset: name=claims.csv or name=dataset.json (repeatable)", func(s string) error {
@@ -108,7 +113,15 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 
 	logger := log.New(stderr, "tdacd: ", log.LstdFlags)
 
-	srv := server.New(server.Config{
+	mode, err := wal.ParseSyncMode(*fsyncMode)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return err
+	}
+	if *noWAL {
+		*dataDir = ""
+	}
+	srv, err := server.New(server.Config{
 		Workers:        *workers,
 		QueueSize:      *queue,
 		MaxJobs:        *maxJobs,
@@ -117,7 +130,17 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		MaxBodyBytes:   *maxBody,
 		MaxDatasets:    *maxDatasets,
 		EnablePprof:    *pprofOn,
+		DataDir:        *dataDir,
+		Fsync:          mode,
+		FsyncInterval:  *fsyncEvery,
 	})
+	if err != nil {
+		return err
+	}
+	if rec := srv.Recovered(); rec != nil {
+		logger.Printf("recovered from %s: %d datasets, %d interrupted jobs re-enqueued (truncated tail: %t)",
+			*dataDir, len(rec.Datasets), len(rec.Jobs), rec.Truncated)
+	}
 	if err := preload(srv, loads, truths, logger); err != nil {
 		// The daemon never starts half-loaded; shut the pool down first.
 		shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
@@ -206,6 +229,12 @@ func preload(srv *server.Server, loads, truths []namedPath, logger *log.Logger) 
 		}
 	}
 	for name, d := range datasets {
+		if _, err := srv.Registry().Get(name); err == nil {
+			// Recovered from the WAL in this same boot; the journaled
+			// version wins over the -load file.
+			logger.Printf("dataset %q already recovered; skipping -load", name)
+			continue
+		}
 		if err := srv.Registry().Create(name, d); err != nil {
 			return err
 		}

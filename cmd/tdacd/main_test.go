@@ -218,3 +218,179 @@ func readAll(t *testing.T, resp *http.Response) string {
 	}
 	return string(data)
 }
+
+// TestDaemonRestartRecovery boots the daemon with -data-dir, ingests
+// over the wire, kills it, and boots a second daemon on the same
+// directory: the dataset must come back at the same version with the
+// same content, the recovery must be logged, and -load for a recovered
+// name must defer to the journaled version.
+func TestDaemonRestartRecovery(t *testing.T) {
+	claims, truth := writeClaimsFixture(t)
+	dataDir := t.TempDir()
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	var stderr1 syncBuffer
+	base, done := startDaemon(t, ctx1, []string{
+		"-load", "demo=" + claims,
+		"-truth", "demo=" + truth,
+		"-data-dir", dataDir,
+		"-fsync", "always",
+		"-drain", "5s",
+	}, &stderr1)
+
+	// Ingest one batch over HTTP so the WAL holds more than the preload.
+	resp, err := http.Post(base+"/v1/datasets/demo/claims", "application/json",
+		strings.NewReader(`{"claims":[{"source":"s4","object":"o1","attribute":"colour","value":"red"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusOK || !strings.Contains(body, `"version": 2`) {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(base + "/v1/datasets/demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := readAll(t, resp)
+
+	cancel1()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("first daemon: %v\nstderr: %s", err, stderr1.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("first daemon did not exit\nstderr: %s", stderr1.String())
+	}
+
+	// Second boot: same -data-dir and the same -load flag, which must be
+	// skipped in favor of the recovered (newer) version.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var stderr2 syncBuffer
+	base2, done2 := startDaemon(t, ctx2, []string{
+		"-load", "demo=" + claims,
+		"-data-dir", dataDir,
+		"-drain", "5s",
+	}, &stderr2)
+
+	if !strings.Contains(stderr2.String(), "recovered from "+dataDir) {
+		t.Fatalf("no recovery log line:\n%s", stderr2.String())
+	}
+	if !strings.Contains(stderr2.String(), `dataset "demo" already recovered; skipping -load`) {
+		t.Fatalf("-load was not skipped for the recovered dataset:\n%s", stderr2.String())
+	}
+	resp, err = http.Get(base2 + "/v1/datasets/demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || after != before {
+		t.Fatalf("recovered dataset differs:\nbefore: %s\nafter:  %s", before, after)
+	}
+
+	// The recovered daemon still runs jobs against the recovered data.
+	resp, err = http.Post(base2+"/v1/datasets/demo/discover", "application/json",
+		strings.NewReader(`{"mode":"base","algorithm":"MajorityVote"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("discover after recovery: %d %s", resp.StatusCode, body)
+	}
+
+	// Third generation: an ingest acknowledged by the *recovered* daemon
+	// must itself survive the next restart. (Regression: recovery used to
+	// strand the first boot's segment unsealed mid-log, so the third boot
+	// dropped everything the second boot had journaled.)
+	resp, err = http.Post(base2+"/v1/datasets/demo/claims", "application/json",
+		strings.NewReader(`{"claims":[{"source":"s5","object":"o2","attribute":"colour","value":"blue"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusOK || !strings.Contains(body, `"version": 3`) {
+		t.Fatalf("second-boot ingest: %d %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(base2 + "/v1/datasets/demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeThird := readAll(t, resp)
+
+	cancel2()
+	select {
+	case err := <-done2:
+		if err != nil {
+			t.Fatalf("second daemon: %v\nstderr: %s", err, stderr2.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("second daemon did not exit\nstderr: %s", stderr2.String())
+	}
+
+	ctx3, cancel3 := context.WithCancel(context.Background())
+	defer cancel3()
+	var stderr3 syncBuffer
+	base3, done3 := startDaemon(t, ctx3, []string{
+		"-data-dir", dataDir,
+		"-drain", "5s",
+	}, &stderr3)
+	resp, err = http.Get(base3 + "/v1/datasets/demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third := readAll(t, resp); resp.StatusCode != http.StatusOK || third != beforeThird {
+		t.Fatalf("second boot's ingest lost across third boot:\nwant: %s\ngot:  %s", beforeThird, third)
+	}
+
+	cancel3()
+	select {
+	case err := <-done3:
+		if err != nil {
+			t.Fatalf("third daemon: %v\nstderr: %s", err, stderr3.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("third daemon did not exit\nstderr: %s", stderr3.String())
+	}
+}
+
+// TestDaemonNoWALOverride pins the escape hatch: -no-wal ignores
+// -data-dir entirely, leaving the directory untouched.
+func TestDaemonNoWALOverride(t *testing.T) {
+	dataDir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stderr syncBuffer
+	base, done := startDaemon(t, ctx, []string{
+		"-data-dir", dataDir, "-no-wal", "-drain", "5s",
+	}, &stderr)
+	resp, err := http.Post(base+"/v1/datasets", "application/json", strings.NewReader(`{"name":"mem"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %s", resp.StatusCode, body)
+	}
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("-no-wal wrote %d entries into -data-dir", len(entries))
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit")
+	}
+}
+
+func TestDaemonRejectsBadFsyncMode(t *testing.T) {
+	var stderr syncBuffer
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := run(ctx, []string{"-addr", "127.0.0.1:0", "-fsync", "sometimes"}, &stderr)
+	if err == nil {
+		t.Fatal("run accepted -fsync=sometimes")
+	}
+}

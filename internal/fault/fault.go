@@ -1,0 +1,146 @@
+// Package fault is the filesystem and clock seam the durability layer is
+// built against. Production code uses the OS implementation; tests swap
+// in Mem, an in-memory filesystem with deterministic (seeded) injection
+// of the failures a real deployment sees — short writes, fsync errors,
+// ENOSPC, and process crashes at named or counted points — plus a
+// Restart that yields exactly the bytes a machine would find on disk
+// after power loss (synced data plus a torn prefix of unsynced tails).
+// See DESIGN.md §10 for how the WAL's crash matrix drives this.
+package fault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Injected failure sentinels. Mem wraps them so errors.Is works through
+// the WAL's error chains.
+var (
+	// ErrNoSpace models ENOSPC: the disk budget is exhausted.
+	ErrNoSpace = errors.New("no space left on device")
+	// ErrInjectedSync is a scheduled fsync failure.
+	ErrInjectedSync = errors.New("injected fsync error")
+	// ErrInjectedWrite is a scheduled short write.
+	ErrInjectedWrite = errors.New("injected short write")
+	// ErrCrashed is returned by every operation after a simulated crash:
+	// the process is "dead" and nothing further reaches disk.
+	ErrCrashed = errors.New("filesystem crashed")
+)
+
+// File is the subset of *os.File the write-ahead log needs: append-only
+// writes, durability, and close.
+type File interface {
+	io.Writer
+	// Sync flushes buffered writes to durable storage.
+	Sync() error
+	io.Closer
+}
+
+// FS is the filesystem seam. All paths are slash-separated and relative
+// to whatever root the caller chose; implementations must be safe for
+// concurrent use.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing content
+	// (O_WRONLY|O_CREATE|O_TRUNC).
+	Create(name string) (File, error)
+	// OpenAppend opens an existing file for appending (O_WRONLY|O_APPEND):
+	// how the WAL adopts a recovered tail segment and continues it.
+	OpenAppend(name string) (File, error)
+	// ReadFile returns the full content of name.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir returns the sorted base names of dir's entries.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// SyncDir fsyncs a directory so that renames and creates within it
+	// are durable.
+	SyncDir(dir string) error
+}
+
+// Clock abstracts time.Now for interval-fsync policies and tests.
+type Clock interface {
+	Now() time.Time
+}
+
+// crasher is implemented by filesystems that honor named crash points;
+// see Point.
+type crasher interface {
+	hitPoint(name string)
+}
+
+// Point marks a named crash point in durability-critical code (e.g.
+// "wal.compact.rename"). On the real filesystem it is free; on a Mem
+// configured to crash there, the filesystem transitions to its crashed
+// state so every subsequent operation fails with ErrCrashed.
+func Point(fsys FS, name string) {
+	if c, ok := fsys.(crasher); ok {
+		c.hitPoint(name)
+	}
+}
+
+// OS is the production FS backed by the real filesystem.
+type OS struct{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// OpenAppend implements FS.
+func (OS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// ReadFile implements FS.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir implements FS: open the directory and fsync it, which is how
+// POSIX makes renames and creates durable.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// SystemClock is the production Clock.
+type SystemClock struct{}
+
+// Now implements Clock.
+func (SystemClock) Now() time.Time { return time.Now() }

@@ -1,0 +1,226 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+)
+
+func writeAll(t *testing.T, f File, p []byte) {
+	t.Helper()
+	if n, err := f.Write(p); err != nil || n != len(p) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+}
+
+func TestMemSyncSeparatesDurableFromPending(t *testing.T) {
+	m := NewMem(Config{})
+	if err := m.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Create("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("hello "))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("world"))
+	if got, want := m.SyncedLen("d/a"), 6; got != want {
+		t.Fatalf("synced = %d, want %d", got, want)
+	}
+	if got, want := m.PendingLen("d/a"), 5; got != want {
+		t.Fatalf("pending = %d, want %d", got, want)
+	}
+	// The live view sees everything.
+	data, err := m.ReadFile("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello world" {
+		t.Fatalf("live view = %q", data)
+	}
+	// A restart (power loss) keeps the synced prefix plus at most the
+	// pending tail's torn prefix.
+	next := m.Restart(Config{})
+	data, err = next.ReadFile("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix([]byte("hello world"), data) || len(data) < 6 {
+		t.Fatalf("post-crash content %q is not a synced-covering prefix", data)
+	}
+}
+
+func TestMemRestartIsDeterministicPerSeed(t *testing.T) {
+	image := func(seed int64) []byte {
+		m := NewMem(Config{Seed: seed})
+		_ = m.MkdirAll("d")
+		f, _ := m.Create("d/a")
+		writeAll(t, f, []byte("0123456789"))
+		data, err := m.Restart(Config{}).ReadFile("d/a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if !bytes.Equal(image(7), image(7)) {
+		t.Fatal("same seed produced different torn tails")
+	}
+}
+
+func TestMemCrashAfterOps(t *testing.T) {
+	// Crash during the 3rd mutating op: mkdir(1), create(2), write(3).
+	m := NewMem(Config{Seed: 1, CrashAfterOps: 3})
+	_ = m.MkdirAll("d")
+	f, err := m.Create("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abc")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write err = %v, want ErrCrashed", err)
+	}
+	if !m.Crashed() {
+		t.Fatal("not crashed")
+	}
+	if _, err := m.Create("d/b"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create err = %v", err)
+	}
+	data, err := m.Restart(Config{}).ReadFile("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix([]byte("abc"), data) {
+		t.Fatalf("torn write %q is not a prefix of the attempt", data)
+	}
+}
+
+func TestMemNamedCrashPoint(t *testing.T) {
+	m := NewMem(Config{CrashAt: "wal.test.point", CrashAtHit: 2})
+	Point(m, "wal.other")
+	Point(m, "wal.test.point")
+	if m.Crashed() {
+		t.Fatal("crashed on first hit, want second")
+	}
+	Point(m, "wal.test.point")
+	if !m.Crashed() {
+		t.Fatal("did not crash on second hit")
+	}
+	// Point on the real FS is free.
+	Point(OS{}, "wal.test.point")
+}
+
+func TestMemShortWriteInjection(t *testing.T) {
+	m := NewMem(Config{Seed: 3, ShortWriteEvery: 2})
+	_ = m.MkdirAll("d")
+	f, _ := m.Create("d/a")
+	writeAll(t, f, []byte("full"))
+	n, err := f.Write([]byte("torn-write"))
+	if !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("err = %v, want ErrInjectedWrite", err)
+	}
+	if n >= len("torn-write") {
+		t.Fatalf("short write landed %d bytes, want fewer than %d", n, len("torn-write"))
+	}
+}
+
+func TestMemSyncErrorInjection(t *testing.T) {
+	m := NewMem(Config{SyncErrEvery: 1})
+	_ = m.MkdirAll("d")
+	f, _ := m.Create("d/a")
+	writeAll(t, f, []byte("abc"))
+	if err := f.Sync(); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("sync err = %v, want ErrInjectedSync", err)
+	}
+	if m.SyncedLen("d/a") != 0 {
+		t.Fatal("failed sync still made bytes durable")
+	}
+}
+
+func TestMemENOSPC(t *testing.T) {
+	m := NewMem(Config{DiskBytes: 5})
+	_ = m.MkdirAll("d")
+	f, _ := m.Create("d/a")
+	writeAll(t, f, []byte("abc"))
+	n, err := f.Write([]byte("defg"))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	if n != 2 {
+		t.Fatalf("landed %d bytes past the budget, want 2", n)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace on exhausted budget", err)
+	}
+}
+
+func TestMemDirOperations(t *testing.T) {
+	m := NewMem(Config{})
+	if err := m.MkdirAll("a/b"); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := m.Create("a/b/x")
+	writeAll(t, f, []byte("1"))
+	_ = f.Sync()
+	_ = f.Close()
+	if err := m.Rename("a/b/x", "a/b/y"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := m.ReadDir("a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "y" {
+		t.Fatalf("ReadDir = %v, want [y]", names)
+	}
+	if _, err := m.ReadFile("a/b/x"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("old name still readable: %v", err)
+	}
+	if err := m.Remove("a/b/y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadDir("a/missing"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing dir: %v", err)
+	}
+}
+
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fsys FS = OS{}
+	if err := fsys.MkdirAll(dir + "/sub"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.Create(dir + "/sub/f.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("data"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(dir+"/sub/f.tmp", dir+"/sub/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir + "/sub"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadFile(dir + "/sub/f")
+	if err != nil || string(data) != "data" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	names, err := fsys.ReadDir(dir + "/sub")
+	if err != nil || len(names) != 1 || names[0] != "f" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if err := fsys.Remove(dir + "/sub/f"); err != nil {
+		t.Fatal(err)
+	}
+}

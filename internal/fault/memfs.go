@@ -1,0 +1,455 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config schedules Mem's deterministic failure injection. The zero value
+// injects nothing: Mem behaves as a reliable in-memory disk.
+type Config struct {
+	// Seed drives every random choice (torn-write lengths, partial-sync
+	// lengths) so a failing schedule replays exactly.
+	Seed int64
+	// CrashAfterOps crashes the filesystem during its Nth mutating
+	// operation (1-based; writes, syncs, creates, renames, removes all
+	// count). 0 never crashes.
+	CrashAfterOps int
+	// CrashAt crashes the filesystem when the named crash point (see
+	// Point) is hit for the CrashAtHit'th time.
+	CrashAt string
+	// CrashAtHit is the 1-based hit count for CrashAt (default 1).
+	CrashAtHit int
+	// ShortWriteEvery makes every Nth write a torn write: only a seeded
+	// prefix lands, and the write reports ErrInjectedWrite. 0 disables.
+	ShortWriteEvery int
+	// SyncErrEvery makes every Nth fsync fail with ErrInjectedSync,
+	// leaving the file's unsynced tail unsynced. 0 disables.
+	SyncErrEvery int
+	// DiskBytes is the total write budget; writes beyond it land
+	// partially and report ErrNoSpace (ENOSPC). 0 means unlimited.
+	DiskBytes int64
+}
+
+// Mem is an in-memory FS with deterministic fault injection and crash
+// simulation. It distinguishes synced bytes (durable) from pending bytes
+// (written but not fsynced): a crash keeps all synced data plus a
+// seeded-random prefix of each pending tail — exactly the torn-write
+// outcomes a power loss produces — and Restart exposes that durable
+// image as a fresh filesystem. Safe for concurrent use.
+type Mem struct {
+	mu      sync.Mutex
+	cfg     Config
+	rng     *rand.Rand
+	files   map[string]*memFile
+	dirs    map[string]bool
+	ops     int
+	writes  int
+	syncs   int
+	pointN  int
+	written int64
+	crashed bool
+}
+
+type memFile struct {
+	synced  []byte
+	pending []byte
+}
+
+// NewMem returns an empty Mem driven by cfg.
+func NewMem(cfg Config) *Mem {
+	if cfg.CrashAtHit <= 0 {
+		cfg.CrashAtHit = 1
+	}
+	return &Mem{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		files: make(map[string]*memFile),
+		dirs:  map[string]bool{".": true, "/": true},
+	}
+}
+
+// Crashed reports whether the simulated process has died.
+func (m *Mem) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// Ops returns the number of mutating operations performed so far, which
+// crash matrices use to spread CrashAfterOps schedules over a workload.
+func (m *Mem) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// Restart returns the durable post-crash image as a fresh filesystem
+// driven by cfg: every file holds its synced bytes (a crash has already
+// folded torn prefixes into them). Restarting a filesystem that never
+// crashed first applies a crash, so unsynced data is lost either way —
+// Restart is power loss, not a clean unmount.
+func (m *Mem) Restart(cfg Config) *Mem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.crashed {
+		m.crashLocked()
+	}
+	next := NewMem(cfg)
+	for path, f := range m.files {
+		next.files[path] = &memFile{synced: append([]byte(nil), f.synced...)}
+	}
+	for d := range m.dirs {
+		next.dirs[d] = true
+	}
+	return next
+}
+
+// crashLocked transitions to the crashed state: for every file, a
+// seeded-random prefix of the pending tail becomes durable (the blocks
+// the OS happened to flush) and the rest is lost.
+func (m *Mem) crashLocked() {
+	m.crashed = true
+	paths := make([]string, 0, len(m.files))
+	for p := range m.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths) // deterministic rng consumption order
+	for _, p := range paths {
+		f := m.files[p]
+		if len(f.pending) > 0 {
+			keep := m.rng.Intn(len(f.pending) + 1)
+			f.synced = append(f.synced, f.pending[:keep]...)
+		}
+		f.pending = nil
+	}
+}
+
+// step counts one mutating operation and crashes mid-operation when the
+// schedule says so. It returns true when the operation must abort with
+// ErrCrashed (the partial effect, if any, was applied by the caller
+// before calling step or is applied by crashLocked's torn tails).
+func (m *Mem) step() bool {
+	if m.crashed {
+		return true
+	}
+	m.ops++
+	if m.cfg.CrashAfterOps > 0 && m.ops >= m.cfg.CrashAfterOps {
+		m.crashLocked()
+		return true
+	}
+	return false
+}
+
+// hitPoint implements the named crash points honored by Point.
+func (m *Mem) hitPoint(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed || m.cfg.CrashAt == "" || name != m.cfg.CrashAt {
+		return
+	}
+	m.pointN++
+	if m.pointN >= m.cfg.CrashAtHit {
+		m.crashLocked()
+	}
+}
+
+// MkdirAll implements FS.
+func (m *Mem) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.step() {
+		return ErrCrashed
+	}
+	for d := filepath.Clean(dir); ; d = filepath.Dir(d) {
+		m.dirs[d] = true
+		if d == "." || d == "/" || d == filepath.Dir(d) {
+			break
+		}
+	}
+	return nil
+}
+
+// Create implements FS.
+func (m *Mem) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.step() {
+		return nil, ErrCrashed
+	}
+	if !m.dirs[filepath.Dir(filepath.Clean(name))] {
+		return nil, &os.PathError{Op: "create", Path: name, Err: os.ErrNotExist}
+	}
+	m.files[filepath.Clean(name)] = &memFile{}
+	return &memHandle{fs: m, path: filepath.Clean(name)}, nil
+}
+
+// OpenAppend implements FS. Opening a file mutates nothing, so it does
+// not count as an op for crash schedules; writes through the handle
+// join the file's pending tail exactly as after Create.
+func (m *Mem) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	name = filepath.Clean(name)
+	if _, ok := m.files[name]; !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return &memHandle{fs: m, path: name}, nil
+}
+
+// ReadFile implements FS: the live view (synced plus pending), which is
+// what the still-running process observes.
+func (m *Mem) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	f, ok := m.files[filepath.Clean(name)]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	out := make([]byte, 0, len(f.synced)+len(f.pending))
+	out = append(out, f.synced...)
+	return append(out, f.pending...), nil
+}
+
+// ReadDir implements FS.
+func (m *Mem) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	dir = filepath.Clean(dir)
+	if !m.dirs[dir] {
+		return nil, &os.PathError{Op: "readdir", Path: dir, Err: os.ErrNotExist}
+	}
+	seen := make(map[string]bool)
+	for p := range m.files {
+		if filepath.Dir(p) == dir {
+			seen[filepath.Base(p)] = true
+		}
+	}
+	for d := range m.dirs {
+		if d != dir && filepath.Dir(d) == dir {
+			seen[filepath.Base(d)] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS. The rename itself is atomic; a crash scheduled
+// on it happens before the swap, so recovery sees the old name.
+func (m *Mem) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.step() {
+		return ErrCrashed
+	}
+	oldname, newname = filepath.Clean(oldname), filepath.Clean(newname)
+	f, ok := m.files[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	return nil
+}
+
+// Remove implements FS.
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.step() {
+		return ErrCrashed
+	}
+	name = filepath.Clean(name)
+	if _, ok := m.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// SyncDir implements FS. Mem models directory operations (create,
+// rename, remove) as immediately durable, so this only counts as an op
+// and honors crash schedules.
+func (m *Mem) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.step() {
+		return ErrCrashed
+	}
+	if !m.dirs[filepath.Clean(dir)] {
+		return &os.PathError{Op: "syncdir", Path: dir, Err: os.ErrNotExist}
+	}
+	return nil
+}
+
+// SyncedLen returns the durable byte count of name (testing aid).
+func (m *Mem) SyncedLen(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[filepath.Clean(name)]; ok {
+		return len(f.synced)
+	}
+	return 0
+}
+
+// PendingLen returns the unsynced byte count of name (testing aid).
+func (m *Mem) PendingLen(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[filepath.Clean(name)]; ok {
+		return len(f.pending)
+	}
+	return 0
+}
+
+// memHandle is an open append-only file on a Mem.
+type memHandle struct {
+	fs     *Mem
+	path   string
+	closed bool
+}
+
+// Write appends to the file's pending (unsynced) tail, applying the
+// scheduled injections: op-count crashes tear this very write, short
+// writes keep a seeded prefix, and the disk budget enforces ENOSPC.
+func (h *memHandle) Write(p []byte) (int, error) {
+	m := h.fs
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return 0, ErrCrashed
+	}
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	f, ok := m.files[h.path]
+	if !ok {
+		return 0, &os.PathError{Op: "write", Path: h.path, Err: os.ErrNotExist}
+	}
+	m.writes++
+
+	n := len(p)
+	var werr error
+	if m.cfg.DiskBytes > 0 && m.written+int64(n) > m.cfg.DiskBytes {
+		if room := m.cfg.DiskBytes - m.written; room > 0 {
+			n = int(room)
+		} else {
+			n = 0
+		}
+		werr = fmt.Errorf("write %s: %w", h.path, ErrNoSpace)
+	} else if m.cfg.ShortWriteEvery > 0 && m.writes%m.cfg.ShortWriteEvery == 0 {
+		n = m.rng.Intn(len(p)) // strictly short
+		werr = fmt.Errorf("write %s: %w", h.path, ErrInjectedWrite)
+	}
+
+	crash := false
+	if !m.crashed {
+		m.ops++
+		if m.cfg.CrashAfterOps > 0 && m.ops >= m.cfg.CrashAfterOps {
+			// Crash mid-write: a seeded prefix of this write joins the
+			// pending tail, then the power goes out.
+			n = m.rng.Intn(n + 1)
+			crash = true
+		}
+	}
+	f.pending = append(f.pending, p[:n]...)
+	m.written += int64(n)
+	if crash {
+		m.crashLocked()
+		return n, ErrCrashed
+	}
+	return n, werr
+}
+
+// Sync moves the pending tail into the durable bytes. A crash scheduled
+// on this op makes the sync partial: only a seeded prefix of the tail
+// became durable before the power went out. An injected sync error
+// leaves the tail entirely unsynced.
+func (h *memHandle) Sync() error {
+	m := h.fs
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	if h.closed {
+		return os.ErrClosed
+	}
+	f, ok := m.files[h.path]
+	if !ok {
+		return &os.PathError{Op: "sync", Path: h.path, Err: os.ErrNotExist}
+	}
+	m.syncs++
+	if m.cfg.SyncErrEvery > 0 && m.syncs%m.cfg.SyncErrEvery == 0 {
+		return fmt.Errorf("sync %s: %w", h.path, ErrInjectedSync)
+	}
+	m.ops++
+	if m.cfg.CrashAfterOps > 0 && m.ops >= m.cfg.CrashAfterOps {
+		keep := m.rng.Intn(len(f.pending) + 1)
+		f.synced = append(f.synced, f.pending[:keep]...)
+		f.pending = nil
+		m.crashLocked()
+		return ErrCrashed
+	}
+	f.synced = append(f.synced, f.pending...)
+	f.pending = nil
+	return nil
+}
+
+// Close implements File. Pending bytes stay pending: data written but
+// never fsynced is still lost in a crash, exactly like a real page
+// cache.
+func (h *memHandle) Close() error {
+	m := h.fs
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+// FrozenClock is a Clock pinned to a settable instant, for testing
+// interval fsync policies deterministically.
+type FrozenClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFrozenClock starts a frozen clock at t.
+func NewFrozenClock(t time.Time) *FrozenClock {
+	return &FrozenClock{now: t}
+}
+
+// Now implements Clock.
+func (c *FrozenClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d.
+func (c *FrozenClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}

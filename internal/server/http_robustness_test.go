@@ -1,0 +1,142 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestCancelTerminalJobConflict pins the DELETE contract for finished
+// jobs: 409, with the terminal state in the body so clients can tell
+// "already done" from "already cancelled".
+func TestCancelTerminalJobConflict(t *testing.T) {
+	f := newFakeRunner()
+	s, ts := newTestServer(t, Config{Workers: 1, QueueSize: 4, run: f.run})
+	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
+		t.Fatal(err)
+	}
+	client := ts.Client()
+
+	var created jobView
+	if code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/datasets/d/discover", map[string]any{}, &created); code != http.StatusAccepted {
+		t.Fatalf("discover status = %d", code)
+	}
+	<-f.started
+	f.release <- struct{}{}
+	done := pollJob(t, client, ts.URL, created.ID)
+	if done.State != JobDone {
+		t.Fatalf("job state = %s, want done", done.State)
+	}
+
+	var conflict struct {
+		Error string   `json:"error"`
+		State JobState `json:"state"`
+	}
+	code := doJSON(t, client, http.MethodDelete, ts.URL+"/v1/jobs/"+created.ID, nil, &conflict)
+	if code != http.StatusConflict {
+		t.Fatalf("DELETE terminal job status = %d, want 409", code)
+	}
+	if conflict.State != JobDone {
+		t.Fatalf("conflict body state = %q, want %q", conflict.State, JobDone)
+	}
+	if !strings.Contains(conflict.Error, "terminal") {
+		t.Fatalf("conflict error = %q, want it to mention the terminal state", conflict.Error)
+	}
+	// Idempotent: a second DELETE reports the same conflict, and the
+	// job's result is still pollable afterwards.
+	if code := doJSON(t, client, http.MethodDelete, ts.URL+"/v1/jobs/"+created.ID, nil, &conflict); code != http.StatusConflict {
+		t.Fatalf("second DELETE status = %d, want 409", code)
+	}
+	if got := pollJob(t, client, ts.URL, created.ID); got.State != JobDone {
+		t.Fatalf("job state after conflicts = %s, want done", got.State)
+	}
+
+	// A cancelled job reports its own terminal state in the conflict.
+	var queued jobView
+	doJSON(t, client, http.MethodPost, ts.URL+"/v1/datasets/d/discover", map[string]any{}, &queued)
+	<-f.started // running, blocked
+	var second jobView
+	doJSON(t, client, http.MethodPost, ts.URL+"/v1/datasets/d/discover", map[string]any{}, &second)
+	if code := doJSON(t, client, http.MethodDelete, ts.URL+"/v1/jobs/"+second.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("cancel queued job status = %d, want 200", code)
+	}
+	if code := doJSON(t, client, http.MethodDelete, ts.URL+"/v1/jobs/"+second.ID, nil, &conflict); code != http.StatusConflict {
+		t.Fatalf("DELETE cancelled job status = %d, want 409", code)
+	}
+	if conflict.State != JobCancelled {
+		t.Fatalf("conflict body state = %q, want %q", conflict.State, JobCancelled)
+	}
+	f.release <- struct{}{} // unblock the runner so shutdown drains
+}
+
+// TestReadyzBackpressureSignals pins the /readyz contract: a saturated
+// queue answers 503 with a Retry-After header and the queue depth in
+// the body; a healthy server reports depth and capacity too.
+func TestReadyzBackpressureSignals(t *testing.T) {
+	f := newFakeRunner()
+	s, ts := newTestServer(t, Config{Workers: 1, QueueSize: 1, run: f.run})
+	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
+		t.Fatal(err)
+	}
+	client := ts.Client()
+
+	readyz := func() (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := client.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := map[string]any{}
+		if err := json.Unmarshal(raw, &body); err != nil {
+			t.Fatalf("readyz body %q: %v", raw, err)
+		}
+		return resp, body
+	}
+
+	resp, body := readyz()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("idle readyz status = %d, want 200", resp.StatusCode)
+	}
+	if body["queue_depth"] != float64(0) || body["queue_capacity"] != float64(1) {
+		t.Fatalf("idle readyz body = %v", body)
+	}
+
+	// Occupy the worker and fill the one queue slot.
+	doJSON(t, client, http.MethodPost, ts.URL+"/v1/datasets/d/discover", map[string]any{}, nil)
+	<-f.started
+	doJSON(t, client, http.MethodPost, ts.URL+"/v1/datasets/d/discover", map[string]any{}, nil)
+
+	resp, body = readyz()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated readyz status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Fatal("saturated readyz sets no Retry-After header")
+	}
+	if body["queue_depth"] != float64(1) || body["queue_capacity"] != float64(1) {
+		t.Fatalf("saturated readyz body = %v", body)
+	}
+	if body["error"] == nil {
+		t.Fatalf("saturated readyz body carries no error: %v", body)
+	}
+
+	// Drain: readyz recovers without restarting anything.
+	f.release <- struct{}{}
+	<-f.started
+	f.release <- struct{}{}
+	deadlineOK := false
+	for i := 0; i < 1000 && !deadlineOK; i++ {
+		resp, _ := readyz()
+		deadlineOK = resp.StatusCode == http.StatusOK
+	}
+	if !deadlineOK {
+		t.Fatal("readyz never recovered after the queue drained")
+	}
+}

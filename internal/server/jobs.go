@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -51,6 +52,13 @@ type JobSpec struct {
 	Options []tdac.Option
 	// Timeout is the per-job deadline.
 	Timeout time.Duration
+	// Key is the client-supplied idempotency key: a resubmit carrying
+	// the same key returns the existing job instead of enqueuing a new
+	// one ("" = no deduplication).
+	Key string
+	// Request is the originating discover request in wire form, journaled
+	// so a restarted server can rebuild the job.
+	Request json.RawMessage
 }
 
 // JobOutcome is what a finished job produced: exactly one of TDAC or
@@ -162,6 +170,17 @@ const (
 	ModeBase = "base"
 )
 
+// jobJournal persists job lifecycle transitions. JournalSubmit gates
+// the enqueue — a job is only acknowledged once its submit record is
+// durable — while start/terminal records are best-effort (an
+// unjournaled terminal state re-runs the job after a restart,
+// at-least-once execution). *Store implements it.
+type jobJournal interface {
+	JournalSubmit(id string, spec JobSpec) error
+	JournalStart(id string)
+	JournalEnd(id string, state JobState, errMsg string)
+}
+
 // EngineConfig sizes the job engine.
 type EngineConfig struct {
 	// Workers is the worker-pool size (≥ 1).
@@ -176,6 +195,8 @@ type EngineConfig struct {
 	Run RunFunc
 	// Aggregate receives every finished job's RunStats (may be nil).
 	Aggregate *obs.Aggregate
+	// Journal receives lifecycle transitions (nil = no persistence).
+	Journal jobJournal
 }
 
 // Counters is a point-in-time copy of the engine's lifetime counters.
@@ -205,7 +226,8 @@ type Engine struct {
 
 	mu    sync.Mutex
 	jobs  map[string]*Job
-	order []string // insertion order, for listing and eviction
+	order []string          // insertion order, for listing and eviction
+	keys  map[string]string // idempotency key → job ID, for retained jobs
 	next  int
 
 	running atomic.Int64
@@ -237,6 +259,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		jobs:       make(map[string]*Job),
+		keys:       make(map[string]string),
 	}
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -247,33 +270,91 @@ func NewEngine(cfg EngineConfig) *Engine {
 
 // Submit enqueues a job for spec. It never blocks: a full queue returns
 // ErrQueueFull immediately (the HTTP layer's 429), and an engine that
-// began shutting down returns ErrShuttingDown. The enqueue happens under
-// the engine mutex so it can never race Shutdown's close of the queue.
-func (e *Engine) Submit(spec JobSpec) (*Job, error) {
+// began shutting down returns ErrShuttingDown. A spec carrying the
+// idempotency key of a retained job returns that job with created ==
+// false instead of enqueuing a duplicate. The enqueue happens under the
+// engine mutex so it can never race Shutdown's close of the queue.
+func (e *Engine) Submit(spec JobSpec) (j *Job, created bool, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed.Load() {
-		return nil, ErrShuttingDown
+		return nil, false, ErrShuttingDown
+	}
+	if spec.Key != "" {
+		if id, ok := e.keys[spec.Key]; ok {
+			if dup, ok := e.jobs[id]; ok {
+				return dup, false, nil
+			}
+			delete(e.keys, spec.Key) // the job was evicted; the key is free
+		}
+	}
+	// Capacity is checked before the submit record is journaled, so an
+	// acknowledged (durable) submit can never then be rejected: only
+	// workers drain the queue, space can only grow.
+	if len(e.queue) == cap(e.queue) {
+		e.rejected.Add(1)
+		return nil, false, fmt.Errorf("%w (capacity %d)", ErrQueueFull, cap(e.queue))
 	}
 	e.next++
-	j := &Job{
+	j = &Job{
 		ID:         fmt.Sprintf("job-%d", e.next),
 		Spec:       spec,
 		state:      JobQueued,
 		enqueuedAt: time.Now(),
 		done:       make(chan struct{}),
 	}
-	select {
-	case e.queue <- j:
-		e.enqueued.Add(1)
-	default:
-		e.rejected.Add(1)
-		return nil, fmt.Errorf("%w (capacity %d)", ErrQueueFull, cap(e.queue))
+	if e.cfg.Journal != nil {
+		if err := e.cfg.Journal.JournalSubmit(j.ID, spec); err != nil {
+			e.next--
+			return nil, false, err
+		}
+	}
+	e.queue <- j
+	e.enqueued.Add(1)
+	if spec.Key != "" {
+		e.keys[spec.Key] = j.ID
 	}
 	e.jobs[j.ID] = j
 	e.order = append(e.order, j.ID)
 	e.evictLocked()
-	return j, nil
+	return j, true, nil
+}
+
+// resume re-enqueues a job recovered from the journal without writing a
+// new submit record. Recovery sizes the queue to hold every recovered
+// job and calls this before the HTTP surface starts serving, so the
+// push cannot block.
+func (e *Engine) resume(id string, spec JobSpec) *Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j := &Job{
+		ID:         id,
+		Spec:       spec,
+		state:      JobQueued,
+		enqueuedAt: time.Now(),
+		done:       make(chan struct{}),
+	}
+	if seq, ok := jobSeq(id); ok && seq > e.next {
+		e.next = seq
+	}
+	e.queue <- j
+	e.enqueued.Add(1)
+	if spec.Key != "" {
+		e.keys[spec.Key] = id
+	}
+	e.jobs[id] = j
+	e.order = append(e.order, id)
+	return j
+}
+
+// setNextSeq raises the job ID sequence floor (recovery: IDs of
+// terminal journaled jobs must not be reused).
+func (e *Engine) setNextSeq(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n > e.next {
+		e.next = n
+	}
 }
 
 // evictLocked drops the oldest terminal jobs beyond the history cap.
@@ -294,6 +375,9 @@ func (e *Engine) evictLocked() {
 			switch j.State() {
 			case JobDone, JobFailed, JobCancelled:
 				delete(e.jobs, id)
+				if j.Spec.Key != "" && e.keys[j.Spec.Key] == id {
+					delete(e.keys, j.Spec.Key)
+				}
 				e.order = append(e.order[:i], e.order[i+1:]...)
 				evicted = true
 			}
@@ -334,11 +418,12 @@ func (e *Engine) Jobs() []*Job {
 // Cancel requests cancellation of a job. A queued job is terminally
 // cancelled on the spot; a running job has its context cancelled and
 // reaches the cancelled state when the pipeline unwinds. Cancelling an
-// already-terminal job is a no-op reporting the current state.
-func (e *Engine) Cancel(id string) (JobState, error) {
+// already-terminal job is a no-op reporting the current state with
+// alreadyTerminal set (the HTTP layer's 409).
+func (e *Engine) Cancel(id string) (state JobState, alreadyTerminal bool, err error) {
 	j, err := e.Get(id)
 	if err != nil {
-		return "", err
+		return "", false, err
 	}
 	j.mu.Lock()
 	switch j.state {
@@ -349,7 +434,10 @@ func (e *Engine) Cancel(id string) (JobState, error) {
 		j.mu.Unlock()
 		close(j.done)
 		e.cancelled.Add(1)
-		return JobCancelled, nil
+		if e.cfg.Journal != nil {
+			e.cfg.Journal.JournalEnd(id, JobCancelled, "cancelled by client")
+		}
+		return JobCancelled, false, nil
 	case JobRunning:
 		j.cancelRequested = true
 		cancel := j.cancel
@@ -358,11 +446,11 @@ func (e *Engine) Cancel(id string) (JobState, error) {
 		if cancel != nil {
 			cancel()
 		}
-		return state, nil
+		return state, false, nil
 	default:
 		state := j.state
 		j.mu.Unlock()
-		return state, nil
+		return state, true, nil
 	}
 }
 
@@ -421,6 +509,9 @@ func (e *Engine) runJob(j *Job) {
 	j.cancel = cancel
 	j.mu.Unlock()
 
+	if e.cfg.Journal != nil {
+		e.cfg.Journal.JournalStart(j.ID)
+	}
 	e.running.Add(1)
 	outcome, err := e.run(ctx, j.Spec)
 	e.running.Add(-1)
@@ -432,18 +523,27 @@ func (e *Engine) runJob(j *Job) {
 			e.cfg.Aggregate.Add(outcome.Stats())
 		}
 		e.completed.Add(1)
-		j.finish(JobDone, outcome, "")
+		e.finishJob(j, JobDone, outcome, "")
 	case errors.Is(err, context.Canceled):
 		// context.Canceled reaches a job only through Cancel or the
 		// shutdown drain deadline — both are cancellations, not failures.
 		e.cancelled.Add(1)
-		j.finish(JobCancelled, nil, err.Error())
+		e.finishJob(j, JobCancelled, nil, err.Error())
 	case errors.Is(err, context.DeadlineExceeded):
 		e.failed.Add(1)
-		j.finish(JobFailed, nil, fmt.Sprintf("deadline exceeded after %s", j.Spec.Timeout))
+		e.finishJob(j, JobFailed, nil, fmt.Sprintf("deadline exceeded after %s", j.Spec.Timeout))
 	default:
 		e.failed.Add(1)
-		j.finish(JobFailed, nil, err.Error())
+		e.finishJob(j, JobFailed, nil, err.Error())
+	}
+}
+
+// finishJob records the terminal transition in memory and in the
+// journal (which releases the job's snapshot pin on disk).
+func (e *Engine) finishJob(j *Job, state JobState, outcome *JobOutcome, errMsg string) {
+	j.finish(state, outcome, errMsg)
+	if e.cfg.Journal != nil {
+		e.cfg.Journal.JournalEnd(j.ID, state, errMsg)
 	}
 }
 
@@ -452,11 +552,12 @@ func (e *Engine) runJob(j *Job) {
 // first — cancels every in-flight job and waits for the workers to
 // unwind. Remaining queued jobs are terminally cancelled. Shutdown
 // returns ctx.Err() when the drain deadline was hit, nil on a clean
-// drain. It must be called exactly once.
+// drain. Calls after the first wait for the same drain.
 func (e *Engine) Shutdown(ctx context.Context) error {
 	e.mu.Lock()
-	e.closed.Store(true)
-	close(e.queue)
+	if !e.closed.Swap(true) {
+		close(e.queue)
+	}
 	e.mu.Unlock()
 
 	drained := make(chan struct{})
@@ -497,6 +598,11 @@ func (e *Engine) markQueuedCancelled() {
 			j.mu.Unlock()
 			close(j.done)
 			e.cancelled.Add(1)
+			// Journal the cancellation: the API reported these jobs
+			// cancelled, so a restart must not resurrect them.
+			if e.cfg.Journal != nil {
+				e.cfg.Journal.JournalEnd(j.ID, JobCancelled, ErrShuttingDown.Error())
+			}
 			continue
 		}
 		j.mu.Unlock()

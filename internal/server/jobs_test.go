@@ -73,7 +73,7 @@ func TestEngineRunsJobToDone(t *testing.T) {
 	e := NewEngine(EngineConfig{Workers: 1, QueueSize: 4, Run: f.run, Aggregate: agg})
 	defer shutdownClean(t, e)
 
-	j, err := e.Submit(JobSpec{Snapshot: testSnapshot("d")})
+	j, _, err := e.Submit(JobSpec{Snapshot: testSnapshot("d")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,19 +107,19 @@ func TestEngineQueueFull(t *testing.T) {
 	defer shutdownClean(t, e)
 
 	// First job occupies the worker; second fills the queue slot.
-	j1, err := e.Submit(JobSpec{Snapshot: testSnapshot("a")})
+	j1, _, err := e.Submit(JobSpec{Snapshot: testSnapshot("a")})
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-f.started
-	j2, err := e.Submit(JobSpec{Snapshot: testSnapshot("b")})
+	j2, _, err := e.Submit(JobSpec{Snapshot: testSnapshot("b")})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !e.Saturated() {
 		t.Fatal("queue should be saturated")
 	}
-	if _, err := e.Submit(JobSpec{Snapshot: testSnapshot("c")}); !errors.Is(err, ErrQueueFull) {
+	if _, _, err := e.Submit(JobSpec{Snapshot: testSnapshot("c")}); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third submit err = %v, want ErrQueueFull", err)
 	}
 	if e.Counters().Rejected != 1 {
@@ -137,11 +137,11 @@ func TestEngineCancelQueuedJob(t *testing.T) {
 	e := NewEngine(EngineConfig{Workers: 1, QueueSize: 2, Run: f.run})
 	defer shutdownClean(t, e)
 
-	running, _ := e.Submit(JobSpec{Snapshot: testSnapshot("a")})
+	running, _, _ := e.Submit(JobSpec{Snapshot: testSnapshot("a")})
 	<-f.started
-	queued, _ := e.Submit(JobSpec{Snapshot: testSnapshot("b")})
+	queued, _, _ := e.Submit(JobSpec{Snapshot: testSnapshot("b")})
 
-	state, err := e.Cancel(queued.ID)
+	state, _, err := e.Cancel(queued.ID)
 	if err != nil || state != JobCancelled {
 		t.Fatalf("cancel queued: state=%s err=%v", state, err)
 	}
@@ -169,9 +169,9 @@ func TestEngineCancelRunningJob(t *testing.T) {
 	e := NewEngine(EngineConfig{Workers: 1, QueueSize: 2, Run: f.run})
 	defer shutdownClean(t, e)
 
-	j, _ := e.Submit(JobSpec{Snapshot: testSnapshot("a")})
+	j, _, _ := e.Submit(JobSpec{Snapshot: testSnapshot("a")})
 	<-f.started
-	if _, err := e.Cancel(j.ID); err != nil {
+	if _, _, err := e.Cancel(j.ID); err != nil {
 		t.Fatal(err)
 	}
 	waitDone(t, j) // fake returns ctx.Err() on context cancellation
@@ -179,9 +179,9 @@ func TestEngineCancelRunningJob(t *testing.T) {
 		t.Fatalf("state = %s, want cancelled", j.State())
 	}
 	// Cancelling a terminal job is a no-op reporting the state.
-	state, err := e.Cancel(j.ID)
-	if err != nil || state != JobCancelled {
-		t.Fatalf("re-cancel: state=%s err=%v", state, err)
+	state, already, err := e.Cancel(j.ID)
+	if err != nil || state != JobCancelled || !already {
+		t.Fatalf("re-cancel: state=%s already=%t err=%v", state, already, err)
 	}
 }
 
@@ -190,7 +190,7 @@ func TestEngineJobDeadline(t *testing.T) {
 	e := NewEngine(EngineConfig{Workers: 1, QueueSize: 2, Run: f.run})
 	defer shutdownClean(t, e)
 
-	j, _ := e.Submit(JobSpec{Snapshot: testSnapshot("a"), Timeout: 20 * time.Millisecond})
+	j, _, _ := e.Submit(JobSpec{Snapshot: testSnapshot("a"), Timeout: 20 * time.Millisecond})
 	<-f.started
 	waitDone(t, j)
 	if j.State() != JobFailed {
@@ -210,7 +210,7 @@ func TestEngineRunFailure(t *testing.T) {
 	e := NewEngine(EngineConfig{Workers: 1, QueueSize: 2, Run: f.run})
 	defer shutdownClean(t, e)
 
-	j, _ := e.Submit(JobSpec{Snapshot: testSnapshot("a")})
+	j, _, _ := e.Submit(JobSpec{Snapshot: testSnapshot("a")})
 	<-f.started
 	f.release <- struct{}{}
 	waitDone(t, j)
@@ -228,7 +228,7 @@ func TestEngineUnknownJob(t *testing.T) {
 	if _, err := e.Get("job-404"); !errors.Is(err, ErrUnknownJob) {
 		t.Fatalf("Get err = %v, want ErrUnknownJob", err)
 	}
-	if _, err := e.Cancel("job-404"); !errors.Is(err, ErrUnknownJob) {
+	if _, _, err := e.Cancel("job-404"); !errors.Is(err, ErrUnknownJob) {
 		t.Fatalf("Cancel err = %v, want ErrUnknownJob", err)
 	}
 }
@@ -240,7 +240,7 @@ func TestEngineHistoryEviction(t *testing.T) {
 
 	var jobs []*Job
 	for i := 0; i < 4; i++ {
-		j, err := e.Submit(JobSpec{Snapshot: testSnapshot("d")})
+		j, _, err := e.Submit(JobSpec{Snapshot: testSnapshot("d")})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -267,8 +267,8 @@ func TestEngineShutdownDrainsCleanly(t *testing.T) {
 	f := newFakeRunner()
 	e := NewEngine(EngineConfig{Workers: 1, QueueSize: 4, Run: f.run})
 
-	running, _ := e.Submit(JobSpec{Snapshot: testSnapshot("a")})
-	queued, _ := e.Submit(JobSpec{Snapshot: testSnapshot("b")})
+	running, _, _ := e.Submit(JobSpec{Snapshot: testSnapshot("a")})
+	queued, _, _ := e.Submit(JobSpec{Snapshot: testSnapshot("b")})
 	<-f.started
 
 	// Release both jobs as the workers reach them, then shut down.
@@ -285,7 +285,7 @@ func TestEngineShutdownDrainsCleanly(t *testing.T) {
 	if running.State() != JobDone || queued.State() != JobDone {
 		t.Fatalf("states after drain: %s / %s, want done/done", running.State(), queued.State())
 	}
-	if _, err := e.Submit(JobSpec{Snapshot: testSnapshot("c")}); !errors.Is(err, ErrShuttingDown) {
+	if _, _, err := e.Submit(JobSpec{Snapshot: testSnapshot("c")}); !errors.Is(err, ErrShuttingDown) {
 		t.Fatalf("submit after shutdown err = %v, want ErrShuttingDown", err)
 	}
 }
@@ -297,8 +297,8 @@ func TestEngineShutdownDeadlineCancels(t *testing.T) {
 	f := newFakeRunner()
 	e := NewEngine(EngineConfig{Workers: 1, QueueSize: 4, Run: f.run})
 
-	running, _ := e.Submit(JobSpec{Snapshot: testSnapshot("a")})
-	queued, _ := e.Submit(JobSpec{Snapshot: testSnapshot("b")})
+	running, _, _ := e.Submit(JobSpec{Snapshot: testSnapshot("a")})
+	queued, _, _ := e.Submit(JobSpec{Snapshot: testSnapshot("b")})
 	<-f.started // the running job now blocks forever (never released)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)

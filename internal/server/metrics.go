@@ -46,6 +46,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeMetric("", "", "tdacd_jobs_total", float64(c.Cancelled), `event="cancelled"`)
 	writeMetric("", "", "tdacd_jobs_total", float64(c.Rejected), `event="rejected"`)
 
+	if s.store != nil {
+		st := s.store.Stats()
+		writeMetric("WAL records appended.", "counter",
+			"tdacd_wal_appends_total", float64(st.Appends), "")
+		writeMetric("WAL fsyncs issued.", "counter",
+			"tdacd_wal_syncs_total", float64(st.Syncs), "")
+		writeMetric("WAL compactions performed.", "counter",
+			"tdacd_wal_compactions_total", float64(st.Compactions), "")
+		writeMetric("Record bytes accumulated since the last snapshot.", "gauge",
+			"tdacd_wal_since_snapshot_bytes", float64(st.SinceSnapshot), "")
+		failed := 0.0
+		if s.store.Failed() != nil {
+			failed = 1
+		}
+		writeMetric("Sticky WAL durability failure (1 = writes are failing).", "gauge",
+			"tdacd_wal_failed", failed, "")
+	}
+
 	snap := s.agg.Snapshot()
 	writeMetric("Finished jobs whose run stats were aggregated.", "counter",
 		"tdacd_runs_total", float64(snap.Runs), "")

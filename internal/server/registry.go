@@ -82,6 +82,14 @@ type entry struct {
 	snap *Snapshot
 }
 
+// registryJournal persists committed registry mutations. Both calls
+// gate the install: a version is published only after its record is
+// durable. *Store implements it.
+type registryJournal interface {
+	JournalCreate(name string, d *truthdata.Dataset) error
+	JournalAppend(snap *Snapshot, claims []ClaimInput, truth []TruthInput) error
+}
+
 // Registry is the versioned dataset store. All methods are safe for
 // concurrent use.
 type Registry struct {
@@ -89,6 +97,9 @@ type Registry struct {
 	entries map[string]*entry
 	// maxDatasets bounds Create/load (0 = unbounded).
 	maxDatasets int
+	// journal, when set, makes every mutation durable before it is
+	// published (set once at assembly, before the registry serves).
+	journal registryJournal
 }
 
 // NewRegistry returns an empty registry capped at maxDatasets names
@@ -136,8 +147,23 @@ func (r *Registry) Create(name string, d *truthdata.Dataset) error {
 	if r.maxDatasets > 0 && len(r.entries) >= r.maxDatasets {
 		return fmt.Errorf("%w (cap %d)", ErrRegistryFull, r.maxDatasets)
 	}
+	if r.journal != nil {
+		// Journal-before-install: an acknowledged create must survive a
+		// crash, so the durable record gates publication.
+		if err := r.journal.JournalCreate(name, d); err != nil {
+			return err
+		}
+	}
 	r.entries[name] = &entry{snap: &Snapshot{Dataset: name, Version: 1, Data: d}}
 	return nil
+}
+
+// install publishes a recovered snapshot directly, bypassing validation
+// and journaling (it was journaled in a previous life). Recovery only.
+func (r *Registry) install(snap *Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[snap.Dataset] = &entry{snap: snap}
 }
 
 // lookup returns the entry for name.
@@ -204,6 +230,13 @@ func (r *Registry) Append(name string, claims []ClaimInput, truth []TruthInput) 
 		return nil, err
 	}
 	snap := &Snapshot{Dataset: name, Version: e.snap.Version + 1, Data: next}
+	if r.journal != nil {
+		// Journal-before-install, under the entry mutex: the log's total
+		// order matches the version order, which recovery relies on.
+		if err := r.journal.JournalAppend(snap, claims, truth); err != nil {
+			return nil, err
+		}
+	}
 	e.snap = snap
 	return snap, nil
 }

@@ -2,7 +2,9 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -10,8 +12,10 @@ import (
 
 	"tdac"
 	"tdac/internal/algorithms"
+	"tdac/internal/fault"
 	"tdac/internal/obs"
 	"tdac/internal/truthdata"
+	"tdac/internal/wal"
 )
 
 // Config sizes and hardens one Server. The zero value is usable; every
@@ -38,8 +42,28 @@ type Config struct {
 	// EnablePprof mounts /debug/pprof (off by default: profiling
 	// endpoints are opt-in, they expose internals).
 	EnablePprof bool
+
+	// DataDir enables crash-safe persistence: every committed mutation is
+	// journaled to a WAL under this directory and replayed on startup.
+	// Empty keeps the server fully in-memory (exactly the pre-WAL
+	// behavior).
+	DataDir string
+	// Fsync is the WAL durability policy (default wal.SyncAlways).
+	Fsync wal.SyncMode
+	// FsyncInterval is the wal.SyncInterval flush period.
+	FsyncInterval time.Duration
+	// SegmentBytes is the WAL segment rotation size (0 = wal default).
+	SegmentBytes int64
+	// CompactBytes triggers a WAL snapshot once the log grows past it
+	// (default 1 MiB).
+	CompactBytes int64
+
 	// run substitutes the job runner in tests; nil = real pipeline.
 	run RunFunc
+	// fs and clock substitute the WAL's filesystem and clock in tests
+	// (fault injection); nil = the real ones.
+	fs    fault.FS
+	clock fault.Clock
 }
 
 // withDefaults fills unset fields.
@@ -68,36 +92,104 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the tdacd application: registry + engine + HTTP surface.
+// Server is the tdacd application: registry + engine + HTTP surface,
+// with an optional WAL-backed store underneath.
 type Server struct {
 	cfg      Config
 	registry *Registry
 	engine   *Engine
+	store    *Store // nil in in-memory mode
 	agg      *obs.Aggregate
 	handler  http.Handler
 	started  time.Time
+	// recovered describes what startup replayed from the WAL (nil in
+	// in-memory mode; cmd/tdacd logs it).
+	recovered *RecoveredState
 }
 
-// New assembles a Server and starts its worker pool. Call Shutdown to
-// stop it.
-func New(cfg Config) *Server {
+// New assembles a Server and starts its worker pool. With
+// Config.DataDir set it first recovers the journaled state — datasets,
+// their versions and every job that reached the queue — and re-enqueues
+// the interrupted jobs. Call Shutdown to stop it.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	agg := obs.NewAggregate()
 	s := &Server{
-		cfg:      cfg,
-		registry: NewRegistry(cfg.MaxDatasets),
-		agg:      agg,
-		started:  time.Now(),
+		cfg:     cfg,
+		agg:     agg,
+		started: time.Now(),
 	}
+
+	if cfg.DataDir != "" {
+		store, state, err := openStore(storeConfig{
+			Dir:          cfg.DataDir,
+			FS:           cfg.fs,
+			Clock:        cfg.clock,
+			Mode:         cfg.Fsync,
+			Interval:     cfg.FsyncInterval,
+			SegmentBytes: cfg.SegmentBytes,
+			CompactBytes: cfg.CompactBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: opening data dir %s: %w", cfg.DataDir, err)
+		}
+		s.store = store
+		s.recovered = state
+	}
+
+	s.registry = NewRegistry(cfg.MaxDatasets)
+	queueSize := cfg.QueueSize
+	var journal jobJournal
+	if s.store != nil {
+		for _, snap := range s.recovered.Datasets {
+			s.registry.install(snap)
+		}
+		// Every recovered job must re-enqueue even if the configured
+		// queue shrank since the last run.
+		if n := len(s.recovered.Jobs); n > queueSize {
+			queueSize = n
+		}
+		s.registry.journal = s.store
+		journal = s.store
+	}
+
 	s.engine = NewEngine(EngineConfig{
 		Workers:   cfg.Workers,
-		QueueSize: cfg.QueueSize,
+		QueueSize: queueSize,
 		MaxJobs:   cfg.MaxJobs,
 		Run:       cfg.run,
 		Aggregate: agg,
+		Journal:   journal,
 	})
+	if s.store != nil {
+		s.engine.setNextSeq(s.recovered.NextJob)
+		for _, rj := range s.recovered.Jobs {
+			spec, err := s.specFromRecovered(rj)
+			if err != nil {
+				_ = s.engine.Shutdown(context.Background())
+				_ = s.store.Close()
+				return nil, fmt.Errorf("server: rebuilding recovered job %s: %w", rj.ID, err)
+			}
+			s.engine.resume(rj.ID, *spec)
+		}
+	}
 	s.handler = s.buildHandler()
-	return s
+	return s, nil
+}
+
+// specFromRecovered rebuilds a job spec from its journaled request and
+// pinned snapshot.
+func (s *Server) specFromRecovered(rj RecoveredJob) (*JobSpec, error) {
+	var req discoverRequest
+	if err := json.Unmarshal(rj.Request, &req); err != nil {
+		return nil, fmt.Errorf("decoding journaled request: %w", err)
+	}
+	spec, err := s.buildSpec(rj.Snapshot, &req)
+	if err != nil {
+		return nil, err
+	}
+	spec.Key = rj.Key
+	return spec, nil
 }
 
 // Registry exposes the dataset store (preloading, tests).
@@ -106,14 +198,28 @@ func (s *Server) Registry() *Registry { return s.registry }
 // Engine exposes the job engine (tests, metrics).
 func (s *Server) Engine() *Engine { return s.engine }
 
+// Store exposes the durability layer, nil in in-memory mode.
+func (s *Server) Store() *Store { return s.store }
+
+// Recovered describes what startup replayed from the WAL, nil in
+// in-memory mode.
+func (s *Server) Recovered() *RecoveredState { return s.recovered }
+
 // Handler returns the fully middleware-wrapped HTTP handler.
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// Shutdown gracefully stops the job engine; see Engine.Shutdown for the
-// drain semantics. The HTTP listener itself is owned by the caller
-// (cmd/tdacd pairs this with http.Server.Shutdown).
+// Shutdown gracefully stops the job engine (see Engine.Shutdown for the
+// drain semantics) and then closes the WAL, flushing any buffered
+// appends. The HTTP listener itself is owned by the caller (cmd/tdacd
+// pairs this with http.Server.Shutdown).
 func (s *Server) Shutdown(ctx context.Context) error {
-	return s.engine.Shutdown(ctx)
+	err := s.engine.Shutdown(ctx)
+	if s.store != nil {
+		if cerr := s.store.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // buildHandler mounts the API under the robustness middleware.
@@ -243,6 +349,8 @@ func (s *Server) writeRegistryError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 	case IsBadInput(err):
 		writeError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, ErrDurability):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	default:
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
@@ -276,6 +384,11 @@ type discoverRequest struct {
 	// TimeoutMS overrides the per-job deadline, capped at the server's
 	// configured JobTimeout.
 	TimeoutMS int64 `json:"timeout_ms"`
+	// Key is an optional client-supplied idempotency key: resubmitting
+	// with the key of a retained job returns that job (200) instead of
+	// enqueuing a duplicate (202). This is what makes client retries of
+	// a submit safe.
+	Key string `json:"key"`
 }
 
 // jobView is the wire form of one job.
@@ -335,12 +448,17 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "dataset %q is empty: ingest claims before discovering", snap.Dataset)
 		return
 	}
-	job, err := s.engine.Submit(*spec)
+	job, created, err := s.engine.Submit(*spec)
 	if err != nil {
 		s.writeEngineError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, s.viewOf(job))
+	status := http.StatusAccepted
+	if !created {
+		// Idempotent resubmit: the key matched a retained job.
+		status = http.StatusOK
+	}
+	writeJSON(w, status, s.viewOf(job))
 }
 
 // buildSpec validates a discover request into a JobSpec; errors are
@@ -409,12 +527,23 @@ func (s *Server) buildSpec(snap *Snapshot, req *discoverRequest) (*JobSpec, erro
 			timeout = requested
 		}
 	}
+	if len(req.Key) > 128 {
+		return nil, errors.New("key exceeds 128 characters")
+	}
+	// The canonical request form is journaled with the submit so a
+	// restarted server can rebuild the job through this same function.
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encoding request: %w", err)
+	}
 	return &JobSpec{
 		Snapshot:  snap,
 		Mode:      mode,
 		Algorithm: alg,
 		Options:   opts,
 		Timeout:   timeout,
+		Key:       req.Key,
+		Request:   raw,
 	}, nil
 }
 
@@ -428,6 +557,8 @@ func (s *Server) writeEngineError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, ErrUnknownJob):
 		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrDurability):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	default:
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
@@ -454,12 +585,23 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
-	_, err := s.engine.Cancel(r.PathValue("id"))
+	id := r.PathValue("id")
+	state, alreadyTerminal, err := s.engine.Cancel(id)
 	if err != nil {
 		s.writeEngineError(w, err)
 		return
 	}
-	j, err := s.engine.Get(r.PathValue("id"))
+	if alreadyTerminal {
+		// Cancelling a finished job is a conflict, not a success: the
+		// body carries the terminal state so the client learns what
+		// actually happened to the job.
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": fmt.Sprintf("job %q is already terminal", id),
+			"state": state,
+		})
+		return
+	}
+	j, err := s.engine.Get(id)
 	if err != nil {
 		s.writeEngineError(w, err)
 		return
@@ -559,16 +701,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleReadyz gates load balancing: not ready while shutting down or
-// while the job queue is saturated (new discoveries would only 429).
+// handleReadyz gates load balancing: not ready while shutting down,
+// while the WAL is failed (writes would only 503), or while the job
+// queue is saturated (new discoveries would only 429). 503 responses
+// carry Retry-After and the current queue depth so clients and probes
+// can back off intelligently.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	depth, capacity := s.engine.QueueDepth(), s.engine.QueueCapacity()
+	notReady := func(reason string) {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":          reason,
+			"queue_depth":    depth,
+			"queue_capacity": capacity,
+		})
+	}
 	switch {
 	case s.engine.ShuttingDown():
-		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		notReady("shutting down")
+	case s.store != nil && s.store.Failed() != nil:
+		notReady(fmt.Sprintf("durability failure: %v", s.store.Failed()))
 	case s.engine.Saturated():
-		writeError(w, http.StatusServiceUnavailable, "job queue saturated (%d/%d)",
-			s.engine.QueueDepth(), s.engine.QueueCapacity())
+		notReady(fmt.Sprintf("job queue saturated (%d/%d)", depth, capacity))
 	default:
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":         "ready",
+			"queue_depth":    depth,
+			"queue_capacity": capacity,
+		})
 	}
 }

@@ -32,7 +32,10 @@ func examFixture(t *testing.T) *truthdata.Dataset {
 // httptest frontend, and tears both down with the test.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -419,7 +422,10 @@ func TestServerIngestAfterSubmitDoesNotAffectJob(t *testing.T) {
 // 503 and readyz reports not-ready, while a running job drains.
 func TestServerShutdownRefusesNewWork(t *testing.T) {
 	f := newFakeRunner()
-	s := New(Config{Workers: 1, QueueSize: 4, run: f.run})
+	s, err := New(Config{Workers: 1, QueueSize: 4, run: f.run})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {

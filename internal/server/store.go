@@ -1,0 +1,588 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tdac/internal/fault"
+	"tdac/internal/truthdata"
+	"tdac/internal/wal"
+)
+
+// ErrDurability wraps WAL failures so handlers can map "the disk is
+// broken" onto 503 instead of a generic 500.
+var ErrDurability = errors.New("durability failure")
+
+// Store is the durability layer between the in-memory registry/engine
+// and the write-ahead log. Every committed mutation — dataset creation,
+// ingested batch, job submit/start/terminal transition — is journaled
+// before it is acknowledged, and the store keeps a shadow copy of the
+// recoverable state so compaction can serialize a snapshot without
+// touching registry or engine locks (lock order is always caller →
+// store, never the reverse).
+type Store struct {
+	mu  sync.Mutex
+	log *wal.Log
+	// compactBytes triggers a snapshot once the log grows past it.
+	compactBytes int64
+
+	// Shadow state, updated on every journaled record.
+	datasets map[string]*Snapshot  // latest version per name
+	pending  map[string]*storedJob // jobs not yet terminal
+	order    []string              // pending submit order
+	maxJob   int                   // highest job sequence journaled
+
+	failedErr error // sticky: first journaling failure
+	closed    bool
+}
+
+// storedJob is the shadow of one non-terminal job.
+type storedJob struct {
+	Key     string
+	Snap    *Snapshot
+	Request json.RawMessage
+}
+
+// RecoveredJob is one job that reached the queue before a restart and
+// must run (or run again) after it.
+type RecoveredJob struct {
+	ID  string
+	Key string
+	// Snapshot is the pinned dataset version, reconstructed bit-identically.
+	Snapshot *Snapshot
+	// Request is the submitted discover request, replayed through
+	// buildSpec to rebuild the job's options.
+	Request json.RawMessage
+}
+
+// RecoveredState is what a Store found in its data directory.
+type RecoveredState struct {
+	// Datasets holds the latest snapshot of every dataset, sorted by name.
+	Datasets []*Snapshot
+	// Jobs are the non-terminal jobs in submit order.
+	Jobs []RecoveredJob
+	// NextJob is the highest job sequence number ever assigned.
+	NextJob int
+	// Truncated reports that the log had a corrupt tail (recovery kept
+	// the longest valid prefix).
+	Truncated bool
+}
+
+// storeConfig configures openStore.
+type storeConfig struct {
+	Dir          string
+	FS           fault.FS
+	Clock        fault.Clock
+	Mode         wal.SyncMode
+	Interval     time.Duration
+	SegmentBytes int64
+	CompactBytes int64
+}
+
+// walRecord is the JSON journal record. T selects the shape:
+//
+//	create: Name, Dataset (truthdata JSON), Version (always 1)
+//	append: Name, Claims, Truth, Version (the resulting version)
+//	submit: ID, Key, Name, Version (pinned), Request
+//	start:  ID
+//	end:    ID, State, Error
+type walRecord struct {
+	T       string          `json:"t"`
+	Name    string          `json:"name,omitempty"`
+	Dataset json.RawMessage `json:"dataset,omitempty"`
+	Claims  []ClaimInput    `json:"claims,omitempty"`
+	Truth   []TruthInput    `json:"truth,omitempty"`
+	Version int             `json:"version,omitempty"`
+	ID      string          `json:"id,omitempty"`
+	Key     string          `json:"key,omitempty"`
+	Request json.RawMessage `json:"request,omitempty"`
+	State   string          `json:"state,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// snapDataset is one dataset version inside a compaction snapshot.
+type snapDataset struct {
+	Name    string          `json:"name"`
+	Version int             `json:"version"`
+	Data    json.RawMessage `json:"data"`
+}
+
+// snapJob is one pending job inside a compaction snapshot.
+type snapJob struct {
+	ID      string          `json:"id"`
+	Key     string          `json:"key,omitempty"`
+	Dataset string          `json:"dataset"`
+	Version int             `json:"version"`
+	Request json.RawMessage `json:"request"`
+}
+
+// storeSnapshot is the compaction snapshot: the full recoverable state
+// at one point in the log.
+type storeSnapshot struct {
+	// Datasets is the latest version of every dataset.
+	Datasets []snapDataset `json:"datasets"`
+	// Pinned holds historical versions still referenced by pending jobs.
+	Pinned []snapDataset `json:"pinned,omitempty"`
+	// Jobs are the pending jobs in submit order.
+	Jobs    []snapJob `json:"jobs,omitempty"`
+	NextJob int       `json:"next_job"`
+}
+
+// pinKey identifies one dataset version.
+type pinKey struct {
+	name    string
+	version int
+}
+
+// encodeDataset renders a dataset as its canonical JSON (the
+// bit-identical reference form used by recovery tests).
+func encodeDataset(d *truthdata.Dataset) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := truthdata.WriteJSON(&buf, d); err != nil {
+		return nil, err
+	}
+	return bytes.TrimSpace(buf.Bytes()), nil
+}
+
+func decodeDataset(raw json.RawMessage) (*truthdata.Dataset, error) {
+	return truthdata.ReadJSON(bytes.NewReader(raw))
+}
+
+// jobSeq parses the numeric suffix of an engine job ID ("job-17" → 17).
+func jobSeq(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// openStore opens (or creates) the WAL in cfg.Dir and replays it into a
+// RecoveredState. The store is ready for journaling when it returns.
+func openStore(cfg storeConfig) (*Store, *RecoveredState, error) {
+	if cfg.CompactBytes <= 0 {
+		cfg.CompactBytes = 1 << 20
+	}
+	l, rec, err := wal.Open(cfg.Dir, wal.Options{
+		FS:           cfg.FS,
+		Clock:        cfg.Clock,
+		Mode:         cfg.Mode,
+		Interval:     cfg.Interval,
+		SegmentBytes: cfg.SegmentBytes,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Store{
+		log:          l,
+		compactBytes: cfg.CompactBytes,
+		datasets:     make(map[string]*Snapshot),
+		pending:      make(map[string]*storedJob),
+	}
+	state, err := s.replay(rec)
+	if err != nil {
+		_ = l.Close()
+		return nil, nil, err
+	}
+	if rec.Truncated {
+		// A torn suffix survived on disk. Compact once so the snapshot
+		// supersedes the damaged segment: the garbage is deleted and the
+		// next recovery starts clean instead of re-reporting truncation
+		// on every restart.
+		if err := s.Compact(); err != nil {
+			_ = l.Close()
+			return nil, nil, err
+		}
+	}
+	return s, state, nil
+}
+
+// replay rebuilds the shadow state from a recovered snapshot plus the
+// records after it, and materializes the RecoveredState handed to the
+// registry and engine.
+func (s *Store) replay(rec *wal.Recovered) (*RecoveredState, error) {
+	// Baseline: the compaction snapshot, if any.
+	pinnedData := make(map[pinKey]*truthdata.Dataset)
+	if rec.Snapshot != nil {
+		var snap storeSnapshot
+		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
+			return nil, fmt.Errorf("server: decoding wal snapshot: %w", err)
+		}
+		for _, sd := range snap.Datasets {
+			d, err := decodeDataset(sd.Data)
+			if err != nil {
+				return nil, fmt.Errorf("server: decoding dataset %q v%d: %w", sd.Name, sd.Version, err)
+			}
+			s.datasets[sd.Name] = &Snapshot{Dataset: sd.Name, Version: sd.Version, Data: d}
+		}
+		for _, sd := range snap.Pinned {
+			d, err := decodeDataset(sd.Data)
+			if err != nil {
+				return nil, fmt.Errorf("server: decoding pinned dataset %q v%d: %w", sd.Name, sd.Version, err)
+			}
+			pinnedData[pinKey{sd.Name, sd.Version}] = d
+		}
+		for _, sj := range snap.Jobs {
+			pinned, err := s.resolvePin(sj.Dataset, sj.Version, pinnedData)
+			if err != nil {
+				return nil, fmt.Errorf("server: snapshot job %s: %w", sj.ID, err)
+			}
+			s.pending[sj.ID] = &storedJob{Key: sj.Key, Snap: pinned, Request: sj.Request}
+			s.order = append(s.order, sj.ID)
+		}
+		s.maxJob = snap.NextJob
+	}
+
+	// Pass 1 over the tail: which (dataset, version) pins must be
+	// captured while replaying? Exactly those referenced by submits with
+	// no terminal record. (A submit always follows the append that
+	// produced its pinned version in the log's total order, so a
+	// surviving submit implies a surviving pin history.)
+	records := make([]walRecord, 0, len(rec.Records))
+	terminal := make(map[string]bool)
+	for i, raw := range rec.Records {
+		var r walRecord
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, fmt.Errorf("server: decoding wal record %d: %w", i, err)
+		}
+		records = append(records, r)
+		if r.T == "end" {
+			terminal[r.ID] = true
+		}
+	}
+	wantPin := make(map[pinKey]bool)
+	for _, r := range records {
+		if r.T == "submit" && !terminal[r.ID] {
+			wantPin[pinKey{r.Name, r.Version}] = true
+		}
+	}
+
+	// Pass 2: replay in order.
+	for i, r := range records {
+		switch r.T {
+		case "create":
+			d, err := decodeDataset(r.Dataset)
+			if err != nil {
+				return nil, fmt.Errorf("server: record %d: decoding created dataset %q: %w", i, r.Name, err)
+			}
+			snap := &Snapshot{Dataset: r.Name, Version: 1, Data: d}
+			s.datasets[r.Name] = snap
+			if wantPin[pinKey{r.Name, 1}] {
+				pinnedData[pinKey{r.Name, 1}] = d
+			}
+		case "append":
+			cur, ok := s.datasets[r.Name]
+			if !ok {
+				return nil, fmt.Errorf("server: record %d: append to unknown dataset %q", i, r.Name)
+			}
+			next, err := appendBatch(cur.Data, r.Claims, r.Truth)
+			if err != nil {
+				// The batch was validated before it was journaled; replay
+				// re-deriving a different answer means the log and the code
+				// disagree — refuse to serve made-up state.
+				return nil, fmt.Errorf("server: record %d: replaying batch into %q: %w", i, r.Name, err)
+			}
+			version := cur.Version + 1
+			if r.Version != 0 && r.Version != version {
+				return nil, fmt.Errorf("server: record %d: append to %q replays as v%d, journal says v%d",
+					i, r.Name, version, r.Version)
+			}
+			snap := &Snapshot{Dataset: r.Name, Version: version, Data: next}
+			s.datasets[r.Name] = snap
+			if wantPin[pinKey{r.Name, version}] {
+				pinnedData[pinKey{r.Name, version}] = next
+			}
+		case "submit":
+			if terminal[r.ID] {
+				// Already finished; nothing to recover.
+				if seq, ok := jobSeq(r.ID); ok && seq > s.maxJob {
+					s.maxJob = seq
+				}
+				continue
+			}
+			pinned, err := s.resolvePin(r.Name, r.Version, pinnedData)
+			if err != nil {
+				return nil, fmt.Errorf("server: record %d: job %s: %w", i, r.ID, err)
+			}
+			s.pending[r.ID] = &storedJob{Key: r.Key, Snap: pinned, Request: r.Request}
+			s.order = append(s.order, r.ID)
+			if seq, ok := jobSeq(r.ID); ok && seq > s.maxJob {
+				s.maxJob = seq
+			}
+		case "start":
+			// A started job with no terminal record was interrupted; it
+			// stays pending and re-runs from its pinned snapshot.
+		case "end":
+			if _, ok := s.pending[r.ID]; ok {
+				delete(s.pending, r.ID)
+			}
+		default:
+			return nil, fmt.Errorf("server: record %d: unknown journal record type %q", i, r.T)
+		}
+	}
+
+	state := &RecoveredState{NextJob: s.maxJob, Truncated: rec.Truncated}
+	names := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		state.Datasets = append(state.Datasets, s.datasets[n])
+	}
+	s.compactOrderLocked()
+	for _, id := range s.order {
+		j := s.pending[id]
+		state.Jobs = append(state.Jobs, RecoveredJob{
+			ID: id, Key: j.Key, Snapshot: j.Snap, Request: j.Request,
+		})
+	}
+	return state, nil
+}
+
+// resolvePin finds the dataset content a job pinned: the latest version
+// if it still is the latest, or a captured historical version.
+func (s *Store) resolvePin(name string, version int, pinnedData map[pinKey]*truthdata.Dataset) (*Snapshot, error) {
+	if cur, ok := s.datasets[name]; ok && cur.Version == version {
+		return cur, nil
+	}
+	if d, ok := pinnedData[pinKey{name, version}]; ok {
+		return &Snapshot{Dataset: name, Version: version, Data: d}, nil
+	}
+	return nil, fmt.Errorf("pinned dataset %q v%d is unrecoverable", name, version)
+}
+
+// compactOrderLocked drops terminal job IDs from the order slice.
+func (s *Store) compactOrderLocked() {
+	live := s.order[:0]
+	for _, id := range s.order {
+		if _, ok := s.pending[id]; ok {
+			live = append(live, id)
+		}
+	}
+	s.order = live
+}
+
+// appendRecord journals one record and updates the compaction trigger.
+// The caller must hold s.mu.
+func (s *Store) appendRecordLocked(r walRecord) error {
+	if s.closed {
+		return fmt.Errorf("%w: store is closed", ErrDurability)
+	}
+	if s.failedErr != nil {
+		return s.failedErr
+	}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("server: encoding journal record: %w", err)
+	}
+	if err := s.log.Append(payload); err != nil {
+		s.failedErr = fmt.Errorf("%w: %v", ErrDurability, err)
+		return s.failedErr
+	}
+	return nil
+}
+
+// maybeCompactLocked snapshots the shadow state once the log outgrows
+// the compaction threshold. Callers must invoke it only after applying
+// their record to the shadow state: compaction deletes the segments
+// holding earlier records, so a snapshot taken between journal and
+// shadow update would silently drop the record. Compaction failures are
+// sticky via the log.
+func (s *Store) maybeCompactLocked() {
+	if s.log.SinceSnapshot() < s.compactBytes {
+		return
+	}
+	if err := s.compactLocked(); err != nil {
+		s.failedErr = fmt.Errorf("%w: %v", ErrDurability, err)
+		log.Printf("tdacd: wal compaction failed: %v", err)
+	}
+}
+
+// compactLocked serializes the shadow state and installs it as the new
+// recovery baseline.
+func (s *Store) compactLocked() error {
+	snap := storeSnapshot{NextJob: s.maxJob}
+	names := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		cur := s.datasets[n]
+		raw, err := encodeDataset(cur.Data)
+		if err != nil {
+			return fmt.Errorf("encoding dataset %q: %w", n, err)
+		}
+		snap.Datasets = append(snap.Datasets, snapDataset{Name: n, Version: cur.Version, Data: raw})
+	}
+	s.compactOrderLocked()
+	pinnedDone := make(map[pinKey]bool)
+	for _, id := range s.order {
+		j := s.pending[id]
+		snap.Jobs = append(snap.Jobs, snapJob{
+			ID: id, Key: j.Key,
+			Dataset: j.Snap.Dataset, Version: j.Snap.Version,
+			Request: j.Request,
+		})
+		key := pinKey{j.Snap.Dataset, j.Snap.Version}
+		if cur, ok := s.datasets[key.name]; ok && cur.Version == key.version {
+			continue // resolvable from the latest version
+		}
+		if pinnedDone[key] {
+			continue
+		}
+		pinnedDone[key] = true
+		raw, err := encodeDataset(j.Snap.Data)
+		if err != nil {
+			return fmt.Errorf("encoding pinned dataset %q v%d: %w", key.name, key.version, err)
+		}
+		snap.Pinned = append(snap.Pinned, snapDataset{Name: key.name, Version: key.version, Data: raw})
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("encoding snapshot: %w", err)
+	}
+	return s.log.Compact(payload)
+}
+
+// Compact forces a compaction (tests, shutdown tidy-up).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("%w: store is closed", ErrDurability)
+	}
+	if s.failedErr != nil {
+		return s.failedErr
+	}
+	return s.compactLocked()
+}
+
+// ---- journal hooks ----------------------------------------------------
+
+// JournalCreate journals a dataset creation; the registry installs the
+// version only after this returns nil.
+func (s *Store) JournalCreate(name string, d *truthdata.Dataset) error {
+	raw, err := encodeDataset(d)
+	if err != nil {
+		return fmt.Errorf("server: encoding dataset %q: %w", name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendRecordLocked(walRecord{T: "create", Name: name, Dataset: raw, Version: 1}); err != nil {
+		return err
+	}
+	s.datasets[name] = &Snapshot{Dataset: name, Version: 1, Data: d}
+	s.maybeCompactLocked()
+	return nil
+}
+
+// JournalAppend journals an ingested batch producing snap.
+func (s *Store) JournalAppend(snap *Snapshot, claims []ClaimInput, truth []TruthInput) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := walRecord{T: "append", Name: snap.Dataset, Claims: claims, Truth: truth, Version: snap.Version}
+	if err := s.appendRecordLocked(r); err != nil {
+		return err
+	}
+	s.datasets[snap.Dataset] = snap
+	s.maybeCompactLocked()
+	return nil
+}
+
+// JournalSubmit journals a job submission; the engine enqueues the job
+// only after this returns nil.
+func (s *Store) JournalSubmit(id string, spec JobSpec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := walRecord{
+		T: "submit", ID: id, Key: spec.Key,
+		Name: spec.Snapshot.Dataset, Version: spec.Snapshot.Version,
+		Request: spec.Request,
+	}
+	if err := s.appendRecordLocked(r); err != nil {
+		return err
+	}
+	s.pending[id] = &storedJob{Key: spec.Key, Snap: spec.Snapshot, Request: spec.Request}
+	s.order = append(s.order, id)
+	if seq, ok := jobSeq(id); ok && seq > s.maxJob {
+		s.maxJob = seq
+	}
+	s.maybeCompactLocked()
+	return nil
+}
+
+// JournalStart journals a queued→running transition. Best-effort: a
+// failure here must not kill the job (the sticky store error surfaces
+// on the next committing operation and through /readyz).
+func (s *Store) JournalStart(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	quiet := s.failedErr != nil || s.closed
+	if err := s.appendRecordLocked(walRecord{T: "start", ID: id}); err != nil {
+		if !quiet {
+			log.Printf("tdacd: journaling start of %s: %v", id, err)
+		}
+		return
+	}
+	s.maybeCompactLocked()
+}
+
+// JournalEnd journals a terminal transition and releases the job's pin.
+// Best-effort, like JournalStart; an unjournaled terminal state means
+// the job re-runs after a restart (at-least-once execution).
+func (s *Store) JournalEnd(id string, state JobState, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	quiet := s.failedErr != nil || s.closed
+	if err := s.appendRecordLocked(walRecord{T: "end", ID: id, State: string(state), Error: errMsg}); err != nil {
+		if !quiet {
+			log.Printf("tdacd: journaling end of %s: %v", id, err)
+		}
+		return
+	}
+	delete(s.pending, id)
+	if len(s.pending)*2 < len(s.order) {
+		s.compactOrderLocked()
+	}
+	s.maybeCompactLocked()
+}
+
+// Failed returns the sticky durability error, nil while healthy.
+func (s *Store) Failed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failedErr != nil {
+		return s.failedErr
+	}
+	return nil
+}
+
+// Stats exposes the underlying log's counters.
+func (s *Store) Stats() wal.Stats {
+	return s.log.Stats()
+}
+
+// Close flushes and closes the log.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.log.Close()
+}

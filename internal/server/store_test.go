@@ -1,0 +1,370 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"tdac/internal/fault"
+	"tdac/internal/truthdata"
+)
+
+// canonicalJSON renders a dataset in its canonical (journal) form; two
+// bit-identical datasets produce equal strings.
+func canonicalJSON(t testing.TB, d *truthdata.Dataset) string {
+	t.Helper()
+	raw, err := encodeDataset(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// newDurableServer builds a WAL-backed server over the given FS. The
+// fake runner blocks every job until released, keeping submits pending.
+func newDurableServer(t testing.TB, fs fault.FS, f *fakeRunner, cfg Config) *Server {
+	t.Helper()
+	cfg.DataDir = "data"
+	cfg.fs = fs
+	if f != nil {
+		cfg.run = f.run
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueSize == 0 {
+		cfg.QueueSize = 16
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func shutdownServer(t testing.TB, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	_ = s.Shutdown(ctx)
+}
+
+// submitDiscover builds and submits a job the way the HTTP handler
+// does, so the journaled request round-trips through buildSpec.
+func submitDiscover(t testing.TB, s *Server, dataset string, req discoverRequest) (*Job, error) {
+	t.Helper()
+	snap, err := s.Registry().Get(dataset)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := s.buildSpec(snap, &req)
+	if err != nil {
+		t.Fatalf("buildSpec: %v", err)
+	}
+	j, _, err := s.Engine().Submit(*spec)
+	return j, err
+}
+
+func TestStoreRecoversDatasetsBitIdentically(t *testing.T) {
+	mem := fault.NewMem(fault.Config{})
+	s := newDurableServer(t, mem, nil, Config{})
+
+	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Registry().Append("d", []ClaimInput{
+		{Source: "s4", Object: "o1", Attribute: "colour", Value: "red"},
+	}, []TruthInput{{Object: "o1", Attribute: "size", Value: "10"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Registry().Create("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := s.Registry().Get("d")
+	wantJSON := canonicalJSON(t, want.Data)
+	shutdownServer(t, s)
+
+	// A clean restart (everything was synced) recovers both datasets.
+	s2 := newDurableServer(t, mem.Restart(fault.Config{}), nil, Config{})
+	defer shutdownServer(t, s2)
+	rec := s2.Recovered()
+	if rec == nil || len(rec.Datasets) != 2 || rec.Truncated {
+		t.Fatalf("recovered = %+v", rec)
+	}
+	got, err := s2.Registry().Get("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 2 {
+		t.Fatalf("recovered version = %d, want 2", got.Version)
+	}
+	if canonicalJSON(t, got.Data) != wantJSON {
+		t.Fatal("recovered dataset is not bit-identical")
+	}
+	if snap, err := s2.Registry().Get("empty"); err != nil || snap.Version != 1 {
+		t.Fatalf("empty dataset: %v (v%d)", err, snap.Version)
+	}
+	// The recovered registry keeps working.
+	if _, err := s2.Registry().Append("empty", []ClaimInput{
+		{Source: "s", Object: "o", Attribute: "a", Value: "v"},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreRecoversQueuedJobs(t *testing.T) {
+	mem := fault.NewMem(fault.Config{})
+	f := newFakeRunner()
+	s := newDurableServer(t, mem, f, Config{})
+	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
+		t.Fatal(err)
+	}
+	j1, err := submitDiscover(t, s, "d", discoverRequest{Key: "k1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin j1 at v1, then move the dataset to v2 so recovery must keep
+	// the historical version alive for the job.
+	if _, err := s.Registry().Append("d", []ClaimInput{
+		{Source: "s9", Object: "o1", Attribute: "colour", Value: "red"},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := submitDiscover(t, s, "d", discoverRequest{Mode: ModeBase, Algorithm: "MajorityVote"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdownServer(t, s) // drain deadline cancels the blocked jobs and journals the cancellations
+
+	f2 := newFakeRunner()
+	s2 := newDurableServer(t, mem.Restart(fault.Config{}), f2, Config{})
+	defer shutdownServer(t, s2)
+	rec := s2.Recovered()
+	if rec == nil {
+		t.Fatal("no recovered state")
+	}
+	// The forced shutdown journaled terminal cancellations for both
+	// jobs; nothing should resurrect.
+	if len(rec.Jobs) != 0 {
+		t.Fatalf("recovered %d jobs after journaled cancellation, want 0", len(rec.Jobs))
+	}
+	if rec.NextJob < 2 {
+		t.Fatalf("NextJob = %d, want ≥ 2", rec.NextJob)
+	}
+	// Fresh submits must not reuse journaled IDs.
+	j3, err := submitDiscover(t, s2, "d", discoverRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.ID == j1.ID || j3.ID == j2.ID {
+		t.Fatalf("job ID %s reused", j3.ID)
+	}
+}
+
+func TestStoreRecoversInterruptedJobsWithPinnedVersions(t *testing.T) {
+	mem := fault.NewMem(fault.Config{})
+	f := newFakeRunner()
+	s := newDurableServer(t, mem, f, Config{Workers: 1, QueueSize: 8})
+	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
+		t.Fatal(err)
+	}
+	j1, err := submitDiscover(t, s, "d", discoverRequest{Key: "k1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-f.started // j1 running (start journaled), blocks forever
+	if _, err := s.Registry().Append("d", []ClaimInput{
+		{Source: "s9", Object: "o1", Attribute: "colour", Value: "red"},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := submitDiscover(t, s, "d", discoverRequest{Key: "k2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned1 := canonicalJSON(t, j1.Spec.Snapshot.Data)
+	pinned2 := canonicalJSON(t, j2.Spec.Snapshot.Data)
+
+	// Hard crash: no shutdown, no terminal records. Both jobs reached
+	// the queue, so both must survive.
+	mem2 := mem.Restart(fault.Config{})
+
+	f2 := newFakeRunner()
+	s2 := newDurableServer(t, mem2, f2, Config{Workers: 1, QueueSize: 8})
+	defer shutdownServer(t, s2)
+	rec := s2.Recovered()
+	if len(rec.Jobs) != 2 {
+		t.Fatalf("recovered %d jobs, want 2", len(rec.Jobs))
+	}
+	r1, err := s2.Engine().Get(j1.ID)
+	if err != nil {
+		t.Fatalf("job %s lost: %v", j1.ID, err)
+	}
+	r2, err := s2.Engine().Get(j2.ID)
+	if err != nil {
+		t.Fatalf("job %s lost: %v", j2.ID, err)
+	}
+	// Pinned snapshots recover bit-identically — j1 at the historical
+	// v1 even though the dataset moved to v2.
+	if got := canonicalJSON(t, r1.Spec.Snapshot.Data); got != pinned1 {
+		t.Error("job 1 pinned snapshot not bit-identical")
+	}
+	if r1.Spec.Snapshot.Version != 1 {
+		t.Errorf("job 1 pinned version = %d, want 1", r1.Spec.Snapshot.Version)
+	}
+	if got := canonicalJSON(t, r2.Spec.Snapshot.Data); got != pinned2 {
+		t.Error("job 2 pinned snapshot not bit-identical")
+	}
+	if r2.Spec.Snapshot.Version != 2 {
+		t.Errorf("job 2 pinned version = %d, want 2", r2.Spec.Snapshot.Version)
+	}
+	// Idempotency keys survive: resubmitting k1 returns the recovered
+	// job instead of a new one.
+	snap, _ := s2.Registry().Get("d")
+	spec, err := s2.buildSpec(snap, &discoverRequest{Key: "k1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, created, err := s2.Engine().Submit(*spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created || dup.ID != j1.ID {
+		t.Fatalf("resubmit with k1: created=%t id=%s, want dedup onto %s", created, dup.ID, j1.ID)
+	}
+}
+
+func TestStorePinnedVersionSurvivesCompaction(t *testing.T) {
+	mem := fault.NewMem(fault.Config{})
+	f := newFakeRunner()
+	// Tiny compaction threshold: every record triggers a snapshot, so
+	// the pinned historical version must ride inside snapshots.
+	s := newDurableServer(t, mem, f, Config{CompactBytes: 64})
+	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
+		t.Fatal(err)
+	}
+	j1, err := submitDiscover(t, s, "d", discoverRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := canonicalJSON(t, j1.Spec.Snapshot.Data)
+	for i := 0; i < 5; i++ {
+		if _, err := s.Registry().Append("d", []ClaimInput{
+			{Source: fmt.Sprintf("s%d", 20+i), Object: "o1", Attribute: "colour", Value: "red"},
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Store().Stats().Compactions == 0 {
+		t.Fatal("workload never compacted; threshold too high for the test")
+	}
+
+	s2 := newDurableServer(t, mem.Restart(fault.Config{}), newFakeRunner(), Config{CompactBytes: 64})
+	defer shutdownServer(t, s2)
+	r1, err := s2.Engine().Get(j1.ID)
+	if err != nil {
+		t.Fatalf("job lost across compaction: %v", err)
+	}
+	if r1.Spec.Snapshot.Version != 1 {
+		t.Fatalf("pinned version = %d, want 1", r1.Spec.Snapshot.Version)
+	}
+	if canonicalJSON(t, r1.Spec.Snapshot.Data) != pinned {
+		t.Fatal("pinned snapshot not bit-identical across compaction")
+	}
+	if snap, _ := s2.Registry().Get("d"); snap.Version != 6 {
+		t.Fatalf("latest version = %d, want 6", snap.Version)
+	}
+}
+
+func TestStoreDurabilityFailureIsStickyAnd503s(t *testing.T) {
+	// The disk dies after a few operations; every committing API call
+	// must fail with ErrDurability from then on, and readyz must report
+	// not-ready.
+	mem := fault.NewMem(fault.Config{Seed: 5, SyncErrEvery: 4})
+	s := newDurableServer(t, mem, newFakeRunner(), Config{})
+	defer shutdownServer(t, s)
+
+	var sawErr error
+	for i := 0; i < 10 && sawErr == nil; i++ {
+		sawErr = s.Registry().Create(fmt.Sprintf("d%d", i), smallDataset(t, "seed"))
+	}
+	if sawErr == nil {
+		t.Fatal("injected sync errors never surfaced")
+	}
+	if s.Store().Failed() == nil {
+		t.Fatal("store did not latch the failure")
+	}
+	// Sticky: later mutations fail fast with the durability error.
+	if err := s.Registry().Create("late", nil); err == nil {
+		t.Fatal("create succeeded on a failed store")
+	}
+	if _, err := submitDiscover(t, s, "d0", discoverRequest{}); err == nil {
+		t.Fatal("submit succeeded on a failed store")
+	}
+}
+
+func TestStoreIdempotentSubmitOverHTTPSemantics(t *testing.T) {
+	mem := fault.NewMem(fault.Config{})
+	f := newFakeRunner()
+	s := newDurableServer(t, mem, f, Config{})
+	defer shutdownServer(t, s)
+	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
+		t.Fatal(err)
+	}
+	j1, err := submitDiscover(t, s, "d", discoverRequest{Key: "retry-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := submitDiscover(t, s, "d", discoverRequest{Key: "retry-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.ID != j1.ID {
+		t.Fatalf("duplicate submit created %s, want %s", j2.ID, j1.ID)
+	}
+	c := s.Engine().Counters()
+	if c.Enqueued != 1 {
+		t.Fatalf("enqueued = %d, want 1 (dedup)", c.Enqueued)
+	}
+}
+
+// TestStoreJournaledRequestRoundTrips pins the wire form: the journaled
+// request must decode back through buildSpec with the same options.
+func TestStoreJournaledRequestRoundTrips(t *testing.T) {
+	mem := fault.NewMem(fault.Config{})
+	f := newFakeRunner()
+	s := newDurableServer(t, mem, f, Config{})
+	seed := int64(42)
+	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
+		t.Fatal(err)
+	}
+	req := discoverRequest{Algorithm: "Accu", KMin: 2, KMax: 3, Parallel: true, Seed: &seed, Key: "k"}
+	j, err := submitDiscover(t, s, "d", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded discoverRequest
+	if err := json.Unmarshal(j.Spec.Request, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.KMin != 2 || decoded.KMax != 3 || !decoded.Parallel || decoded.Seed == nil || *decoded.Seed != 42 {
+		t.Fatalf("journaled request lost fields: %+v", decoded)
+	}
+	<-f.started // the job is running and never released — no terminal record
+
+	// Hard crash: a clean shutdown would journal a cancellation instead.
+	s2 := newDurableServer(t, mem.Restart(fault.Config{}), newFakeRunner(), Config{})
+	defer shutdownServer(t, s2)
+	r, err := s2.Engine().Get(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Spec.Options) != len(j.Spec.Options) {
+		t.Fatalf("recovered %d options, submitted %d", len(r.Spec.Options), len(j.Spec.Options))
+	}
+	if r.Spec.Key != "k" || r.Spec.Mode != ModeTDAC || r.Spec.Algorithm != "Accu" {
+		t.Fatalf("recovered spec = %+v", r.Spec)
+	}
+}

@@ -1,0 +1,598 @@
+// Package wal is an append-only, checksummed write-ahead log with
+// segment rotation, a configurable fsync policy, and atomic
+// snapshot+compaction. tdacd journals every registry mutation and job
+// transition through it so a crashed server restarts into exactly the
+// state it acknowledged (see DESIGN.md §10).
+//
+// Layout: a log directory holds numbered segment files
+// ("wal-%016d.seg") and at most a couple of snapshot files
+// ("snap-%016d.snap"); a snapshot with sequence number Q supersedes
+// every file numbered below Q. Compaction writes the snapshot to a
+// temporary file, fsyncs it, atomically renames it into place, fsyncs
+// the directory, and only then deletes the superseded files — a crash
+// at any point leaves either the old tail or the new snapshot
+// recoverable, never neither.
+//
+// Recovery replays the newest valid snapshot plus the segments after
+// it. Within a segment it truncates at the first corrupt record instead
+// of failing — after a torn write the segment yields its longest valid
+// prefix, which is every record whose append was acknowledged under the
+// "always" fsync policy. Segments after a torn or unsealed one still
+// replay: rotation seals and fsyncs a segment before creating its
+// successor, so such a boundary is always a process restart (whose
+// recovery continued from exactly that prefix), never a hole. Open
+// resumes appending in the final segment when it is intact.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tdac/internal/fault"
+)
+
+// SyncMode selects when appends reach durable storage.
+type SyncMode int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged record is
+	// durable. The default.
+	SyncAlways SyncMode = iota
+	// SyncInterval fsyncs when Options.Interval has elapsed since the
+	// last sync, bounding the data-loss window at the cost of losing the
+	// most recent appends in a crash.
+	SyncInterval
+	// SyncNever leaves flushing to the operating system (and Close).
+	SyncNever
+)
+
+// String renders the mode as its flag spelling.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncMode(%d)", int(m))
+}
+
+// ParseSyncMode parses the -fsync flag spellings.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf(`wal: unknown fsync mode %q (want "always", "interval" or "never")`, s)
+}
+
+// Options configures a Log. The zero value is production-ready: real
+// filesystem, fsync on every append, 4 MiB segments.
+type Options struct {
+	// FS is the filesystem seam (nil = the real filesystem).
+	FS fault.FS
+	// Clock drives the interval fsync policy (nil = wall clock).
+	Clock fault.Clock
+	// Mode is the fsync policy.
+	Mode SyncMode
+	// Interval is the SyncInterval flush period (default 100ms).
+	Interval time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 4 MiB).
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = fault.OS{}
+	}
+	if o.Clock == nil {
+		o.Clock = fault.SystemClock{}
+	}
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// Recovered is what Open found on disk.
+type Recovered struct {
+	// Snapshot is the newest valid snapshot payload, nil when none.
+	Snapshot []byte
+	// Records are the payloads appended after the snapshot, in order.
+	Records [][]byte
+	// Truncated reports that a corrupt record was found and the rest of
+	// its segment was dropped (the expected aftermath of a torn write).
+	// Records from later segments — later process generations — are
+	// still recovered.
+	Truncated bool
+}
+
+// ErrClosed reports use of a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Stats is a point-in-time copy of the log's counters.
+type Stats struct {
+	// Appends and AppendedBytes count successful Append calls.
+	Appends       uint64
+	AppendedBytes int64
+	// Syncs counts file fsyncs issued.
+	Syncs uint64
+	// Compactions counts successful Compact calls.
+	Compactions uint64
+	// SinceSnapshot is the record bytes accumulated since the last
+	// snapshot (the compaction trigger input).
+	SinceSnapshot int64
+	// LastSnapshotBytes is the size of the newest snapshot payload.
+	LastSnapshotBytes int64
+}
+
+// Log is the write-ahead log. All methods are safe for concurrent use.
+// Any durability error (short write, fsync failure, ENOSPC, crash) is
+// sticky: the log fails every subsequent Append and Compact with the
+// first error, because the bytes past a torn write are unknowable — the
+// process must restart and recover. Reads acknowledged before the error
+// are unaffected.
+type Log struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	seq        uint64 // sequence number of the active (possibly unopened) segment
+	active     fault.File
+	activePath string
+	activeSize int64
+
+	dirty    bool // unsynced appends exist
+	lastSync time.Time
+	failed   error
+	closed   bool
+
+	stats Stats
+}
+
+func segName(seq uint64) string  { return fmt.Sprintf("wal-%016d.seg", seq) }
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%016d.snap", seq) }
+
+// parseSeq extracts the sequence number from a segment or snapshot file
+// name, reporting which kind it is.
+func parseSeq(name string) (seq uint64, kind string, ok bool) {
+	switch {
+	case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg"):
+		kind = "seg"
+		name = strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+	case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+		kind = "snap"
+		name = strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap")
+	default:
+		return 0, "", false
+	}
+	n, err := strconv.ParseUint(name, 10, 64)
+	if err != nil {
+		return 0, "", false
+	}
+	return n, kind, true
+}
+
+// Open recovers the log in dir (creating it if needed) and readies it
+// for appends, resuming in the final segment when it is intact and
+// unsealed. The returned Recovered holds the newest valid snapshot and
+// every intact record after it; a corrupt tail is dropped, never fatal.
+// Leftover temporary files from an interrupted compaction are removed.
+func Open(dir string, opts Options) (*Log, *Recovered, error) {
+	opts = opts.withDefaults()
+	fsys := opts.FS
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+
+	var segs, snaps []uint64
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			// An interrupted compaction's temp file: never installed,
+			// safe to drop.
+			_ = fsys.Remove(filepath.Join(dir, name))
+			continue
+		}
+		seq, kind, ok := parseSeq(name)
+		if !ok {
+			continue
+		}
+		if kind == "seg" {
+			segs = append(segs, seq)
+		} else {
+			snaps = append(snaps, seq)
+		}
+	}
+	// ReadDir is sorted and names are zero-padded, so both slices are
+	// ascending already.
+
+	rec := &Recovered{}
+	var snapSeq, maxSeq uint64
+	for i := len(snaps) - 1; i >= 0; i-- {
+		data, err := fsys.ReadFile(filepath.Join(dir, snapName(snaps[i])))
+		if err != nil {
+			continue
+		}
+		payload, ok := parseSnapshot(data)
+		if !ok {
+			// Disk corruption: fall back to an older snapshot if any.
+			rec.Truncated = true
+			continue
+		}
+		rec.Snapshot = payload
+		snapSeq = snaps[i]
+		break
+	}
+	if len(snaps) > 0 && snaps[len(snaps)-1] > maxSeq {
+		maxSeq = snaps[len(snaps)-1]
+	}
+	// Snapshot files existed but none parsed: the baseline the segments
+	// were journaled against is gone, so replaying them would present a
+	// tail as a full history. Recover nothing rather than something
+	// wrong.
+	snapLost := len(snaps) > 0 && rec.Snapshot == nil
+
+	// An unsealed or torn segment followed by more segments is a process
+	// generation boundary, not a hole: rotation always seals and fsyncs a
+	// segment before creating its successor, so only a restart (which
+	// recovers exactly the valid prefix and then continues in a new or
+	// adopted segment) can leave one mid-log. Each segment therefore
+	// contributes its longest valid frame prefix and replay continues
+	// with the next; a corrupt suffix loses only the unacknowledged
+	// record torn by the crash that ended that generation.
+	var sinceSnapshot int64
+	var adopt bool // final segment is clean and unsealed: continue in it
+	var adoptSeq uint64
+	var adoptSize int64
+	for _, seq := range segs {
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if seq <= snapSeq {
+			// Superseded by the snapshot; an interrupted compaction may
+			// not have finished deleting it.
+			continue
+		}
+		if snapLost {
+			rec.Truncated = true
+			continue
+		}
+		adopt = false
+		data, err := fsys.ReadFile(filepath.Join(dir, segName(seq)))
+		if err != nil {
+			rec.Truncated = true
+			continue
+		}
+		if len(data) < magicLen || string(data[:magicLen]) != segMagic {
+			// A torn or headerless segment: its generation died before the
+			// magic reached disk, so it holds nothing acknowledged.
+			rec.Truncated = true
+			continue
+		}
+		frames, sealed, clean := scanFrames(data[magicLen:])
+		rec.Records = append(rec.Records, frames...)
+		for _, f := range frames {
+			sinceSnapshot += int64(len(f)) + headerLen
+		}
+		switch {
+		case !clean:
+			rec.Truncated = true
+		case !sealed:
+			adopt, adoptSeq, adoptSize = true, seq, int64(len(data))
+		}
+	}
+
+	l := &Log{
+		dir:  dir,
+		opts: opts,
+		seq:  maxSeq + 1,
+	}
+	if adopt {
+		// Continue appending in the recovered tail segment instead of
+		// starting a new one: leaving it dangling unsealed while a fresh
+		// segment grows would strand an unsealed segment mid-log on every
+		// restart, and segments would pile up one per process lifetime.
+		f, err := fsys.OpenAppend(filepath.Join(dir, segName(adoptSeq)))
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: reopening tail segment: %w", err)
+		}
+		l.seq = adoptSeq
+		l.active = f
+		l.activePath = filepath.Join(dir, segName(adoptSeq))
+		l.activeSize = adoptSize
+	}
+	l.stats.SinceSnapshot = sinceSnapshot
+	l.stats.LastSnapshotBytes = int64(len(rec.Snapshot))
+	l.lastSync = opts.Clock.Now()
+	return l, rec, nil
+}
+
+// parseSnapshot validates a snapshot file: magic plus exactly one clean
+// framed record.
+func parseSnapshot(data []byte) ([]byte, bool) {
+	if len(data) < magicLen || string(data[:magicLen]) != snapMagic {
+		return nil, false
+	}
+	frames, sealed, clean := scanFrames(data[magicLen:])
+	if !clean || sealed || len(frames) != 1 {
+		return nil, false
+	}
+	return frames[0], true
+}
+
+// fail records the log's first durability error and returns it; every
+// later Append/Compact reports the same error.
+func (l *Log) fail(err error) error {
+	if l.failed == nil {
+		l.failed = err
+	}
+	return err
+}
+
+// ensureActiveLocked opens the active segment lazily, writing its magic.
+func (l *Log) ensureActiveLocked() error {
+	if l.active != nil {
+		return nil
+	}
+	fault.Point(l.opts.FS, "wal.rotate.create")
+	path := filepath.Join(l.dir, segName(l.seq))
+	f, err := l.opts.FS.Create(path)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: writing segment magic: %w", err)
+	}
+	// Make the directory entry durable so the segment outlives a crash.
+	if err := l.opts.FS.SyncDir(l.dir); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: syncing %s: %w", l.dir, err)
+	}
+	l.active = f
+	l.activePath = path
+	l.activeSize = magicLen
+	l.dirty = true
+	return nil
+}
+
+// Append journals one record. When it returns nil under the "always"
+// fsync policy, the record is durable; under "interval"/"never" it is
+// durable after the next sync. A non-nil error means the record must be
+// treated as not written (and the log is failed, see Log).
+func (l *Log) Append(payload []byte) error {
+	if err := checkAppendable(payload); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.failed != nil {
+		return l.failed
+	}
+	if err := l.ensureActiveLocked(); err != nil {
+		return l.fail(err)
+	}
+	frame := appendFrame(nil, payload)
+	fault.Point(l.opts.FS, "wal.append.write")
+	if n, err := l.active.Write(frame); err != nil {
+		return l.fail(fmt.Errorf("wal: appending record (%d/%d bytes): %w", n, len(frame), err))
+	}
+	l.activeSize += int64(len(frame))
+	l.stats.SinceSnapshot += int64(len(frame))
+	l.stats.Appends++
+	l.stats.AppendedBytes += int64(len(frame))
+	l.dirty = true
+
+	switch l.opts.Mode {
+	case SyncAlways:
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	case SyncInterval:
+		if now := l.opts.Clock.Now(); now.Sub(l.lastSync) >= l.opts.Interval {
+			if err := l.syncLocked(); err != nil {
+				return err
+			}
+		}
+	}
+
+	if l.activeSize >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncLocked fsyncs the active segment.
+func (l *Log) syncLocked() error {
+	if l.active == nil || !l.dirty {
+		return nil
+	}
+	fault.Point(l.opts.FS, "wal.append.sync")
+	if err := l.active.Sync(); err != nil {
+		// After a failed fsync the kernel may have dropped the dirty
+		// pages; nothing short of recovery can tell what landed.
+		return l.fail(fmt.Errorf("wal: fsync %s: %w", l.activePath, err))
+	}
+	l.dirty = false
+	l.lastSync = l.opts.Clock.Now()
+	l.stats.Syncs++
+	return nil
+}
+
+// rotateLocked seals the active segment and moves to the next one. The
+// seal frame (synced before the successor segment exists) is what lets
+// recovery treat every unsealed segment boundary as a process restart:
+// a rotation can never leave one behind.
+func (l *Log) rotateLocked() error {
+	if l.active == nil {
+		return nil
+	}
+	if _, err := l.active.Write(appendSeal(nil)); err != nil {
+		return l.fail(fmt.Errorf("wal: sealing segment: %w", err))
+	}
+	l.dirty = true
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.active.Close(); err != nil {
+		return l.fail(fmt.Errorf("wal: closing segment: %w", err))
+	}
+	l.active = nil
+	l.activeSize = 0
+	l.seq++
+	return nil
+}
+
+// Sync flushes unsynced appends regardless of the fsync policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.failed != nil {
+		return l.failed
+	}
+	return l.syncLocked()
+}
+
+// Compact atomically installs snapshot as the new recovery baseline and
+// deletes the superseded segments: the snapshot is written to a
+// temporary file, fsynced, renamed into place and the directory
+// fsynced; only then are old files removed. A crash anywhere in between
+// recovers either the previous state or the new snapshot, never
+// neither. After Compact the log continues in a fresh segment.
+func (l *Log) Compact(snapshot []byte) error {
+	if err := checkAppendable(snapshot); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.failed != nil {
+		return l.failed
+	}
+	// Seal the tail: everything so far is covered by the snapshot.
+	if err := l.rotateLocked(); err != nil {
+		return err
+	}
+	snapSeq := l.seq // supersedes all files numbered below it
+	l.seq++
+
+	fsys := l.opts.FS
+	tmp := filepath.Join(l.dir, snapName(snapSeq)+".tmp")
+	final := filepath.Join(l.dir, snapName(snapSeq))
+	fault.Point(fsys, "wal.compact.write")
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return l.fail(fmt.Errorf("wal: creating snapshot temp: %w", err))
+	}
+	buf := appendFrame([]byte(snapMagic), snapshot)
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		return l.fail(fmt.Errorf("wal: writing snapshot: %w", err))
+	}
+	fault.Point(fsys, "wal.compact.sync")
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return l.fail(fmt.Errorf("wal: fsync snapshot: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		return l.fail(fmt.Errorf("wal: closing snapshot: %w", err))
+	}
+	fault.Point(fsys, "wal.compact.rename")
+	if err := fsys.Rename(tmp, final); err != nil {
+		return l.fail(fmt.Errorf("wal: installing snapshot: %w", err))
+	}
+	if err := fsys.SyncDir(l.dir); err != nil {
+		return l.fail(fmt.Errorf("wal: syncing %s: %w", l.dir, err))
+	}
+
+	// The snapshot is durable; superseded files are garbage. Deletion
+	// failures are harmless (recovery ignores files below the snapshot),
+	// so they are best-effort — but a crashed filesystem stays sticky.
+	fault.Point(fsys, "wal.compact.cleanup")
+	names, err := fsys.ReadDir(l.dir)
+	if err != nil {
+		// Listing the log's own directory failing is not a cleanup hiccup,
+		// it is the disk going away.
+		return l.fail(fmt.Errorf("wal: listing %s after compaction: %w", l.dir, err))
+	}
+	for _, name := range names {
+		seq, kind, ok := parseSeq(name)
+		if !ok {
+			continue
+		}
+		if seq < snapSeq && (kind == "seg" || kind == "snap") {
+			_ = fsys.Remove(filepath.Join(l.dir, name))
+		}
+	}
+
+	l.stats.Compactions++
+	l.stats.SinceSnapshot = 0
+	l.stats.LastSnapshotBytes = int64(len(snapshot))
+	return nil
+}
+
+// SinceSnapshot returns the record bytes accumulated since the last
+// compaction (the caller's compaction trigger).
+func (l *Log) SinceSnapshot() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats.SinceSnapshot
+}
+
+// Stats returns a copy of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Close flushes and closes the log. Further operations return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.closed = true
+	if l.active == nil {
+		return nil
+	}
+	var err error
+	if l.failed == nil {
+		err = l.syncLocked()
+	}
+	if cerr := l.active.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	l.active = nil
+	return err
+}

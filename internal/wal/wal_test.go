@@ -1,0 +1,523 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tdac/internal/fault"
+)
+
+// payloads builds n distinct record payloads.
+func payloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("record-%03d-%s", i, strings.Repeat("x", i%17)))
+	}
+	return out
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Log, *Recovered) {
+	t.Helper()
+	l, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, rec
+}
+
+func assertRecords(t *testing.T, got, want [][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRoundTripOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := mustOpen(t, dir, Options{})
+	if rec.Snapshot != nil || len(rec.Records) != 0 || rec.Truncated {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	want := payloads(25)
+	for _, p := range want {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("late")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+
+	_, rec = mustOpen(t, dir, Options{})
+	assertRecords(t, rec.Records, want)
+	if rec.Truncated {
+		t.Fatal("clean log reported truncation")
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentBytes: 256})
+	want := payloads(40)
+	for _, p := range want {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("expected several segments, got %d files", len(entries))
+	}
+	_, rec := mustOpen(t, dir, Options{SegmentBytes: 256})
+	assertRecords(t, rec.Records, want)
+}
+
+func TestCorruptTailRecoversLongestPrefix(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	want := payloads(10)
+	for _, p := range want {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the last record's payload.
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := mustOpen(t, dir, Options{})
+	if !rec.Truncated {
+		t.Fatal("corrupt tail not reported")
+	}
+	assertRecords(t, rec.Records, want[:9])
+
+	// Truncating mid-header drops only the torn record.
+	if err := os.WriteFile(seg, data[:len(data)-len(appendFrame(nil, want[9]))-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec = mustOpen(t, dir, Options{})
+	if !rec.Truncated {
+		t.Fatal("torn tail not reported")
+	}
+	assertRecords(t, rec.Records, want[:8])
+}
+
+// TestReopenContinuesTailSegment is the multi-restart durability
+// property: every acknowledged record survives any number of
+// open/append/close generations. A regression here is the bug where
+// each Open started a fresh segment, leaving the predecessor unsealed
+// mid-log so the *next* recovery dropped everything after it.
+func TestReopenContinuesTailSegment(t *testing.T) {
+	dir := t.TempDir()
+	want := payloads(9)
+	for gen := 0; gen < 3; gen++ {
+		l, rec := mustOpen(t, dir, Options{})
+		if rec.Truncated {
+			t.Fatalf("generation %d: clean log reported truncation", gen)
+		}
+		assertRecords(t, rec.Records, want[:gen*3])
+		for _, p := range want[gen*3 : gen*3+3] {
+			if err := l.Append(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, rec := mustOpen(t, dir, Options{})
+	assertRecords(t, rec.Records, want)
+
+	// Open adopts the intact tail segment rather than starting a new
+	// one, so three generations share a single segment file.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs int
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			segs++
+		}
+	}
+	if segs != 1 {
+		t.Fatalf("3 generations left %d segments, want 1 (tail adoption)", segs)
+	}
+}
+
+// TestAppendAfterCorruptTailSurvivesReopen pins the recovery semantics
+// across a torn generation boundary: a log whose final segment has a
+// corrupt suffix starts a fresh segment (it cannot append after
+// garbage), and the next recovery replays the valid prefix of the torn
+// segment AND the fresh segment's records — the torn suffix is a
+// restart boundary, not a hole that invalidates later history.
+func TestAppendAfterCorruptTailSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	want := payloads(10)
+	for _, p := range want {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xff // tear the last record
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, rec := mustOpen(t, dir, Options{})
+	if !rec.Truncated {
+		t.Fatal("corrupt tail not reported")
+	}
+	assertRecords(t, rec.Records, want[:9])
+	fresh := []byte("post-corruption")
+	if err := l.Append(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec = mustOpen(t, dir, Options{})
+	assertRecords(t, rec.Records, append(append([][]byte(nil), want[:9]...), fresh))
+}
+
+// TestRecoverUnsealedMidLogLayout replays a directory in the layout
+// older builds produced: an intact-but-unsealed segment followed by a
+// later generation's segment. Both segments' records are history.
+func TestRecoverUnsealedMidLogLayout(t *testing.T) {
+	dir := t.TempDir()
+	a, b, c := []byte("gen1-a"), []byte("gen1-b"), []byte("gen2-c")
+	seg1 := appendFrame(append([]byte(nil), segMagic...), a)
+	seg1 = appendFrame(seg1, b)
+	seg2 := appendFrame(append([]byte(nil), segMagic...), c)
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), seg1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(2)), seg2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, rec := mustOpen(t, dir, Options{})
+	if rec.Truncated {
+		t.Fatal("restart-generation layout reported truncation")
+	}
+	assertRecords(t, rec.Records, [][]byte{a, b, c})
+
+	// The final segment was adopted: the next append lands in it.
+	d := []byte("gen3-d")
+	if err := l.Append(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec = mustOpen(t, dir, Options{})
+	assertRecords(t, rec.Records, [][]byte{a, b, c, d})
+}
+
+func TestCompactInstallsSnapshotAndDropsSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	pre := payloads(8)
+	for _, p := range pre {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Compact([]byte("state-after-8")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.SinceSnapshot(); got != 0 {
+		t.Fatalf("SinceSnapshot after compact = %d", got)
+	}
+	post := payloads(3)
+	for _, p := range post {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs, snaps int
+	for _, e := range names {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			segs++
+		}
+		if strings.HasSuffix(e.Name(), ".snap") {
+			snaps++
+		}
+	}
+	if segs != 1 || snaps != 1 {
+		t.Fatalf("after compact: %d segments, %d snapshots; want 1 and 1", segs, snaps)
+	}
+
+	_, rec := mustOpen(t, dir, Options{})
+	if string(rec.Snapshot) != "state-after-8" {
+		t.Fatalf("snapshot = %q", rec.Snapshot)
+	}
+	assertRecords(t, rec.Records, post)
+}
+
+func TestCrashBeforeCompactRenameKeepsOldTail(t *testing.T) {
+	mem := fault.NewMem(fault.Config{Seed: 11, CrashAt: "wal.compact.rename"})
+	l, _ := mustOpen(t, "log", Options{FS: mem})
+	want := payloads(6)
+	for _, p := range want {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Compact([]byte("snap")); err == nil {
+		t.Fatal("compact survived a crash at the rename point")
+	}
+	// The crashed log is sticky.
+	if err := l.Append([]byte("more")); err == nil {
+		t.Fatal("append succeeded on a crashed log")
+	}
+
+	_, rec := mustOpen(t, "log", Options{FS: mem.Restart(fault.Config{})})
+	if rec.Snapshot != nil {
+		t.Fatalf("uninstalled snapshot recovered: %q", rec.Snapshot)
+	}
+	assertRecords(t, rec.Records, want)
+}
+
+func TestCrashAfterCompactRenameKeepsSnapshot(t *testing.T) {
+	mem := fault.NewMem(fault.Config{Seed: 12, CrashAt: "wal.compact.cleanup"})
+	l, _ := mustOpen(t, "log", Options{FS: mem})
+	for _, p := range payloads(6) {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Compact([]byte("snap")); err == nil {
+		t.Fatal("compact survived a crash at the cleanup point")
+	}
+	_, rec := mustOpen(t, "log", Options{FS: mem.Restart(fault.Config{})})
+	if string(rec.Snapshot) != "snap" {
+		t.Fatalf("snapshot = %q, want %q", rec.Snapshot, "snap")
+	}
+	// The stale pre-snapshot segments are superseded, not replayed.
+	if len(rec.Records) != 0 {
+		t.Fatalf("recovered %d stale records", len(rec.Records))
+	}
+}
+
+func TestTornAppendRecoversAcknowledgedPrefix(t *testing.T) {
+	// First run: count ops for 5 acknowledged appends.
+	mem := fault.NewMem(fault.Config{Seed: 1})
+	l, _ := mustOpen(t, "log", Options{FS: mem})
+	want := payloads(6)
+	for _, p := range want[:5] {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opsAfter5 := mem.Ops()
+
+	// Second run: crash during the 6th append's write (the first
+	// mutating op after the acknowledged five).
+	mem = fault.NewMem(fault.Config{Seed: 2, CrashAfterOps: opsAfter5 + 1})
+	l, _ = mustOpen(t, "log", Options{FS: mem})
+	for _, p := range want[:5] {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Append(want[5]); !errors.Is(err, fault.ErrCrashed) {
+		t.Fatalf("6th append err = %v, want crash", err)
+	}
+	_, rec := mustOpen(t, "log", Options{FS: mem.Restart(fault.Config{})})
+	// The acknowledged five are durable (fsync=always); the torn sixth
+	// must be dropped cleanly.
+	assertRecords(t, rec.Records, want[:5])
+}
+
+func TestSyncPolicies(t *testing.T) {
+	seg := func(dirty bool) string { return segName(1) }
+	_ = seg
+
+	t.Run("always", func(t *testing.T) {
+		mem := fault.NewMem(fault.Config{})
+		l, _ := mustOpen(t, "log", Options{FS: mem, Mode: SyncAlways})
+		if err := l.Append([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		if mem.PendingLen("log/"+segName(1)) != 0 {
+			t.Fatal("always-mode append left unsynced bytes")
+		}
+	})
+	t.Run("never", func(t *testing.T) {
+		mem := fault.NewMem(fault.Config{})
+		l, _ := mustOpen(t, "log", Options{FS: mem, Mode: SyncNever})
+		if err := l.Append([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		if mem.SyncedLen("log/"+segName(1)) != 0 {
+			t.Fatal("never-mode append synced")
+		}
+		// Close flushes.
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if mem.PendingLen("log/"+segName(1)) != 0 {
+			t.Fatal("close did not flush")
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		mem := fault.NewMem(fault.Config{})
+		clock := fault.NewFrozenClock(time.Unix(1000, 0))
+		l, _ := mustOpen(t, "log", Options{FS: mem, Mode: SyncInterval, Interval: time.Second, Clock: clock})
+		if err := l.Append([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		if mem.SyncedLen("log/"+segName(1)) != 0 {
+			t.Fatal("interval-mode synced before the interval elapsed")
+		}
+		clock.Advance(2 * time.Second)
+		if err := l.Append([]byte("b")); err != nil {
+			t.Fatal(err)
+		}
+		if mem.PendingLen("log/"+segName(1)) != 0 {
+			t.Fatal("interval-mode did not sync after the interval elapsed")
+		}
+	})
+}
+
+func TestENOSPCIsStickyAndRecoverable(t *testing.T) {
+	mem := fault.NewMem(fault.Config{Seed: 5, DiskBytes: 200})
+	l, _ := mustOpen(t, "log", Options{FS: mem})
+	var acked [][]byte
+	var failErr error
+	for _, p := range payloads(40) {
+		if err := l.Append(p); err != nil {
+			failErr = err
+			break
+		}
+		acked = append(acked, p)
+	}
+	if !errors.Is(failErr, fault.ErrNoSpace) {
+		t.Fatalf("fill error = %v, want ENOSPC", failErr)
+	}
+	if len(acked) == 0 {
+		t.Fatal("no appends landed before the disk filled")
+	}
+	// Sticky: the same first error keeps coming back.
+	if err := l.Append([]byte("again")); !errors.Is(err, fault.ErrNoSpace) {
+		t.Fatalf("post-ENOSPC append = %v", err)
+	}
+	if err := l.Compact([]byte("s")); !errors.Is(err, fault.ErrNoSpace) {
+		t.Fatalf("post-ENOSPC compact = %v", err)
+	}
+	// Everything acknowledged is recoverable.
+	_, rec := mustOpen(t, "log", Options{FS: mem.Restart(fault.Config{})})
+	if len(rec.Records) < len(acked) {
+		t.Fatalf("recovered %d records, acked %d", len(rec.Records), len(acked))
+	}
+	assertRecords(t, rec.Records[:len(acked)], acked)
+}
+
+func TestFsyncErrorIsSticky(t *testing.T) {
+	mem := fault.NewMem(fault.Config{SyncErrEvery: 1})
+	l, _ := mustOpen(t, "log", Options{FS: mem, Mode: SyncAlways})
+	if err := l.Append([]byte("a")); !errors.Is(err, fault.ErrInjectedSync) {
+		t.Fatalf("append = %v, want injected fsync error", err)
+	}
+	if err := l.Append([]byte("b")); !errors.Is(err, fault.ErrInjectedSync) {
+		t.Fatalf("second append = %v, want the sticky first error", err)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	defer l.Close()
+	if err := l.Append(nil); err == nil {
+		t.Fatal("empty record accepted")
+	}
+	if err := l.Compact(nil); err == nil {
+		t.Fatal("empty snapshot accepted")
+	}
+}
+
+func TestParseSyncMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncMode
+	}{{"always", SyncAlways}, {"interval", SyncInterval}, {"never", SyncNever}} {
+		got, err := ParseSyncMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseSyncMode(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseSyncMode("sometimes"); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	mem := fault.NewMem(fault.Config{})
+	l, _ := mustOpen(t, "log", Options{FS: mem})
+	for _, p := range payloads(4) {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Compact([]byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	s := l.Stats()
+	if s.Appends != 4 || s.Compactions != 1 || s.SinceSnapshot != 0 || s.AppendedBytes == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.LastSnapshotBytes != 1 {
+		t.Fatalf("LastSnapshotBytes = %d", s.LastSnapshotBytes)
+	}
+}

@@ -27,9 +27,24 @@ go build ./...
 
 echo "==> go test -race"
 # Includes the tdacd server suite: the ingest-while-discovering stress
-# test and the engine shutdown tests only prove anything under the race
-# detector, so they must never move out of this invocation.
+# test, the engine shutdown tests and the shutdown-racing-compaction
+# test only prove anything under the race detector, so they must never
+# move out of this invocation.
 go test -race ./...
+
+echo "==> crash-recovery matrix (seeded, ~30 crash points)"
+# The WAL's durability property, end to end: every seeded crash schedule
+# (mid-append, mid-fsync, mid-compaction-rename) must recover acked
+# state bit-identically. -count=1 defeats the cache so the matrix really
+# runs on every CI invocation, and the scenario count is asserted so the
+# matrix can never silently shrink.
+matrix=$(go test -run '^TestCrashRecoveryMatrix$' -count=1 -v ./internal/server) || {
+    echo "$matrix" >&2
+    exit 1
+}
+passed=$(echo "$matrix" | grep -c -- '--- PASS: TestCrashRecoveryMatrix/')
+echo "    $passed crash scenarios passed"
+[ "$passed" -ge 26 ] || { echo "crash matrix ran only $passed scenarios, want >= 26" >&2; exit 1; }
 
 # Static analysis beyond vet, when the tool exists in the environment;
 # otherwise exercise the serving packages' benchmarks as a compile+run
@@ -51,6 +66,7 @@ go test -run '^$' -fuzz '^FuzzReadClaimsCSV$' -fuzztime 10s ./internal/truthdata
 go test -run '^$' -fuzz '^FuzzReadJSON$' -fuzztime 10s ./internal/truthdata
 go test -run '^$' -fuzz '^FuzzSimilarityInvariants$' -fuzztime 10s ./internal/similarity
 go test -run '^$' -fuzz '^FuzzPackedHammingEquivalence$' -fuzztime 10s ./internal/cluster
+go test -run '^$' -fuzz '^FuzzWALRecovery$' -fuzztime 10s ./internal/wal
 
 echo "==> bench report schema (BENCH_tdac.json)"
 go run ./cmd/tdacbench -validate BENCH_tdac.json
