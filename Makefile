@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-report ci fmt vet serve
+.PHONY: all build test race bench bench-report ci fmt vet verify serve
 
 all: build
 
@@ -30,6 +30,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# verify runs the differential/metamorphic/oracle invariant harness
+# (internal/verify, DESIGN.md §11): every accelerated path against its
+# naive reference, plus the service- and WAL-level invariants.
+verify:
+	$(GO) run ./cmd/tdac-verify
 
 # serve generates the example exam dataset and starts tdacd against it on
 # the default port; Ctrl-C (or SIGTERM) drains gracefully. See README

@@ -212,7 +212,9 @@ func elbowTDAC(d *truthdata.Dataset) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		inertias = append(inertias, c.Inertia)
+		// MetricInertia, not Inertia: the clustering assigns under Hamming,
+		// so the elbow curve must be scored in the same metric.
+		inertias = append(inertias, c.MetricInertia)
 		clusterings[k] = c
 	}
 	k := cluster.ElbowK(inertias, 2, 0.15)

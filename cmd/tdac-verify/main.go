@@ -1,0 +1,87 @@
+// Command tdac-verify runs the differential + metamorphic verification
+// harness of internal/verify: every accelerated production path is
+// cross-checked against a deliberately naive reference, and the
+// pipeline's metamorphic and oracle invariants are asserted.
+//
+// Usage:
+//
+//	tdac-verify [-seed n] [-trials n] [-run name] [-class c] [-quick] [-list]
+//
+// The exit status is 0 when every selected invariant holds and 1 when
+// any is violated, so the command slots directly into CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tdac/internal/verify"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdac-verify:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("tdac-verify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed   = fs.Int64("seed", 1, "seed for every generated dataset and vector set")
+		trials = fs.Int("trials", 2, "random instances per randomised invariant")
+		name   = fs.String("run", "", "run only invariants whose name contains this substring")
+		class  = fs.String("class", "", "run only this class: differential, metamorphic or oracle")
+		quick  = fs.Bool("quick", false, "run only the quick invariants (the fuzz subset)")
+		list   = fs.Bool("list", false, "list invariants and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *class != "" {
+		switch verify.Class(*class) {
+		case verify.Differential, verify.Metamorphic, verify.Oracle:
+		default:
+			return 2, fmt.Errorf("unknown class %q", *class)
+		}
+	}
+
+	filter := func(inv verify.Invariant) bool {
+		if *name != "" && !strings.Contains(inv.Name, *name) {
+			return false
+		}
+		if *class != "" && inv.Class != verify.Class(*class) {
+			return false
+		}
+		if *quick && !inv.Quick {
+			return false
+		}
+		return true
+	}
+
+	if *list {
+		for _, inv := range verify.Invariants() {
+			if !filter(inv) {
+				continue
+			}
+			fmt.Fprintf(stdout, "%-13s %-28s %s\n", inv.Class, inv.Name, inv.Description)
+		}
+		return 0, nil
+	}
+
+	results := verify.Run(verify.Config{Seed: *seed, Trials: *trials}, filter)
+	if len(results) == 0 {
+		return 2, fmt.Errorf("no invariants match the given filters")
+	}
+	fmt.Fprint(stdout, verify.Summarize(results))
+	if len(verify.Failed(results)) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -98,7 +98,7 @@ func (a *Agglomerative) Cluster(points [][]float64, k int) (*Clustering, error) 
 	var centroids [][]float64
 	c := 0
 	dim := len(points[0])
-	var inertia float64
+	var inertia, metricInertia float64
 	for i := 0; i < n; i++ {
 		if !alive[i] {
 			continue
@@ -116,11 +116,13 @@ func (a *Agglomerative) Cluster(points [][]float64, k int) (*Clustering, error) 
 		}
 		for _, p := range members[i] {
 			inertia += sqEuclidean(points[p], centroid)
+			metricInertia += dist.Between(points[p], centroid)
 		}
 		centroids = append(centroids, centroid)
 		c++
 	}
-	return &Clustering{K: k, Assign: assign, Centroids: centroids, Inertia: inertia, Iterations: n - k}, nil
+	return &Clustering{K: k, Assign: assign, Centroids: centroids,
+		Inertia: inertia, MetricInertia: metricInertia, Iterations: n - k}, nil
 }
 
 // linkage computes the cluster distance between member sets a and b.

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMetricInertiaHammingHandComputed pins MetricInertia against a value
+// small enough to compute by hand. Four binary 2-d points clustered with
+// k=1 under Hamming: the centroid is the coordinate-wise mean, so with
+// points (0,0), (0,1), (1,1), (1,1) the centroid is (0.5, 0.75) and
+//
+//	L1 inertia  = (0.5+0.75) + (0.5+0.25) + (0.5+0.25) + (0.5+0.25) = 3.5
+//	L2² inertia = (0.25+0.5625) + (0.25+0.0625)·3                   = 1.75
+//
+// The regression this pins: Clustering.Inertia is always squared
+// Euclidean (Equation 3, the restart-selection objective), so consumers
+// ranking k under Hamming clustering were silently mixing metrics until
+// MetricInertia existed.
+func TestMetricInertiaHammingHandComputed(t *testing.T) {
+	pts := [][]float64{{0, 0}, {0, 1}, {1, 1}, {1, 1}}
+	km := &KMeans{Init: InitFirstK, Distance: Hamming{}}
+	c, err := km.Cluster(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.MetricInertia, 3.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Hamming MetricInertia = %v, want %v", got, want)
+	}
+	if got, want := c.Inertia, 1.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Inertia = %v, want %v", got, want)
+	}
+}
+
+// TestMetricInertiaEuclideanDiffersFromInertia: under Euclidean distance
+// MetricInertia is the sum of L2 norms, not their squares, so the two
+// fields agree only when every distance is 0 or 1.
+func TestMetricInertiaEuclidean(t *testing.T) {
+	pts := [][]float64{{0, 0}, {2, 0}}
+	km := &KMeans{Init: InitFirstK, Distance: Euclidean{}}
+	c, err := km.Cluster(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Centroid (1,0): each point at L2 distance 1, squared distance 1.
+	if got, want := c.MetricInertia, 2.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Euclidean MetricInertia = %v, want %v", got, want)
+	}
+	if got, want := c.Inertia, 2.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Inertia = %v, want %v", got, want)
+	}
+	// Scale the points: L2 sums scale linearly, squares quadratically.
+	pts = [][]float64{{0, 0}, {4, 0}}
+	c, err = km.Cluster(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.MetricInertia, 4.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("scaled Euclidean MetricInertia = %v, want %v", got, want)
+	}
+	if got, want := c.Inertia, 8.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("scaled Inertia = %v, want %v", got, want)
+	}
+}
+
+// TestAgglomerativeMetricInertia pins the same contract on the
+// agglomerative clusterer.
+func TestAgglomerativeMetricInertia(t *testing.T) {
+	pts := [][]float64{{0, 0}, {0, 1}, {1, 1}, {1, 1}}
+	a := &Agglomerative{Distance: Hamming{}}
+	c, err := a.Cluster(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.MetricInertia, 3.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("agglomerative Hamming MetricInertia = %v, want %v", got, want)
+	}
+	if got, want := c.Inertia, 1.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("agglomerative Inertia = %v, want %v", got, want)
+	}
+}

@@ -77,8 +77,19 @@ type Clustering struct {
 	// Centroids holds the final cluster means.
 	Centroids [][]float64
 	// Inertia is the within-cluster sum of squared Euclidean distances —
-	// the objective of Equation 3.
+	// the objective of Equation 3. It is always squared-Euclidean,
+	// whatever distance assigned the points: restart selection compares
+	// this value, and changing its metric would change which restart wins
+	// (and with it every pinned result downstream).
 	Inertia float64
+	// MetricInertia is the within-cluster sum of distances measured in
+	// the clustering's own distance (the one that assigned points to
+	// centroids): L1 under Hamming, the L2 norm under Euclidean. Consumers
+	// comparing inertia across k under a non-Euclidean distance (the
+	// ElbowK ablation) must read this field — mixing sqEuclidean inertia
+	// with Hamming clustering silently scores a different objective than
+	// the one optimised. Equals Inertia only when the two metrics agree.
+	MetricInertia float64
 	// Iterations is the number of Lloyd rounds of the winning restart.
 	Iterations int
 }
@@ -226,11 +237,13 @@ func (km *KMeans) run(points [][]float64, k, maxIter int, rng *rand.Rand, dist D
 		repairEmptyClusters(points, assign, centroids, dist)
 	}
 
-	var inertia float64
+	var inertia, metricInertia float64
 	for i, p := range points {
 		inertia += sqEuclidean(p, centroids[assign[i]])
+		metricInertia += dist.Between(p, centroids[assign[i]])
 	}
-	return &Clustering{K: k, Assign: assign, Centroids: centroids, Inertia: inertia, Iterations: iters}
+	return &Clustering{K: k, Assign: assign, Centroids: centroids,
+		Inertia: inertia, MetricInertia: metricInertia, Iterations: iters}
 }
 
 func (km *KMeans) initCentroids(points [][]float64, k int, rng *rand.Rand) [][]float64 {

@@ -140,27 +140,42 @@ func SilhouettesFromMatrix(d [][]float64, assign []int, k int) []float64 {
 	return coeffs
 }
 
-// ElbowK picks k by the "elbow" of the inertia curve: the k whose inertia
-// drop, relative to the previous k, falls below the given fraction of the
-// first drop. It is the classic alternative to the silhouette and exists
-// here for the k-selection ablation. inertias[i] must correspond to
-// k = kMin+i; the returned k is in [kMin, kMin+len(inertias)-1].
+// ElbowK picks k by the "elbow" of the inertia curve: the smallest k
+// after which no inertia drop is ever again significant — a drop being
+// significant when it reaches the given fraction of the first drop. It is
+// the classic alternative to the silhouette and exists here for the
+// k-selection ablation. inertias[i] must correspond to k = kMin+i; the
+// returned k is in [kMin, kMin+len(inertias)-1].
+//
+// Convention for non-monotone sequences: Lloyd's restarts make the curve
+// only approximately decreasing, so the sequence is first clamped to its
+// running minimum. A noisy rise therefore reads as a flat (zero-drop)
+// segment instead of a negative drop, and — because the elbow requires
+// every later drop to be insignificant too — a mid-sequence rise followed
+// by a genuine drop can no longer terminate the search early at an
+// arbitrary k (the divergence the verification harness pinned). A curve
+// whose very first step does not decrease yields kMin; a curve that never
+// flattens yields the largest explored k.
 func ElbowK(inertias []float64, kMin int, threshold float64) int {
-	if len(inertias) == 0 {
+	if len(inertias) < 2 {
 		return kMin
 	}
-	if len(inertias) == 1 {
-		return kMin
+	// Running-minimum envelope: env[i] is the best inertia seen up to i.
+	env := make([]float64, len(inertias))
+	env[0] = inertias[0]
+	for i := 1; i < len(env); i++ {
+		env[i] = math.Min(env[i-1], inertias[i])
 	}
-	firstDrop := inertias[0] - inertias[1]
+	firstDrop := env[0] - env[1]
 	if firstDrop <= 0 {
 		return kMin
 	}
-	for i := 1; i < len(inertias)-1; i++ {
-		drop := inertias[i] - inertias[i+1]
-		if drop < threshold*firstDrop {
-			return kMin + i
+	// The elbow is after the last significant drop: scanning backwards,
+	// stop at the first i whose drop still matters.
+	for i := len(env) - 2; i >= 1; i-- {
+		if env[i]-env[i+1] >= threshold*firstDrop {
+			return kMin + i + 1
 		}
 	}
-	return kMin + len(inertias) - 1
+	return kMin + 1
 }

@@ -117,3 +117,49 @@ func TestElbowK(t *testing.T) {
 		t.Errorf("ElbowK(steep) = %d, want 5", got)
 	}
 }
+
+// TestElbowKNonMonotone pins the convention for inertia curves that are
+// not monotone non-increasing — Lloyd's restarts make small rises
+// possible. The regression: the old scan returned the first k whose drop
+// fell below threshold·firstDrop, so a noisy mid-sequence rise (negative
+// drop) terminated the search at an arbitrary early k even when a large
+// genuine drop followed. The fixed convention clamps the curve to its
+// running minimum and places the elbow after the LAST significant drop.
+func TestElbowKNonMonotone(t *testing.T) {
+	cases := []struct {
+		name      string
+		inertias  []float64
+		kMin      int
+		threshold float64
+		want      int
+	}{
+		// Noisy rise at k=3 (40→45) before the real elbow drop 40→12.
+		// Old code: the negative drop < threshold·60 returned k=3.
+		{"noisy-rise-before-real-drop", []float64{100, 40, 45, 12, 11}, 2, 0.1, 5},
+		// Noise after the curve flattened must not move the elbow late:
+		// the post-flat wiggle never beats its running minimum.
+		{"noise-after-flat", []float64{100, 20, 19, 21, 19.5}, 2, 0.1, 3},
+		// Perfectly flat: no first drop, fall back to kMin.
+		{"flat", []float64{10, 10, 10, 10}, 2, 0.25, 2},
+		// Strictly increasing: clustering more never helped, kMin.
+		{"increasing", []float64{1, 2, 3, 4}, 2, 0.25, 2},
+		// Rise on the very first step, then a real drop: the running
+		// minimum keeps firstDrop at 0, so the convention still says kMin
+		// (the first explored k never improved on itself).
+		{"first-step-rises", []float64{100, 120, 20, 19}, 2, 0.25, 2},
+		// Monotone but with an insignificant mid-drop followed by a
+		// significant one: the elbow waits for the last significant drop.
+		{"late-significant-drop", []float64{100, 60, 55, 30, 29}, 2, 0.2, 5},
+		// Two-point curves: one drop, elbow right after it.
+		{"two-points-drop", []float64{100, 10}, 2, 0.1, 3},
+		{"two-points-flat", []float64{10, 10}, 2, 0.1, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ElbowK(tc.inertias, tc.kMin, tc.threshold); got != tc.want {
+				t.Errorf("ElbowK(%v, %d, %v) = %d, want %d",
+					tc.inertias, tc.kMin, tc.threshold, got, tc.want)
+			}
+		})
+	}
+}

@@ -113,60 +113,106 @@ func (g *GenPartition) Discover(d *truthdata.Dataset) (*algorithms.Result, error
 	return out.Result, nil
 }
 
+// checkRunnable validates the (algorithm, weighting, dataset) triple
+// shared by Run and ScorePartition.
+func (g *GenPartition) checkRunnable(d *truthdata.Dataset) error {
+	if g.Base == nil {
+		return errors.New("genpartition: Base algorithm is required")
+	}
+	if len(d.Claims) == 0 {
+		return algorithms.ErrEmptyDataset
+	}
+	if g.Weighting == Oracle && len(d.Truth) == 0 {
+		return errNeedTruth
+	}
+	return nil
+}
+
+// evaluator memoizes per-group base runs over one dataset; the same
+// group recurs in many partitions, so each distinct group runs once.
+type evaluator struct {
+	g     *GenPartition
+	d     *truthdata.Dataset
+	cache map[string]*groupRun
+	runs  int
+}
+
+func (g *GenPartition) newEvaluator(d *truthdata.Dataset) *evaluator {
+	return &evaluator{g: g, d: d, cache: make(map[string]*groupRun)}
+}
+
+func (e *evaluator) eval(group []truthdata.AttrID) (*groupRun, error) {
+	key := groupKey(group)
+	if gr, ok := e.cache[key]; ok {
+		return gr, nil
+	}
+	d := e.d
+	sub, backMap := d.Project(group)
+	gr := &groupRun{claims: len(sub.Claims)}
+	if len(sub.Claims) > 0 {
+		res, err := e.g.Base.Discover(sub)
+		if err != nil {
+			return nil, fmt.Errorf("genpartition: base run on group %s: %w", key, err)
+		}
+		e.runs++
+		gr.trust = res.Trust
+		gr.iters = res.Iterations
+		gr.hasClaims = make([]bool, sub.NumSources())
+		for _, c := range sub.Claims {
+			gr.hasClaims[c.Source] = true
+		}
+		gr.truth = make(map[truthdata.Cell]string, len(res.Truth))
+		gr.conf = make(map[truthdata.Cell]float64, len(res.Confidence))
+		for cell, v := range res.Truth {
+			orig := truthdata.Cell{Object: cell.Object, Attr: backMap[cell.Attr]}
+			gr.truth[orig] = v
+			if c, ok := res.Confidence[cell]; ok {
+				gr.conf[orig] = c
+			}
+		}
+		if len(d.Truth) > 0 {
+			rep := metrics.Evaluate(sub, res.Truth)
+			gr.confusion = rep.Confusion
+			gr.cellAll = rep.EvaluatedCells
+			gr.cellOK = int(math.Round(rep.CellAccuracy * float64(rep.EvaluatedCells)))
+		}
+	}
+	e.cache[key] = gr
+	return gr, nil
+}
+
+// ScorePartition evaluates one candidate partition with g's weighting
+// function — the same score Run uses to rank the enumerated partitions.
+// It exists so external cross-checks (the verification harness's oracle
+// invariant) can compare a heuristically chosen partition against the
+// enumerated optimum on the exact same scale.
+func (g *GenPartition) ScorePartition(d *truthdata.Dataset, p partition.Partition) (float64, error) {
+	if err := g.checkRunnable(d); err != nil {
+		return 0, err
+	}
+	if got, want := p.Size(), d.NumAttrs(); got != want {
+		return 0, fmt.Errorf("genpartition: partition covers %d attrs, dataset has %d", got, want)
+	}
+	e := g.newEvaluator(d)
+	groups := make([]*groupRun, 0, len(p))
+	for _, grp := range p.Canonical() {
+		gr, err := e.eval(grp)
+		if err != nil {
+			return 0, err
+		}
+		groups = append(groups, gr)
+	}
+	return g.score(groups), nil
+}
+
 // Run enumerates all partitions and returns the best one's merged result.
 func (g *GenPartition) Run(d *truthdata.Dataset) (*Outcome, error) {
 	start := time.Now()
-	if g.Base == nil {
-		return nil, errors.New("genpartition: Base algorithm is required")
-	}
-	if len(d.Claims) == 0 {
-		return nil, algorithms.ErrEmptyDataset
-	}
-	if g.Weighting == Oracle && len(d.Truth) == 0 {
-		return nil, errNeedTruth
+	if err := g.checkRunnable(d); err != nil {
+		return nil, err
 	}
 	nA := d.NumAttrs()
-
-	cache := make(map[string]*groupRun)
-	runs := 0
-	evalGroup := func(group []truthdata.AttrID) (*groupRun, error) {
-		key := groupKey(group)
-		if gr, ok := cache[key]; ok {
-			return gr, nil
-		}
-		sub, backMap := d.Project(group)
-		gr := &groupRun{claims: len(sub.Claims)}
-		if len(sub.Claims) > 0 {
-			res, err := g.Base.Discover(sub)
-			if err != nil {
-				return nil, fmt.Errorf("genpartition: base run on group %s: %w", key, err)
-			}
-			runs++
-			gr.trust = res.Trust
-			gr.iters = res.Iterations
-			gr.hasClaims = make([]bool, sub.NumSources())
-			for _, c := range sub.Claims {
-				gr.hasClaims[c.Source] = true
-			}
-			gr.truth = make(map[truthdata.Cell]string, len(res.Truth))
-			gr.conf = make(map[truthdata.Cell]float64, len(res.Confidence))
-			for cell, v := range res.Truth {
-				orig := truthdata.Cell{Object: cell.Object, Attr: backMap[cell.Attr]}
-				gr.truth[orig] = v
-				if c, ok := res.Confidence[cell]; ok {
-					gr.conf[orig] = c
-				}
-			}
-			if len(d.Truth) > 0 {
-				rep := metrics.Evaluate(sub, res.Truth)
-				gr.confusion = rep.Confusion
-				gr.cellAll = rep.EvaluatedCells
-				gr.cellOK = int(math.Round(rep.CellAccuracy * float64(rep.EvaluatedCells)))
-			}
-		}
-		cache[key] = gr
-		return gr, nil
-	}
+	e := g.newEvaluator(d)
 
 	var (
 		best      partition.Partition
@@ -179,7 +225,7 @@ func (g *GenPartition) Run(d *truthdata.Dataset) (*Outcome, error) {
 		explored++
 		groups := make([]*groupRun, len(p))
 		for i, grp := range p {
-			gr, err := evalGroup(grp)
+			gr, err := e.eval(grp)
 			if err != nil {
 				enumErr = err
 				return false
@@ -212,7 +258,7 @@ func (g *GenPartition) Run(d *truthdata.Dataset) (*Outcome, error) {
 		Partition:          best,
 		Score:              bestScore,
 		PartitionsExplored: explored,
-		GroupRuns:          runs,
+		GroupRuns:          e.runs,
 	}, nil
 }
 

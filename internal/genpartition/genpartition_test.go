@@ -7,6 +7,7 @@ import (
 
 	"tdac/internal/algorithms"
 	"tdac/internal/metrics"
+	"tdac/internal/partition"
 	"tdac/internal/synth"
 	"tdac/internal/truthdata"
 )
@@ -177,5 +178,47 @@ func TestRunPropagatesBaseFailure(t *testing.T) {
 	g := New(failingAlgorithm{}, Max)
 	if _, err := g.Run(gen.Dataset); err == nil || !strings.Contains(err.Error(), "injected failure") {
 		t.Errorf("err = %v, want injected failure", err)
+	}
+}
+
+// TestScorePartitionMatchesRun pins the external scoring hook against the
+// enumeration: scoring the winning partition reproduces Outcome.Score
+// exactly, no enumerated partition out-scores it, and malformed
+// partitions are rejected.
+func TestScorePartitionMatchesRun(t *testing.T) {
+	gen := smallSynth(t)
+	for _, w := range []Weighting{Max, Avg} {
+		g := New(algorithms.NewMajorityVote(), w)
+		out, err := g.Run(gen.Dataset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.ScorePartition(gen.Dataset, out.Partition)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != out.Score {
+			t.Errorf("%s: ScorePartition(winner) = %v, Run scored %v", w, got, out.Score)
+		}
+		// The planted partition is one of the enumerated candidates, so it
+		// can never beat the enumerated optimum.
+		planted, err := g.ScorePartition(gen.Dataset, gen.Planted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if planted > out.Score+1e-12 {
+			t.Errorf("%s: planted partition scored %v above optimum %v", w, planted, out.Score)
+		}
+	}
+}
+
+func TestScorePartitionRejectsBadInput(t *testing.T) {
+	gen := smallSynth(t)
+	g := New(algorithms.NewMajorityVote(), Max)
+	if _, err := g.ScorePartition(gen.Dataset, partition.Whole(3)); err == nil {
+		t.Error("wrong-size partition accepted")
+	}
+	if _, err := (&GenPartition{}).ScorePartition(gen.Dataset, gen.Planted); err == nil {
+		t.Error("baseless ScorePartition succeeded")
 	}
 }

@@ -227,7 +227,7 @@ type Engine struct {
 	mu    sync.Mutex
 	jobs  map[string]*Job
 	order []string          // insertion order, for listing and eviction
-	keys  map[string]string // idempotency key → job ID, for retained jobs
+	keys  map[string]string // dedupeKey(spec) → job ID, for retained jobs
 	next  int
 
 	running atomic.Int64
@@ -268,24 +268,39 @@ func NewEngine(cfg EngineConfig) *Engine {
 	return e
 }
 
+// dedupeKey scopes a spec's idempotency key to the dataset it targets.
+// Scoping is per dataset, not global: two clients reusing the same key
+// against different datasets are independent submissions and must not be
+// coalesced (a dataset name cannot contain '\x00', so the join is
+// unambiguous). Resubmits against the same dataset dedupe across
+// versions deliberately — the point of the key is to make retries of one
+// logical request safe, and a retry races ingestion.
+func dedupeKey(spec *JobSpec) string {
+	if spec.Key == "" {
+		return ""
+	}
+	return spec.Snapshot.Dataset + "\x00" + spec.Key
+}
+
 // Submit enqueues a job for spec. It never blocks: a full queue returns
 // ErrQueueFull immediately (the HTTP layer's 429), and an engine that
 // began shutting down returns ErrShuttingDown. A spec carrying the
-// idempotency key of a retained job returns that job with created ==
-// false instead of enqueuing a duplicate. The enqueue happens under the
-// engine mutex so it can never race Shutdown's close of the queue.
+// idempotency key of a job retained for the same dataset returns that
+// job with created == false instead of enqueuing a duplicate. The
+// enqueue happens under the engine mutex so it can never race Shutdown's
+// close of the queue.
 func (e *Engine) Submit(spec JobSpec) (j *Job, created bool, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed.Load() {
 		return nil, false, ErrShuttingDown
 	}
-	if spec.Key != "" {
-		if id, ok := e.keys[spec.Key]; ok {
+	if dk := dedupeKey(&spec); dk != "" {
+		if id, ok := e.keys[dk]; ok {
 			if dup, ok := e.jobs[id]; ok {
 				return dup, false, nil
 			}
-			delete(e.keys, spec.Key) // the job was evicted; the key is free
+			delete(e.keys, dk) // the job was evicted; the key is free
 		}
 	}
 	// Capacity is checked before the submit record is journaled, so an
@@ -311,8 +326,8 @@ func (e *Engine) Submit(spec JobSpec) (j *Job, created bool, err error) {
 	}
 	e.queue <- j
 	e.enqueued.Add(1)
-	if spec.Key != "" {
-		e.keys[spec.Key] = j.ID
+	if dk := dedupeKey(&spec); dk != "" {
+		e.keys[dk] = j.ID
 	}
 	e.jobs[j.ID] = j
 	e.order = append(e.order, j.ID)
@@ -339,8 +354,8 @@ func (e *Engine) resume(id string, spec JobSpec) *Job {
 	}
 	e.queue <- j
 	e.enqueued.Add(1)
-	if spec.Key != "" {
-		e.keys[spec.Key] = id
+	if dk := dedupeKey(&spec); dk != "" {
+		e.keys[dk] = id
 	}
 	e.jobs[id] = j
 	e.order = append(e.order, id)
@@ -375,8 +390,8 @@ func (e *Engine) evictLocked() {
 			switch j.State() {
 			case JobDone, JobFailed, JobCancelled:
 				delete(e.jobs, id)
-				if j.Spec.Key != "" && e.keys[j.Spec.Key] == id {
-					delete(e.keys, j.Spec.Key)
+				if dk := dedupeKey(&j.Spec); dk != "" && e.keys[dk] == id {
+					delete(e.keys, dk)
 				}
 				e.order = append(e.order[:i], e.order[i+1:]...)
 				evicted = true

@@ -330,6 +330,50 @@ func TestStoreIdempotentSubmitOverHTTPSemantics(t *testing.T) {
 	}
 }
 
+// TestStoreIdempotencyKeysScopedPerDataset pins the regression the
+// verification harness surfaced: idempotency keys used to live in one
+// global map, so two clients retrying against *different* datasets with
+// the same key were coalesced into one job — the second client got the
+// first client's result for a dataset it never asked about. Keys must
+// dedupe only within a dataset.
+func TestStoreIdempotencyKeysScopedPerDataset(t *testing.T) {
+	mem := fault.NewMem(fault.Config{})
+	f := newFakeRunner()
+	s := newDurableServer(t, mem, f, Config{Workers: 2, QueueSize: 8})
+	defer shutdownServer(t, s)
+	if err := s.Registry().Create("a", smallDataset(t, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Registry().Create("b", smallDataset(t, "b")); err != nil {
+		t.Fatal(err)
+	}
+	ja, err := submitDiscover(t, s, "a", discoverRequest{Key: "retry-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := submitDiscover(t, s, "b", discoverRequest{Key: "retry-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jb.ID == ja.ID {
+		t.Fatalf("same key on different datasets coalesced into job %s", ja.ID)
+	}
+	if got := jb.Spec.Snapshot.Dataset; got != "b" {
+		t.Fatalf("job for dataset b pinned to %q", got)
+	}
+	// Within a dataset the key still dedupes.
+	ja2, err := submitDiscover(t, s, "a", discoverRequest{Key: "retry-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ja2.ID != ja.ID {
+		t.Fatalf("retry on dataset a created %s, want %s", ja2.ID, ja.ID)
+	}
+	if c := s.Engine().Counters(); c.Enqueued != 2 {
+		t.Fatalf("enqueued = %d, want 2 (one per dataset)", c.Enqueued)
+	}
+}
+
 // TestStoreJournaledRequestRoundTrips pins the wire form: the journaled
 // request must decode back through buildSpec with the same options.
 func TestStoreJournaledRequestRoundTrips(t *testing.T) {

@@ -137,7 +137,8 @@ func WriteTruthCSV(w io.Writer, d *Dataset) error {
 }
 
 // jsonDataset is the on-disk JSON shape: truth is keyed by
-// "objectName\x1fattrName" to stay a flat object.
+// "objectName\x1fattrName" to stay a flat object, with \x1e-escaping
+// for names that contain the separator (see encodeTruthKey).
 type jsonDataset struct {
 	Name    string            `json:"name"`
 	Sources []string          `json:"sources"`
@@ -154,7 +155,57 @@ type jsonClaim struct {
 	Value  string `json:"v"`
 }
 
-const truthKeySep = "\x1f"
+const (
+	truthKeySep = "\x1f"
+	truthKeyEsc = "\x1e"
+)
+
+// escapeKeyPart makes a name safe to embed in a truth key: occurrences
+// of the separator (or of the escape byte itself) are prefixed with the
+// escape byte. Names without either byte — every realistic name — pass
+// through unchanged, so the on-disk format is stable for them.
+func escapeKeyPart(s string) string {
+	if !strings.ContainsAny(s, truthKeySep+truthKeyEsc) {
+		return s
+	}
+	s = strings.ReplaceAll(s, truthKeyEsc, truthKeyEsc+truthKeyEsc)
+	return strings.ReplaceAll(s, truthKeySep, truthKeyEsc+truthKeySep)
+}
+
+// encodeTruthKey joins an object and attribute name into one flat map
+// key that decodeTruthKey splits back unambiguously.
+func encodeTruthKey(object, attr string) string {
+	return escapeKeyPart(object) + truthKeySep + escapeKeyPart(attr)
+}
+
+// decodeTruthKey splits a truth key at its unescaped separator; ok is
+// false when the key does not contain exactly one.
+func decodeTruthKey(k string) (object, attr string, ok bool) {
+	parts := make([]string, 0, 2)
+	var b strings.Builder
+	for i := 0; i < len(k); i++ {
+		switch k[i] {
+		case truthKeyEsc[0]:
+			if i+1 < len(k) {
+				i++
+				b.WriteByte(k[i])
+			}
+		case truthKeySep[0]:
+			if len(parts) == 2 {
+				return "", "", false
+			}
+			parts = append(parts, b.String())
+			b.Reset()
+		default:
+			b.WriteByte(k[i])
+		}
+	}
+	parts = append(parts, b.String())
+	if len(parts) != 2 {
+		return "", "", false
+	}
+	return parts[0], parts[1], true
+}
 
 // WriteJSON serialises the full dataset, ground truth included.
 func WriteJSON(w io.Writer, d *Dataset) error {
@@ -171,7 +222,7 @@ func WriteJSON(w io.Writer, d *Dataset) error {
 	if len(d.Truth) > 0 {
 		jd.Truth = make(map[string]string, len(d.Truth))
 		for cell, v := range d.Truth {
-			jd.Truth[d.ObjectName(cell.Object)+truthKeySep+d.AttrName(cell.Attr)] = v
+			jd.Truth[encodeTruthKey(d.ObjectName(cell.Object), d.AttrName(cell.Attr))] = v
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -205,17 +256,17 @@ func ReadJSON(r io.Reader) (*Dataset, error) {
 		}
 		d.Truth = make(map[Cell]string, len(jd.Truth))
 		for k, v := range jd.Truth {
-			sep := strings.Index(k, truthKeySep)
-			if sep < 0 {
+			objName, attrName, ok := decodeTruthKey(k)
+			if !ok {
 				return nil, fmt.Errorf("truthdata: malformed truth key %q", k)
 			}
-			o, ok := objects[k[:sep]]
+			o, ok := objects[objName]
 			if !ok {
-				return nil, fmt.Errorf("truthdata: truth references unknown object %q", k[:sep])
+				return nil, fmt.Errorf("truthdata: truth references unknown object %q", objName)
 			}
-			a, ok := attrs[k[sep+1:]]
+			a, ok := attrs[attrName]
 			if !ok {
-				return nil, fmt.Errorf("truthdata: truth references unknown attribute %q", k[sep+1:])
+				return nil, fmt.Errorf("truthdata: truth references unknown attribute %q", attrName)
 			}
 			d.Truth[Cell{Object: o, Attr: a}] = v
 		}

@@ -1,0 +1,178 @@
+package truthdata
+
+import (
+	"bytes"
+	"testing"
+)
+
+// hostileDataset builds a dataset whose names and values exercise every
+// quoting path of the serialisers: commas, double quotes, embedded
+// newlines, non-ASCII text, and the truth-key separator/escape bytes.
+// Leading spaces and \r\n are deliberately absent: the CSV readers trim
+// leading space and encoding/csv normalises \r\n to \n inside quoted
+// fields, both documented reader behaviours rather than round-trip
+// targets.
+func hostileDataset(t *testing.T) *Dataset {
+	t.Helper()
+	b := NewBuilder("hostile, \"dataset\"\nπ")
+	sources := []string{`s,comma`, `s"quoted"`, "s\nnewline", "søurçe-ünïcodé-日本語"}
+	objects := []string{`o,1`, "o\n\"2\"", "객체-3", "o\x1fsep", "o\x1e\x1fesc"}
+	attrs := []string{`a,α`, "a\"β\"", "a\nγ", "a\x1fδ"}
+	values := []string{`v,1`, `v"2"`, "v\n3", "välüé-4"}
+	for oi, o := range objects {
+		for ai, a := range attrs {
+			b.Truth(o, a, values[(oi+ai)%len(values)])
+			for si, s := range sources {
+				b.Claim(s, o, a, values[(si+oi+ai)%len(values)])
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// datasetsEqual demands full structural equality: names, claims in
+// order, and ground truth.
+func datasetsEqual(t *testing.T, want, got *Dataset) {
+	t.Helper()
+	if got.NumSources() != want.NumSources() || got.NumObjects() != want.NumObjects() || got.NumAttrs() != want.NumAttrs() {
+		t.Fatalf("dimensions changed: %dx%dx%d vs %dx%dx%d",
+			got.NumSources(), got.NumObjects(), got.NumAttrs(),
+			want.NumSources(), want.NumObjects(), want.NumAttrs())
+	}
+	if got.NumClaims() != want.NumClaims() {
+		t.Fatalf("claims changed: %d vs %d", got.NumClaims(), want.NumClaims())
+	}
+	for i, c := range got.Claims {
+		w := want.Claims[i]
+		if got.SourceName(c.Source) != want.SourceName(w.Source) ||
+			got.ObjectName(c.Object) != want.ObjectName(w.Object) ||
+			got.AttrName(c.Attr) != want.AttrName(w.Attr) ||
+			c.Value != w.Value {
+			t.Fatalf("claim %d changed: %q/%q/%q=%q vs %q/%q/%q=%q", i,
+				got.SourceName(c.Source), got.ObjectName(c.Object), got.AttrName(c.Attr), c.Value,
+				want.SourceName(w.Source), want.ObjectName(w.Object), want.AttrName(w.Attr), w.Value)
+		}
+	}
+	if len(got.Truth) != len(want.Truth) {
+		t.Fatalf("truth changed: %d cells vs %d", len(got.Truth), len(want.Truth))
+	}
+	for cell, v := range want.Truth {
+		gcell := Cell{Object: ObjectID(0), Attr: AttrID(0)}
+		// Map by name: ids may differ if interning order changed (it must
+		// not, but the comparison should say so readably).
+		found := false
+		for gc, gv := range got.Truth {
+			if got.ObjectName(gc.Object) == want.ObjectName(cell.Object) &&
+				got.AttrName(gc.Attr) == want.AttrName(cell.Attr) {
+				gcell, found = gc, true
+				if gv != v {
+					t.Fatalf("truth for %q/%q changed: %q vs %q",
+						want.ObjectName(cell.Object), want.AttrName(cell.Attr), gv, v)
+				}
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("truth for %q/%q lost (cell %v)",
+				want.ObjectName(cell.Object), want.AttrName(cell.Attr), gcell)
+		}
+	}
+}
+
+// TestClaimsCSVRoundTripHostileNames: write→read→write must be an
+// identity on datasets full of commas, quotes, newlines and non-ASCII
+// names, and the second and third serialisations must be byte-identical.
+func TestClaimsCSVRoundTripHostileNames(t *testing.T) {
+	d := hostileDataset(t)
+	var first bytes.Buffer
+	if err := WriteClaimsCSV(&first, d); err != nil {
+		t.Fatalf("WriteClaimsCSV: %v", err)
+	}
+	loaded, err := ReadClaimsCSV(bytes.NewReader(first.Bytes()), d.Name)
+	if err != nil {
+		t.Fatalf("ReadClaimsCSV: %v", err)
+	}
+	withoutTruth := d.Clone()
+	withoutTruth.Truth = nil
+	datasetsEqual(t, withoutTruth, loaded)
+	var second bytes.Buffer
+	if err := WriteClaimsCSV(&second, loaded); err != nil {
+		t.Fatalf("WriteClaimsCSV (second): %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("load→save is not a fixed point for hostile claim names")
+	}
+}
+
+// TestTruthCSVRoundTripHostileNames does the same for the truth format.
+func TestTruthCSVRoundTripHostileNames(t *testing.T) {
+	d := hostileDataset(t)
+	var first bytes.Buffer
+	if err := WriteTruthCSV(&first, d); err != nil {
+		t.Fatalf("WriteTruthCSV: %v", err)
+	}
+	reloaded := d.Clone()
+	reloaded.Truth = nil
+	if err := ReadTruthCSV(bytes.NewReader(first.Bytes()), reloaded); err != nil {
+		t.Fatalf("ReadTruthCSV: %v", err)
+	}
+	datasetsEqual(t, d, reloaded)
+	var second bytes.Buffer
+	if err := WriteTruthCSV(&second, reloaded); err != nil {
+		t.Fatalf("WriteTruthCSV (second): %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("load→save is not a fixed point for hostile truth names")
+	}
+}
+
+// TestJSONRoundTripHostileNames covers the JSON format, including the
+// regression the harness work uncovered: truth keys are built as
+// "object\x1fattribute", so an object or attribute name containing the
+// \x1f separator (or the \x1e escape) used to split at the wrong place
+// and fail the read with "unknown object". encodeTruthKey now escapes
+// both bytes.
+func TestJSONRoundTripHostileNames(t *testing.T) {
+	d := hostileDataset(t)
+	var first bytes.Buffer
+	if err := WriteJSON(&first, d); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	loaded, err := ReadJSON(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	datasetsEqual(t, d, loaded)
+	var second bytes.Buffer
+	if err := WriteJSON(&second, loaded); err != nil {
+		t.Fatalf("WriteJSON (second): %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("load→save is not a fixed point for hostile JSON names")
+	}
+}
+
+// TestTruthKeyEscaping pins the key codec itself on the separator-
+// bearing names from the JSON regression, plus edge shapes.
+func TestTruthKeyEscaping(t *testing.T) {
+	cases := []struct{ object, attr string }{
+		{"plain", "names"},
+		{"o\x1fsep", "attr"},
+		{"object", "a\x1fttr"},
+		{"o\x1e", "\x1fa"},
+		{"\x1e\x1f", "\x1f\x1e"},
+		{"", ""},
+	}
+	for _, tc := range cases {
+		k := encodeTruthKey(tc.object, tc.attr)
+		o, a, ok := decodeTruthKey(k)
+		if !ok || o != tc.object || a != tc.attr {
+			t.Errorf("key %q: decoded (%q, %q, %v), want (%q, %q, true)", k, o, a, ok, tc.object, tc.attr)
+		}
+	}
+	for _, bad := range []string{"no-separator", "a\x1fb\x1fc", "a\x1fb\x1fc\x1fd"} {
+		if _, _, ok := decodeTruthKey(bad); ok {
+			t.Errorf("decodeTruthKey accepted malformed key %q", bad)
+		}
+	}
+}

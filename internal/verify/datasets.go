@@ -1,0 +1,87 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tdac/internal/synth"
+	"tdac/internal/truthdata"
+)
+
+// Input generators of the harness. Every generator is a pure function of
+// the rng handed to it, so a Config seed reproduces a whole run.
+
+// randomBinaryVectors draws n 0/1 vectors of the given dimension — the
+// shape of unmasked truth vectors (Equation 1).
+func randomBinaryVectors(rng *rand.Rand, n, dim int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for j := range v {
+			if rng.Intn(2) == 1 {
+				v[j] = 1
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// randomMaskedVectors draws vectors over {0, 1, mask} — the shape of
+// sparse-aware truth vectors, where mask encodes "no claim exists".
+func randomMaskedVectors(rng *rand.Rand, n, dim int, mask float64) [][]float64 {
+	out := randomBinaryVectors(rng, n, dim)
+	for _, v := range out {
+		for j := range v {
+			if rng.Float64() < 0.3 {
+				v[j] = mask
+			}
+		}
+	}
+	return out
+}
+
+// randomDataset builds a seeded random claim dataset: nS sources, nO
+// objects, nA attributes, values drawn from a pool of nV candidates per
+// cell, each (source, object, attribute) observation present with the
+// given coverage probability. Ground truth is attached for every cell. At
+// least one claim is guaranteed so the dataset is runnable.
+func randomDataset(rng *rand.Rand, nS, nO, nA, nV int, coverage float64) *truthdata.Dataset {
+	b := truthdata.NewBuilder("verify-random")
+	srcs := make([]truthdata.SourceID, nS)
+	for s := 0; s < nS; s++ {
+		srcs[s] = b.Source(fmt.Sprintf("s%02d", s))
+	}
+	objs := make([]truthdata.ObjectID, nO)
+	for o := 0; o < nO; o++ {
+		objs[o] = b.Object(fmt.Sprintf("o%03d", o))
+	}
+	attrs := make([]truthdata.AttrID, nA)
+	for a := 0; a < nA; a++ {
+		attrs[a] = b.Attr(fmt.Sprintf("a%d", a))
+	}
+	claims := 0
+	for o := 0; o < nO; o++ {
+		for a := 0; a < nA; a++ {
+			b.TruthIDs(objs[o], attrs[a], fmt.Sprintf("v%d", rng.Intn(nV)))
+			for s := 0; s < nS; s++ {
+				if coverage < 1 && rng.Float64() >= coverage {
+					continue
+				}
+				b.ClaimIDs(srcs[s], objs[o], attrs[a], fmt.Sprintf("v%d", rng.Intn(nV)))
+				claims++
+			}
+		}
+	}
+	if claims == 0 {
+		b.ClaimIDs(srcs[0], objs[0], attrs[0], "v0")
+	}
+	return b.MustBuild()
+}
+
+// plantedDataset generates a structurally correlated dataset in the
+// paper's DS2 configuration at reduced scale — the regime TD-AC is
+// designed for, where the planted partition is recoverable.
+func plantedDataset(objects int) (*synth.Generated, error) {
+	return synth.Generate(synth.DS2().Scaled(objects))
+}

@@ -1,0 +1,28 @@
+package verify
+
+import (
+	"testing"
+)
+
+// FuzzVerifyInvariants drives every quick invariant with fuzzer-chosen
+// seeds: the generators derive all datasets, vectors and permutations
+// from the seed, so the fuzzer explores the input space of the
+// differential and metamorphic checks. Any crash or violation is a
+// minimised divergence between a production path and its reference.
+func FuzzVerifyInvariants(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Add(int64(1 << 40))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		cfg := Config{Seed: seed, Trials: 1}.withDefaults()
+		for _, inv := range Invariants() {
+			if !inv.Quick {
+				continue
+			}
+			if err := inv.Check(cfg); err != nil {
+				t.Errorf("seed %d: %s invariant %q violated: %v", seed, inv.Class, inv.Name, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,404 @@
+package verify
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"tdac"
+	"tdac/internal/server"
+	"tdac/internal/truthdata"
+)
+
+// Service-level invariants: the HTTP surface and the WAL-backed store
+// must be faithful transports around the library — serving a dataset and
+// replaying a journal may never change an answer.
+
+func init() {
+	register(
+		Invariant{
+			Name:        "http-vs-direct",
+			Class:       Metamorphic,
+			Description: "a discovery job submitted over HTTP returns the same truth, trust, partition and silhouette as a direct library call on the same claims",
+			Quick:       false,
+			Check:       checkHTTPVsDirect,
+		},
+		Invariant{
+			Name:        "wal-replay-idempotent",
+			Class:       Metamorphic,
+			Description: "recovering a server from its WAL reproduces the live registry state, and replaying the journal twice equals replaying it once",
+			Quick:       false,
+			Check:       checkWALReplay,
+		},
+	)
+}
+
+// postJSON posts a JSON body and decodes the JSON reply into out.
+func postJSON(client *http.Client, url string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var msg bytes.Buffer
+		_, _ = msg.ReadFrom(resp.Body)
+		return fmt.Errorf("POST %s: %s: %s", url, resp.Status, strings.TrimSpace(msg.String()))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// jobReply mirrors the wire shape of GET /v1/jobs/{id} (the service's
+// jobView), as a client sees it.
+type jobReply struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Error  string `json:"error"`
+	Result *struct {
+		Silhouette *float64   `json:"silhouette"`
+		Partition  [][]string `json:"partition"`
+		Truth      []struct {
+			Object    string `json:"object"`
+			Attribute string `json:"attribute"`
+			Value     string `json:"value"`
+		} `json:"truth"`
+		Trust []struct {
+			Source string  `json:"source"`
+			Trust  float64 `json:"trust"`
+		} `json:"trust"`
+	} `json:"result"`
+}
+
+// awaitJob polls the job endpoint until the job reaches a terminal state.
+func awaitJob(client *http.Client, base, id string) (*jobReply, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := client.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return nil, err
+		}
+		var jv jobReply
+		err = json.NewDecoder(resp.Body).Decode(&jv)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch jv.State {
+		case string(server.JobDone), string(server.JobFailed), string(server.JobCancelled):
+			return &jv, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("job %s still %s after 30s", id, jv.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// canonicalPartitionNames renders a name-level partition in a canonical
+// textual form for comparison across representations.
+func canonicalPartitionNames(groups [][]string) string {
+	out := make([]string, 0, len(groups))
+	for _, g := range groups {
+		names := append([]string(nil), g...)
+		sort.Strings(names)
+		out = append(out, strings.Join(names, ","))
+	}
+	sort.Strings(out)
+	return strings.Join(out, "|")
+}
+
+func checkHTTPVsDirect(cfg Config) error {
+	gen, err := plantedDataset(20)
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+	d := gen.Dataset
+
+	s, err := server.New(server.Config{Workers: 2, QueueSize: 8})
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Ship the claims over the wire in claim order, and feed the same
+	// stream to a local Builder: the registry interns names in first-
+	// appearance order, so both sides see the identical dataset.
+	claims := make([]server.ClaimInput, len(d.Claims))
+	b := tdac.NewBuilder("verify-http")
+	for i, c := range d.Claims {
+		claims[i] = server.ClaimInput{
+			Source:    d.SourceName(c.Source),
+			Object:    d.ObjectName(c.Object),
+			Attribute: d.AttrName(c.Attr),
+			Value:     c.Value,
+		}
+		b.Claim(claims[i].Source, claims[i].Object, claims[i].Attribute, c.Value)
+	}
+	local, err := b.Build()
+	if err != nil {
+		return fmt.Errorf("local build: %w", err)
+	}
+
+	if err := postJSON(client, ts.URL+"/v1/datasets", map[string]string{"name": "verify"}, nil); err != nil {
+		return err
+	}
+	if err := postJSON(client, ts.URL+"/v1/datasets/verify/claims", map[string]any{"claims": claims}, nil); err != nil {
+		return err
+	}
+
+	const seed = int64(1)
+	direct, err := tdac.Discover(local, tdac.WithSeed(seed))
+	if err != nil {
+		return fmt.Errorf("direct discover: %w", err)
+	}
+
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := postJSON(client, ts.URL+"/v1/datasets/verify/discover", map[string]any{"seed": seed}, &submitted); err != nil {
+		return err
+	}
+	jv, err := awaitJob(client, ts.URL, submitted.ID)
+	if err != nil {
+		return err
+	}
+	if jv.State != string(server.JobDone) {
+		return fmt.Errorf("job finished %s: %s", jv.State, jv.Error)
+	}
+	if jv.Result == nil {
+		return fmt.Errorf("job done but carries no result")
+	}
+
+	// Truth: every wire cell must carry the direct prediction, 1:1.
+	if got, want := len(jv.Result.Truth), len(direct.Truth); got != want {
+		return fmt.Errorf("HTTP result has %d truth cells, direct call %d", got, want)
+	}
+	wantTruth := make(map[string]string, len(direct.Truth))
+	for cell, v := range direct.Truth {
+		wantTruth[local.ObjectName(cell.Object)+"\x1f"+local.AttrName(cell.Attr)] = v
+	}
+	for _, e := range jv.Result.Truth {
+		want, ok := wantTruth[e.Object+"\x1f"+e.Attribute]
+		if !ok {
+			return fmt.Errorf("HTTP result predicts unclaimed cell %s/%s", e.Object, e.Attribute)
+		}
+		if e.Value != want {
+			return fmt.Errorf("truth for %s/%s: HTTP %q, direct %q", e.Object, e.Attribute, e.Value, want)
+		}
+	}
+
+	// Trust, silhouette and partition: bit-identical through the JSON
+	// round-trip (encoding/json preserves float64 exactly).
+	wantTrust := make(map[string]float64, len(direct.Trust))
+	for s, t := range direct.Trust {
+		wantTrust[local.SourceName(truthdata.SourceID(s))] = t
+	}
+	if got, want := len(jv.Result.Trust), len(wantTrust); got != want {
+		return fmt.Errorf("HTTP result has %d trust entries, direct call %d", got, want)
+	}
+	for _, e := range jv.Result.Trust {
+		if want, ok := wantTrust[e.Source]; !ok || e.Trust != want {
+			return fmt.Errorf("trust of %s: HTTP %v, direct %v", e.Source, e.Trust, want)
+		}
+	}
+	if jv.Result.Silhouette == nil {
+		return fmt.Errorf("HTTP result carries no silhouette")
+	}
+	if *jv.Result.Silhouette != direct.Silhouette {
+		return fmt.Errorf("silhouette: HTTP %v, direct %v", *jv.Result.Silhouette, direct.Silhouette)
+	}
+	directGroups := make([][]string, len(direct.Partition))
+	for i, g := range direct.Partition {
+		for _, a := range g {
+			directGroups[i] = append(directGroups[i], local.AttrName(a))
+		}
+	}
+	if got, want := canonicalPartitionNames(jv.Result.Partition), canonicalPartitionNames(directGroups); got != want {
+		return fmt.Errorf("partition: HTTP %s, direct %s", got, want)
+	}
+	return nil
+}
+
+// registryState captures a registry's logical content: per dataset the
+// version counter and the canonical JSON serialisation (encoding/json
+// sorts map keys, so equal datasets serialise to equal bytes).
+func registryState(r *server.Registry) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, name := range r.Names() {
+		snap, err := r.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := truthdata.WriteJSON(&buf, snap.Data); err != nil {
+			return nil, err
+		}
+		out[name] = fmt.Sprintf("v%d %s", snap.Version, buf.String())
+	}
+	return out, nil
+}
+
+func diffStates(labelA string, a map[string]string, labelB string, b map[string]string) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%s has %d datasets, %s has %d", labelA, len(a), labelB, len(b))
+	}
+	for name, sa := range a {
+		sb, ok := b[name]
+		if !ok {
+			return fmt.Errorf("dataset %q present in %s, missing from %s", name, labelA, labelB)
+		}
+		if sa != sb {
+			return fmt.Errorf("dataset %q differs between %s and %s", name, labelA, labelB)
+		}
+	}
+	return nil
+}
+
+func checkWALReplay(cfg Config) error {
+	dir, err := os.MkdirTemp("", "tdac-verify-wal-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	shutdown := func(s *server.Server) error {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return s.Shutdown(ctx)
+	}
+	scfg := server.Config{DataDir: dir, Workers: 1, QueueSize: 8}
+
+	// Populate a durable server over HTTP: two datasets, a multi-batch
+	// append history, one completed discovery job.
+	s1, err := server.New(scfg)
+	if err != nil {
+		return fmt.Errorf("initial server: %w", err)
+	}
+	ts := httptest.NewServer(s1.Handler())
+	client := ts.Client()
+	gen, err := plantedDataset(10)
+	if err != nil {
+		ts.Close()
+		_ = shutdown(s1)
+		return err
+	}
+	d := gen.Dataset
+	claims := make([]server.ClaimInput, len(d.Claims))
+	for i, c := range d.Claims {
+		claims[i] = server.ClaimInput{
+			Source:    d.SourceName(c.Source),
+			Object:    d.ObjectName(c.Object),
+			Attribute: d.AttrName(c.Attr),
+			Value:     c.Value,
+		}
+	}
+	half := len(claims) / 2
+	populate := func() error {
+		if err := postJSON(client, ts.URL+"/v1/datasets", map[string]string{"name": "alpha"}, nil); err != nil {
+			return err
+		}
+		if err := postJSON(client, ts.URL+"/v1/datasets/alpha/claims", map[string]any{"claims": claims[:half]}, nil); err != nil {
+			return err
+		}
+		if err := postJSON(client, ts.URL+"/v1/datasets/alpha/claims", map[string]any{"claims": claims[half:]}, nil); err != nil {
+			return err
+		}
+		if err := postJSON(client, ts.URL+"/v1/datasets", map[string]string{"name": "beta"}, nil); err != nil {
+			return err
+		}
+		if err := postJSON(client, ts.URL+"/v1/datasets/beta/claims", map[string]any{"claims": claims[:half]}, nil); err != nil {
+			return err
+		}
+		var submitted struct {
+			ID string `json:"id"`
+		}
+		if err := postJSON(client, ts.URL+"/v1/datasets/alpha/discover", map[string]any{"seed": 1}, &submitted); err != nil {
+			return err
+		}
+		jv, err := awaitJob(client, ts.URL, submitted.ID)
+		if err != nil {
+			return err
+		}
+		if jv.State != string(server.JobDone) {
+			return fmt.Errorf("job finished %s: %s", jv.State, jv.Error)
+		}
+		return nil
+	}
+	popErr := populate()
+	var live map[string]string
+	if popErr == nil {
+		live, popErr = registryState(s1.Registry())
+	}
+	ts.Close()
+	if err := shutdown(s1); err != nil {
+		return fmt.Errorf("shutdown initial server: %w", err)
+	}
+	if popErr != nil {
+		return popErr
+	}
+
+	// First replay: recovery must reproduce the live state.
+	s2, err := server.New(scfg)
+	if err != nil {
+		return fmt.Errorf("first replay: %w", err)
+	}
+	rec2 := s2.Recovered()
+	first, err := registryState(s2.Registry())
+	if err2 := shutdown(s2); err == nil {
+		err = err2
+	}
+	if err != nil {
+		return fmt.Errorf("first replay: %w", err)
+	}
+	if err := diffStates("live registry", live, "first replay", first); err != nil {
+		return err
+	}
+	if rec2 == nil {
+		return fmt.Errorf("first replay recovered no state")
+	}
+	if len(rec2.Jobs) != 0 {
+		return fmt.Errorf("first replay resurrected %d jobs, all were terminal", len(rec2.Jobs))
+	}
+
+	// Second replay: replaying the journal again must change nothing.
+	s3, err := server.New(scfg)
+	if err != nil {
+		return fmt.Errorf("second replay: %w", err)
+	}
+	rec3 := s3.Recovered()
+	second, err := registryState(s3.Registry())
+	if err2 := shutdown(s3); err == nil {
+		err = err2
+	}
+	if err != nil {
+		return fmt.Errorf("second replay: %w", err)
+	}
+	if err := diffStates("first replay", first, "second replay", second); err != nil {
+		return err
+	}
+	if rec3 == nil || rec3.NextJob != rec2.NextJob {
+		return fmt.Errorf("job counter drifted across replays")
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+// Package verify is the differential + metamorphic verification harness
+// of the repository: it cross-checks every accelerated production path
+// (packed popcount distance kernels, the shared distance matrix, bounded
+// k-means, the parallel k-sweep, the HTTP service and the WAL replay)
+// against deliberately naive reference implementations and against the
+// invariants the paper's Algorithm 1 and Equations 1–7 promise.
+//
+// Three invariant classes are distinguished:
+//
+//   - differential: a fast production path and a slow, obviously-correct
+//     reference must produce the same answer on the same input;
+//   - metamorphic: a transformed input (relabeled identifiers, a different
+//     worker count, a replayed journal) must produce a correspondingly
+//     transformed — or identical — answer;
+//   - oracle: an external ground truth (the AccuGenPartition brute-force
+//     enumeration of Ba et al., the generator's planted partition) bounds
+//     or pins what the pipeline may return.
+//
+// Invariants are registered in Invariants and runnable through Run, the
+// `go test` entry (verify_test.go), the fuzz target (fuzz_test.go) and
+// the cmd/tdac-verify CLI. To add one, append an Invariant to the slice
+// in invariants.go (or serverinv.go for service-level checks): a check is
+// any func(Config) error that returns nil when the invariant holds and a
+// descriptive error pinpointing the divergence when it does not.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Class buckets invariants by the kind of guarantee they check.
+type Class string
+
+// The three invariant classes (see the package comment).
+const (
+	Differential Class = "differential"
+	Metamorphic  Class = "metamorphic"
+	Oracle       Class = "oracle"
+)
+
+// Config parameterises one harness run. The zero value is usable; Run
+// fills defaults.
+type Config struct {
+	// Seed drives every random dataset and vector set the harness
+	// generates. Same seed, same run.
+	Seed int64
+	// Trials is the number of random instances each randomised invariant
+	// checks (default 2). Fixed-dataset invariants (the oracle checks)
+	// ignore it.
+	Trials int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Trials <= 0 {
+		c.Trials = 2
+	}
+	return c
+}
+
+// Invariant is one verifiable property of the system.
+type Invariant struct {
+	// Name identifies the invariant ("kmeans-vs-naive-lloyd", …).
+	Name string
+	// Class is the guarantee class.
+	Class Class
+	// Description says, in one sentence, what must hold.
+	Description string
+	// Quick marks invariants cheap enough for the fuzz target; the slow
+	// ones (service round-trips, brute-force enumeration) are exercised
+	// only by the test and CLI entries.
+	Quick bool
+	// Check returns nil when the invariant holds.
+	Check func(Config) error
+}
+
+// Invariants returns every registered invariant, differential first,
+// then metamorphic, then oracle, alphabetical within a class.
+func Invariants() []Invariant {
+	all := make([]Invariant, 0, len(registry))
+	all = append(all, registry...)
+	order := map[Class]int{Differential: 0, Metamorphic: 1, Oracle: 2}
+	sort.SliceStable(all, func(i, j int) bool {
+		if order[all[i].Class] != order[all[j].Class] {
+			return order[all[i].Class] < order[all[j].Class]
+		}
+		return all[i].Name < all[j].Name
+	})
+	return all
+}
+
+// registry collects the invariants contributed by the package's files.
+var registry []Invariant
+
+// register adds invariants at init time.
+func register(invs ...Invariant) { registry = append(registry, invs...) }
+
+// Result is the outcome of checking one invariant.
+type Result struct {
+	Invariant Invariant
+	// Err is nil when the invariant held.
+	Err error
+	// Duration is the wall time of the check.
+	Duration time.Duration
+}
+
+// Run checks every invariant accepted by filter (nil = all) under cfg and
+// returns one Result per invariant, in Invariants order.
+func Run(cfg Config, filter func(Invariant) bool) []Result {
+	cfg = cfg.withDefaults()
+	var out []Result
+	for _, inv := range Invariants() {
+		if filter != nil && !filter(inv) {
+			continue
+		}
+		start := time.Now()
+		err := inv.Check(cfg)
+		if err != nil {
+			err = fmt.Errorf("%s: %w", inv.Name, err)
+		}
+		out = append(out, Result{Invariant: inv, Err: err, Duration: time.Since(start)})
+	}
+	return out
+}
+
+// Failed filters a result list down to the violated invariants.
+func Failed(results []Result) []Result {
+	var out []Result
+	for _, r := range results {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Summarize renders one line per result plus a trailing verdict, the
+// shared output of the test entry and the CLI.
+func Summarize(results []Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		status := "ok  "
+		if r.Err != nil {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "%s  %-13s %-34s %8.0fms\n",
+			status, r.Invariant.Class, r.Invariant.Name,
+			float64(r.Duration)/float64(time.Millisecond))
+		if r.Err != nil {
+			fmt.Fprintf(&b, "      %v\n", r.Err)
+		}
+	}
+	failed := Failed(results)
+	if len(failed) == 0 {
+		fmt.Fprintf(&b, "%d invariants verified\n", len(results))
+	} else {
+		fmt.Fprintf(&b, "%d of %d invariants VIOLATED\n", len(failed), len(results))
+	}
+	return b.String()
+}

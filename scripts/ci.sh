@@ -5,7 +5,8 @@
 # the race detector (which exercises the parallel k-sweep and the parallel
 # per-group base runs), a one-shot smoke run of the k-sweep benchmark so
 # the packed hot path is executed at benchmark scale on every change, a
-# short live-fuzz smoke of every fuzz target, and schema validation of the
+# short live-fuzz smoke of every fuzz target, the differential/metamorphic
+# verification harness (cmd/tdac-verify), and schema validation of the
 # committed benchmark report so drift in cmd/tdacbench's output fails CI.
 set -eu
 
@@ -60,6 +61,18 @@ fi
 echo "==> benchmark smoke (KSweep, 1x)"
 go test -run '^$' -bench KSweep -benchtime 1x .
 
+echo "==> verification harness (tdac-verify)"
+# The differential/metamorphic/oracle invariant harness (DESIGN.md §11):
+# packed kernels vs naive references, HTTP vs direct, WAL replay
+# idempotency, brute-force and planted-partition oracles. The invariant
+# count is asserted so the harness can never silently shrink.
+harness=$(go run ./cmd/tdac-verify) || { echo "$harness" >&2; exit 1; }
+echo "$harness" | sed 's/^/    /'
+echo "$harness" | grep -q '^11 invariants verified$' || {
+    echo "tdac-verify did not verify all 11 invariants" >&2
+    exit 1
+}
+
 # Go runs one fuzz target per invocation, so smoke each explicitly.
 echo "==> fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzReadClaimsCSV$' -fuzztime 10s ./internal/truthdata
@@ -67,6 +80,7 @@ go test -run '^$' -fuzz '^FuzzReadJSON$' -fuzztime 10s ./internal/truthdata
 go test -run '^$' -fuzz '^FuzzSimilarityInvariants$' -fuzztime 10s ./internal/similarity
 go test -run '^$' -fuzz '^FuzzPackedHammingEquivalence$' -fuzztime 10s ./internal/cluster
 go test -run '^$' -fuzz '^FuzzWALRecovery$' -fuzztime 10s ./internal/wal
+go test -run '^$' -fuzz '^FuzzVerifyInvariants$' -fuzztime 10s ./internal/verify
 
 echo "==> bench report schema (BENCH_tdac.json)"
 go run ./cmd/tdacbench -validate BENCH_tdac.json
