@@ -18,9 +18,10 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# bench-report regenerates BENCH_tdac.json (schema tdac-bench/2): per-phase
-# median wall times for the paper configs plus the WAL ingest-overhead
-# section, then re-validates the file so a broken write never lands.
+# bench-report regenerates BENCH_tdac.json (schema tdac-bench/3): per-phase
+# median wall times for the paper configs, per-algorithm indexed-vs-naive
+# timings on DS1, and the WAL ingest-overhead section, then re-validates
+# the file so a broken write never lands.
 bench-report:
 	$(GO) run ./cmd/tdacbench -reps 5 -o BENCH_tdac.json
 	$(GO) run ./cmd/tdacbench -validate BENCH_tdac.json
@@ -49,7 +50,7 @@ serve:
 
 # ci is the full verification gate (fmt check, vet, build, race tests,
 # the seeded crash-recovery matrix, k-sweep benchmark smoke, fuzz smoke
-# incl. WAL recovery, bench report schema check); scripts/ci.sh holds
-# the exact sequence.
+# incl. WAL recovery, bench report schema check, base-runs bench-delta
+# gate); scripts/ci.sh holds the exact sequence.
 ci:
 	sh scripts/ci.sh

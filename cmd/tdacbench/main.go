@@ -7,14 +7,16 @@
 // Usage:
 //
 //	tdacbench [-configs DS1,DS2,DS3,exam62-r25] [-reps 5] [-base Accu]
-//	          [-full] [-smoke] [-o BENCH_tdac.json]
+//	          [-full] [-smoke] [-o BENCH_tdac.json] [-delta BENCH_tdac.json]
 //	tdacbench -validate BENCH_tdac.json
 //
 // The default scale is the experiments' smoke scale (seconds, CI-safe);
 // -full runs the paper-scale workloads. -smoke forces reps=1 for the
 // fastest possible end-to-end check. -validate parses an existing report
 // and checks it against the schema instead of running anything, so CI
-// can fail on schema drift without re-benchmarking.
+// can fail on schema drift without re-benchmarking. -delta diffs the
+// fresh run's base-runs medians against a committed report and fails on
+// a >20% regression, CI's guard on the indexed hot path.
 //
 // Unlike cmd/tdac-bench (which regenerates the paper's accuracy tables),
 // this command measures only where time goes, phase by phase.
@@ -41,12 +43,15 @@ import (
 
 // Schema identifies the report's wire format; bump on breaking changes.
 // tdac-bench/2 added the "wal" section: ingest overhead of the write-
-// ahead log versus the in-memory registry.
-const Schema = "tdac-bench/2"
+// ahead log versus the in-memory registry. tdac-bench/3 added the
+// "index" phase and the "algorithms" section: per-algorithm indexed
+// versus naive Discover medians on DS1.
+const Schema = "tdac-bench/3"
 
 // phases lists the phase keys every config entry must report, matching
 // the pipeline's execution order.
 var phases = []obs.Phase{
+	obs.PhaseIndex,
 	obs.PhaseReference,
 	obs.PhaseTruthVectors,
 	obs.PhaseDistanceMatrix,
@@ -62,7 +67,23 @@ type Report struct {
 	Full    bool           `json:"full"`
 	Reps    int            `json:"reps"`
 	Configs []ConfigResult `json:"configs"`
-	WAL     *WALResult     `json:"wal"`
+	// Algorithms holds the per-algorithm indexed-versus-naive Discover
+	// medians on DS1, one entry per registered base algorithm.
+	Algorithms []AlgorithmResult `json:"algorithms"`
+	WAL        *WALResult        `json:"wal"`
+}
+
+// AlgorithmResult compares one base algorithm's indexed hot path against
+// its retained naive implementation on a fixed dataset.
+type AlgorithmResult struct {
+	Algorithm string `json:"algorithm"`
+	Dataset   string `json:"dataset"`
+	// IndexedMedianMS / NaiveMedianMS are median Discover wall times
+	// across the repetitions, after one warm-up run each.
+	IndexedMedianMS float64 `json:"indexed_median_ms"`
+	NaiveMedianMS   float64 `json:"naive_median_ms"`
+	// SpeedupX is NaiveMedianMS / IndexedMedianMS.
+	SpeedupX float64 `json:"speedup_x"`
 }
 
 // WALResult measures what durability costs: the same ingest workload
@@ -118,6 +139,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		smoke    = fs.Bool("smoke", false, "fastest end-to-end check: forces -reps 1")
 		out      = fs.String("o", "BENCH_tdac.json", "output file; \"-\" writes to stdout")
 		validate = fs.String("validate", "", "validate an existing report against the schema and exit")
+		delta    = fs.String("delta", "", "committed report to diff against: fail if any shared config's base-runs median regressed more than 20%")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -161,6 +183,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			id, cr.TotalMedianMS, *reps, cr.BestK)
 	}
 
+	ars, err := benchAlgorithms(runner, *reps, stderr)
+	if err != nil {
+		return fmt.Errorf("per-algorithm benchmark: %w", err)
+	}
+	report.Algorithms = ars
+
 	wr, err := benchWAL(*full, *reps)
 	if err != nil {
 		return fmt.Errorf("wal ingest benchmark: %w", err)
@@ -177,11 +205,111 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := Validate(raw); err != nil {
 		return fmt.Errorf("generated report failed its own schema: %w", err)
 	}
+	if *delta != "" {
+		committed, err := os.ReadFile(*delta)
+		if err != nil {
+			return err
+		}
+		if err := checkDelta(report, committed, stderr); err != nil {
+			return err
+		}
+	}
 	if *out == "-" {
 		_, err := stdout.Write(raw)
 		return err
 	}
 	return os.WriteFile(*out, raw, 0o644)
+}
+
+// deltaMax bounds how much a fresh base-runs median may exceed the
+// committed one before -delta fails: 20%, generous enough for machine
+// noise, tight enough to catch a real hot-path regression.
+const deltaMax = 1.2
+
+// checkDelta compares the fresh report's base-runs phase medians against
+// a committed report, config by config; configs only one side measured
+// are skipped.
+func checkDelta(fresh *Report, committedRaw []byte, stderr io.Writer) error {
+	var committed Report
+	if err := json.Unmarshal(committedRaw, &committed); err != nil {
+		return fmt.Errorf("committed report: %w", err)
+	}
+	old := make(map[string]float64, len(committed.Configs))
+	for _, c := range committed.Configs {
+		old[c.Dataset] = c.PhaseMedianMS[string(obs.PhaseBaseRuns)]
+	}
+	for _, c := range fresh.Configs {
+		want, ok := old[c.Dataset]
+		if !ok || want <= 0 {
+			continue
+		}
+		got := c.PhaseMedianMS[string(obs.PhaseBaseRuns)]
+		fmt.Fprintf(stderr, "delta %s: base-runs %.2fms fresh vs %.2fms committed (%.2fx)\n",
+			c.Dataset, got, want, got/want)
+		if got > want*deltaMax {
+			return fmt.Errorf("%s: base-runs median regressed: %.2fms fresh vs %.2fms committed (> %.0f%% over)",
+				c.Dataset, got, want, (deltaMax-1)*100)
+		}
+	}
+	return nil
+}
+
+// benchAlgorithms diffs every registered algorithm's indexed Discover
+// against its retained naive implementation on DS1, one warm-up run each
+// then reps timed runs.
+func benchAlgorithms(runner *experiments.Runner, reps int, stderr io.Writer) ([]AlgorithmResult, error) {
+	const id = "DS1"
+	d, err := runner.Dataset(id)
+	if err != nil {
+		return nil, err
+	}
+	d.Index() // compile the shared index outside the timed region
+	var out []AlgorithmResult
+	for _, name := range algorithms.Names() {
+		fast, err := algorithms.New(name)
+		if err != nil {
+			return nil, err
+		}
+		slow, err := algorithms.NewNaive(name)
+		if err != nil {
+			return nil, err
+		}
+		timeRuns := func(alg algorithms.Algorithm) ([]time.Duration, error) {
+			if _, err := alg.Discover(d); err != nil { // warm-up
+				return nil, fmt.Errorf("%s on %s: %w", alg.Name(), id, err)
+			}
+			ds := make([]time.Duration, 0, reps)
+			for rep := 0; rep < reps; rep++ {
+				start := time.Now()
+				if _, err := alg.Discover(d); err != nil {
+					return nil, fmt.Errorf("%s on %s: %w", alg.Name(), id, err)
+				}
+				ds = append(ds, time.Since(start))
+			}
+			return ds, nil
+		}
+		indexed, err := timeRuns(fast)
+		if err != nil {
+			return nil, err
+		}
+		naive, err := timeRuns(slow)
+		if err != nil {
+			return nil, err
+		}
+		ar := AlgorithmResult{
+			Algorithm:       name,
+			Dataset:         id,
+			IndexedMedianMS: medianMS(indexed),
+			NaiveMedianMS:   medianMS(naive),
+		}
+		if ar.IndexedMedianMS > 0 {
+			ar.SpeedupX = ar.NaiveMedianMS / ar.IndexedMedianMS
+		}
+		fmt.Fprintf(stderr, "%s: %s indexed %.2fms / naive %.2fms (%.2fx)\n",
+			id, name, ar.IndexedMedianMS, ar.NaiveMedianMS, ar.SpeedupX)
+		out = append(out, ar)
+	}
+	return out, nil
 }
 
 // benchConfig runs TD-AC reps times on one dataset with stats collection
@@ -339,11 +467,12 @@ func medianInt(xs []int) int {
 	return mid
 }
 
-// Validate checks a serialized report against the tdac-bench/2 schema:
+// Validate checks a serialized report against the tdac-bench/3 schema:
 // the version marker, at least one config, for every config a complete
-// per-phase median map plus sane totals, and a wal section with
-// positive ingest timings. CI runs this against the committed
-// BENCH_tdac.json so schema drift fails fast.
+// per-phase median map plus sane totals, a non-empty per-algorithm
+// section with positive timings, and a wal section with positive ingest
+// timings. CI runs this against the committed BENCH_tdac.json so schema
+// drift fails fast.
 func Validate(raw []byte) error {
 	var r Report
 	dec := json.NewDecoder(strings.NewReader(string(raw)))
@@ -377,6 +506,20 @@ func Validate(raw []byte) error {
 			if _, ok := c.PhaseMedianMS[string(p)]; !ok {
 				return fmt.Errorf("schema %s: %s: phase_median_ms missing %q", Schema, c.Dataset, p)
 			}
+		}
+	}
+	if len(r.Algorithms) == 0 {
+		return fmt.Errorf("schema %s: no algorithms section", Schema)
+	}
+	for _, a := range r.Algorithms {
+		if a.Algorithm == "" || a.Dataset == "" {
+			return fmt.Errorf("schema %s: algorithms: entry with empty algorithm/dataset", Schema)
+		}
+		if a.IndexedMedianMS <= 0 || a.NaiveMedianMS <= 0 {
+			return fmt.Errorf("schema %s: algorithms: %s: non-positive timings", Schema, a.Algorithm)
+		}
+		if a.SpeedupX <= 0 {
+			return fmt.Errorf("schema %s: algorithms: %s: non-positive speedup_x", Schema, a.Algorithm)
 		}
 	}
 	if r.WAL == nil {

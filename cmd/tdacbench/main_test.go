@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -25,7 +26,8 @@ func TestSmokeRunEmitsValidReport(t *testing.T) {
 	if err := Validate(raw); err != nil {
 		t.Fatalf("generated report invalid: %v\n%s", err, raw)
 	}
-	for _, want := range []string{`"schema": "tdac-bench/2"`, `"dataset": "DS1"`, `"dataset": "exam62-r25"`, `"k-sweep"`,
+	for _, want := range []string{`"schema": "tdac-bench/3"`, `"dataset": "DS1"`, `"dataset": "exam62-r25"`, `"k-sweep"`,
+		`"index"`, `"indexed_median_ms"`, `"naive_median_ms"`, `"speedup_x"`,
 		`"ingest_off_median_ms"`, `"ingest_on_median_ms"`, `"overhead_x"`} {
 		if !strings.Contains(string(raw), want) {
 			t.Errorf("report missing %s:\n%s", want, raw)
@@ -35,20 +37,65 @@ func TestSmokeRunEmitsValidReport(t *testing.T) {
 	if err := run([]string{"-validate", out}, &strings.Builder{}, &stderr); err != nil {
 		t.Fatalf("-validate rejected a fresh report: %v", err)
 	}
+	// Delta mode against the report's own numbers must pass: a report
+	// never regresses against itself.
+	if err := checkDelta(mustDecode(t, raw), raw, &stderr); err != nil {
+		t.Fatalf("delta of a report against itself failed: %v", err)
+	}
+}
+
+func mustDecode(t *testing.T, raw []byte) *Report {
+	t.Helper()
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		t.Fatal(err)
+	}
+	return &r
+}
+
+// TestCheckDelta pins the regression gate's arithmetic on synthetic
+// reports: within the 20% margin passes, beyond it fails, and configs
+// the committed report never measured are skipped.
+func TestCheckDelta(t *testing.T) {
+	committed := []byte(`{"configs": [
+	  {"dataset": "DS1", "phase_median_ms": {"base-runs": 10}},
+	  {"dataset": "DS2", "phase_median_ms": {"base-runs": 10}}
+	]}`)
+	fresh := func(ds string, ms float64) *Report {
+		return &Report{Configs: []ConfigResult{{
+			Dataset:       ds,
+			PhaseMedianMS: map[string]float64{"base-runs": ms},
+		}}}
+	}
+	var stderr strings.Builder
+	if err := checkDelta(fresh("DS1", 11.9), committed, &stderr); err != nil {
+		t.Errorf("11.9ms vs 10ms committed is within the 20%% margin, got: %v", err)
+	}
+	if err := checkDelta(fresh("DS1", 12.1), committed, &stderr); err == nil {
+		t.Error("12.1ms vs 10ms committed exceeds the 20% margin but passed")
+	}
+	if err := checkDelta(fresh("DS9", 1000), committed, &stderr); err != nil {
+		t.Errorf("config absent from the committed report must be skipped, got: %v", err)
+	}
+	if err := checkDelta(fresh("DS1", 5), []byte("}{"), &stderr); err == nil {
+		t.Error("an unreadable committed report must fail the delta check")
+	}
 }
 
 // TestValidateRejectsDrift pins the schema gate: structural drift — a
-// version bump, a dropped phase, an unknown field, a missing wal
-// section — must fail.
+// version bump, a dropped phase, an unknown field, a missing section —
+// must fail.
 func TestValidateRejectsDrift(t *testing.T) {
 	valid := `{
-	  "schema": "tdac-bench/2", "base": "Accu", "full": false, "reps": 1,
+	  "schema": "tdac-bench/3", "base": "Accu", "full": false, "reps": 1,
 	  "configs": [{
 	    "dataset": "DS1", "attrs": 12, "sources": 30, "objects": 150, "claims": 5000,
-	    "phase_median_ms": {"reference": 1, "truth-vectors": 1, "distance-matrix": 1,
+	    "phase_median_ms": {"index": 1, "reference": 1, "truth-vectors": 1, "distance-matrix": 1,
 	                        "k-sweep": 1, "base-runs": 1, "merge": 1},
 	    "total_median_ms": 6, "sweep_iterations": 40, "best_k": 4, "silhouette": 0.4
 	  }],
+	  "algorithms": [{"algorithm": "Accu", "dataset": "DS1",
+	                  "indexed_median_ms": 1.5, "naive_median_ms": 4.5, "speedup_x": 3}],
 	  "wal": {"batches": 32, "claims_per_batch": 25, "fsync": "always",
 	          "ingest_off_median_ms": 2.5, "ingest_on_median_ms": 9.1, "overhead_x": 3.64}
 	}`
@@ -56,19 +103,23 @@ func TestValidateRejectsDrift(t *testing.T) {
 		t.Fatalf("baseline document rejected: %v", err)
 	}
 	cases := map[string]string{
-		"old version":     strings.Replace(valid, "tdac-bench/2", "tdac-bench/1", 1),
-		"missing phase":   strings.Replace(valid, `"k-sweep": 1,`, "", 1),
-		"unknown field":   strings.Replace(valid, `"reps": 1,`, `"reps": 1, "surprise": true,`, 1),
-		"no configs":      strings.Replace(valid, `"configs": [{`, `"configs": [], "was": [{`, 1),
-		"zero total":      strings.Replace(valid, `"total_median_ms": 6`, `"total_median_ms": 0`, 1),
-		"empty dataset":   strings.Replace(valid, `"dataset": "DS1"`, `"dataset": ""`, 1),
-		"not even JSON":   "}{",
-		"wrong reps":      strings.Replace(valid, `"reps": 1`, `"reps": 0`, 1),
-		"missing wal":     strings.Replace(valid, `"wal": {`, `"wal2": {`, 1),
-		"zero wal timing": strings.Replace(valid, `"ingest_on_median_ms": 9.1`, `"ingest_on_median_ms": 0`, 1),
-		"no fsync mode":   strings.Replace(valid, `"fsync": "always"`, `"fsync": ""`, 1),
-		"empty wal batch": strings.Replace(valid, `"batches": 32`, `"batches": 0`, 1),
-		"zero overhead":   strings.Replace(valid, `"overhead_x": 3.64`, `"overhead_x": 0`, 1),
+		"old version":       strings.Replace(valid, "tdac-bench/3", "tdac-bench/2", 1),
+		"missing phase":     strings.Replace(valid, `"k-sweep": 1,`, "", 1),
+		"missing index":     strings.Replace(valid, `"index": 1,`, "", 1),
+		"unknown field":     strings.Replace(valid, `"reps": 1,`, `"reps": 1, "surprise": true,`, 1),
+		"no configs":        strings.Replace(valid, `"configs": [{`, `"configs": [], "was": [{`, 1),
+		"zero total":        strings.Replace(valid, `"total_median_ms": 6`, `"total_median_ms": 0`, 1),
+		"empty dataset":     strings.Replace(valid, `"dataset": "DS1", "attrs"`, `"dataset": "", "attrs"`, 1),
+		"not even JSON":     "}{",
+		"wrong reps":        strings.Replace(valid, `"reps": 1`, `"reps": 0`, 1),
+		"no algorithms":     strings.Replace(valid, `"algorithms": [{`, `"algorithms": [], "were": [{`, 1),
+		"zero indexed time": strings.Replace(valid, `"indexed_median_ms": 1.5`, `"indexed_median_ms": 0`, 1),
+		"zero speedup":      strings.Replace(valid, `"speedup_x": 3`, `"speedup_x": 0`, 1),
+		"missing wal":       strings.Replace(valid, `"wal": {`, `"wal2": {`, 1),
+		"zero wal timing":   strings.Replace(valid, `"ingest_on_median_ms": 9.1`, `"ingest_on_median_ms": 0`, 1),
+		"no fsync mode":     strings.Replace(valid, `"fsync": "always"`, `"fsync": ""`, 1),
+		"empty wal batch":   strings.Replace(valid, `"batches": 32`, `"batches": 0`, 1),
+		"zero overhead":     strings.Replace(valid, `"overhead_x": 3.64`, `"overhead_x": 0`, 1),
 	}
 	for name, doc := range cases {
 		if err := Validate([]byte(doc)); err == nil {

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -56,8 +57,8 @@ func (c *accuConfig) applyDefaults() {
 	}
 }
 
-// runAccuFamily executes the iterative loop shared by Depen, Accu and
-// AccuSim:
+// runAccuFamilyIndexed executes the iterative loop shared by Depen, Accu
+// and AccuSim on the CSR adjacency:
 //
 //  1. estimate pairwise source dependence from the current truth,
 //  2. recompute discounted vote scores per value (accuracy-weighted when
@@ -66,15 +67,23 @@ func (c *accuConfig) applyDefaults() {
 //  4. re-estimate source accuracy as the mean probability of its claims.
 //
 // The loop stops when the accuracy vector moves less than epsilon and the
-// predicted truth is stable, or at the iteration cap.
-func runAccuFamily(cfg accuConfig, d *truthdata.Dataset) (*Result, error) {
+// predicted truth is stable, or at the iteration cap. Relative to the
+// retained naiveAccuFamily, the hot path hoists the rare-value marks (an
+// iteration invariant) and the per-source log-vote weight out of the
+// round loop, reuses the dependence matrix and discount scratch across
+// rounds, and keeps probabilities in one flat per-fact buffer — all
+// while accumulating floating-point sums in exactly the naive order, so
+// the result is bit-identical.
+func runAccuFamilyIndexed(ctx context.Context, cfg accuConfig, ix *truthdata.Index) (*IndexedResult, error) {
 	start := time.Now()
-	if len(d.Claims) == 0 {
+	if len(ix.Cells) == 0 {
 		return nil, ErrEmptyDataset
 	}
 	cfg.applyDefaults()
-	ix := truthdata.NewIndex(d)
-	nSrc := d.NumSources()
+	fl := ix.Flat()
+	nSrc := fl.NumSources
+	nCells := fl.NumCells
+	nFacts := fl.NumFacts
 
 	accuracy := make([]float64, nSrc)
 	for s := range accuracy {
@@ -83,100 +92,137 @@ func runAccuFamily(cfg accuConfig, d *truthdata.Dataset) (*Result, error) {
 	prevAcc := make([]float64, nSrc)
 
 	// Seed the truth with a plain vote so the first dependence estimate
-	// has something to compare against.
-	choice := make([]truthdata.ValueID, len(ix.Cells))
-	for i, cc := range ix.Cells {
-		best, bestVotes := 0, len(cc.Voters[0])
-		for v := 1; v < len(cc.Voters); v++ {
-			if n := len(cc.Voters[v]); n > bestVotes {
-				best, bestVotes = v, n
+	// has something to compare against. chosenFact mirrors choice as
+	// global FactIDs so the dependence walk needs no per-claim arithmetic.
+	choice := make([]truthdata.ValueID, nCells)
+	chosenFact := make([]int32, nCells)
+	maxVals := 0
+	for i := 0; i < nCells; i++ {
+		f0, f1 := fl.FactStart[i], fl.FactStart[i+1]
+		if n := int(f1 - f0); n > maxVals {
+			maxVals = n
+		}
+		best, bestVotes := int32(0), fl.VoterStart[f0+1]-fl.VoterStart[f0]
+		for f := f0 + 1; f < f1; f++ {
+			if n := fl.VoterStart[f+1] - fl.VoterStart[f]; n > bestVotes {
+				best, bestVotes = f-f0, n
 			}
 		}
 		choice[i] = truthdata.ValueID(best)
+		chosenFact[i] = f0 + best
 	}
 
-	// Per-cell similarity matrices for the AccuSim adjustment.
-	var sim [][][]float64
+	// rare[f] marks fact f as a rare value of its cell — the copy-evidence
+	// filter of the dependence model. Voter counts never change, so this
+	// is computed once instead of every round.
+	rare := make([]bool, nFacts)
+	for i := 0; i < nCells; i++ {
+		f0, f1 := fl.FactStart[i], fl.FactStart[i+1]
+		total := int(fl.VoterStart[f1] - fl.VoterStart[f0])
+		for f := f0; f < f1; f++ {
+			n := int(fl.VoterStart[f+1] - fl.VoterStart[f])
+			rare[f] = n <= 2 || 3*n <= total
+		}
+	}
+
+	// Per-cell similarity matrices (row-major) for the AccuSim adjustment.
+	var sim [][]float64
 	if cfg.similarity != nil {
-		sim = make([][][]float64, len(ix.Cells))
-		for i, cc := range ix.Cells {
+		sim = make([][]float64, nCells)
+		for i := range ix.Cells {
+			cc := &ix.Cells[i]
 			n := cc.NumValues()
 			if n < 2 {
 				continue
 			}
-			m := make([][]float64, n)
-			for a := 0; a < n; a++ {
-				m[a] = make([]float64, n)
-			}
+			m := make([]float64, n*n)
 			for a := 0; a < n; a++ {
 				for b := a + 1; b < n; b++ {
 					s := cfg.similarity(cc.Values[a], cc.Values[b])
-					m[a][b], m[b][a] = s, s
+					m[a*n+b], m[b*n+a] = s, s
 				}
 			}
 			sim[i] = m
 		}
 	}
 
-	prob := make([][]float64, len(ix.Cells))
-	for i, cc := range ix.Cells {
-		prob[i] = make([]float64, cc.NumValues())
-	}
+	prob := make([]float64, nFacts)
+	dep := newDepMatrix(nSrc)
+	logVote := make([]float64, nSrc) // per-round log(n·a/(1-a)) vote weight
+	adjusted := make([]float64, maxVals)
+	var disc discountScratch
+	disc.init(nSrc)
 
 	iters := 0
 	converged := false
 	for iters < cfg.maxIterations {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iters++
-		dep := estimateDependence(ix, choice, accuracy, cfg.dep)
+		estimateDependenceFlat(fl, chosenFact, rare, accuracy, cfg.dep, dep)
+		if cfg.updateAccuracy {
+			// The accuracy-weighted vote depends only on the source.
+			for s := range logVote {
+				a := clamp(accuracy[s], 0.01, 0.99)
+				logVote[s] = math.Log(cfg.dep.n * a / (1 - a))
+			}
+		}
 
 		truthChanged := false
-		for i, cc := range ix.Cells {
-			scores := prob[i]
-			for v := range cc.Values {
-				weights := discountVoters(cc.Voters[v], accuracy, dep, cfg.dep.c)
+		for i := 0; i < nCells; i++ {
+			f0, f1 := fl.FactStart[i], fl.FactStart[i+1]
+			scores := prob[f0:f1]
+			for f := f0; f < f1; f++ {
+				voters := fl.FactVoters(f)
+				weights := disc.discount(voters, accuracy, dep, cfg.dep.c)
 				var score float64
-				for k, s := range cc.Voters[v] {
+				for k, s := range voters {
 					w := weights[k]
 					if cfg.updateAccuracy {
-						a := clamp(accuracy[s], 0.01, 0.99)
-						score += w * math.Log(cfg.dep.n*a/(1-a))
+						score += w * logVote[s]
 					} else {
 						score += w
 					}
 				}
-				scores[v] = score
+				scores[f-f0] = score
 			}
 			if sim != nil && sim[i] != nil {
-				adjusted := make([]float64, len(scores))
-				for v := range scores {
-					adj := scores[v]
-					for w := range scores {
+				n := len(scores)
+				adj := adjusted[:n]
+				m := sim[i]
+				for v := 0; v < n; v++ {
+					a := scores[v]
+					row := m[v*n : (v+1)*n]
+					for w := 0; w < n; w++ {
 						if w != v {
-							adj += cfg.rho * sim[i][v][w] * scores[w]
+							a += cfg.rho * row[w] * scores[w]
 						}
 					}
-					adjusted[v] = adj
+					adj[v] = a
 				}
-				copy(scores, adjusted)
+				copy(scores, adj)
 			}
 			softmaxInPlace(scores)
 			if best := argmaxValue(scores); best != choice[i] {
 				choice[i] = best
+				chosenFact[i] = f0 + int32(best)
 				truthChanged = true
 			}
 		}
 
 		copy(prevAcc, accuracy)
 		if cfg.updateAccuracy {
-			for s, claims := range ix.BySource {
-				if len(claims) == 0 {
+			for s := 0; s < nSrc; s++ {
+				lo, hi := fl.SourceClaims(s)
+				if lo == hi {
 					continue
 				}
 				var sum float64
-				for _, sc := range claims {
-					sum += prob[sc.CellIdx][sc.Value]
+				for c := lo; c < hi; c++ {
+					sum += prob[fl.ClaimFact[c]]
 				}
-				accuracy[s] = clamp(sum/float64(len(claims)), 0.01, 0.99)
+				accuracy[s] = clamp(sum/float64(hi-lo), 0.01, 0.99)
 			}
 		}
 		if !truthChanged && maxAbsDiff(prevAcc, accuracy) < cfg.epsilon {
@@ -185,11 +231,19 @@ func runAccuFamily(cfg accuConfig, d *truthdata.Dataset) (*Result, error) {
 		}
 	}
 
-	conf := make([]float64, len(ix.Cells))
-	for i := range ix.Cells {
-		conf[i] = prob[i][choice[i]]
+	conf := make([]float64, nCells)
+	for i := 0; i < nCells; i++ {
+		conf[i] = prob[chosenFact[i]]
 	}
-	return buildResult(cfg.name, ix, choice, conf, accuracy, iters, converged, start), nil
+	return &IndexedResult{
+		Algorithm:  cfg.name,
+		Choice:     choice,
+		Conf:       conf,
+		Trust:      accuracy,
+		Iterations: iters,
+		Converged:  converged,
+		Runtime:    time.Since(start),
+	}, nil
 }
 
 // Accu is Dong et al.'s AccuVote: Bayesian source-accuracy estimation with
@@ -217,16 +271,25 @@ func NewAccu() *Accu { return &Accu{} }
 // Name implements Algorithm.
 func (*Accu) Name() string { return "Accu" }
 
-// Discover implements Algorithm.
-func (a *Accu) Discover(d *truthdata.Dataset) (*Result, error) {
-	return runAccuFamily(accuConfig{
+func (a *Accu) config() accuConfig {
+	return accuConfig{
 		name:            a.Name(),
 		updateAccuracy:  true,
 		initialAccuracy: a.InitialAccuracy,
 		dep:             dependenceParams{alpha: a.Alpha, c: a.C, n: a.N},
 		maxIterations:   a.MaxIterations,
 		epsilon:         a.Epsilon,
-	}, d)
+	}
+}
+
+// Discover implements Algorithm via the indexed hot path.
+func (a *Accu) Discover(d *truthdata.Dataset) (*Result, error) {
+	return discoverViaIndex(a, d)
+}
+
+// DiscoverIndexed implements IndexedAlgorithm.
+func (a *Accu) DiscoverIndexed(ctx context.Context, ix *truthdata.Index) (*IndexedResult, error) {
+	return runAccuFamilyIndexed(ctx, a.config(), ix)
 }
 
 // Depen is the dependence-only variant: sources share one fixed accuracy
@@ -238,6 +301,8 @@ type Depen struct {
 	Alpha, C, N float64
 	// MaxIterations caps the loop. Default 20.
 	MaxIterations int
+	// Epsilon is the convergence threshold. Default 1e-3.
+	Epsilon float64
 }
 
 // NewDepen returns a Depen with the paper's hyper-parameters.
@@ -246,15 +311,25 @@ func NewDepen() *Depen { return &Depen{} }
 // Name implements Algorithm.
 func (*Depen) Name() string { return "Depen" }
 
-// Discover implements Algorithm.
-func (dp *Depen) Discover(d *truthdata.Dataset) (*Result, error) {
-	return runAccuFamily(accuConfig{
+func (dp *Depen) config() accuConfig {
+	return accuConfig{
 		name:            dp.Name(),
 		updateAccuracy:  false,
 		initialAccuracy: dp.Accuracy,
 		dep:             dependenceParams{alpha: dp.Alpha, c: dp.C, n: dp.N},
 		maxIterations:   dp.MaxIterations,
-	}, d)
+		epsilon:         dp.Epsilon,
+	}
+}
+
+// Discover implements Algorithm via the indexed hot path.
+func (dp *Depen) Discover(d *truthdata.Dataset) (*Result, error) {
+	return discoverViaIndex(dp, d)
+}
+
+// DiscoverIndexed implements IndexedAlgorithm.
+func (dp *Depen) DiscoverIndexed(ctx context.Context, ix *truthdata.Index) (*IndexedResult, error) {
+	return runAccuFamilyIndexed(ctx, dp.config(), ix)
 }
 
 // AccuSim extends Accu with value similarity: scores of similar values
@@ -275,13 +350,12 @@ func NewAccuSim() *AccuSim { return &AccuSim{} }
 // Name implements Algorithm.
 func (*AccuSim) Name() string { return "AccuSim" }
 
-// Discover implements Algorithm.
-func (as *AccuSim) Discover(d *truthdata.Dataset) (*Result, error) {
+func (as *AccuSim) config() accuConfig {
 	simFn := as.Similarity
 	if simFn == nil {
 		simFn = similarity.Numeric
 	}
-	return runAccuFamily(accuConfig{
+	return accuConfig{
 		name:            as.Name(),
 		updateAccuracy:  true,
 		similarity:      simFn,
@@ -290,5 +364,15 @@ func (as *AccuSim) Discover(d *truthdata.Dataset) (*Result, error) {
 		dep:             dependenceParams{alpha: as.Alpha, c: as.C, n: as.N},
 		maxIterations:   as.MaxIterations,
 		epsilon:         as.Epsilon,
-	}, d)
+	}
+}
+
+// Discover implements Algorithm via the indexed hot path.
+func (as *AccuSim) Discover(d *truthdata.Dataset) (*Result, error) {
+	return discoverViaIndex(as, d)
+}
+
+// DiscoverIndexed implements IndexedAlgorithm.
+func (as *AccuSim) DiscoverIndexed(ctx context.Context, ix *truthdata.Index) (*IndexedResult, error) {
+	return runAccuFamilyIndexed(ctx, as.config(), ix)
 }

@@ -11,6 +11,7 @@
 package algorithms
 
 import (
+	"context"
 	"errors"
 	"math"
 	"time"
@@ -26,6 +27,128 @@ type Algorithm interface {
 	Name() string
 	// Discover predicts the true value of every claimed cell.
 	Discover(d *truthdata.Dataset) (*Result, error)
+}
+
+// IndexedAlgorithm is the dense execution interface every built-in
+// algorithm implements. DiscoverIndexed consumes a prebuilt Index — so a
+// pipeline that runs several algorithms over the same data (TD-AC's
+// reference run plus its per-group base runs, the server re-running a
+// snapshot) compiles the claim graph once and shares it — and produces an
+// IndexedResult keyed by dense IDs, materialised to the map-keyed Result
+// only at the public boundary.
+//
+// Cancellation is honoured at update-round granularity: ctx.Err() is
+// checked before every iteration, so a deadline interrupts a slow run
+// mid-algorithm instead of only between pipeline phases.
+//
+// Discover remains the compatibility entry point: the built-in
+// implementations route it through DiscoverIndexed on the dataset's
+// cached index, and third-party Algorithm implementations that never
+// heard of indexes keep working everywhere an Algorithm is accepted.
+type IndexedAlgorithm interface {
+	Algorithm
+	// DiscoverIndexed predicts the true value of every claimed cell of
+	// the indexed dataset.
+	DiscoverIndexed(ctx context.Context, ix *truthdata.Index) (*IndexedResult, error)
+}
+
+// IndexedResult is the dense outcome of one DiscoverIndexed call: per-cell
+// choices and confidences as flat slices keyed by the Index's cell order,
+// with no map materialisation. Materialize converts it to a Result.
+type IndexedResult struct {
+	// Algorithm is the name of the producing algorithm.
+	Algorithm string
+	// Choice[i] is the predicted ValueID of Index.Cells[i].
+	Choice []truthdata.ValueID
+	// Conf[i] is the confidence of Choice[i] in the algorithm's own
+	// scale; nil when the algorithm defines no confidence.
+	Conf []float64
+	// Trust is the final per-source reliability estimate, indexed by
+	// SourceID.
+	Trust []float64
+	// Iterations is the number of full update rounds executed.
+	Iterations int
+	// Converged reports whether the run stopped on the convergence
+	// criterion rather than on the iteration cap.
+	Converged bool
+	// Runtime is the wall-clock duration of the DiscoverIndexed call.
+	Runtime time.Duration
+}
+
+// Materialize converts the dense result into the public map-keyed Result.
+// The Confidence map is only allocated when the algorithm produced
+// confidences, and Trust is normalised to exactly one entry per dataset
+// source — sources that assert no claims in the indexed slice (common for
+// per-group projections) keep a zero entry instead of truncating or
+// overflowing the vector.
+func (r *IndexedResult) Materialize(ix *truthdata.Index) *Result {
+	res := &Result{
+		Algorithm:  r.Algorithm,
+		Truth:      make(map[truthdata.Cell]string, len(ix.Cells)),
+		Trust:      normalizeTrustLen(r.Trust, len(ix.BySource)),
+		Iterations: r.Iterations,
+		Converged:  r.Converged,
+		Runtime:    r.Runtime,
+	}
+	if r.Conf != nil {
+		res.Confidence = make(map[truthdata.Cell]float64, len(ix.Cells))
+	}
+	for i := range ix.Cells {
+		cell := ix.Cells[i].Cell
+		res.Truth[cell] = ix.ValueText(i, r.Choice[i])
+		if r.Conf != nil {
+			res.Confidence[cell] = r.Conf[i]
+		}
+	}
+	return res
+}
+
+// normalizeTrustLen pads or clips trust to exactly n entries, so every
+// Result carries one trust value per dataset source regardless of how
+// many sources actually asserted claims.
+func normalizeTrustLen(trust []float64, n int) []float64 {
+	if len(trust) == n {
+		return trust
+	}
+	out := make([]float64, n)
+	copy(out, trust)
+	return out
+}
+
+// discoverViaIndex adapts DiscoverIndexed to the classic Discover shape:
+// it compiles (or reuses) the dataset's cached index, runs the indexed
+// path without a deadline and materialises maps at the boundary. Every
+// built-in algorithm's Discover is this shim.
+func discoverViaIndex(a IndexedAlgorithm, d *truthdata.Dataset) (*Result, error) {
+	return DiscoverContext(context.Background(), a, d)
+}
+
+// DiscoverContext runs any Algorithm under a context. Built-in algorithms
+// implement IndexedAlgorithm and take the indexed hot path, which checks
+// ctx at every update round; plain third-party Algorithm implementations
+// fall back to Discover after an upfront cancellation check (they are not
+// interruptible mid-run). This is the dispatch every pipeline stage —
+// TD-AC's reference run, its per-group base runs, a direct Run — goes
+// through.
+func DiscoverContext(ctx context.Context, alg Algorithm, d *truthdata.Dataset) (*Result, error) {
+	if ia, ok := alg.(IndexedAlgorithm); ok {
+		start := time.Now()
+		if len(d.Claims) == 0 {
+			return nil, ErrEmptyDataset
+		}
+		ix := d.Index()
+		ir, err := ia.DiscoverIndexed(ctx, ix)
+		if err != nil {
+			return nil, err
+		}
+		res := ir.Materialize(ix)
+		res.Runtime = time.Since(start)
+		return res, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return alg.Discover(d)
 }
 
 // Result is the outcome of one truth discovery run.
@@ -121,15 +244,21 @@ func softmaxInPlace(scores []float64) {
 }
 
 // buildResult assembles the common Result fields from per-cell choices.
+// The Confidence map is only allocated when the algorithm produced
+// confidences, and Trust is normalised to one entry per dataset source
+// even when the algorithm's vector came up short (sources with no claims
+// in a group slice).
 func buildResult(name string, ix *truthdata.Index, choice []truthdata.ValueID,
 	conf []float64, trust []float64, iters int, converged bool, start time.Time) *Result {
 	res := &Result{
 		Algorithm:  name,
 		Truth:      make(map[truthdata.Cell]string, len(ix.Cells)),
-		Confidence: make(map[truthdata.Cell]float64, len(ix.Cells)),
-		Trust:      trust,
+		Trust:      normalizeTrustLen(trust, len(ix.BySource)),
 		Iterations: iters,
 		Converged:  converged,
+	}
+	if conf != nil {
+		res.Confidence = make(map[truthdata.Cell]float64, len(ix.Cells))
 	}
 	for i := range ix.Cells {
 		cell := ix.Cells[i].Cell

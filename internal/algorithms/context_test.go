@@ -1,0 +1,78 @@
+package algorithms_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tdac/internal/algorithms"
+	"tdac/internal/truthdata"
+)
+
+// TestDiscoverIndexedHonoursCancellation pins the per-round context
+// checks: every built-in algorithm must implement IndexedAlgorithm, and
+// every iterative one must return the context's error instead of running
+// when the context is already cancelled. MajorityVote is the one
+// single-pass algorithm with no rounds to interrupt.
+func TestDiscoverIndexedHonoursCancellation(t *testing.T) {
+	d := hostileNameDataset()
+	ix := d.Index()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range algorithms.Names() {
+		alg, err := algorithms.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ia, ok := alg.(algorithms.IndexedAlgorithm)
+		if !ok {
+			t.Errorf("%s does not implement IndexedAlgorithm", name)
+			continue
+		}
+		res, err := ia.DiscoverIndexed(ctx, ix)
+		if name == "MajorityVote" {
+			if err != nil {
+				t.Errorf("MajorityVote (single pass): %v", err)
+			}
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: got %v (result %v), want context.Canceled", name, err, res != nil)
+		}
+	}
+}
+
+// plainAlgorithm is a third-party-style Algorithm that never heard of
+// indexes; DiscoverContext must fall back to Discover for it, after an
+// upfront cancellation check.
+type plainAlgorithm struct{ calls int }
+
+func (p *plainAlgorithm) Name() string { return "plain" }
+
+func (p *plainAlgorithm) Discover(d *truthdata.Dataset) (*algorithms.Result, error) {
+	p.calls++
+	return &algorithms.Result{
+		Algorithm: p.Name(),
+		Truth:     map[truthdata.Cell]string{},
+		Trust:     make([]float64, d.NumSources()),
+	}, nil
+}
+
+func TestDiscoverContextFallsBackForPlainAlgorithms(t *testing.T) {
+	d := hostileNameDataset()
+	p := &plainAlgorithm{}
+	if _, err := algorithms.DiscoverContext(context.Background(), p, d); err != nil {
+		t.Fatal(err)
+	}
+	if p.calls != 1 {
+		t.Fatalf("Discover called %d times, want 1", p.calls)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := algorithms.DiscoverContext(ctx, p, d); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled before Discover runs", err)
+	}
+	if p.calls != 1 {
+		t.Fatalf("Discover ran under a cancelled context (%d calls)", p.calls)
+	}
+}

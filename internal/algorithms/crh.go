@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -29,10 +30,19 @@ func NewCRH() *CRH { return &CRH{} }
 // Name implements Algorithm.
 func (*CRH) Name() string { return "CRH" }
 
-// Discover implements Algorithm.
+// Discover implements Algorithm via the indexed hot path.
 func (c *CRH) Discover(d *truthdata.Dataset) (*Result, error) {
+	return discoverViaIndex(c, d)
+}
+
+// DiscoverIndexed implements IndexedAlgorithm. Vote scores live in one
+// flat per-fact buffer, the loss vector is reused across rounds instead
+// of reallocated, and the 0/1 loss is counted by comparing interned
+// FactIDs. Accumulation orders mirror discoverNaive exactly, so the
+// result is bit-identical.
+func (c *CRH) DiscoverIndexed(ctx context.Context, ix *truthdata.Index) (*IndexedResult, error) {
 	start := time.Now()
-	if len(d.Claims) == 0 {
+	if len(ix.Cells) == 0 {
 		return nil, ErrEmptyDataset
 	}
 	maxIters := c.MaxIterations
@@ -44,50 +54,58 @@ func (c *CRH) Discover(d *truthdata.Dataset) (*Result, error) {
 		eps = defaultEpsilon
 	}
 
-	ix := truthdata.NewIndex(d)
-	nSrc := d.NumSources()
+	fl := ix.Flat()
+	nSrc := fl.NumSources
+	nCells := fl.NumCells
 	weights := make([]float64, nSrc)
 	for s := range weights {
 		weights[s] = 1
 	}
 	prev := make([]float64, nSrc)
-	choice := make([]truthdata.ValueID, len(ix.Cells))
-	score := make([][]float64, len(ix.Cells))
-	for i, cc := range ix.Cells {
-		score[i] = make([]float64, cc.NumValues())
-	}
+	losses := make([]float64, nSrc)
+	choice := make([]truthdata.ValueID, nCells)
+	chosenFact := make([]int32, nCells)
+	score := make([]float64, fl.NumFacts)
 
 	iters := 0
 	converged := false
 	for iters < maxIters {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iters++
 		// Truth step: weighted plurality per cell.
-		for i, cc := range ix.Cells {
-			for v := range cc.Values {
+		for i := 0; i < nCells; i++ {
+			f0, f1 := fl.FactStart[i], fl.FactStart[i+1]
+			for f := f0; f < f1; f++ {
 				var sum float64
-				for _, s := range cc.Voters[v] {
+				for _, s := range fl.FactVoters(f) {
 					sum += weights[s]
 				}
-				score[i][v] = sum
+				score[f] = sum
 			}
-			choice[i] = argmaxValue(score[i])
+			choice[i] = argmaxValue(score[f0:f1])
+			chosenFact[i] = f0 + int32(choice[i])
 		}
 		// Weight step: w_s = -log(loss_s / Σ loss) with the 0/1 loss
 		// normalised by the source's claim count.
-		losses := make([]float64, nSrc)
+		for s := range losses {
+			losses[s] = 0
+		}
 		var total float64
-		for s, claims := range ix.BySource {
-			if len(claims) == 0 {
+		for s := 0; s < nSrc; s++ {
+			lo, hi := fl.SourceClaims(s)
+			if lo == hi {
 				continue
 			}
 			wrong := 0
-			for _, sc := range claims {
-				if sc.Value != choice[sc.CellIdx] {
+			for cl := lo; cl < hi; cl++ {
+				if fl.ClaimFact[cl] != chosenFact[fl.ClaimCell[cl]] {
 					wrong++
 				}
 			}
 			// Smoothed so perfect sources keep a finite weight.
-			losses[s] = (float64(wrong) + 0.5) / float64(len(claims))
+			losses[s] = (float64(wrong) + 0.5) / float64(hi-lo)
 			total += losses[s]
 		}
 		copy(prev, weights)
@@ -105,16 +123,25 @@ func (c *CRH) Discover(d *truthdata.Dataset) (*Result, error) {
 		}
 	}
 
-	conf := make([]float64, len(ix.Cells))
-	for i := range ix.Cells {
+	conf := make([]float64, nCells)
+	for i := 0; i < nCells; i++ {
+		f0, f1 := fl.FactStart[i], fl.FactStart[i+1]
 		var sum float64
-		for _, v := range score[i] {
+		for _, v := range score[f0:f1] {
 			sum += v
 		}
 		if sum > 0 {
-			conf[i] = score[i][choice[i]] / sum
+			conf[i] = score[chosenFact[i]] / sum
 		}
 	}
 	normalizeMax(weights)
-	return buildResult(c.Name(), ix, choice, conf, weights, iters, converged, start), nil
+	return &IndexedResult{
+		Algorithm:  c.Name(),
+		Choice:     choice,
+		Conf:       conf,
+		Trust:      weights,
+		Iterations: iters,
+		Converged:  converged,
+		Runtime:    time.Since(start),
+	}, nil
 }

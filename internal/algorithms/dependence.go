@@ -154,6 +154,143 @@ func overlapCounts(c1, c2 []truthdata.SourceClaim, choice []truthdata.ValueID, r
 	return kt, kf, kd
 }
 
+// estimateDependenceFlat is the CSR counterpart of estimateDependence,
+// used by the indexed Accu-family hot path. It reuses the caller's
+// depMatrix across rounds (clearing it first), consumes the
+// iteration-invariant rare marks precomputed per fact instead of
+// rebuilding them, and classifies overlaps by comparing interned FactIDs
+// — chosenFact[i] is the FactID of cell i's current predicted truth. The
+// per-pair posterior arithmetic is identical to estimateDependence, so
+// the probabilities are bit-identical.
+func estimateDependenceFlat(fl *truthdata.Flat, chosenFact []int32, rare []bool,
+	accuracy []float64, p dependenceParams, dep *depMatrix) {
+
+	for i := range dep.p {
+		dep.p[i] = 0
+	}
+	nSrc := fl.NumSources
+	for s1 := 0; s1 < nSrc; s1++ {
+		lo1, hi1 := fl.SourceClaims(s1)
+		if lo1 == hi1 {
+			continue
+		}
+		for s2 := s1 + 1; s2 < nSrc; s2++ {
+			lo2, hi2 := fl.SourceClaims(s2)
+			if lo2 == hi2 {
+				continue
+			}
+			kt, kf, kd := overlapCountsFlat(fl, lo1, hi1, lo2, hi2, chosenFact, rare)
+			if kt+kf+kd < p.minOverlap {
+				continue
+			}
+			if float64(kf) < p.minFalseShare*float64(kt+kf+kd) {
+				continue
+			}
+			a := clamp((accuracy[s1]+accuracy[s2])/2, 0.01, 0.99)
+			ptI := a * a
+			pfI := (1 - a) * (1 - a) / p.n
+			pdI := clamp(1-ptI-pfI, 1e-9, 1)
+			pfD := p.c*(1-a) + (1-p.c)*pfI
+			pdD := clamp((1-p.c)*pdI, 1e-9, 1)
+
+			logI := float64(kf)*math.Log(pfI) + float64(kd)*math.Log(pdI)
+			logD := float64(kf)*math.Log(pfD) + float64(kd)*math.Log(pdD)
+			ratio := (1 - p.alpha) / p.alpha * math.Exp(clamp(logI-logD, -300, 300))
+			dep.set(s1, s2, 1/(1+ratio))
+		}
+	}
+}
+
+// overlapCountsFlat merge-walks two sources' claim ranges of the CSR
+// adjacency (both ascend by cell) and classifies every shared cell as
+// both-true, both-same-false or different, exactly as overlapCounts does
+// on SourceClaim slices: equal FactIDs on the same cell mean equal
+// values, and a shared fact that is not the cell's current choice counts
+// as copying evidence only when rare.
+func overlapCountsFlat(fl *truthdata.Flat, i, ihi, j, jhi int32,
+	chosenFact []int32, rare []bool) (kt, kf, kd int) {
+
+	cells, facts := fl.ClaimCell, fl.ClaimFact
+	for i < ihi && j < jhi {
+		ci, cj := cells[i], cells[j]
+		switch {
+		case ci < cj:
+			i++
+		case ci > cj:
+			j++
+		default:
+			fi := facts[i]
+			switch {
+			case fi != facts[j]:
+				kd++
+			case fi != chosenFact[ci] && rare[fi]:
+				kf++
+			default:
+				kt++
+			}
+			i++
+			j++
+		}
+	}
+	return kt, kf, kd
+}
+
+// discountScratch holds the reusable buffers of the indexed vote
+// discounting, replacing discountVoters' per-call sort closure, map and
+// output slice. weightOf is keyed by SourceID; only the entries of the
+// current voter set are ever written before being read.
+type discountScratch struct {
+	order    []int32
+	weightOf []float64
+	out      []float64
+}
+
+func (sc *discountScratch) init(nSrc int) { sc.weightOf = make([]float64, nSrc) }
+
+// discount computes the vote weight of each voter of one fact, matching
+// discountVoters bit-for-bit: voters are ranked by accuracy (descending,
+// ties by id — a unique total order, so the insertion sort agrees with
+// the stable sort) and each voter's weight is the product over
+// higher-ranked voters of (1 - c·P(dep)) in rank order. The returned
+// slice aliases the scratch and is valid until the next call.
+func (sc *discountScratch) discount(voters []int32, accuracy []float64,
+	dep *depMatrix, c float64) []float64 {
+
+	n := len(voters)
+	sc.order = append(sc.order[:0], voters...)
+	order := sc.order
+	for i := 1; i < n; i++ {
+		s := order[i]
+		as := accuracy[s]
+		j := i - 1
+		for j >= 0 {
+			t := order[j]
+			at := accuracy[t]
+			if at > as || (at == as && t < s) {
+				break
+			}
+			order[j+1] = t
+			j--
+		}
+		order[j+1] = s
+	}
+	for rank, s := range order {
+		w := 1.0
+		for _, prev := range order[:rank] {
+			w *= 1 - c*dep.At(truthdata.SourceID(s), truthdata.SourceID(prev))
+		}
+		sc.weightOf[s] = w
+	}
+	if cap(sc.out) < n {
+		sc.out = make([]float64, n)
+	}
+	sc.out = sc.out[:n]
+	for i, s := range voters {
+		sc.out[i] = sc.weightOf[s]
+	}
+	return sc.out
+}
+
 // discountVoters returns the vote weight of each voter of one value:
 // voters are ranked by accuracy (descending, ties by id) and each voter's
 // weight is the product over higher-ranked voters of (1 - c*P(dep)), so a

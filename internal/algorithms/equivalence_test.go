@@ -1,0 +1,125 @@
+package algorithms_test
+
+// Equivalence tables for the indexed hot paths: every registered
+// algorithm must produce, via DiscoverIndexed, truth bit-for-bit equal
+// to its retained naive reference (NewNaive) and trust/confidence within
+// one ulp, on the paper datasets DS1-3 and on a hostile-name dataset
+// exercising interning of commas, quotes, newlines and escape bytes.
+
+import (
+	"math"
+	"testing"
+
+	"tdac/internal/algorithms"
+	"tdac/internal/experiments"
+	"tdac/internal/truthdata"
+)
+
+// hostileNameDataset mirrors truthdata's hostile round-trip fixture:
+// names and values containing CSV metacharacters, the truth-key
+// separator/escape bytes and non-ASCII text, so index interning and the
+// CSR build see the worst strings the readers accept.
+func hostileNameDataset() *truthdata.Dataset {
+	b := truthdata.NewBuilder("hostile, \"dataset\"\nπ")
+	sources := []string{`s,comma`, `s"quoted"`, "s\nnewline", "søurçe-ünïcodé-日本語", "s\x1e\x1fesc"}
+	objects := []string{`o,1`, "o\n\"2\"", "객체-3", "o\x1fsep", "o\x1e\x1fesc"}
+	attrs := []string{`a,α`, "a\"β\"", "a\nγ", "a\x1fδ"}
+	values := []string{`v,1`, `v"2"`, "v\n3", "välüé-4"}
+	for oi, o := range objects {
+		for ai, a := range attrs {
+			b.Truth(o, a, values[(oi+ai)%len(values)])
+			for si, s := range sources {
+				b.Claim(s, o, a, values[(si*oi+ai)%len(values)])
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// equivalenceDatasets returns the table shared by the equivalence tests:
+// the three paper datasets plus the hostile-name fixture.
+func equivalenceDatasets(t *testing.T) map[string]*truthdata.Dataset {
+	t.Helper()
+	out := map[string]*truthdata.Dataset{"hostile": hostileNameDataset()}
+	r := experiments.NewRunner(experiments.Options{})
+	for _, id := range []string{"DS1", "DS2", "DS3"} {
+		d, err := r.Dataset(id)
+		if err != nil {
+			t.Fatalf("load %s: %v", id, err)
+		}
+		out[id] = d
+	}
+	return out
+}
+
+// withinUlp reports whether two floats are equal or adjacent in the
+// float64 ordering.
+func withinUlp(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	ba, bb := int64(math.Float64bits(a)), int64(math.Float64bits(b))
+	if ba < 0 {
+		ba = math.MinInt64 - ba
+	}
+	if bb < 0 {
+		bb = math.MinInt64 - bb
+	}
+	d := ba - bb
+	return d == 1 || d == -1
+}
+
+func TestIndexedMatchesNaive(t *testing.T) {
+	datasets := equivalenceDatasets(t)
+	for _, name := range algorithms.Names() {
+		for dsName, d := range datasets {
+			t.Run(name+"/"+dsName, func(t *testing.T) {
+				fast, err := algorithms.New(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				slow, err := algorithms.NewNaive(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := fast.Discover(d)
+				if err != nil {
+					t.Fatalf("indexed: %v", err)
+				}
+				want, err := slow.Discover(d)
+				if err != nil {
+					t.Fatalf("naive: %v", err)
+				}
+				if got.Iterations != want.Iterations || got.Converged != want.Converged {
+					t.Errorf("iterations/converged diverged: indexed %d/%v, naive %d/%v",
+						got.Iterations, got.Converged, want.Iterations, want.Converged)
+				}
+				if len(got.Truth) != len(want.Truth) {
+					t.Fatalf("truth sizes differ: %d vs %d", len(got.Truth), len(want.Truth))
+				}
+				for cell, v := range want.Truth {
+					if gv, ok := got.Truth[cell]; !ok || gv != v {
+						t.Fatalf("truth[%v]: indexed %q, naive %q", cell, gv, v)
+					}
+				}
+				if len(got.Trust) != len(want.Trust) {
+					t.Fatalf("trust lengths differ: %d vs %d", len(got.Trust), len(want.Trust))
+				}
+				for s := range want.Trust {
+					if !withinUlp(got.Trust[s], want.Trust[s]) {
+						t.Errorf("trust[%d]: indexed %v, naive %v", s, got.Trust[s], want.Trust[s])
+					}
+				}
+				if (got.Confidence == nil) != (want.Confidence == nil) {
+					t.Fatalf("confidence presence differs: indexed %v, naive %v",
+						got.Confidence != nil, want.Confidence != nil)
+				}
+				for cell, c := range want.Confidence {
+					if !withinUlp(got.Confidence[cell], c) {
+						t.Errorf("confidence[%v]: indexed %v, naive %v", cell, got.Confidence[cell], c)
+					}
+				}
+			})
+		}
+	}
+}

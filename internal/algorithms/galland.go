@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -51,10 +52,19 @@ func NewThreeEstimates() *Galland { return &Galland{kind: kindThreeEstimates, na
 // Name implements Algorithm.
 func (g *Galland) Name() string { return g.name }
 
-// Discover implements Algorithm.
+// Discover implements Algorithm via the indexed hot path.
 func (g *Galland) Discover(d *truthdata.Dataset) (*Result, error) {
+	return discoverViaIndex(g, d)
+}
+
+// DiscoverIndexed implements IndexedAlgorithm. Truth scores and fact
+// difficulties live in flat per-fact buffers walked through the CSR
+// rows; every nested loop visits voters in the same order as
+// discoverNaive, so the affine re-normalisations see identical extrema
+// and the result is bit-identical.
+func (g *Galland) DiscoverIndexed(ctx context.Context, ix *truthdata.Index) (*IndexedResult, error) {
 	start := time.Now()
-	if len(d.Claims) == 0 {
+	if len(ix.Cells) == 0 {
 		return nil, ErrEmptyDataset
 	}
 	initErr := g.InitialError
@@ -70,8 +80,10 @@ func (g *Galland) Discover(d *truthdata.Dataset) (*Result, error) {
 		eps = defaultEpsilon
 	}
 
-	ix := truthdata.NewIndex(d)
-	nSrc := d.NumSources()
+	fl := ix.Flat()
+	nSrc := fl.NumSources
+	nCells := fl.NumCells
+	nFacts := int32(fl.NumFacts)
 
 	errRate := make([]float64, nSrc)
 	for s := range errRate {
@@ -79,79 +91,77 @@ func (g *Galland) Discover(d *truthdata.Dataset) (*Result, error) {
 	}
 	prevErr := make([]float64, nSrc)
 
-	// truth[i][v] is the estimated probability that value v of cell i is
-	// true; difficulty[i][v] is 3-Estimates' per-fact hardness.
-	truth := make([][]float64, len(ix.Cells))
-	difficulty := make([][]float64, len(ix.Cells))
-	for i, cc := range ix.Cells {
-		truth[i] = make([]float64, cc.NumValues())
-		difficulty[i] = make([]float64, cc.NumValues())
-		for v := range difficulty[i] {
-			difficulty[i][v] = 0.5
-		}
+	// truth[f] is the estimated probability that fact f is true;
+	// difficulty[f] is 3-Estimates' per-fact hardness.
+	truth := make([]float64, nFacts)
+	difficulty := make([]float64, nFacts)
+	for f := range difficulty {
+		difficulty[f] = 0.5
 	}
 
 	iters := 0
 	converged := false
 	for iters < maxIters {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iters++
 		// Truth scores: a voter contributes its correctness probability;
 		// a source claiming a *different* value of the same cell is an
 		// implicit negative vote contributing its error probability.
-		for i, cc := range ix.Cells {
-			totalVoters := 0
-			for v := range cc.Values {
-				totalVoters += len(cc.Voters[v])
-			}
-			for v := range cc.Values {
+		for i := 0; i < nCells; i++ {
+			f0, f1 := fl.FactStart[i], fl.FactStart[i+1]
+			for f := f0; f < f1; f++ {
 				var sum float64
 				n := 0
-				for _, s := range cc.Voters[v] {
+				for _, s := range fl.FactVoters(f) {
 					p := 1 - errRate[s]
 					if g.kind == kindThreeEstimates {
-						p = 1 - errRate[s]*difficulty[i][v]
+						p = 1 - errRate[s]*difficulty[f]
 					}
 					sum += p
 					n++
 				}
 				// Implicit negative voters: everyone claiming another
 				// value of this cell.
-				for w := range cc.Values {
-					if w == v {
+				for w := f0; w < f1; w++ {
+					if w == f {
 						continue
 					}
-					for _, s := range cc.Voters[w] {
+					for _, s := range fl.FactVoters(w) {
 						p := errRate[s]
 						if g.kind == kindThreeEstimates {
-							p = errRate[s] * difficulty[i][v]
+							p = errRate[s] * difficulty[f]
 						}
 						sum += p
 						n++
 					}
 				}
 				if n > 0 {
-					truth[i][v] = sum / float64(n)
+					truth[f] = sum / float64(n)
 				}
 			}
 		}
-		normalizeUnit(truth)
+		normalizeUnitVecSpan(truth)
 
 		// Source error rates: average disbelief in the facts the source
 		// asserted plus belief in the facts it implicitly denied.
 		copy(prevErr, errRate)
-		for s, claims := range ix.BySource {
-			if len(claims) == 0 {
+		for s := 0; s < nSrc; s++ {
+			lo, hi := fl.SourceClaims(s)
+			if lo == hi {
 				continue
 			}
 			var sum float64
 			n := 0
-			for _, sc := range claims {
-				cc := &ix.Cells[sc.CellIdx]
-				sum += 1 - truth[sc.CellIdx][sc.Value]
+			for c := lo; c < hi; c++ {
+				cell := fl.ClaimCell[c]
+				f := fl.ClaimFact[c]
+				sum += 1 - truth[f]
 				n++
-				for w := range cc.Values {
-					if truthdata.ValueID(w) != sc.Value {
-						sum += truth[sc.CellIdx][w]
+				for w := fl.FactStart[cell]; w < fl.FactStart[cell+1]; w++ {
+					if w != f {
+						sum += truth[w]
 						n++
 					}
 				}
@@ -163,24 +173,22 @@ func (g *Galland) Discover(d *truthdata.Dataset) (*Result, error) {
 		if g.kind == kindThreeEstimates {
 			// Fact difficulty: how often do otherwise-reliable sources
 			// get this fact wrong?
-			for i, cc := range ix.Cells {
-				for v := range cc.Values {
-					var sum float64
-					n := 0
-					for _, s := range cc.Voters[v] {
-						denom := errRate[s]
-						if denom < 0.01 {
-							denom = 0.01
-						}
-						sum += (1 - truth[i][v]) / denom
-						n++
+			for f := int32(0); f < nFacts; f++ {
+				var sum float64
+				n := 0
+				for _, s := range fl.FactVoters(f) {
+					denom := errRate[s]
+					if denom < 0.01 {
+						denom = 0.01
 					}
-					if n > 0 {
-						difficulty[i][v] = sum / float64(n)
-					}
+					sum += (1 - truth[f]) / denom
+					n++
+				}
+				if n > 0 {
+					difficulty[f] = sum / float64(n)
 				}
 			}
-			normalizeUnit(difficulty)
+			normalizeUnitVecSpan(difficulty)
 		}
 
 		if maxAbsDiff(prevErr, errRate) < eps {
@@ -189,17 +197,26 @@ func (g *Galland) Discover(d *truthdata.Dataset) (*Result, error) {
 		}
 	}
 
-	choice := make([]truthdata.ValueID, len(ix.Cells))
-	conf := make([]float64, len(ix.Cells))
+	choice := make([]truthdata.ValueID, nCells)
+	conf := make([]float64, nCells)
 	trust := make([]float64, nSrc)
-	for i := range ix.Cells {
-		choice[i] = argmaxValue(truth[i])
-		conf[i] = truth[i][choice[i]]
+	for i := 0; i < nCells; i++ {
+		f0, f1 := fl.FactStart[i], fl.FactStart[i+1]
+		choice[i] = argmaxValue(truth[f0:f1])
+		conf[i] = truth[f0+int32(choice[i])]
 	}
 	for s := range trust {
 		trust[s] = 1 - errRate[s]
 	}
-	return buildResult(g.name, ix, choice, conf, trust, iters, converged, start), nil
+	return &IndexedResult{
+		Algorithm:  g.name,
+		Choice:     choice,
+		Conf:       conf,
+		Trust:      trust,
+		Iterations: iters,
+		Converged:  converged,
+		Runtime:    time.Since(start),
+	}, nil
 }
 
 // normalizeUnit affinely rescales all entries of a ragged matrix into
@@ -225,6 +242,29 @@ func normalizeUnit(m [][]float64) {
 		for i, x := range row {
 			row[i] = (x - lo) / span
 		}
+	}
+}
+
+// normalizeUnitVecSpan affinely rescales all entries of a flat per-fact
+// vector into [0,1] — normalizeUnit for CSR state. The extrema scan and
+// the rescale visit facts in the same order as normalizeUnit visits the
+// ragged rows, so the two produce bit-identical results.
+func normalizeUnitVecSpan(v []float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if !(hi > lo) {
+		return
+	}
+	span := hi - lo
+	for i, x := range v {
+		v[i] = (x - lo) / span
 	}
 }
 

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -31,10 +32,23 @@ func NewSimpleLCA() *SimpleLCA { return &SimpleLCA{} }
 // Name implements Algorithm.
 func (*SimpleLCA) Name() string { return "SimpleLCA" }
 
-// Discover implements Algorithm.
+// Discover implements Algorithm via the indexed hot path.
 func (l *SimpleLCA) Discover(d *truthdata.Dataset) (*Result, error) {
+	return discoverViaIndex(l, d)
+}
+
+// DiscoverIndexed implements IndexedAlgorithm. The E step is where the
+// naive path burns its time: for a cell with m values it evaluates
+// log(H(s)) and log((1-H(s))/(m-1)) per (candidate, claim) pair — m
+// Log calls per claim per round. Both terms depend only on the claiming
+// source (and m, fixed per cell), so the hot path computes log-honesty
+// once per source per round and the per-claim lie term once per claim
+// per round, then the candidate loop just adds precomputed values in the
+// naive order. Identical expressions over identical inputs, so the
+// result is bit-identical.
+func (l *SimpleLCA) DiscoverIndexed(ctx context.Context, ix *truthdata.Index) (*IndexedResult, error) {
 	start := time.Now()
-	if len(d.Claims) == 0 {
+	if len(ix.Cells) == 0 {
 		return nil, ErrEmptyDataset
 	}
 	honesty0 := l.InitialHonesty
@@ -50,59 +64,89 @@ func (l *SimpleLCA) Discover(d *truthdata.Dataset) (*Result, error) {
 		eps = defaultEpsilon
 	}
 
-	ix := truthdata.NewIndex(d)
-	nSrc := d.NumSources()
+	fl := ix.Flat()
+	nSrc := fl.NumSources
+	nCells := fl.NumCells
 	honesty := make([]float64, nSrc)
 	for s := range honesty {
 		honesty[s] = honesty0
 	}
 	prev := make([]float64, nSrc)
 
-	post := make([][]float64, len(ix.Cells))
-	for i, cc := range ix.Cells {
-		post[i] = make([]float64, cc.NumValues())
+	post := make([]float64, fl.NumFacts)
+	srcLogH := make([]float64, nSrc) // per-round log(clamped honesty)
+	maxClaims := 0
+	for i := 0; i < nCells; i++ {
+		f0, f1 := fl.FactStart[i], fl.FactStart[i+1]
+		if n := int(fl.VoterStart[f1] - fl.VoterStart[f0]); n > maxClaims {
+			maxClaims = n
+		}
 	}
+	logH := make([]float64, maxClaims)   // per-claim truthful term, one cell
+	logLie := make([]float64, maxClaims) // per-claim lying term, one cell
 
 	iters := 0
 	converged := false
 	for iters < maxIters {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iters++
+		for s := range srcLogH {
+			srcLogH[s] = math.Log(clamp(honesty[s], 1e-6, 1-1e-6))
+		}
 		// E step: P(v true | claims) ∝ Π_s P(claim_s | v true), computed
 		// in log space. A source claiming v contributes H(s); a source
 		// claiming another value contributes (1-H(s))/(m-1) when v is
 		// true (it lied into one of m-1 false values uniformly).
-		for i, cc := range ix.Cells {
-			m := float64(cc.NumValues())
-			logp := post[i]
-			for v := range cc.Values {
-				lp := 0.0
-				for w := range cc.Values {
-					for _, s := range cc.Voters[w] {
+		for i := 0; i < nCells; i++ {
+			f0, f1 := fl.FactStart[i], fl.FactStart[i+1]
+			m := float64(f1 - f0)
+			k := 0
+			for w := f0; w < f1; w++ {
+				for _, s := range fl.FactVoters(w) {
+					logH[k] = srcLogH[s]
+					if m > 1 {
 						h := clamp(honesty[s], 1e-6, 1-1e-6)
-						if truthdata.ValueID(w) == truthdata.ValueID(v) {
-							lp += math.Log(h)
-						} else if m > 1 {
-							lp += math.Log((1 - h) / (m - 1))
-						} else {
-							lp += math.Log(1 - h)
+						logLie[k] = math.Log((1 - h) / (m - 1))
+					}
+					k++
+				}
+			}
+			scores := post[f0:f1]
+			for v := f0; v < f1; v++ {
+				lp := 0.0
+				k = 0
+				for w := f0; w < f1; w++ {
+					nv := int(fl.VoterStart[w+1] - fl.VoterStart[w])
+					if w == v {
+						for c := 0; c < nv; c++ {
+							lp += logH[k]
+							k++
+						}
+					} else {
+						for c := 0; c < nv; c++ {
+							lp += logLie[k]
+							k++
 						}
 					}
 				}
-				logp[v] = lp
+				scores[v-f0] = lp
 			}
-			softmaxInPlace(logp)
+			softmaxInPlace(scores)
 		}
 		// M step: honesty = expected fraction of truthful claims.
 		copy(prev, honesty)
-		for s, claims := range ix.BySource {
-			if len(claims) == 0 {
+		for s := 0; s < nSrc; s++ {
+			lo, hi := fl.SourceClaims(s)
+			if lo == hi {
 				continue
 			}
 			var sum float64
-			for _, sc := range claims {
-				sum += post[sc.CellIdx][sc.Value]
+			for c := lo; c < hi; c++ {
+				sum += post[fl.ClaimFact[c]]
 			}
-			honesty[s] = clamp(sum/float64(len(claims)), 0.01, 0.99)
+			honesty[s] = clamp(sum/float64(hi-lo), 0.01, 0.99)
 		}
 		if maxAbsDiff(prev, honesty) < eps {
 			converged = true
@@ -110,11 +154,20 @@ func (l *SimpleLCA) Discover(d *truthdata.Dataset) (*Result, error) {
 		}
 	}
 
-	choice := make([]truthdata.ValueID, len(ix.Cells))
-	conf := make([]float64, len(ix.Cells))
-	for i := range ix.Cells {
-		choice[i] = argmaxValue(post[i])
-		conf[i] = post[i][choice[i]]
+	choice := make([]truthdata.ValueID, nCells)
+	conf := make([]float64, nCells)
+	for i := 0; i < nCells; i++ {
+		f0, f1 := fl.FactStart[i], fl.FactStart[i+1]
+		choice[i] = argmaxValue(post[f0:f1])
+		conf[i] = post[f0+int32(choice[i])]
 	}
-	return buildResult(l.Name(), ix, choice, conf, honesty, iters, converged, start), nil
+	return &IndexedResult{
+		Algorithm:  l.Name(),
+		Choice:     choice,
+		Conf:       conf,
+		Trust:      honesty,
+		Iterations: iters,
+		Converged:  converged,
+		Runtime:    time.Since(start),
+	}, nil
 }

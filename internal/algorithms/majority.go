@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"time"
 
 	"tdac/internal/truthdata"
@@ -18,41 +19,60 @@ func NewMajorityVote() *MajorityVote { return &MajorityVote{} }
 // Name implements Algorithm.
 func (*MajorityVote) Name() string { return "MajorityVote" }
 
-// Discover implements Algorithm.
+// Discover implements Algorithm via the indexed hot path.
 func (m *MajorityVote) Discover(d *truthdata.Dataset) (*Result, error) {
+	return discoverViaIndex(m, d)
+}
+
+// DiscoverIndexed implements IndexedAlgorithm. Vote counting and the
+// agreement-based trust are pure integer arithmetic off the CSR rows, so
+// equivalence with discoverNaive is exact by construction.
+func (m *MajorityVote) DiscoverIndexed(ctx context.Context, ix *truthdata.Index) (*IndexedResult, error) {
 	start := time.Now()
-	if len(d.Claims) == 0 {
+	if len(ix.Cells) == 0 {
 		return nil, ErrEmptyDataset
 	}
-	ix := truthdata.NewIndex(d)
-	choice := make([]truthdata.ValueID, len(ix.Cells))
-	conf := make([]float64, len(ix.Cells))
-	for i, cc := range ix.Cells {
-		best, bestVotes, total := 0, len(cc.Voters[0]), len(cc.Voters[0])
-		for v := 1; v < len(cc.Voters); v++ {
-			n := len(cc.Voters[v])
-			total += n
-			if n > bestVotes {
-				best, bestVotes = v, n
+	fl := ix.Flat()
+	nCells := fl.NumCells
+	choice := make([]truthdata.ValueID, nCells)
+	chosenFact := make([]int32, nCells)
+	conf := make([]float64, nCells)
+	for i := 0; i < nCells; i++ {
+		f0, f1 := fl.FactStart[i], fl.FactStart[i+1]
+		best := f0
+		bestVotes := fl.VoterStart[f0+1] - fl.VoterStart[f0]
+		for f := f0 + 1; f < f1; f++ {
+			if n := fl.VoterStart[f+1] - fl.VoterStart[f]; n > bestVotes {
+				best, bestVotes = f, n
 			}
 		}
-		choice[i] = truthdata.ValueID(best)
+		total := fl.VoterStart[f1] - fl.VoterStart[f0]
+		choice[i] = truthdata.ValueID(best - f0)
+		chosenFact[i] = best
 		conf[i] = float64(bestVotes) / float64(total)
 	}
 	// Trust is the agreement of each source with the majority outcome.
-	trust := make([]float64, d.NumSources())
-	counts := make([]int, d.NumSources())
-	for s, claims := range ix.BySource {
+	trust := make([]float64, fl.NumSources)
+	for s := 0; s < fl.NumSources; s++ {
+		lo, hi := fl.SourceClaims(s)
+		if lo == hi {
+			continue
+		}
 		agree := 0
-		for _, sc := range claims {
-			if sc.Value == choice[sc.CellIdx] {
+		for c := lo; c < hi; c++ {
+			if fl.ClaimFact[c] == chosenFact[fl.ClaimCell[c]] {
 				agree++
 			}
 		}
-		counts[s] = len(claims)
-		if len(claims) > 0 {
-			trust[s] = float64(agree) / float64(len(claims))
-		}
+		trust[s] = float64(agree) / float64(hi-lo)
 	}
-	return buildResult(m.Name(), ix, choice, conf, trust, 1, true, start), nil
+	return &IndexedResult{
+		Algorithm:  m.Name(),
+		Choice:     choice,
+		Conf:       conf,
+		Trust:      trust,
+		Iterations: 1,
+		Converged:  true,
+		Runtime:    time.Since(start),
+	}, nil
 }

@@ -1,0 +1,763 @@
+package algorithms
+
+// This file retains the pre-index execution paths of every built-in
+// algorithm, byte-for-byte as they ran before the CSR rewrite: ragged
+// slices-of-slices for per-value state, per-round allocations and all.
+// They are deliberately NOT dead code — NewNaive exposes them as the
+// oracle that internal/verify's indexed-vs-naive invariants and the
+// equivalence tests diff the dense hot paths against, bit-for-bit on
+// truth and within an ulp on trust. Any change here invalidates that
+// baseline; optimise the DiscoverIndexed paths instead.
+
+import (
+	"math"
+	"time"
+
+	"tdac/internal/truthdata"
+)
+
+func (tf *TruthFinder) discoverNaive(d *truthdata.Dataset) (*Result, error) {
+	start := time.Now()
+	if len(d.Claims) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	cfg := tf.defaults()
+	ix := truthdata.NewIndex(d)
+
+	// Precompute the pairwise similarity of candidate values per cell;
+	// cells have few distinct values, so this stays small.
+	sim := make([][][]float64, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		n := cc.NumValues()
+		if n < 2 {
+			continue
+		}
+		m := make([][]float64, n)
+		for a := 0; a < n; a++ {
+			m[a] = make([]float64, n)
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				if b < a {
+					m[a][b] = m[b][a]
+					continue
+				}
+				m[a][b] = cfg.Similarity(cc.Values[a], cc.Values[b])
+			}
+		}
+		sim[i] = m
+	}
+
+	trust := make([]float64, d.NumSources())
+	for s := range trust {
+		trust[s] = cfg.InitialTrust
+	}
+	prev := make([]float64, len(trust))
+	conf := make([][]float64, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		conf[i] = make([]float64, cc.NumValues())
+	}
+
+	iters := 0
+	converged := false
+	for iters < cfg.MaxIterations {
+		iters++
+		// Value confidence from source trustworthiness.
+		for i, cc := range ix.Cells {
+			scores := conf[i]
+			for v := range scores {
+				var sigma float64
+				for _, s := range cc.Voters[v] {
+					t := clamp(trust[s], 1e-6, 1-1e-6)
+					sigma += -math.Log(1 - t)
+				}
+				scores[v] = sigma
+			}
+			// Implication: similar values lend part of their score.
+			if m := sim[i]; m != nil {
+				adjusted := make([]float64, len(scores))
+				for v := range scores {
+					adj := scores[v]
+					for w := range scores {
+						if w != v && m[v][w] > 0 {
+							adj += cfg.Rho * m[v][w] * scores[w]
+						}
+					}
+					adjusted[v] = adj
+				}
+				copy(scores, adjusted)
+			}
+			for v := range scores {
+				scores[v] = 1 / (1 + math.Exp(-cfg.Gamma*scores[v]))
+			}
+		}
+		// Source trustworthiness from value confidence.
+		copy(prev, trust)
+		for s, claims := range ix.BySource {
+			if len(claims) == 0 {
+				continue
+			}
+			var sum float64
+			for _, sc := range claims {
+				sum += conf[sc.CellIdx][sc.Value]
+			}
+			trust[s] = sum / float64(len(claims))
+		}
+		if 1-cosine(prev, trust) < cfg.Epsilon && maxAbsDiff(prev, trust) < cfg.Epsilon {
+			converged = true
+			break
+		}
+	}
+
+	choice := make([]truthdata.ValueID, len(ix.Cells))
+	chosenConf := make([]float64, len(ix.Cells))
+	for i := range ix.Cells {
+		choice[i] = argmaxValue(conf[i])
+		chosenConf[i] = conf[i][choice[i]]
+	}
+	return buildResult(tf.Name(), ix, choice, chosenConf, trust, iters, converged, start), nil
+}
+
+// naiveAccuFamily is the retained map-and-ragged-slice Accu engine (the
+// pre-index runAccuFamily), shared by the naive paths of Depen, Accu and
+// AccuSim.
+func naiveAccuFamily(cfg accuConfig, d *truthdata.Dataset) (*Result, error) {
+	start := time.Now()
+	if len(d.Claims) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	cfg.applyDefaults()
+	ix := truthdata.NewIndex(d)
+	nSrc := d.NumSources()
+
+	accuracy := make([]float64, nSrc)
+	for s := range accuracy {
+		accuracy[s] = cfg.initialAccuracy
+	}
+	prevAcc := make([]float64, nSrc)
+
+	// Seed the truth with a plain vote so the first dependence estimate
+	// has something to compare against.
+	choice := make([]truthdata.ValueID, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		best, bestVotes := 0, len(cc.Voters[0])
+		for v := 1; v < len(cc.Voters); v++ {
+			if n := len(cc.Voters[v]); n > bestVotes {
+				best, bestVotes = v, n
+			}
+		}
+		choice[i] = truthdata.ValueID(best)
+	}
+
+	// Per-cell similarity matrices for the AccuSim adjustment.
+	var sim [][][]float64
+	if cfg.similarity != nil {
+		sim = make([][][]float64, len(ix.Cells))
+		for i, cc := range ix.Cells {
+			n := cc.NumValues()
+			if n < 2 {
+				continue
+			}
+			m := make([][]float64, n)
+			for a := 0; a < n; a++ {
+				m[a] = make([]float64, n)
+			}
+			for a := 0; a < n; a++ {
+				for b := a + 1; b < n; b++ {
+					s := cfg.similarity(cc.Values[a], cc.Values[b])
+					m[a][b], m[b][a] = s, s
+				}
+			}
+			sim[i] = m
+		}
+	}
+
+	prob := make([][]float64, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		prob[i] = make([]float64, cc.NumValues())
+	}
+
+	iters := 0
+	converged := false
+	for iters < cfg.maxIterations {
+		iters++
+		dep := estimateDependence(ix, choice, accuracy, cfg.dep)
+
+		truthChanged := false
+		for i, cc := range ix.Cells {
+			scores := prob[i]
+			for v := range cc.Values {
+				weights := discountVoters(cc.Voters[v], accuracy, dep, cfg.dep.c)
+				var score float64
+				for k, s := range cc.Voters[v] {
+					w := weights[k]
+					if cfg.updateAccuracy {
+						a := clamp(accuracy[s], 0.01, 0.99)
+						score += w * math.Log(cfg.dep.n*a/(1-a))
+					} else {
+						score += w
+					}
+				}
+				scores[v] = score
+			}
+			if sim != nil && sim[i] != nil {
+				adjusted := make([]float64, len(scores))
+				for v := range scores {
+					adj := scores[v]
+					for w := range scores {
+						if w != v {
+							adj += cfg.rho * sim[i][v][w] * scores[w]
+						}
+					}
+					adjusted[v] = adj
+				}
+				copy(scores, adjusted)
+			}
+			softmaxInPlace(scores)
+			if best := argmaxValue(scores); best != choice[i] {
+				choice[i] = best
+				truthChanged = true
+			}
+		}
+
+		copy(prevAcc, accuracy)
+		if cfg.updateAccuracy {
+			for s, claims := range ix.BySource {
+				if len(claims) == 0 {
+					continue
+				}
+				var sum float64
+				for _, sc := range claims {
+					sum += prob[sc.CellIdx][sc.Value]
+				}
+				accuracy[s] = clamp(sum/float64(len(claims)), 0.01, 0.99)
+			}
+		}
+		if !truthChanged && maxAbsDiff(prevAcc, accuracy) < cfg.epsilon {
+			converged = true
+			break
+		}
+	}
+
+	conf := make([]float64, len(ix.Cells))
+	for i := range ix.Cells {
+		conf[i] = prob[i][choice[i]]
+	}
+	return buildResult(cfg.name, ix, choice, conf, accuracy, iters, converged, start), nil
+}
+
+func (a *Accu) discoverNaive(d *truthdata.Dataset) (*Result, error) {
+	return naiveAccuFamily(a.config(), d)
+}
+
+func (dp *Depen) discoverNaive(d *truthdata.Dataset) (*Result, error) {
+	return naiveAccuFamily(dp.config(), d)
+}
+
+func (as *AccuSim) discoverNaive(d *truthdata.Dataset) (*Result, error) {
+	return naiveAccuFamily(as.config(), d)
+}
+
+func (g *Galland) discoverNaive(d *truthdata.Dataset) (*Result, error) {
+	start := time.Now()
+	if len(d.Claims) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	initErr := g.InitialError
+	if initErr == 0 {
+		initErr = 0.2
+	}
+	maxIters := g.MaxIterations
+	if maxIters == 0 {
+		maxIters = defaultMaxIterations
+	}
+	eps := g.Epsilon
+	if eps == 0 {
+		eps = defaultEpsilon
+	}
+
+	ix := truthdata.NewIndex(d)
+	nSrc := d.NumSources()
+
+	errRate := make([]float64, nSrc)
+	for s := range errRate {
+		errRate[s] = initErr
+	}
+	prevErr := make([]float64, nSrc)
+
+	// truth[i][v] is the estimated probability that value v of cell i is
+	// true; difficulty[i][v] is 3-Estimates' per-fact hardness.
+	truth := make([][]float64, len(ix.Cells))
+	difficulty := make([][]float64, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		truth[i] = make([]float64, cc.NumValues())
+		difficulty[i] = make([]float64, cc.NumValues())
+		for v := range difficulty[i] {
+			difficulty[i][v] = 0.5
+		}
+	}
+
+	iters := 0
+	converged := false
+	for iters < maxIters {
+		iters++
+		// Truth scores: a voter contributes its correctness probability;
+		// a source claiming a *different* value of the same cell is an
+		// implicit negative vote contributing its error probability.
+		for i, cc := range ix.Cells {
+			totalVoters := 0
+			for v := range cc.Values {
+				totalVoters += len(cc.Voters[v])
+			}
+			for v := range cc.Values {
+				var sum float64
+				n := 0
+				for _, s := range cc.Voters[v] {
+					p := 1 - errRate[s]
+					if g.kind == kindThreeEstimates {
+						p = 1 - errRate[s]*difficulty[i][v]
+					}
+					sum += p
+					n++
+				}
+				// Implicit negative voters: everyone claiming another
+				// value of this cell.
+				for w := range cc.Values {
+					if w == v {
+						continue
+					}
+					for _, s := range cc.Voters[w] {
+						p := errRate[s]
+						if g.kind == kindThreeEstimates {
+							p = errRate[s] * difficulty[i][v]
+						}
+						sum += p
+						n++
+					}
+				}
+				if n > 0 {
+					truth[i][v] = sum / float64(n)
+				}
+			}
+		}
+		normalizeUnit(truth)
+
+		// Source error rates: average disbelief in the facts the source
+		// asserted plus belief in the facts it implicitly denied.
+		copy(prevErr, errRate)
+		for s, claims := range ix.BySource {
+			if len(claims) == 0 {
+				continue
+			}
+			var sum float64
+			n := 0
+			for _, sc := range claims {
+				cc := &ix.Cells[sc.CellIdx]
+				sum += 1 - truth[sc.CellIdx][sc.Value]
+				n++
+				for w := range cc.Values {
+					if truthdata.ValueID(w) != sc.Value {
+						sum += truth[sc.CellIdx][w]
+						n++
+					}
+				}
+			}
+			errRate[s] = sum / float64(n)
+		}
+		normalizeUnitVec(errRate, 0.01, 0.99)
+
+		if g.kind == kindThreeEstimates {
+			// Fact difficulty: how often do otherwise-reliable sources
+			// get this fact wrong?
+			for i, cc := range ix.Cells {
+				for v := range cc.Values {
+					var sum float64
+					n := 0
+					for _, s := range cc.Voters[v] {
+						denom := errRate[s]
+						if denom < 0.01 {
+							denom = 0.01
+						}
+						sum += (1 - truth[i][v]) / denom
+						n++
+					}
+					if n > 0 {
+						difficulty[i][v] = sum / float64(n)
+					}
+				}
+			}
+			normalizeUnit(difficulty)
+		}
+
+		if maxAbsDiff(prevErr, errRate) < eps {
+			converged = true
+			break
+		}
+	}
+
+	choice := make([]truthdata.ValueID, len(ix.Cells))
+	conf := make([]float64, len(ix.Cells))
+	trust := make([]float64, nSrc)
+	for i := range ix.Cells {
+		choice[i] = argmaxValue(truth[i])
+		conf[i] = truth[i][choice[i]]
+	}
+	for s := range trust {
+		trust[s] = 1 - errRate[s]
+	}
+	return buildResult(g.name, ix, choice, conf, trust, iters, converged, start), nil
+}
+
+func (f *FixedPoint) discoverNaive(d *truthdata.Dataset) (*Result, error) {
+	start := time.Now()
+	if len(d.Claims) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	maxIters := f.MaxIterations
+	if maxIters == 0 {
+		maxIters = defaultMaxIterations
+	}
+	eps := f.Epsilon
+	if eps == 0 {
+		eps = defaultEpsilon
+	}
+	g := f.G
+	if g == 0 {
+		g = 1.2
+	}
+
+	ix := truthdata.NewIndex(d)
+	nSrc := d.NumSources()
+	trust := make([]float64, nSrc)
+	for s := range trust {
+		trust[s] = 1
+	}
+	prev := make([]float64, nSrc)
+	belief := make([][]float64, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		belief[i] = make([]float64, cc.NumValues())
+	}
+
+	iters := 0
+	converged := false
+	for iters < maxIters {
+		iters++
+		// Claim beliefs from source trust.
+		for i, cc := range ix.Cells {
+			for v := range cc.Values {
+				var b float64
+				switch f.kind {
+				case kindSums:
+					for _, s := range cc.Voters[v] {
+						b += trust[s]
+					}
+				case kindAverageLog:
+					for _, s := range cc.Voters[v] {
+						b += trust[s]
+					}
+				case kindInvestment, kindPooledInvestment:
+					// Sources invest trust/|claims(s)| in each claim; the
+					// claim returns the pooled investment raised to g.
+					for _, s := range cc.Voters[v] {
+						if n := len(ix.BySource[s]); n > 0 {
+							b += trust[s] / float64(n)
+						}
+					}
+					b = math.Pow(b, g)
+				}
+				belief[i][v] = b
+			}
+			if f.kind == kindPooledInvestment {
+				// Linear pooling: beliefs of a cell's values are scaled to
+				// share the cell's total invested trust.
+				var total, sum float64
+				for v := range cc.Values {
+					sum += belief[i][v]
+					for _, s := range cc.Voters[v] {
+						if n := len(ix.BySource[s]); n > 0 {
+							total += trust[s] / float64(n)
+						}
+					}
+				}
+				if sum > 0 {
+					for v := range cc.Values {
+						belief[i][v] = total * belief[i][v] / sum
+					}
+				}
+			}
+		}
+		// Source trust from claim beliefs.
+		copy(prev, trust)
+		for s, claims := range ix.BySource {
+			if len(claims) == 0 {
+				continue
+			}
+			var t float64
+			switch f.kind {
+			case kindSums:
+				for _, sc := range claims {
+					t += belief[sc.CellIdx][sc.Value]
+				}
+			case kindAverageLog:
+				for _, sc := range claims {
+					t += belief[sc.CellIdx][sc.Value]
+				}
+				n := float64(len(claims))
+				t = math.Log(n+1) * t / n
+			case kindInvestment, kindPooledInvestment:
+				// Each claim pays back proportionally to this source's
+				// share of the claim's total investment.
+				for _, sc := range claims {
+					var pool float64
+					for _, s2 := range ix.Cells[sc.CellIdx].Voters[sc.Value] {
+						if n := len(ix.BySource[s2]); n > 0 {
+							pool += prev[s2] / float64(n)
+						}
+					}
+					if pool > 0 {
+						share := (prev[s] / float64(len(claims))) / pool
+						t += belief[sc.CellIdx][sc.Value] * share
+					}
+				}
+			}
+			trust[s] = t
+		}
+		normalizeMax(trust)
+		normalizeMax(prev)
+		if maxAbsDiff(prev, trust) < eps {
+			converged = true
+			break
+		}
+	}
+
+	normalizeMax(trust)
+	choice := make([]truthdata.ValueID, len(ix.Cells))
+	conf := make([]float64, len(ix.Cells))
+	for i := range ix.Cells {
+		choice[i] = argmaxValue(belief[i])
+		// Report belief normalised within the cell for comparability.
+		var sum float64
+		for _, b := range belief[i] {
+			sum += b
+		}
+		if sum > 0 {
+			conf[i] = belief[i][choice[i]] / sum
+		}
+	}
+	return buildResult(f.name, ix, choice, conf, trust, iters, converged, start), nil
+}
+
+func (c *CRH) discoverNaive(d *truthdata.Dataset) (*Result, error) {
+	start := time.Now()
+	if len(d.Claims) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	maxIters := c.MaxIterations
+	if maxIters == 0 {
+		maxIters = defaultMaxIterations
+	}
+	eps := c.Epsilon
+	if eps == 0 {
+		eps = defaultEpsilon
+	}
+
+	ix := truthdata.NewIndex(d)
+	nSrc := d.NumSources()
+	weights := make([]float64, nSrc)
+	for s := range weights {
+		weights[s] = 1
+	}
+	prev := make([]float64, nSrc)
+	choice := make([]truthdata.ValueID, len(ix.Cells))
+	score := make([][]float64, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		score[i] = make([]float64, cc.NumValues())
+	}
+
+	iters := 0
+	converged := false
+	for iters < maxIters {
+		iters++
+		// Truth step: weighted plurality per cell.
+		for i, cc := range ix.Cells {
+			for v := range cc.Values {
+				var sum float64
+				for _, s := range cc.Voters[v] {
+					sum += weights[s]
+				}
+				score[i][v] = sum
+			}
+			choice[i] = argmaxValue(score[i])
+		}
+		// Weight step: w_s = -log(loss_s / Σ loss) with the 0/1 loss
+		// normalised by the source's claim count.
+		losses := make([]float64, nSrc)
+		var total float64
+		for s, claims := range ix.BySource {
+			if len(claims) == 0 {
+				continue
+			}
+			wrong := 0
+			for _, sc := range claims {
+				if sc.Value != choice[sc.CellIdx] {
+					wrong++
+				}
+			}
+			// Smoothed so perfect sources keep a finite weight.
+			losses[s] = (float64(wrong) + 0.5) / float64(len(claims))
+			total += losses[s]
+		}
+		copy(prev, weights)
+		for s := range weights {
+			if losses[s] == 0 {
+				continue
+			}
+			weights[s] = -math.Log(losses[s] / total)
+		}
+		normalizeMax(weights)
+		normalizeMax(prev)
+		if maxAbsDiff(prev, weights) < eps {
+			converged = true
+			break
+		}
+	}
+
+	conf := make([]float64, len(ix.Cells))
+	for i := range ix.Cells {
+		var sum float64
+		for _, v := range score[i] {
+			sum += v
+		}
+		if sum > 0 {
+			conf[i] = score[i][choice[i]] / sum
+		}
+	}
+	normalizeMax(weights)
+	return buildResult(c.Name(), ix, choice, conf, weights, iters, converged, start), nil
+}
+
+func (l *SimpleLCA) discoverNaive(d *truthdata.Dataset) (*Result, error) {
+	start := time.Now()
+	if len(d.Claims) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	honesty0 := l.InitialHonesty
+	if honesty0 == 0 {
+		honesty0 = 0.8
+	}
+	maxIters := l.MaxIterations
+	if maxIters == 0 {
+		maxIters = defaultMaxIterations
+	}
+	eps := l.Epsilon
+	if eps == 0 {
+		eps = defaultEpsilon
+	}
+
+	ix := truthdata.NewIndex(d)
+	nSrc := d.NumSources()
+	honesty := make([]float64, nSrc)
+	for s := range honesty {
+		honesty[s] = honesty0
+	}
+	prev := make([]float64, nSrc)
+
+	post := make([][]float64, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		post[i] = make([]float64, cc.NumValues())
+	}
+
+	iters := 0
+	converged := false
+	for iters < maxIters {
+		iters++
+		// E step: P(v true | claims) ∝ Π_s P(claim_s | v true), computed
+		// in log space. A source claiming v contributes H(s); a source
+		// claiming another value contributes (1-H(s))/(m-1) when v is
+		// true (it lied into one of m-1 false values uniformly).
+		for i, cc := range ix.Cells {
+			m := float64(cc.NumValues())
+			logp := post[i]
+			for v := range cc.Values {
+				lp := 0.0
+				for w := range cc.Values {
+					for _, s := range cc.Voters[w] {
+						h := clamp(honesty[s], 1e-6, 1-1e-6)
+						if truthdata.ValueID(w) == truthdata.ValueID(v) {
+							lp += math.Log(h)
+						} else if m > 1 {
+							lp += math.Log((1 - h) / (m - 1))
+						} else {
+							lp += math.Log(1 - h)
+						}
+					}
+				}
+				logp[v] = lp
+			}
+			softmaxInPlace(logp)
+		}
+		// M step: honesty = expected fraction of truthful claims.
+		copy(prev, honesty)
+		for s, claims := range ix.BySource {
+			if len(claims) == 0 {
+				continue
+			}
+			var sum float64
+			for _, sc := range claims {
+				sum += post[sc.CellIdx][sc.Value]
+			}
+			honesty[s] = clamp(sum/float64(len(claims)), 0.01, 0.99)
+		}
+		if maxAbsDiff(prev, honesty) < eps {
+			converged = true
+			break
+		}
+	}
+
+	choice := make([]truthdata.ValueID, len(ix.Cells))
+	conf := make([]float64, len(ix.Cells))
+	for i := range ix.Cells {
+		choice[i] = argmaxValue(post[i])
+		conf[i] = post[i][choice[i]]
+	}
+	return buildResult(l.Name(), ix, choice, conf, honesty, iters, converged, start), nil
+}
+
+func (m *MajorityVote) discoverNaive(d *truthdata.Dataset) (*Result, error) {
+	start := time.Now()
+	if len(d.Claims) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	ix := truthdata.NewIndex(d)
+	choice := make([]truthdata.ValueID, len(ix.Cells))
+	conf := make([]float64, len(ix.Cells))
+	for i, cc := range ix.Cells {
+		best, bestVotes, total := 0, len(cc.Voters[0]), len(cc.Voters[0])
+		for v := 1; v < len(cc.Voters); v++ {
+			n := len(cc.Voters[v])
+			total += n
+			if n > bestVotes {
+				best, bestVotes = v, n
+			}
+		}
+		choice[i] = truthdata.ValueID(best)
+		conf[i] = float64(bestVotes) / float64(total)
+	}
+	// Trust is the agreement of each source with the majority outcome.
+	trust := make([]float64, d.NumSources())
+	counts := make([]int, d.NumSources())
+	for s, claims := range ix.BySource {
+		agree := 0
+		for _, sc := range claims {
+			if sc.Value == choice[sc.CellIdx] {
+				agree++
+			}
+		}
+		counts[s] = len(claims)
+		if len(claims) > 0 {
+			trust[s] = float64(agree) / float64(len(claims))
+		}
+	}
+	return buildResult(m.Name(), ix, choice, conf, trust, 1, true, start), nil
+}

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -57,10 +58,22 @@ func NewPooledInvestment() *FixedPoint {
 // Name implements Algorithm.
 func (f *FixedPoint) Name() string { return f.name }
 
-// Discover implements Algorithm.
+// Discover implements Algorithm via the indexed hot path.
 func (f *FixedPoint) Discover(d *truthdata.Dataset) (*Result, error) {
+	return discoverViaIndex(f, d)
+}
+
+// DiscoverIndexed implements IndexedAlgorithm. Beliefs live in one flat
+// per-fact buffer. For the investment kinds, each source's per-claim
+// investment trust/|claims| is computed once per round, and the per-fact
+// investment pool is captured during the belief sweep and reused in the
+// payback sweep — the naive path recomputes that pool from scratch for
+// every claim, an O(claims·voters) inner loop. Both are the same sums in
+// the same order over the same trust snapshot (trust is not written
+// between the sweeps), so the result is bit-identical.
+func (f *FixedPoint) DiscoverIndexed(ctx context.Context, ix *truthdata.Index) (*IndexedResult, error) {
 	start := time.Now()
-	if len(d.Claims) == 0 {
+	if len(ix.Cells) == 0 {
 		return nil, ErrEmptyDataset
 	}
 	maxIters := f.MaxIterations
@@ -76,97 +89,103 @@ func (f *FixedPoint) Discover(d *truthdata.Dataset) (*Result, error) {
 		g = 1.2
 	}
 
-	ix := truthdata.NewIndex(d)
-	nSrc := d.NumSources()
+	fl := ix.Flat()
+	nSrc := fl.NumSources
+	nCells := fl.NumCells
+	invest := f.kind == kindInvestment || f.kind == kindPooledInvestment
+
 	trust := make([]float64, nSrc)
 	for s := range trust {
 		trust[s] = 1
 	}
 	prev := make([]float64, nSrc)
-	belief := make([][]float64, len(ix.Cells))
-	for i, cc := range ix.Cells {
-		belief[i] = make([]float64, cc.NumValues())
+	belief := make([]float64, fl.NumFacts)
+	var share, pool []float64
+	if invest {
+		share = make([]float64, nSrc)       // per-round trust[s]/|claims(s)|
+		pool = make([]float64, fl.NumFacts) // per-fact invested total, pre-Pow
 	}
 
 	iters := 0
 	converged := false
 	for iters < maxIters {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iters++
+		if invest {
+			for s := 0; s < nSrc; s++ {
+				if lo, hi := fl.SourceClaims(s); hi > lo {
+					share[s] = trust[s] / float64(hi-lo)
+				}
+			}
+		}
 		// Claim beliefs from source trust.
-		for i, cc := range ix.Cells {
-			for v := range cc.Values {
+		for i := 0; i < nCells; i++ {
+			f0, f1 := fl.FactStart[i], fl.FactStart[i+1]
+			for fa := f0; fa < f1; fa++ {
 				var b float64
 				switch f.kind {
-				case kindSums:
-					for _, s := range cc.Voters[v] {
-						b += trust[s]
-					}
-				case kindAverageLog:
-					for _, s := range cc.Voters[v] {
+				case kindSums, kindAverageLog:
+					for _, s := range fl.FactVoters(fa) {
 						b += trust[s]
 					}
 				case kindInvestment, kindPooledInvestment:
 					// Sources invest trust/|claims(s)| in each claim; the
 					// claim returns the pooled investment raised to g.
-					for _, s := range cc.Voters[v] {
-						if n := len(ix.BySource[s]); n > 0 {
-							b += trust[s] / float64(n)
-						}
+					for _, s := range fl.FactVoters(fa) {
+						b += share[s]
 					}
+					pool[fa] = b
 					b = math.Pow(b, g)
 				}
-				belief[i][v] = b
+				belief[fa] = b
 			}
 			if f.kind == kindPooledInvestment {
 				// Linear pooling: beliefs of a cell's values are scaled to
 				// share the cell's total invested trust.
 				var total, sum float64
-				for v := range cc.Values {
-					sum += belief[i][v]
-					for _, s := range cc.Voters[v] {
-						if n := len(ix.BySource[s]); n > 0 {
-							total += trust[s] / float64(n)
-						}
+				for fa := f0; fa < f1; fa++ {
+					sum += belief[fa]
+					for _, s := range fl.FactVoters(fa) {
+						total += share[s]
 					}
 				}
 				if sum > 0 {
-					for v := range cc.Values {
-						belief[i][v] = total * belief[i][v] / sum
+					for fa := f0; fa < f1; fa++ {
+						belief[fa] = total * belief[fa] / sum
 					}
 				}
 			}
 		}
 		// Source trust from claim beliefs.
 		copy(prev, trust)
-		for s, claims := range ix.BySource {
-			if len(claims) == 0 {
+		for s := 0; s < nSrc; s++ {
+			lo, hi := fl.SourceClaims(s)
+			if lo == hi {
 				continue
 			}
 			var t float64
 			switch f.kind {
 			case kindSums:
-				for _, sc := range claims {
-					t += belief[sc.CellIdx][sc.Value]
+				for c := lo; c < hi; c++ {
+					t += belief[fl.ClaimFact[c]]
 				}
 			case kindAverageLog:
-				for _, sc := range claims {
-					t += belief[sc.CellIdx][sc.Value]
+				for c := lo; c < hi; c++ {
+					t += belief[fl.ClaimFact[c]]
 				}
-				n := float64(len(claims))
+				n := float64(hi - lo)
 				t = math.Log(n+1) * t / n
 			case kindInvestment, kindPooledInvestment:
 				// Each claim pays back proportionally to this source's
-				// share of the claim's total investment.
-				for _, sc := range claims {
-					var pool float64
-					for _, s2 := range ix.Cells[sc.CellIdx].Voters[sc.Value] {
-						if n := len(ix.BySource[s2]); n > 0 {
-							pool += prev[s2] / float64(n)
-						}
-					}
-					if pool > 0 {
-						share := (prev[s] / float64(len(claims))) / pool
-						t += belief[sc.CellIdx][sc.Value] * share
+				// share of the claim's total investment; share[s] equals
+				// prev[s]/|claims(s)| because trust hasn't been written
+				// since the belief sweep.
+				for c := lo; c < hi; c++ {
+					fa := fl.ClaimFact[c]
+					if p := pool[fa]; p > 0 {
+						t += belief[fa] * (share[s] / p)
 					}
 				}
 			}
@@ -181,20 +200,30 @@ func (f *FixedPoint) Discover(d *truthdata.Dataset) (*Result, error) {
 	}
 
 	normalizeMax(trust)
-	choice := make([]truthdata.ValueID, len(ix.Cells))
-	conf := make([]float64, len(ix.Cells))
-	for i := range ix.Cells {
-		choice[i] = argmaxValue(belief[i])
+	choice := make([]truthdata.ValueID, nCells)
+	conf := make([]float64, nCells)
+	for i := 0; i < nCells; i++ {
+		f0, f1 := fl.FactStart[i], fl.FactStart[i+1]
+		scores := belief[f0:f1]
+		choice[i] = argmaxValue(scores)
 		// Report belief normalised within the cell for comparability.
 		var sum float64
-		for _, b := range belief[i] {
+		for _, b := range scores {
 			sum += b
 		}
 		if sum > 0 {
-			conf[i] = belief[i][choice[i]] / sum
+			conf[i] = belief[f0+int32(choice[i])] / sum
 		}
 	}
-	return buildResult(f.name, ix, choice, conf, trust, iters, converged, start), nil
+	return &IndexedResult{
+		Algorithm:  f.name,
+		Choice:     choice,
+		Conf:       conf,
+		Trust:      trust,
+		Iterations: iters,
+		Converged:  converged,
+		Runtime:    time.Since(start),
+	}, nil
 }
 
 // normalizeMax scales a non-negative vector so its maximum is 1, keeping

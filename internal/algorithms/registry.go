@@ -4,36 +4,296 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"tdac/internal/similarity"
+	"tdac/internal/truthdata"
 )
 
-// factories maps lower-cased algorithm names to constructors returning a
-// fresh instance with default hyper-parameters.
-var factories = map[string]func() Algorithm{
-	"majorityvote":     func() Algorithm { return NewMajorityVote() },
-	"truthfinder":      func() Algorithm { return NewTruthFinder() },
-	"accu":             func() Algorithm { return NewAccu() },
-	"accusim":          func() Algorithm { return NewAccuSim() },
-	"depen":            func() Algorithm { return NewDepen() },
-	"sums":             func() Algorithm { return NewSums() },
-	"averagelog":       func() Algorithm { return NewAverageLog() },
-	"investment":       func() Algorithm { return NewInvestment() },
-	"pooledinvestment": func() Algorithm { return NewPooledInvestment() },
-	"twoestimates":     func() Algorithm { return NewTwoEstimates() },
-	"threeestimates":   func() Algorithm { return NewThreeEstimates() },
-	"crh":              func() Algorithm { return NewCRH() },
-	"simplelca":        func() Algorithm { return NewSimpleLCA() },
+// Options carries the cross-algorithm hyper-parameters the functional
+// options set. The zero value means "algorithm default" for every field,
+// exactly like the zero value of the concrete algorithm structs.
+type Options struct {
+	// MaxIterations caps the update loop of iterative algorithms.
+	MaxIterations int
+	// Epsilon is the convergence threshold of iterative algorithms.
+	Epsilon float64
+	// InitialAccuracy seeds the per-source reliability estimate, in the
+	// algorithm's own parameterisation: TruthFinder's initial trust,
+	// the Accu family's initial accuracy, SimpleLCA's initial honesty and
+	// the Galland family's initial error rate (as 1 - accuracy).
+	InitialAccuracy float64
+	// Similarity compares claimed values for the algorithms that let
+	// similar values support each other (TruthFinder, AccuSim).
+	Similarity similarity.Func
+
+	set optionSet
 }
 
-// New returns a fresh instance of the named algorithm with default
-// hyper-parameters. Names are case-insensitive.
-func New(name string) (Algorithm, error) {
+// optionSet is a bitmask of explicitly-set options, so New can reject —
+// rather than silently drop — an option the named algorithm cannot
+// honour, matching the package tdac option contract.
+type optionSet uint
+
+const (
+	optMaxIterations optionSet = 1 << iota
+	optEpsilon
+	optInitialAccuracy
+	optSimilarity
+)
+
+var optionNames = []struct {
+	bit  optionSet
+	name string
+}{
+	{optMaxIterations, "WithMaxIterations"},
+	{optEpsilon, "WithEpsilon"},
+	{optInitialAccuracy, "WithInitialAccuracy"},
+	{optSimilarity, "WithSimilarity"},
+}
+
+func (s optionSet) names() string {
+	out := ""
+	for _, o := range optionNames {
+		if s&o.bit != 0 {
+			if out != "" {
+				out += ", "
+			}
+			out += o.name
+		}
+	}
+	return out
+}
+
+// Option configures one hyper-parameter of a registered algorithm; pass
+// Options to New. Options an algorithm cannot honour are rejected by New
+// with an error naming both.
+type Option func(*Options) error
+
+// WithMaxIterations caps the update loop (default 20, the experimental
+// protocol of Waguih & Berti-Équille 2014).
+func WithMaxIterations(n int) Option {
+	return func(o *Options) error {
+		if n < 1 {
+			return fmt.Errorf("algorithms: WithMaxIterations(%d): must be at least 1", n)
+		}
+		o.MaxIterations = n
+		o.set |= optMaxIterations
+		return nil
+	}
+}
+
+// WithEpsilon sets the convergence threshold (default 1e-3).
+func WithEpsilon(eps float64) Option {
+	return func(o *Options) error {
+		if eps <= 0 {
+			return fmt.Errorf("algorithms: WithEpsilon(%v): must be positive", eps)
+		}
+		o.Epsilon = eps
+		o.set |= optEpsilon
+		return nil
+	}
+}
+
+// WithInitialAccuracy seeds the per-source reliability estimate, in
+// (0, 1). Algorithms map it onto their own parameterisation: trust for
+// TruthFinder, accuracy for Accu/AccuSim/Depen, honesty for SimpleLCA and
+// error rate 1-a for TwoEstimates/ThreeEstimates.
+func WithInitialAccuracy(a float64) Option {
+	return func(o *Options) error {
+		if a <= 0 || a >= 1 {
+			return fmt.Errorf("algorithms: WithInitialAccuracy(%v): must be in (0, 1)", a)
+		}
+		o.InitialAccuracy = a
+		o.set |= optInitialAccuracy
+		return nil
+	}
+}
+
+// WithSimilarity sets the value-similarity function used by algorithms
+// that let similar values support each other (TruthFinder's implication,
+// AccuSim's similarity bonus).
+func WithSimilarity(f similarity.Func) Option {
+	return func(o *Options) error {
+		if f == nil {
+			return fmt.Errorf("algorithms: WithSimilarity(nil): function must not be nil")
+		}
+		o.Similarity = f
+		o.set |= optSimilarity
+		return nil
+	}
+}
+
+// factory builds one named algorithm from resolved options and declares
+// which options the algorithm honours.
+type factory struct {
+	supports optionSet
+	build    func(o *Options) Algorithm
+}
+
+const optIterative = optMaxIterations | optEpsilon
+
+// factories maps lower-cased algorithm names to constructors.
+var factories = map[string]factory{
+	"majorityvote": {
+		supports: 0,
+		build:    func(*Options) Algorithm { return NewMajorityVote() },
+	},
+	"truthfinder": {
+		supports: optIterative | optInitialAccuracy | optSimilarity,
+		build: func(o *Options) Algorithm {
+			a := NewTruthFinder()
+			a.MaxIterations, a.Epsilon = o.MaxIterations, o.Epsilon
+			a.InitialTrust = o.InitialAccuracy
+			a.Similarity = o.Similarity
+			return a
+		},
+	},
+	"accu": {
+		supports: optIterative | optInitialAccuracy,
+		build: func(o *Options) Algorithm {
+			a := NewAccu()
+			a.MaxIterations, a.Epsilon = o.MaxIterations, o.Epsilon
+			a.InitialAccuracy = o.InitialAccuracy
+			return a
+		},
+	},
+	"accusim": {
+		supports: optIterative | optInitialAccuracy | optSimilarity,
+		build: func(o *Options) Algorithm {
+			a := NewAccuSim()
+			a.MaxIterations, a.Epsilon = o.MaxIterations, o.Epsilon
+			a.InitialAccuracy = o.InitialAccuracy
+			a.Similarity = o.Similarity
+			return a
+		},
+	},
+	"depen": {
+		supports: optIterative | optInitialAccuracy,
+		build: func(o *Options) Algorithm {
+			a := NewDepen()
+			a.MaxIterations, a.Epsilon = o.MaxIterations, o.Epsilon
+			a.Accuracy = o.InitialAccuracy
+			return a
+		},
+	},
+	"sums":             fixedPointFactory(NewSums),
+	"averagelog":       fixedPointFactory(NewAverageLog),
+	"investment":       fixedPointFactory(NewInvestment),
+	"pooledinvestment": fixedPointFactory(NewPooledInvestment),
+	"twoestimates":     gallandFactory(NewTwoEstimates),
+	"threeestimates":   gallandFactory(NewThreeEstimates),
+	"crh": {
+		supports: optIterative,
+		build: func(o *Options) Algorithm {
+			a := NewCRH()
+			a.MaxIterations, a.Epsilon = o.MaxIterations, o.Epsilon
+			return a
+		},
+	},
+	"simplelca": {
+		supports: optIterative | optInitialAccuracy,
+		build: func(o *Options) Algorithm {
+			a := NewSimpleLCA()
+			a.MaxIterations, a.Epsilon = o.MaxIterations, o.Epsilon
+			a.InitialHonesty = o.InitialAccuracy
+			return a
+		},
+	},
+}
+
+func fixedPointFactory(ctor func() *FixedPoint) factory {
+	return factory{
+		supports: optIterative,
+		build: func(o *Options) Algorithm {
+			a := ctor()
+			a.MaxIterations, a.Epsilon = o.MaxIterations, o.Epsilon
+			return a
+		},
+	}
+}
+
+func gallandFactory(ctor func() *Galland) factory {
+	return factory{
+		supports: optIterative | optInitialAccuracy,
+		build: func(o *Options) Algorithm {
+			a := ctor()
+			a.MaxIterations, a.Epsilon = o.MaxIterations, o.Epsilon
+			if o.InitialAccuracy != 0 {
+				a.InitialError = 1 - o.InitialAccuracy
+			}
+			return a
+		},
+	}
+}
+
+// resolve parses a name and applies opts, shared by New and NewNaive.
+func resolve(name string, opts []Option) (factory, *Options, error) {
 	f, ok := factories[strings.ToLower(name)]
 	if !ok {
-		return nil, fmt.Errorf("algorithms: unknown algorithm %q (known: %s)",
+		return factory{}, nil, fmt.Errorf("algorithms: unknown algorithm %q (known: %s)",
 			name, strings.Join(Names(), ", "))
 	}
-	return f(), nil
+	o := &Options{}
+	for _, opt := range opts {
+		if err := opt(o); err != nil {
+			return factory{}, nil, err
+		}
+	}
+	if bad := o.set &^ f.supports; bad != 0 {
+		return factory{}, nil, fmt.Errorf("algorithms: %s cannot honour %s", name, bad.names())
+	}
+	return f, o, nil
 }
+
+// New returns a fresh instance of the named algorithm. Names are
+// case-insensitive; with no options the algorithm carries its default
+// hyper-parameters, preserving the historic New(name) call shape. An
+// option the algorithm cannot honour (WithSimilarity on CRH, any option
+// on MajorityVote) is an error, never a silent no-op.
+func New(name string, opts ...Option) (Algorithm, error) {
+	f, o, err := resolve(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return f.build(o), nil
+}
+
+// NewNaive returns the retained naive reference implementation of the
+// named algorithm: the map-and-ragged-slice execution path the indexed
+// hot path replaced, kept as the oracle the verification harness diffs
+// against (bit-for-bit on truth, within an ulp on trust). It accepts the
+// same options as New.
+func NewNaive(name string, opts ...Option) (Algorithm, error) {
+	f, o, err := resolve(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	alg := f.build(o)
+	n, ok := alg.(naivable)
+	if !ok {
+		return nil, fmt.Errorf("algorithms: %s has no retained naive reference", name)
+	}
+	return naiveWrapper{alg: alg, run: n.discoverNaive}, nil
+}
+
+// naivable is implemented by every built-in algorithm that retains its
+// pre-index naive execution path.
+type naivable interface {
+	discoverNaive(d *truthdata.Dataset) (*Result, error)
+}
+
+// naiveWrapper exposes a retained naive path as a plain Algorithm.
+type naiveWrapper struct {
+	alg Algorithm
+	run func(d *truthdata.Dataset) (*Result, error)
+}
+
+// Name implements Algorithm; the naive reference reports the same name
+// as the production path it mirrors.
+func (w naiveWrapper) Name() string { return w.alg.Name() }
+
+// Discover implements Algorithm via the retained naive path.
+func (w naiveWrapper) Discover(d *truthdata.Dataset) (*Result, error) { return w.run(d) }
 
 // Names lists the registered algorithm names, sorted, in their canonical
 // capitalisation.

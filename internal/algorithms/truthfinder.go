@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -61,78 +62,99 @@ func (tf *TruthFinder) defaults() TruthFinder {
 	return out
 }
 
-// Discover implements Algorithm.
+// Discover implements Algorithm via the indexed hot path.
 func (tf *TruthFinder) Discover(d *truthdata.Dataset) (*Result, error) {
+	return discoverViaIndex(tf, d)
+}
+
+// DiscoverIndexed implements IndexedAlgorithm. The reinforcement loop
+// runs entirely on the CSR adjacency: value confidences live in one flat
+// per-fact buffer, the -log(1-trust) vote weight of every source is
+// hoisted out of the voter loops (one Log per source per round instead
+// of one per claim), and the implication scratch is reused across cells
+// and rounds. Summation orders mirror discoverNaive exactly, so the
+// result is bit-identical.
+func (tf *TruthFinder) DiscoverIndexed(ctx context.Context, ix *truthdata.Index) (*IndexedResult, error) {
 	start := time.Now()
-	if len(d.Claims) == 0 {
+	if len(ix.Cells) == 0 {
 		return nil, ErrEmptyDataset
 	}
 	cfg := tf.defaults()
-	ix := truthdata.NewIndex(d)
+	fl := ix.Flat()
+	nCells := fl.NumCells
+	nSrc := fl.NumSources
 
-	// Precompute the pairwise similarity of candidate values per cell;
-	// cells have few distinct values, so this stays small.
-	sim := make([][][]float64, len(ix.Cells))
-	for i, cc := range ix.Cells {
+	// Precompute the pairwise similarity of candidate values per cell as
+	// row-major n×n matrices; cells have few distinct values, so this
+	// stays small.
+	sim := make([][]float64, nCells)
+	maxVals := 0
+	for i := range ix.Cells {
+		cc := &ix.Cells[i]
 		n := cc.NumValues()
+		if n > maxVals {
+			maxVals = n
+		}
 		if n < 2 {
 			continue
 		}
-		m := make([][]float64, n)
+		m := make([]float64, n*n)
 		for a := 0; a < n; a++ {
-			m[a] = make([]float64, n)
-			for b := 0; b < n; b++ {
-				if a == b {
-					continue
-				}
-				if b < a {
-					m[a][b] = m[b][a]
-					continue
-				}
-				m[a][b] = cfg.Similarity(cc.Values[a], cc.Values[b])
+			for b := a + 1; b < n; b++ {
+				s := cfg.Similarity(cc.Values[a], cc.Values[b])
+				m[a*n+b], m[b*n+a] = s, s
 			}
 		}
 		sim[i] = m
 	}
 
-	trust := make([]float64, d.NumSources())
+	trust := make([]float64, nSrc)
 	for s := range trust {
 		trust[s] = cfg.InitialTrust
 	}
-	prev := make([]float64, len(trust))
-	conf := make([][]float64, len(ix.Cells))
-	for i, cc := range ix.Cells {
-		conf[i] = make([]float64, cc.NumValues())
-	}
+	prev := make([]float64, nSrc)
+	conf := make([]float64, fl.NumFacts)
+	lnt := make([]float64, nSrc) // per-round -log(1-trust[s])
+	adjusted := make([]float64, maxVals)
 
 	iters := 0
 	converged := false
 	for iters < cfg.MaxIterations {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iters++
-		// Value confidence from source trustworthiness.
-		for i, cc := range ix.Cells {
-			scores := conf[i]
-			for v := range scores {
+		// Value confidence from source trustworthiness. The vote weight
+		// -log(1-t) depends only on the source, not the claim.
+		for s := range lnt {
+			t := clamp(trust[s], 1e-6, 1-1e-6)
+			lnt[s] = -math.Log(1 - t)
+		}
+		for i := 0; i < nCells; i++ {
+			f0, f1 := fl.FactStart[i], fl.FactStart[i+1]
+			scores := conf[f0:f1]
+			for f := f0; f < f1; f++ {
 				var sigma float64
-				for _, s := range cc.Voters[v] {
-					t := clamp(trust[s], 1e-6, 1-1e-6)
-					sigma += -math.Log(1 - t)
+				for _, s := range fl.FactVoters(f) {
+					sigma += lnt[s]
 				}
-				scores[v] = sigma
+				scores[f-f0] = sigma
 			}
 			// Implication: similar values lend part of their score.
 			if m := sim[i]; m != nil {
-				adjusted := make([]float64, len(scores))
-				for v := range scores {
-					adj := scores[v]
-					for w := range scores {
-						if w != v && m[v][w] > 0 {
-							adj += cfg.Rho * m[v][w] * scores[w]
+				n := len(scores)
+				adj := adjusted[:n]
+				for v := 0; v < n; v++ {
+					a := scores[v]
+					row := m[v*n : (v+1)*n]
+					for w := 0; w < n; w++ {
+						if w != v && row[w] > 0 {
+							a += cfg.Rho * row[w] * scores[w]
 						}
 					}
-					adjusted[v] = adj
+					adj[v] = a
 				}
-				copy(scores, adjusted)
+				copy(scores, adj)
 			}
 			for v := range scores {
 				scores[v] = 1 / (1 + math.Exp(-cfg.Gamma*scores[v]))
@@ -140,15 +162,16 @@ func (tf *TruthFinder) Discover(d *truthdata.Dataset) (*Result, error) {
 		}
 		// Source trustworthiness from value confidence.
 		copy(prev, trust)
-		for s, claims := range ix.BySource {
-			if len(claims) == 0 {
+		for s := 0; s < nSrc; s++ {
+			lo, hi := fl.SourceClaims(s)
+			if lo == hi {
 				continue
 			}
 			var sum float64
-			for _, sc := range claims {
-				sum += conf[sc.CellIdx][sc.Value]
+			for c := lo; c < hi; c++ {
+				sum += conf[fl.ClaimFact[c]]
 			}
-			trust[s] = sum / float64(len(claims))
+			trust[s] = sum / float64(hi-lo)
 		}
 		if 1-cosine(prev, trust) < cfg.Epsilon && maxAbsDiff(prev, trust) < cfg.Epsilon {
 			converged = true
@@ -156,13 +179,22 @@ func (tf *TruthFinder) Discover(d *truthdata.Dataset) (*Result, error) {
 		}
 	}
 
-	choice := make([]truthdata.ValueID, len(ix.Cells))
-	chosenConf := make([]float64, len(ix.Cells))
-	for i := range ix.Cells {
-		choice[i] = argmaxValue(conf[i])
-		chosenConf[i] = conf[i][choice[i]]
+	choice := make([]truthdata.ValueID, nCells)
+	chosenConf := make([]float64, nCells)
+	for i := 0; i < nCells; i++ {
+		f0, f1 := fl.FactStart[i], fl.FactStart[i+1]
+		choice[i] = argmaxValue(conf[f0:f1])
+		chosenConf[i] = conf[f0+int32(choice[i])]
 	}
-	return buildResult(tf.Name(), ix, choice, chosenConf, trust, iters, converged, start), nil
+	return &IndexedResult{
+		Algorithm:  tf.Name(),
+		Choice:     choice,
+		Conf:       chosenConf,
+		Trust:      trust,
+		Iterations: iters,
+		Converged:  converged,
+		Runtime:    time.Since(start),
+	}, nil
 }
 
 // cosine returns the cosine similarity of two vectors (1 when either is

@@ -48,16 +48,20 @@ type TDAC struct {
 	// sparse-aware encoding (future-work item (i)).
 	Masked bool
 	// Parallel runs F on the partition's groups concurrently
-	// (future-work item (ii)).
+	// (future-work item (ii)). Groups are independent after partitioning,
+	// so the per-group base runs drain through a worker pool bounded by
+	// Workers; results are bit-identical to the sequential order because
+	// each group writes only its own slot.
 	Parallel bool
-	// Workers bounds the worker pool of the k-sweep: the independent
-	// k-means + silhouette evaluations for different k run concurrently
-	// on up to this many goroutines. 0 means runtime.GOMAXPROCS(0); 1
-	// forces the sequential sweep. Every worker derives its randomness
-	// from the configured base seed independently of scheduling order,
-	// so results are bit-identical to the sequential sweep. A custom
-	// Clusterer must be safe for concurrent Cluster calls when Workers
-	// exceeds 1 (both KMeans and Agglomerative are).
+	// Workers bounds the two worker pools of a run: the independent
+	// k-means + silhouette evaluations of the k-sweep, and (with
+	// Parallel) the per-group base runs. 0 means runtime.GOMAXPROCS(0);
+	// 1 forces sequential execution. Every k-sweep worker derives its
+	// randomness from the configured base seed independently of
+	// scheduling order, so results are bit-identical to the sequential
+	// sweep. A custom Clusterer must be safe for concurrent Cluster
+	// calls when Workers exceeds 1 (both KMeans and Agglomerative are);
+	// base algorithms already must be, per the Algorithm contract.
 	Workers int
 	// ProjectDim, when positive, reduces the truth vectors to this many
 	// dimensions with a Johnson–Lindenstrauss random projection before
@@ -134,9 +138,10 @@ func (t *TDAC) Run(d *truthdata.Dataset) (*Outcome, error) {
 }
 
 // RunContext executes Algorithm 1 under a context. Cancellation is
-// honoured between the major stages, at every k of the k-sweep and
-// before every per-group base run, so an already-cancelled context
-// returns promptly without touching the data.
+// honoured between the major stages, at every k of the k-sweep, before
+// every per-group base run, and — for the built-in indexed algorithms —
+// at every update round inside the reference and base runs, so a
+// deadline interrupts even a slow single algorithm promptly.
 func (t *TDAC) RunContext(ctx context.Context, d *truthdata.Dataset) (*Outcome, error) {
 	start := time.Now()
 	if t.Base == nil {
@@ -156,8 +161,14 @@ func (t *TDAC) RunContext(ctx context.Context, d *truthdata.Dataset) (*Outcome, 
 	if ref == nil {
 		ref = t.Base
 	}
-	phaseDone := rec.Phase(obs.PhaseReference)
-	refResult, err := ref.Discover(d)
+	// Compile the claim index once up front; it is cached on the dataset,
+	// so the reference run and every projection-free consumer reuse it.
+	phaseDone := rec.Phase(obs.PhaseIndex)
+	d.Index()
+	phaseDone()
+
+	phaseDone = rec.Phase(obs.PhaseReference)
+	refResult, err := algorithms.DiscoverContext(ctx, ref, d)
 	if err != nil {
 		return nil, fmt.Errorf("core: reference run (%s): %w", ref.Name(), err)
 	}
@@ -212,7 +223,7 @@ func (t *TDAC) FindPartitionContext(ctx context.Context, d *truthdata.Dataset) (
 	if ref == nil {
 		ref = t.Base
 	}
-	refResult, err := ref.Discover(d)
+	refResult, err := algorithms.DiscoverContext(ctx, ref, d)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: reference run (%s): %w", ref.Name(), err)
 	}
@@ -469,9 +480,9 @@ func (t *TDAC) cacheStats(packed *cluster.PackedVectors, numK int) obs.CacheStat
 // discoverOnPartition runs F on every group's projection of the data and
 // merges the partial truths, trusts and confidences back into one result
 // keyed by the original attribute ids (Algorithm 1 lines 20–24). A
-// cancelled context stops further groups from starting and is returned
-// once the in-flight ones drain (base algorithms are not interruptible
-// mid-run).
+// cancelled context stops further groups from starting and, for the
+// built-in indexed algorithms, interrupts in-flight runs at their next
+// update round; the error is returned once the pool drains.
 func (t *TDAC) discoverOnPartition(ctx context.Context, d *truthdata.Dataset, part partition.Partition) (*algorithms.Result, error) {
 	type partial struct {
 		res     *algorithms.Result
@@ -495,7 +506,7 @@ func (t *TDAC) discoverOnPartition(ctx context.Context, d *truthdata.Dataset, pa
 			partials[gi] = partial{backMap: backMap}
 			return
 		}
-		res, err := t.Base.Discover(sub)
+		res, err := algorithms.DiscoverContext(ctx, t.Base, sub)
 		partials[gi] = partial{res: res, backMap: backMap, claims: len(sub.Claims), err: err}
 		if rec.Enabled() && err == nil {
 			rec.GroupDone(obs.GroupStats{
@@ -511,13 +522,28 @@ func (t *TDAC) discoverOnPartition(ctx context.Context, d *truthdata.Dataset, pa
 	baseDone := rec.Phase(obs.PhaseBaseRuns)
 	rec.SetParallelGroups(t.Parallel && len(part) > 1)
 	if t.Parallel {
+		// Bounded pool, same atomic-counter pattern as the k-sweep:
+		// groups are claimed in index order, each writes only its own
+		// partials slot, so the merged result is bit-identical to the
+		// sequential order regardless of scheduling.
+		workers := t.workerCount()
+		if workers > len(part) {
+			workers = len(part)
+		}
+		var next atomic.Int64
 		var wg sync.WaitGroup
-		for gi, group := range part {
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(gi int, group []truthdata.AttrID) {
+			go func() {
 				defer wg.Done()
-				runGroup(gi, group)
-			}(gi, group)
+				for {
+					gi := int(next.Add(1)) - 1
+					if gi >= len(part) || ctx.Err() != nil {
+						return
+					}
+					runGroup(gi, part[gi])
+				}
+			}()
 		}
 		wg.Wait()
 	} else {

@@ -23,11 +23,15 @@ import (
 type Phase string
 
 // The pipeline phases, in execution order. A TD-AC Discover passes
-// through Reference → TruthVectors → DistanceMatrix → KSweep →
+// through Index → Reference → TruthVectors → DistanceMatrix → KSweep →
 // BaseRuns → Merge; a plain base-algorithm Run has the single Discover
 // phase; CheckStability repeats DistanceMatrix/KSweep once per reseeded
 // run after one Reference/TruthVectors prologue.
 const (
+	// PhaseIndex compiles the dataset's claim index (and its CSR
+	// adjacency on first algorithm use), shared by the reference run and
+	// every per-group base run.
+	PhaseIndex          Phase = "index"
 	PhaseReference      Phase = "reference"
 	PhaseTruthVectors   Phase = "truth-vectors"
 	PhaseDistanceMatrix Phase = "distance-matrix"

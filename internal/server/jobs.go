@@ -151,7 +151,7 @@ type RunFunc func(ctx context.Context, spec JobSpec) (*JobOutcome, error)
 func defaultRun(ctx context.Context, spec JobSpec) (*JobOutcome, error) {
 	opts := append(append([]tdac.Option(nil), spec.Options...), tdac.WithStats())
 	if spec.Mode == ModeBase {
-		res, err := tdac.RunContext(ctx, spec.Snapshot.Data, spec.Algorithm, tdac.WithStats())
+		res, err := tdac.RunContext(ctx, spec.Snapshot.Data, spec.Algorithm, opts...)
 		if err != nil {
 			return nil, err
 		}

@@ -366,6 +366,20 @@ type discoverRequest struct {
 	Mode string `json:"mode"`
 	// Algorithm is the base algorithm name (default "Accu").
 	Algorithm string `json:"algorithm"`
+	// MaxIterations caps the algorithm's update rounds (both modes;
+	// 0 keeps the default 20).
+	MaxIterations int `json:"max_iterations"`
+	// Epsilon sets the convergence threshold on the trust vector (both
+	// modes; 0 keeps the default 1e-3).
+	Epsilon float64 `json:"epsilon"`
+	// InitialAccuracy seeds the per-source prior of algorithms that have
+	// one, in (0,1) (both modes; 0 keeps each algorithm's default).
+	InitialAccuracy float64 `json:"initial_accuracy"`
+	// Similarity names the value-similarity function of TruthFinder and
+	// AccuSim: "exact", "levenshtein", "numeric" or "jaccard" (both
+	// modes; "" keeps the algorithm's default). Rejected for algorithms
+	// that take no similarity.
+	Similarity string `json:"similarity"`
 	// Reference overrides the reference algorithm (tdac mode only).
 	Reference string `json:"reference"`
 	// KMin/KMax bound the explored cluster counts (tdac mode only).
@@ -475,12 +489,32 @@ func (s *Server) buildSpec(snap *Snapshot, req *discoverRequest) (*JobSpec, erro
 	if alg == "" {
 		alg = "Accu"
 	}
-	if _, err := algorithms.New(alg); err != nil {
+	var baseOpts []tdac.BaseOption
+	if req.MaxIterations != 0 {
+		baseOpts = append(baseOpts, tdac.WithMaxIterations(req.MaxIterations))
+	}
+	if req.Epsilon != 0 {
+		baseOpts = append(baseOpts, tdac.WithEpsilon(req.Epsilon))
+	}
+	if req.InitialAccuracy != 0 {
+		baseOpts = append(baseOpts, tdac.WithInitialAccuracy(req.InitialAccuracy))
+	}
+	if req.Similarity != "" {
+		f, ok := tdac.SimilarityByName(req.Similarity)
+		if !ok {
+			return nil, fmt.Errorf("unknown similarity %q (known: exact, levenshtein, numeric, jaccard)", req.Similarity)
+		}
+		baseOpts = append(baseOpts, tdac.WithSimilarity(f))
+	}
+	// Resolving the algorithm with its options up front rejects both
+	// unknown names and options the algorithm cannot honour (e.g.
+	// similarity on Accu) at submit time.
+	if _, err := algorithms.New(alg, baseOpts...); err != nil {
 		return nil, err
 	}
 	var opts []tdac.Option
 	if mode == ModeTDAC {
-		opts = append(opts, tdac.WithBase(alg))
+		opts = append(opts, tdac.WithBase(alg, baseOpts...))
 		if req.Reference != "" {
 			if _, err := algorithms.New(req.Reference); err != nil {
 				return nil, err
@@ -509,7 +543,10 @@ func (s *Server) buildSpec(snap *Snapshot, req *discoverRequest) (*JobSpec, erro
 		switch {
 		case req.Reference != "", req.KMin != 0, req.KMax != 0, req.Parallel,
 			req.Workers != 0, req.SparseAware, req.Projection != 0, req.Seed != nil:
-			return nil, errors.New(`mode "base" accepts only algorithm and timeout_ms`)
+			return nil, errors.New(`mode "base" accepts only algorithm, its tuning fields (max_iterations, epsilon, initial_accuracy, similarity) and timeout_ms`)
+		}
+		if len(baseOpts) > 0 {
+			opts = append(opts, tdac.WithBase(alg, baseOpts...))
 		}
 	}
 	// Dry-run the option set so invalid combinations (e.g. projection

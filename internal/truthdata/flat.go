@@ -1,0 +1,131 @@
+package truthdata
+
+// FactID identifies one (cell, value) pair — a "fact" — densely across a
+// whole Index: the facts of cell i occupy the contiguous ID range
+// [Flat.FactStart[i], Flat.FactStart[i+1]), in ValueID order.
+type FactID = int32
+
+// Flat is the CSR-compiled adjacency of an Index. Where Index holds the
+// claim graph as ragged slices-of-slices keyed by cell structs, Flat
+// interns every claim and every candidate value into dense int32 IDs and
+// lays both directions of the source↔cell bipartite graph out as
+// compressed sparse rows. Iterative algorithms keep their per-fact state
+// in single []float64 buffers indexed by FactID and walk contiguous
+// int32 rows instead of chasing per-cell allocations, which is what makes
+// their inner loops cache-friendly and allocation-free.
+//
+// Orderings mirror the Index exactly: cells ascend in Index.Cells order,
+// facts ascend in ValueID order within a cell, voters ascend by SourceID
+// within a fact and claims ascend by cell index within a source. Any
+// algorithm that iterates Flat rows therefore accumulates floating-point
+// sums in precisely the order the Index-walking reference would, which is
+// what keeps the indexed hot paths bit-identical to the retained naive
+// implementations (see internal/verify's indexed-vs-naive invariants).
+type Flat struct {
+	// NumSources, NumCells, NumFacts and NumClaims size the ID spaces.
+	NumSources int
+	NumCells   int
+	NumFacts   int
+	NumClaims  int
+
+	// FactStart has NumCells+1 entries; the facts of cell i are the IDs
+	// [FactStart[i], FactStart[i+1]). The fact of (cell i, ValueID v) is
+	// FactStart[i]+FactID(v).
+	FactStart []int32
+	// FactCell maps every fact back to its cell index.
+	FactCell []int32
+
+	// VoterStart has NumFacts+1 entries; the sources claiming fact f are
+	// Voters[VoterStart[f]:VoterStart[f+1]], ascending by SourceID.
+	VoterStart []int32
+	Voters     []int32
+
+	// ClaimStart has NumSources+1 entries; the claims of source s are the
+	// positions [ClaimStart[s], ClaimStart[s+1]) of ClaimCell/ClaimFact,
+	// ascending by cell index (a valid source claims each cell at most
+	// once, so the order is strict).
+	ClaimStart []int32
+	// ClaimCell[c] is the cell index of interned claim c.
+	ClaimCell []int32
+	// ClaimFact[c] is the fact interned claim c asserts.
+	ClaimFact []int32
+}
+
+// NewFlat compiles the CSR adjacency of ix. The result is read-only and
+// safe for concurrent readers; prefer Index.Flat, which builds it once
+// and caches it.
+func NewFlat(ix *Index) *Flat {
+	nCells := len(ix.Cells)
+	fl := &Flat{
+		NumSources: len(ix.BySource),
+		NumCells:   nCells,
+		FactStart:  make([]int32, nCells+1),
+	}
+	nFacts := 0
+	nClaims := 0
+	for i := range ix.Cells {
+		fl.FactStart[i] = int32(nFacts)
+		nFacts += ix.Cells[i].NumValues()
+		for _, vs := range ix.Cells[i].Voters {
+			nClaims += len(vs)
+		}
+	}
+	fl.FactStart[nCells] = int32(nFacts)
+	fl.NumFacts = nFacts
+	fl.NumClaims = nClaims
+
+	fl.FactCell = make([]int32, nFacts)
+	fl.VoterStart = make([]int32, nFacts+1)
+	fl.Voters = make([]int32, 0, nClaims)
+	for i := range ix.Cells {
+		cc := &ix.Cells[i]
+		for v := range cc.Values {
+			f := fl.FactStart[i] + int32(v)
+			fl.FactCell[f] = int32(i)
+			fl.VoterStart[f] = int32(len(fl.Voters))
+			for _, s := range cc.Voters[v] {
+				fl.Voters = append(fl.Voters, int32(s))
+			}
+		}
+	}
+	fl.VoterStart[nFacts] = int32(len(fl.Voters))
+
+	fl.ClaimStart = make([]int32, fl.NumSources+1)
+	fl.ClaimCell = make([]int32, 0, nClaims)
+	fl.ClaimFact = make([]int32, 0, nClaims)
+	for s, claims := range ix.BySource {
+		fl.ClaimStart[s] = int32(len(fl.ClaimCell))
+		for _, sc := range claims {
+			fl.ClaimCell = append(fl.ClaimCell, int32(sc.CellIdx))
+			fl.ClaimFact = append(fl.ClaimFact, fl.FactStart[sc.CellIdx]+int32(sc.Value))
+		}
+	}
+	fl.ClaimStart[fl.NumSources] = int32(len(fl.ClaimCell))
+	return fl
+}
+
+// Fact returns the FactID of (cell i, value v).
+func (fl *Flat) Fact(i int, v ValueID) int32 { return fl.FactStart[i] + int32(v) }
+
+// Value returns the ValueID of fact f within its cell.
+func (fl *Flat) Value(f int32) ValueID { return ValueID(f - fl.FactStart[fl.FactCell[f]]) }
+
+// NumValues returns the number of candidate values of cell i.
+func (fl *Flat) NumValues(i int) int { return int(fl.FactStart[i+1] - fl.FactStart[i]) }
+
+// FactVoters returns the sources claiming fact f, ascending by SourceID.
+// The slice aliases Flat storage and must not be modified.
+func (fl *Flat) FactVoters(f int32) []int32 { return fl.Voters[fl.VoterStart[f]:fl.VoterStart[f+1]] }
+
+// SourceClaims returns the claim positions of source s as the half-open
+// range [lo, hi) over ClaimCell/ClaimFact.
+func (fl *Flat) SourceClaims(s int) (lo, hi int32) { return fl.ClaimStart[s], fl.ClaimStart[s+1] }
+
+// Flat returns the dataset index's CSR adjacency, building it on first
+// use and caching it. The same aliasing caveat as Index applies: the
+// underlying dataset must not be structurally modified after the first
+// call. Safe for concurrent readers.
+func (ix *Index) Flat() *Flat {
+	ix.flatOnce.Do(func() { ix.flat = NewFlat(ix) })
+	return ix.flat
+}

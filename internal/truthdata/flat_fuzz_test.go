@@ -1,0 +1,132 @@
+package truthdata
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzFlat feeds arbitrary claims CSV through the reader and checks the
+// CSR invariants of the compiled Flat adjacency on whatever datasets are
+// accepted: monotone row starts, consistent ID spaces, sorted rows, and
+// agreement of both graph directions with the Index it was compiled from.
+func FuzzFlat(f *testing.F) {
+	f.Add("s1,o1,a1,v1\n")
+	f.Add("s1,o1,a1,v1\ns2,o1,a1,v2\ns1,o2,a1,v1\n")
+	f.Add("\"quoted,source\",o,a,v\nz,o,a,v\nz,o2,a,v2\n")
+	f.Add(strings.Repeat("s,o,a,v\n", 50))
+	f.Add("s1,o1,a1,v1\ns1,o1,a2,v1\ns2,o1,a1,v1\ns2,o2,a2,v9\ns3,o2,a1,v1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadClaimsCSV(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return
+		}
+		ix := d.Index()
+		fl := ix.Flat()
+
+		if fl.NumCells != len(ix.Cells) || fl.NumSources != len(ix.BySource) {
+			t.Fatalf("ID spaces disagree with the index: %d/%d cells, %d/%d sources",
+				fl.NumCells, len(ix.Cells), fl.NumSources, len(ix.BySource))
+		}
+		if got := len(fl.FactStart); got != fl.NumCells+1 {
+			t.Fatalf("FactStart has %d entries, want %d", got, fl.NumCells+1)
+		}
+		if got := len(fl.VoterStart); got != fl.NumFacts+1 {
+			t.Fatalf("VoterStart has %d entries, want %d", got, fl.NumFacts+1)
+		}
+		if got := len(fl.ClaimStart); got != fl.NumSources+1 {
+			t.Fatalf("ClaimStart has %d entries, want %d", got, fl.NumSources+1)
+		}
+		if int(fl.FactStart[fl.NumCells]) != fl.NumFacts || len(fl.FactCell) != fl.NumFacts {
+			t.Fatalf("fact space inconsistent: FactStart end %d, FactCell %d, NumFacts %d",
+				fl.FactStart[fl.NumCells], len(fl.FactCell), fl.NumFacts)
+		}
+		if len(fl.Voters) != fl.NumClaims || int(fl.VoterStart[fl.NumFacts]) != fl.NumClaims {
+			t.Fatalf("voter space inconsistent: %d voters, VoterStart end %d, NumClaims %d",
+				len(fl.Voters), fl.VoterStart[fl.NumFacts], fl.NumClaims)
+		}
+		if len(fl.ClaimCell) != fl.NumClaims || len(fl.ClaimFact) != fl.NumClaims ||
+			int(fl.ClaimStart[fl.NumSources]) != fl.NumClaims {
+			t.Fatalf("claim space inconsistent: %d/%d cells/facts, ClaimStart end %d, NumClaims %d",
+				len(fl.ClaimCell), len(fl.ClaimFact), fl.ClaimStart[fl.NumSources], fl.NumClaims)
+		}
+		for _, starts := range [][]int32{fl.FactStart, fl.VoterStart, fl.ClaimStart} {
+			if !isNonDecreasing(starts) {
+				t.Fatal("row starts not monotone")
+			}
+		}
+
+		// Facts: each cell's range matches its value count, FactCell points
+		// back, Value round-trips.
+		for i := 0; i < fl.NumCells; i++ {
+			if fl.NumValues(i) != ix.Cells[i].NumValues() {
+				t.Fatalf("cell %d: %d facts, index has %d values", i, fl.NumValues(i), ix.Cells[i].NumValues())
+			}
+			for v := 0; v < fl.NumValues(i); v++ {
+				fa := fl.Fact(i, ValueID(v))
+				if int(fl.FactCell[fa]) != i {
+					t.Fatalf("FactCell[%d] = %d, want %d", fa, fl.FactCell[fa], i)
+				}
+				if fl.Value(fa) != ValueID(v) {
+					t.Fatalf("Value(Fact(%d, %d)) = %d", i, v, fl.Value(fa))
+				}
+				// Voters sorted strictly ascending and in range.
+				voters := fl.FactVoters(fa)
+				if len(voters) != len(ix.Cells[i].Voters[v]) {
+					t.Fatalf("fact %d: %d voters, index has %d", fa, len(voters), len(ix.Cells[i].Voters[v]))
+				}
+				for k, s := range voters {
+					if s < 0 || int(s) >= fl.NumSources {
+						t.Fatalf("fact %d: voter %d out of range", fa, s)
+					}
+					if k > 0 && voters[k-1] >= s {
+						t.Fatalf("fact %d: voters not strictly ascending", fa)
+					}
+					if SourceID(s) != ix.Cells[i].Voters[v][k] {
+						t.Fatalf("fact %d voter %d: %d, index has %d", fa, k, s, ix.Cells[i].Voters[v][k])
+					}
+				}
+			}
+		}
+
+		// Claims: strictly ascending cells per source, facts inside their
+		// cell's range, and every claim's source listed among the fact's
+		// voters — the two graph directions agree.
+		for s := 0; s < fl.NumSources; s++ {
+			lo, hi := fl.SourceClaims(s)
+			for c := lo; c < hi; c++ {
+				ci := fl.ClaimCell[c]
+				if ci < 0 || int(ci) >= fl.NumCells {
+					t.Fatalf("claim %d of source %d: cell %d out of range", c, s, ci)
+				}
+				if c > lo && fl.ClaimCell[c-1] >= ci {
+					t.Fatalf("claims of source %d not strictly ascending by cell", s)
+				}
+				fa := fl.ClaimFact[c]
+				if fa < fl.FactStart[ci] || fa >= fl.FactStart[ci+1] {
+					t.Fatalf("claim %d of source %d: fact %d outside cell %d's range", c, s, fa, ci)
+				}
+				if !containsInt32(fl.FactVoters(fa), int32(s)) {
+					t.Fatalf("claim %d: source %d missing from fact %d's voters", c, s, fa)
+				}
+			}
+		}
+	})
+}
+
+func isNonDecreasing(xs []int32) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsInt32(xs []int32, x int32) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,6 +1,9 @@
 package truthdata
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // ValueID identifies a distinct value within one cell's candidate set.
 type ValueID int
@@ -59,6 +62,10 @@ type Index struct {
 	// within its candidate set, or -1 when the truth is unknown or was
 	// claimed by no source.
 	TruthValue []ValueID
+
+	// flatOnce guards the lazily-built CSR adjacency; see Flat.
+	flatOnce sync.Once
+	flat     *Flat
 }
 
 // NewIndex compiles d. The dataset must be valid (see Dataset.Validate);

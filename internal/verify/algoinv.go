@@ -1,0 +1,105 @@
+package verify
+
+// Algorithm-level invariants of the indexed rewrite: every registered
+// base algorithm's DiscoverIndexed hot path is diffed against the
+// retained naive implementation (algorithms.NewNaive) on random datasets
+// — truth must match bit for bit, trust and confidence within one ulp
+// (iterative hot paths may hoist loop-invariant subexpressions, which
+// keeps sums in the same order but can round one fused step differently
+// on some platforms; in practice the paths are bit-identical and the ulp
+// bound is slack for portability).
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"tdac/internal/algorithms"
+)
+
+func init() {
+	for i, name := range algorithms.Names() {
+		name := name
+		salt := int64(100 + i)
+		register(Invariant{
+			Name:  "indexed-vs-naive-" + strings.ToLower(name),
+			Class: Differential,
+			Description: fmt.Sprintf(
+				"%s's indexed hot path matches the retained naive implementation: truth bit for bit, trust and confidence within one ulp", name),
+			Quick: true,
+			Check: func(cfg Config) error { return checkIndexedVsNaive(cfg, name, salt) },
+		})
+	}
+}
+
+// ulpClose reports whether two floats are equal or adjacent in the
+// float64 total order (one unit in the last place apart).
+func ulpClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	ba, bb := int64(math.Float64bits(a)), int64(math.Float64bits(b))
+	if ba < 0 {
+		ba = math.MinInt64 - ba
+	}
+	if bb < 0 {
+		bb = math.MinInt64 - bb
+	}
+	d := ba - bb
+	return d == 1 || d == -1
+}
+
+func checkIndexedVsNaive(cfg Config, name string, salt int64) error {
+	rng := rngFor(cfg, salt)
+	fast, err := algorithms.New(name)
+	if err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	slow, err := algorithms.NewNaive(name)
+	if err != nil {
+		return fmt.Errorf("naive registry: %w", err)
+	}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		d := randomDataset(rng, 3+rng.Intn(5), 4+rng.Intn(7), 3+rng.Intn(4), 2+rng.Intn(3), 0.5+0.5*rng.Float64())
+		got, err := fast.Discover(d)
+		if err != nil {
+			return fmt.Errorf("trial %d: indexed run: %w", trial, err)
+		}
+		want, err := slow.Discover(d)
+		if err != nil {
+			return fmt.Errorf("trial %d: naive run: %w", trial, err)
+		}
+		if got.Iterations != want.Iterations || got.Converged != want.Converged {
+			return fmt.Errorf("trial %d: iterations/converged diverged: indexed %d/%v, naive %d/%v",
+				trial, got.Iterations, got.Converged, want.Iterations, want.Converged)
+		}
+		if len(got.Truth) != len(want.Truth) {
+			return fmt.Errorf("trial %d: truth sizes differ: indexed %d, naive %d", trial, len(got.Truth), len(want.Truth))
+		}
+		for cell, v := range want.Truth {
+			if gv, ok := got.Truth[cell]; !ok || gv != v {
+				return fmt.Errorf("trial %d: truth for %s/%s: indexed %q, naive %q",
+					trial, d.ObjectName(cell.Object), d.AttrName(cell.Attr), gv, v)
+			}
+		}
+		if len(got.Trust) != len(want.Trust) {
+			return fmt.Errorf("trial %d: trust lengths differ: indexed %d, naive %d", trial, len(got.Trust), len(want.Trust))
+		}
+		for s := range want.Trust {
+			if !ulpClose(got.Trust[s], want.Trust[s]) {
+				return fmt.Errorf("trial %d: trust of source %d: indexed %v, naive %v", trial, s, got.Trust[s], want.Trust[s])
+			}
+		}
+		if (got.Confidence == nil) != (want.Confidence == nil) {
+			return fmt.Errorf("trial %d: confidence presence differs: indexed %v, naive %v",
+				trial, got.Confidence != nil, want.Confidence != nil)
+		}
+		for cell, c := range want.Confidence {
+			if !ulpClose(got.Confidence[cell], c) {
+				return fmt.Errorf("trial %d: confidence for %s/%s: indexed %v, naive %v",
+					trial, d.ObjectName(cell.Object), d.AttrName(cell.Attr), got.Confidence[cell], c)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package tdac_test
+
+import (
+	"strings"
+	"testing"
+
+	"tdac"
+)
+
+// TestBaseOptionsThroughWithBase exercises the tuned-base surface: the
+// options must reach the algorithm (a 1-iteration cap is observable),
+// and an option the named algorithm cannot honour must fail the entry
+// point by name instead of being dropped.
+func TestBaseOptionsThroughWithBase(t *testing.T) {
+	d := publicDataset(t, 12, 6)
+
+	tuned, err := tdac.Run(d, "TruthFinder",
+		tdac.WithBase("TruthFinder", tdac.WithMaxIterations(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Iterations != 1 {
+		t.Fatalf("WithMaxIterations(1) ignored: ran %d iterations", tuned.Iterations)
+	}
+
+	if _, err := tdac.Run(d, "TruthFinder", tdac.WithBase("Accu")); err == nil ||
+		!strings.Contains(err.Error(), "must agree") {
+		t.Fatalf("Run accepted a WithBase naming a different algorithm: %v", err)
+	}
+
+	// Discover with a tuned base and a tuned reference.
+	if _, err := tdac.Discover(d,
+		tdac.WithBase("Accu", tdac.WithMaxIterations(3), tdac.WithEpsilon(1e-2), tdac.WithInitialAccuracy(0.7)),
+		tdac.WithReference("MajorityVote")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unsupported options are rejected by option name.
+	_, err = tdac.Discover(d, tdac.WithBase("Accu", tdac.WithSimilarity(func(a, b string) float64 { return 1 })))
+	if err == nil || !strings.Contains(err.Error(), "WithSimilarity") {
+		t.Fatalf("Accu accepted WithSimilarity: %v", err)
+	}
+	_, err = tdac.Discover(d, tdac.WithBase("MajorityVote", tdac.WithMaxIterations(5)))
+	if err == nil || !strings.Contains(err.Error(), "WithMaxIterations") {
+		t.Fatalf("MajorityVote accepted WithMaxIterations: %v", err)
+	}
+
+	// Invalid option values fail fast.
+	if _, err := tdac.Discover(d, tdac.WithBase("Accu", tdac.WithMaxIterations(0))); err == nil {
+		t.Error("accepted WithMaxIterations(0)")
+	}
+	if _, err := tdac.Discover(d, tdac.WithBase("Accu", tdac.WithEpsilon(0))); err == nil {
+		t.Error("accepted WithEpsilon(0)")
+	}
+	if _, err := tdac.Discover(d, tdac.WithBase("Accu", tdac.WithInitialAccuracy(1))); err == nil {
+		t.Error("accepted WithInitialAccuracy(1)")
+	}
+	if _, err := tdac.Discover(d, tdac.WithBase("TruthFinder", tdac.WithSimilarity(nil))); err == nil {
+		t.Error("accepted WithSimilarity(nil)")
+	}
+
+	// ValidateOptions sees the same errors without running anything.
+	exact := func(a, b string) float64 {
+		if a == b {
+			return 1
+		}
+		return 0
+	}
+	if err := tdac.ValidateOptions(tdac.WithBase("Accu", tdac.WithSimilarity(exact))); err == nil {
+		t.Error("ValidateOptions accepted similarity on Accu")
+	}
+}
+
+// TestSimilarityByName pins the registry the serving frontends consume.
+func TestSimilarityByName(t *testing.T) {
+	for _, name := range []string{"exact", "levenshtein", "numeric", "jaccard"} {
+		f, ok := tdac.SimilarityByName(name)
+		if !ok || f == nil {
+			t.Errorf("SimilarityByName(%q) unknown", name)
+			continue
+		}
+		if got := f("same", "same"); got != 1 {
+			t.Errorf("%s(same, same) = %v, want 1", name, got)
+		}
+	}
+	if _, ok := tdac.SimilarityByName("nope"); ok {
+		t.Error("SimilarityByName accepted an unknown name")
+	}
+
+	d := publicDataset(t, 10, 7)
+	sim, _ := tdac.SimilarityByName("levenshtein")
+	if _, err := tdac.Run(d, "AccuSim",
+		tdac.WithBase("AccuSim", tdac.WithSimilarity(sim))); err != nil {
+		t.Fatal(err)
+	}
+}

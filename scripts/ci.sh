@@ -6,8 +6,10 @@
 # per-group base runs), a one-shot smoke run of the k-sweep benchmark so
 # the packed hot path is executed at benchmark scale on every change, a
 # short live-fuzz smoke of every fuzz target, the differential/metamorphic
-# verification harness (cmd/tdac-verify), and schema validation of the
-# committed benchmark report so drift in cmd/tdacbench's output fails CI.
+# verification harness (cmd/tdac-verify), schema validation of the
+# committed benchmark report so drift in cmd/tdacbench's output fails CI,
+# and a bench-delta gate so a base-runs performance regression on DS1
+# fails CI too.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -68,8 +70,8 @@ echo "==> verification harness (tdac-verify)"
 # count is asserted so the harness can never silently shrink.
 harness=$(go run ./cmd/tdac-verify) || { echo "$harness" >&2; exit 1; }
 echo "$harness" | sed 's/^/    /'
-echo "$harness" | grep -q '^11 invariants verified$' || {
-    echo "tdac-verify did not verify all 11 invariants" >&2
+echo "$harness" | grep -q '^24 invariants verified$' || {
+    echo "tdac-verify did not verify all 24 invariants" >&2
     exit 1
 }
 
@@ -81,8 +83,19 @@ go test -run '^$' -fuzz '^FuzzSimilarityInvariants$' -fuzztime 10s ./internal/si
 go test -run '^$' -fuzz '^FuzzPackedHammingEquivalence$' -fuzztime 10s ./internal/cluster
 go test -run '^$' -fuzz '^FuzzWALRecovery$' -fuzztime 10s ./internal/wal
 go test -run '^$' -fuzz '^FuzzVerifyInvariants$' -fuzztime 10s ./internal/verify
+go test -run '^$' -fuzz '^FuzzFlat$' -fuzztime 10s ./internal/truthdata
 
 echo "==> bench report schema (BENCH_tdac.json)"
 go run ./cmd/tdacbench -validate BENCH_tdac.json
+
+echo "==> bench delta (DS1 vs committed BENCH_tdac.json)"
+# Regression gate for the indexed hot path: a fresh DS1 run's base-runs
+# phase median must stay within 20% of the committed report's, so an
+# accidental slow-down of the per-group base runs fails CI instead of
+# landing silently. Three reps give a stable median (a single rep is too
+# noisy for a 20% margin); one dataset keeps the step cheap.
+delta_out=$(mktemp)
+trap 'rm -f "$delta_out"' EXIT
+go run ./cmd/tdacbench -reps 3 -configs DS1 -o "$delta_out" -delta BENCH_tdac.json
 
 echo "==> ci OK"

@@ -45,6 +45,7 @@ import (
 	"tdac/internal/metrics"
 	"tdac/internal/obs"
 	"tdac/internal/partition"
+	"tdac/internal/similarity"
 	"tdac/internal/truthdata"
 )
 
@@ -106,11 +107,12 @@ type (
 )
 
 // The pipeline phases observers see, in execution order. A TD-AC
-// Discover passes through Reference → TruthVectors → DistanceMatrix →
-// KSweep → BaseRuns → Merge; a base-algorithm Run has the single
-// Discover phase; CheckStability repeats DistanceMatrix and KSweep once
-// per reseeded run.
+// Discover passes through Index → Reference → TruthVectors →
+// DistanceMatrix → KSweep → BaseRuns → Merge; a base-algorithm Run has
+// the single Discover phase; CheckStability repeats DistanceMatrix and
+// KSweep once per reseeded run.
 const (
+	PhaseIndex          = obs.PhaseIndex
 	PhaseReference      = obs.PhaseReference
 	PhaseTruthVectors   = obs.PhaseTruthVectors
 	PhaseDistanceMatrix = obs.PhaseDistanceMatrix
@@ -228,7 +230,9 @@ func (s optSet) names() string {
 
 type config struct {
 	base       string
+	baseOpts   []BaseOption
 	reference  string
+	refOpts    []BaseOption
 	minK       int
 	maxK       int
 	parallel   bool
@@ -277,13 +281,13 @@ func buildTDAC(cfg *config) (*core.TDAC, error) {
 	if cfg.masked && cfg.projectDim > 0 {
 		return nil, fmt.Errorf("tdac: WithProjection cannot be combined with WithSparseAware (the mask markers do not survive projection)")
 	}
-	base, err := algorithms.New(cfg.base)
+	base, err := algorithms.New(cfg.base, cfg.baseOpts...)
 	if err != nil {
 		return nil, err
 	}
 	t := core.New(base)
 	if cfg.reference != "" {
-		ref, err := algorithms.New(cfg.reference)
+		ref, err := algorithms.New(cfg.reference, cfg.refOpts...)
 		if err != nil {
 			return nil, err
 		}
@@ -298,16 +302,61 @@ func buildTDAC(cfg *config) (*core.TDAC, error) {
 	return t, nil
 }
 
+// BaseOption tunes the algorithm selected by WithBase or WithReference —
+// iteration cap, convergence threshold, prior accuracy, value similarity.
+// The constructors are WithMaxIterations, WithEpsilon,
+// WithInitialAccuracy and WithSimilarity; an option the named algorithm
+// cannot honour (WithSimilarity on Accu, anything on MajorityVote) is
+// reported as an error by the entry point, never silently dropped.
+type BaseOption = algorithms.Option
+
+// SimilarityFunc scores how similar two claimed values are, in [0,1];
+// 1 means identical. Implementations must be symmetric. See
+// SimilarityByName for the built-in registry.
+type SimilarityFunc = similarity.Func
+
+// WithMaxIterations caps the algorithm's update rounds (default 20).
+func WithMaxIterations(n int) BaseOption { return algorithms.WithMaxIterations(n) }
+
+// WithEpsilon sets the convergence threshold on the trust vector
+// (default 1e-3).
+func WithEpsilon(eps float64) BaseOption { return algorithms.WithEpsilon(eps) }
+
+// WithInitialAccuracy seeds the per-source prior of the algorithms that
+// have one (TruthFinder's trust, the Accu family's accuracy, Galland's
+// error rate, SimpleLCA's honesty), in (0,1).
+func WithInitialAccuracy(a float64) BaseOption { return algorithms.WithInitialAccuracy(a) }
+
+// WithSimilarity sets the value-similarity function of the algorithms
+// that let similar values support each other (TruthFinder, AccuSim).
+func WithSimilarity(f SimilarityFunc) BaseOption { return algorithms.WithSimilarity(f) }
+
+// SimilarityByName resolves a built-in similarity function from its
+// registry name — "exact", "levenshtein", "numeric" or "jaccard" — the
+// form serving frontends accept; the bool reports whether the name is
+// known.
+func SimilarityByName(name string) (SimilarityFunc, bool) { return similarity.ByName(name) }
+
 // WithBase selects the base algorithm F (default "Accu", the paper's
-// choice).
-func WithBase(name string) Option {
-	return func(c *config) error { c.base = name; c.set |= optBase; return nil }
+// choice), optionally tuned: WithBase("TruthFinder",
+// tdac.WithMaxIterations(50), tdac.WithSimilarity(sim)).
+func WithBase(name string, opts ...BaseOption) Option {
+	return func(c *config) error {
+		c.base, c.baseOpts = name, opts
+		c.set |= optBase
+		return nil
+	}
 }
 
 // WithReference selects the algorithm producing the reference truth for
-// the attribute truth vectors. Default: the base algorithm itself.
-func WithReference(name string) Option {
-	return func(c *config) error { c.reference = name; c.set |= optReference; return nil }
+// the attribute truth vectors, with the same optional tuning as
+// WithBase. Default: the base algorithm itself (including its options).
+func WithReference(name string, opts ...BaseOption) Option {
+	return func(c *config) error {
+		c.reference, c.refOpts = name, opts
+		c.set |= optReference
+		return nil
+	}
 }
 
 // WithKRange bounds the cluster counts explored (default [2, |A|-1], as
@@ -428,9 +477,11 @@ func Discover(d *Dataset, opts ...Option) (*Result, error) {
 }
 
 // DiscoverContext runs TD-AC (Algorithm 1 of the paper) on the dataset
-// under a context. Cancellation aborts the k-sweep at k granularity and
-// stops parallel per-group base runs from starting; an already-cancelled
-// context returns promptly without touching the data.
+// under a context. Cancellation aborts the k-sweep at k granularity,
+// stops per-group base runs from starting and — for the built-in
+// algorithms — interrupts the reference and base runs at their next
+// update round; an already-cancelled context returns promptly without
+// touching the data.
 func DiscoverContext(ctx context.Context, d *Dataset, opts ...Option) (*Result, error) {
 	cfg, err := newConfig(opts)
 	if err != nil {
@@ -480,22 +531,27 @@ func Run(d *Dataset, algorithm string, opts ...Option) (*BaseResult, error) {
 }
 
 // RunContext executes a registered base algorithm by name under a
-// context. Base algorithms are not interruptible mid-iteration, so
-// cancellation is checked before the run starts: an already-cancelled
-// context returns its error without touching the data. Only WithStats
-// and WithObserver are honoured here — a direct base run has no TD-AC
-// configuration to apply, so every other option is rejected with an
-// error rather than silently ignored.
+// context. The built-in algorithms run on the indexed hot path, which
+// checks the context at every update round, so a deadline interrupts
+// even a slow run mid-algorithm; an already-cancelled context returns
+// its error without touching the data. Only WithStats, WithObserver and
+// WithBase are honoured here — WithBase must repeat the algorithm name
+// and exists to carry BaseOptions (WithMaxIterations and friends) into
+// the run; every other option is rejected with an error rather than
+// silently ignored.
 func RunContext(ctx context.Context, d *Dataset, algorithm string, opts ...Option) (*BaseResult, error) {
 	cfg, err := newConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	if err := cfg.reject(^(optStats | optObserver), "Run",
-		"it runs the base algorithm directly, without TD-AC's partitioning; only WithStats and WithObserver apply"); err != nil {
+	if err := cfg.reject(^(optStats | optObserver | optBase), "Run",
+		"it runs the base algorithm directly, without TD-AC's partitioning; only WithStats, WithObserver and WithBase apply"); err != nil {
 		return nil, err
 	}
-	alg, err := algorithms.New(algorithm)
+	if cfg.set&optBase != 0 && cfg.base != algorithm {
+		return nil, fmt.Errorf("tdac: Run(%q) with WithBase(%q): the names must agree (WithBase carries options for the algorithm Run already names)", algorithm, cfg.base)
+	}
+	alg, err := algorithms.New(algorithm, cfg.baseOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -505,7 +561,7 @@ func RunContext(ctx context.Context, d *Dataset, algorithm string, opts ...Optio
 	rec := cfg.recorder()
 	rec.Start()
 	done := rec.Phase(PhaseDiscover)
-	res, err := alg.Discover(d)
+	res, err := algorithms.DiscoverContext(ctx, alg, d)
 	if err != nil {
 		return nil, err
 	}
