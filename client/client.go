@@ -157,7 +157,12 @@ type DiscoverRequest struct {
 	SparseAware bool   `json:"sparse_aware,omitempty"`
 	Projection  int    `json:"projection,omitempty"`
 	Seed        *int64 `json:"seed,omitempty"`
-	TimeoutMS   int    `json:"timeout_ms,omitempty"`
+	// Incremental asks the server to reuse its per-dataset incremental
+	// discovery state: successive discoveries over a growing dataset pay
+	// only for the appended claims, with results bit-identical to a cold
+	// run. TD-AC mode only.
+	Incremental bool `json:"incremental,omitempty"`
+	TimeoutMS   int  `json:"timeout_ms,omitempty"`
 	// Key is the idempotency key. Leave empty: Discover generates one,
 	// which is what makes its retries safe.
 	Key string `json:"key,omitempty"`

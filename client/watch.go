@@ -1,0 +1,175 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"tdac/internal/sse"
+)
+
+// Event is one frame of a job's event stream (see WatchJob).
+type Event struct {
+	// ID is the frame's stream sequence number; WatchJob tracks it
+	// internally to resume reconnections exactly where they left off.
+	ID string
+	// Name is the event kind: "state" for lifecycle transitions (the
+	// last one is terminal), or a pipeline progress kind such as
+	// "phase-start", "phase-end", "k" and "group".
+	Name string
+	// Data is the frame's raw JSON payload.
+	Data json.RawMessage
+	// Job is the decoded job view, set on "state" frames only. The
+	// final state frame carries the full result.
+	Job *Job
+	// Err is set on the last event of a stream that ended abnormally —
+	// the job disappeared from the server's bounded history before a
+	// terminal frame was observed, or the payload failed to decode.
+	Err error
+}
+
+// WatchJob streams a job's lifecycle and progress events until the job
+// reaches a terminal state. The returned channel delivers events in
+// stream order and is closed after the terminal "state" event (or after
+// a single Err-carrying event if the stream ends abnormally). Dropped
+// connections are transparently retried and resumed via Last-Event-ID,
+// so a consumer never sees a gap or a duplicate; if the job finished
+// while the watcher was disconnected, a terminal event synthesized from
+// a poll is delivered instead. Cancel ctx to stop watching; the job
+// itself keeps running (use CancelJob for that).
+func (c *Client) WatchJob(ctx context.Context, id string) (<-chan Event, error) {
+	// Fail fast on unknown jobs: a watch on a never-submitted id should
+	// error out synchronously, not emit asynchronously.
+	if _, err := c.GetJob(ctx, id); err != nil {
+		return nil, err
+	}
+	ch := make(chan Event, 16)
+	go c.watchLoop(ctx, id, ch)
+	return ch, nil
+}
+
+// streamHTTP returns the transport used for the long-lived stream: the
+// configured client minus its overall Timeout, which would sever an
+// idle watch mid-job. (Reconnect-and-resume would recover even then,
+// but there is no reason to churn.)
+func (c *Client) streamHTTP() *http.Client {
+	return &http.Client{Transport: c.http.Transport, Jar: c.http.Jar}
+}
+
+func (c *Client) watchLoop(ctx context.Context, id string, ch chan<- Event) {
+	defer close(ch)
+	emit := func(ev Event) bool {
+		select {
+		case ch <- ev:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	// fallback polls the job once after a dropped stream: finished →
+	// synthesize the terminal event the watcher missed; vanished → the
+	// job was evicted before we saw its result.
+	fallback := func() bool {
+		job, err := c.GetJob(ctx, id)
+		if err != nil {
+			var ae *APIError
+			if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
+				emit(Event{Err: fmt.Errorf("client: job %s disappeared before its terminal event: %w", id, err)})
+				return true
+			}
+			return false // transient; reconnect
+		}
+		if job.Terminal() {
+			raw, _ := json.Marshal(job)
+			emit(Event{Name: "state", Data: raw, Job: job})
+			return true
+		}
+		return false
+	}
+
+	httpc := c.streamHTTP()
+	lastID := ""
+	attempt := 0
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if attempt > 0 {
+			if c.sleep(ctx, c.backoff(min(attempt, 8), nil)) != nil {
+				return
+			}
+		}
+		attempt++
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+		if err != nil {
+			emit(Event{Err: fmt.Errorf("client: building watch request: %w", err)})
+			return
+		}
+		if lastID != "" {
+			req.Header.Set("Last-Event-ID", lastID)
+		}
+		resp, err := httpc.Do(req)
+		if err != nil {
+			if fallback() {
+				return
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusNotFound && fallback() {
+				return
+			}
+			if !retryStatus(resp.StatusCode) {
+				emit(Event{Err: fmt.Errorf("client: watch job %s: HTTP %d", id, resp.StatusCode)})
+				return
+			}
+			continue
+		}
+
+		r := sse.NewReader(resp.Body)
+		for {
+			frame, err := r.Next()
+			if err != nil {
+				resp.Body.Close()
+				if err != io.EOF {
+					break // torn mid-frame; reconnect and resume
+				}
+				// Clean end of stream: either we saw the terminal frame
+				// (handled below, never reaches here), or the server
+				// evicted us / drained; resume or fall back.
+				break
+			}
+			attempt = 0 // a healthy stream resets the backoff
+			ev := Event{ID: frame.ID, Name: frame.Name, Data: json.RawMessage(frame.Data)}
+			if frame.Name == "state" {
+				job := new(Job)
+				if jerr := json.Unmarshal([]byte(frame.Data), job); jerr != nil {
+					resp.Body.Close()
+					emit(Event{Err: fmt.Errorf("client: decoding state frame: %w", jerr)})
+					return
+				}
+				ev.Job = job
+			}
+			if !emit(ev) {
+				resp.Body.Close()
+				return
+			}
+			if frame.ID != "" {
+				lastID = frame.ID
+			}
+			if ev.Job != nil && ev.Job.Terminal() {
+				resp.Body.Close()
+				return
+			}
+		}
+		if fallback() {
+			return
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"tdac/internal/exam"
+	"tdac/internal/server"
+)
+
+// watchServer is e2eServer but also hands back the httptest frontend,
+// whose CloseClientConnections severs live streams mid-flight.
+func watchServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server, *Client) {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	c, err := New(ts.URL, WithRetry(Retry{MaxAttempts: 8, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ts, c
+}
+
+// TestEndToEndWatchJobSurvivesKilledConnections is the kill-mid-stream
+// e2e: the watcher's connection is severed right after its first frame
+// (and again after the next one), forcing WatchJob to reconnect with
+// Last-Event-ID. The consumer must still observe every event exactly
+// once — consecutive stream ids with no gap or duplicate — ending with
+// the terminal result.
+func TestEndToEndWatchJobSurvivesKilledConnections(t *testing.T) {
+	s, ts, c := watchServer(t, server.Config{Workers: 1, QueueSize: 8, EventHeartbeat: 20 * time.Millisecond})
+	d, err := exam.Generate(exam.Config{Attrs: 62, Students: 120, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Registry().Create("exam", d); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	job, err := c.Discover(ctx, "exam", DiscoverRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := c.WatchJob(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []Event
+	kills := 0
+	for ev := range ch {
+		if ev.Err != nil {
+			t.Fatalf("watch error after %d events: %v", len(events), ev.Err)
+		}
+		events = append(events, ev)
+		// Sever every live connection after each of the first two
+		// frames; the watcher must resume, not restart or hang.
+		if kills < 2 {
+			kills++
+			ts.CloseClientConnections()
+		}
+	}
+	if len(events) < 3 {
+		t.Fatalf("watched only %d events; want at least queued/running/done", len(events))
+	}
+
+	// Exactly-once delivery across the kills: ids are consecutive.
+	// (An empty id would mean the poll fallback synthesized the terminal
+	// event — the job finished while disconnected — which is a legal
+	// outcome for a watcher but means the kill missed the stream; the
+	// 20ms heartbeat makes that window effectively unhittable here.)
+	next := 0
+	for i, ev := range events {
+		if ev.ID == "" {
+			if i != len(events)-1 {
+				t.Fatalf("event %d has no id and is not the synthesized terminal", i)
+			}
+			break
+		}
+		n, err := strconv.Atoi(ev.ID)
+		if err != nil {
+			t.Fatalf("event %d id %q is not a sequence number", i, ev.ID)
+		}
+		if next == 0 {
+			next = n
+		}
+		if n != next {
+			t.Fatalf("event %d has id %d, want %d (gap or duplicate across resume)", i, n, next)
+		}
+		next++
+	}
+
+	// The stream carried pipeline progress, not just lifecycle frames.
+	kinds := map[string]int{}
+	for _, ev := range events {
+		kinds[ev.Name]++
+	}
+	if kinds["state"] < 3 {
+		t.Errorf("saw %d state frames, want >= 3 (queued, running, done): %v", kinds["state"], kinds)
+	}
+	if kinds["phase-start"] == 0 || kinds["k"] == 0 {
+		t.Errorf("no pipeline progress frames on a real run: %v", kinds)
+	}
+
+	last := events[len(events)-1]
+	if last.Job == nil || !last.Job.Terminal() || last.Job.State != "done" {
+		t.Fatalf("final event is not a terminal done state: %+v", last)
+	}
+	if last.Job.Result == nil || len(last.Job.Result.Truth) == 0 {
+		t.Fatalf("terminal event carries no result: %+v", last.Job)
+	}
+	polled, err := c.GetJob(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polled.State != last.Job.State || len(polled.Result.Truth) != len(last.Job.Result.Truth) {
+		t.Errorf("terminal event diverges from poll: stream %s/%d cells, poll %s/%d cells",
+			last.Job.State, len(last.Job.Result.Truth), polled.State, len(polled.Result.Truth))
+	}
+
+	if _, err := c.WatchJob(ctx, "no-such-job"); err == nil {
+		t.Error("WatchJob on an unknown id did not fail synchronously")
+	}
+}
+
+// TestEndToEndWatchFinishedJob: watching an already-finished job
+// replays its whole backlog and closes — the late watcher still gets
+// the full story.
+func TestEndToEndWatchFinishedJob(t *testing.T) {
+	_, _, c := watchServer(t, server.Config{Workers: 1, QueueSize: 8})
+	ctx := context.Background()
+	if _, err := c.CreateDataset(ctx, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(ctx, "d", seedClaims(), nil); err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Run(ctx, "d", DiscoverRequest{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != "done" {
+		t.Fatalf("job = %+v", job)
+	}
+	ch, err := c.WatchJob(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	for ev := range ch {
+		if ev.Err != nil {
+			t.Fatalf("watch error: %v", ev.Err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) < 3 {
+		t.Fatalf("replayed %d events, want the full backlog", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Job == nil || last.Job.State != "done" || last.Job.Result == nil {
+		t.Fatalf("replay did not end with the terminal result: %+v", last)
+	}
+}

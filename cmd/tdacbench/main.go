@@ -33,11 +33,13 @@ import (
 	"strings"
 	"time"
 
+	"tdac"
 	"tdac/internal/algorithms"
 	"tdac/internal/core"
 	"tdac/internal/experiments"
 	"tdac/internal/obs"
 	"tdac/internal/server"
+	"tdac/internal/truthdata"
 	"tdac/internal/wal"
 )
 
@@ -45,8 +47,10 @@ import (
 // tdac-bench/2 added the "wal" section: ingest overhead of the write-
 // ahead log versus the in-memory registry. tdac-bench/3 added the
 // "index" phase and the "algorithms" section: per-algorithm indexed
-// versus naive Discover medians on DS1.
-const Schema = "tdac-bench/3"
+// versus naive Discover medians on DS1. tdac-bench/4 added the
+// "incremental" section: warm single-claim appends through a shared
+// IncrementalState versus cold from-scratch Discover runs on DS1.
+const Schema = "tdac-bench/4"
 
 // phases lists the phase keys every config entry must report, matching
 // the pipeline's execution order.
@@ -70,7 +74,38 @@ type Report struct {
 	// Algorithms holds the per-algorithm indexed-versus-naive Discover
 	// medians on DS1, one entry per registered base algorithm.
 	Algorithms []AlgorithmResult `json:"algorithms"`
-	WAL        *WALResult        `json:"wal"`
+	// Incremental compares warm appends through a shared incremental
+	// state against cold from-scratch runs on a growing dataset.
+	Incremental *IncrementalResult `json:"incremental"`
+	WAL         *WALResult         `json:"wal"`
+}
+
+// IncrementalResult measures what the incremental path saves: after the
+// state is primed on a dataset prefix, each single-claim append is
+// discovered once warm (through the shared state) and once cold. The
+// headline comparison is the discovery prologue — the index, reference
+// run, truth vectors and distance matrix a cold run rebuilds from
+// scratch versus the state sync that patches only the appended claim's
+// cells; the k-sweep and per-group base runs execute either way, so the
+// end-to-end totals are also reported. The results themselves are
+// bit-identical — the incremental-vs-cold verify invariant pins that —
+// so this section is purely about time.
+type IncrementalResult struct {
+	Dataset string `json:"dataset"`
+	// Appends is the number of timed single-claim appends.
+	Appends int `json:"appends"`
+	// ColdRebuildMS is the median wall time the cold path spends
+	// rebuilding the prologue (index + reference + truth-vectors +
+	// distance-matrix phases) per dataset version.
+	ColdRebuildMS float64 `json:"cold_rebuild_ms"`
+	// AppendSyncMS is the median wall time the warm path spends syncing
+	// the maintained state over the single appended claim.
+	AppendSyncMS float64 `json:"append_sync_ms"`
+	// SpeedupX is ColdRebuildMS / AppendSyncMS.
+	SpeedupX float64 `json:"speedup_x"`
+	// TotalColdMS / TotalWarmMS are the end-to-end Discover medians.
+	TotalColdMS float64 `json:"total_cold_ms"`
+	TotalWarmMS float64 `json:"total_warm_ms"`
 }
 
 // AlgorithmResult compares one base algorithm's indexed hot path against
@@ -189,6 +224,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	report.Algorithms = ars
 
+	ir, err := benchIncremental(runner)
+	if err != nil {
+		return fmt.Errorf("incremental benchmark: %w", err)
+	}
+	report.Incremental = ir
+	fmt.Fprintf(stderr, "%s: incremental sync %.3fms / cold rebuild %.2fms (%.0fx); end-to-end %.2fms warm / %.2fms cold, over %d appends\n",
+		ir.Dataset, ir.AppendSyncMS, ir.ColdRebuildMS, ir.SpeedupX, ir.TotalWarmMS, ir.TotalColdMS, ir.Appends)
+
 	wr, err := benchWAL(*full, *reps)
 	if err != nil {
 		return fmt.Errorf("wal ingest benchmark: %w", err)
@@ -251,6 +294,13 @@ func checkDelta(fresh *Report, committedRaw []byte, stderr io.Writer) error {
 				c.Dataset, got, want, (deltaMax-1)*100)
 		}
 	}
+	// The incremental section's hard floor (sync-vs-rebuild >= 5x) is
+	// enforced by Validate on the fresh report before this diff runs;
+	// here the trajectory is just surfaced.
+	if fresh.Incremental != nil && committed.Incremental != nil {
+		fmt.Fprintf(stderr, "delta %s: incremental sync-vs-rebuild %.0fx fresh vs %.0fx committed\n",
+			fresh.Incremental.Dataset, fresh.Incremental.SpeedupX, committed.Incremental.SpeedupX)
+	}
 	return nil
 }
 
@@ -310,6 +360,103 @@ func benchAlgorithms(runner *experiments.Runner, reps int, stderr io.Writer) ([]
 		out = append(out, ar)
 	}
 	return out, nil
+}
+
+// prefixDataset builds a standalone dataset holding d's first n claims,
+// on d's full interned name space so ids line up across prefixes. A
+// fresh dataset per prefix matters: a Dataset pins its compiled index on
+// first use, so the growing versions must never share one value.
+func prefixDataset(d *truthdata.Dataset, n int) (*truthdata.Dataset, error) {
+	b := truthdata.NewBuilder(d.Name)
+	for _, s := range d.Sources {
+		b.Source(s)
+	}
+	for _, o := range d.Objects {
+		b.Object(o)
+	}
+	for _, a := range d.Attrs {
+		b.Attr(a)
+	}
+	for _, c := range d.Claims[:n] {
+		b.ClaimIDs(c.Source, c.Object, c.Attr, c.Value)
+	}
+	for cell, v := range d.Truth {
+		b.TruthIDs(cell.Object, cell.Attr, v)
+	}
+	return b.Build()
+}
+
+// prologuePhases are the cold-path phases the incremental sync replaces.
+var prologuePhases = []obs.Phase{
+	obs.PhaseIndex,
+	obs.PhaseReference,
+	obs.PhaseTruthVectors,
+	obs.PhaseDistanceMatrix,
+}
+
+// benchIncremental times the incremental discovery path on DS1: prime a
+// state on all but the last few claims, then append the held-out claims
+// one at a time, discovering each version warm (through the state) and
+// cold, comparing the warm sync against the cold prologue rebuild.
+// Appends double as repetitions, so no extra reps knob.
+func benchIncremental(runner *experiments.Runner) (*IncrementalResult, error) {
+	const (
+		id      = "DS1"
+		appends = 8
+	)
+	d, err := runner.Dataset(id)
+	if err != nil {
+		return nil, err
+	}
+	total := d.NumClaims()
+	if total <= appends {
+		return nil, fmt.Errorf("%s has only %d claims, need > %d", id, total, appends)
+	}
+	base, err := prefixDataset(d, total-appends)
+	if err != nil {
+		return nil, err
+	}
+	st := tdac.NewIncrementalState()
+	if _, err := tdac.Discover(base, tdac.WithSeed(1), tdac.WithIncremental(st)); err != nil {
+		return nil, fmt.Errorf("priming on %s: %w", id, err)
+	}
+	var syncs, rebuilds, warms, colds []time.Duration
+	for n := total - appends + 1; n <= total; n++ {
+		dv, err := prefixDataset(d, n)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		warm, err := tdac.Discover(dv, tdac.WithSeed(1), tdac.WithIncremental(st), tdac.WithStats())
+		if err != nil {
+			return nil, fmt.Errorf("incremental on %s[:%d]: %w", id, n, err)
+		}
+		warms = append(warms, time.Since(start))
+		syncs = append(syncs, warm.Stats.PhaseDuration(obs.PhaseIncrementalSync))
+		start = time.Now()
+		cold, err := tdac.Discover(dv, tdac.WithSeed(1), tdac.WithReference("MajorityVote"), tdac.WithStats())
+		if err != nil {
+			return nil, fmt.Errorf("cold on %s[:%d]: %w", id, n, err)
+		}
+		colds = append(colds, time.Since(start))
+		var rebuild time.Duration
+		for _, p := range prologuePhases {
+			rebuild += cold.Stats.PhaseDuration(p)
+		}
+		rebuilds = append(rebuilds, rebuild)
+	}
+	ir := &IncrementalResult{
+		Dataset:       id,
+		Appends:       appends,
+		ColdRebuildMS: medianMS(rebuilds),
+		AppendSyncMS:  medianMS(syncs),
+		TotalColdMS:   medianMS(colds),
+		TotalWarmMS:   medianMS(warms),
+	}
+	if ir.AppendSyncMS > 0 {
+		ir.SpeedupX = ir.ColdRebuildMS / ir.AppendSyncMS
+	}
+	return ir, nil
 }
 
 // benchConfig runs TD-AC reps times on one dataset with stats collection
@@ -467,12 +614,14 @@ func medianInt(xs []int) int {
 	return mid
 }
 
-// Validate checks a serialized report against the tdac-bench/3 schema:
+// Validate checks a serialized report against the tdac-bench/4 schema:
 // the version marker, at least one config, for every config a complete
 // per-phase median map plus sane totals, a non-empty per-algorithm
-// section with positive timings, and a wal section with positive ingest
-// timings. CI runs this against the committed BENCH_tdac.json so schema
-// drift fails fast.
+// section with positive timings, an incremental section whose warm
+// appends beat cold runs by at least 5x, and a wal section with positive
+// ingest timings. CI runs this against the committed BENCH_tdac.json so
+// schema drift — or an incremental path that stopped paying for itself —
+// fails fast.
 func Validate(raw []byte) error {
 	var r Report
 	dec := json.NewDecoder(strings.NewReader(string(raw)))
@@ -521,6 +670,28 @@ func Validate(raw []byte) error {
 		if a.SpeedupX <= 0 {
 			return fmt.Errorf("schema %s: algorithms: %s: non-positive speedup_x", Schema, a.Algorithm)
 		}
+	}
+	if r.Incremental == nil {
+		return fmt.Errorf("schema %s: missing incremental section", Schema)
+	}
+	if r.Incremental.Dataset == "" || r.Incremental.Appends < 1 {
+		return fmt.Errorf("schema %s: incremental: missing dataset/appends", Schema)
+	}
+	if r.Incremental.ColdRebuildMS <= 0 || r.Incremental.AppendSyncMS <= 0 ||
+		r.Incremental.TotalColdMS <= 0 || r.Incremental.TotalWarmMS <= 0 {
+		return fmt.Errorf("schema %s: incremental: non-positive timings", Schema)
+	}
+	// The whole point of the incremental path is replacing the cold
+	// prologue rebuild with a patch of the appended claim's cells; if a
+	// single-claim sync is within 5x of the rebuild it replaces,
+	// something structural regressed.
+	if r.Incremental.SpeedupX < 5 {
+		return fmt.Errorf("schema %s: incremental: sync-vs-rebuild speedup %.2fx, want >= 5x",
+			Schema, r.Incremental.SpeedupX)
+	}
+	if r.Incremental.TotalWarmMS > r.Incremental.TotalColdMS {
+		return fmt.Errorf("schema %s: incremental: warm end-to-end %.2fms slower than cold %.2fms",
+			Schema, r.Incremental.TotalWarmMS, r.Incremental.TotalColdMS)
 	}
 	if r.WAL == nil {
 		return fmt.Errorf("schema %s: missing wal section", Schema)

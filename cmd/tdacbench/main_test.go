@@ -26,8 +26,9 @@ func TestSmokeRunEmitsValidReport(t *testing.T) {
 	if err := Validate(raw); err != nil {
 		t.Fatalf("generated report invalid: %v\n%s", err, raw)
 	}
-	for _, want := range []string{`"schema": "tdac-bench/3"`, `"dataset": "DS1"`, `"dataset": "exam62-r25"`, `"k-sweep"`,
+	for _, want := range []string{`"schema": "tdac-bench/4"`, `"dataset": "DS1"`, `"dataset": "exam62-r25"`, `"k-sweep"`,
 		`"index"`, `"indexed_median_ms"`, `"naive_median_ms"`, `"speedup_x"`,
+		`"cold_rebuild_ms"`, `"append_sync_ms"`,
 		`"ingest_off_median_ms"`, `"ingest_on_median_ms"`, `"overhead_x"`} {
 		if !strings.Contains(string(raw), want) {
 			t.Errorf("report missing %s:\n%s", want, raw)
@@ -87,7 +88,7 @@ func TestCheckDelta(t *testing.T) {
 // must fail.
 func TestValidateRejectsDrift(t *testing.T) {
 	valid := `{
-	  "schema": "tdac-bench/3", "base": "Accu", "full": false, "reps": 1,
+	  "schema": "tdac-bench/4", "base": "Accu", "full": false, "reps": 1,
 	  "configs": [{
 	    "dataset": "DS1", "attrs": 12, "sources": 30, "objects": 150, "claims": 5000,
 	    "phase_median_ms": {"index": 1, "reference": 1, "truth-vectors": 1, "distance-matrix": 1,
@@ -96,6 +97,9 @@ func TestValidateRejectsDrift(t *testing.T) {
 	  }],
 	  "algorithms": [{"algorithm": "Accu", "dataset": "DS1",
 	                  "indexed_median_ms": 1.5, "naive_median_ms": 4.5, "speedup_x": 3}],
+	  "incremental": {"dataset": "DS1", "appends": 8,
+	                  "cold_rebuild_ms": 5, "append_sync_ms": 0.02, "speedup_x": 250,
+	                  "total_cold_ms": 14, "total_warm_ms": 9},
 	  "wal": {"batches": 32, "claims_per_batch": 25, "fsync": "always",
 	          "ingest_off_median_ms": 2.5, "ingest_on_median_ms": 9.1, "overhead_x": 3.64}
 	}`
@@ -103,7 +107,7 @@ func TestValidateRejectsDrift(t *testing.T) {
 		t.Fatalf("baseline document rejected: %v", err)
 	}
 	cases := map[string]string{
-		"old version":       strings.Replace(valid, "tdac-bench/3", "tdac-bench/2", 1),
+		"old version":       strings.Replace(valid, "tdac-bench/4", "tdac-bench/3", 1),
 		"missing phase":     strings.Replace(valid, `"k-sweep": 1,`, "", 1),
 		"missing index":     strings.Replace(valid, `"index": 1,`, "", 1),
 		"unknown field":     strings.Replace(valid, `"reps": 1,`, `"reps": 1, "surprise": true,`, 1),
@@ -115,6 +119,10 @@ func TestValidateRejectsDrift(t *testing.T) {
 		"no algorithms":     strings.Replace(valid, `"algorithms": [{`, `"algorithms": [], "were": [{`, 1),
 		"zero indexed time": strings.Replace(valid, `"indexed_median_ms": 1.5`, `"indexed_median_ms": 0`, 1),
 		"zero speedup":      strings.Replace(valid, `"speedup_x": 3`, `"speedup_x": 0`, 1),
+		"missing incr":      strings.Replace(valid, `"incremental": {`, `"incr2": {`, 1),
+		"zero sync time":    strings.Replace(valid, `"append_sync_ms": 0.02`, `"append_sync_ms": 0`, 1),
+		"low incr speedup":  strings.Replace(valid, `"speedup_x": 250`, `"speedup_x": 4.9`, 1),
+		"warm beats cold":   strings.Replace(valid, `"total_warm_ms": 9`, `"total_warm_ms": 15`, 1),
 		"missing wal":       strings.Replace(valid, `"wal": {`, `"wal2": {`, 1),
 		"zero wal timing":   strings.Replace(valid, `"ingest_on_median_ms": 9.1`, `"ingest_on_median_ms": 0`, 1),
 		"no fsync mode":     strings.Replace(valid, `"fsync": "always"`, `"fsync": ""`, 1),

@@ -8,7 +8,8 @@
 //
 //	tdacd [-addr :8321] [-load name=claims.csv]... [-truth name=truth.csv]...
 //	      [-workers n] [-queue n] [-job-timeout 5m] [-request-timeout 30s]
-//	      [-max-body bytes] [-max-datasets n] [-drain 15s] [-pprof]
+//	      [-event-heartbeat 15s] [-max-body bytes] [-max-datasets n]
+//	      [-drain 15s] [-pprof]
 //
 // The API (all JSON; every error is {"error": "..."}):
 //
@@ -19,6 +20,7 @@
 //	POST   /v1/datasets/{name}/discover  enqueue an async discovery job
 //	GET    /v1/jobs                      list jobs
 //	GET    /v1/jobs/{id}                 poll one job (result when done)
+//	GET    /v1/jobs/{id}/events          stream job events (SSE, resumable)
 //	DELETE /v1/jobs/{id}                 cancel a queued or running job
 //	GET    /healthz /readyz /metrics     liveness / backpressure / counters
 //
@@ -82,7 +84,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		queue       = fs.Int("queue", 64, "job queue capacity (backpressure bound)")
 		maxJobs     = fs.Int("max-jobs", 1000, "finished jobs retained for polling")
 		jobTimeout  = fs.Duration("job-timeout", 5*time.Minute, "per-job deadline (and cap on requested deadlines)")
-		reqTimeout  = fs.Duration("request-timeout", 30*time.Second, "per-request deadline")
+		reqTimeout  = fs.Duration("request-timeout", 30*time.Second, "per-request deadline (event streams are exempt)")
+		heartbeat   = fs.Duration("event-heartbeat", 15*time.Second, "keep-alive comment period on idle event streams")
 		maxBody     = fs.Int64("max-body", 8<<20, "request body size limit in bytes")
 		maxDatasets = fs.Int("max-datasets", 256, "dataset registry capacity")
 		drain       = fs.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
@@ -127,6 +130,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		MaxJobs:        *maxJobs,
 		JobTimeout:     *jobTimeout,
 		RequestTimeout: *reqTimeout,
+		EventHeartbeat: *heartbeat,
 		MaxBodyBytes:   *maxBody,
 		MaxDatasets:    *maxDatasets,
 		EnablePprof:    *pprofOn,

@@ -24,6 +24,9 @@ type PackedVectors struct {
 	// a set bit means "coordinate observed". Padding bits are zero, so
 	// they never count as observed.
 	present []uint64
+	// missing is the coordinate marker PackMasked encoded as
+	// "unobserved"; meaningful only when present is non-nil.
+	missing float64
 }
 
 // Masked reports whether the vectors carry a presence plane.
@@ -60,6 +63,7 @@ func pack(points [][]float64, missingPtr *float64, missing float64) (*PackedVect
 	}
 	if missingPtr != nil {
 		pv.present = make([]uint64, len(points)*words)
+		pv.missing = missing
 	}
 	for i, p := range points {
 		if len(p) != dim {
@@ -89,6 +93,49 @@ func pack(points [][]float64, missingPtr *float64, missing float64) (*PackedVect
 		}
 	}
 	return pv, true
+}
+
+// SetRow repacks vector i from p, overwriting its value (and, on masked
+// encodings, presence) words — the dirty-row primitive of incremental
+// discovery: when one attribute's truth vector changes, only its row is
+// repacked instead of rebuilding all planes. The packing rules are
+// exactly pack()'s, so a PackedVectors maintained row-by-row is
+// bit-identical to one built fresh by PackBinary/PackMasked over the
+// same vectors. It reports false (leaving the row unchanged) when p has
+// the wrong dimension or contains a coordinate the encoding cannot
+// represent.
+func (pv *PackedVectors) SetRow(i int, p []float64) bool {
+	if i < 0 || i >= pv.N || len(p) != pv.Dim {
+		return false
+	}
+	words := pv.Words
+	row := make([]uint64, words)
+	var presRow []uint64
+	if pv.present != nil {
+		presRow = make([]uint64, words)
+	}
+	for j, x := range p {
+		switch {
+		case x == 1:
+			row[j/64] |= 1 << (uint(j) % 64)
+			if presRow != nil {
+				presRow[j/64] |= 1 << (uint(j) % 64)
+			}
+		case x == 0:
+			if presRow != nil {
+				presRow[j/64] |= 1 << (uint(j) % 64)
+			}
+		case presRow != nil && x == pv.missing:
+			// The encoding's missing marker: value bit 0, presence bit 0.
+		default:
+			return false
+		}
+	}
+	copy(pv.values[i*words:(i+1)*words], row)
+	if presRow != nil {
+		copy(pv.present[i*words:(i+1)*words], presRow)
+	}
+	return true
 }
 
 // HammingInt returns the number of differing coordinates between vectors

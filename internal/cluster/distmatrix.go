@@ -60,6 +60,30 @@ func NewDistMatrixPacked(pv *PackedVectors) *DistMatrix {
 	return m
 }
 
+// UpdateRowsPacked recomputes the matrix entries touched by the dirty
+// rows of pv: every pair (i, j) with dirty[i] or dirty[j] is re-derived
+// from the packed planes; clean pairs are left untouched. This is the
+// incremental-discovery path: after an append flips a handful of
+// attribute truth vectors, only those rows and columns of the flat
+// upper-triangular storage are recomputed. Each recomputed entry runs
+// the exact kernel NewDistMatrixPacked runs, so a matrix maintained
+// through UpdateRowsPacked is bit-identical to one built cold from the
+// same packed vectors. It reports false (matrix unchanged) when the
+// shapes disagree.
+func (m *DistMatrix) UpdateRowsPacked(pv *PackedVectors, dirty []bool) bool {
+	if pv == nil || pv.N != m.N || len(dirty) != m.N {
+		return false
+	}
+	for i := 0; i < m.N; i++ {
+		for j := i + 1; j < m.N; j++ {
+			if dirty[i] || dirty[j] {
+				m.Tri[triIndex(m.N, i, j)] = pv.Distance(i, j)
+			}
+		}
+	}
+	return true
+}
+
 // SilhouetteFromDistMatrix is Silhouette over a shared flat distance
 // matrix; it matches SilhouetteFromMatrix bit-for-bit on equal inputs.
 func SilhouetteFromDistMatrix(m *DistMatrix, assign []int, k int) float64 {

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tdac/internal/algorithms"
+	"tdac/internal/cluster"
+	"tdac/internal/synth"
+	"tdac/internal/truthdata"
+)
+
+// extendDataset builds a structural prefix-extension of prev, the way
+// the server registry's append path does: shared name-table and claim
+// prefixes, new entries and claims appended.
+func extendDataset(prev *truthdata.Dataset, newSources, newObjects, newAttrs []string, claims []truthdata.Claim) *truthdata.Dataset {
+	next := &truthdata.Dataset{
+		Name:    prev.Name,
+		Sources: append(append([]string(nil), prev.Sources...), newSources...),
+		Objects: append(append([]string(nil), prev.Objects...), newObjects...),
+		Attrs:   append(append([]string(nil), prev.Attrs...), newAttrs...),
+		Claims:  append(append([]truthdata.Claim(nil), prev.Claims...), claims...),
+		Truth:   prev.Truth,
+	}
+	return next
+}
+
+func incrementalTDAC() *TDAC {
+	return &TDAC{
+		Base:      algorithms.NewMajorityVote(),
+		Reference: algorithms.NewMajorityVote(),
+		Workers:   1,
+	}
+}
+
+// assertOutcomesIdentical compares everything the public Result is
+// built from, bit-for-bit.
+func assertOutcomesIdentical(t *testing.T, label string, cold, incr *Outcome) {
+	t.Helper()
+	if !cold.Partition.Equal(incr.Partition) {
+		t.Fatalf("%s: partition cold %s != incremental %s", label, cold.Partition, incr.Partition)
+	}
+	if cold.Silhouette != incr.Silhouette {
+		t.Fatalf("%s: silhouette cold %v != incremental %v", label, cold.Silhouette, incr.Silhouette)
+	}
+	if len(cold.Explored) != len(incr.Explored) {
+		t.Fatalf("%s: explored %d ks cold, %d incremental", label, len(cold.Explored), len(incr.Explored))
+	}
+	for i := range cold.Explored {
+		if cold.Explored[i] != incr.Explored[i] {
+			t.Fatalf("%s: explored[%d] cold %+v != incremental %+v", label, i, cold.Explored[i], incr.Explored[i])
+		}
+	}
+	if len(cold.Truth) != len(incr.Truth) {
+		t.Fatalf("%s: truth sizes %d != %d", label, len(cold.Truth), len(incr.Truth))
+	}
+	for cell, v := range cold.Truth {
+		if got, ok := incr.Truth[cell]; !ok || got != v {
+			t.Fatalf("%s: truth[%v] cold %q != incremental %q (present %v)", label, cell, v, got, ok)
+		}
+	}
+	if len(cold.Confidence) != len(incr.Confidence) {
+		t.Fatalf("%s: confidence sizes %d != %d", label, len(cold.Confidence), len(incr.Confidence))
+	}
+	for cell, v := range cold.Confidence {
+		if got := incr.Confidence[cell]; got != v {
+			t.Fatalf("%s: confidence[%v] cold %v != incremental %v", label, cell, v, got)
+		}
+	}
+	if len(cold.Trust) != len(incr.Trust) {
+		t.Fatalf("%s: trust lengths %d != %d", label, len(cold.Trust), len(incr.Trust))
+	}
+	for s := range cold.Trust {
+		if cold.Trust[s] != incr.Trust[s] {
+			t.Fatalf("%s: trust[%d] cold %v != incremental %v", label, s, cold.Trust[s], incr.Trust[s])
+		}
+	}
+	// The incremental reference carries the same truth the cold
+	// reference run predicted (Trust/Confidence intentionally omitted).
+	if len(cold.ReferenceResult.Truth) != len(incr.ReferenceResult.Truth) {
+		t.Fatalf("%s: reference truth sizes %d != %d", label, len(cold.ReferenceResult.Truth), len(incr.ReferenceResult.Truth))
+	}
+	for cell, v := range cold.ReferenceResult.Truth {
+		if got := incr.ReferenceResult.Truth[cell]; got != v {
+			t.Fatalf("%s: reference truth[%v] cold %q != incremental %q", label, cell, v, got)
+		}
+	}
+}
+
+func TestIncrementalMatchesColdAcrossAppends(t *testing.T) {
+	g, err := synth.Generate(synth.DS1().Scaled(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Dataset
+	ctx := context.Background()
+	st := NewIncrementalState()
+
+	// Seed an append pool: extra claims over existing ids with values
+	// engineered to flip some majority winners.
+	rng := rand.New(rand.NewSource(7))
+	versions := []*truthdata.Dataset{d}
+	cur := d
+	for v := 0; v < 4; v++ {
+		batch := make([]truthdata.Claim, 0, 3)
+		for i := 0; i < 1+v%3; i++ {
+			c := cur.Claims[rng.Intn(len(cur.Claims))]
+			// Re-claim an existing cell from a likely-new source with a
+			// contested value; exact duplicates are legal and exercised.
+			c.Source = truthdata.SourceID(rng.Intn(len(cur.Sources)))
+			if rng.Intn(3) == 0 {
+				c.Value = "contested"
+			}
+			if hasConflict(cur, batch, c) {
+				continue
+			}
+			batch = append(batch, c)
+		}
+		cur = extendDataset(cur, nil, nil, nil, batch)
+		if err := cur.Validate(); err != nil {
+			t.Fatalf("version %d invalid: %v", v+1, err)
+		}
+		versions = append(versions, cur)
+	}
+
+	for vi, ver := range versions {
+		cold, err := incrementalTDAC().RunContext(ctx, ver)
+		if err != nil {
+			t.Fatalf("cold run on version %d: %v", vi, err)
+		}
+		incr, err := incrementalTDAC().RunWithState(ctx, ver, st)
+		if err != nil {
+			t.Fatalf("incremental run on version %d: %v", vi, err)
+		}
+		assertOutcomesIdentical(t, ver.Name, cold, incr)
+	}
+	c := st.Counters()
+	if c.Primes != 1 {
+		t.Errorf("Primes = %d, want 1 (only the first version pays the cold cost)", c.Primes)
+	}
+	if c.Appends != len(versions)-1 {
+		t.Errorf("Appends = %d, want %d", c.Appends, len(versions)-1)
+	}
+	if c.Rebuilds != 0 {
+		t.Errorf("Rebuilds = %d, want 0 (no shape growth in this test)", c.Rebuilds)
+	}
+}
+
+// hasConflict reports whether adding c to cur+batch would give one
+// source two different values for a cell (an invalid dataset).
+func hasConflict(cur *truthdata.Dataset, batch []truthdata.Claim, c truthdata.Claim) bool {
+	for _, e := range cur.Claims {
+		if e.Source == c.Source && e.Cell() == c.Cell() && e.Value != c.Value {
+			return true
+		}
+	}
+	for _, e := range batch {
+		if e.Source == c.Source && e.Cell() == c.Cell() && e.Value != c.Value {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIncrementalShapeGrowthRebuildsAndMatches(t *testing.T) {
+	g, err := synth.Generate(synth.DS2().Scaled(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Dataset
+	ctx := context.Background()
+	st := NewIncrementalState()
+	if _, err := incrementalTDAC().RunWithState(ctx, d, st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow every identifier space at once.
+	nS, nO, nA := d.NumSources(), d.NumObjects(), d.NumAttrs()
+	next := extendDataset(d, []string{"new-source"}, []string{"new-object"}, []string{"new-attr"}, []truthdata.Claim{
+		{Source: truthdata.SourceID(nS), Object: truthdata.ObjectID(nO), Attr: truthdata.AttrID(nA), Value: "x"},
+		{Source: 0, Object: truthdata.ObjectID(nO), Attr: 0, Value: "y"},
+	})
+	if err := next.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := incrementalTDAC().RunContext(ctx, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := incrementalTDAC().RunWithState(ctx, next, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertOutcomesIdentical(t, "shape-growth", cold, incr)
+	c := st.Counters()
+	if c.Rebuilds != 1 {
+		t.Errorf("Rebuilds = %d, want 1 (shape growth forces a geometry rebuild)", c.Rebuilds)
+	}
+	if c.Appends != 1 {
+		t.Errorf("Appends = %d, want 1 (vote state still advanced incrementally)", c.Appends)
+	}
+}
+
+func TestIncrementalNonExtensionFallsBackToPrime(t *testing.T) {
+	g1, err := synth.Generate(synth.DS1().Scaled(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := synth.Generate(synth.DS3().Scaled(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	st := NewIncrementalState()
+	if _, err := incrementalTDAC().RunWithState(ctx, g1.Dataset, st); err != nil {
+		t.Fatal(err)
+	}
+	// An unrelated dataset is not an extension: the state must re-prime
+	// and still produce the cold result.
+	cold, err := incrementalTDAC().RunContext(ctx, g2.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := incrementalTDAC().RunWithState(ctx, g2.Dataset, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertOutcomesIdentical(t, "non-extension", cold, incr)
+	if c := st.Counters(); c.Primes != 2 {
+		t.Errorf("Primes = %d, want 2 (fallback re-primes)", c.Primes)
+	}
+}
+
+func TestIncrementalConfigRejected(t *testing.T) {
+	g, err := synth.Generate(synth.DS1().Scaled(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Dataset
+	ctx := context.Background()
+	cases := map[string]*TDAC{
+		"masked":        {Base: algorithms.NewMajorityVote(), Reference: algorithms.NewMajorityVote(), Masked: true},
+		"projection":    {Base: algorithms.NewMajorityVote(), Reference: algorithms.NewMajorityVote(), ProjectDim: 8},
+		"distance":      {Base: algorithms.NewMajorityVote(), Reference: algorithms.NewMajorityVote(), Distance: cluster.Euclidean{}},
+		"reference":     {Base: algorithms.NewMajorityVote(), Reference: algorithms.NewAccu()},
+		"base-fallback": {Base: algorithms.NewAccu()}, // nil reference defaults to a non-MajorityVote base
+	}
+	for name, cfg := range cases {
+		if _, err := cfg.RunWithState(ctx, d, NewIncrementalState()); err == nil {
+			t.Errorf("%s: RunWithState accepted an incompatible configuration", name)
+		}
+	}
+	if _, err := incrementalTDAC().RunWithState(ctx, d, nil); err == nil {
+		t.Error("RunWithState accepted a nil state")
+	}
+}
+
+func TestIncrementalSnapshotRestore(t *testing.T) {
+	g, err := synth.Generate(synth.DS1().Scaled(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Dataset
+	ctx := context.Background()
+	st := NewIncrementalState()
+	if _, err := incrementalTDAC().RunWithState(ctx, d, st); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	if snap == nil {
+		t.Fatal("Snapshot returned nil after a sync")
+	}
+
+	restored, err := RestoreState(d, snap)
+	if err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if c := restored.Counters(); c.Restores != 1 {
+		t.Errorf("Restores = %d, want 1", c.Restores)
+	}
+
+	// The restored state must continue incrementally and bit-identically.
+	next := extendDataset(d, nil, nil, nil, []truthdata.Claim{
+		{Source: 1, Object: 2, Attr: 0, Value: "contested"},
+	})
+	if err := next.Validate(); err != nil {
+		next = extendDataset(d, nil, nil, nil, nil) // claim conflicted; append nothing
+	}
+	cold, err := incrementalTDAC().RunContext(ctx, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := incrementalTDAC().RunWithState(ctx, next, restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertOutcomesIdentical(t, "restored", cold, incr)
+	if c := restored.Counters(); c.Primes != 0 {
+		t.Errorf("Primes = %d, want 0 (restore + append must avoid cold runs)", c.Primes)
+	}
+
+	// Tampered snapshots are rejected, never silently accepted.
+	bad := *snap
+	bad.Claims++
+	if _, err := RestoreState(d, &bad); err == nil {
+		t.Error("RestoreState accepted a snapshot with a wrong claim count")
+	}
+	bad = *snap
+	bad.Truth = append([]StateCell(nil), snap.Truth...)
+	if len(bad.Truth) > 0 {
+		bad.Truth[0].Value += "-tampered"
+		if _, err := RestoreState(d, &bad); err == nil {
+			t.Error("RestoreState accepted a truth entry disagreeing with its votes")
+		}
+	}
+	if _, err := RestoreState(d, nil); err == nil {
+		t.Error("RestoreState accepted a nil snapshot")
+	}
+}
+
+// FuzzIncrementalAppend drives one IncrementalState through a random
+// interleaving of appends (new claims, duplicates, shape growth) and
+// discoveries, comparing every discovery bit-for-bit against a cold
+// rebuild oracle over the same version.
+func FuzzIncrementalAppend(f *testing.F) {
+	f.Add(int64(1), []byte{0, 1, 2, 3})
+	f.Add(int64(42), []byte{9, 9, 9, 0, 0, 1})
+	f.Add(int64(-7), []byte{255, 128, 7, 3, 64, 0, 11, 2})
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		if len(script) > 24 {
+			script = script[:24]
+		}
+		rng := rand.New(rand.NewSource(seed))
+
+		// A small structured base so the sweep has a real landscape.
+		g, err := synth.Generate(synth.Config{
+			Name:           "fuzz",
+			Attrs:          5,
+			Objects:        8,
+			Sources:        4,
+			GroupSizes:     []int{3, 2},
+			M1:             1.0,
+			M2:             0.2,
+			M3:             1.0,
+			FalseValues:    3,
+			DistractorProb: 0.5,
+			Coverage:       0.8,
+			Seed:           seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := g.Dataset
+		if len(cur.Claims) == 0 {
+			t.Skip("empty base")
+		}
+		ctx := context.Background()
+		st := NewIncrementalState()
+		values := []string{"v0", "v1", "v2"}
+
+		discover := func(label byte) {
+			cold, err := incrementalTDAC().RunContext(ctx, cur)
+			if err != nil {
+				t.Fatalf("cold run (step %d): %v", label, err)
+			}
+			incr, err := incrementalTDAC().RunWithState(ctx, cur, st)
+			if err != nil {
+				t.Fatalf("incremental run (step %d): %v", label, err)
+			}
+			assertOutcomesIdentical(t, "fuzz", cold, incr)
+		}
+
+		for _, op := range script {
+			switch op % 4 {
+			case 0: // discover and compare
+				discover(op)
+			case 1: // append claims over existing ids
+				n := 1 + int(op/4)%3
+				batch := make([]truthdata.Claim, 0, n)
+				for i := 0; i < n; i++ {
+					c := truthdata.Claim{
+						Source: truthdata.SourceID(rng.Intn(len(cur.Sources))),
+						Object: truthdata.ObjectID(rng.Intn(len(cur.Objects))),
+						Attr:   truthdata.AttrID(rng.Intn(len(cur.Attrs))),
+						Value:  values[rng.Intn(len(values))],
+					}
+					if hasConflict(cur, batch, c) {
+						continue
+					}
+					batch = append(batch, c)
+				}
+				cur = extendDataset(cur, nil, nil, nil, batch)
+			case 2: // duplicate an existing claim verbatim
+				c := cur.Claims[rng.Intn(len(cur.Claims))]
+				cur = extendDataset(cur, nil, nil, nil, []truthdata.Claim{c})
+			case 3: // grow a random identifier space
+				var next *truthdata.Dataset
+				switch op / 4 % 3 {
+				case 0:
+					s := truthdata.SourceID(len(cur.Sources))
+					next = extendDataset(cur, []string{fmt.Sprintf("s-new-%d", s)}, nil, nil, []truthdata.Claim{
+						{Source: s, Object: truthdata.ObjectID(rng.Intn(len(cur.Objects))), Attr: truthdata.AttrID(rng.Intn(len(cur.Attrs))), Value: values[0]},
+					})
+				case 1:
+					o := truthdata.ObjectID(len(cur.Objects))
+					next = extendDataset(cur, nil, []string{fmt.Sprintf("o-new-%d", o)}, nil, []truthdata.Claim{
+						{Source: truthdata.SourceID(rng.Intn(len(cur.Sources))), Object: o, Attr: truthdata.AttrID(rng.Intn(len(cur.Attrs))), Value: values[1]},
+					})
+				default:
+					a := truthdata.AttrID(len(cur.Attrs))
+					next = extendDataset(cur, nil, nil, []string{fmt.Sprintf("a-new-%d", a)}, []truthdata.Claim{
+						{Source: truthdata.SourceID(rng.Intn(len(cur.Sources))), Object: truthdata.ObjectID(rng.Intn(len(cur.Objects))), Attr: a, Value: values[2]},
+					})
+				}
+				cur = next
+			}
+			if err := cur.Validate(); err != nil {
+				t.Fatalf("fuzz generated an invalid dataset: %v", err)
+			}
+		}
+		discover(255)
+	})
+}

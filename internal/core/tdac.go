@@ -256,21 +256,50 @@ func (t *TDAC) workerCount() int {
 // order afterwards, so the outcome is bit-identical to the sequential
 // sweep. Cancellation is honoured at k granularity.
 func (t *TDAC) SelectPartition(ctx context.Context, tv *TruthVectors, nAttrs int) (partition.Partition, float64, []KScore, error) {
-	minK := t.MinK
-	if minK < 2 {
-		minK = 2
-	}
-	maxK := t.MaxK
-	if maxK == 0 || maxK > nAttrs-1 {
-		maxK = nAttrs - 1
-	}
+	minK, maxK := t.kRange(nAttrs)
 	if minK > maxK {
 		return partition.Whole(nAttrs), 0, nil, nil
 	}
+	g, err := t.buildGeometry(tv)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return t.sweepPartition(ctx, g, minK, maxK)
+}
 
+// kRange resolves the explored cluster-count bounds for nAttrs
+// attributes; an inverted pair means the sweep is skipped entirely.
+func (t *TDAC) kRange(nAttrs int) (minK, maxK int) {
+	minK = t.MinK
+	if minK < 2 {
+		minK = 2
+	}
+	maxK = t.MaxK
+	if maxK == 0 || maxK > nAttrs-1 {
+		maxK = nAttrs - 1
+	}
+	return minK, maxK
+}
+
+// geometry is the clustering input SelectPartition derives from the
+// truth vectors once per run: the (possibly projected) vectors, the
+// resolved distance, and the packed planes plus shared flat distance
+// matrix when the popcount kernels apply. The incremental path keeps a
+// geometry alive across dataset versions and repairs only dirty rows,
+// then feeds it to the same sweep.
+type geometry struct {
+	tv         *TruthVectors
+	dist       cluster.Distance
+	packed     *cluster.PackedVectors
+	distMatrix *cluster.DistMatrix
+}
+
+// buildGeometry resolves projection and distance defaults for tv and
+// materialises the packed planes and shared distance matrix.
+func (t *TDAC) buildGeometry(tv *TruthVectors) (*geometry, error) {
 	if t.ProjectDim > 0 {
 		if t.Masked {
-			return nil, 0, nil, fmt.Errorf("core: ProjectDim is incompatible with Masked (the mask markers do not survive projection)")
+			return nil, fmt.Errorf("core: ProjectDim is incompatible with Masked (the mask markers do not survive projection)")
 		}
 		seed := t.KMeans.Seed
 		if seed == 0 {
@@ -278,7 +307,7 @@ func (t *TDAC) SelectPartition(ctx context.Context, tv *TruthVectors, nAttrs int
 		}
 		projected, err := cluster.RandomProjection(tv.Vectors, t.ProjectDim, seed)
 		if err != nil {
-			return nil, 0, nil, fmt.Errorf("core: projecting truth vectors: %w", err)
+			return nil, fmt.Errorf("core: projecting truth vectors: %w", err)
 		}
 		tv = &TruthVectors{Vectors: projected, Dim: len(projected[0])}
 	}
@@ -325,6 +354,17 @@ func (t *TDAC) SelectPartition(ctx context.Context, tv *TruthVectors, nAttrs int
 		Packed: packed != nil,
 		Masked: packed != nil && packed.Masked(),
 	})
+	return &geometry{tv: tv, dist: dist, packed: packed, distMatrix: distMatrix}, nil
+}
+
+// sweepPartition runs the k-sweep of Algorithm 1 lines 4–18 over a
+// prebuilt geometry. It is shared verbatim by the cold path (geometry
+// built fresh by buildGeometry) and the incremental path (geometry
+// maintained across versions by an IncrementalState): identical
+// geometry in, bit-identical partition out.
+func (t *TDAC) sweepPartition(ctx context.Context, g *geometry, minK, maxK int) (partition.Partition, float64, []KScore, error) {
+	tv, dist, packed, distMatrix := g.tv, g.dist, g.packed, g.distMatrix
+	rec := t.Recorder
 
 	newClusterer := func() cluster.Clusterer {
 		if t.Clusterer != nil {
@@ -362,6 +402,9 @@ func (t *TDAC) SelectPartition(ctx context.Context, tv *TruthVectors, nAttrs int
 		}
 		sil := cluster.SilhouetteFromDistMatrix(distMatrix, c.Assign, k)
 		results[i] = kResult{clustering: c, sil: sil}
+		// Stream the explored k immediately (completion order); the
+		// deterministic per-k table still arrives in bulk via SweepDone.
+		rec.KDone(k, sil)
 		if rec.Enabled() {
 			results[i].dur = time.Since(t0)
 		}

@@ -39,6 +39,11 @@ const (
 	PhaseBaseRuns       Phase = "base-runs"
 	PhaseMerge          Phase = "merge"
 	PhaseDiscover       Phase = "discover"
+	// PhaseIncrementalSync replaces Index/Reference/TruthVectors and the
+	// matrix build on the incremental-discovery path: it covers syncing a
+	// maintained IncrementalState to the dataset version under discovery
+	// (vote deltas, reference-truth repair, dirty-row geometry updates).
+	PhaseIncrementalSync Phase = "incremental-sync"
 )
 
 // PhaseStats is one node of the phase-time tree: a phase and the wall
@@ -207,6 +212,10 @@ type Recorder struct {
 	startMem runtime.MemStats
 	stats    RunStats
 	observer Observer
+	// sink, when non-nil, receives streaming Events (see events.go).
+	// Emission is strictly one-directional, like the observer: the sink
+	// only sees values the pipeline already computed.
+	sink EventSink
 }
 
 // NewRecorder returns an enabled Recorder with an optional observer
@@ -240,11 +249,13 @@ func (r *Recorder) Phase(p Phase) func() {
 	if r == nil {
 		return noop
 	}
+	r.emit(Event{Kind: EventPhaseStart, Phase: p})
 	t0 := time.Now()
 	return func() { r.PhaseDone(p, time.Since(t0)) }
 }
 
-// PhaseDone records one completed phase and notifies the observer.
+// PhaseDone records one completed phase and notifies the observer and
+// the event sink.
 func (r *Recorder) PhaseDone(p Phase, d time.Duration) {
 	if r == nil {
 		return
@@ -256,6 +267,7 @@ func (r *Recorder) PhaseDone(p Phase, d time.Duration) {
 	if obs != nil {
 		obs(p, d)
 	}
+	r.emit(Event{Kind: EventPhaseEnd, Phase: p, Elapsed: d})
 }
 
 // MatrixDone records one distance-matrix build.
@@ -290,6 +302,7 @@ func (r *Recorder) GroupDone(g GroupStats) {
 	r.mu.Lock()
 	r.stats.Groups = append(r.stats.Groups, g)
 	r.mu.Unlock()
+	r.emit(Event{Kind: EventGroup, Group: g.Group, Attrs: g.Attrs, Claims: g.Claims})
 }
 
 // SetParallelGroups marks that the per-group base runs ran concurrently.

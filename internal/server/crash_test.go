@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"tdac"
 	"tdac/internal/fault"
 	"tdac/internal/wal"
 )
@@ -284,6 +285,78 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 			assertRecovered(t, image, acks, ref)
 		})
 	}
+
+	// Crash inside the incremental-state sidecar save (between the
+	// payload write and its sync). The sidecar is a best-effort cache:
+	// the in-flight job must still complete, and after power loss the
+	// recovered server must discard the torn sidecar, prime cold, and
+	// produce results bit-identical to a from-scratch discovery.
+	t.Run("incr-state-write", func(t *testing.T) {
+		mem := fault.NewMem(fault.Config{Seed: 7, CrashAt: "incr.state.write", CrashAtHit: 1})
+		// Real runner (run=nil): the crash point only fires on the real
+		// incremental path.
+		s, err := New(Config{Workers: 1, QueueSize: 8, DataDir: "data", fs: mem, Fsync: wal.SyncAlways})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := s.Registry().Create("incr", smallDataset(t, "incr")); err != nil {
+			t.Fatal(err)
+		}
+		j, err := submitDiscover(t, s, "incr", discoverRequest{Incremental: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, j, JobDone) // the save is best-effort; the crash must not fail the job
+		image := mem.Restart(fault.Config{})
+		{
+			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+			defer cancel()
+			_ = s.Shutdown(ctx)
+		}
+
+		s2, err := New(Config{Workers: 1, QueueSize: 8, DataDir: "data", fs: image, Fsync: wal.SyncAlways})
+		if err != nil {
+			t.Fatalf("recovery failed: %v", err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = s2.Shutdown(ctx)
+		}()
+		snap, err := s2.Registry().Get("incr")
+		if err != nil {
+			t.Fatalf("dataset lost: %v", err)
+		}
+		j2, err := submitDiscover(t, s2, "incr", discoverRequest{Incremental: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, j2, JobDone)
+		outcome, errMsg := j2.Outcome()
+		if errMsg != "" || outcome == nil || outcome.TDAC == nil {
+			t.Fatalf("post-recovery incremental job failed: %q", errMsg)
+		}
+		cold, err := tdac.Discover(snap.Data, tdac.WithReference("MajorityVote"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Wall-clock runtime is the one legitimately nondeterministic
+		// field; everything else must match bit for bit. The engine still
+		// owns outcome (its event hub renders it), so zero a copy.
+		warm := *outcome.TDAC
+		warm.Runtime, cold.Runtime = 0, 0
+		got, err := encodeJSON(renderOutcome(snap.Data, &JobOutcome{TDAC: &warm}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := encodeJSON(renderOutcome(snap.Data, &JobOutcome{TDAC: cold}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("post-crash incremental result diverges from a cold run:\n%s\nvs\n%s", got, want)
+		}
+	})
 }
 
 // TestShutdownRacesCompaction is the S3 satellite: SIGTERM-style

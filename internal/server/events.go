@@ -1,0 +1,347 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tdac/internal/obs"
+	"tdac/internal/sse"
+)
+
+// The job event hub behind GET /v1/jobs/{id}/events: every job owns an
+// append-only, sequence-numbered event backlog (lifecycle transitions,
+// per-phase brackets, per-k sweep progress, per-group completions, and
+// finally the terminal result). Watchers subscribe to a bounded live
+// channel and replay the backlog from any sequence number, which is
+// what makes Last-Event-ID resume exact: a reconnecting client misses
+// nothing and duplicates nothing. Publishing never blocks the pipeline
+// — a subscriber that cannot keep up is evicted (its connection ends;
+// the client reconnects and resumes from its last seen id).
+
+// streamEvent is one entry of a job's event backlog. Seq runs from 1
+// and is the SSE frame id; data is the encoded JSON payload.
+type streamEvent struct {
+	seq      int64
+	name     string
+	data     string
+	terminal bool
+}
+
+// subBuffer sizes a subscriber's live channel. A job's whole event
+// volume is modest (lifecycle + phases + one event per explored k and
+// per group), so only a consumer stalled well past a full backlog's
+// worth of frames gets evicted.
+const subBuffer = 256
+
+// streamSub is one attached watcher. The hub sends on ch and never
+// closes it; stop is closed when the hub evicts the subscriber (slow
+// consumer) or drops the whole stream (job evicted, engine shutdown).
+type streamSub struct {
+	ch   chan streamEvent
+	stop chan struct{}
+}
+
+// jobStream is one job's backlog plus its live subscribers.
+type jobStream struct {
+	mu      sync.Mutex
+	backlog []streamEvent
+	subs    map[*streamSub]struct{}
+	// done marks the terminal event as published: the backlog is
+	// complete and will never grow again.
+	done bool
+}
+
+// eventHub multiplexes per-job streams. All methods are safe for
+// concurrent use; the hub takes no engine or server locks, so it can be
+// called from under them.
+type eventHub struct {
+	mu      sync.Mutex
+	streams map[string]*jobStream
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{streams: make(map[string]*jobStream)}
+}
+
+// stream returns id's stream, creating it on first use.
+func (h *eventHub) stream(id string) *jobStream {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.streams[id]
+	if !ok {
+		st = &jobStream{subs: make(map[*streamSub]struct{})}
+		h.streams[id] = st
+	}
+	return st
+}
+
+// publish appends one event to id's backlog and fans it out to the live
+// subscribers. terminal seals the stream: nothing publishes after it.
+// A subscriber whose channel is full is evicted on the spot instead of
+// blocking the publisher — the pipeline's critical path runs through
+// here via the obs sink.
+func (h *eventHub) publish(id, name, data string, terminal bool) {
+	st := h.stream(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.done {
+		return
+	}
+	ev := streamEvent{seq: int64(len(st.backlog)) + 1, name: name, data: data, terminal: terminal}
+	st.backlog = append(st.backlog, ev)
+	if terminal {
+		st.done = true
+	}
+	for sub := range st.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			// Slow consumer: cut it loose rather than stall discovery.
+			delete(st.subs, sub)
+			close(sub.stop)
+		}
+	}
+}
+
+// subscribe returns the backlog events with seq > after and, when the
+// stream is still open, a registered live subscription (nil once the
+// terminal event is in the returned backlog — the caller has the whole
+// stream already).
+func (h *eventHub) subscribe(id string, after int64) ([]streamEvent, *streamSub) {
+	st := h.stream(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var backlog []streamEvent
+	if after < int64(len(st.backlog)) {
+		backlog = append(backlog, st.backlog[after:]...)
+	}
+	if st.done {
+		return backlog, nil
+	}
+	sub := &streamSub{ch: make(chan streamEvent, subBuffer), stop: make(chan struct{})}
+	st.subs[sub] = struct{}{}
+	return backlog, sub
+}
+
+// unsubscribe detaches sub from id's stream (no-op if already evicted).
+func (h *eventHub) unsubscribe(id string, sub *streamSub) {
+	st := h.stream(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.subs, sub)
+}
+
+// drop forgets id's stream when the engine evicts the job from its
+// bounded history. Jobs are only ever evicted terminal, and the
+// terminal event is published before eviction can see the job, so an
+// attached watcher has the terminal frame in hand (or in its channel)
+// by the time its stop closes — the stream ends with the result, never
+// with a silent hang.
+func (h *eventHub) drop(id string) {
+	h.mu.Lock()
+	st, ok := h.streams[id]
+	if ok {
+		delete(h.streams, id)
+	}
+	h.mu.Unlock()
+	if !ok {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.done = true
+	for sub := range st.subs {
+		delete(st.subs, sub)
+		close(sub.stop)
+	}
+}
+
+// closeAll kicks every subscriber of every stream (engine shutdown, after
+// the drain: every job is terminal, so every backlog is sealed).
+func (h *eventHub) closeAll() {
+	h.mu.Lock()
+	streams := make([]*jobStream, 0, len(h.streams))
+	for _, st := range h.streams {
+		streams = append(streams, st)
+	}
+	h.mu.Unlock()
+	for _, st := range streams {
+		st.mu.Lock()
+		for sub := range st.subs {
+			delete(st.subs, sub)
+			close(sub.stop)
+		}
+		st.mu.Unlock()
+	}
+}
+
+// ---- engine-side publication -------------------------------------------
+
+// sseData renders a value as the SSE data payload: the exact bytes the
+// polling endpoints write (encodeJSON), minus the trailing newline. The
+// shared encoder is what pins the stream-vs-poll invariant — a terminal
+// "state" frame's data equals the GET /v1/jobs/{id} body byte for byte.
+func sseData(v any) (string, bool) {
+	raw, err := encodeJSON(v)
+	if err != nil {
+		return "", false
+	}
+	return strings.TrimRight(string(raw), "\n"), true
+}
+
+// publishState emits a lifecycle "state" event carrying the job's full
+// wire view; terminal states seal the stream.
+func (e *Engine) publishState(j *Job) {
+	if e.events == nil {
+		return
+	}
+	v := viewOf(j)
+	data, ok := sseData(v)
+	if !ok {
+		return
+	}
+	terminal := false
+	switch v.State {
+	case JobDone, JobFailed, JobCancelled:
+		terminal = true
+	}
+	e.events.publish(j.ID, "state", data, terminal)
+}
+
+// ---- the SSE endpoint --------------------------------------------------
+
+// handleWatchJob streams a job's events as Server-Sent Events:
+// lifecycle "state" frames (the full job view, ending with a terminal
+// one whose data is byte-identical to the GET /v1/jobs/{id} body),
+// pipeline progress frames from the obs sink, and comment heartbeats in
+// between. Every frame carries its backlog sequence number as the SSE
+// id, so a client reconnecting with Last-Event-ID resumes exactly where
+// it left off — no gaps, no duplicates. The stream always terminates:
+// on the terminal event, on job eviction or daemon drain (the terminal
+// frame was published first), or when the watcher falls too far behind
+// and is evicted as a slow consumer.
+func (s *Server) handleWatchJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.engine.Get(id); err != nil {
+		s.writeEngineError(w, err)
+		return
+	}
+	var after int64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "invalid Last-Event-ID %q", v)
+			return
+		}
+		after = n
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+
+	backlog, sub := s.engine.events.subscribe(id, after)
+	if sub != nil {
+		defer s.engine.events.unsubscribe(id, sub)
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	sw := sse.NewWriter(w)
+	writeEv := func(ev streamEvent) bool {
+		err := sw.WriteEvent(sse.Event{
+			ID:   strconv.FormatInt(ev.seq, 10),
+			Name: ev.name,
+			Data: ev.data,
+		})
+		if err != nil {
+			return false // consumer gone; just unwind
+		}
+		flusher.Flush()
+		return true
+	}
+	for _, ev := range backlog {
+		if !writeEv(ev) {
+			return
+		}
+		if ev.terminal {
+			return
+		}
+	}
+	if sub == nil {
+		return // the backlog already ended with the terminal event
+	}
+
+	heartbeat := time.NewTicker(s.cfg.EventHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev := <-sub.ch:
+			if !writeEv(ev) || ev.terminal {
+				return
+			}
+		case <-sub.stop:
+			// Evicted (slow consumer, job dropped, or engine shutdown).
+			// Drain what the hub buffered first: when the job was dropped
+			// or the engine drained, the terminal frame is in there and
+			// the watcher must see the result before the stream ends.
+			for {
+				select {
+				case ev := <-sub.ch:
+					if !writeEv(ev) || ev.terminal {
+						return
+					}
+				default:
+					return
+				}
+			}
+		case <-heartbeat.C:
+			if sw.WriteComment("heartbeat") != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// eventSink builds the per-job obs sink handed to the runner: pipeline
+// events (phase brackets, per-k sweep progress, per-group completions)
+// become SSE frames on the job's stream. Returns nil when no hub is
+// attached so the pipeline skips event collection entirely.
+func (e *Engine) eventSink(id string) obs.EventSink {
+	if e.events == nil {
+		return nil
+	}
+	return func(ev obs.Event) {
+		payload := map[string]any{"job": id}
+		if ev.Phase != "" {
+			payload["phase"] = string(ev.Phase)
+		}
+		switch ev.Kind {
+		case obs.EventPhaseEnd:
+			payload["elapsed_ms"] = float64(ev.Elapsed) / 1e6
+		case obs.EventK:
+			payload["k"] = ev.K
+			payload["silhouette"] = ev.Silhouette
+		case obs.EventGroup:
+			payload["group"] = ev.Group
+			payload["attrs"] = ev.Attrs
+			payload["claims"] = ev.Claims
+			payload["elapsed_ms"] = float64(ev.Elapsed) / 1e6
+		}
+		data, ok := sseData(payload)
+		if !ok {
+			return
+		}
+		e.events.publish(id, string(ev.Kind), data, false)
+	}
+}

@@ -1,0 +1,420 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tdac/internal/sse"
+)
+
+// watchJob opens the SSE endpoint for id, optionally resuming after the
+// given event id ("" = from the start), and returns the live response.
+func watchJob(t testing.TB, client *http.Client, base, id, lastEventID string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("GET events: status %d: %s", resp.StatusCode, body)
+	}
+	return resp
+}
+
+// collectStream reads SSE frames until the reader returns EOF (stream
+// closed by the server), failing the test on any other error.
+func collectStream(t testing.TB, body io.Reader) []sse.Event {
+	t.Helper()
+	r := sse.NewReader(body)
+	var out []sse.Event
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("reading stream: %v", err)
+		}
+		out = append(out, ev)
+	}
+}
+
+// stateOf extracts the "state" value of a state frame's JSON payload
+// without fully decoding it.
+func stateOf(t testing.TB, ev sse.Event) string {
+	t.Helper()
+	for _, want := range []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCancelled} {
+		if strings.Contains(ev.Data, fmt.Sprintf("%q: %q", "state", want)) {
+			return string(want)
+		}
+	}
+	t.Fatalf("frame %q carries no recognisable state", ev.Data)
+	return ""
+}
+
+// TestWatchJobStreamsLifecycle pins the basic contract: a watcher sees
+// the queued, running and terminal state frames with consecutive ids
+// from 1, the stream ends cleanly after the terminal frame, and the
+// terminal frame's payload is byte-identical to the polled job body.
+func TestWatchJobStreamsLifecycle(t *testing.T) {
+	f := newFakeRunner()
+	s, ts := newTestServer(t, Config{Workers: 1, run: f.run, EventHeartbeat: 20 * time.Millisecond})
+	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
+		t.Fatal(err)
+	}
+	j, err := submitDiscover(t, s, "d", discoverRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := watchJob(t, ts.Client(), ts.URL, j.ID, "")
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	<-f.started
+	f.release <- struct{}{}
+	frames := collectStream(t, resp.Body)
+
+	if len(frames) < 3 {
+		t.Fatalf("got %d frames, want at least queued/running/done: %+v", len(frames), frames)
+	}
+	for i, ev := range frames {
+		if ev.ID != strconv.Itoa(i+1) {
+			t.Errorf("frame %d has id %q, want %d (consecutive from 1)", i, ev.ID, i+1)
+		}
+		if ev.Name != "state" {
+			t.Errorf("frame %d is %q, want state (fake runner emits no pipeline events)", i, ev.Name)
+		}
+	}
+	wantStates := []string{"queued", "running", "done"}
+	for i, want := range wantStates {
+		if got := stateOf(t, frames[i]); got != want {
+			t.Errorf("frame %d state = %q, want %q", i, got, want)
+		}
+	}
+
+	// Terminal frame payload == polled body, byte for byte.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+j.ID, nil)
+	pollResp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(pollResp.Body)
+	pollResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := frames[len(frames)-1].Data+"\n", string(body); got != want {
+		t.Errorf("terminal frame != polled body:\nstream: %s\npoll:   %s", got, want)
+	}
+}
+
+// TestWatchJobResumesFromLastEventID pins exact resume: a client that
+// reconnects with the last id it saw receives precisely the frames
+// after it — no gaps, no duplicates — and a resume from the final id
+// of a finished job ends immediately with no frames.
+func TestWatchJobResumesFromLastEventID(t *testing.T) {
+	f := newFakeRunner()
+	s, ts := newTestServer(t, Config{Workers: 1, run: f.run, EventHeartbeat: 20 * time.Millisecond})
+	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
+		t.Fatal(err)
+	}
+	j, err := submitDiscover(t, s, "d", discoverRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First connection: read the queued frame, then drop the watcher
+	// mid-stream (the job is still running).
+	resp := watchJob(t, ts.Client(), ts.URL, j.ID, "")
+	r := sse.NewReader(resp.Body)
+	first, err := r.Next()
+	if err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	if first.ID != "1" || stateOf(t, first) != "queued" {
+		t.Fatalf("first frame = %+v, want queued with id 1", first)
+	}
+	resp.Body.Close() // killed mid-stream
+
+	<-f.started
+	f.release <- struct{}{}
+	waitState(t, j, JobDone)
+
+	// Resume after frame 1: exactly the running and done frames follow.
+	resp2 := watchJob(t, ts.Client(), ts.URL, j.ID, first.ID)
+	frames := collectStream(t, resp2.Body)
+	resp2.Body.Close()
+	if len(frames) != 2 {
+		t.Fatalf("resume after id 1: got %d frames %+v, want running+done", len(frames), frames)
+	}
+	if frames[0].ID != "2" || stateOf(t, frames[0]) != "running" {
+		t.Errorf("resumed frame 0 = %+v, want running with id 2", frames[0])
+	}
+	if frames[1].ID != "3" || stateOf(t, frames[1]) != "done" {
+		t.Errorf("resumed frame 1 = %+v, want done with id 3", frames[1])
+	}
+
+	// Resume after the terminal id: nothing left, immediate clean end.
+	resp3 := watchJob(t, ts.Client(), ts.URL, j.ID, frames[1].ID)
+	if rest := collectStream(t, resp3.Body); len(rest) != 0 {
+		t.Errorf("resume after terminal id: got %d frames %+v, want none", len(rest), rest)
+	}
+	resp3.Body.Close()
+}
+
+// TestWatchJobRejectsBadRequests pins the endpoint's error contract.
+func TestWatchJobRejectsBadRequests(t *testing.T) {
+	f := newFakeRunner()
+	s, ts := newTestServer(t, Config{Workers: 1, run: f.run})
+	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
+		t.Fatal(err)
+	}
+	j, err := submitDiscover(t, s, "d", discoverRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(id, lastEventID string) int {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+id+"/events", nil)
+		if lastEventID != "" {
+			req.Header.Set("Last-Event-ID", lastEventID)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("no-such-job", ""); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", code)
+	}
+	if code := get(j.ID, "not-a-number"); code != http.StatusBadRequest {
+		t.Errorf("malformed Last-Event-ID: status %d, want 400", code)
+	}
+	if code := get(j.ID, "-1"); code != http.StatusBadRequest {
+		t.Errorf("negative Last-Event-ID: status %d, want 400", code)
+	}
+	<-f.started
+	f.release <- struct{}{}
+}
+
+// TestWatchJobEvictedWhileWatching is the regression test for the
+// evicted-stream hang: a watcher attached to a job that finishes and is
+// then evicted from the bounded history must still receive the terminal
+// state frame and a clean end of stream — never an indefinite hang.
+func TestWatchJobEvictedWhileWatching(t *testing.T) {
+	f := newFakeRunner()
+	s, ts := newTestServer(t, Config{Workers: 1, MaxJobs: 1, run: f.run, EventHeartbeat: 20 * time.Millisecond})
+	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
+		t.Fatal(err)
+	}
+	j1, err := submitDiscover(t, s, "d", discoverRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := watchJob(t, ts.Client(), ts.URL, j1.ID, "")
+	defer resp.Body.Close()
+	<-f.started
+
+	// Finish job 1, then submit job 2: MaxJobs=1 evicts terminal job 1
+	// from the engine's history while the watcher is still attached.
+	f.release <- struct{}{}
+	waitState(t, j1, JobDone)
+	j2, err := submitDiscover(t, s, "d", discoverRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Engine().Get(j1.ID); err == nil {
+		t.Fatalf("job %s still retained; eviction did not happen", j1.ID)
+	}
+	<-f.started
+	f.release <- struct{}{}
+	waitState(t, j2, JobDone)
+
+	type streamResult struct {
+		frames []sse.Event
+	}
+	results := make(chan streamResult, 1)
+	go func() {
+		results <- streamResult{frames: collectStream(t, resp.Body)}
+	}()
+	select {
+	case res := <-results:
+		if len(res.frames) == 0 {
+			t.Fatal("evicted-job stream delivered no frames")
+		}
+		last := res.frames[len(res.frames)-1]
+		if got := stateOf(t, last); got != "done" {
+			t.Errorf("evicted-job stream ended on state %q, want the terminal done frame", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream of an evicted job hung instead of terminating with the terminal frame")
+	}
+}
+
+// TestWatchJobSeesCancellation: cancelling a queued job terminates its
+// stream with the cancelled state frame.
+func TestWatchJobSeesCancellation(t *testing.T) {
+	f := newFakeRunner()
+	// One worker pinned by a decoy job keeps the watched job queued.
+	s, ts := newTestServer(t, Config{Workers: 1, run: f.run, EventHeartbeat: 20 * time.Millisecond})
+	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
+		t.Fatal(err)
+	}
+	decoy, err := submitDiscover(t, s, "d", discoverRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-f.started
+	j, err := submitDiscover(t, s, "d", discoverRequest{Key: "watched"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := watchJob(t, ts.Client(), ts.URL, j.ID, "")
+	defer resp.Body.Close()
+	if _, _, err := s.Engine().Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	frames := collectStream(t, resp.Body)
+	if len(frames) == 0 {
+		t.Fatal("no frames before cancellation")
+	}
+	if got := stateOf(t, frames[len(frames)-1]); got != "cancelled" {
+		t.Errorf("stream ended on state %q, want cancelled", got)
+	}
+	f.release <- struct{}{}
+	waitState(t, decoy, JobDone)
+}
+
+// TestEventHubEvictsSlowConsumers pins the backpressure contract at the
+// hub level: a subscriber that stops draining is cut loose (stop
+// closed) instead of ever blocking publish.
+func TestEventHubEvictsSlowConsumers(t *testing.T) {
+	h := newEventHub()
+	_, sub := h.subscribe("j", 0)
+	if sub == nil {
+		t.Fatal("subscribe returned no live subscription")
+	}
+	for i := 0; i < subBuffer+1; i++ {
+		done := make(chan struct{})
+		go func(i int) {
+			h.publish("j", "k", fmt.Sprintf(`{"n":%d}`, i), false)
+			close(done)
+		}(i)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("publish blocked on a slow consumer")
+		}
+	}
+	select {
+	case <-sub.stop:
+	default:
+		t.Error("slow consumer was not evicted after its buffer filled")
+	}
+	// The evicted subscriber still drains the buffered prefix in order.
+	for i := 0; i < subBuffer; i++ {
+		ev := <-sub.ch
+		if want := int64(i + 1); ev.seq != want {
+			t.Fatalf("buffered frame %d has seq %d, want %d", i, ev.seq, want)
+		}
+	}
+}
+
+// TestConcurrentAppendsVsStreamingDiscover races claim ingestion
+// against incremental streaming discoveries under the race detector:
+// appends mutate the registry while jobs run through the shared
+// incremental state and watchers consume their streams. Every job's
+// terminal frame must byte-match its polled body.
+func TestConcurrentAppendsVsStreamingDiscover(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueSize: 32, EventHeartbeat: 20 * time.Millisecond})
+	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*2)
+
+	// Writer: keeps appending fresh claims while discoveries run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			_, err := s.Registry().Append("d", []ClaimInput{
+				{Source: "s1", Object: fmt.Sprintf("o-new-%d", i), Attribute: "colour", Value: "red"},
+				{Source: "s2", Object: fmt.Sprintf("o-new-%d", i), Attribute: "colour", Value: "red"},
+			}, nil)
+			if err != nil {
+				errs <- fmt.Errorf("append %d: %w", i, err)
+				return
+			}
+		}
+	}()
+
+	// Discoverers: each submits an incremental job, watches its stream
+	// to the end, and cross-checks the terminal frame against a poll.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds/2; i++ {
+				j, err := submitDiscover(t, s, "d", discoverRequest{Incremental: true, Key: fmt.Sprintf("g%d-%d", g, i)})
+				if err != nil {
+					errs <- fmt.Errorf("submit g%d-%d: %w", g, i, err)
+					return
+				}
+				resp := watchJob(t, ts.Client(), ts.URL, j.ID, "")
+				frames := collectStream(t, resp.Body)
+				resp.Body.Close()
+				if len(frames) == 0 {
+					errs <- fmt.Errorf("job %s: empty stream", j.ID)
+					return
+				}
+				last := frames[len(frames)-1]
+				if got := stateOf(t, last); got != "done" {
+					errs <- fmt.Errorf("job %s ended %s: %s", j.ID, got, last.Data)
+					return
+				}
+				req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+j.ID, nil)
+				pr, err := ts.Client().Do(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(pr.Body)
+				pr.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if last.Data+"\n" != string(body) {
+					errs <- fmt.Errorf("job %s: terminal frame diverges from polled body", j.ID)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"context"
+	"log"
+	"path"
+	"sync"
+
+	"tdac"
+	"tdac/internal/fault"
+	"tdac/internal/obs"
+)
+
+// Incremental discovery on the server side: the registry only ever
+// extends a dataset by appending claims, which is exactly the shape
+// tdac.WithIncremental exploits. The server keeps one IncrementalState
+// per dataset in a cache; a discover request with "incremental": true
+// runs through that state, so successive requests against a growing
+// dataset pay only for the appended delta — with results bit-identical
+// to a cold run (the incremental-vs-cold invariant). With a DataDir
+// configured, the state's maps are persisted to a sidecar next to the
+// WAL so a restarted daemon can resume warm; a missing, torn or stale
+// sidecar just means the first incremental run primes cold.
+
+// incrCache holds per-dataset incremental states. A state must not be
+// shared by concurrent Discover calls, so acquire removes it from the
+// cache for the duration of the run; a second incremental job on the
+// same dataset meanwhile simply builds a fresh state (correct, just not
+// faster) and the last release wins.
+type incrCache struct {
+	mu     sync.Mutex
+	states map[string]*tdac.IncrementalState
+}
+
+func newIncrCache() *incrCache {
+	return &incrCache{states: make(map[string]*tdac.IncrementalState)}
+}
+
+// acquire removes and returns dataset's cached state (nil if absent).
+func (c *incrCache) acquire(dataset string) *tdac.IncrementalState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.states[dataset]
+	delete(c.states, dataset)
+	return st
+}
+
+// release returns a state to the cache after a run. The state is
+// reinstalled even when the run failed: Sync never leaves it wrong, at
+// worst unprimed, and the next run re-primes.
+func (c *incrCache) release(dataset string, st *tdac.IncrementalState) {
+	if st == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.states[dataset] = st
+}
+
+// runSpec is the real server runner: defaultRun plus the incremental
+// state plumbing. Tests substituting Config.run bypass it entirely.
+func (s *Server) runSpec(ctx context.Context, spec JobSpec, events obs.EventSink) (*JobOutcome, error) {
+	if spec.Mode != ModeTDAC || !spec.Incremental {
+		return defaultRun(ctx, spec, events)
+	}
+	dataset := spec.Snapshot.Dataset
+	st := s.incr.acquire(dataset)
+	if st == nil {
+		st = s.loadIncrState(dataset, spec.Snapshot)
+	}
+	defer s.incr.release(dataset, st)
+
+	opts := append([]tdac.Option{}, spec.Options...)
+	opts = append(opts, tdac.WithStats())
+	if events != nil {
+		opts = append(opts, tdac.WithEvents(events))
+	}
+	opts = append(opts, tdac.WithIncremental(st))
+	res, err := tdac.DiscoverContext(ctx, spec.Snapshot.Data, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.saveIncrState(dataset, st)
+	return &JobOutcome{TDAC: res}, nil
+}
+
+// incrStatePath is the sidecar file holding dataset's persisted state.
+// Dataset names are path-safe by construction (ValidateDatasetName).
+func (s *Server) incrStatePath(dataset string) string {
+	return path.Join(s.cfg.DataDir, "incr", dataset+".json")
+}
+
+// loadIncrState restores dataset's state from its sidecar, verified
+// against exactly the snapshot the job pinned. Every failure path —
+// no sidecar, torn bytes, a snapshot of some other version — returns a
+// fresh state that the run will prime cold: persistence is purely an
+// optimisation and never gates correctness.
+func (s *Server) loadIncrState(dataset string, snap *Snapshot) *tdac.IncrementalState {
+	st := tdac.NewIncrementalState()
+	if s.store == nil {
+		return st
+	}
+	raw, err := s.fsys.ReadFile(s.incrStatePath(dataset))
+	if err != nil {
+		return st
+	}
+	if err := st.RestoreJSON(snap.Data, raw); err != nil {
+		log.Printf("tdacd: discarding incremental state sidecar for %q: %v", dataset, err)
+	}
+	return st
+}
+
+// saveIncrState persists the state's maps atomically (tmp, sync,
+// rename, dir sync) after a successful incremental run. Best-effort:
+// a failed save is logged and the stale sidecar discarded, nothing
+// more — recovery falls back to a cold prime. The "incr.state.write"
+// fault point sits between the payload write and its sync, where a
+// crash leaves a torn tmp file for recovery to ignore.
+func (s *Server) saveIncrState(dataset string, st *tdac.IncrementalState) {
+	if s.store == nil {
+		return
+	}
+	raw, err := st.SnapshotJSON()
+	if err != nil {
+		log.Printf("tdacd: snapshotting incremental state for %q: %v", dataset, err)
+		return
+	}
+	dir := path.Join(s.cfg.DataDir, "incr")
+	final := s.incrStatePath(dataset)
+	tmp := final + ".tmp"
+	fail := func(err error) {
+		log.Printf("tdacd: persisting incremental state for %q: %v", dataset, err)
+		// Drop any stale sidecar: better a cold prime after restart than
+		// restoring a snapshot older than the state we failed to write.
+		_ = s.fsys.Remove(final)
+	}
+	if err := s.fsys.MkdirAll(dir); err != nil {
+		fail(err)
+		return
+	}
+	f, err := s.fsys.Create(tmp)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		fail(err)
+		return
+	}
+	fault.Point(s.fsys, "incr.state.write")
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fail(err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+		return
+	}
+	if err := s.fsys.Rename(tmp, final); err != nil {
+		fail(err)
+		return
+	}
+	if err := s.fsys.SyncDir(dir); err != nil {
+		fail(err)
+	}
+}

@@ -59,6 +59,9 @@ type JobSpec struct {
 	// Request is the originating discover request in wire form, journaled
 	// so a restarted server can rebuild the job.
 	Request json.RawMessage
+	// Incremental asks the runner to reuse the server's per-dataset
+	// incremental discovery state (tdac mode only; see Server.runSpec).
+	Incremental bool
 }
 
 // JobOutcome is what a finished job produced: exactly one of TDAC or
@@ -143,13 +146,17 @@ func (j *Job) finish(state JobState, outcome *JobOutcome, errMsg string) {
 
 // RunFunc executes one job. The production function dispatches to
 // tdac.DiscoverContext / tdac.RunContext; tests substitute controllable
-// fakes.
-type RunFunc func(ctx context.Context, spec JobSpec) (*JobOutcome, error)
+// fakes. events, when non-nil, receives the run's streaming pipeline
+// observations (the engine fans them out to attached watchers).
+type RunFunc func(ctx context.Context, spec JobSpec, events obs.EventSink) (*JobOutcome, error)
 
 // defaultRun executes the spec against the real pipeline with stats
 // collection on, so the engine can aggregate phase timings.
-func defaultRun(ctx context.Context, spec JobSpec) (*JobOutcome, error) {
+func defaultRun(ctx context.Context, spec JobSpec, events obs.EventSink) (*JobOutcome, error) {
 	opts := append(append([]tdac.Option(nil), spec.Options...), tdac.WithStats())
+	if events != nil {
+		opts = append(opts, tdac.WithEvents(events))
+	}
 	if spec.Mode == ModeBase {
 		res, err := tdac.RunContext(ctx, spec.Snapshot.Data, spec.Algorithm, opts...)
 		if err != nil {
@@ -215,6 +222,8 @@ type Engine struct {
 	cfg   EngineConfig
 	run   RunFunc
 	queue chan *Job
+	// events is the per-job stream hub behind GET /v1/jobs/{id}/events.
+	events *eventHub
 
 	// baseCtx parents every job context; cancelBase aborts all running
 	// jobs at the shutdown drain deadline.
@@ -256,6 +265,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 		cfg:        cfg,
 		run:        run,
 		queue:      make(chan *Job, cfg.QueueSize),
+		events:     newEventHub(),
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		jobs:       make(map[string]*Job),
@@ -331,6 +341,7 @@ func (e *Engine) Submit(spec JobSpec) (j *Job, created bool, err error) {
 	}
 	e.jobs[j.ID] = j
 	e.order = append(e.order, j.ID)
+	e.publishState(j)
 	e.evictLocked()
 	return j, true, nil
 }
@@ -359,6 +370,7 @@ func (e *Engine) resume(id string, spec JobSpec) *Job {
 	}
 	e.jobs[id] = j
 	e.order = append(e.order, id)
+	e.publishState(j)
 	return j
 }
 
@@ -394,6 +406,11 @@ func (e *Engine) evictLocked() {
 					delete(e.keys, dk)
 				}
 				e.order = append(e.order[:i], e.order[i+1:]...)
+				// Forget the stream with the job: a watcher still
+				// attached was published the terminal event before the
+				// job could become evictable, so its stream ends with
+				// the result rather than hanging on a forgotten id.
+				e.events.drop(id)
 				evicted = true
 			}
 			if evicted {
@@ -449,6 +466,7 @@ func (e *Engine) Cancel(id string) (state JobState, alreadyTerminal bool, err er
 		j.mu.Unlock()
 		close(j.done)
 		e.cancelled.Add(1)
+		e.publishState(j)
 		if e.cfg.Journal != nil {
 			e.cfg.Journal.JournalEnd(id, JobCancelled, "cancelled by client")
 		}
@@ -527,8 +545,9 @@ func (e *Engine) runJob(j *Job) {
 	if e.cfg.Journal != nil {
 		e.cfg.Journal.JournalStart(j.ID)
 	}
+	e.publishState(j)
 	e.running.Add(1)
-	outcome, err := e.run(ctx, j.Spec)
+	outcome, err := e.run(ctx, j.Spec, e.eventSink(j.ID))
 	e.running.Add(-1)
 	cancel()
 
@@ -557,6 +576,9 @@ func (e *Engine) runJob(j *Job) {
 // journal (which releases the job's snapshot pin on disk).
 func (e *Engine) finishJob(j *Job, state JobState, outcome *JobOutcome, errMsg string) {
 	j.finish(state, outcome, errMsg)
+	// The terminal event seals the stream before the journal write and
+	// before eviction can consider the job: watchers always see it.
+	e.publishState(j)
 	if e.cfg.Journal != nil {
 		e.cfg.Journal.JournalEnd(j.ID, state, errMsg)
 	}
@@ -583,12 +605,14 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 
 	select {
 	case <-drained:
+		e.events.closeAll()
 		return nil
 	case <-ctx.Done():
 		// Drain deadline: abort running jobs and flush the queue.
 		e.cancelBase()
 		e.markQueuedCancelled()
 		<-drained
+		e.events.closeAll()
 		return ctx.Err()
 	}
 }
@@ -613,6 +637,7 @@ func (e *Engine) markQueuedCancelled() {
 			j.mu.Unlock()
 			close(j.done)
 			e.cancelled.Add(1)
+			e.publishState(j)
 			// Journal the cancellation: the API reported these jobs
 			// cancelled, so a restart must not resurrect them.
 			if e.cfg.Journal != nil {

@@ -28,7 +28,7 @@ func newFakeRunner() *fakeRunner {
 	}
 }
 
-func (f *fakeRunner) run(ctx context.Context, spec JobSpec) (*JobOutcome, error) {
+func (f *fakeRunner) run(ctx context.Context, spec JobSpec, events obs.EventSink) (*JobOutcome, error) {
 	f.started <- spec.Snapshot.Dataset
 	select {
 	case <-f.release:

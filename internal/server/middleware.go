@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -18,15 +19,32 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// encodeJSON renders v exactly as the HTTP handlers do (two-space
+// indent, trailing newline). The event stream shares it so a terminal
+// SSE frame's payload is byte-identical to the polled response body.
+func encodeJSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // writeJSON renders v with the given status. Encoding failures at this
 // point mean a programming bug; they are logged, not surfaced.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	raw, err := encodeJSON(v)
+	if err != nil {
+		log.Printf("tdacd: encoding response: %v", err)
+		writeError(w, http.StatusInternalServerError, "internal error")
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("tdacd: encoding response: %v", err)
+	if _, err := w.Write(raw); err != nil {
+		log.Printf("tdacd: writing response: %v", err)
 	}
 }
 

@@ -42,6 +42,11 @@ type Config struct {
 	// EnablePprof mounts /debug/pprof (off by default: profiling
 	// endpoints are opt-in, they expose internals).
 	EnablePprof bool
+	// EventHeartbeat is the SSE comment-heartbeat period on
+	// GET /v1/jobs/{id}/events (default 15s). Heartbeats keep idle
+	// streams alive through proxies and let the server notice dead
+	// consumers.
+	EventHeartbeat time.Duration
 
 	// DataDir enables crash-safe persistence: every committed mutation is
 	// journaled to a WAL under this directory and replayed on startup.
@@ -89,6 +94,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxDatasets <= 0 {
 		c.MaxDatasets = 256
 	}
+	if c.EventHeartbeat <= 0 {
+		c.EventHeartbeat = 15 * time.Second
+	}
 	return c
 }
 
@@ -105,6 +113,10 @@ type Server struct {
 	// recovered describes what startup replayed from the WAL (nil in
 	// in-memory mode; cmd/tdacd logs it).
 	recovered *RecoveredState
+	// incr caches per-dataset incremental discovery state; fsys is the
+	// filesystem its sidecar snapshots persist through.
+	incr *incrCache
+	fsys fault.FS
 }
 
 // New assembles a Server and starts its worker pool. With
@@ -118,6 +130,11 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		agg:     agg,
 		started: time.Now(),
+		incr:    newIncrCache(),
+		fsys:    cfg.fs,
+	}
+	if s.fsys == nil {
+		s.fsys = fault.OS{}
 	}
 
 	if cfg.DataDir != "" {
@@ -153,11 +170,18 @@ func New(cfg Config) (*Server, error) {
 		journal = s.store
 	}
 
+	// The server's runner (not the engine default) so incremental jobs
+	// can reach the per-dataset state cache; tests may still substitute
+	// their own runner via cfg.run.
+	run := cfg.run
+	if run == nil {
+		run = s.runSpec
+	}
 	s.engine = NewEngine(EngineConfig{
 		Workers:   cfg.Workers,
 		QueueSize: queueSize,
 		MaxJobs:   cfg.MaxJobs,
-		Run:       cfg.run,
+		Run:       run,
 		Aggregate: agg,
 		Journal:   journal,
 	})
@@ -222,29 +246,33 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// buildHandler mounts the API under the robustness middleware.
+// buildHandler mounts the API under the robustness middleware. The
+// event stream lives outside the request-timeout wrapper: a watch is
+// legitimately long-lived, while every other handler stays bounded.
 func (s *Server) buildHandler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
-	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
-	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
-	mux.HandleFunc("POST /v1/datasets/{name}/claims", s.handleIngest)
-	mux.HandleFunc("POST /v1/datasets/{name}/discover", s.handleDiscover)
-	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	api := http.NewServeMux()
+	api.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
+	api.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	api.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	api.HandleFunc("POST /v1/datasets/{name}/claims", s.handleIngest)
+	api.HandleFunc("POST /v1/datasets/{name}/discover", s.handleDiscover)
+	api.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	api.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	api.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	api.HandleFunc("GET /healthz", s.handleHealthz)
+	api.HandleFunc("GET /readyz", s.handleReadyz)
+	api.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.EnablePprof {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		api.HandleFunc("/debug/pprof/", pprof.Index)
+		api.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		api.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		api.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		api.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return withRecover(withTimeout(s.cfg.RequestTimeout,
-		withBodyLimit(s.cfg.MaxBodyBytes, mux)))
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /v1/jobs/{id}/events", s.handleWatchJob)
+	outer.Handle("/", withTimeout(s.cfg.RequestTimeout, api))
+	return withRecover(withBodyLimit(s.cfg.MaxBodyBytes, outer))
 }
 
 // ---- dataset handlers -------------------------------------------------
@@ -395,6 +423,13 @@ type discoverRequest struct {
 	Projection int `json:"projection"`
 	// Seed fixes the k-means seed (tdac mode only).
 	Seed *int64 `json:"seed"`
+	// Incremental reuses the server's per-dataset incremental discovery
+	// state: the run syncs the state to the dataset's current snapshot
+	// (priming it cold on first use, appending the delta afterwards)
+	// instead of recomputing vectors and distances from scratch. Results
+	// are bit-identical to a cold run. tdac mode only; incompatible with
+	// sparse_aware, projection and a non-MajorityVote reference.
+	Incremental bool `json:"incremental"`
 	// TimeoutMS overrides the per-job deadline, capped at the server's
 	// configured JobTimeout.
 	TimeoutMS int64 `json:"timeout_ms"`
@@ -472,7 +507,7 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		// Idempotent resubmit: the key matched a retained job.
 		status = http.StatusOK
 	}
-	writeJSON(w, status, s.viewOf(job))
+	writeJSON(w, status, viewOf(job))
 }
 
 // buildSpec validates a discover request into a JobSpec; errors are
@@ -539,10 +574,25 @@ func (s *Server) buildSpec(snap *Snapshot, req *discoverRequest) (*JobSpec, erro
 		if req.Seed != nil {
 			opts = append(opts, tdac.WithSeed(*req.Seed))
 		}
+		if req.Incremental {
+			// Mirror tdac.WithIncremental's own constraints at submit
+			// time: the incremental state machine tracks the dense
+			// unmasked encoding under the MajorityVote reference.
+			if req.SparseAware {
+				return nil, errors.New("incremental discovery is incompatible with sparse_aware")
+			}
+			if req.Projection != 0 {
+				return nil, errors.New("incremental discovery is incompatible with projection")
+			}
+			if req.Reference != "" && req.Reference != "MajorityVote" {
+				return nil, fmt.Errorf("incremental discovery requires the MajorityVote reference, not %q", req.Reference)
+			}
+		}
 	} else {
 		switch {
 		case req.Reference != "", req.KMin != 0, req.KMax != 0, req.Parallel,
-			req.Workers != 0, req.SparseAware, req.Projection != 0, req.Seed != nil:
+			req.Workers != 0, req.SparseAware, req.Projection != 0, req.Seed != nil,
+			req.Incremental:
 			return nil, errors.New(`mode "base" accepts only algorithm, its tuning fields (max_iterations, epsilon, initial_accuracy, similarity) and timeout_ms`)
 		}
 		if len(baseOpts) > 0 {
@@ -574,13 +624,14 @@ func (s *Server) buildSpec(snap *Snapshot, req *discoverRequest) (*JobSpec, erro
 		return nil, fmt.Errorf("encoding request: %w", err)
 	}
 	return &JobSpec{
-		Snapshot:  snap,
-		Mode:      mode,
-		Algorithm: alg,
-		Options:   opts,
-		Timeout:   timeout,
-		Key:       req.Key,
-		Request:   raw,
+		Snapshot:    snap,
+		Mode:        mode,
+		Algorithm:   alg,
+		Options:     opts,
+		Timeout:     timeout,
+		Key:         req.Key,
+		Request:     raw,
+		Incremental: req.Incremental,
 	}, nil
 }
 
@@ -605,7 +656,7 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	jobs := s.engine.Jobs()
 	out := make([]jobView, 0, len(jobs))
 	for _, j := range jobs {
-		v := s.viewOf(j)
+		v := viewOf(j)
 		v.Result = nil // listing stays light; poll the job for results
 		out = append(out, v)
 	}
@@ -618,7 +669,7 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		s.writeEngineError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.viewOf(j))
+	writeJSON(w, http.StatusOK, viewOf(j))
 }
 
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
@@ -643,11 +694,13 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		s.writeEngineError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.viewOf(j))
+	writeJSON(w, http.StatusOK, viewOf(j))
 }
 
-// viewOf renders a job for the wire.
-func (s *Server) viewOf(j *Job) jobView {
+// viewOf renders a job for the wire. It is a package function (not a
+// Server method) because the engine's event stream renders the same
+// view for "state" frames — one encoder, one shape, byte-identical.
+func viewOf(j *Job) jobView {
 	enq, started, finished := j.Times()
 	v := jobView{
 		ID:        j.ID,

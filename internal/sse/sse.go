@@ -1,0 +1,242 @@
+// Package sse implements the minimal Server-Sent Events wire format the
+// daemon's job event stream speaks: id/event/data frames separated by
+// blank lines, comment lines for heartbeats, and Last-Event-ID-style
+// resume on the consumer side. The encoder and decoder are exact
+// inverses over sanitised events (pinned by FuzzSSERoundTrip), and the
+// decoder is robust to hostile input: arbitrary bytes, split writes,
+// CRLF/CR/LF line endings, oversized lines and unknown fields all
+// either parse cleanly or fail with an error — never a panic or an
+// unbounded buffer.
+package sse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Event is one SSE frame. ID and Name must be single-line (the encoder
+// sanitises embedded line breaks away); Data may span lines — the
+// encoder emits one "data:" line per line and the decoder joins them
+// back with "\n", per the SSE processing model.
+type Event struct {
+	// ID becomes the frame's "id:" field; consumers echo the last seen
+	// ID as Last-Event-ID when resuming. Empty means no id line.
+	ID string
+	// Name becomes the "event:" field. Empty means no event line.
+	Name string
+	// Data is the payload. An empty Data emits no data lines; the frame
+	// is still dispatched if ID or Name is present.
+	Data string
+}
+
+// empty reports whether the event would serialise to nothing but the
+// frame terminator, which the decoder (correctly) never dispatches.
+func (ev Event) empty() bool { return ev.ID == "" && ev.Name == "" && ev.Data == "" }
+
+// Writer encodes events onto an io.Writer. It does no buffering or
+// flushing of its own — the server flushes after every frame to push
+// bytes to the consumer promptly.
+type Writer struct {
+	w io.Writer
+}
+
+// NewWriter returns a Writer encoding onto w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// sanitizeField strips line breaks from single-line field values, where
+// an embedded newline would let a hostile value forge extra frames.
+func sanitizeField(s string) string {
+	if !strings.ContainsAny(s, "\r\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		if r != '\r' && r != '\n' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// splitLines splits on the three SSE line terminators (CRLF, CR, LF).
+func splitLines(s string) []string {
+	lines := make([]string, 0, strings.Count(s, "\n")+1)
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\n':
+			lines = append(lines, s[start:i])
+			start = i + 1
+		case '\r':
+			lines = append(lines, s[start:i])
+			if i+1 < len(s) && s[i+1] == '\n' {
+				i++
+			}
+			start = i + 1
+		}
+	}
+	return append(lines, s[start:])
+}
+
+// WriteEvent encodes one frame. An entirely empty event is an error:
+// it would serialise to a bare frame terminator, which no decoder
+// dispatches.
+func (w *Writer) WriteEvent(ev Event) error {
+	ev.ID, ev.Name = sanitizeField(ev.ID), sanitizeField(ev.Name)
+	if ev.empty() {
+		return fmt.Errorf("sse: refusing to write an empty event")
+	}
+	var b strings.Builder
+	if ev.ID != "" {
+		b.WriteString("id: ")
+		b.WriteString(ev.ID)
+		b.WriteByte('\n')
+	}
+	if ev.Name != "" {
+		b.WriteString("event: ")
+		b.WriteString(ev.Name)
+		b.WriteByte('\n')
+	}
+	if ev.Data != "" {
+		for _, line := range splitLines(ev.Data) {
+			b.WriteString("data: ")
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w.w, b.String())
+	return err
+}
+
+// WriteComment emits a comment line (": text"), the SSE idiom for
+// heartbeats: consumers must ignore it, but it keeps intermediaries
+// from idling out the connection. Line breaks in the text are stripped.
+func (w *Writer) WriteComment(text string) error {
+	_, err := io.WriteString(w.w, ": "+sanitizeField(text)+"\n\n")
+	return err
+}
+
+// maxLineBytes bounds a single SSE line; a server or attacker that
+// never sends a line break cannot make the decoder buffer grow without
+// limit.
+const maxLineBytes = 1 << 20
+
+// Reader decodes frames from a byte stream. It tolerates frames split
+// across arbitrarily many reads, all three line-terminator conventions,
+// comment lines and unknown fields.
+type Reader struct {
+	br  *bufio.Reader
+	err error
+}
+
+// NewReader returns a Reader decoding from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 4096)}
+}
+
+// readLine returns the next line without its terminator, handling CRLF,
+// CR and LF. It returns io.EOF only on a clean end-of-stream with no
+// pending partial line.
+func (r *Reader) readLine() (string, error) {
+	var b strings.Builder
+	for {
+		c, err := r.br.ReadByte()
+		if err != nil {
+			if err == io.EOF && b.Len() > 0 {
+				// A partial line at EOF: the SSE model discards the
+				// incomplete frame, but the line itself is complete
+				// enough to process — the stream just ended abruptly.
+				return b.String(), nil
+			}
+			return "", err
+		}
+		switch c {
+		case '\n':
+			return b.String(), nil
+		case '\r':
+			// Swallow a following LF (CRLF); a lone CR also ends a line.
+			if next, err := r.br.ReadByte(); err == nil && next != '\n' {
+				r.br.UnreadByte()
+			}
+			return b.String(), nil
+		default:
+			if b.Len() >= maxLineBytes {
+				return "", fmt.Errorf("sse: line exceeds %d bytes", maxLineBytes)
+			}
+			b.WriteByte(c)
+		}
+	}
+}
+
+// Next returns the next decoded frame, or io.EOF at clean end of
+// stream. Comment lines are skipped; an incomplete trailing frame
+// (EOF before the blank-line terminator) is discarded, per the SSE
+// processing model.
+func (r *Reader) Next() (Event, error) {
+	if r.err != nil {
+		return Event{}, r.err
+	}
+	var (
+		ev      Event
+		data    strings.Builder
+		hasData bool
+		seen    bool
+	)
+	dispatch := func() (Event, bool) {
+		if !seen {
+			return Event{}, false
+		}
+		if hasData {
+			ev.Data = data.String()
+		}
+		return ev, true
+	}
+	for {
+		line, err := r.readLine()
+		if err != nil {
+			r.err = err
+			if err == io.EOF {
+				// Frames are only dispatched on their blank-line
+				// terminator; a partial frame at EOF is dropped.
+				return Event{}, io.EOF
+			}
+			return Event{}, err
+		}
+		if line == "" {
+			if out, ok := dispatch(); ok {
+				return out, nil
+			}
+			continue // stray blank line between frames
+		}
+		if line[0] == ':' {
+			continue // comment (heartbeat)
+		}
+		field, value, cut := strings.Cut(line, ":")
+		if cut {
+			value = strings.TrimPrefix(value, " ")
+		}
+		switch field {
+		case "data":
+			if hasData {
+				data.WriteByte('\n')
+			}
+			data.WriteString(value)
+			hasData, seen = true, true
+		case "event":
+			ev.Name = value
+			seen = true
+		case "id":
+			// Per the SSE model, an id containing NUL is ignored.
+			if !strings.ContainsRune(value, 0) {
+				ev.ID = value
+				seen = true
+			}
+		default:
+			// Unknown fields are ignored for forward compatibility.
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package sse
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// chunkedReader yields at most n bytes per Read, exercising frames
+// split across arbitrary write boundaries.
+type chunkedReader struct {
+	s string
+	n int
+}
+
+func (c *chunkedReader) Read(p []byte) (int, error) {
+	if len(c.s) == 0 {
+		return 0, io.EOF
+	}
+	n := c.n
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(c.s) {
+		n = len(c.s)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, c.s[:n])
+	c.s = c.s[n:]
+	return n, nil
+}
+
+func decodeAll(t *testing.T, s string, chunk int) []Event {
+	t.Helper()
+	r := NewReader(&chunkedReader{s: s, n: chunk})
+	var out []Event
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, ev)
+	}
+}
+
+func TestWriteEventReadBack(t *testing.T) {
+	events := []Event{
+		{ID: "1", Name: "state", Data: `{"state":"running"}`},
+		{Name: "k", Data: "line one\nline two\n"},
+		{ID: "3", Data: "no name"},
+		{ID: "4", Name: "empty-data"},
+	}
+	var b strings.Builder
+	w := NewWriter(&b)
+	for _, ev := range events {
+		if err := w.WriteEvent(ev); err != nil {
+			t.Fatalf("WriteEvent(%+v): %v", ev, err)
+		}
+	}
+	if err := w.WriteComment("heartbeat"); err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 2, 3, 7, 1 << 20} {
+		got := decodeAll(t, b.String(), chunk)
+		if len(got) != len(events) {
+			t.Fatalf("chunk %d: decoded %d events, want %d", chunk, len(got), len(events))
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				t.Errorf("chunk %d: event %d = %+v, want %+v", chunk, i, got[i], events[i])
+			}
+		}
+	}
+}
+
+func TestWriteEventSanitisesFields(t *testing.T) {
+	var b strings.Builder
+	if err := NewWriter(&b).WriteEvent(Event{ID: "1\nid: 99", Name: "state\r\nevent: forged", Data: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	got := decodeAll(t, b.String(), 1<<20)
+	if len(got) != 1 {
+		t.Fatalf("decoded %d events, want 1 (field injection must not forge frames)", len(got))
+	}
+	if got[0].ID != "1id: 99" || got[0].Name != "stateevent: forged" {
+		t.Errorf("decoded %+v: line breaks must be stripped, not split", got[0])
+	}
+}
+
+func TestWriteEventRejectsEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := NewWriter(&b).WriteEvent(Event{}); err == nil {
+		t.Error("WriteEvent accepted an event that serialises to nothing")
+	}
+	if err := NewWriter(&b).WriteEvent(Event{ID: "\r\n", Name: "\n"}); err == nil {
+		t.Error("WriteEvent accepted an event that sanitises to nothing")
+	}
+}
+
+func TestReaderHostileInput(t *testing.T) {
+	cases := map[string]struct {
+		in   string
+		want []Event
+	}{
+		"crlf frames":      {"id: 1\r\nevent: e\r\ndata: d\r\n\r\n", []Event{{ID: "1", Name: "e", Data: "d"}}},
+		"cr only":          {"event: e\rdata: d\r\r", []Event{{Name: "e", Data: "d"}}},
+		"comments only":    {": ping\n\n: pong\n\n", nil},
+		"stray blanks":     {"\n\n\nevent: e\n\n\n", []Event{{Name: "e"}}},
+		"unknown fields":   {"retry: 100\nfuture: x\nevent: e\n\n", []Event{{Name: "e"}}},
+		"no space":         {"event:e\ndata:d\n\n", []Event{{Name: "e", Data: "d"}}},
+		"bare field names": {"data\ndata\n\n", []Event{{Data: "\n"}}},
+		"nul id ignored":   {"id: a\x00b\ndata: d\n\n", []Event{{Data: "d"}}},
+		"partial at eof":   {"event: done\ndata: complete\n\nevent: torn\ndata: never-terminated", []Event{{Name: "done", Data: "complete"}}},
+		"empty input":      {"", nil},
+	}
+	for name, tc := range cases {
+		got := decodeAll(t, tc.in, 1)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: decoded %d events, want %d (%+v)", name, len(got), len(tc.want), got)
+			continue
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: event %d = %+v, want %+v", name, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestReaderLineLimit(t *testing.T) {
+	r := NewReader(strings.NewReader("data: " + strings.Repeat("x", maxLineBytes+16) + "\n\n"))
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("Next on an oversized line: err = %v, want a limit error", err)
+	}
+}
+
+// normalizeData mirrors the encoder+decoder's canonical line handling:
+// any CRLF/CR/LF becomes LF.
+func normalizeData(s string) string {
+	return strings.Join(splitLines(s), "\n")
+}
+
+// FuzzSSERoundTrip pins the encoder and decoder as inverses over
+// hostile payloads and arbitrary read-chunk boundaries: whatever bytes
+// go into an Event, the decoded frame equals the sanitised original —
+// no forged frames, no lost or duplicated events, no panics.
+func FuzzSSERoundTrip(f *testing.F) {
+	f.Add("1", "state", "{\"x\":1}", uint8(3))
+	f.Add("a\nb", "ev\r\nil", "line1\nline2\r\nline3\rline4", uint8(1))
+	f.Add("", "", "\x00\xff\xfe bytes", uint8(7))
+	f.Add("id\x00nul", "e", "", uint8(2))
+	f.Fuzz(func(t *testing.T, id, name, data string, chunk uint8) {
+		in := Event{ID: id, Name: name, Data: data}
+		want := Event{ID: sanitizeField(id), Name: sanitizeField(name), Data: normalizeData(data)}
+		if strings.ContainsRune(want.ID, 0) {
+			want.ID = "" // the decoder ignores ids containing NUL
+		}
+
+		var b strings.Builder
+		w := NewWriter(&b)
+		err := w.WriteEvent(in)
+		if in.empty() || (sanitizeField(id) == "" && sanitizeField(name) == "" && data == "") {
+			if err == nil {
+				t.Fatal("WriteEvent accepted an event that serialises to nothing")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("WriteEvent(%+v): %v", in, err)
+		}
+		// Surround with heartbeats: consumers must skip them.
+		encoded := ": hb\n\n" + b.String() + ": hb\n\n"
+
+		r := NewReader(&chunkedReader{s: encoded, n: int(chunk)})
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next: %v (encoded %q)", err, encoded)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v, want %+v (encoded %q)", got, want, encoded)
+		}
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("expected exactly one event, second Next: %v", err)
+		}
+	})
+}

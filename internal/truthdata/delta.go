@@ -1,0 +1,119 @@
+package truthdata
+
+import "fmt"
+
+// Delta describes how a dataset version extends its predecessor: how
+// many entries each name table gained and which claims were appended.
+// It is the unit incremental discovery consumes — see core's
+// IncrementalState.
+type Delta struct {
+	// NewSources, NewObjects and NewAttrs count the entries appended to
+	// the respective name tables.
+	NewSources, NewObjects, NewAttrs int
+	// Claims is the appended claim suffix (it aliases the successor's
+	// Claims storage; callers must not modify it).
+	Claims []Claim
+}
+
+// ShapeChanged reports whether the successor grew any identifier space.
+// A shape change invalidates the (object, source) column layout of the
+// attribute truth vectors, so incremental consumers rebuild geometry
+// instead of patching rows.
+func (d *Delta) ShapeChanged() bool {
+	return d.NewSources > 0 || d.NewObjects > 0 || d.NewAttrs > 0
+}
+
+// prefixSamples is how many evenly spaced claim positions Diff compares
+// to validate the structural-prefix property, besides both endpoints.
+// Registry snapshots are built copy-on-append (the predecessor's claims
+// are re-interned in order before the batch), so the property holds by
+// construction there; the sampling is a cheap integrity check against
+// misuse — full O(n) comparison on every single-claim append would cost
+// more than the incremental update it guards.
+const prefixSamples = 32
+
+// Diff verifies that next extends prev — every name table and the claim
+// list of prev must be a prefix of next's — and returns the appended
+// delta. Name tables are compared in full (they are small); the claim
+// prefix is spot-checked at sampled positions, and the appended suffix
+// is validated against next's identifier spaces. Callers whose
+// predecessor claims are NOT structurally shared with the successor
+// (anything other than copy-on-append snapshots) get undefined
+// incremental results if a non-prefix pair slips past the samples; the
+// registry's append path is the supported producer.
+func Diff(prev, next *Dataset) (*Delta, error) {
+	if prev == nil || next == nil {
+		return nil, fmt.Errorf("truthdata: Diff requires two datasets")
+	}
+	if err := prefixTable("sources", prev.Sources, next.Sources); err != nil {
+		return nil, err
+	}
+	if err := prefixTable("objects", prev.Objects, next.Objects); err != nil {
+		return nil, err
+	}
+	if err := prefixTable("attrs", prev.Attrs, next.Attrs); err != nil {
+		return nil, err
+	}
+	n := len(prev.Claims)
+	if len(next.Claims) < n {
+		return nil, fmt.Errorf("truthdata: successor has %d claims, predecessor %d: not an extension", len(next.Claims), n)
+	}
+	if n > 0 {
+		checks := samplePositions(n)
+		for _, i := range checks {
+			if prev.Claims[i] != next.Claims[i] {
+				return nil, fmt.Errorf("truthdata: claim %d diverges between versions: predecessor is not a structural prefix", i)
+			}
+		}
+	}
+	d := &Delta{
+		NewSources: len(next.Sources) - len(prev.Sources),
+		NewObjects: len(next.Objects) - len(prev.Objects),
+		NewAttrs:   len(next.Attrs) - len(prev.Attrs),
+		Claims:     next.Claims[n:],
+	}
+	for i, c := range d.Claims {
+		if int(c.Source) < 0 || int(c.Source) >= len(next.Sources) ||
+			int(c.Object) < 0 || int(c.Object) >= len(next.Objects) ||
+			int(c.Attr) < 0 || int(c.Attr) >= len(next.Attrs) {
+			return nil, fmt.Errorf("truthdata: appended claim %d references ids outside the successor's tables", n+i)
+		}
+		if c.Value == "" {
+			return nil, fmt.Errorf("truthdata: appended claim %d has an empty value", n+i)
+		}
+	}
+	return d, nil
+}
+
+// prefixTable checks that old is a prefix of new, entry by entry.
+func prefixTable(what string, old, new []string) error {
+	if len(new) < len(old) {
+		return fmt.Errorf("truthdata: successor has %d %s, predecessor %d: not an extension", len(new), what, len(old))
+	}
+	for i := range old {
+		if old[i] != new[i] {
+			return fmt.Errorf("truthdata: %s[%d] renamed between versions (%q -> %q)", what, i, old[i], new[i])
+		}
+	}
+	return nil
+}
+
+// samplePositions returns the claim indices Diff compares: both
+// endpoints plus up to prefixSamples evenly spaced interior positions,
+// deduplicated and within [0, n).
+func samplePositions(n int) []int {
+	if n <= prefixSamples+2 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, 0, prefixSamples+2)
+	out = append(out, 0)
+	step := n / prefixSamples
+	for i := step; i < n-1; i += step {
+		out = append(out, i)
+	}
+	return append(out, n-1)
+}

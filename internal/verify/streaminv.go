@@ -1,0 +1,285 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"time"
+
+	"tdac"
+	"tdac/internal/server"
+	"tdac/internal/sse"
+	"tdac/internal/truthdata"
+)
+
+// Streaming and incremental invariants: the event stream is a faithful
+// second transport for job results, and the server's incremental
+// discovery path is a pure optimisation — neither may ever change an
+// answer.
+
+func init() {
+	register(
+		Invariant{
+			Name:        "incremental-vs-cold",
+			Class:       Metamorphic,
+			Description: "discoveries through the server's per-dataset incremental state return the same truth, trust, partition and silhouette as cold from-scratch runs at every version of a growing dataset",
+			Quick:       false,
+			Check:       checkIncrementalVsCold,
+		},
+		Invariant{
+			Name:        "stream-vs-poll",
+			Class:       Differential,
+			Description: "a job's terminal SSE frame carries byte-identical JSON to polling GET /v1/jobs/{id}, and the stream's frame ids are gapless from 1",
+			Quick:       false,
+			Check:       checkStreamVsPoll,
+		},
+	)
+}
+
+// compareResult checks a wire job result against a direct library run
+// on the equivalent local dataset, field by field.
+func compareResult(label string, jv *jobReply, local *truthdata.Dataset, direct *tdac.Result) error {
+	if jv.State != string(server.JobDone) {
+		return fmt.Errorf("%s: job finished %s: %s", label, jv.State, jv.Error)
+	}
+	if jv.Result == nil {
+		return fmt.Errorf("%s: job done but carries no result", label)
+	}
+	if got, want := len(jv.Result.Truth), len(direct.Truth); got != want {
+		return fmt.Errorf("%s: %d truth cells, cold run %d", label, got, want)
+	}
+	wantTruth := make(map[string]string, len(direct.Truth))
+	for cell, v := range direct.Truth {
+		wantTruth[local.ObjectName(cell.Object)+"\x1f"+local.AttrName(cell.Attr)] = v
+	}
+	for _, e := range jv.Result.Truth {
+		if want := wantTruth[e.Object+"\x1f"+e.Attribute]; e.Value != want {
+			return fmt.Errorf("%s: truth for %s/%s: incremental %q, cold %q", label, e.Object, e.Attribute, e.Value, want)
+		}
+	}
+	wantTrust := make(map[string]float64, len(direct.Trust))
+	for i, t := range direct.Trust {
+		wantTrust[local.SourceName(truthdata.SourceID(i))] = t
+	}
+	if got, want := len(jv.Result.Trust), len(wantTrust); got != want {
+		return fmt.Errorf("%s: %d trust entries, cold run %d", label, got, want)
+	}
+	for _, e := range jv.Result.Trust {
+		if want, ok := wantTrust[e.Source]; !ok || e.Trust != want {
+			return fmt.Errorf("%s: trust of %s: incremental %v, cold %v", label, e.Source, e.Trust, want)
+		}
+	}
+	if jv.Result.Silhouette == nil {
+		return fmt.Errorf("%s: result carries no silhouette", label)
+	}
+	if *jv.Result.Silhouette != direct.Silhouette {
+		return fmt.Errorf("%s: silhouette: incremental %v, cold %v", label, *jv.Result.Silhouette, direct.Silhouette)
+	}
+	directGroups := make([][]string, len(direct.Partition))
+	for i, g := range direct.Partition {
+		for _, a := range g {
+			directGroups[i] = append(directGroups[i], local.AttrName(a))
+		}
+	}
+	if got, want := canonicalPartitionNames(jv.Result.Partition), canonicalPartitionNames(directGroups); got != want {
+		return fmt.Errorf("%s: partition: incremental %s, cold %s", label, got, want)
+	}
+	return nil
+}
+
+func checkIncrementalVsCold(cfg Config) error {
+	gen, err := plantedDataset(24)
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+	d := gen.Dataset
+
+	s, err := server.New(server.Config{Workers: 1, QueueSize: 8})
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	claims := make([]server.ClaimInput, len(d.Claims))
+	for i, c := range d.Claims {
+		claims[i] = server.ClaimInput{
+			Source:    d.SourceName(c.Source),
+			Object:    d.ObjectName(c.Object),
+			Attribute: d.AttrName(c.Attr),
+			Value:     c.Value,
+		}
+	}
+	if err := postJSON(client, ts.URL+"/v1/datasets", map[string]string{"name": "grow"}, nil); err != nil {
+		return err
+	}
+
+	// Grow the dataset in three appends. After each append, one
+	// discovery through the server's incremental state must match a
+	// cold direct run on an identically built local dataset. The first
+	// round primes the state; later rounds exercise the append path.
+	cuts := []int{len(claims) / 3, 2 * len(claims) / 3, len(claims)}
+	prev := 0
+	for round, cut := range cuts {
+		if err := postJSON(client, ts.URL+"/v1/datasets/grow/claims", map[string]any{"claims": claims[prev:cut]}, nil); err != nil {
+			return err
+		}
+		prev = cut
+		// A fresh builder per round: Build returns the builder's own
+		// dataset, whose compiled index is pinned on first use, so a
+		// reused builder would hand later rounds a stale index.
+		b := tdac.NewBuilder("verify-incr")
+		for _, c := range claims[:cut] {
+			b.Claim(c.Source, c.Object, c.Attribute, c.Value)
+		}
+		local, err := b.Build()
+		if err != nil {
+			return fmt.Errorf("local build: %w", err)
+		}
+
+		const seed = int64(1)
+		cold, err := tdac.Discover(local, tdac.WithSeed(seed), tdac.WithReference("MajorityVote"))
+		if err != nil {
+			return fmt.Errorf("cold discover round %d: %w", round, err)
+		}
+		var submitted struct {
+			ID string `json:"id"`
+		}
+		if err := postJSON(client, ts.URL+"/v1/datasets/grow/discover",
+			map[string]any{"seed": seed, "incremental": true}, &submitted); err != nil {
+			return err
+		}
+		jv, err := awaitJob(client, ts.URL, submitted.ID)
+		if err != nil {
+			return err
+		}
+		if err := compareResult(fmt.Sprintf("round %d (%d claims)", round, cut), jv, local, cold); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkStreamVsPoll(cfg Config) error {
+	gen, err := plantedDataset(16)
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+	d := gen.Dataset
+
+	s, err := server.New(server.Config{Workers: 1, QueueSize: 8})
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	if err := s.Registry().Create("verify", d); err != nil {
+		return err
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := postJSON(client, ts.URL+"/v1/datasets/verify/discover", map[string]any{"seed": 1}, &submitted); err != nil {
+		return err
+	}
+
+	// Consume the whole stream to its terminal frame.
+	resp, err := client.Get(ts.URL + "/v1/jobs/" + submitted.ID + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET events: %s", resp.Status)
+	}
+	r := sse.NewReader(resp.Body)
+	var (
+		frames   []sse.Event
+		terminal *sse.Event
+	)
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("reading stream: %w", err)
+		}
+		frames = append(frames, ev)
+	}
+	if len(frames) == 0 {
+		return fmt.Errorf("stream delivered no frames")
+	}
+	for i := range frames {
+		if want := strconv.Itoa(i + 1); frames[i].ID != want {
+			return fmt.Errorf("frame %d has id %q, want %s (ids must be gapless from 1)", i, frames[i].ID, want)
+		}
+	}
+	terminal = &frames[len(frames)-1]
+	if terminal.Name != "state" {
+		return fmt.Errorf("stream ended on a %q frame, want the terminal state", terminal.Name)
+	}
+
+	// Byte identity: the terminal frame's payload is exactly the polled
+	// body (the SSE encoding strips the trailing newline).
+	poll, err := client.Get(ts.URL + "/v1/jobs/" + submitted.ID)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(poll.Body)
+	poll.Body.Close()
+	if err != nil {
+		return err
+	}
+	if terminal.Data+"\n" != string(body) {
+		return fmt.Errorf("terminal frame payload is not byte-identical to the polled job:\nstream: %s\npoll:   %s", terminal.Data, body)
+	}
+
+	// Resume from any mid-stream id replays exactly the suffix.
+	mid := len(frames) / 2
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+submitted.ID+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Last-Event-ID", frames[mid].ID)
+	resp2, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp2.Body.Close()
+	r2 := sse.NewReader(resp2.Body)
+	for i := mid + 1; ; i++ {
+		ev, err := r2.Next()
+		if err == io.EOF {
+			if i != len(frames) {
+				return fmt.Errorf("resume after id %s replayed %d frames, want %d", frames[mid].ID, i-mid-1, len(frames)-mid-1)
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("reading resumed stream: %w", err)
+		}
+		if i >= len(frames) {
+			return fmt.Errorf("resume replayed extra frame %+v past the sealed backlog", ev)
+		}
+		if ev != frames[i] {
+			return fmt.Errorf("resumed frame %d = %+v, want %+v (must be an exact suffix)", i, ev, frames[i])
+		}
+	}
+}

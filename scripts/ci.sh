@@ -47,7 +47,7 @@ matrix=$(go test -run '^TestCrashRecoveryMatrix$' -count=1 -v ./internal/server)
 }
 passed=$(echo "$matrix" | grep -c -- '--- PASS: TestCrashRecoveryMatrix/')
 echo "    $passed crash scenarios passed"
-[ "$passed" -ge 26 ] || { echo "crash matrix ran only $passed scenarios, want >= 26" >&2; exit 1; }
+[ "$passed" -ge 32 ] || { echo "crash matrix ran only $passed scenarios, want >= 32" >&2; exit 1; }
 
 # Static analysis beyond vet, when the tool exists in the environment;
 # otherwise exercise the serving packages' benchmarks as a compile+run
@@ -70,8 +70,8 @@ echo "==> verification harness (tdac-verify)"
 # count is asserted so the harness can never silently shrink.
 harness=$(go run ./cmd/tdac-verify) || { echo "$harness" >&2; exit 1; }
 echo "$harness" | sed 's/^/    /'
-echo "$harness" | grep -q '^24 invariants verified$' || {
-    echo "tdac-verify did not verify all 24 invariants" >&2
+echo "$harness" | grep -q '^26 invariants verified$' || {
+    echo "tdac-verify did not verify all 26 invariants" >&2
     exit 1
 }
 
@@ -84,6 +84,8 @@ go test -run '^$' -fuzz '^FuzzPackedHammingEquivalence$' -fuzztime 10s ./interna
 go test -run '^$' -fuzz '^FuzzWALRecovery$' -fuzztime 10s ./internal/wal
 go test -run '^$' -fuzz '^FuzzVerifyInvariants$' -fuzztime 10s ./internal/verify
 go test -run '^$' -fuzz '^FuzzFlat$' -fuzztime 10s ./internal/truthdata
+go test -run '^$' -fuzz '^FuzzIncrementalAppend$' -fuzztime 10s ./internal/core
+go test -run '^$' -fuzz '^FuzzSSERoundTrip$' -fuzztime 10s ./internal/sse
 
 echo "==> bench report schema (BENCH_tdac.json)"
 go run ./cmd/tdacbench -validate BENCH_tdac.json

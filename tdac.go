@@ -35,6 +35,7 @@ package tdac
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -104,6 +105,21 @@ type (
 	// Observer receives phase-completion events while a run is in
 	// flight (see WithObserver).
 	Observer = obs.Observer
+	// Event is one streaming pipeline observation (see WithEvents).
+	Event = obs.Event
+	// EventKind classifies a streaming Event.
+	EventKind = obs.EventKind
+	// EventSink receives streaming Events while a run is in flight.
+	EventSink = obs.EventSink
+)
+
+// The streaming event kinds delivered to a WithEvents sink: phase
+// brackets, per-k sweep progress and per-group base-run completions.
+const (
+	EventPhaseStart = obs.EventPhaseStart
+	EventPhaseEnd   = obs.EventPhaseEnd
+	EventK          = obs.EventK
+	EventGroup      = obs.EventGroup
 )
 
 // The pipeline phases observers see, in execution order. A TD-AC
@@ -120,6 +136,9 @@ const (
 	PhaseBaseRuns       = obs.PhaseBaseRuns
 	PhaseMerge          = obs.PhaseMerge
 	PhaseDiscover       = obs.PhaseDiscover
+	// PhaseIncrementalSync replaces Index/Reference/TruthVectors and the
+	// matrix build on the incremental path (see WithIncremental).
+	PhaseIncrementalSync = obs.PhaseIncrementalSync
 )
 
 // NewBuilder returns a builder for a dataset with the given name.
@@ -196,6 +215,8 @@ const (
 	optSeed
 	optStats
 	optObserver
+	optEvents
+	optIncremental
 )
 
 var optNames = []struct {
@@ -212,6 +233,8 @@ var optNames = []struct {
 	{optSeed, "WithSeed"},
 	{optStats, "WithStats"},
 	{optObserver, "WithObserver"},
+	{optEvents, "WithEvents"},
+	{optIncremental, "WithIncremental"},
 }
 
 // names renders the set bits as a comma-separated option list.
@@ -229,20 +252,22 @@ func (s optSet) names() string {
 }
 
 type config struct {
-	base       string
-	baseOpts   []BaseOption
-	reference  string
-	refOpts    []BaseOption
-	minK       int
-	maxK       int
-	parallel   bool
-	masked     bool
-	seed       int64
-	workers    int
-	projectDim int
-	stats      bool
-	observer   Observer
-	set        optSet
+	base        string
+	baseOpts    []BaseOption
+	reference   string
+	refOpts     []BaseOption
+	minK        int
+	maxK        int
+	parallel    bool
+	masked      bool
+	seed        int64
+	workers     int
+	projectDim  int
+	stats       bool
+	observer    Observer
+	events      EventSink
+	incremental *IncrementalState
+	set         optSet
 }
 
 // apply runs the options over a default config.
@@ -266,10 +291,13 @@ func (c *config) reject(mask optSet, entry, hint string) error {
 }
 
 // recorder builds the run's Recorder: nil (collection off) unless
-// WithStats or WithObserver asked for observation.
+// WithStats, WithObserver or WithEvents asked for observation.
 func (c *config) recorder() *obs.Recorder {
-	if !c.stats && c.observer == nil {
+	if !c.stats && c.observer == nil && c.events == nil {
 		return nil
+	}
+	if c.events != nil {
+		return obs.NewRecorderEvents(c.observer, c.events)
 	}
 	return obs.NewRecorder(c.observer)
 }
@@ -280,6 +308,24 @@ func (c *config) recorder() *obs.Recorder {
 func buildTDAC(cfg *config) (*core.TDAC, error) {
 	if cfg.masked && cfg.projectDim > 0 {
 		return nil, fmt.Errorf("tdac: WithProjection cannot be combined with WithSparseAware (the mask markers do not survive projection)")
+	}
+	if cfg.incremental != nil {
+		if cfg.masked {
+			return nil, fmt.Errorf("tdac: WithIncremental cannot be combined with WithSparseAware (the incremental geometry is pinned to the dense Hamming pipeline)")
+		}
+		if cfg.projectDim > 0 {
+			return nil, fmt.Errorf("tdac: WithIncremental cannot be combined with WithProjection (projected geometry cannot be patched per attribute row)")
+		}
+		switch cfg.reference {
+		case "":
+			// With a maintained state the reference defaults to
+			// MajorityVote — the only reference whose truth updates
+			// bit-identically under appends — not to the base algorithm.
+			cfg.reference = "MajorityVote"
+		case "MajorityVote":
+		default:
+			return nil, fmt.Errorf("tdac: WithIncremental requires a MajorityVote reference, not WithReference(%q)", cfg.reference)
+		}
 	}
 	base, err := algorithms.New(cfg.base, cfg.baseOpts...)
 	if err != nil {
@@ -455,6 +501,97 @@ func WithObserver(fn Observer) Option {
 	}
 }
 
+// WithEvents streams fine-grained pipeline events to fn while the run
+// is in flight: phase starts and ends, every explored k of the sweep
+// with its silhouette, and every finished per-group base run. It is the
+// push counterpart of WithStats (which it implies — the full RunStats
+// tree is still collected) and feeds the daemon's job event stream.
+// Events from parallel stages arrive in completion order, which is
+// scheduling-dependent; do not infer determinism from event order.
+// Like an Observer, fn runs on the pipeline's critical path and may be
+// called concurrently — keep it fast and concurrency-safe. Event
+// emission never alters results: an observed run is bit-identical to an
+// unobserved one.
+func WithEvents(fn EventSink) Option {
+	return func(c *config) error {
+		if fn == nil {
+			return fmt.Errorf("tdac: WithEvents(nil): sink must not be nil")
+		}
+		c.events = fn
+		c.stats = true
+		c.set |= optEvents
+		return nil
+	}
+}
+
+// IncrementalState carries TD-AC's discovery prologue — the MajorityVote
+// reference tallies, the attribute truth vectors, the packed distance
+// geometry — across growing versions of one dataset. Pass the same
+// state to successive Discover calls via WithIncremental: when the new
+// dataset is an append-extension of the previously discovered one, only
+// the cells touched by the appended claims are reprocessed, instead of
+// rebuilding everything from scratch. Results are bit-identical to a
+// cold run either way (pinned by the incremental-vs-cold invariant and
+// FuzzIncrementalAppend); a dataset that is not an extension silently
+// falls back to a cold rebuild, so a state is never wrong, at worst not
+// faster. A state must not be shared by concurrent Discover calls.
+type IncrementalState struct {
+	st *core.IncrementalState
+}
+
+// NewIncrementalState returns an empty state for WithIncremental; the
+// first Discover through it pays the full cold cost and primes it.
+func NewIncrementalState() *IncrementalState {
+	return &IncrementalState{st: core.NewIncrementalState()}
+}
+
+// SnapshotJSON serialises the state's maintained maps (tallies and
+// reference truth — the geometry is re-derived on restore) into a
+// stable JSON form: equal states marshal byte-identically. It errors on
+// a state that has never been primed by a Discover call.
+func (st *IncrementalState) SnapshotJSON() ([]byte, error) {
+	snap := st.st.Snapshot()
+	if snap == nil {
+		return nil, fmt.Errorf("tdac: incremental state has not been primed; nothing to snapshot")
+	}
+	return json.Marshal(snap)
+}
+
+// RestoreJSON loads a SnapshotJSON payload taken against exactly
+// dataset version d, replacing the state's contents. A payload that is
+// torn, malformed or describes any other dataset version returns an
+// error and leaves st unchanged; the caller should fall back to a cold
+// prime — a bad snapshot costs a rebuild, never a wrong result.
+func (st *IncrementalState) RestoreJSON(d *Dataset, raw []byte) error {
+	var snap core.StateSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("tdac: decoding incremental state snapshot: %w", err)
+	}
+	restored, err := core.RestoreState(d, &snap)
+	if err != nil {
+		return err
+	}
+	st.st = restored
+	return nil
+}
+
+// WithIncremental reuses st's maintained prologue for this run (see
+// IncrementalState). The incremental geometry is pinned to the default
+// dense pipeline: WithSparseAware and WithProjection are rejected, and
+// the reference must be MajorityVote — WithReference may name it
+// explicitly, and defaults to it (not to the base algorithm) when this
+// option is present.
+func WithIncremental(st *IncrementalState) Option {
+	return func(c *config) error {
+		if st == nil || st.st == nil {
+			return fmt.Errorf("tdac: WithIncremental(nil): state must come from NewIncrementalState")
+		}
+		c.incremental = st
+		c.set |= optIncremental
+		return nil
+	}
+}
+
 // ValidateOptions checks an option list for well-formedness and mutual
 // consistency — unknown algorithm names, invalid ranges, incompatible
 // combinations (WithProjection + WithSparseAware) — without running
@@ -492,7 +629,12 @@ func DiscoverContext(ctx context.Context, d *Dataset, opts ...Option) (*Result, 
 		return nil, err
 	}
 	t.Recorder = cfg.recorder()
-	out, err := t.RunContext(ctx, d)
+	var out *core.Outcome
+	if cfg.incremental != nil {
+		out, err = t.RunWithState(ctx, d, cfg.incremental.st)
+	} else {
+		out, err = t.RunContext(ctx, d)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -544,8 +686,8 @@ func RunContext(ctx context.Context, d *Dataset, algorithm string, opts ...Optio
 	if err != nil {
 		return nil, err
 	}
-	if err := cfg.reject(^(optStats | optObserver | optBase), "Run",
-		"it runs the base algorithm directly, without TD-AC's partitioning; only WithStats, WithObserver and WithBase apply"); err != nil {
+	if err := cfg.reject(^(optStats | optObserver | optEvents | optBase), "Run",
+		"it runs the base algorithm directly, without TD-AC's partitioning; only WithStats, WithObserver, WithEvents and WithBase apply"); err != nil {
 		return nil, err
 	}
 	if cfg.set&optBase != 0 && cfg.base != algorithm {
@@ -654,7 +796,7 @@ func CheckStabilityContext(ctx context.Context, d *Dataset, runs int, opts ...Op
 	if err != nil {
 		return nil, err
 	}
-	if err := cfg.reject(optParallel, "CheckStability",
+	if err := cfg.reject(optParallel|optIncremental, "CheckStability",
 		"it never runs the base algorithm per group; use WithWorkers to parallelise its k-sweeps"); err != nil {
 		return nil, err
 	}
