@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-report ci fmt vet verify serve
+.PHONY: all build test race bench bench-report ci fmt vet verify serve cluster
 
 all: build
 
@@ -18,7 +18,7 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# bench-report regenerates BENCH_tdac.json (schema tdac-bench/4): per-phase
+# bench-report regenerates BENCH_tdac.json (schema tdac-bench/5): per-phase
 # median wall times for the paper configs, per-algorithm indexed-vs-naive
 # timings on DS1, and the WAL ingest-overhead section, then re-validates
 # the file so a broken write never lands.
@@ -47,6 +47,21 @@ serve:
 	$(GO) run ./cmd/tdacd -addr :8321 \
 		-load exam62=./data/exam-62-claims.csv \
 		-truth exam62=./data/exam-62-truth.csv
+
+# cluster boots a 3-shard demo cluster on one machine: shards s0-s2 on
+# :8321-:8323 (s0 durable with a WAL follower on :8331 mirroring it) and
+# tdac-router in front on :8320. Ctrl-C tears the whole group down. See
+# README "Running a cluster" and DESIGN.md §14.
+CLUSTER := s0=http://127.0.0.1:8321+http://127.0.0.1:8331,s1=http://127.0.0.1:8322,s2=http://127.0.0.1:8323
+cluster: build
+	mkdir -p data/cluster/s0
+	@trap 'kill 0' INT TERM; \
+	$(GO) run ./cmd/tdacd -addr :8321 -shard-id s0 -cluster "$(CLUSTER)" -data-dir data/cluster/s0 & \
+	$(GO) run ./cmd/tdacd -addr :8322 -shard-id s1 -cluster "$(CLUSTER)" & \
+	$(GO) run ./cmd/tdacd -addr :8323 -shard-id s2 -cluster "$(CLUSTER)" & \
+	$(GO) run ./cmd/tdacd -addr :8331 -follow http://127.0.0.1:8321 -shard-id s0 -cluster "$(CLUSTER)" -data-dir data/cluster/s0-mirror & \
+	$(GO) run ./cmd/tdac-router -addr :8320 -cluster "$(CLUSTER)" & \
+	wait
 
 # ci is the full verification gate (fmt check, vet, build, race tests,
 # the seeded crash-recovery matrix, k-sweep benchmark smoke, fuzz smoke

@@ -17,7 +17,7 @@ import (
 	"testing"
 
 	"tdac/internal/algorithms"
-	"tdac/internal/cluster"
+	"tdac/internal/clustering"
 	"tdac/internal/core"
 	"tdac/internal/experiments"
 	"tdac/internal/metrics"
@@ -116,7 +116,7 @@ func randIndex(out *core.Outcome, g *synth.Generated) float64 {
 
 func BenchmarkAblationKMeansInit(b *testing.B) {
 	g := ablationDataset(b)
-	for _, init := range []cluster.InitMethod{cluster.InitKMeansPlusPlus, cluster.InitFirstK, cluster.InitRandom} {
+	for _, init := range []clustering.InitMethod{clustering.InitKMeansPlusPlus, clustering.InitFirstK, clustering.InitRandom} {
 		init := init
 		b.Run(init.String(), func(b *testing.B) {
 			runTDACVariant(b, g, func(t *core.TDAC) { t.KMeans.Init = init })
@@ -126,7 +126,7 @@ func BenchmarkAblationKMeansInit(b *testing.B) {
 
 func BenchmarkAblationDistance(b *testing.B) {
 	g := ablationDataset(b)
-	for _, dist := range []cluster.Distance{cluster.Hamming{}, cluster.Euclidean{}} {
+	for _, dist := range []clustering.Distance{clustering.Hamming{}, clustering.Euclidean{}} {
 		dist := dist
 		b.Run(dist.Name(), func(b *testing.B) {
 			runTDACVariant(b, g, func(t *core.TDAC) { t.Distance = dist })
@@ -203,9 +203,9 @@ func elbowTDAC(d *truthdata.Dataset) (float64, error) {
 		return 0, err
 	}
 	tv := core.BuildTruthVectors(d, ref.Truth, false)
-	km := cluster.KMeans{Distance: cluster.Hamming{}}
+	km := clustering.KMeans{Distance: clustering.Hamming{}}
 	var inertias []float64
-	clusterings := map[int]*cluster.Clustering{}
+	clusterings := map[int]*clustering.Clustering{}
 	maxK := d.NumAttrs() - 1
 	for k := 2; k <= maxK; k++ {
 		c, err := km.Cluster(tv.Vectors, k)
@@ -217,7 +217,7 @@ func elbowTDAC(d *truthdata.Dataset) (float64, error) {
 		inertias = append(inertias, c.MetricInertia)
 		clusterings[k] = c
 	}
-	k := cluster.ElbowK(inertias, 2, 0.15)
+	k := clustering.ElbowK(inertias, 2, 0.15)
 	chosen := clusterings[k]
 	t := core.New(base)
 	t.MinK, t.MaxK = k, k
@@ -236,11 +236,11 @@ func BenchmarkAblationClusterer(b *testing.B) {
 	b.Run("kmeans", func(b *testing.B) {
 		runTDACVariant(b, g, func(t *core.TDAC) {})
 	})
-	for _, l := range []cluster.Linkage{cluster.AverageLinkage, cluster.SingleLinkage, cluster.CompleteLinkage} {
+	for _, l := range []clustering.Linkage{clustering.AverageLinkage, clustering.SingleLinkage, clustering.CompleteLinkage} {
 		l := l
 		b.Run("agglomerative-"+l.String(), func(b *testing.B) {
 			runTDACVariant(b, g, func(t *core.TDAC) {
-				t.Clusterer = &cluster.Agglomerative{Linkage: l, Distance: cluster.Hamming{}}
+				t.Clusterer = &clustering.Agglomerative{Linkage: l, Distance: clustering.Hamming{}}
 			})
 		})
 	}
@@ -290,15 +290,15 @@ func ksweepTruthVectors(b *testing.B) (*truthdata.Dataset, *core.TruthVectors) {
 // TestKSweepMatchesSeedImplementation).
 func seedKSweep(b *testing.B, tv *core.TruthVectors, nAttrs int) float64 {
 	b.Helper()
-	km := cluster.KMeans{Seed: 1, Distance: cluster.Hamming{}, DisableAccel: true}
-	distMatrix := cluster.DistanceMatrix(tv.Vectors, cluster.Hamming{})
+	km := clustering.KMeans{Seed: 1, Distance: clustering.Hamming{}, DisableAccel: true}
+	distMatrix := clustering.DistanceMatrix(tv.Vectors, clustering.Hamming{})
 	bestSil, haveBest := 0.0, false
 	for k := 2; k <= nAttrs-1; k++ {
 		c, err := km.Cluster(tv.Vectors, k)
 		if err != nil {
 			b.Fatal(err)
 		}
-		sil := cluster.SilhouetteFromMatrix(distMatrix, c.Assign, k)
+		sil := clustering.SilhouetteFromMatrix(distMatrix, c.Assign, k)
 		if !haveBest || sil > bestSil {
 			haveBest, bestSil = true, sil
 		}

@@ -371,13 +371,25 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any, ide
 	return fmt.Errorf("client: giving up after %d attempts: %w", c.retry.MaxAttempts, lastErr)
 }
 
-// do performs a single HTTP exchange.
+// do performs a single HTTP exchange. Every exchange starts at c.base
+// — owner resolution is per-attempt and never cached, so after a
+// cluster reshuffle or failover the next retry re-resolves through the
+// router instead of pinning a stale shard.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	return c.doAt(ctx, c.base, method, path, body, out, true)
+}
+
+// doAt performs one exchange against a specific base URL. followOwner
+// permits one hop on a 421 Misdirected Request: a shard that does not
+// own the dataset names its owner, and the call is re-issued there —
+// once, so two misconfigured shards pointing at each other fail fast
+// instead of looping.
+func (c *Client) doAt(ctx context.Context, base, method, path string, body []byte, out any, followOwner bool) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return fmt.Errorf("client: building request: %w", err)
 	}
@@ -392,6 +404,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		return fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode == http.StatusMisdirectedRequest && followOwner {
+		if owner := ownerFromMisdirect(data); owner != "" {
+			return c.doAt(ctx, owner, method, path, body, out, false)
+		}
 	}
 	if resp.StatusCode >= 300 {
 		ae := &APIError{Status: resp.StatusCode, Message: http.StatusText(resp.StatusCode)}
@@ -415,6 +432,18 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		}
 	}
 	return nil
+}
+
+// ownerFromMisdirect extracts the owning shard's URL from a 421 body
+// ({"error": ..., "shard": id, "owner": url}), "" when absent.
+func ownerFromMisdirect(data []byte) string {
+	var mis struct {
+		Owner string `json:"owner"`
+	}
+	if json.Unmarshal(data, &mis) != nil {
+		return ""
+	}
+	return strings.TrimRight(mis.Owner, "/")
 }
 
 // retryAfterError carries a server-sent Retry-After alongside the API

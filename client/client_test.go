@@ -208,3 +208,65 @@ func jsonDecode(r *http.Request, out any) error {
 	defer r.Body.Close()
 	return json.NewDecoder(r.Body).Decode(out)
 }
+
+// TestFollowsMisdirectToOwner pins the 421 hop: a shard that does not
+// own the dataset names its owner, and the client re-issues there —
+// per attempt, never caching the owner across calls.
+func TestFollowsMisdirectToOwner(t *testing.T) {
+	var ownerCalls atomic.Int32
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ownerCalls.Add(1)
+		w.Write([]byte(`{"name":"d","version":3}`))
+	}))
+	defer owner.Close()
+
+	var wrongCalls atomic.Int32
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		wrongCalls.Add(1)
+		w.WriteHeader(http.StatusMisdirectedRequest)
+		json.NewEncoder(w).Encode(map[string]string{
+			"error": "dataset \"d\" is owned by shard \"s1\", not \"s0\"",
+			"shard": "s1",
+			"owner": owner.URL,
+		})
+	}))
+	for i := 0; i < 2; i++ {
+		info, err := c.GetDataset(context.Background(), "d")
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if info.Version != 3 {
+			t.Fatalf("call %d: info = %+v, want the owner's answer", i, info)
+		}
+	}
+	// Both calls started at the configured base: resolution is never
+	// cached, so a later reshuffle re-routes naturally.
+	if wrongCalls.Load() != 2 || ownerCalls.Load() != 2 {
+		t.Fatalf("wrong=%d owner=%d, want 2 and 2", wrongCalls.Load(), ownerCalls.Load())
+	}
+}
+
+// TestMisdirectLoopFailsFast: two shards pointing at each other must
+// not bounce forever — one hop, then the 421 surfaces.
+func TestMisdirectLoopFailsFast(t *testing.T) {
+	var a, b *httptest.Server
+	mis := func(other func() string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusMisdirectedRequest)
+			json.NewEncoder(w).Encode(map[string]string{"error": "not mine", "owner": other()})
+		}
+	}
+	a = httptest.NewServer(mis(func() string { return b.URL }))
+	defer a.Close()
+	b = httptest.NewServer(mis(func() string { return a.URL }))
+	defer b.Close()
+	c, err := New(a.URL, WithRetry(Retry{MaxAttempts: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.GetDataset(context.Background(), "d")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusMisdirectedRequest {
+		t.Fatalf("err = %v, want surfaced 421", err)
+	}
+}

@@ -60,6 +60,41 @@ func (c *Client) streamHTTP() *http.Client {
 	return &http.Client{Transport: c.http.Transport, Jar: c.http.Jar}
 }
 
+// watchConnect dials the event stream for one reconnect attempt. Every
+// attempt starts over at c.base and re-resolves from there — following
+// at most one 421 owner redirect — rather than reusing a previously
+// resolved shard URL. That re-resolution is what lets a watch survive a
+// failover: when the primary dies mid-stream and its follower is
+// promoted, the next retry lands on the router's new target instead of
+// pinning the dead primary forever.
+func (c *Client) watchConnect(ctx context.Context, httpc *http.Client, id, lastID string) (*http.Response, error) {
+	target := c.base
+	for hop := 0; ; hop++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			target+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+		if err != nil {
+			return nil, fmt.Errorf("client: building watch request: %w", err)
+		}
+		if lastID != "" {
+			req.Header.Set("Last-Event-ID", lastID)
+		}
+		resp, err := httpc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusMisdirectedRequest && hop == 0 {
+			data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if owner := ownerFromMisdirect(data); owner != "" {
+				target = owner
+				continue
+			}
+			return nil, fmt.Errorf("client: watch job %s: misdirected with no owner", id)
+		}
+		return resp, nil
+	}
+}
+
 func (c *Client) watchLoop(ctx context.Context, id string, ch chan<- Event) {
 	defer close(ch)
 	emit := func(ev Event) bool {
@@ -104,17 +139,11 @@ func (c *Client) watchLoop(ctx context.Context, id string, ch chan<- Event) {
 			}
 		}
 		attempt++
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-			c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+		resp, err := c.watchConnect(ctx, httpc, id, lastID)
 		if err != nil {
-			emit(Event{Err: fmt.Errorf("client: building watch request: %w", err)})
-			return
-		}
-		if lastID != "" {
-			req.Header.Set("Last-Event-ID", lastID)
-		}
-		resp, err := httpc.Do(req)
-		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
 			if fallback() {
 				return
 			}

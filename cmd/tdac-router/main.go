@@ -1,0 +1,121 @@
+// Command tdac-router is the single client-facing address of a tdacd
+// cluster. It holds no dataset state: a consistent-hash ring over the
+// static -cluster member list places every dataset on exactly one
+// shard, dataset- and job-scoped requests are forwarded to their owner,
+// cross-shard listings (GET /v1/datasets, GET /v1/jobs) and /metrics
+// are fanned out and merged, and a deterministic health prober drives
+// read failover to a shard's follower plus explicit promotion via
+// POST /v1/cluster/promote/{shard}. See DESIGN.md §14.
+//
+// Usage:
+//
+//	tdac-router -cluster "s0=http://a:8321,s1=http://b:8321+http://b2:8321"
+//	            [-addr :8320] [-vnodes 64]
+//	            [-probe-interval 2s] [-probe-timeout 1s] [-fail-threshold 3]
+//	            [-drain 15s]
+//
+// Router-specific endpoints (everything else proxies the shard API):
+//
+//	GET  /v1/cluster                     member list with health and roles
+//	POST /v1/cluster/promote/{shard}     fail a shard over to its follower
+//	GET  /healthz /readyz /metrics       router health / cluster readiness /
+//	                                     aggregated shard metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tdac/internal/cluster"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tdac-router:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of main: it serves until ctx is cancelled,
+// then shuts down gracefully and returns.
+func run(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tdac-router", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr          = fs.String("addr", ":8320", "listen address")
+		clusterSpec   = fs.String("cluster", "", `static member list "id=url[+followerURL],..." (required)`)
+		vnodes        = fs.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per member on the hash ring")
+		probeInterval = fs.Duration("probe-interval", 2*time.Second, "health-probe period")
+		probeTimeout  = fs.Duration("probe-timeout", time.Second, "per-probe deadline")
+		failThreshold = fs.Int("fail-threshold", 3, "consecutive probe failures before a member is declared dead")
+		drain         = fs.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *clusterSpec == "" {
+		return fmt.Errorf("-cluster is required (an empty cluster cannot route)")
+	}
+	members, err := cluster.ParseMembers(*clusterSpec)
+	if err != nil {
+		return err
+	}
+	ring, err := cluster.NewRing(members, *vnodes)
+	if err != nil {
+		return err
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Ring:          ring,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		FailThreshold: *failThreshold,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	logger := log.New(stderr, "tdac-router: ", log.LstdFlags)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("routing %d shards on http://%s", len(members), ln.Addr())
+	for _, m := range members {
+		if m.Follower != "" {
+			logger.Printf("  shard %s: %s (follower %s)", m.ID, m.URL, m.Follower)
+		} else {
+			logger.Printf("  shard %s: %s", m.ID, m.URL)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down (drain %s)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	return nil
+}

@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"sort"
 	"strings"
@@ -35,6 +37,7 @@ import (
 
 	"tdac"
 	"tdac/internal/algorithms"
+	"tdac/internal/cluster"
 	"tdac/internal/core"
 	"tdac/internal/experiments"
 	"tdac/internal/obs"
@@ -50,7 +53,9 @@ import (
 // versus naive Discover medians on DS1. tdac-bench/4 added the
 // "incremental" section: warm single-claim appends through a shared
 // IncrementalState versus cold from-scratch Discover runs on DS1.
-const Schema = "tdac-bench/4"
+// tdac-bench/5 added the "router" section: the same dataset-read
+// workload against a shard directly and through tdac-router's hop.
+const Schema = "tdac-bench/5"
 
 // phases lists the phase keys every config entry must report, matching
 // the pipeline's execution order.
@@ -78,6 +83,28 @@ type Report struct {
 	// state against cold from-scratch runs on a growing dataset.
 	Incremental *IncrementalResult `json:"incremental"`
 	WAL         *WALResult         `json:"wal"`
+	// Router measures the cost of the tdac-router hop on reads.
+	Router *RouterResult `json:"router"`
+}
+
+// RouterResult measures what routing costs: the same dataset-read
+// workload issued against a shard directly and through a tdac-router in
+// front of it, as median wall time for the whole workload. One shard
+// isolates the pure per-request hop (proxy dial, header copy, body
+// stream); placement itself is O(log vnodes) and never touches the
+// dataset. The routed responses are byte-identical to the direct ones —
+// the cluster-vs-single-node verify invariant pins that — so this
+// section is purely about time.
+type RouterResult struct {
+	// Requests is the number of timed GETs per repetition.
+	Requests int `json:"requests"`
+	Shards   int `json:"shards"`
+	// DirectMedianMS / RoutedMedianMS are median workload wall times
+	// against the shard and through the router.
+	DirectMedianMS float64 `json:"direct_median_ms"`
+	RoutedMedianMS float64 `json:"routed_median_ms"`
+	// OverheadX is RoutedMedianMS / DirectMedianMS.
+	OverheadX float64 `json:"overhead_x"`
 }
 
 // IncrementalResult measures what the incremental path saves: after the
@@ -239,6 +266,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	report.WAL = wr
 	fmt.Fprintf(stderr, "wal: ingest %.2fms off / %.2fms on (%.2fx, fsync=%s)\n",
 		wr.OffMedianMS, wr.OnMedianMS, wr.OverheadX, wr.Fsync)
+
+	rr, err := benchRouter(*reps)
+	if err != nil {
+		return fmt.Errorf("router overhead benchmark: %w", err)
+	}
+	report.Router = rr
+	fmt.Fprintf(stderr, "router: %d reads %.2fms direct / %.2fms routed (%.2fx)\n",
+		rr.Requests, rr.DirectMedianMS, rr.RoutedMedianMS, rr.OverheadX)
 
 	raw, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -588,6 +623,96 @@ func benchWAL(full bool, reps int) (*WALResult, error) {
 	return wr, nil
 }
 
+// benchRouter times a fixed dataset-read workload against one shard
+// directly and through a router in front of it. The shard is real (full
+// HTTP stack over a loopback listener) so the routed-over-direct ratio
+// isolates exactly what the extra hop adds.
+func benchRouter(reps int) (*RouterResult, error) {
+	const (
+		datasets = 3
+		requests = 64
+	)
+	srv, err := server.New(server.Config{Workers: 1, QueueSize: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	names := make([]string, datasets)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench-%d", i)
+		if err := srv.Registry().Create(names[i], nil); err != nil {
+			return nil, err
+		}
+		if _, err := srv.Registry().Append(names[i], []server.ClaimInput{
+			{Source: "s1", Object: "o1", Attribute: "a", Value: "v"},
+		}, nil); err != nil {
+			return nil, err
+		}
+	}
+	shard := httptest.NewServer(srv.Handler())
+	defer shard.Close()
+	ring, err := cluster.NewRing([]cluster.Member{{ID: "s0", URL: shard.URL}}, 0)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Ring: ring, ProbeInterval: time.Hour})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	workload := func(base string) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < requests; i++ {
+			resp, err := client.Get(base + "/v1/datasets/" + names[i%datasets])
+			if err != nil {
+				return 0, err
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return 0, fmt.Errorf("GET %s via %s: %s", names[i%datasets], base, resp.Status)
+			}
+		}
+		return time.Since(start), nil
+	}
+	if _, err := workload(front.URL); err != nil { // warm-up: dials, pools
+		return nil, err
+	}
+	if _, err := workload(shard.URL); err != nil {
+		return nil, err
+	}
+	var directs, routeds []time.Duration
+	for rep := 0; rep < reps; rep++ {
+		d, err := workload(shard.URL)
+		if err != nil {
+			return nil, err
+		}
+		r, err := workload(front.URL)
+		if err != nil {
+			return nil, err
+		}
+		directs, routeds = append(directs, d), append(routeds, r)
+	}
+	rr := &RouterResult{
+		Requests:       requests,
+		Shards:         1,
+		DirectMedianMS: medianMS(directs),
+		RoutedMedianMS: medianMS(routeds),
+	}
+	if rr.DirectMedianMS > 0 {
+		rr.OverheadX = rr.RoutedMedianMS / rr.DirectMedianMS
+	}
+	return rr, nil
+}
+
 func medianMS(ds []time.Duration) float64 {
 	if len(ds) == 0 {
 		return 0
@@ -707,6 +832,24 @@ func Validate(raw []byte) error {
 	}
 	if r.WAL.OverheadX <= 0 {
 		return fmt.Errorf("schema %s: wal: non-positive overhead_x", Schema)
+	}
+	if r.Router == nil {
+		return fmt.Errorf("schema %s: missing router section", Schema)
+	}
+	if r.Router.Requests < 1 || r.Router.Shards < 1 {
+		return fmt.Errorf("schema %s: router: non-positive workload", Schema)
+	}
+	if r.Router.DirectMedianMS <= 0 || r.Router.RoutedMedianMS <= 0 || r.Router.OverheadX <= 0 {
+		return fmt.Errorf("schema %s: router: non-positive timings", Schema)
+	}
+	// The router is a thin streaming proxy: one extra loopback hop, a few
+	// multiples of a direct request at most. A routed read 25x slower than
+	// a direct one means something structural regressed — buffering whole
+	// bodies, re-probing per request, a lock on the hot path — which is
+	// worth failing CI over; normal machine noise stays far below this.
+	if r.Router.OverheadX > 25 {
+		return fmt.Errorf("schema %s: router: routed reads %.1fx slower than direct, want <= 25x",
+			Schema, r.Router.OverheadX)
 	}
 	return nil
 }

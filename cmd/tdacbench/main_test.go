@@ -26,10 +26,11 @@ func TestSmokeRunEmitsValidReport(t *testing.T) {
 	if err := Validate(raw); err != nil {
 		t.Fatalf("generated report invalid: %v\n%s", err, raw)
 	}
-	for _, want := range []string{`"schema": "tdac-bench/4"`, `"dataset": "DS1"`, `"dataset": "exam62-r25"`, `"k-sweep"`,
+	for _, want := range []string{`"schema": "tdac-bench/5"`, `"dataset": "DS1"`, `"dataset": "exam62-r25"`, `"k-sweep"`,
 		`"index"`, `"indexed_median_ms"`, `"naive_median_ms"`, `"speedup_x"`,
 		`"cold_rebuild_ms"`, `"append_sync_ms"`,
-		`"ingest_off_median_ms"`, `"ingest_on_median_ms"`, `"overhead_x"`} {
+		`"ingest_off_median_ms"`, `"ingest_on_median_ms"`, `"overhead_x"`,
+		`"direct_median_ms"`, `"routed_median_ms"`} {
 		if !strings.Contains(string(raw), want) {
 			t.Errorf("report missing %s:\n%s", want, raw)
 		}
@@ -88,7 +89,7 @@ func TestCheckDelta(t *testing.T) {
 // must fail.
 func TestValidateRejectsDrift(t *testing.T) {
 	valid := `{
-	  "schema": "tdac-bench/4", "base": "Accu", "full": false, "reps": 1,
+	  "schema": "tdac-bench/5", "base": "Accu", "full": false, "reps": 1,
 	  "configs": [{
 	    "dataset": "DS1", "attrs": 12, "sources": 30, "objects": 150, "claims": 5000,
 	    "phase_median_ms": {"index": 1, "reference": 1, "truth-vectors": 1, "distance-matrix": 1,
@@ -101,13 +102,15 @@ func TestValidateRejectsDrift(t *testing.T) {
 	                  "cold_rebuild_ms": 5, "append_sync_ms": 0.02, "speedup_x": 250,
 	                  "total_cold_ms": 14, "total_warm_ms": 9},
 	  "wal": {"batches": 32, "claims_per_batch": 25, "fsync": "always",
-	          "ingest_off_median_ms": 2.5, "ingest_on_median_ms": 9.1, "overhead_x": 3.64}
+	          "ingest_off_median_ms": 2.5, "ingest_on_median_ms": 9.1, "overhead_x": 3.64},
+	  "router": {"requests": 64, "shards": 1,
+	             "direct_median_ms": 4.2, "routed_median_ms": 9.8, "overhead_x": 2.33}
 	}`
 	if err := Validate([]byte(valid)); err != nil {
 		t.Fatalf("baseline document rejected: %v", err)
 	}
 	cases := map[string]string{
-		"old version":       strings.Replace(valid, "tdac-bench/4", "tdac-bench/3", 1),
+		"old version":       strings.Replace(valid, "tdac-bench/5", "tdac-bench/4", 1),
 		"missing phase":     strings.Replace(valid, `"k-sweep": 1,`, "", 1),
 		"missing index":     strings.Replace(valid, `"index": 1,`, "", 1),
 		"unknown field":     strings.Replace(valid, `"reps": 1,`, `"reps": 1, "surprise": true,`, 1),
@@ -128,6 +131,10 @@ func TestValidateRejectsDrift(t *testing.T) {
 		"no fsync mode":     strings.Replace(valid, `"fsync": "always"`, `"fsync": ""`, 1),
 		"empty wal batch":   strings.Replace(valid, `"batches": 32`, `"batches": 0`, 1),
 		"zero overhead":     strings.Replace(valid, `"overhead_x": 3.64`, `"overhead_x": 0`, 1),
+		"missing router":    strings.Replace(valid, `"router": {`, `"router2": {`, 1),
+		"zero routed time":  strings.Replace(valid, `"routed_median_ms": 9.8`, `"routed_median_ms": 0`, 1),
+		"router blow-up":    strings.Replace(valid, `"overhead_x": 2.33`, `"overhead_x": 26`, 1),
+		"empty router load": strings.Replace(valid, `"requests": 64`, `"requests": 0`, 1),
 	}
 	for name, doc := range cases {
 		if err := Validate([]byte(doc)); err == nil {

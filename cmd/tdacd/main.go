@@ -10,6 +10,10 @@
 //	      [-workers n] [-queue n] [-job-timeout 5m] [-request-timeout 30s]
 //	      [-event-heartbeat 15s] [-max-body bytes] [-max-datasets n]
 //	      [-drain 15s] [-pprof]
+//	      [-shard-id s0 -cluster "s0=url,s1=url"]        (cluster shard)
+//	      [-follow primaryURL -data-dir dir]             (replication follower;
+//	        give it the primary's -shard-id/-cluster so promotion keeps
+//	        job-ID prefixes and the ownership gate)
 //
 // The API (all JSON; every error is {"error": "..."}):
 //
@@ -44,6 +48,7 @@ import (
 	"time"
 
 	"tdac"
+	"tdac/internal/cluster"
 	"tdac/internal/server"
 	"tdac/internal/truthdata"
 	"tdac/internal/wal"
@@ -94,6 +99,10 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		fsyncMode   = fs.String("fsync", "always", `WAL fsync policy: "always", "interval" or "never"`)
 		fsyncEvery  = fs.Duration("fsync-interval", 100*time.Millisecond, "flush period for -fsync=interval")
 		noWAL       = fs.Bool("no-wal", false, "ignore -data-dir and run fully in-memory")
+		shardID     = fs.String("shard-id", "", "this node's shard ID in a cluster (prefixes job IDs; required with -cluster)")
+		clusterSpec = fs.String("cluster", "", `static member list "id=url[+followerURL],..." enabling the dataset-ownership gate`)
+		follow      = fs.String("follow", "", "run as a replication follower of this primary URL (requires -data-dir)")
+		followPoll  = fs.Duration("follow-poll", 500*time.Millisecond, "replication poll period in -follow mode")
 	)
 	var loads, truths []namedPath
 	fs.Func("load", "preload a dataset: name=claims.csv or name=dataset.json (repeatable)", func(s string) error {
@@ -124,7 +133,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	if *noWAL {
 		*dataDir = ""
 	}
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Workers:        *workers,
 		QueueSize:      *queue,
 		MaxJobs:        *maxJobs,
@@ -137,7 +146,37 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		DataDir:        *dataDir,
 		Fsync:          mode,
 		FsyncInterval:  *fsyncEvery,
-	})
+		ShardID:        *shardID,
+	}
+	if *clusterSpec != "" {
+		members, err := cluster.ParseMembers(*clusterSpec)
+		if err != nil {
+			return err
+		}
+		ring, err := cluster.NewRing(members, 0)
+		if err != nil {
+			return err
+		}
+		if *shardID == "" {
+			return fmt.Errorf("-cluster requires -shard-id")
+		}
+		if _, ok := ring.Member(*shardID); !ok {
+			return fmt.Errorf("-shard-id %q is not in the -cluster member list", *shardID)
+		}
+		// The ownership gate: placement is a pure function of the static
+		// member list, so every node derives the same owner and a
+		// misdirected request gets a 421 naming it.
+		cfg.Owns = func(name string) (bool, string, string) {
+			m := ring.Owner(name)
+			return m.ID == *shardID, m.ID, m.URL
+		}
+	}
+
+	if *follow != "" {
+		return runFollower(ctx, *follow, *followPoll, *dataDir, *addr, *drain, cfg, logger)
+	}
+
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -188,6 +227,55 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		logger.Printf("drain deadline hit, in-flight jobs cancelled (%v)", err)
 	} else {
 		logger.Printf("drained cleanly")
+	}
+	return nil
+}
+
+// runFollower serves the node in replication-follower mode: it mirrors
+// the primary's WAL into -data-dir, serves reads from the replica, and
+// promotes to a full server on POST /v1/promote (typically driven by
+// the router's failover). See DESIGN.md §14.
+func runFollower(ctx context.Context, primary string, poll time.Duration, dataDir, addr string, drain time.Duration, cfg server.Config, logger *log.Logger) error {
+	if dataDir == "" {
+		return fmt.Errorf("-follow requires -data-dir (the follower mirrors the primary's WAL there)")
+	}
+	f, err := server.NewFollower(server.FollowerConfig{
+		Primary: primary,
+		Dir:     dataDir,
+		Poll:    poll,
+		Serve:   cfg,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		closeCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = f.Close(closeCtx)
+		return err
+	}
+	logger.Printf("following %s on http://%s (mirror: %s)", primary, ln.Addr(), dataDir)
+
+	httpSrv := &http.Server{
+		Handler:           f.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down (drain %s)", drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := f.Close(drainCtx); err != nil {
+		logger.Printf("follower close: %v", err)
 	}
 	return nil
 }

@@ -1,0 +1,177 @@
+// Package cluster distributes tdacd across machines: a consistent-hash
+// ring assigns every dataset to exactly one shard by name, and a thin
+// HTTP router forwards dataset-scoped requests to the owning shard,
+// fans out cross-shard listings, and fails over to a shard's follower
+// when health probing declares its primary dead. Dataset-granular
+// sharding is what keeps a cluster bit-identical to a single node: a
+// discover job reads nothing outside its own dataset's pinned snapshot
+// (the same per-attribute independence TD-AC's partitioning exploits),
+// so placement changes where a result is computed, never what it is.
+// See DESIGN.md §14.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Member is one shard of the cluster: a stable ID, the primary's base
+// URL, and optionally a follower's base URL the router fails over to.
+type Member struct {
+	// ID names the shard ("s0"); it prefixes the shard's job IDs and
+	// seeds its ring positions, so it must be stable across restarts.
+	ID string
+	// URL is the primary's base URL ("http://10.0.0.1:8321").
+	URL string
+	// Follower is the base URL of the shard's replication follower, ""
+	// when the shard runs without one.
+	Follower string
+}
+
+// DefaultVNodes is the per-member virtual-node count: enough to spread
+// datasets within a few percent of even across small clusters, small
+// enough that building the ring stays trivial.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over the member list. Placement is a
+// pure function of (member IDs, vnode count, dataset name): every node
+// given the same static -cluster list derives the same owner for every
+// dataset, so no placement state needs coordinating or persisting.
+type Ring struct {
+	members []Member
+	vnodes  int
+	points  []ringPoint // sorted by hash
+	byID    map[string]Member
+}
+
+type ringPoint struct {
+	hash  uint64
+	owner int // index into members
+}
+
+// NewRing builds a ring with vnodes virtual nodes per member (<= 0
+// selects DefaultVNodes). Member IDs must be non-empty and unique;
+// URLs must be non-empty.
+func NewRing(members []Member, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{
+		members: append([]Member(nil), members...),
+		vnodes:  vnodes,
+		byID:    make(map[string]Member, len(members)),
+	}
+	for i, m := range r.members {
+		if m.ID == "" {
+			return nil, fmt.Errorf("cluster: member %d has an empty id", i)
+		}
+		if m.URL == "" {
+			return nil, fmt.Errorf("cluster: member %q has an empty url", m.ID)
+		}
+		if _, dup := r.byID[m.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate member id %q", m.ID)
+		}
+		r.byID[m.ID] = m
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hash64(fmt.Sprintf("%s#%d", m.ID, v)),
+				owner: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full 64-bit hash collision between vnodes is vanishingly
+		// rare, but placement must still be deterministic: break ties by
+		// member order.
+		return r.points[i].owner < r.points[j].owner
+	})
+	return r, nil
+}
+
+// hash64 is FNV-1a finished with a splitmix64 mix: stable across
+// platforms and Go releases, which a deterministic placement function
+// requires (maphash would reseed per process). Raw FNV-1a of short,
+// similar strings ("s0#0", "s0#1", …) leaves the high bits correlated
+// and the ring badly skewed; the finalizer spreads them.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Owner returns the shard owning a dataset: the first ring point at or
+// after the dataset's hash, wrapping at the top.
+func (r *Ring) Owner(dataset string) Member {
+	h := hash64(dataset)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.members[r.points[i].owner]
+}
+
+// Member returns the member with the given ID.
+func (r *Ring) Member(id string) (Member, bool) {
+	m, ok := r.byID[id]
+	return m, ok
+}
+
+// Members returns the member list in its configured order.
+func (r *Ring) Members() []Member {
+	return append([]Member(nil), r.members...)
+}
+
+// ShardOfJob maps a job ID back to the shard that issued it by its
+// "<shard>-job-N" prefix (single-node IDs "job-N" carry none).
+func (r *Ring) ShardOfJob(jobID string) (Member, bool) {
+	shard, rest, ok := strings.Cut(jobID, "-job-")
+	if !ok || rest == "" {
+		return Member{}, false
+	}
+	return r.Member(shard)
+}
+
+// ParseMembers parses the -cluster flag form: a comma-separated list of
+// "id=url" or "id=url+followerURL" entries, e.g.
+//
+//	s0=http://a:8321,s1=http://b:8321+http://b2:8321,s2=http://c:8321
+func ParseMembers(spec string) ([]Member, error) {
+	var out []Member
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, urls, ok := strings.Cut(entry, "=")
+		if !ok || id == "" || urls == "" {
+			return nil, fmt.Errorf("cluster: want id=url[+followerURL], got %q", entry)
+		}
+		primary, follower, _ := strings.Cut(urls, "+")
+		if primary == "" {
+			return nil, fmt.Errorf("cluster: member %q has an empty url", id)
+		}
+		out = append(out, Member{
+			ID:       id,
+			URL:      strings.TrimSuffix(primary, "/"),
+			Follower: strings.TrimSuffix(follower, "/"),
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: empty member list %q", spec)
+	}
+	return out, nil
+}

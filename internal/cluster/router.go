@@ -1,0 +1,679 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	// Ring places datasets on shards.
+	Ring *Ring
+	// Client performs forwarded requests (default: no overall timeout,
+	// so SSE event streams can run as long as the watcher stays).
+	Client *http.Client
+	// ProbeInterval is the health-probe period (default 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request (default 1s).
+	ProbeTimeout time.Duration
+	// FailThreshold is the consecutive probe-failure count after which a
+	// member is declared dead (default 3) — deterministic counting in
+	// the internal/fault spirit, not adaptive guesswork.
+	FailThreshold int
+	// MaxBodyBytes caps the POST /v1/datasets body the router buffers to
+	// find the owner (default 8 MiB, matching the shards).
+	MaxBodyBytes int64
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// memberState is the router's health view of one shard.
+type memberState struct {
+	// failures counts consecutive failed probes of the active target.
+	failures int
+	// dead is set once failures reaches the threshold and cleared by the
+	// next successful probe.
+	dead bool
+	// promoted routes all traffic (reads and writes) to the follower:
+	// set by POST /v1/cluster/promote/{shard} after the follower
+	// acknowledged its promotion.
+	promoted bool
+}
+
+// Router is the cluster's single client-facing address: it forwards
+// dataset-scoped requests to the owning shard (by ring placement),
+// job-scoped requests to the issuing shard (by job-ID prefix), fans out
+// cross-shard listings and metrics, health-probes every member, and
+// drives explicit primary→follower failover. It holds no dataset state
+// of its own.
+type Router struct {
+	cfg     RouterConfig
+	ring    *Ring
+	client  *http.Client
+	probe   *http.Client
+	handler http.Handler
+
+	mu    sync.Mutex
+	state map[string]*memberState
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewRouter builds a router over the ring and starts its health prober.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Ring == nil {
+		return nil, fmt.Errorf("cluster: router needs a ring (an empty cluster cannot route)")
+	}
+	rt := &Router{
+		cfg:    cfg,
+		ring:   cfg.Ring,
+		client: cfg.Client,
+		probe:  &http.Client{Timeout: cfg.ProbeTimeout},
+		state:  make(map[string]*memberState),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, m := range rt.ring.Members() {
+		rt.state[m.ID] = &memberState{}
+	}
+	rt.handler = rt.buildHandler()
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// Handler returns the router's HTTP surface.
+func (rt *Router) Handler() http.Handler { return rt.handler }
+
+// Close stops the health prober.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	<-rt.done
+}
+
+// ---- health probing ---------------------------------------------------
+
+func (rt *Router) probeLoop() {
+	defer close(rt.done)
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.ProbeNow()
+		}
+	}
+}
+
+// ProbeNow probes every member once (the loop's body; exported so tests
+// and operators can force a deterministic round).
+func (rt *Router) ProbeNow() {
+	for _, m := range rt.ring.Members() {
+		target := rt.activeURL(m)
+		_, err := rt.probeOne(target)
+		rt.mu.Lock()
+		st := rt.state[m.ID]
+		if err != nil {
+			st.failures++
+			if st.failures >= rt.cfg.FailThreshold && !st.dead {
+				st.dead = true
+				log.Printf("tdac-router: shard %s target %s declared dead after %d failed probes",
+					m.ID, target, st.failures)
+			}
+		} else {
+			if st.dead {
+				log.Printf("tdac-router: shard %s target %s is healthy again", m.ID, target)
+			}
+			st.failures = 0
+			st.dead = false
+		}
+		rt.mu.Unlock()
+	}
+}
+
+func (rt *Router) probeOne(target string) (int, error) {
+	resp, err := rt.probe.Get(target + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, fmt.Errorf("healthz: %s", resp.Status)
+	}
+	return resp.StatusCode, nil
+}
+
+// activeURL is where all traffic for a member goes once its follower
+// was promoted, the primary before.
+func (rt *Router) activeURL(m Member) string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.state[m.ID].promoted && m.Follower != "" {
+		return m.Follower
+	}
+	return m.URL
+}
+
+// readTarget is where reads for a member go: the promoted or probing
+// target, falling back to an unpromoted follower (which serves reads
+// from its replica) while the primary is dead.
+func (rt *Router) readTarget(m Member) string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	st := rt.state[m.ID]
+	if st.promoted && m.Follower != "" {
+		return m.Follower
+	}
+	if st.dead && m.Follower != "" {
+		return m.Follower
+	}
+	return m.URL
+}
+
+// writeTarget is where writes for a member go; ok is false while the
+// primary is dead and the follower has not been promoted (writes must
+// not silently land on a read-only replica's 503 without explanation).
+func (rt *Router) writeTarget(m Member) (string, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	st := rt.state[m.ID]
+	if st.promoted && m.Follower != "" {
+		return m.Follower, true
+	}
+	if st.dead {
+		return "", false
+	}
+	return m.URL, true
+}
+
+// memberHealth is the introspection view of one member.
+type memberHealth struct {
+	ID       string `json:"id"`
+	URL      string `json:"url"`
+	Follower string `json:"follower,omitempty"`
+	Dead     bool   `json:"dead"`
+	Promoted bool   `json:"promoted"`
+}
+
+func (rt *Router) health() []memberHealth {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]memberHealth, 0, len(rt.state))
+	for _, m := range rt.ring.Members() {
+		st := rt.state[m.ID]
+		out = append(out, memberHealth{
+			ID: m.ID, URL: m.URL, Follower: m.Follower,
+			Dead: st.dead, Promoted: st.promoted,
+		})
+	}
+	return out
+}
+
+// ---- HTTP surface -----------------------------------------------------
+
+func (rt *Router) buildHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets", rt.handleCreateDataset)
+	mux.HandleFunc("GET /v1/datasets", rt.handleListDatasets)
+	mux.HandleFunc("/v1/datasets/{name}", rt.handleDatasetScoped)
+	mux.HandleFunc("/v1/datasets/{name}/{rest...}", rt.handleDatasetScoped)
+	mux.HandleFunc("GET /v1/jobs", rt.handleListJobs)
+	mux.HandleFunc("/v1/jobs/{id}", rt.handleJobScoped)
+	mux.HandleFunc("/v1/jobs/{id}/{rest...}", rt.handleJobScoped)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		routerJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": "router"})
+	})
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		routerJSON(w, http.StatusOK, map[string]any{"members": rt.health()})
+	})
+	mux.HandleFunc("POST /v1/cluster/promote/{shard}", rt.handlePromote)
+	return mux
+}
+
+// routerJSON mirrors the shards' response encoding (two-space indent,
+// trailing newline) so fan-out responses the router synthesizes are
+// byte-identical to a single node's.
+func routerJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("tdac-router: encoding response: %v", err)
+		http.Error(w, `{"error": "internal error"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func routerError(w http.ResponseWriter, status int, format string, args ...any) {
+	routerJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleReadyz reflects member health: the cluster is ready when every
+// shard has a live target (its primary, or a follower it can fail over
+// to for reads).
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var down []string
+	for _, m := range rt.ring.Members() {
+		rt.mu.Lock()
+		st := rt.state[m.ID]
+		dead := st.dead && !st.promoted && m.Follower == ""
+		rt.mu.Unlock()
+		if dead {
+			down = append(down, m.ID)
+		}
+	}
+	if len(down) > 0 {
+		w.Header().Set("Retry-After", "1")
+		routerJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error": fmt.Sprintf("shards without a live target: %s", strings.Join(down, ", ")),
+			"down":  down,
+		})
+		return
+	}
+	routerJSON(w, http.StatusOK, map[string]any{
+		"status":  "ready",
+		"members": len(rt.ring.Members()),
+	})
+}
+
+// handlePromote drives an explicit failover: it asks the shard's
+// follower to promote itself and, on success, repoints all of the
+// shard's traffic at the follower.
+func (rt *Router) handlePromote(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("shard")
+	m, ok := rt.ring.Member(id)
+	if !ok {
+		routerError(w, http.StatusNotFound, "unknown shard %q", id)
+		return
+	}
+	if m.Follower == "" {
+		routerError(w, http.StatusConflict, "shard %q has no follower to promote", id)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, m.Follower+"/v1/promote", nil)
+	if err != nil {
+		routerError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		routerError(w, http.StatusBadGateway, "promoting follower of %q: %v", id, err)
+		return
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		copyResponse(w, resp.StatusCode, resp.Header, body)
+		return
+	}
+	rt.mu.Lock()
+	st := rt.state[id]
+	st.promoted = true
+	st.dead = false
+	st.failures = 0
+	rt.mu.Unlock()
+	log.Printf("tdac-router: shard %s failed over to follower %s", id, m.Follower)
+	copyResponse(w, resp.StatusCode, resp.Header, body)
+}
+
+// ---- forwarding -------------------------------------------------------
+
+// hopHeaders are the hop-by-hop headers a forwarder must not relay.
+var hopHeaders = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vv := range src {
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+	for _, h := range hopHeaders {
+		dst.Del(h)
+	}
+}
+
+func copyResponse(w http.ResponseWriter, status int, hdr http.Header, body []byte) {
+	copyHeaders(w.Header(), hdr)
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// forward relays the request to target, streaming the response back
+// with per-chunk flushes so SSE event streams pass through live.
+// Response headers — Retry-After on a shard's 429 included — relay
+// verbatim.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, target string, body io.Reader) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.RequestURI(), body)
+	if err != nil {
+		routerError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	copyHeaders(req.Header, r.Header)
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		// 503, not 502: clients treat it as a transient rejection and
+		// retry, which is exactly right while a failover is in flight.
+		w.Header().Set("Retry-After", "1")
+		routerError(w, http.StatusServiceUnavailable, "shard at %s unreachable: %v", target, err)
+		return
+	}
+	defer resp.Body.Close()
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// handleCreateDataset peeks the body for the dataset name, places it on
+// the ring, and forwards the original bytes to the owner.
+func (rt *Router) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, rt.cfg.MaxBodyBytes+1))
+	if err != nil {
+		routerError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > rt.cfg.MaxBodyBytes {
+		routerError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", rt.cfg.MaxBodyBytes)
+		return
+	}
+	var peek struct {
+		Name string `json:"name"`
+	}
+	// Loose decode on purpose: the owning shard enforces strictness; the
+	// router only needs the name to place the request.
+	if err := json.Unmarshal(body, &peek); err != nil || peek.Name == "" {
+		routerError(w, http.StatusBadRequest, "create needs a JSON body with a dataset name")
+		return
+	}
+	owner := rt.ring.Owner(peek.Name)
+	target, ok := rt.writeTarget(owner)
+	if !ok {
+		rt.refuseDeadShard(w, owner)
+		return
+	}
+	rt.forward(w, r, target, bytes.NewReader(body))
+}
+
+// handleDatasetScoped forwards everything under /v1/datasets/{name} to
+// the owning shard: reads may fail over to the follower, writes require
+// a live primary (or a promoted follower).
+func (rt *Router) handleDatasetScoped(w http.ResponseWriter, r *http.Request) {
+	owner := rt.ring.Owner(r.PathValue("name"))
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		rt.forward(w, r, rt.readTarget(owner), r.Body)
+		return
+	}
+	target, ok := rt.writeTarget(owner)
+	if !ok {
+		rt.refuseDeadShard(w, owner)
+		return
+	}
+	rt.forward(w, r, target, r.Body)
+}
+
+// handleJobScoped routes /v1/jobs/{id} and /v1/jobs/{id}/events by the
+// job ID's shard prefix.
+func (rt *Router) handleJobScoped(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m, ok := rt.ring.ShardOfJob(id)
+	if !ok {
+		routerError(w, http.StatusNotFound, "job %q carries no known shard prefix", id)
+		return
+	}
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		rt.forward(w, r, rt.readTarget(m), r.Body)
+		return
+	}
+	target, okw := rt.writeTarget(m)
+	if !okw {
+		rt.refuseDeadShard(w, m)
+		return
+	}
+	rt.forward(w, r, target, r.Body)
+}
+
+func (rt *Router) refuseDeadShard(w http.ResponseWriter, m Member) {
+	w.Header().Set("Retry-After", "1")
+	msg := fmt.Sprintf("shard %q primary is dead and no follower has been promoted", m.ID)
+	if m.Follower != "" {
+		msg += fmt.Sprintf(" (POST /v1/cluster/promote/%s to fail over)", m.ID)
+	}
+	routerError(w, http.StatusServiceUnavailable, "%s", msg)
+}
+
+// ---- fan-out ----------------------------------------------------------
+
+// datasetInfo mirrors the shards' wire form field for field (same names,
+// same order) so the merged listing is byte-identical to what a single
+// node holding every dataset would emit.
+type datasetInfo struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	Sources int    `json:"sources"`
+	Objects int    `json:"objects"`
+	Attrs   int    `json:"attributes"`
+	Claims  int    `json:"claims"`
+	Truths  int    `json:"truths"`
+}
+
+// fanResult is one member's answer to a fan-out request.
+type fanResult struct {
+	member Member
+	body   []byte
+	err    error
+}
+
+// fanOut issues GET path against every member's read target in
+// parallel, in ring order.
+func (rt *Router) fanOut(r *http.Request, path string) []fanResult {
+	members := rt.ring.Members()
+	out := make([]fanResult, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m Member) {
+			defer wg.Done()
+			out[i] = fanResult{member: m}
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, rt.readTarget(m)+path, nil)
+			if err != nil {
+				out[i].err = err
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				out[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				out[i].err = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				out[i].err = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+				return
+			}
+			out[i].body = body
+		}(i, m)
+	}
+	wg.Wait()
+	return out
+}
+
+// handleListDatasets merges every shard's listing, sorted by name. A
+// shard that cannot answer never silently shrinks the result: the
+// response flags partiality and names the unreachable shards.
+func (rt *Router) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	results := rt.fanOut(r, "/v1/datasets")
+	merged := make([]datasetInfo, 0)
+	var unreachable []string
+	for _, res := range results {
+		if res.err != nil {
+			log.Printf("tdac-router: listing datasets on shard %s: %v", res.member.ID, res.err)
+			unreachable = append(unreachable, res.member.ID)
+			continue
+		}
+		var page struct {
+			Datasets []datasetInfo `json:"datasets"`
+		}
+		if err := json.Unmarshal(res.body, &page); err != nil {
+			unreachable = append(unreachable, res.member.ID)
+			continue
+		}
+		merged = append(merged, page.Datasets...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Name < merged[j].Name })
+	if len(unreachable) > 0 {
+		routerJSON(w, http.StatusOK, map[string]any{
+			"datasets":    merged,
+			"partial":     true,
+			"unreachable": unreachable,
+		})
+		return
+	}
+	// The healthy path emits exactly the single-node shape.
+	routerJSON(w, http.StatusOK, map[string]any{"datasets": merged})
+}
+
+// handleListJobs merges every shard's job listing in ring order (each
+// shard's jobs stay in its own submission order), with the same
+// partiality flagging as the dataset listing.
+func (rt *Router) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	results := rt.fanOut(r, "/v1/jobs")
+	merged := make([]json.RawMessage, 0)
+	var unreachable []string
+	for _, res := range results {
+		if res.err != nil {
+			log.Printf("tdac-router: listing jobs on shard %s: %v", res.member.ID, res.err)
+			unreachable = append(unreachable, res.member.ID)
+			continue
+		}
+		var page struct {
+			Jobs []json.RawMessage `json:"jobs"`
+		}
+		if err := json.Unmarshal(res.body, &page); err != nil {
+			unreachable = append(unreachable, res.member.ID)
+			continue
+		}
+		merged = append(merged, page.Jobs...)
+	}
+	if len(unreachable) > 0 {
+		routerJSON(w, http.StatusOK, map[string]any{
+			"jobs":        merged,
+			"partial":     true,
+			"unreachable": unreachable,
+		})
+		return
+	}
+	routerJSON(w, http.StatusOK, map[string]any{"jobs": merged})
+}
+
+// handleMetrics aggregates every shard's Prometheus text exposition:
+// each sample line gains a shard label, HELP/TYPE headers are emitted
+// once, and unreachable shards appear as a comment plus a router-level
+// unreachable gauge instead of vanishing.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	results := rt.fanOut(r, "/metrics")
+	var b strings.Builder
+	seenHeader := make(map[string]bool)
+	var unreachable int
+	for _, res := range results {
+		if res.err != nil {
+			unreachable++
+			fmt.Fprintf(&b, "# shard %s unreachable: metrics omitted\n", res.member.ID)
+			continue
+		}
+		for _, line := range strings.Split(string(res.body), "\n") {
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				// "# HELP name ..." / "# TYPE name ...": once per metric.
+				fields := strings.Fields(line)
+				if len(fields) >= 3 {
+					key := fields[1] + " " + fields[2]
+					if seenHeader[key] {
+						continue
+					}
+					seenHeader[key] = true
+				}
+				b.WriteString(line)
+				b.WriteByte('\n')
+				continue
+			}
+			b.WriteString(injectShardLabel(line, res.member.ID))
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "# HELP tdac_router_shards Cluster members by reachability.\n# TYPE tdac_router_shards gauge\n")
+	fmt.Fprintf(&b, "tdac_router_shards{state=\"reachable\"} %d\n", len(results)-unreachable)
+	fmt.Fprintf(&b, "tdac_router_shards{state=\"unreachable\"} %d\n", unreachable)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// injectShardLabel rewrites one Prometheus sample line to carry
+// shard="id" as its first label.
+func injectShardLabel(line, shard string) string {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		return fmt.Sprintf("%s{shard=%q,%s", line[:i], shard, line[i+1:])
+	}
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		return fmt.Sprintf("%s{shard=%q}%s", line[:i], shard, line[i:])
+	}
+	return line
+}

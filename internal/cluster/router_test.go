@@ -1,0 +1,475 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestRouter wires a router over the given members with probing left
+// to the test (long interval, threshold 2, deterministic via ProbeNow).
+func newTestRouter(t testing.TB, members []Member) *Router {
+	t.Helper()
+	ring, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRouter(RouterConfig{
+		Ring:          ring,
+		ProbeInterval: time.Hour,
+		ProbeTimeout:  200 * time.Millisecond,
+		FailThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// recordingShard is a fake shard that records the paths it served and
+// answers with canned handlers.
+type recordingShard struct {
+	id    string
+	ts    *httptest.Server
+	mux   *http.ServeMux
+	paths []string
+}
+
+func newRecordingShard(t testing.TB, id string) *recordingShard {
+	t.Helper()
+	s := &recordingShard{id: id, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"status": "ok"}`)
+	})
+	s.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			s.paths = append(s.paths, r.Method+" "+r.URL.Path)
+		}
+		s.mux.ServeHTTP(w, r)
+	}))
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+func (s *recordingShard) member() Member { return Member{ID: s.id, URL: s.ts.URL} }
+
+func TestRouterRequiresRing(t *testing.T) {
+	// An empty cluster cannot route: NewRing refuses an empty member
+	// list, and the router refuses to start without a ring.
+	if _, err := NewRouter(RouterConfig{}); err == nil {
+		t.Fatal("router without a ring accepted")
+	}
+	if _, err := ParseMembers(" , "); err == nil {
+		t.Fatal("empty -cluster spec accepted")
+	}
+}
+
+func TestRouterForwardsDatasetScopedToOwner(t *testing.T) {
+	s0 := newRecordingShard(t, "s0")
+	s1 := newRecordingShard(t, "s1")
+	for _, s := range []*recordingShard{s0, s1} {
+		s.mux.HandleFunc("/v1/datasets/", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, `{"ok": true}`)
+		})
+		s.mux.HandleFunc("POST /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusCreated)
+		})
+	}
+	rt := newTestRouter(t, []Member{s0.member(), s1.member()})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	shardOf := map[string]*recordingShard{"s0": s0, "s1": s1}
+	// Find one dataset homed on each shard so the test exercises both
+	// directions regardless of hash layout.
+	byOwner := map[string]string{}
+	for i := 0; len(byOwner) < 2 && i < 100; i++ {
+		name := fmt.Sprintf("ds-%d", i)
+		if id := rt.ring.Owner(name).ID; byOwner[id] == "" {
+			byOwner[id] = name
+		}
+	}
+	for ownerID, name := range byOwner {
+		owner := shardOf[ownerID]
+		before := len(owner.paths)
+
+		resp, err := http.Post(front.URL+"/v1/datasets", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"name": %q}`, name)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create via router = %d", resp.StatusCode)
+		}
+		resp, err = http.Get(front.URL + "/v1/datasets/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		resp, err = http.Post(front.URL+"/v1/datasets/"+name+"/claims", "application/json",
+			strings.NewReader(`{"claims": []}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+
+		want := []string{
+			"POST /v1/datasets",
+			"GET /v1/datasets/" + name,
+			"POST /v1/datasets/" + name + "/claims",
+		}
+		got := owner.paths[before:]
+		if len(got) != len(want) {
+			t.Fatalf("owner %s served %v, want %v", ownerID, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("owner %s request %d = %q, want %q", ownerID, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRouterCreateRejectsNamelessBody(t *testing.T) {
+	s0 := newRecordingShard(t, "s0")
+	rt := newTestRouter(t, []Member{s0.member()})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	for _, body := range []string{"", "{}", "not json"} {
+		resp, err := http.Post(front.URL+"/v1/datasets", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("create with body %q = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if len(s0.paths) != 0 {
+		t.Fatalf("nameless creates reached the shard: %v", s0.paths)
+	}
+}
+
+func listDatasets(t testing.TB, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestRouterListDatasetsMergesSorted(t *testing.T) {
+	s0 := newRecordingShard(t, "s0")
+	s1 := newRecordingShard(t, "s1")
+	s0.mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"datasets":[{"name":"zeta","version":1,"sources":1,"objects":1,"attributes":1,"claims":1,"truths":0}]}`)
+	})
+	s1.mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"datasets":[{"name":"alpha","version":2,"sources":3,"objects":4,"attributes":5,"claims":6,"truths":7}]}`)
+	})
+	rt := newTestRouter(t, []Member{s0.member(), s1.member()})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	status, body := listDatasets(t, front.URL)
+	if status != http.StatusOK {
+		t.Fatalf("list = %d", status)
+	}
+	// The merged healthy-path listing must carry exactly the single-node
+	// shape: two-space indent, name-sorted entries, trailing newline, no
+	// partiality markers.
+	want := `{
+  "datasets": [
+    {
+      "name": "alpha",
+      "version": 2,
+      "sources": 3,
+      "objects": 4,
+      "attributes": 5,
+      "claims": 6,
+      "truths": 7
+    },
+    {
+      "name": "zeta",
+      "version": 1,
+      "sources": 1,
+      "objects": 1,
+      "attributes": 1,
+      "claims": 1,
+      "truths": 0
+    }
+  ]
+}
+`
+	if string(body) != want {
+		t.Fatalf("merged listing:\n%s\nwant:\n%s", body, want)
+	}
+}
+
+func TestRouterListDatasetsFlagsPartialOnShardDown(t *testing.T) {
+	s0 := newRecordingShard(t, "s0")
+	s1 := newRecordingShard(t, "s1")
+	s0.mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"datasets":[{"name":"alpha","version":1,"sources":1,"objects":1,"attributes":1,"claims":1,"truths":0}]}`)
+	})
+	rt := newTestRouter(t, []Member{s0.member(), s1.member()})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	s1.ts.Close() // one shard down during the listing
+
+	status, body := listDatasets(t, front.URL)
+	if status != http.StatusOK {
+		t.Fatalf("partial list = %d, want 200", status)
+	}
+	var page struct {
+		Datasets    []datasetInfo `json:"datasets"`
+		Partial     bool          `json:"partial"`
+		Unreachable []string      `json:"unreachable"`
+	}
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatalf("partial listing undecodable: %v\n%s", err, body)
+	}
+	if !page.Partial {
+		t.Fatalf("partial listing not flagged: %s", body)
+	}
+	if len(page.Unreachable) != 1 || page.Unreachable[0] != "s1" {
+		t.Fatalf("unreachable = %v, want [s1]", page.Unreachable)
+	}
+	if len(page.Datasets) != 1 || page.Datasets[0].Name != "alpha" {
+		t.Fatalf("live shard's datasets dropped from partial listing: %s", body)
+	}
+}
+
+func TestRouterPropagatesRetryAfter(t *testing.T) {
+	s0 := newRecordingShard(t, "s0")
+	s0.mux.HandleFunc("POST /v1/datasets/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintln(w, `{"error": "queue full"}`)
+	})
+	rt := newTestRouter(t, []Member{s0.member()})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, err := http.Post(front.URL+"/v1/datasets/busy/discover", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want 7 (shard's backpressure hint must survive the router)", got)
+	}
+	if !strings.Contains(string(body), "queue full") {
+		t.Fatalf("shard error body lost: %s", body)
+	}
+}
+
+func TestRouterRoutesJobsByPrefix(t *testing.T) {
+	s0 := newRecordingShard(t, "s0")
+	s1 := newRecordingShard(t, "s1")
+	for _, s := range []*recordingShard{s0, s1} {
+		id := s.id
+		s.mux.HandleFunc("GET /v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, `{"shard": %q}`, id)
+		})
+	}
+	rt := newTestRouter(t, []Member{s0.member(), s1.member()})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/v1/jobs/s1-job-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"s1"`) {
+		t.Fatalf("s1-job-3 answered by %s, want s1", body)
+	}
+	if len(s1.paths) != 1 || s1.paths[0] != "GET /v1/jobs/s1-job-3" {
+		t.Fatalf("s1 served %v", s1.paths)
+	}
+
+	resp, err = http.Get(front.URL + "/v1/jobs/job-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unprefixed job id via router = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestRouterMetricsAggregation(t *testing.T) {
+	s0 := newRecordingShard(t, "s0")
+	s1 := newRecordingShard(t, "s1")
+	metrics := "# HELP tdac_jobs_total Jobs by state.\n# TYPE tdac_jobs_total counter\ntdac_jobs_total{state=\"done\"} %d\ntdac_uptime_seconds %d\n"
+	s0.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, metrics, 3, 10)
+	})
+	s1.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, metrics, 5, 20)
+	})
+	rt := newTestRouter(t, []Member{s0.member(), s1.member()})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if n := strings.Count(text, "# HELP tdac_jobs_total"); n != 1 {
+		t.Fatalf("HELP emitted %d times, want once:\n%s", n, text)
+	}
+	for _, want := range []string{
+		`tdac_jobs_total{shard="s0",state="done"} 3`,
+		`tdac_jobs_total{shard="s1",state="done"} 5`,
+		`tdac_uptime_seconds{shard="s0"} 10`,
+		`tdac_uptime_seconds{shard="s1"} 20`,
+		`tdac_router_shards{state="reachable"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("aggregated metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRouterFailover walks the failover state machine: probes declare
+// the primary dead, reads shift to the follower, writes are refused
+// with a promotion hint, and an explicit promote repoints everything.
+func TestRouterFailover(t *testing.T) {
+	primary := newRecordingShard(t, "s0")
+	follower := newRecordingShard(t, "s0f")
+	var promoted bool
+	follower.mux.HandleFunc("POST /v1/promote", func(w http.ResponseWriter, r *http.Request) {
+		promoted = true
+		fmt.Fprintln(w, `{"status": "promoted"}`)
+	})
+	follower.mux.HandleFunc("/v1/datasets/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"served_by": "follower"}`)
+	})
+
+	rt := newTestRouter(t, []Member{{ID: "s0", URL: primary.ts.URL, Follower: follower.ts.URL}})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	name := "any" // single member owns everything
+
+	primary.ts.Close()
+	rt.ProbeNow()
+	rt.ProbeNow() // FailThreshold=2 → dead, deterministically
+
+	// Reads fail over to the unpromoted follower.
+	resp, err := http.Get(front.URL + "/v1/datasets/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "follower") {
+		t.Fatalf("read with dead primary served by %s, want follower", body)
+	}
+
+	// Writes are refused until promotion, with a hint and Retry-After.
+	resp, err = http.Post(front.URL+"/v1/datasets/"+name+"/claims", "application/json", strings.NewReader(`{"claims": []}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("write with dead primary = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" || !strings.Contains(string(body), "promote") {
+		t.Fatalf("write refusal lacks Retry-After/promotion hint: %s", body)
+	}
+
+	// The cluster is still ready: the shard has a follower to serve it.
+	resp, err = http.Get(front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz with follower available = %d, want 200", resp.StatusCode)
+	}
+
+	// Explicit promotion calls the follower and repoints writes.
+	resp, err = http.Post(front.URL+"/v1/cluster/promote/s0", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !promoted {
+		t.Fatalf("promote = %d (follower called: %v)", resp.StatusCode, promoted)
+	}
+	before := len(follower.paths)
+	resp, err = http.Post(front.URL+"/v1/datasets/"+name+"/claims", "application/json", strings.NewReader(`{"claims": []}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := follower.paths[before:]; len(got) != 1 || got[0] != "POST /v1/datasets/"+name+"/claims" {
+		t.Fatalf("post-promotion write went to %v, want the promoted follower", got)
+	}
+
+	// Unknown shard and followerless shard promotion are refused.
+	resp, err = http.Post(front.URL+"/v1/cluster/promote/nope", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("promote unknown shard = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestRouterReadyzReportsDeadFollowerlessShard(t *testing.T) {
+	s0 := newRecordingShard(t, "s0")
+	rt := newTestRouter(t, []Member{s0.member()})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz healthy = %d, want 200", resp.StatusCode)
+	}
+
+	s0.ts.Close()
+	rt.ProbeNow()
+	rt.ProbeNow()
+	resp, err = http.Get(front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "s0") {
+		t.Fatalf("readyz with dead shard = %d %s, want 503 naming s0", resp.StatusCode, body)
+	}
+}

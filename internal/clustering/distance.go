@@ -3,7 +3,7 @@
 // silhouette index for selecting k, and the distance functions the paper
 // uses on attribute truth vectors (Hamming, Equation 2) alongside
 // Euclidean and a sparse-aware masked variant for low-coverage data.
-package cluster
+package clustering
 
 import (
 	"math"

@@ -8,7 +8,7 @@ import (
 	"time"
 
 	"tdac/internal/algorithms"
-	"tdac/internal/cluster"
+	"tdac/internal/clustering"
 	"tdac/internal/obs"
 	"tdac/internal/partition"
 	"tdac/internal/truthdata"
@@ -47,8 +47,8 @@ type IncrementalState struct {
 	// tv, packed and dm mirror what buildGeometry derives on the cold
 	// unmasked/unprojected path from refTruth.
 	tv     *TruthVectors
-	packed *cluster.PackedVectors
-	dm     *cluster.DistMatrix
+	packed *clustering.PackedVectors
+	dm     *clustering.DistMatrix
 
 	counters IncrCounters
 }
@@ -217,11 +217,11 @@ func (st *IncrementalState) appendLocked(d *truthdata.Dataset, delta *truthdata.
 // unmasked/unprojected path.
 func (st *IncrementalState) rebuildGeometryLocked(d *truthdata.Dataset) {
 	st.tv = BuildTruthVectors(d, st.refTruth, false)
-	st.packed, _ = cluster.PackBinary(st.tv.Vectors)
+	st.packed, _ = clustering.PackBinary(st.tv.Vectors)
 	if st.packed != nil {
-		st.dm = cluster.NewDistMatrixPacked(st.packed)
+		st.dm = clustering.NewDistMatrixPacked(st.packed)
 	} else {
-		st.dm = cluster.NewDistMatrix(st.tv.Vectors, cluster.Hamming{})
+		st.dm = clustering.NewDistMatrix(st.tv.Vectors, clustering.Hamming{})
 	}
 }
 
@@ -247,7 +247,7 @@ func majorityWinner(m map[truthdata.SourceID]string) string {
 func (st *IncrementalState) geometry() *geometry {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return &geometry{tv: st.tv, dist: cluster.Hamming{}, packed: st.packed, distMatrix: st.dm}
+	return &geometry{tv: st.tv, dist: clustering.Hamming{}, packed: st.packed, distMatrix: st.dm}
 }
 
 // referenceResult materialises the maintained reference as an

@@ -7,7 +7,7 @@ import (
 	"testing"
 
 	"tdac/internal/algorithms"
-	"tdac/internal/cluster"
+	"tdac/internal/clustering"
 	"tdac/internal/synth"
 	"tdac/internal/truthdata"
 )
@@ -243,7 +243,7 @@ func TestIncrementalConfigRejected(t *testing.T) {
 	cases := map[string]*TDAC{
 		"masked":        {Base: algorithms.NewMajorityVote(), Reference: algorithms.NewMajorityVote(), Masked: true},
 		"projection":    {Base: algorithms.NewMajorityVote(), Reference: algorithms.NewMajorityVote(), ProjectDim: 8},
-		"distance":      {Base: algorithms.NewMajorityVote(), Reference: algorithms.NewMajorityVote(), Distance: cluster.Euclidean{}},
+		"distance":      {Base: algorithms.NewMajorityVote(), Reference: algorithms.NewMajorityVote(), Distance: clustering.Euclidean{}},
 		"reference":     {Base: algorithms.NewMajorityVote(), Reference: algorithms.NewAccu()},
 		"base-fallback": {Base: algorithms.NewAccu()}, // nil reference defaults to a non-MajorityVote base
 	}

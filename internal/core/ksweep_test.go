@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"tdac/internal/algorithms"
-	"tdac/internal/cluster"
+	"tdac/internal/clustering"
 	"tdac/internal/partition"
 	"tdac/internal/synth"
 	"tdac/internal/truthdata"
@@ -31,15 +31,15 @@ func seedSelectPartition(t *TDAC, tv *TruthVectors, nAttrs int) (partition.Parti
 	dist := t.Distance
 	if dist == nil {
 		if t.Masked {
-			dist = cluster.MaskedHamming{Mask: Missing}
+			dist = clustering.MaskedHamming{Mask: Missing}
 		} else {
-			dist = cluster.Hamming{}
+			dist = clustering.Hamming{}
 		}
 	}
 	km := t.KMeans
 	km.Distance = dist
 	km.DisableAccel = true
-	distMatrix := cluster.DistanceMatrix(tv.Vectors, dist)
+	distMatrix := clustering.DistanceMatrix(tv.Vectors, dist)
 	var (
 		best     partition.Partition
 		bestSil  float64
@@ -51,7 +51,7 @@ func seedSelectPartition(t *TDAC, tv *TruthVectors, nAttrs int) (partition.Parti
 		if err != nil {
 			panic(err)
 		}
-		sil := cluster.SilhouetteFromMatrix(distMatrix, c.Assign, k)
+		sil := clustering.SilhouetteFromMatrix(distMatrix, c.Assign, k)
 		explored = append(explored, KScore{K: k, Silhouette: sil, Inertia: c.Inertia})
 		if !haveBest || sil > bestSil {
 			haveBest = true

@@ -10,7 +10,7 @@ import (
 	"time"
 
 	"tdac/internal/algorithms"
-	"tdac/internal/cluster"
+	"tdac/internal/clustering"
 	"tdac/internal/obs"
 	"tdac/internal/partition"
 	"tdac/internal/truthdata"
@@ -33,14 +33,14 @@ type TDAC struct {
 	Reference algorithms.Algorithm
 	// Distance scores clusterings in the silhouette index and assigns
 	// points in k-means. Defaults to Hamming (the paper's Equation 2).
-	Distance cluster.Distance
+	Distance clustering.Distance
 	// KMeans configures the clustering; its Distance field is overridden
 	// by the field above. The zero value works.
-	KMeans cluster.KMeans
+	KMeans clustering.KMeans
 	// Clusterer, when non-nil, replaces k-means entirely (e.g. an
 	// agglomerative clusterer); the silhouette-based k selection still
 	// applies.
-	Clusterer cluster.Clusterer
+	Clusterer clustering.Clusterer
 	// MinK and MaxK bound the explored cluster counts. Defaults follow
 	// Algorithm 1: [2, |A|-1]. MaxK may exceed |A|-1; it is clipped.
 	MinK, MaxK int
@@ -289,9 +289,9 @@ func (t *TDAC) kRange(nAttrs int) (minK, maxK int) {
 // then feeds it to the same sweep.
 type geometry struct {
 	tv         *TruthVectors
-	dist       cluster.Distance
-	packed     *cluster.PackedVectors
-	distMatrix *cluster.DistMatrix
+	dist       clustering.Distance
+	packed     *clustering.PackedVectors
+	distMatrix *clustering.DistMatrix
 }
 
 // buildGeometry resolves projection and distance defaults for tv and
@@ -305,7 +305,7 @@ func (t *TDAC) buildGeometry(tv *TruthVectors) (*geometry, error) {
 		if seed == 0 {
 			seed = 1
 		}
-		projected, err := cluster.RandomProjection(tv.Vectors, t.ProjectDim, seed)
+		projected, err := clustering.RandomProjection(tv.Vectors, t.ProjectDim, seed)
 		if err != nil {
 			return nil, fmt.Errorf("core: projecting truth vectors: %w", err)
 		}
@@ -316,11 +316,11 @@ func (t *TDAC) buildGeometry(tv *TruthVectors) (*geometry, error) {
 	if dist == nil {
 		switch {
 		case t.Masked:
-			dist = cluster.MaskedHamming{Mask: Missing}
+			dist = clustering.MaskedHamming{Mask: Missing}
 		case t.ProjectDim > 0:
-			dist = cluster.Euclidean{}
+			dist = clustering.Euclidean{}
 		default:
-			dist = cluster.Hamming{}
+			dist = clustering.Hamming{}
 		}
 	}
 
@@ -330,22 +330,22 @@ func (t *TDAC) buildGeometry(tv *TruthVectors) (*geometry, error) {
 	// Pack the truth vectors into bit-planes whenever the distance is one
 	// the popcount kernels reproduce exactly; fractional or foreign
 	// encodings fall back to the float kernels.
-	var packed *cluster.PackedVectors
+	var packed *clustering.PackedVectors
 	switch dd := dist.(type) {
-	case cluster.Hamming:
-		packed, _ = cluster.PackBinary(tv.Vectors)
-	case cluster.MaskedHamming:
-		packed, _ = cluster.PackMasked(tv.Vectors, dd.Mask)
+	case clustering.Hamming:
+		packed, _ = clustering.PackBinary(tv.Vectors)
+	case clustering.MaskedHamming:
+		packed, _ = clustering.PackMasked(tv.Vectors, dd.Mask)
 	}
 
 	// The silhouette of every explored k — and, on binary vectors,
 	// k-means++ seeding — reuses one pairwise distance matrix over the
 	// attribute truth vectors, computed once per Discover call.
-	var distMatrix *cluster.DistMatrix
+	var distMatrix *clustering.DistMatrix
 	if packed != nil {
-		distMatrix = cluster.NewDistMatrixPacked(packed)
+		distMatrix = clustering.NewDistMatrixPacked(packed)
 	} else {
-		distMatrix = cluster.NewDistMatrix(tv.Vectors, dist)
+		distMatrix = clustering.NewDistMatrix(tv.Vectors, dist)
 	}
 	matrixDone()
 	rec.MatrixDone(obs.MatrixStats{
@@ -366,7 +366,7 @@ func (t *TDAC) sweepPartition(ctx context.Context, g *geometry, minK, maxK int) 
 	tv, dist, packed, distMatrix := g.tv, g.dist, g.packed, g.distMatrix
 	rec := t.Recorder
 
-	newClusterer := func() cluster.Clusterer {
+	newClusterer := func() clustering.Clusterer {
 		if t.Clusterer != nil {
 			return t.Clusterer
 		}
@@ -381,7 +381,7 @@ func (t *TDAC) sweepPartition(ctx context.Context, g *geometry, minK, maxK int) 
 	}
 
 	type kResult struct {
-		clustering *cluster.Clustering
+		clustering *clustering.Clustering
 		sil        float64
 		dur        time.Duration
 		err        error
@@ -389,7 +389,7 @@ func (t *TDAC) sweepPartition(ctx context.Context, g *geometry, minK, maxK int) 
 	numK := maxK - minK + 1
 	results := make([]kResult, numK)
 	sweepDone := rec.Phase(obs.PhaseKSweep)
-	evalK := func(clusterer cluster.Clusterer, i int) {
+	evalK := func(clusterer clustering.Clusterer, i int) {
 		var t0 time.Time
 		if rec.Enabled() {
 			t0 = time.Now()
@@ -400,7 +400,7 @@ func (t *TDAC) sweepPartition(ctx context.Context, g *geometry, minK, maxK int) 
 			results[i] = kResult{err: fmt.Errorf("core: clustering with k=%d: %w", k, err)}
 			return
 		}
-		sil := cluster.SilhouetteFromDistMatrix(distMatrix, c.Assign, k)
+		sil := clustering.SilhouetteFromDistMatrix(distMatrix, c.Assign, k)
 		results[i] = kResult{clustering: c, sil: sil}
 		// Stream the explored k immediately (completion order); the
 		// deterministic per-k table still arrives in bulk via SweepDone.
@@ -504,12 +504,12 @@ func (t *TDAC) sweepPartition(ctx context.Context, g *geometry, minK, maxK int) 
 // every silhouette evaluation reads the shared matrix, and k-means++
 // seeding reads it instead of scanning vectors whenever the packed dense
 // path is active (see KMeans.SeedSqDists).
-func (t *TDAC) cacheStats(packed *cluster.PackedVectors, numK int) obs.CacheStats {
+func (t *TDAC) cacheStats(packed *clustering.PackedVectors, numK int) obs.CacheStats {
 	cs := obs.CacheStats{SilhouetteEvals: numK}
 	seeded := t.Clusterer == nil &&
 		packed != nil && !packed.Masked() &&
 		!t.KMeans.DisableAccel &&
-		t.KMeans.Init == cluster.InitKMeansPlusPlus
+		t.KMeans.Init == clustering.InitKMeansPlusPlus
 	if seeded {
 		restarts := t.KMeans.Restarts
 		if restarts == 0 {

@@ -8,7 +8,7 @@ import (
 	"testing/quick"
 
 	"tdac/internal/algorithms"
-	"tdac/internal/cluster"
+	"tdac/internal/clustering"
 	"tdac/internal/metrics"
 	"tdac/internal/partition"
 	"tdac/internal/synth"
@@ -243,7 +243,7 @@ func TestTDACCustomReference(t *testing.T) {
 func TestTDACCustomDistance(t *testing.T) {
 	d, _ := smallDS1(t)
 	tdac := New(algorithms.NewMajorityVote())
-	tdac.Distance = cluster.Euclidean{}
+	tdac.Distance = clustering.Euclidean{}
 	if _, err := tdac.Run(d); err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestTDACMergedTruthMatchesPerGroupRuns(t *testing.T) {
 func TestTDACWithAgglomerativeClusterer(t *testing.T) {
 	d, planted := smallDS1(t)
 	tdac := New(algorithms.NewAccu())
-	tdac.Clusterer = &cluster.Agglomerative{Linkage: cluster.AverageLinkage, Distance: cluster.Hamming{}}
+	tdac.Clusterer = &clustering.Agglomerative{Linkage: clustering.AverageLinkage, Distance: clustering.Hamming{}}
 	out, err := tdac.Run(d)
 	if err != nil {
 		t.Fatal(err)

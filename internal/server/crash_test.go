@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -44,7 +45,7 @@ func crashConfig(mem *fault.Mem, f *fakeRunner) Config {
 		DataDir: "data", fs: mem,
 		Fsync:        wal.SyncAlways,
 		CompactBytes: 512,
-		run:          f.run,
+		Runner:       f.run,
 	}
 }
 
@@ -357,6 +358,256 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 			t.Errorf("post-crash incremental result diverges from a cold run:\n%s\nvs\n%s", got, want)
 		}
 	})
+
+	// Failover scenarios extend the crash property across the replication
+	// boundary (DESIGN.md §14). A follower's durability promise is its
+	// watermark: everything a completed sync round shipped must survive a
+	// primary crash and be served bit-identically by the promoted server;
+	// the follower's own mirror writes must be crash-atomic; and a crash
+	// inside promotion itself must leave a mirror a retry can promote.
+
+	t.Run("failover-primary-mid-append", func(t *testing.T) {
+		// The primary dies on a torn append strictly after a replication
+		// round; the promoted follower serves exactly the watermark state.
+		mem := fault.NewMem(fault.Config{Seed: 21, CrashAt: "wal.append.write", CrashAtHit: 8})
+		primary, err := New(crashConfig(mem, newFakeRunner()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(primary.Handler())
+		defer ts.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+			defer cancel()
+			_ = primary.Shutdown(ctx)
+		}()
+
+		if err := primary.Registry().Create("alpha", smallDataset(t, "alpha")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := primary.Registry().Append("alpha", []ClaimInput{
+			{Source: "s10", Object: "o1", Attribute: "colour", Value: "red"},
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := primary.Registry().Create("beta", smallDataset(t, "beta")); err != nil {
+			t.Fatal(err)
+		}
+		job, err := submitDiscover(t, primary, "alpha", discoverRequest{Key: "job-a"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pin := job.Spec.Snapshot
+
+		promotedRunner := newFakeRunner()
+		fol, err := NewFollower(FollowerConfig{
+			Primary: ts.URL, Dir: t.TempDir(), Poll: time.Hour,
+			Serve: Config{Workers: 1, QueueSize: 8, Runner: promotedRunner.run},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = fol.Close(ctx)
+		}()
+		if err := fol.SyncOnce(); err != nil {
+			t.Fatalf("sync before crash: %v", err)
+		}
+		wantAlpha := mustGet(t, primary.Registry(), "alpha")
+		wantBeta := mustGet(t, primary.Registry(), "beta")
+		wantAlphaJSON := canonicalJSON(t, wantAlpha.Data)
+		wantBetaJSON := canonicalJSON(t, wantBeta.Data)
+
+		// Appends past the watermark, until one dies mid-write. Nothing
+		// here was shipped, so nothing here is promised.
+		crashed := false
+		for i := 0; i < 10 && !crashed; i++ {
+			_, err := primary.Registry().Append("alpha", []ClaimInput{
+				{Source: fmt.Sprintf("s2%d", i), Object: "o1", Attribute: "colour", Value: "blue"},
+			}, nil)
+			crashed = err != nil
+		}
+		if !crashed {
+			t.Fatal("primary never crashed mid-append")
+		}
+		ts.CloseClientConnections()
+		ts.Close()
+
+		promoted, err := fol.Promote()
+		if err != nil {
+			t.Fatalf("promoting after primary crash: %v", err)
+		}
+		got := mustGet(t, promoted.Registry(), "alpha")
+		if got.Version != wantAlpha.Version || canonicalJSON(t, got.Data) != wantAlphaJSON {
+			t.Fatalf("promoted alpha at v%d, want the watermark v%d bit-identical", got.Version, wantAlpha.Version)
+		}
+		got = mustGet(t, promoted.Registry(), "beta")
+		if got.Version != wantBeta.Version || canonicalJSON(t, got.Data) != wantBetaJSON {
+			t.Fatalf("promoted beta at v%d, want the watermark v%d bit-identical", got.Version, wantBeta.Version)
+		}
+		j, err := promoted.Engine().Get(job.ID)
+		if err != nil {
+			t.Fatalf("acked job %s lost across failover: %v", job.ID, err)
+		}
+		if st := j.State(); st != JobQueued && st != JobRunning {
+			t.Fatalf("failed-over job %s in state %s, want queued or running", job.ID, st)
+		}
+		if j.Spec.Snapshot.Dataset != pin.Dataset || j.Spec.Snapshot.Version != pin.Version {
+			t.Fatalf("failed-over job pinned to %s@%d, want %s@%d",
+				j.Spec.Snapshot.Dataset, j.Spec.Snapshot.Version, pin.Dataset, pin.Version)
+		}
+	})
+
+	// The follower crashes mid-segment-ship — before the tmp write, and
+	// between the durable tmp and its rename. Both leave a mirror the
+	// restarted follower resyncs into a bit-identical registry.
+	for _, sc := range []struct {
+		point string
+		hit   int
+	}{
+		{"follower.mirror.write", 1},
+		{"follower.mirror.rename", 1},
+	} {
+		t.Run(fmt.Sprintf("failover-%s-hit%d", sc.point, sc.hit), func(t *testing.T) {
+			primary, err := New(Config{Workers: 1, QueueSize: 8, DataDir: t.TempDir(), Runner: newFakeRunner().run})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer shutdownServer(t, primary)
+			ts := httptest.NewServer(primary.Handler())
+			defer ts.Close()
+			if err := primary.Registry().Create("alpha", smallDataset(t, "alpha")); err != nil {
+				t.Fatal(err)
+			}
+			if err := primary.Registry().Create("beta", smallDataset(t, "beta")); err != nil {
+				t.Fatal(err)
+			}
+
+			mem := fault.NewMem(fault.Config{Seed: int64(sc.hit), CrashAt: sc.point, CrashAtHit: sc.hit})
+			fol, err := NewFollower(FollowerConfig{
+				Primary: ts.URL, Dir: "mirror", Poll: time.Hour, FS: mem,
+				Serve: Config{Workers: 1, QueueSize: 8},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fol.SyncOnce(); err == nil {
+				t.Fatal("sync survived an injected mirror crash")
+			}
+			{
+				ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				_ = fol.Close(ctx)
+				cancel()
+			}
+
+			// Power loss on the follower box, then a fresh follower over the
+			// surviving mirror image: the next round must converge.
+			image := mem.Restart(fault.Config{})
+			fol2, err := NewFollower(FollowerConfig{
+				Primary: ts.URL, Dir: "mirror", Poll: time.Hour, FS: image,
+				Serve: Config{Workers: 1, QueueSize: 8},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				defer cancel()
+				_ = fol2.Close(ctx)
+			}()
+			if err := fol2.SyncOnce(); err != nil {
+				t.Fatalf("resync after mirror crash: %v", err)
+			}
+			assertRegistriesIdentical(t, fol2.Registry(), primary.Registry())
+		})
+	}
+
+	t.Run("failover-crash-mid-promotion", func(t *testing.T) {
+		// Promotion itself crashes while recovering the mirrored WAL. The
+		// mirror is read-only input to promotion, so a retry on the
+		// restarted image must succeed and serve every shipped dataset.
+		primary, err := New(Config{Workers: 1, QueueSize: 8, DataDir: t.TempDir(), Runner: newFakeRunner().run})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(primary.Handler())
+		if err := primary.Registry().Create("alpha", smallDataset(t, "alpha")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := primary.Registry().Append("alpha", []ClaimInput{
+			{Source: "s30", Object: "o1", Attribute: "colour", Value: "red"},
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+		wantAlpha := mustGet(t, primary.Registry(), "alpha")
+		wantAlphaJSON := canonicalJSON(t, wantAlpha.Data)
+
+		mem := fault.NewMem(fault.Config{})
+		fol, err := NewFollower(FollowerConfig{
+			Primary: ts.URL, Dir: "mirror", Poll: time.Hour, FS: mem,
+			Serve: Config{Workers: 1, QueueSize: 8},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fol.SyncOnce(); err != nil {
+			t.Fatal(err)
+		}
+		{
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			_ = fol.Close(ctx)
+			cancel()
+		}
+		ts.CloseClientConnections()
+		ts.Close()
+		shutdownServer(t, primary)
+
+		// Arm the crash on the mirror image: the first mutating op of the
+		// promotion's recovery (reopening the mirrored tail for append)
+		// kills the box mid-promotion.
+		armed := mem.Restart(fault.Config{Seed: 31, CrashAfterOps: 2})
+		fol2, err := NewFollower(FollowerConfig{
+			Primary: ts.URL, Dir: "mirror", Poll: time.Hour, FS: armed,
+			Serve: Config{Workers: 1, QueueSize: 8},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fol2.Promote(); err == nil {
+			t.Fatal("promotion survived an injected crash mid-recovery")
+		}
+		{
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			_ = fol2.Close(ctx)
+			cancel()
+		}
+
+		// Retry on the post-crash image: promotion completes and serves the
+		// shipped state bit-identically.
+		image := armed.Restart(fault.Config{})
+		fol3, err := NewFollower(FollowerConfig{
+			Primary: ts.URL, Dir: "mirror", Poll: time.Hour, FS: image,
+			Serve: Config{Workers: 1, QueueSize: 8},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = fol3.Close(ctx)
+		}()
+		promoted, err := fol3.Promote()
+		if err != nil {
+			t.Fatalf("retried promotion failed: %v", err)
+		}
+		got := mustGet(t, promoted.Registry(), "alpha")
+		if got.Version != wantAlpha.Version || canonicalJSON(t, got.Data) != wantAlphaJSON {
+			t.Fatalf("retried promotion serves alpha at v%d, want v%d bit-identical", got.Version, wantAlpha.Version)
+		}
+	})
 }
 
 // TestShutdownRacesCompaction is the S3 satellite: SIGTERM-style
@@ -371,7 +622,7 @@ func TestShutdownRacesCompaction(t *testing.T) {
 		DataDir:      dir,
 		Fsync:        wal.SyncNever, // maximize in-flight unsynced state at shutdown
 		CompactBytes: 256,           // every few appends trigger a compaction
-		run:          f.run,
+		Runner:       f.run,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -424,7 +675,7 @@ func TestShutdownRacesCompaction(t *testing.T) {
 
 	// The interrupted log must recover: New succeeds, the dataset is
 	// back, and — since Close flushes — nothing acked is missing.
-	s2, err := New(Config{Workers: 1, QueueSize: 8, DataDir: dir, run: newFakeRunner().run})
+	s2, err := New(Config{Workers: 1, QueueSize: 8, DataDir: dir, Runner: newFakeRunner().run})
 	if err != nil {
 		t.Fatalf("recovery after racing shutdown: %v", err)
 	}

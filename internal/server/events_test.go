@@ -73,7 +73,7 @@ func stateOf(t testing.TB, ev sse.Event) string {
 // terminal frame's payload is byte-identical to the polled job body.
 func TestWatchJobStreamsLifecycle(t *testing.T) {
 	f := newFakeRunner()
-	s, ts := newTestServer(t, Config{Workers: 1, run: f.run, EventHeartbeat: 20 * time.Millisecond})
+	s, ts := newTestServer(t, Config{Workers: 1, Runner: f.run, EventHeartbeat: 20 * time.Millisecond})
 	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestWatchJobStreamsLifecycle(t *testing.T) {
 // of a finished job ends immediately with no frames.
 func TestWatchJobResumesFromLastEventID(t *testing.T) {
 	f := newFakeRunner()
-	s, ts := newTestServer(t, Config{Workers: 1, run: f.run, EventHeartbeat: 20 * time.Millisecond})
+	s, ts := newTestServer(t, Config{Workers: 1, Runner: f.run, EventHeartbeat: 20 * time.Millisecond})
 	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestWatchJobResumesFromLastEventID(t *testing.T) {
 // TestWatchJobRejectsBadRequests pins the endpoint's error contract.
 func TestWatchJobRejectsBadRequests(t *testing.T) {
 	f := newFakeRunner()
-	s, ts := newTestServer(t, Config{Workers: 1, run: f.run})
+	s, ts := newTestServer(t, Config{Workers: 1, Runner: f.run})
 	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestWatchJobRejectsBadRequests(t *testing.T) {
 // state frame and a clean end of stream — never an indefinite hang.
 func TestWatchJobEvictedWhileWatching(t *testing.T) {
 	f := newFakeRunner()
-	s, ts := newTestServer(t, Config{Workers: 1, MaxJobs: 1, run: f.run, EventHeartbeat: 20 * time.Millisecond})
+	s, ts := newTestServer(t, Config{Workers: 1, MaxJobs: 1, Runner: f.run, EventHeartbeat: 20 * time.Millisecond})
 	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +274,7 @@ func TestWatchJobEvictedWhileWatching(t *testing.T) {
 func TestWatchJobSeesCancellation(t *testing.T) {
 	f := newFakeRunner()
 	// One worker pinned by a decoy job keeps the watched job queued.
-	s, ts := newTestServer(t, Config{Workers: 1, run: f.run, EventHeartbeat: 20 * time.Millisecond})
+	s, ts := newTestServer(t, Config{Workers: 1, Runner: f.run, EventHeartbeat: 20 * time.Millisecond})
 	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,460 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"tdac/internal/fault"
+	"tdac/internal/wal"
+)
+
+// Follower mirrors a primary tdacd's WAL into a local directory over
+// the /v1/wal/segments shipping API and replays it through the exact
+// recovery path the primary itself would use, so its registry is
+// bit-identical to the primary's acked state up to the replication
+// watermark. A follower serves reads (dataset listings and stats) while
+// following, refuses writes naming the primary, and can be promoted —
+// explicitly, typically after health probing declares the primary dead —
+// into a full read-write Server recovered from the mirrored log. See
+// DESIGN.md §14.
+type Follower struct {
+	cfg    FollowerConfig
+	fsys   fault.FS
+	client *http.Client
+	ro     http.Handler // the read-only surface served until promotion
+
+	mu        sync.Mutex
+	registry  *Registry
+	watermark uint64 // record index of the last applied WAL record
+	snapSeq   uint64 // sequence of the mirrored snapshot baseline
+	synced    bool   // at least one successful sync round completed
+	lastErr   error  // most recent sync failure (cleared on success)
+	promoted  *Server
+	files     map[string]mirroredFile
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// mirroredFile records what the follower last wrote for one WAL file,
+// so unchanged sealed files are never re-fetched.
+type mirroredFile struct {
+	size int64
+	crc  uint32
+}
+
+// FollowerConfig configures a Follower.
+type FollowerConfig struct {
+	// Primary is the primary's base URL (e.g. "http://10.0.0.1:8321").
+	Primary string
+	// Dir is the local mirror directory for the shipped WAL.
+	Dir string
+	// Poll is the manifest polling period (default 500ms).
+	Poll time.Duration
+	// Client performs the shipping requests (default: 10s timeout).
+	Client *http.Client
+	// Serve configures the Server built at promotion; its DataDir is
+	// overridden with Dir. ShardID/Owns carry over so a promoted shard
+	// keeps its cluster identity.
+	Serve Config
+	// FS is the filesystem seam for the mirror (nil = real filesystem).
+	FS fault.FS
+}
+
+// followerCastagnoli mirrors the WAL's checksum for shipped-byte
+// verification.
+var followerCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// NewFollower starts a follower replicating from cfg.Primary into
+// cfg.Dir. The returned follower is already polling; call SyncOnce for
+// a deterministic round (tests), Promote to take over, Close to stop.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.Primary == "" || cfg.Dir == "" {
+		return nil, fmt.Errorf("server: follower needs a primary URL and a mirror dir")
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 500 * time.Millisecond
+	}
+	f := &Follower{
+		cfg:      cfg,
+		fsys:     cfg.FS,
+		client:   cfg.Client,
+		registry: NewRegistry(cfg.Serve.withDefaults().MaxDatasets),
+		files:    make(map[string]mirroredFile),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if f.fsys == nil {
+		f.fsys = fault.OS{}
+	}
+	if f.client == nil {
+		f.client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if err := f.fsys.MkdirAll(cfg.Dir); err != nil {
+		return nil, fmt.Errorf("server: creating mirror dir %s: %w", cfg.Dir, err)
+	}
+	f.ro = f.buildReadOnlyHandler()
+	go f.loop()
+	return f, nil
+}
+
+// loop polls the primary until Close or Promote stops it.
+func (f *Follower) loop() {
+	defer close(f.done)
+	t := time.NewTicker(f.cfg.Poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+			_ = f.SyncOnce()
+		}
+	}
+}
+
+// SyncOnce performs one replication round: fetch the primary's
+// manifest, mirror every new or grown file (verifying the manifest CRC
+// over the valid prefix), prune superseded files, and rebuild the
+// read registry through the standard two-pass replay. Safe to call
+// concurrently with the polling loop; rounds serialize on the mutex.
+func (f *Follower) SyncOnce() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.promoted != nil {
+		return nil
+	}
+	err := f.syncLocked()
+	if err != nil {
+		f.lastErr = err
+		return err
+	}
+	f.lastErr = nil
+	f.synced = true
+	return nil
+}
+
+func (f *Follower) syncLocked() error {
+	var m wal.Manifest
+	if err := f.getJSON("/v1/wal/segments", &m); err != nil {
+		return fmt.Errorf("fetching manifest: %w", err)
+	}
+	want := make(map[string]bool)
+	var files []wal.SegmentInfo
+	if m.Snapshot != nil {
+		files = append(files, *m.Snapshot)
+	}
+	files = append(files, m.Segments...)
+	for _, info := range files {
+		want[info.Name] = true
+		prev, ok := f.files[info.Name]
+		if ok && prev.size == info.Size && prev.crc == info.CRC {
+			continue // unchanged (sealed, or an idle tail)
+		}
+		raw, err := f.getRaw("/v1/wal/segments/" + info.Name)
+		if err != nil {
+			return fmt.Errorf("fetching %s: %w", info.Name, err)
+		}
+		if int64(len(raw)) < info.Size {
+			// The primary compacted or rotated between manifest and fetch;
+			// the next round's manifest will be consistent.
+			return fmt.Errorf("fetched %s: %d bytes, manifest said %d", info.Name, len(raw), info.Size)
+		}
+		valid := raw[:info.Size]
+		if crc32.Checksum(valid, followerCastagnoli) != info.CRC {
+			return fmt.Errorf("fetched %s: checksum mismatch against manifest", info.Name)
+		}
+		if err := f.writeMirror(info.Name, valid); err != nil {
+			return err
+		}
+		f.files[info.Name] = mirroredFile{size: info.Size, crc: info.CRC}
+	}
+
+	// Prune mirrored files the manifest no longer lists (superseded by a
+	// compaction on the primary); recovery would ignore them, but the
+	// mirror should not grow without bound.
+	names, err := f.fsys.ReadDir(f.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("listing mirror: %w", err)
+	}
+	for _, name := range names {
+		if want[name] {
+			continue
+		}
+		if _, _, ok := wal.ParseFileName(name); !ok {
+			continue
+		}
+		_ = f.fsys.Remove(filepath.Join(f.cfg.Dir, name))
+		delete(f.files, name)
+	}
+
+	state, err := replayDir(f.cfg.Dir, f.fsys)
+	if err != nil {
+		return fmt.Errorf("replaying mirror: %w", err)
+	}
+	reg := NewRegistry(f.cfg.Serve.withDefaults().MaxDatasets)
+	for _, snap := range state.Datasets {
+		reg.install(snap)
+	}
+	f.registry = reg
+	if m.Snapshot != nil {
+		f.snapSeq = m.Snapshot.Seq
+	}
+	f.watermark = 0
+	for _, s := range m.Segments {
+		if s.Last > f.watermark {
+			f.watermark = s.Last
+		}
+	}
+	return nil
+}
+
+// writeMirror atomically installs one mirrored file: tmp, fsync,
+// rename, directory fsync — the same discipline the WAL itself uses, so
+// a follower crash mid-ship never leaves a half-written segment that
+// later replays as truncation.
+func (f *Follower) writeMirror(name string, data []byte) error {
+	fault.Point(f.fsys, "follower.mirror.write")
+	tmp := filepath.Join(f.cfg.Dir, name+".tmp")
+	final := filepath.Join(f.cfg.Dir, name)
+	file, err := f.fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", tmp, err)
+	}
+	if _, err := file.Write(data); err != nil {
+		_ = file.Close()
+		return fmt.Errorf("writing %s: %w", tmp, err)
+	}
+	if err := file.Sync(); err != nil {
+		_ = file.Close()
+		return fmt.Errorf("fsync %s: %w", tmp, err)
+	}
+	if err := file.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", tmp, err)
+	}
+	fault.Point(f.fsys, "follower.mirror.rename")
+	if err := f.fsys.Rename(tmp, final); err != nil {
+		return fmt.Errorf("installing %s: %w", final, err)
+	}
+	if err := f.fsys.SyncDir(f.cfg.Dir); err != nil {
+		return fmt.Errorf("syncing %s: %w", f.cfg.Dir, err)
+	}
+	return nil
+}
+
+// replayDir replays a WAL directory read-only into a RecoveredState:
+// the same two-pass replay recovery uses, minus openStore's
+// compact-on-truncation (a follower never rewrites its mirror; the
+// primary's next manifest supersedes any torn tail).
+func replayDir(dir string, fsys fault.FS) (*RecoveredState, error) {
+	l, rec, err := wal.Open(dir, wal.Options{FS: fsys, Mode: wal.SyncNever})
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	st := &Store{
+		datasets: make(map[string]*Snapshot),
+		pending:  make(map[string]*storedJob),
+	}
+	return st.replay(rec)
+}
+
+func (f *Follower) getJSON(path string, v any) error {
+	raw, err := f.getRaw(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, v)
+}
+
+func (f *Follower) getRaw(path string) ([]byte, error) {
+	resp, err := f.client.Get(f.cfg.Primary + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", path, resp.Status, firstLine(body))
+	}
+	return body, nil
+}
+
+// firstLine trims an error body for embedding in an error message.
+func firstLine(b []byte) string {
+	s := string(b)
+	if len(s) > 200 {
+		s = s[:200] + "…"
+	}
+	return s
+}
+
+// Watermark returns the replication watermark: the index of the last
+// WAL record applied to the read registry (counted from the mirrored
+// snapshot baseline), and the baseline snapshot's sequence number.
+func (f *Follower) Watermark() (records uint64, snapSeq uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.watermark, f.snapSeq
+}
+
+// Registry returns the follower's current read registry (tests,
+// verification).
+func (f *Follower) Registry() *Registry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.promoted != nil {
+		return f.promoted.Registry()
+	}
+	return f.registry
+}
+
+// Promoted returns the promoted Server, nil while still following.
+func (f *Follower) Promoted() *Server {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.promoted
+}
+
+// Promote stops replication and brings up a full read-write Server
+// recovered from the mirrored WAL: datasets install bit-identically and
+// every job that was acked but not terminal on the primary re-enqueues
+// (at-least-once, exactly like the primary's own crash recovery).
+// Idempotent; the first call wins.
+func (f *Follower) Promote() (*Server, error) {
+	f.stopLoop()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.promoted != nil {
+		return f.promoted, nil
+	}
+	// A last best-effort round narrows the failover window when the
+	// primary is still reachable; when it is dead (the usual reason to
+	// promote) the mirror simply serves what was already shipped.
+	_ = f.syncLocked()
+
+	cfg := f.cfg.Serve
+	cfg.DataDir = f.cfg.Dir
+	cfg.fs = f.cfg.FS
+	srv, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("server: promoting follower: %w", err)
+	}
+	f.promoted = srv
+	return srv, nil
+}
+
+func (f *Follower) stopLoop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	<-f.done
+}
+
+// Close stops replication and, when promoted, shuts the promoted server
+// down.
+func (f *Follower) Close(ctx context.Context) error {
+	f.stopLoop()
+	f.mu.Lock()
+	srv := f.promoted
+	f.mu.Unlock()
+	if srv != nil {
+		return srv.Shutdown(ctx)
+	}
+	return nil
+}
+
+// Handler returns the follower's HTTP surface. Before promotion it is
+// the read-only follower API; after Promote it transparently becomes
+// the promoted server's full surface, so a router can keep pointing at
+// the same address across a failover.
+func (f *Follower) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		srv := f.promoted
+		f.mu.Unlock()
+		if srv != nil {
+			srv.Handler().ServeHTTP(w, r)
+			return
+		}
+		f.ro.ServeHTTP(w, r)
+	})
+}
+
+// buildReadOnlyHandler mounts the pre-promotion surface: dataset reads
+// from the replicated registry, health/readiness reflecting the
+// replication state, explicit promotion, and a refusal naming the
+// primary for everything else.
+func (f *Follower) buildReadOnlyHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		reg := f.Registry()
+		names := reg.Names()
+		out := make([]datasetInfo, 0, len(names))
+		for _, n := range names {
+			if snap, err := reg.Get(n); err == nil {
+				out = append(out, infoOf(snap))
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+	})
+	mux.HandleFunc("GET /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := f.Registry().Get(r.PathValue("name"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, infoOf(snap))
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": "follower"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		synced, lastErr, wm, snapSeq := f.synced, f.lastErr, f.watermark, f.snapSeq
+		f.mu.Unlock()
+		if !synced {
+			w.Header().Set("Retry-After", "1")
+			msg := "follower: no successful sync yet"
+			if lastErr != nil {
+				msg = fmt.Sprintf("follower: no successful sync yet: %v", lastErr)
+			}
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": msg})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":       "following",
+			"primary":      f.cfg.Primary,
+			"watermark":    wm,
+			"snapshot_seq": snapSeq,
+		})
+	})
+	mux.HandleFunc("POST /v1/promote", func(w http.ResponseWriter, r *http.Request) {
+		srv, err := f.Promote()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		resp := map[string]any{"promoted": true, "datasets": len(srv.Registry().Names())}
+		if rec := srv.Recovered(); rec != nil {
+			resp["resumed_jobs"] = len(rec.Jobs)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			"follower: this node mirrors %s read-only; writes and job APIs are served by the primary (or promote this node)",
+			f.cfg.Primary)
+	})
+	return mux
+}

@@ -1,0 +1,289 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newFollowerFor builds a follower mirroring primaryURL into a fresh
+// temp dir, with the polling loop effectively disabled so tests drive
+// replication deterministically through SyncOnce.
+func newFollowerFor(t testing.TB, primaryURL string, serve Config) *Follower {
+	t.Helper()
+	f, err := NewFollower(FollowerConfig{
+		Primary: primaryURL,
+		Dir:     t.TempDir(),
+		Poll:    time.Hour,
+		Serve:   serve,
+	})
+	if err != nil {
+		t.Fatalf("NewFollower: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = f.Close(ctx)
+	})
+	return f
+}
+
+// assertRegistriesIdentical compares every dataset of two registries in
+// canonical journal form.
+func assertRegistriesIdentical(t testing.TB, got, want *Registry) {
+	t.Helper()
+	gn, wn := got.Names(), want.Names()
+	if len(gn) != len(wn) {
+		t.Fatalf("registry has %d datasets %v, want %d %v", len(gn), gn, len(wn), wn)
+	}
+	for i, n := range wn {
+		if gn[i] != n {
+			t.Fatalf("dataset %d = %q, want %q", i, gn[i], n)
+		}
+		g, err := got.Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := want.Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Version != w.Version {
+			t.Fatalf("dataset %q replicated at v%d, want v%d", n, g.Version, w.Version)
+		}
+		if canonicalJSON(t, g.Data) != canonicalJSON(t, w.Data) {
+			t.Fatalf("dataset %q replica is not bit-identical to the primary", n)
+		}
+	}
+}
+
+func TestFollowerReplicatesBitIdentically(t *testing.T) {
+	primary, err := New(Config{Workers: 1, QueueSize: 8, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownServer(t, primary)
+	if err := primary.Registry().Create("alpha", smallDataset(t, "alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Registry().Create("beta", smallDataset(t, "beta")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(primary.Handler())
+	defer ts.Close()
+
+	f := newFollowerFor(t, ts.URL, Config{})
+	if err := f.SyncOnce(); err != nil {
+		t.Fatalf("SyncOnce: %v", err)
+	}
+	assertRegistriesIdentical(t, f.Registry(), primary.Registry())
+	wm1, _ := f.Watermark()
+	if wm1 == 0 {
+		t.Fatal("watermark still 0 after replicating two creates")
+	}
+
+	// The live tail: an append on the primary must flow through the next
+	// round and advance the watermark.
+	if _, err := primary.Registry().Append("alpha", []ClaimInput{
+		{Source: "s9", Object: "o9", Attribute: "colour", Value: "mauve"},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncOnce(); err != nil {
+		t.Fatalf("SyncOnce after append: %v", err)
+	}
+	assertRegistriesIdentical(t, f.Registry(), primary.Registry())
+	if wm2, _ := f.Watermark(); wm2 <= wm1 {
+		t.Fatalf("watermark %d did not advance past %d", wm2, wm1)
+	}
+
+	// A compaction rolls the baseline forward; the follower must prune
+	// superseded files and still replicate bit-identically.
+	if err := primary.Store().Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.Registry().Append("beta", []ClaimInput{
+		{Source: "s9", Object: "o9", Attribute: "size", Value: "3"},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncOnce(); err != nil {
+		t.Fatalf("SyncOnce after compaction: %v", err)
+	}
+	assertRegistriesIdentical(t, f.Registry(), primary.Registry())
+	if _, snapSeq := f.Watermark(); snapSeq == 0 {
+		t.Fatal("snapshot baseline not reflected in watermark")
+	}
+}
+
+func TestFollowerReadOnlySurface(t *testing.T) {
+	primary, err := New(Config{Workers: 1, QueueSize: 8, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownServer(t, primary)
+	if err := primary.Registry().Create("alpha", smallDataset(t, "alpha")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(primary.Handler())
+	defer ts.Close()
+
+	f := newFollowerFor(t, ts.URL, Config{})
+	fts := httptest.NewServer(f.Handler())
+	defer fts.Close()
+
+	// Not ready before the first successful sync.
+	resp, err := http.Get(fts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before sync = %d, want 503", resp.StatusCode)
+	}
+	if err := f.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err = http.Get(fts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready struct {
+		Status    string `json:"status"`
+		Watermark uint64 `json:"watermark"`
+		Primary   string `json:"primary"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ready.Status != "following" || ready.Primary != ts.URL {
+		t.Fatalf("readyz = %+v", ready)
+	}
+
+	// Reads serve the replicated registry.
+	resp, err = http.Get(fts.URL + "/v1/datasets/alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"alpha"`) {
+		t.Fatalf("follower dataset read = %d %s", resp.StatusCode, body)
+	}
+
+	// Writes and job APIs are refused, naming the primary.
+	for _, tc := range []struct{ method, path, body string }{
+		{"POST", "/v1/datasets", `{"name":"gamma"}`},
+		{"POST", "/v1/datasets/alpha/claims", `{"claims":[]}`},
+		{"POST", "/v1/datasets/alpha/discover", `{}`},
+		{"GET", "/v1/jobs", ""},
+	} {
+		req, err := http.NewRequest(tc.method, fts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s %s on follower = %d, want 503", tc.method, tc.path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), ts.URL) {
+			t.Fatalf("%s %s refusal does not name the primary: %s", tc.method, tc.path, body)
+		}
+	}
+}
+
+// TestFollowerPromoteServesAckedState is the acceptance scenario: the
+// primary dies with datasets acked and a job pending; the promoted
+// follower serves every acked dataset bit-identically and re-runs the
+// interrupted job from its pinned snapshot.
+func TestFollowerPromoteServesAckedState(t *testing.T) {
+	runner := newFakeRunner()
+	primary, err := New(Config{Workers: 1, QueueSize: 8, DataDir: t.TempDir(), Runner: runner.run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Registry().Create("alpha", smallDataset(t, "alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Registry().Create("beta", smallDataset(t, "beta")); err != nil {
+		t.Fatal(err)
+	}
+	job, err := submitDiscover(t, primary, "alpha", discoverRequest{Mode: "base", Algorithm: "Accu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-runner.started // running, not terminal: must survive the failover
+	ts := httptest.NewServer(primary.Handler())
+
+	promotedRunner := newFakeRunner()
+	f := newFollowerFor(t, ts.URL, Config{Workers: 1, QueueSize: 8, Runner: promotedRunner.run})
+	if err := f.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash the primary: no graceful shutdown (that would journal
+	// cancellations); the process just goes away.
+	ts.Close()
+	wantAlpha := canonicalJSON(t, mustGet(t, primary.Registry(), "alpha").Data)
+	wantBeta := canonicalJSON(t, mustGet(t, primary.Registry(), "beta").Data)
+
+	promoted, err := f.Promote()
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if again, err := f.Promote(); err != nil || again != promoted {
+		t.Fatalf("second Promote = (%p, %v), want idempotent (%p)", again, err, promoted)
+	}
+	if got := canonicalJSON(t, mustGet(t, promoted.Registry(), "alpha").Data); got != wantAlpha {
+		t.Fatal("promoted alpha is not bit-identical to the acked primary state")
+	}
+	if got := canonicalJSON(t, mustGet(t, promoted.Registry(), "beta").Data); got != wantBeta {
+		t.Fatal("promoted beta is not bit-identical to the acked primary state")
+	}
+
+	// The interrupted job re-enqueued under its original ID and runs.
+	rec := promoted.Recovered()
+	if rec == nil || len(rec.Jobs) != 1 || rec.Jobs[0].ID != job.ID {
+		t.Fatalf("promoted recovery = %+v, want job %s re-enqueued", rec, job.ID)
+	}
+	<-promotedRunner.started
+	promotedRunner.release <- struct{}{}
+	resumed, err := promoted.Engine().Get(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, resumed, JobDone)
+
+	// The follower's handler now serves the full surface.
+	fts := httptest.NewServer(f.Handler())
+	defer fts.Close()
+	resp, err := http.Get(fts.URL + "/v1/jobs/" + job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promoted job poll = %d, want 200", resp.StatusCode)
+	}
+}
+
+func mustGet(t testing.TB, r *Registry, name string) *Snapshot {
+	t.Helper()
+	snap, err := r.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}

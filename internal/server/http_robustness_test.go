@@ -13,7 +13,7 @@ import (
 // "already done" from "already cancelled".
 func TestCancelTerminalJobConflict(t *testing.T) {
 	f := newFakeRunner()
-	s, ts := newTestServer(t, Config{Workers: 1, QueueSize: 4, run: f.run})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueSize: 4, Runner: f.run})
 	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestCancelTerminalJobConflict(t *testing.T) {
 // the body; a healthy server reports depth and capacity too.
 func TestReadyzBackpressureSignals(t *testing.T) {
 	f := newFakeRunner()
-	s, ts := newTestServer(t, Config{Workers: 1, QueueSize: 1, run: f.run})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueSize: 1, Runner: f.run})
 	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
 		t.Fatal(err)
 	}

@@ -204,6 +204,9 @@ type EngineConfig struct {
 	Aggregate *obs.Aggregate
 	// Journal receives lifecycle transitions (nil = no persistence).
 	Journal jobJournal
+	// IDPrefix prefixes generated job IDs ("s0-" → "s0-job-1"); a
+	// cluster router routes a job back to its shard by this prefix.
+	IDPrefix string
 }
 
 // Counters is a point-in-time copy of the engine's lifetime counters.
@@ -322,7 +325,7 @@ func (e *Engine) Submit(spec JobSpec) (j *Job, created bool, err error) {
 	}
 	e.next++
 	j = &Job{
-		ID:         fmt.Sprintf("job-%d", e.next),
+		ID:         fmt.Sprintf("%sjob-%d", e.cfg.IDPrefix, e.next),
 		Spec:       spec,
 		state:      JobQueued,
 		enqueuedAt: time.Now(),

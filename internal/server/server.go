@@ -63,8 +63,21 @@ type Config struct {
 	// (default 1 MiB).
 	CompactBytes int64
 
-	// run substitutes the job runner in tests; nil = real pipeline.
-	run RunFunc
+	// ShardID names this node's shard in a cluster. Job IDs gain a
+	// "<shard>-" prefix so the router can route job polls and event
+	// streams back to the shard that owns them. Empty = single node.
+	ShardID string
+	// Owns reports whether this shard owns a dataset and, when it does
+	// not, the owning shard's ID and base URL; dataset-scoped requests
+	// for foreign datasets are refused with 421 Misdirected Request
+	// carrying the owner so a direct client can re-aim. nil = this node
+	// owns every dataset (single-node mode, or routing is left entirely
+	// to the router in front).
+	Owns func(dataset string) (owned bool, ownerID, ownerURL string)
+
+	// Runner substitutes the job runner; nil = the real pipeline. Tests
+	// and cluster e2e harnesses inject deterministic runners through it.
+	Runner RunFunc
 	// fs and clock substitute the WAL's filesystem and clock in tests
 	// (fault injection); nil = the real ones.
 	fs    fault.FS
@@ -125,6 +138,9 @@ type Server struct {
 // the interrupted jobs. Call Shutdown to stop it.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if err := validateShardID(cfg.ShardID); err != nil {
+		return nil, err
+	}
 	agg := obs.NewAggregate()
 	s := &Server{
 		cfg:     cfg,
@@ -172,10 +188,14 @@ func New(cfg Config) (*Server, error) {
 
 	// The server's runner (not the engine default) so incremental jobs
 	// can reach the per-dataset state cache; tests may still substitute
-	// their own runner via cfg.run.
-	run := cfg.run
+	// their own runner via cfg.Runner.
+	run := cfg.Runner
 	if run == nil {
 		run = s.runSpec
+	}
+	idPrefix := ""
+	if cfg.ShardID != "" {
+		idPrefix = cfg.ShardID + "-"
 	}
 	s.engine = NewEngine(EngineConfig{
 		Workers:   cfg.Workers,
@@ -184,6 +204,7 @@ func New(cfg Config) (*Server, error) {
 		Run:       run,
 		Aggregate: agg,
 		Journal:   journal,
+		IDPrefix:  idPrefix,
 	})
 	if s.store != nil {
 		s.engine.setNextSeq(s.recovered.NextJob)
@@ -262,6 +283,10 @@ func (s *Server) buildHandler() http.Handler {
 	api.HandleFunc("GET /healthz", s.handleHealthz)
 	api.HandleFunc("GET /readyz", s.handleReadyz)
 	api.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.store != nil {
+		api.HandleFunc("GET /v1/wal/segments", s.handleWALManifest)
+		api.HandleFunc("GET /v1/wal/segments/{name}", s.handleWALFile)
+	}
 	if s.cfg.EnablePprof {
 		api.HandleFunc("/debug/pprof/", pprof.Index)
 		api.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -309,6 +334,9 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	if decodeStrict(w, r, &req) != nil {
 		return
 	}
+	if !s.checkOwner(w, req.Name) {
+		return
+	}
 	if err := s.registry.Create(req.Name, nil); err != nil {
 		s.writeRegistryError(w, err)
 		return
@@ -329,6 +357,9 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	if !s.checkOwner(w, r.PathValue("name")) {
+		return
+	}
 	snap, err := s.registry.Get(r.PathValue("name"))
 	if err != nil {
 		s.writeRegistryError(w, err)
@@ -356,6 +387,9 @@ type ingestRequest struct {
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req ingestRequest
 	if decodeStrict(w, r, &req) != nil {
+		return
+	}
+	if !s.checkOwner(w, r.PathValue("name")) {
 		return
 	}
 	snap, err := s.registry.Append(r.PathValue("name"), req.Claims, req.Truth)
@@ -479,6 +513,9 @@ type trustValue struct {
 }
 
 func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	if !s.checkOwner(w, r.PathValue("name")) {
+		return
+	}
 	snap, err := s.registry.Get(r.PathValue("name"))
 	if err != nil {
 		s.writeRegistryError(w, err)

@@ -288,7 +288,7 @@ func TestServer4xxPaths(t *testing.T) {
 		QueueSize:    1,
 		MaxBodyBytes: 2048,
 		MaxDatasets:  2,
-		run:          f.run,
+		Runner:       f.run,
 	})
 	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
 		t.Fatal(err)
@@ -422,7 +422,7 @@ func TestServerIngestAfterSubmitDoesNotAffectJob(t *testing.T) {
 // 503 and readyz reports not-ready, while a running job drains.
 func TestServerShutdownRefusesNewWork(t *testing.T) {
 	f := newFakeRunner()
-	s, err := New(Config{Workers: 1, QueueSize: 4, run: f.run})
+	s, err := New(Config{Workers: 1, QueueSize: 4, Runner: f.run})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -470,7 +470,7 @@ func TestServerShutdownRefusesNewWork(t *testing.T) {
 // TestServerCancelOverHTTP cancels a running job via DELETE.
 func TestServerCancelOverHTTP(t *testing.T) {
 	f := newFakeRunner()
-	s, ts := newTestServer(t, Config{Workers: 1, QueueSize: 4, run: f.run})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueSize: 4, Runner: f.run})
 	if err := s.Registry().Create("d", smallDataset(t, "d")); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"tdac/internal/wal"
+)
+
+// Cluster-facing surface of one shard server: shard-ID validation, the
+// not-owner gate, and the WAL segment-shipping API a follower replicates
+// through (DESIGN.md §14).
+
+// validateShardID accepts the IDs the job-ID scheme and the router's
+// prefix routing can handle: letters, digits, '.', '_' and '-', at most
+// 32 characters, and never containing the "job-" marker jobSeq parses
+// IDs by.
+func validateShardID(id string) error {
+	if id == "" {
+		return nil // single-node mode
+	}
+	if len(id) > 32 {
+		return fmt.Errorf("server: shard id %q exceeds 32 characters", id)
+	}
+	if strings.Contains(id, "job-") {
+		return fmt.Errorf("server: shard id %q must not contain %q", id, "job-")
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return fmt.Errorf("server: shard id %q contains %q (want letters, digits, '.', '_', '-')", id, r)
+		}
+	}
+	return nil
+}
+
+// checkOwner enforces dataset ownership in a cluster: when this shard
+// does not own name, it answers 421 Misdirected Request carrying the
+// owning shard's ID and URL so the caller can re-aim, and reports false.
+func (s *Server) checkOwner(w http.ResponseWriter, name string) bool {
+	if s.cfg.Owns == nil || name == "" {
+		return true
+	}
+	owned, ownerID, ownerURL := s.cfg.Owns(name)
+	if owned {
+		return true
+	}
+	writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
+		"error": fmt.Sprintf("dataset %q is owned by shard %q, not %q", name, ownerID, s.cfg.ShardID),
+		"shard": ownerID,
+		"owner": ownerURL,
+	})
+	return false
+}
+
+// handleWALManifest serves GET /v1/wal/segments: the log's current
+// replayable files (see wal.Manifest). Followers poll it to decide what
+// to fetch.
+func (s *Server) handleWALManifest(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, "this node runs in-memory: no WAL to ship")
+		return
+	}
+	m, err := s.store.Manifest()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "listing wal segments: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// handleWALFile serves GET /v1/wal/segments/{name}: one WAL file's raw
+// bytes. An unsealed tail may carry bytes past the manifest's valid
+// prefix (torn by a crash or growing under concurrent appends); the
+// follower truncates at the first corrupt frame exactly like recovery.
+func (s *Server) handleWALFile(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, "this node runs in-memory: no WAL to ship")
+		return
+	}
+	name := r.PathValue("name")
+	data, err := s.store.ReadRaw(name)
+	if err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeError(w, http.StatusNotFound, "wal file %q: %v", name, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}

@@ -156,13 +156,15 @@ func decodeDataset(raw json.RawMessage) (*truthdata.Dataset, error) {
 	return truthdata.ReadJSON(bytes.NewReader(raw))
 }
 
-// jobSeq parses the numeric suffix of an engine job ID ("job-17" → 17).
+// jobSeq parses the numeric suffix of an engine job ID: "job-17" → 17,
+// and with a shard prefix "s0-job-17" → 17 (validated shard IDs cannot
+// contain "job-", so the last occurrence is always the real marker).
 func jobSeq(id string) (int, bool) {
-	rest, ok := strings.CutPrefix(id, "job-")
-	if !ok {
+	i := strings.LastIndex(id, "job-")
+	if i < 0 || (i > 0 && id[i-1] != '-') {
 		return 0, false
 	}
-	n, err := strconv.Atoi(rest)
+	n, err := strconv.Atoi(id[i+len("job-"):])
 	if err != nil || n <= 0 {
 		return 0, false
 	}
@@ -559,6 +561,17 @@ func (s *Store) JournalEnd(id string, state JobState, errMsg string) {
 		s.compactOrderLocked()
 	}
 	s.maybeCompactLocked()
+}
+
+// Manifest lists the store's replayable WAL files for the replication
+// shipping API (GET /v1/wal/segments).
+func (s *Store) Manifest() (wal.Manifest, error) {
+	return s.log.Segments()
+}
+
+// ReadRaw returns the raw bytes of one WAL file for shipping.
+func (s *Store) ReadRaw(name string) ([]byte, error) {
+	return s.log.ReadRaw(name)
 }
 
 // Failed returns the sticky durability error, nil while healthy.

@@ -29,7 +29,7 @@ func newDurableServer(t testing.TB, fs fault.FS, f *fakeRunner, cfg Config) *Ser
 	cfg.DataDir = "data"
 	cfg.fs = fs
 	if f != nil {
-		cfg.run = f.run
+		cfg.Runner = f.run
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = 1

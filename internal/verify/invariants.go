@@ -8,7 +8,7 @@ import (
 
 	"tdac"
 	"tdac/internal/algorithms"
-	"tdac/internal/cluster"
+	"tdac/internal/clustering"
 	"tdac/internal/core"
 	"tdac/internal/genpartition"
 	"tdac/internal/partition"
@@ -99,12 +99,12 @@ func checkDistMatrix(cfg Config) error {
 		n := 6 + rng.Intn(10)
 		dim := 16 + rng.Intn(100) // crosses the 64-bit word boundary
 		vecs := randomBinaryVectors(rng, n, dim)
-		packed, ok := cluster.PackBinary(vecs)
+		packed, ok := clustering.PackBinary(vecs)
 		if !ok {
 			return fmt.Errorf("trial %d: PackBinary rejected binary vectors", trial)
 		}
-		m := cluster.NewDistMatrixPacked(packed)
-		ref := naiveDistMatrix(vecs, cluster.Hamming{})
+		m := clustering.NewDistMatrixPacked(packed)
+		ref := naiveDistMatrix(vecs, clustering.Hamming{})
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
 				if got, want := m.At(i, j), ref[i][j]; got != want {
@@ -114,12 +114,12 @@ func checkDistMatrix(cfg Config) error {
 		}
 
 		mvecs := randomMaskedVectors(rng, n, dim, core.Missing)
-		mpacked, ok := cluster.PackMasked(mvecs, core.Missing)
+		mpacked, ok := clustering.PackMasked(mvecs, core.Missing)
 		if !ok {
 			return fmt.Errorf("trial %d: PackMasked rejected masked vectors", trial)
 		}
-		mm := cluster.NewDistMatrixPacked(mpacked)
-		mref := naiveDistMatrix(mvecs, cluster.MaskedHamming{Mask: core.Missing})
+		mm := clustering.NewDistMatrixPacked(mpacked)
+		mref := naiveDistMatrix(mvecs, clustering.MaskedHamming{Mask: core.Missing})
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
 				if got, want := mm.At(i, j), mref[i][j]; got != want {
@@ -142,14 +142,14 @@ func checkSilhouette(cfg Config) error {
 		for i := range assign {
 			assign[i] = rng.Intn(k)
 		}
-		ref := naiveSilhouette(naiveDistMatrix(vecs, cluster.Hamming{}), assign, k)
+		ref := naiveSilhouette(naiveDistMatrix(vecs, clustering.Hamming{}), assign, k)
 
-		if got := cluster.Silhouette(vecs, assign, k, cluster.Hamming{}); got != ref {
+		if got := clustering.Silhouette(vecs, assign, k, clustering.Hamming{}); got != ref {
 			return fmt.Errorf("trial %d: Silhouette %v, Equations 5–7 give %v", trial, got, ref)
 		}
-		packed, _ := cluster.PackBinary(vecs)
-		m := cluster.NewDistMatrixPacked(packed)
-		if got := cluster.SilhouetteFromDistMatrix(m, assign, k); got != ref {
+		packed, _ := clustering.PackBinary(vecs)
+		m := clustering.NewDistMatrixPacked(packed)
+		if got := clustering.SilhouetteFromDistMatrix(m, assign, k); got != ref {
 			return fmt.Errorf("trial %d: SilhouetteFromDistMatrix %v, Equations 5–7 give %v", trial, got, ref)
 		}
 	}
@@ -167,14 +167,14 @@ func checkKMeans(cfg Config) error {
 		// Binary vectors under Hamming — TD-AC's configuration — with and
 		// without the packed seeding matrix.
 		vecs := randomBinaryVectors(rng, n, dim)
-		ref := naiveKMeans{seed: seed, dist: cluster.Hamming{}}.cluster(vecs, k)
+		ref := naiveKMeans{seed: seed, dist: clustering.Hamming{}}.cluster(vecs, k)
 
-		plain := cluster.KMeans{Seed: seed, Distance: cluster.Hamming{}}
+		plain := clustering.KMeans{Seed: seed, Distance: clustering.Hamming{}}
 		if err := compareClustering("hamming", &plain, vecs, k, ref); err != nil {
 			return fmt.Errorf("trial %d: %w", trial, err)
 		}
-		packed, _ := cluster.PackBinary(vecs)
-		seeded := cluster.KMeans{Seed: seed, Distance: cluster.Hamming{}, SeedSqDists: cluster.NewDistMatrixPacked(packed)}
+		packed, _ := clustering.PackBinary(vecs)
+		seeded := clustering.KMeans{Seed: seed, Distance: clustering.Hamming{}, SeedSqDists: clustering.NewDistMatrixPacked(packed)}
 		if err := compareClustering("hamming+matrix", &seeded, vecs, k, ref); err != nil {
 			return fmt.Errorf("trial %d: %w", trial, err)
 		}
@@ -188,7 +188,7 @@ func checkKMeans(cfg Config) error {
 			}
 		}
 		fref := naiveKMeans{seed: seed}.cluster(frac, k)
-		eu := cluster.KMeans{Seed: seed}
+		eu := clustering.KMeans{Seed: seed}
 		if err := compareClustering("euclidean", &eu, frac, k, fref); err != nil {
 			return fmt.Errorf("trial %d: %w", trial, err)
 		}
@@ -198,7 +198,7 @@ func checkKMeans(cfg Config) error {
 
 // compareClustering runs the production KMeans and diffs it against a
 // naive reference run, field by field.
-func compareClustering(label string, km *cluster.KMeans, points [][]float64, k int, ref *naiveClustering) error {
+func compareClustering(label string, km *clustering.KMeans, points [][]float64, k int, ref *naiveClustering) error {
 	c, err := km.Cluster(points, k)
 	if err != nil {
 		return fmt.Errorf("%s: production k-means: %w", label, err)
@@ -230,7 +230,7 @@ func checkKSweep(cfg Config) error {
 
 		t := &core.TDAC{
 			Base:    algorithms.NewMajorityVote(),
-			KMeans:  cluster.KMeans{Seed: seed},
+			KMeans:  clustering.KMeans{Seed: seed},
 			Workers: 4,
 		}
 		tv := &core.TruthVectors{Vectors: vecs, Dim: dim}
@@ -238,7 +238,7 @@ func checkKSweep(cfg Config) error {
 		if err != nil {
 			return fmt.Errorf("trial %d: SelectPartition: %w", trial, err)
 		}
-		refPart, refSil, refSils := naiveKSweep(vecs, 0, 0, cluster.Hamming{}, seed)
+		refPart, refSil, refSils := naiveKSweep(vecs, 0, 0, clustering.Hamming{}, seed)
 
 		if len(explored) != len(refSils) {
 			return fmt.Errorf("trial %d: explored %d values of k, naive sweep %d", trial, len(explored), len(refSils))

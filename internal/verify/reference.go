@@ -4,7 +4,7 @@ import (
 	"math"
 	"math/rand"
 
-	"tdac/internal/cluster"
+	"tdac/internal/clustering"
 	"tdac/internal/partition"
 )
 
@@ -20,7 +20,7 @@ import (
 
 // naiveDistMatrix is the O(n²) float reference for the packed popcount
 // distance matrix: one dist.Between call per pair, no bit tricks.
-func naiveDistMatrix(points [][]float64, dist cluster.Distance) [][]float64 {
+func naiveDistMatrix(points [][]float64, dist clustering.Distance) [][]float64 {
 	n := len(points)
 	d := make([][]float64, n)
 	for i := range d {
@@ -114,7 +114,7 @@ type naiveClustering struct {
 	iterations    int
 }
 
-// naiveKMeans mirrors the production cluster.KMeans contract — k-means++
+// naiveKMeans mirrors the production clustering.KMeans contract — k-means++
 // seeding, derived restart seeds (seed + r·7919), lowest-inertia restart
 // wins, empty-cluster repair — with none of the accelerations: every
 // point-to-centroid distance is a full scan, seeding never reads a
@@ -124,7 +124,7 @@ type naiveKMeans struct {
 	maxIter  int
 	restarts int
 	seed     int64
-	dist     cluster.Distance
+	dist     clustering.Distance
 }
 
 func (nk naiveKMeans) cluster(points [][]float64, k int) *naiveClustering {
@@ -140,7 +140,7 @@ func (nk naiveKMeans) cluster(points [][]float64, k int) *naiveClustering {
 	}
 	dist := nk.dist
 	if dist == nil {
-		dist = cluster.Euclidean{}
+		dist = clustering.Euclidean{}
 	}
 	var best *naiveClustering
 	for r := 0; r < restarts; r++ {
@@ -154,7 +154,7 @@ func (nk naiveKMeans) cluster(points [][]float64, k int) *naiveClustering {
 }
 
 // naiveLloyd is one unaccelerated Lloyd run.
-func naiveLloyd(points [][]float64, k, maxIter int, rng *rand.Rand, dist cluster.Distance) *naiveClustering {
+func naiveLloyd(points [][]float64, k, maxIter int, rng *rand.Rand, dist clustering.Distance) *naiveClustering {
 	centroids, _ := naiveSeedPlusPlus(points, k, rng)
 	n := len(points)
 	assign := make([]int, n)
@@ -268,7 +268,7 @@ func naiveRecompute(points [][]float64, assign []int, centroids [][]float64) {
 
 // naiveRepairEmpty reassigns the farthest-from-centroid point into any
 // cluster that lost all members, as production does.
-func naiveRepairEmpty(points [][]float64, assign []int, centroids [][]float64, dist cluster.Distance) {
+func naiveRepairEmpty(points [][]float64, assign []int, centroids [][]float64, dist clustering.Distance) {
 	counts := make([]int, len(centroids))
 	for _, c := range assign {
 		counts[c]++
@@ -309,7 +309,7 @@ func naiveSqEuclidean(a, b []float64) float64 {
 // (Algorithm 1 lines 4–18): for each k in [minK, maxK] run the naive
 // k-means, score the clustering with the naive silhouette over the naive
 // distance matrix, and keep the first k with the strictly highest value.
-func naiveKSweep(vectors [][]float64, minK, maxK int, dist cluster.Distance, seed int64) (partition.Partition, float64, []float64) {
+func naiveKSweep(vectors [][]float64, minK, maxK int, dist clustering.Distance, seed int64) (partition.Partition, float64, []float64) {
 	if minK < 2 {
 		minK = 2
 	}

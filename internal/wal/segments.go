@@ -1,0 +1,159 @@
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+)
+
+// SegmentInfo describes one on-disk WAL file for the replication
+// shipping API (DESIGN.md §14): enough for a follower to decide what to
+// fetch and to verify what it fetched. All byte-derived fields cover the
+// file's valid prefix only — a torn suffix past the last intact frame is
+// excluded, exactly as recovery would exclude it.
+type SegmentInfo struct {
+	// Seq is the file's sequence number; Name its on-disk file name.
+	Seq  uint64 `json:"seq"`
+	Name string `json:"name"`
+	// Sealed reports a seal frame terminates the segment: its bytes are
+	// final and will never grow. Snapshots are always final.
+	Sealed bool `json:"sealed"`
+	// Records counts intact records in the file (a snapshot holds 1).
+	Records int `json:"records"`
+	// First and Last are this file's 1-based record indexes counted from
+	// the newest snapshot baseline, both 0 when the file holds none.
+	First uint64 `json:"first"`
+	Last  uint64 `json:"last"`
+	// CRC is the CRC32C of the valid prefix (magic, frames and, when
+	// sealed, the seal frame); Size is that prefix's byte length.
+	CRC  uint32 `json:"crc"`
+	Size int64  `json:"size"`
+}
+
+// Manifest is a point-in-time listing of the log's replayable files:
+// the newest valid snapshot (nil when none) and every segment after it
+// in ascending sequence order, including the unsealed active tail.
+type Manifest struct {
+	Snapshot *SegmentInfo  `json:"snapshot,omitempty"`
+	Segments []SegmentInfo `json:"segments"`
+}
+
+// Segments lists the log's current replayable files. The listing is
+// consistent with what Open would recover at this instant: superseded
+// and corrupt files are omitted, an unsealed tail contributes its
+// longest valid frame prefix, and record indexes restart at 1 after
+// each snapshot. Unsynced appends are visible (the follower's recovery
+// tolerates losing them to a crash, like the primary's own does).
+func (l *Log) Segments() (Manifest, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return Manifest{}, ErrClosed
+	}
+	fsys := l.opts.FS
+	names, err := fsys.ReadDir(l.dir)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("wal: listing %s: %w", l.dir, err)
+	}
+	var segs, snaps []uint64
+	for _, name := range names {
+		seq, kind, ok := parseSeq(name)
+		if !ok {
+			continue
+		}
+		if kind == "seg" {
+			segs = append(segs, seq)
+		} else {
+			snaps = append(snaps, seq)
+		}
+	}
+
+	var m Manifest
+	var snapSeq uint64
+	for i := len(snaps) - 1; i >= 0; i-- {
+		data, err := fsys.ReadFile(filepath.Join(l.dir, snapName(snaps[i])))
+		if err != nil {
+			continue
+		}
+		if _, ok := parseSnapshot(data); !ok {
+			continue
+		}
+		m.Snapshot = &SegmentInfo{
+			Seq:     snaps[i],
+			Name:    snapName(snaps[i]),
+			Sealed:  true,
+			Records: 1,
+			First:   0,
+			Last:    0,
+			CRC:     crc32.Checksum(data, castagnoli),
+			Size:    int64(len(data)),
+		}
+		snapSeq = snaps[i]
+		break
+	}
+
+	var index uint64 // records replayed since the snapshot baseline
+	for _, seq := range segs {
+		if m.Snapshot != nil && seq <= snapSeq {
+			continue
+		}
+		data, err := fsys.ReadFile(filepath.Join(l.dir, segName(seq)))
+		if err != nil {
+			continue
+		}
+		if len(data) < magicLen || string(data[:magicLen]) != segMagic {
+			continue
+		}
+		frames, sealed, _ := scanFrames(data[magicLen:])
+		valid := int64(magicLen)
+		for _, f := range frames {
+			valid += int64(len(f)) + headerLen
+		}
+		if sealed {
+			valid += headerLen
+		}
+		info := SegmentInfo{
+			Seq:     seq,
+			Name:    segName(seq),
+			Sealed:  sealed,
+			Records: len(frames),
+			CRC:     crc32.Checksum(data[:valid], castagnoli),
+			Size:    valid,
+		}
+		if len(frames) > 0 {
+			info.First = index + 1
+			info.Last = index + uint64(len(frames))
+			index = info.Last
+		}
+		m.Segments = append(m.Segments, info)
+	}
+	return m, nil
+}
+
+// ParseFileName reports whether name is a WAL segment ("seg") or
+// snapshot ("snap") file name, and its sequence number. Replication
+// mirrors use it to tell WAL files from foreign ones when pruning.
+func ParseFileName(name string) (seq uint64, kind string, ok bool) {
+	return parseSeq(name)
+}
+
+// ReadRaw returns the raw on-disk bytes of one WAL file by its manifest
+// name. The bytes may extend past the manifest's valid prefix (an
+// unsealed tail growing under concurrent appends, or a torn suffix);
+// the consumer truncates at the first corrupt frame, exactly as
+// recovery does.
+func (l *Log) ReadRaw(name string) ([]byte, error) {
+	if _, _, ok := parseSeq(name); !ok {
+		return nil, fmt.Errorf("wal: %q is not a WAL file name", name)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	data, err := l.opts.FS.ReadFile(filepath.Join(l.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}

@@ -1,0 +1,233 @@
+package wal
+
+import (
+	"bytes"
+	"hash/crc32"
+	"testing"
+)
+
+// manifestRecords re-derives every record a follower would replay from
+// a manifest: fetch each listed file through ReadRaw, truncate at its
+// valid prefix, and scan its frames.
+func manifestRecords(t *testing.T, l *Log, m Manifest) (snapshot []byte, records [][]byte) {
+	t.Helper()
+	if m.Snapshot != nil {
+		raw, err := l.ReadRaw(m.Snapshot.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, ok := parseSnapshot(raw[:m.Snapshot.Size])
+		if !ok {
+			t.Fatalf("manifest snapshot %s did not parse", m.Snapshot.Name)
+		}
+		snapshot = payload
+	}
+	for _, s := range m.Segments {
+		raw, err := l.ReadRaw(s.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(raw)) < s.Size {
+			t.Fatalf("%s: %d raw bytes < manifest size %d", s.Name, len(raw), s.Size)
+		}
+		valid := raw[:s.Size]
+		if crc32.Checksum(valid, castagnoli) != s.CRC {
+			t.Fatalf("%s: CRC mismatch over manifest prefix", s.Name)
+		}
+		frames, sealed, clean := scanFrames(valid[magicLen:])
+		if !clean || sealed != s.Sealed || len(frames) != s.Records {
+			t.Fatalf("%s: scanned %d frames sealed=%t clean=%t, manifest says %d sealed=%t",
+				s.Name, len(frames), sealed, clean, s.Records, s.Sealed)
+		}
+		records = append(records, frames...)
+	}
+	return snapshot, records
+}
+
+// assertIndexesContiguous checks First/Last chain 1..N across segments.
+func assertIndexesContiguous(t *testing.T, m Manifest) {
+	t.Helper()
+	var next uint64 = 1
+	for _, s := range m.Segments {
+		if s.Records == 0 {
+			if s.First != 0 || s.Last != 0 {
+				t.Fatalf("%s: empty segment has indexes [%d,%d]", s.Name, s.First, s.Last)
+			}
+			continue
+		}
+		if s.First != next {
+			t.Fatalf("%s: first index %d, want %d", s.Name, s.First, next)
+		}
+		if s.Last != s.First+uint64(s.Records)-1 {
+			t.Fatalf("%s: last index %d inconsistent with first %d + %d records",
+				s.Name, s.Last, s.First, s.Records)
+		}
+		next = s.Last + 1
+	}
+}
+
+func TestSegmentsManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentBytes: 256})
+	want := payloads(40) // forces several rotations at 256-byte segments
+	for _, p := range want {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := l.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Snapshot != nil {
+		t.Fatal("manifest reported a snapshot before any compaction")
+	}
+	if len(m.Segments) < 2 {
+		t.Fatalf("expected rotation to produce multiple segments, got %d", len(m.Segments))
+	}
+	for i, s := range m.Segments[:len(m.Segments)-1] {
+		if !s.Sealed {
+			t.Fatalf("segment %d (%s) before the tail is unsealed", i, s.Name)
+		}
+	}
+	assertIndexesContiguous(t, m)
+	snapshot, got := manifestRecords(t, l, m)
+	if snapshot != nil {
+		t.Fatal("no snapshot expected")
+	}
+	assertRecords(t, got, want)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentsAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	for _, p := range payloads(10) {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Compact([]byte("baseline")); err != nil {
+		t.Fatal(err)
+	}
+	post := [][]byte{[]byte("after-1"), []byte("after-2")}
+	for _, p := range post {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := l.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Snapshot == nil {
+		t.Fatal("manifest missing the snapshot")
+	}
+	snapshot, got := manifestRecords(t, l, m)
+	if !bytes.Equal(snapshot, []byte("baseline")) {
+		t.Fatalf("snapshot payload %q", snapshot)
+	}
+	assertRecords(t, got, post)
+	assertIndexesContiguous(t, m)
+	for _, s := range m.Segments {
+		if s.Seq <= m.Snapshot.Seq {
+			t.Fatalf("manifest lists superseded segment %s", s.Name)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSegmentsAdoptedTail covers the PR 4 adopt case: reopening a log
+// whose final segment is intact and unsealed continues appending in
+// that same segment, and the manifest must present it as one growing
+// unsealed file spanning both generations' records.
+func TestSegmentsAdoptedTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	gen1 := payloads(5)
+	for _, p := range gen1 {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l, rec := mustOpen(t, dir, Options{})
+	assertRecords(t, rec.Records, gen1)
+	gen2 := [][]byte{[]byte("adopted-1"), []byte("adopted-2")}
+	for _, p := range gen2 {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := l.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Segments) != 1 {
+		t.Fatalf("adopted tail split into %d segments, want 1", len(m.Segments))
+	}
+	tail := m.Segments[0]
+	if tail.Sealed {
+		t.Fatal("adopted tail reported sealed")
+	}
+	if tail.Records != len(gen1)+len(gen2) {
+		t.Fatalf("adopted tail holds %d records, want %d", tail.Records, len(gen1)+len(gen2))
+	}
+	if tail.First != 1 || tail.Last != uint64(len(gen1)+len(gen2)) {
+		t.Fatalf("adopted tail indexes [%d,%d]", tail.First, tail.Last)
+	}
+	_, got := manifestRecords(t, l, m)
+	assertRecords(t, got, append(append([][]byte{}, gen1...), gen2...))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentsIgnoresTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	want := payloads(4)
+	for _, p := range want {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A torn write past the acknowledged records: the manifest's valid
+	// prefix must stop before it and the CRC must cover only the prefix.
+	if _, err := l.active.Write([]byte{0x99, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := l.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Segments) != 1 {
+		t.Fatalf("got %d segments, want 1", len(m.Segments))
+	}
+	if m.Segments[0].Records != len(want) {
+		t.Fatalf("torn tail changed record count: %d", m.Segments[0].Records)
+	}
+	_, got := manifestRecords(t, l, m)
+	assertRecords(t, got, want)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRawRejectsForeignNames(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	defer l.Close()
+	for _, name := range []string{"../escape", "wal-x.seg", "notes.txt", ""} {
+		if _, err := l.ReadRaw(name); err == nil {
+			t.Fatalf("ReadRaw(%q) succeeded", name)
+		}
+	}
+}

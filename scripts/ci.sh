@@ -35,7 +35,7 @@ echo "==> go test -race"
 # move out of this invocation.
 go test -race ./...
 
-echo "==> crash-recovery matrix (seeded, ~30 crash points)"
+echo "==> crash-recovery matrix (seeded, ~35 crash points incl. failover)"
 # The WAL's durability property, end to end: every seeded crash schedule
 # (mid-append, mid-fsync, mid-compaction-rename) must recover acked
 # state bit-identically. -count=1 defeats the cache so the matrix really
@@ -47,7 +47,7 @@ matrix=$(go test -run '^TestCrashRecoveryMatrix$' -count=1 -v ./internal/server)
 }
 passed=$(echo "$matrix" | grep -c -- '--- PASS: TestCrashRecoveryMatrix/')
 echo "    $passed crash scenarios passed"
-[ "$passed" -ge 32 ] || { echo "crash matrix ran only $passed scenarios, want >= 32" >&2; exit 1; }
+[ "$passed" -ge 35 ] || { echo "crash matrix ran only $passed scenarios, want >= 35" >&2; exit 1; }
 
 # Static analysis beyond vet, when the tool exists in the environment;
 # otherwise exercise the serving packages' benchmarks as a compile+run
@@ -70,8 +70,8 @@ echo "==> verification harness (tdac-verify)"
 # count is asserted so the harness can never silently shrink.
 harness=$(go run ./cmd/tdac-verify) || { echo "$harness" >&2; exit 1; }
 echo "$harness" | sed 's/^/    /'
-echo "$harness" | grep -q '^26 invariants verified$' || {
-    echo "tdac-verify did not verify all 26 invariants" >&2
+echo "$harness" | grep -q '^28 invariants verified$' || {
+    echo "tdac-verify did not verify all 28 invariants" >&2
     exit 1
 }
 
@@ -80,7 +80,7 @@ echo "==> fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzReadClaimsCSV$' -fuzztime 10s ./internal/truthdata
 go test -run '^$' -fuzz '^FuzzReadJSON$' -fuzztime 10s ./internal/truthdata
 go test -run '^$' -fuzz '^FuzzSimilarityInvariants$' -fuzztime 10s ./internal/similarity
-go test -run '^$' -fuzz '^FuzzPackedHammingEquivalence$' -fuzztime 10s ./internal/cluster
+go test -run '^$' -fuzz '^FuzzPackedHammingEquivalence$' -fuzztime 10s ./internal/clustering
 go test -run '^$' -fuzz '^FuzzWALRecovery$' -fuzztime 10s ./internal/wal
 go test -run '^$' -fuzz '^FuzzVerifyInvariants$' -fuzztime 10s ./internal/verify
 go test -run '^$' -fuzz '^FuzzFlat$' -fuzztime 10s ./internal/truthdata
