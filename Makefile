@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-report ci fmt vet verify serve cluster
+.PHONY: all build test race bench bench-report chaos ci fmt vet verify serve cluster
 
 all: build
 
@@ -63,8 +63,16 @@ cluster: build
 	$(GO) run ./cmd/tdac-router -addr :8320 -cluster "$(CLUSTER)" & \
 	wait
 
+# chaos runs the seeded network-fault matrix verbosely under the race
+# detector: every netfault class on every cluster hop, plus the
+# watcher-survival scenarios (DESIGN.md §15). ci runs the same matrix
+# with a pinned scenario-count floor.
+chaos:
+	$(GO) test -race -v -run '^TestNetworkChaosMatrix$$' -count=1 ./internal/cluster
+
 # ci is the full verification gate (fmt check, vet, build, race tests,
-# the seeded crash-recovery matrix, k-sweep benchmark smoke, fuzz smoke
+# the seeded crash-recovery and network-chaos matrices, k-sweep
+# benchmark smoke, fuzz smoke
 # incl. WAL recovery, bench report schema check, base-runs bench-delta
 # gate); scripts/ci.sh holds the exact sequence.
 ci:

@@ -24,6 +24,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"tdac/internal/deadline"
 )
 
 // Retry tunes the backoff schedule. The zero value means "use the
@@ -396,6 +398,7 @@ func (c *Client) doAt(ctx context.Context, base, method, path string, body []byt
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	deadline.Stamp(req.Header, ctx)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -455,18 +458,25 @@ type retryAfterError struct {
 
 func (e *retryAfterError) Unwrap() error { return e.APIError }
 
-// retryAfter parses a Retry-After header (seconds form only; the HTTP
-// date form is rare enough to ignore).
+// retryAfter parses a Retry-After header in either RFC 9110 form:
+// delay-seconds ("120") or an HTTP-date ("Fri, 08 Aug 2026 12:00:00
+// GMT"). Past dates and negative delays clamp to 0, and anything
+// unparseable is treated as absent rather than failing the response.
 func retryAfter(resp *http.Response) time.Duration {
 	v := resp.Header.Get("Retry-After")
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if at, err := http.ParseTime(v); err == nil {
+		return max(time.Until(at), 0)
+	}
+	return 0
 }
 
 // backoff computes the wait before the given (1-based) retry attempt:

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -268,5 +269,96 @@ func TestMisdirectLoopFailsFast(t *testing.T) {
 	var ae *APIError
 	if !errors.As(err, &ae) || ae.Status != http.StatusMisdirectedRequest {
 		t.Fatalf("err = %v, want surfaced 421", err)
+	}
+}
+
+func TestRetryAfterParsesBothForms(t *testing.T) {
+	hdr := func(v string) *http.Response {
+		resp := &http.Response{Header: http.Header{}}
+		if v != "" {
+			resp.Header.Set("Retry-After", v)
+		}
+		return resp
+	}
+	cases := []struct {
+		name  string
+		value string
+		min   time.Duration
+		max   time.Duration
+	}{
+		{"absent", "", 0, 0},
+		{"seconds", "120", 120 * time.Second, 120 * time.Second},
+		{"zero seconds", "0", 0, 0},
+		{"negative seconds", "-5", 0, 0},
+		{"http date ahead", time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat), 80 * time.Second, 90 * time.Second},
+		{"http date past", time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat), 0, 0},
+		{"rfc850 date ahead", time.Now().Add(90 * time.Second).UTC().Format("Monday, 02-Jan-06 15:04:05 GMT"), 80 * time.Second, 90 * time.Second},
+		{"garbage", "soon", 0, 0},
+		{"float seconds", "1.5", 0, 0},
+		{"overflowing junk", "99999999999999999999999999", 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := retryAfter(hdr(tc.value))
+			if got < tc.min || got > tc.max {
+				t.Fatalf("retryAfter(%q) = %v, want in [%v, %v]", tc.value, got, tc.min, tc.max)
+			}
+		})
+	}
+}
+
+func TestHonorsRetryAfterHTTPDate(t *testing.T) {
+	var calls atomic.Int32
+	var first, second time.Time
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			first = time.Now()
+			w.Header().Set("Retry-After", time.Now().Add(time.Hour).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"busy"}`))
+		default:
+			second = time.Now()
+			w.Write([]byte(`{"id":"job-1","state":"queued"}`))
+		}
+	}))
+	// The one-hour date hint must be capped at MaxDelay (20ms) just like
+	// the seconds form, not slept in full.
+	if _, err := c.GetJob(context.Background(), "job-1"); err != nil {
+		t.Fatal(err)
+	}
+	if gap := second.Sub(first); gap < 15*time.Millisecond || gap > 5*time.Second {
+		t.Fatalf("retry gap %v, want roughly the 20ms MaxDelay cap", gap)
+	}
+}
+
+// TestClientStampsDeadlineHeader pins the first half of deadline
+// propagation: a context deadline becomes an X-Tdac-Deadline budget on
+// the wire, and contexts without deadlines add no header.
+func TestClientStampsDeadlineHeader(t *testing.T) {
+	headers := make(chan string, 1)
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		headers <- r.Header.Get("X-Tdac-Deadline")
+		w.Write([]byte(`{"id":"job-1","state":"queued"}`))
+	}))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.GetJob(ctx, "job-1"); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := strconv.Atoi(<-headers)
+	if err != nil {
+		t.Fatalf("X-Tdac-Deadline not an integer: %v", err)
+	}
+	if ms <= 0 || ms > 30_000 {
+		t.Fatalf("stamped budget %dms, want in (0, 30000]", ms)
+	}
+
+	if _, err := c.GetJob(context.Background(), "job-1"); err != nil {
+		t.Fatal(err)
+	}
+	if h := <-headers; h != "" {
+		t.Fatalf("deadline-free context stamped X-Tdac-Deadline=%q", h)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/url"
 
+	"tdac/internal/deadline"
 	"tdac/internal/sse"
 )
 
@@ -78,6 +79,7 @@ func (c *Client) watchConnect(ctx context.Context, httpc *http.Client, id, lastI
 		if lastID != "" {
 			req.Header.Set("Last-Event-ID", lastID)
 		}
+		deadline.Stamp(req.Header, ctx)
 		resp, err := httpc.Do(req)
 		if err != nil {
 			return nil, err

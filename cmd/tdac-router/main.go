@@ -12,6 +12,8 @@
 //	tdac-router -cluster "s0=http://a:8321,s1=http://b:8321+http://b2:8321"
 //	            [-addr :8320] [-vnodes 64]
 //	            [-probe-interval 2s] [-probe-timeout 1s] [-fail-threshold 3]
+//	            [-forward-timeout 15s] [-stream-idle-timeout 60s]
+//	            [-breaker-threshold 5] [-breaker-cooldown 1s] [-retry-budget 10]
 //	            [-drain 15s]
 //
 // Router-specific endpoints (everything else proxies the shard API):
@@ -59,6 +61,11 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		probeInterval = fs.Duration("probe-interval", 2*time.Second, "health-probe period")
 		probeTimeout  = fs.Duration("probe-timeout", time.Second, "per-probe deadline")
 		failThreshold = fs.Int("fail-threshold", 3, "consecutive probe failures before a member is declared dead")
+		forwardTO     = fs.Duration("forward-timeout", 15*time.Second, "per-attempt deadline for non-streaming forwards")
+		streamIdleTO  = fs.Duration("stream-idle-timeout", 60*time.Second, "sever a forwarded event stream after this long without progress")
+		breakerThresh = fs.Int("breaker-threshold", 5, "consecutive transport errors before a target's circuit breaker opens")
+		breakerCool   = fs.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before a half-open trial")
+		retryBudget   = fs.Float64("retry-budget", 10, "retry token bucket size for idempotent forwards")
 		drain         = fs.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -76,10 +83,15 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		return err
 	}
 	rt, err := cluster.NewRouter(cluster.RouterConfig{
-		Ring:          ring,
-		ProbeInterval: *probeInterval,
-		ProbeTimeout:  *probeTimeout,
-		FailThreshold: *failThreshold,
+		Ring:              ring,
+		ProbeInterval:     *probeInterval,
+		ProbeTimeout:      *probeTimeout,
+		FailThreshold:     *failThreshold,
+		ForwardTimeout:    *forwardTO,
+		StreamIdleTimeout: *streamIdleTO,
+		BreakerThreshold:  *breakerThresh,
+		BreakerCooldown:   *breakerCool,
+		RetryBudget:       *retryBudget,
 	})
 	if err != nil {
 		return err

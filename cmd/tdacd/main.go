@@ -12,6 +12,7 @@
 //	      [-drain 15s] [-pprof]
 //	      [-shard-id s0 -cluster "s0=url,s1=url"]        (cluster shard)
 //	      [-follow primaryURL -data-dir dir]             (replication follower;
+//	        optionally -follow-poll, -follow-jitter, -follow-fetch-timeout;
 //	        give it the primary's -shard-id/-cluster so promotion keeps
 //	        job-ID prefixes and the ownership gate)
 //
@@ -103,6 +104,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		clusterSpec = fs.String("cluster", "", `static member list "id=url[+followerURL],..." enabling the dataset-ownership gate`)
 		follow      = fs.String("follow", "", "run as a replication follower of this primary URL (requires -data-dir)")
 		followPoll  = fs.Duration("follow-poll", 500*time.Millisecond, "replication poll period in -follow mode")
+		followJit   = fs.Float64("follow-jitter", 0.2, "poll-period jitter fraction in -follow mode (0.2 = ±20%; negative disables)")
+		followFetch = fs.Duration("follow-fetch-timeout", 10*time.Second, "per-request deadline for manifest/segment fetches in -follow mode")
 	)
 	var loads, truths []namedPath
 	fs.Func("load", "preload a dataset: name=claims.csv or name=dataset.json (repeatable)", func(s string) error {
@@ -173,7 +176,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	}
 
 	if *follow != "" {
-		return runFollower(ctx, *follow, *followPoll, *dataDir, *addr, *drain, cfg, logger)
+		return runFollower(ctx, *follow, *followPoll, *followJit, *followFetch, *dataDir, *addr, *drain, cfg, logger)
 	}
 
 	srv, err := server.New(cfg)
@@ -235,15 +238,17 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 // the primary's WAL into -data-dir, serves reads from the replica, and
 // promotes to a full server on POST /v1/promote (typically driven by
 // the router's failover). See DESIGN.md §14.
-func runFollower(ctx context.Context, primary string, poll time.Duration, dataDir, addr string, drain time.Duration, cfg server.Config, logger *log.Logger) error {
+func runFollower(ctx context.Context, primary string, poll time.Duration, jitter float64, fetchTimeout time.Duration, dataDir, addr string, drain time.Duration, cfg server.Config, logger *log.Logger) error {
 	if dataDir == "" {
 		return fmt.Errorf("-follow requires -data-dir (the follower mirrors the primary's WAL there)")
 	}
 	f, err := server.NewFollower(server.FollowerConfig{
-		Primary: primary,
-		Dir:     dataDir,
-		Poll:    poll,
-		Serve:   cfg,
+		Primary:      primary,
+		Dir:          dataDir,
+		Poll:         poll,
+		Jitter:       jitter,
+		FetchTimeout: fetchTimeout,
+		Serve:        cfg,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker machine the
+// router keeps per forwarding target (DESIGN.md §15): closed passes
+// traffic and counts consecutive transport errors, open short-circuits
+// with an immediate 503 until a cooldown elapses, half-open lets
+// exactly one trial request (or health probe) through — its outcome
+// decides between closing and re-opening. The single-trial half-open
+// is what absorbs a flapping shard: one probe decides, instead of a
+// thundering herd re-discovering the outage.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String names the state for /v1/cluster, /metrics and logs.
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one target's circuit breaker. Safe for concurrent use.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // seam for deterministic tests
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int // consecutive transport errors while closed
+	openedAt time.Time
+	probing  bool // a half-open trial is in flight
+	opens    int  // lifetime closed/half-open -> open transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request to the target may be attempted now.
+// In the open state it admits a single trial once the cooldown has
+// elapsed (transitioning to half-open); in half-open it refuses while
+// that trial is outstanding.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a completed round trip (any HTTP status — the
+// breaker watches the transport, not application errors) and closes
+// the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// failure records a transport error. The half-open trial failing
+// re-opens immediately; closed opens after threshold consecutive
+// failures; failures observed while already open (e.g. from the
+// health prober) do not extend the cooldown, so recovery probes are
+// never starved.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		b.opens++
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			b.opens++
+		}
+	}
+}
+
+// snapshot returns the state and lifetime open count for introspection.
+func (b *breaker) snapshot() (breakerState, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens
+}
+
+// retryBudget is a token bucket bounding router-side retries: each
+// retry spends one token, each successful forward earns a fraction of
+// one back. Under a shard brown-out the bucket drains and retries stop,
+// capping amplification at (earn rate)⁻¹ extra load instead of
+// multiplying every client attempt — the retry-storm guard the tentpole
+// asks for.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	earnBy float64
+	spent  int // lifetime retries granted, for /metrics
+}
+
+func newRetryBudget(max, earnBy float64) *retryBudget {
+	return &retryBudget{tokens: max, max: max, earnBy: earnBy}
+}
+
+// spend takes one token; false means the budget is exhausted and the
+// caller must not retry.
+func (rb *retryBudget) spend() bool {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.tokens < 1 {
+		return false
+	}
+	rb.tokens--
+	rb.spent++
+	return true
+}
+
+// earn credits a successful forward.
+func (rb *retryBudget) earn() {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	rb.tokens += rb.earnBy
+	if rb.tokens > rb.max {
+		rb.tokens = rb.max
+	}
+}
+
+// snapshot returns the current level and lifetime retries granted.
+func (rb *retryBudget) snapshot() (float64, int) {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.tokens, rb.spent
+}

@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(3, time.Second)
+	b.now = func() time.Time { return now }
+
+	state := func() breakerState { s, _ := b.snapshot(); return s }
+
+	// Closed absorbs threshold-1 consecutive failures.
+	b.failure()
+	b.failure()
+	if state() != breakerClosed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", state())
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused a request")
+	}
+	// A success resets the consecutive count.
+	b.success()
+	b.failure()
+	b.failure()
+	if state() != breakerClosed {
+		t.Fatalf("success did not reset the failure count: %v", state())
+	}
+	// The threshold-th consecutive failure opens.
+	b.failure()
+	if state() != breakerOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", state())
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	// Cooldown elapses: exactly one half-open trial is admitted.
+	now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but trial refused")
+	}
+	if state() != breakerHalfOpen {
+		t.Fatalf("state during trial = %v, want half-open", state())
+	}
+	if b.allow() {
+		t.Fatal("second concurrent trial admitted in half-open")
+	}
+	// Trial failure re-opens and restarts the cooldown.
+	b.failure()
+	if state() != breakerOpen {
+		t.Fatalf("state after failed trial = %v, want open", state())
+	}
+	_, opens := b.snapshot()
+	if opens != 2 {
+		t.Fatalf("opens = %d, want 2", opens)
+	}
+	// Next trial succeeds: closed, and a single failure afterwards does
+	// not re-open (the consecutive count restarted).
+	now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("second trial refused")
+	}
+	b.success()
+	if state() != breakerClosed {
+		t.Fatalf("state after successful trial = %v, want closed", state())
+	}
+	b.failure()
+	if state() != breakerClosed {
+		t.Fatalf("one failure after recovery re-opened: %v", state())
+	}
+}
+
+func TestRetryBudget(t *testing.T) {
+	rb := newRetryBudget(2, 0.5)
+	if !rb.spend() || !rb.spend() {
+		t.Fatal("full budget refused a retry")
+	}
+	if rb.spend() {
+		t.Fatal("empty budget granted a retry")
+	}
+	// One success earns half a token — still not enough.
+	rb.earn()
+	if rb.spend() {
+		t.Fatal("half a token granted a retry")
+	}
+	rb.earn()
+	if !rb.spend() {
+		t.Fatal("replenished budget refused a retry")
+	}
+	// The bucket caps at max.
+	for i := 0; i < 100; i++ {
+		rb.earn()
+	}
+	level, spent := rb.snapshot()
+	if level > 2 {
+		t.Fatalf("budget level %v exceeds max 2", level)
+	}
+	if spent != 3 {
+		t.Fatalf("lifetime retries = %d, want 3", spent)
+	}
+}
+
+// flakyShard is a shard whose /healthz flips between healthy and
+// unhealthy under test control.
+type flakyShard struct {
+	ts      *httptest.Server
+	healthy atomic.Bool
+}
+
+func newFlakyShard(t testing.TB) *flakyShard {
+	t.Helper()
+	s := &flakyShard{}
+	s.healthy.Store(true)
+	s.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.healthy.Load() {
+			http.Error(w, `{"error": "injected"}`, http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, `{"status": "ok"}`)
+	}))
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+func flappingRouter(t testing.TB, url string, failThreshold, breakerThreshold int) *Router {
+	t.Helper()
+	ring, err := NewRing([]Member{{ID: "s0", URL: url}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRouter(RouterConfig{
+		Ring:             ring,
+		ProbeInterval:    time.Hour,
+		ProbeTimeout:     200 * time.Millisecond,
+		FailThreshold:    failThreshold,
+		BreakerThreshold: breakerThreshold,
+		BreakerCooldown:  time.Hour, // only a successful probe may close it
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// TestProberFailThresholdBoundaries pins the dead-declaration boundary:
+// threshold-1 consecutive failures (with a success in between) never
+// kill a shard, exactly threshold does, and one success revives it.
+func TestProberFailThresholdBoundaries(t *testing.T) {
+	s := newFlakyShard(t)
+	const threshold = 3
+	rt := flappingRouter(t, s.ts.URL, threshold, 100)
+
+	dead := func() bool { return rt.health()[0].Dead }
+
+	// threshold-1 failures: still alive.
+	s.healthy.Store(false)
+	for i := 0; i < threshold-1; i++ {
+		rt.ProbeNow()
+	}
+	if dead() {
+		t.Fatalf("dead after %d failures, threshold is %d", threshold-1, threshold)
+	}
+	// A success resets the consecutive count; threshold-1 more failures
+	// still do not kill it (the count must not carry across successes).
+	s.healthy.Store(true)
+	rt.ProbeNow()
+	s.healthy.Store(false)
+	for i := 0; i < threshold-1; i++ {
+		rt.ProbeNow()
+	}
+	if dead() {
+		t.Fatal("failure count carried across a successful probe")
+	}
+	// The threshold-th consecutive failure kills it...
+	rt.ProbeNow()
+	if !dead() {
+		t.Fatalf("alive after %d consecutive failures", threshold)
+	}
+	// ...threshold+1 keeps it dead...
+	rt.ProbeNow()
+	if !dead() {
+		t.Fatal("extra failure revived the shard")
+	}
+	// ...and a single success revives it.
+	s.healthy.Store(true)
+	rt.ProbeNow()
+	if dead() {
+		t.Fatal("successful probe did not revive the shard")
+	}
+}
+
+// TestProberFlappingAbsorbedByBreaker: a shard alternating healthy and
+// unhealthy around the thresholds must not churn — the prober never
+// declares it dead (consecutive counting) and the breaker never opens
+// (alternation never reaches its threshold either); once a real outage
+// does open the breaker, a single successful probe — the half-open
+// trial — closes it again.
+func TestProberFlappingAbsorbedByBreaker(t *testing.T) {
+	s := newFlakyShard(t)
+	rt := flappingRouter(t, s.ts.URL, 3, 2)
+	br := rt.breakerFor(s.ts.URL)
+
+	for round := 0; round < 6; round++ {
+		s.healthy.Store(round%2 == 0)
+		rt.ProbeNow()
+		h := rt.health()[0]
+		if h.Dead {
+			t.Fatalf("round %d: flapping shard declared dead", round)
+		}
+		if st, _ := br.snapshot(); st != breakerClosed {
+			t.Fatalf("round %d: flapping opened the breaker (%v)", round, st)
+		}
+	}
+	if _, opens := br.snapshot(); opens != 0 {
+		t.Fatalf("flapping caused %d breaker opens, want 0", opens)
+	}
+
+	// Settle healthy so the outage below starts from a clean count.
+	s.healthy.Store(true)
+	rt.ProbeNow()
+
+	// A real outage: two consecutive failures open the breaker before
+	// the prober (threshold 3) declares the shard dead — forwards fail
+	// fast while reads can still fail over.
+	s.healthy.Store(false)
+	rt.ProbeNow()
+	rt.ProbeNow()
+	if st, _ := br.snapshot(); st != breakerOpen {
+		t.Fatalf("breaker after 2 consecutive failures = %v, want open", st)
+	}
+	if rt.health()[0].Dead {
+		t.Fatal("prober killed the shard before its own threshold")
+	}
+	if rt.health()[0].Breaker != "open" {
+		t.Fatalf("/v1/cluster breaker = %q, want open", rt.health()[0].Breaker)
+	}
+
+	// Recovery: one successful probe is the half-open trial that closes
+	// the breaker — no client request had to be sacrificed.
+	s.healthy.Store(true)
+	rt.ProbeNow()
+	if st, _ := br.snapshot(); st != breakerClosed {
+		t.Fatalf("breaker after recovery probe = %v, want closed", st)
+	}
+	// And a single post-recovery blip does not re-open it.
+	s.healthy.Store(false)
+	rt.ProbeNow()
+	if st, _ := br.snapshot(); st != breakerClosed {
+		t.Fatalf("one blip after recovery re-opened the breaker (%v)", st)
+	}
+}

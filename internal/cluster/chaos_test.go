@@ -1,0 +1,423 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tdac/client"
+	"tdac/internal/netfault"
+	"tdac/internal/server"
+)
+
+// chaosClasses is one rule per netfault class, tuned so every class
+// defeats the chaos fixtures' deadlines (ForwardTimeout 400ms,
+// FetchTimeout 300ms) when left persistent: probing a broken hop must
+// degrade, not limp through.
+var chaosClasses = []struct {
+	name string
+	rule netfault.Rule
+}{
+	{"refuse", netfault.Rule{Class: netfault.Refuse}},
+	{"blackhole", netfault.Rule{Class: netfault.BlackHole}},
+	{"latency", netfault.Rule{Class: netfault.Latency, Delay: 2 * time.Second}},
+	{"ramp-latency", netfault.Rule{Class: netfault.RampLatency, Delay: 600 * time.Millisecond, Step: 600 * time.Millisecond}},
+	{"reset-mid-headers", netfault.Rule{Class: netfault.ResetMidHeaders}},
+	{"reset-mid-body", netfault.Rule{Class: netfault.ResetMidBody, BodyBytes: 12}},
+	{"stall-body", netfault.Rule{Class: netfault.StallBody, BodyBytes: 12}},
+	{"truncate-body", netfault.Rule{Class: netfault.TruncateBody, BodyBytes: 12}},
+}
+
+// chaosSeed derives a per-scenario rng seed from the subtest name, so
+// every scenario has a deterministic but distinct fault schedule.
+func chaosSeed(name string) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, name)
+	return int64(h.Sum64() & (1<<62 - 1))
+}
+
+// newChaosShard builds a real shard (real runner, WAL-backed) behind
+// an httptest listener.
+func newChaosShard(t *testing.T) *httptest.Server {
+	t.Helper()
+	shard, err := server.New(server.Config{
+		Workers: 1, QueueSize: 8, DataDir: t.TempDir(), ShardID: "s0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(shard.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newChaosRouter wires a single-shard router with tight, test-sized
+// resilience knobs. forwardClient nil means a clean forwarding path
+// (the chaos then sits on the client side).
+func newChaosRouter(t *testing.T, shardURL string, forwardClient *http.Client) *httptest.Server {
+	t.Helper()
+	ring, err := NewRing([]Member{{ID: "s0", URL: shardURL}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRouter(RouterConfig{
+		Ring:              ring,
+		ProbeInterval:     time.Hour, // deterministic: probing is never in play here
+		ProbeTimeout:      200 * time.Millisecond,
+		FailThreshold:     3,
+		ForwardTimeout:    400 * time.Millisecond,
+		StreamIdleTimeout: 400 * time.Millisecond,
+		BreakerThreshold:  3,
+		BreakerCooldown:   10 * time.Millisecond,
+		RetryBudget:       50,
+		Client:            forwardClient,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	return front
+}
+
+// newChaosClient builds a tdac client whose Retry-After-driven backoff
+// (MaxDelay 100ms) always outlasts the router's 10ms breaker cooldown,
+// so a half-open trial is available by the time each retry lands.
+func newChaosClient(t *testing.T, base string, httpc *http.Client) *client.Client {
+	t.Helper()
+	opts := []client.Option{client.WithRetry(client.Retry{
+		MaxAttempts: 8, BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond,
+	})}
+	if httpc != nil {
+		opts = append(opts, client.WithHTTPClient(httpc))
+	}
+	c, err := client.New(base, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// seedChaosDataset creates and fills the scenario's dataset over a
+// clean path and returns the reference discover result (RuntimeMS
+// zeroed) every later run must reproduce bit-identically.
+func seedChaosDataset(t *testing.T, ctx context.Context, direct *client.Client) []byte {
+	t.Helper()
+	if _, err := direct.CreateDataset(ctx, "chaos"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := direct.Ingest(ctx, "chaos", e2eClaims(), nil); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	return chaosDiscover(t, ctx, direct)
+}
+
+// chaosDiscover runs one deterministic discovery (Accu is seedless) and
+// returns the result as canonical JSON with the only wall-clock field,
+// RuntimeMS, zeroed.
+func chaosDiscover(t *testing.T, ctx context.Context, c *client.Client) []byte {
+	t.Helper()
+	job, err := c.Run(ctx, "chaos", client.DiscoverRequest{Mode: "base", Algorithm: "Accu"})
+	if err != nil {
+		t.Fatalf("discover: %v", err)
+	}
+	if job.State != "done" {
+		t.Fatalf("discover finished %q: %s", job.State, job.Error)
+	}
+	job.Result.RuntimeMS = 0
+	raw, err := json.Marshal(job.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func persistent(r netfault.Rule) netfault.Rule { r.Count = 0; return r }
+func healing(r netfault.Rule) netfault.Rule    { r.Count = 2; return r }
+
+// TestNetworkChaosMatrix drives every netfault class across every hop
+// of the cluster path — router→shard, client→router, follower→primary
+// — through three phases each:
+//
+//	probe: the fault is persistent; the request must fail bounded and
+//	       clean (503 + Retry-After from the router, never a hang or a
+//	       502),
+//	heal:  the fault fires twice more and stops; client/replication
+//	       retries must ride through without surfacing an error,
+//	clear: with the rules removed, a full discovery through the
+//	       formerly faulty path must reproduce the pre-chaos reference
+//	       result bit-identically.
+//
+// Two extra scenarios pin that a live event watch survives its stream
+// being reset or stalled mid-flight. ci.sh pins the scenario count.
+func TestNetworkChaosMatrix(t *testing.T) {
+	for _, hop := range []string{"router-shard", "client-router"} {
+		for _, tc := range chaosClasses {
+			t.Run(hop+"/"+tc.name, func(t *testing.T) {
+				t.Parallel()
+				runProxyHopScenario(t, hop, tc.rule)
+			})
+		}
+	}
+	for _, tc := range chaosClasses {
+		t.Run("follower-primary/"+tc.name, func(t *testing.T) {
+			t.Parallel()
+			runFollowerHopScenario(t, tc.rule)
+		})
+	}
+	for _, tc := range []struct {
+		name  string
+		class netfault.Class
+	}{
+		{"watch/reset-mid-stream", netfault.ResetMidBody},
+		{"watch/stalled-stream", netfault.StallBody},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			runWatchChaosScenario(t, tc.class)
+		})
+	}
+}
+
+// runProxyHopScenario exercises one fault class on a forwarded-request
+// hop: the chaos transport sits either between router and shard or
+// between client and router.
+func runProxyHopScenario(t *testing.T, hop string, rule netfault.Rule) {
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	shardTS := newChaosShard(t)
+	chaos := netfault.NewTransport(nil, chaosSeed(t.Name()))
+	chaos.Hop = hop
+
+	var front *httptest.Server
+	var probeHTTP *http.Client // raw prober, inspects the wire directly
+	var chaosHTTP *http.Client // what the tdac client rides during heal
+	if hop == "router-shard" {
+		front = newChaosRouter(t, shardTS.URL, &http.Client{Transport: chaos})
+		probeHTTP = &http.Client{Timeout: 5 * time.Second}
+	} else {
+		front = newChaosRouter(t, shardTS.URL, nil)
+		chaosHTTP = &http.Client{Transport: chaos, Timeout: time.Second}
+		probeHTTP = chaosHTTP
+	}
+
+	// Reference, over a clean direct path.
+	ref := seedChaosDataset(t, ctx, newChaosClient(t, shardTS.URL, nil))
+
+	// Probe: the hop is persistently broken. The surface must stay
+	// bounded and clean.
+	chaos.SetRules(persistent(rule))
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, front.URL+"/v1/datasets/chaos", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := probeHTTP.Do(req)
+	if err == nil {
+		_, readErr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusBadGateway {
+			t.Fatal("probe surfaced a 502; degraded hops must map to 503")
+		}
+		if hop == "router-shard" {
+			// The router fields every probe itself, so the contract is
+			// exact: 503 with a Retry-After hint.
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("probe status through broken hop = %d, want 503", resp.StatusCode)
+			}
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("503 without a Retry-After hint")
+			}
+		} else if resp.StatusCode == http.StatusOK && readErr != nil {
+			// Client-side body faults surface as read errors — clean too.
+			t.Logf("probe: 200 with body error %v (clean)", readErr)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("probe took %v; a broken hop must fail bounded", elapsed)
+	}
+
+	// Heal: the fault fires twice more, then the network recovers.
+	// Retries (the client's, and on GET the router's budgeted one) must
+	// absorb it without the caller seeing an error.
+	injectedBefore := chaos.Injected()
+	chaos.SetRules(healing(rule))
+	c := newChaosClient(t, front.URL, chaosHTTP)
+	info, err := c.GetDataset(ctx, "chaos")
+	if err != nil {
+		t.Fatalf("retries did not ride through a healing fault: %v", err)
+	}
+	if info.Claims != len(e2eClaims()) {
+		t.Fatalf("healed read saw %d claims, want %d", info.Claims, len(e2eClaims()))
+	}
+	if chaos.Injected() == injectedBefore {
+		t.Fatal("heal phase injected nothing; the rule never fired")
+	}
+
+	// Clear: the network is quiet again; a discovery through the
+	// formerly chaotic path must match the reference bit for bit.
+	chaos.Clear()
+	if got := chaosDiscover(t, ctx, c); !bytes.Equal(ref, got) {
+		t.Fatalf("post-chaos result diverged from reference:\n ref: %s\n got: %s", ref, got)
+	}
+}
+
+// runFollowerHopScenario exercises one fault class on the replication
+// hop: the follower's manifest and segment fetches ride the chaos
+// transport.
+func runFollowerHopScenario(t *testing.T, rule netfault.Rule) {
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	primaryTS := newChaosShard(t)
+	direct := newChaosClient(t, primaryTS.URL, nil)
+	ref := seedChaosDataset(t, ctx, direct)
+
+	chaos := netfault.NewTransport(nil, chaosSeed(t.Name()))
+	chaos.Hop = "follower-primary"
+	fol, err := server.NewFollower(server.FollowerConfig{
+		Primary:      primaryTS.URL,
+		Dir:          t.TempDir(),
+		Poll:         time.Hour, // rounds driven explicitly via SyncOnce
+		Jitter:       -1,
+		FetchTimeout: 300 * time.Millisecond,
+		Client:       &http.Client{Transport: chaos},
+		Serve:        server.Config{Workers: 1, QueueSize: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		closeCtx, closeCancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer closeCancel()
+		_ = fol.Close(closeCtx)
+	})
+	folTS := httptest.NewServer(fol.Handler())
+	t.Cleanup(folTS.Close)
+
+	// Probe: a persistently broken hop fails the round — bounded, not
+	// wedged (FetchTimeout × the per-file retry cap).
+	chaos.SetRules(persistent(rule))
+	start := time.Now()
+	if err := fol.SyncOnce(); err == nil {
+		t.Fatal("SyncOnce succeeded across a persistently broken hop")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("broken round took %v; fetches must stay bounded", elapsed)
+	}
+
+	// Heal: two more firings, then clean. A few rounds must converge.
+	chaos.SetRules(healing(rule))
+	synced := false
+	for i := 0; i < 6 && !synced; i++ {
+		synced = fol.SyncOnce() == nil
+	}
+	if !synced {
+		t.Fatal("replication did not converge once the fault healed")
+	}
+
+	// Clear: new writes replicate, and both nodes serve bit-identical
+	// dataset views.
+	chaos.Clear()
+	if _, err := direct.Ingest(ctx, "chaos", []client.Claim{
+		{Source: "s4", Object: "o2", Attribute: "colour", Value: "blue"},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fol.SyncOnce(); err != nil {
+		t.Fatalf("clean round after chaos: %v", err)
+	}
+	// The two handlers serialize with different key orders, so compare
+	// the decoded views, not the raw bytes.
+	var pInfo, fInfo client.DatasetInfo
+	if err := json.Unmarshal(getBody(t, primaryTS.URL+"/v1/datasets/chaos"), &pInfo); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(getBody(t, folTS.URL+"/v1/datasets/chaos"), &fInfo); err != nil {
+		t.Fatal(err)
+	}
+	if pInfo != fInfo {
+		t.Fatalf("replica diverged after chaos:\n primary: %+v\n replica: %+v", pInfo, fInfo)
+	}
+	_ = ref // the replica check subsumes the reference here
+}
+
+// runWatchChaosScenario pins watcher survival: the first event stream
+// through the router is cut (reset or stalled) mid-body, and the
+// watch's resume-from-Last-Event-ID reconnect must still deliver the
+// job's terminal frame.
+func runWatchChaosScenario(t *testing.T, class netfault.Class) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	shardTS := newChaosShard(t)
+	chaos := netfault.NewTransport(nil, chaosSeed(t.Name()))
+	chaos.Hop = "router-shard"
+	front := newChaosRouter(t, shardTS.URL, &http.Client{Transport: chaos})
+	c := newChaosClient(t, front.URL, nil)
+
+	seedChaosDataset(t, ctx, newChaosClient(t, shardTS.URL, nil))
+
+	// Only the first stream attempt is faulted: a handful of bytes,
+	// then the cut. (A stalled stream is severed by the router's idle
+	// watchdog; a reset ends the copy directly.)
+	chaos.SetRules(netfault.Rule{Match: "/events", Class: class, BodyBytes: 48, Count: 1})
+
+	job, err := c.Discover(ctx, "chaos", client.DiscoverRequest{Mode: "base", Algorithm: "Accu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := c.WatchJob(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("WatchJob: %v", err)
+	}
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatal("watch closed without a terminal event")
+			}
+			if ev.Err != nil {
+				t.Fatalf("watch surfaced an error instead of reconnecting: %v", ev.Err)
+			}
+			if ev.Job != nil && ev.Job.Terminal() {
+				if ev.Job.State != "done" {
+					t.Fatalf("job finished %q: %s", ev.Job.State, ev.Job.Error)
+				}
+				if chaos.Injected() == 0 {
+					t.Fatal("stream fault never fired; the scenario tested nothing")
+				}
+				return
+			}
+		case <-ctx.Done():
+			t.Fatal("no terminal event while the stream hop misbehaved")
+		}
+	}
+}
+
+// getBody GETs a URL and returns the body, failing the test on any
+// transport or status error.
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}

@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -10,15 +12,24 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"tdac/internal/deadline"
 )
+
+// maxRelayBytes caps how much of a shard response the router buffers
+// for a non-streaming forward; far above any real response, it only
+// guards against relaying an unbounded body into router memory.
+const maxRelayBytes = 64 << 20
 
 // RouterConfig configures a Router.
 type RouterConfig struct {
 	// Ring places datasets on shards.
 	Ring *Ring
-	// Client performs forwarded requests (default: no overall timeout,
-	// so SSE event streams can run as long as the watcher stays).
+	// Client performs forwarded requests. It is left without an overall
+	// timeout so SSE event streams can run as long as the watcher stays;
+	// non-streaming forwards are bounded per attempt by ForwardTimeout.
 	Client *http.Client
 	// ProbeInterval is the health-probe period (default 2s).
 	ProbeInterval time.Duration
@@ -31,6 +42,26 @@ type RouterConfig struct {
 	// MaxBodyBytes caps the POST /v1/datasets body the router buffers to
 	// find the owner (default 8 MiB, matching the shards).
 	MaxBodyBytes int64
+	// ForwardTimeout bounds one attempt of a non-streaming forward
+	// (default 15s); a stalled shard turns into a clean 503 instead of
+	// pinning the request forever. A caller-propagated X-Tdac-Deadline
+	// clamps it further.
+	ForwardTimeout time.Duration
+	// StreamIdleTimeout severs a streaming forward whose upstream
+	// delivers no bytes for this long (default 60s). Shard heartbeats
+	// (15s) keep a healthy stream always progressing, so only a
+	// stalled shard trips it; it also bounds the stream connect phase.
+	StreamIdleTimeout time.Duration
+	// BreakerThreshold is the consecutive transport-error count that
+	// opens a target's circuit breaker (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses traffic
+	// before admitting a single half-open trial (default 1s).
+	BreakerCooldown time.Duration
+	// RetryBudget is the router's retry token bucket size (default 10);
+	// each idempotent-forward retry spends a token and each success
+	// earns a tenth back, so brown-outs cannot amplify into storms.
+	RetryBudget float64
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -48,6 +79,21 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 15 * time.Second
+	}
+	if c.StreamIdleTimeout <= 0 {
+		c.StreamIdleTimeout = 60 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 10
 	}
 	return c
 }
@@ -77,9 +123,13 @@ type Router struct {
 	client  *http.Client
 	probe   *http.Client
 	handler http.Handler
+	budget  *retryBudget
 
 	mu    sync.Mutex
 	state map[string]*memberState
+
+	bmu      sync.Mutex
+	breakers map[string]*breaker // per forwarding target URL
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -93,16 +143,22 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		return nil, fmt.Errorf("cluster: router needs a ring (an empty cluster cannot route)")
 	}
 	rt := &Router{
-		cfg:    cfg,
-		ring:   cfg.Ring,
-		client: cfg.Client,
-		probe:  &http.Client{Timeout: cfg.ProbeTimeout},
-		state:  make(map[string]*memberState),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		cfg:      cfg,
+		ring:     cfg.Ring,
+		client:   cfg.Client,
+		probe:    &http.Client{Timeout: cfg.ProbeTimeout},
+		budget:   newRetryBudget(cfg.RetryBudget, cfg.RetryBudget/100),
+		state:    make(map[string]*memberState),
+		breakers: make(map[string]*breaker),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	for _, m := range rt.ring.Members() {
 		rt.state[m.ID] = &memberState{}
+		rt.breakers[m.URL] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		if m.Follower != "" {
+			rt.breakers[m.Follower] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		}
 	}
 	rt.handler = rt.buildHandler()
 	go rt.probeLoop()
@@ -135,11 +191,20 @@ func (rt *Router) probeLoop() {
 }
 
 // ProbeNow probes every member once (the loop's body; exported so tests
-// and operators can force a deterministic round).
+// and operators can force a deterministic round). Probe outcomes also
+// feed the target's circuit breaker: a successful probe is exactly the
+// single half-open trial that closes an open breaker again, so
+// recovery never depends on sacrificing a client request.
 func (rt *Router) ProbeNow() {
 	for _, m := range rt.ring.Members() {
 		target := rt.activeURL(m)
 		_, err := rt.probeOne(target)
+		br := rt.breakerFor(target)
+		if err != nil {
+			br.failure()
+		} else {
+			br.success()
+		}
 		rt.mu.Lock()
 		st := rt.state[m.ID]
 		if err != nil {
@@ -158,6 +223,21 @@ func (rt *Router) ProbeNow() {
 		}
 		rt.mu.Unlock()
 	}
+}
+
+// breakerFor returns (lazily creating) the circuit breaker guarding
+// one forwarding target URL. Breakers are per target, not per shard,
+// so a dead primary's open breaker never blocks reads failing over to
+// its follower.
+func (rt *Router) breakerFor(target string) *breaker {
+	rt.bmu.Lock()
+	defer rt.bmu.Unlock()
+	br, ok := rt.breakers[target]
+	if !ok {
+		br = newBreaker(rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown)
+		rt.breakers[target] = br
+	}
+	return br
 }
 
 func (rt *Router) probeOne(target string) (int, error) {
@@ -223,18 +303,28 @@ type memberHealth struct {
 	Follower string `json:"follower,omitempty"`
 	Dead     bool   `json:"dead"`
 	Promoted bool   `json:"promoted"`
+	// Breaker is the active target's circuit-breaker state
+	// (closed/open/half-open).
+	Breaker string `json:"breaker"`
 }
 
 func (rt *Router) health() []memberHealth {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	out := make([]memberHealth, 0, len(rt.state))
+	out := make([]memberHealth, 0, len(rt.ring.Members()))
 	for _, m := range rt.ring.Members() {
+		rt.mu.Lock()
 		st := rt.state[m.ID]
-		out = append(out, memberHealth{
+		active := m.URL
+		if st.promoted && m.Follower != "" {
+			active = m.Follower
+		}
+		h := memberHealth{
 			ID: m.ID, URL: m.URL, Follower: m.Follower,
 			Dead: st.dead, Promoted: st.promoted,
-		})
+		}
+		rt.mu.Unlock()
+		bs, _ := rt.breakerFor(active).snapshot()
+		h.Breaker = bs.String()
+		out = append(out, h)
 	}
 	return out
 }
@@ -325,14 +415,16 @@ func (rt *Router) handlePromote(w http.ResponseWriter, r *http.Request) {
 		routerError(w, http.StatusConflict, "shard %q has no follower to promote", id)
 		return
 	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, m.Follower+"/v1/promote", nil)
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.Follower+"/v1/promote", nil)
 	if err != nil {
 		routerError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
-		routerError(w, http.StatusBadGateway, "promoting follower of %q: %v", id, err)
+		unavailable(w, "promoting follower of %q: %v", id, err)
 		return
 	}
 	defer resp.Body.Close()
@@ -376,33 +468,191 @@ func copyResponse(w http.ResponseWriter, status int, hdr http.Header, body []byt
 	_, _ = w.Write(body)
 }
 
-// forward relays the request to target, streaming the response back
-// with per-chunk flushes so SSE event streams pass through live.
-// Response headers — Retry-After on a shard's 429 included — relay
-// verbatim.
-func (rt *Router) forward(w http.ResponseWriter, r *http.Request, target string, body io.Reader) {
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.RequestURI(), body)
+// isStreamRequest reports whether a forward must stay live-streaming
+// (the SSE watch endpoint) rather than buffered.
+func isStreamRequest(r *http.Request) bool {
+	return r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/events")
+}
+
+// forward relays the request to the shard's target. Non-streaming
+// requests are buffered with a per-attempt deadline so every transport
+// fault — refused dials, stalls, mid-body resets, truncated transfers
+// — surfaces as a clean 503 + Retry-After (never a hang, never a
+// partial body); the SSE watch path streams live with an idle-progress
+// watchdog instead. Response headers — Retry-After on a shard's 429
+// included — relay verbatim.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, shardID, target string, body io.Reader) {
+	if isStreamRequest(r) {
+		rt.forwardStream(w, r, shardID, target)
+		return
+	}
+	rt.forwardBuffered(w, r, shardID, target, body)
+}
+
+// unavailable emits the router's uniform degraded-mode response: 503
+// with a Retry-After hint. Deliberately never 502 — clients treat 503
+// as a transient rejection and retry, which is exactly right while a
+// failover or breaker cooldown is in flight.
+func unavailable(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", "1")
+	routerError(w, http.StatusServiceUnavailable, format, args...)
+}
+
+// forwardBuffered relays one non-streaming request. The attempt is
+// bounded by ForwardTimeout clamped to any caller-propagated
+// X-Tdac-Deadline budget (which is re-stamped, decremented, onto the
+// outgoing request); the full response is buffered before relaying so
+// a shard dying mid-body yields a 503 instead of a truncated 200; and
+// an idempotent request gets one retry paid from the retry budget.
+func (rt *Router) forwardBuffered(w http.ResponseWriter, r *http.Request, shardID, target string, body io.Reader) {
+	started := time.Now()
+	budget := rt.cfg.ForwardTimeout
+	if rem, ok := deadline.Remaining(r); ok {
+		if rem <= 0 {
+			unavailable(w, "request budget exhausted before reaching shard %s", shardID)
+			return
+		}
+		if rem < budget {
+			budget = rem
+		}
+	}
+	br := rt.breakerFor(target)
+	idempotent := r.Method == http.MethodGet || r.Method == http.MethodHead
+	attempts := 1
+	if idempotent {
+		// GET/HEAD forwards carry no meaningful body, so the retry can
+		// rebuild the request from scratch.
+		attempts = 2
+		body = nil
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 && !rt.budget.spend() {
+			break
+		}
+		remaining := budget - time.Since(started)
+		if remaining <= 0 {
+			break
+		}
+		if !br.allow() {
+			lastErr = errors.New("circuit breaker open")
+			break
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), remaining)
+		req, err := http.NewRequestWithContext(ctx, r.Method, target+r.URL.RequestURI(), body)
+		if err != nil {
+			cancel()
+			routerError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		copyHeaders(req.Header, r.Header)
+		deadline.StampRemaining(req.Header, remaining)
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			cancel()
+			br.failure()
+			lastErr = err
+			continue
+		}
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxRelayBytes+1))
+		resp.Body.Close()
+		cancel()
+		switch {
+		case rerr != nil:
+			// The shard died mid-body; the buffered relay turns it into
+			// a retryable rejection instead of truncated bytes.
+			br.failure()
+			lastErr = fmt.Errorf("reading response: %w", rerr)
+			continue
+		case int64(len(data)) > maxRelayBytes:
+			br.success()
+			routerError(w, http.StatusInternalServerError,
+				"shard %s response exceeds the %d-byte relay cap", shardID, int64(maxRelayBytes))
+			return
+		case resp.ContentLength >= 0 && resp.ContentLength != int64(len(data)):
+			// Clean EOF short of Content-Length: a truncated transfer.
+			br.failure()
+			lastErr = fmt.Errorf("truncated response: got %d of %d bytes", len(data), resp.ContentLength)
+			continue
+		}
+		br.success()
+		rt.budget.earn()
+		copyResponse(w, resp.StatusCode, resp.Header, data)
+		return
+	}
+	if lastErr == nil {
+		lastErr = errors.New("forward deadline exhausted")
+	}
+	unavailable(w, "shard %s at %s unreachable: %v", shardID, target, lastErr)
+}
+
+// forwardStream relays the SSE watch stream live: per-chunk flushes, no
+// overall deadline (a watch may legitimately stay open for hours), but
+// two guards — the connect phase is bounded by StreamIdleTimeout so a
+// black-holed shard cannot pin the goroutine before a single byte
+// arrives, and an idle-progress watchdog severs the upstream body when
+// no bytes flow for StreamIdleTimeout (shard heartbeats make a healthy
+// stream always progress). Severing unblocks the copy loop; the client
+// sees its stream drop and reconnects with Last-Event-ID as usual.
+func (rt *Router) forwardStream(w http.ResponseWriter, r *http.Request, shardID, target string) {
+	br := rt.breakerFor(target)
+	if !br.allow() {
+		unavailable(w, "shard %s at %s unreachable: circuit breaker open", shardID, target)
+		return
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, r.Method, target+r.URL.RequestURI(), nil)
 	if err != nil {
 		routerError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	copyHeaders(req.Header, r.Header)
+	connTimer := time.AfterFunc(rt.cfg.StreamIdleTimeout, cancel)
 	resp, err := rt.client.Do(req)
+	connTimer.Stop()
 	if err != nil {
-		// 503, not 502: clients treat it as a transient rejection and
-		// retry, which is exactly right while a failover is in flight.
-		w.Header().Set("Retry-After", "1")
-		routerError(w, http.StatusServiceUnavailable, "shard at %s unreachable: %v", target, err)
+		br.failure()
+		unavailable(w, "shard %s at %s unreachable: %v", shardID, target, err)
 		return
 	}
+	br.success()
+	rt.budget.earn()
 	defer resp.Body.Close()
 	copyHeaders(w.Header(), resp.Header)
 	w.WriteHeader(resp.StatusCode)
 	flusher, _ := w.(http.Flusher)
+
+	var progress atomic.Int64
+	watchdogDone := make(chan struct{})
+	defer close(watchdogDone)
+	go func() {
+		var seen int64
+		t := time.NewTimer(rt.cfg.StreamIdleTimeout)
+		defer t.Stop()
+		for {
+			select {
+			case <-watchdogDone:
+				return
+			case <-t.C:
+				cur := progress.Load()
+				if cur == seen {
+					// A full idle window without progress: close the
+					// upstream body, which unblocks the copy loop's Read.
+					resp.Body.Close()
+					return
+				}
+				seen = cur
+				t.Reset(rt.cfg.StreamIdleTimeout)
+			}
+		}
+	}()
+
 	buf := make([]byte, 32<<10)
 	for {
 		n, err := resp.Body.Read(buf)
 		if n > 0 {
+			progress.Add(int64(n))
 			if _, werr := w.Write(buf[:n]); werr != nil {
 				return
 			}
@@ -443,7 +693,7 @@ func (rt *Router) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		rt.refuseDeadShard(w, owner)
 		return
 	}
-	rt.forward(w, r, target, bytes.NewReader(body))
+	rt.forward(w, r, owner.ID, target, bytes.NewReader(body))
 }
 
 // handleDatasetScoped forwards everything under /v1/datasets/{name} to
@@ -452,7 +702,7 @@ func (rt *Router) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleDatasetScoped(w http.ResponseWriter, r *http.Request) {
 	owner := rt.ring.Owner(r.PathValue("name"))
 	if r.Method == http.MethodGet || r.Method == http.MethodHead {
-		rt.forward(w, r, rt.readTarget(owner), r.Body)
+		rt.forward(w, r, owner.ID, rt.readTarget(owner), r.Body)
 		return
 	}
 	target, ok := rt.writeTarget(owner)
@@ -460,7 +710,7 @@ func (rt *Router) handleDatasetScoped(w http.ResponseWriter, r *http.Request) {
 		rt.refuseDeadShard(w, owner)
 		return
 	}
-	rt.forward(w, r, target, r.Body)
+	rt.forward(w, r, owner.ID, target, r.Body)
 }
 
 // handleJobScoped routes /v1/jobs/{id} and /v1/jobs/{id}/events by the
@@ -473,7 +723,7 @@ func (rt *Router) handleJobScoped(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.Method == http.MethodGet || r.Method == http.MethodHead {
-		rt.forward(w, r, rt.readTarget(m), r.Body)
+		rt.forward(w, r, m.ID, rt.readTarget(m), r.Body)
 		return
 	}
 	target, okw := rt.writeTarget(m)
@@ -481,7 +731,7 @@ func (rt *Router) handleJobScoped(w http.ResponseWriter, r *http.Request) {
 		rt.refuseDeadShard(w, m)
 		return
 	}
-	rt.forward(w, r, target, r.Body)
+	rt.forward(w, r, m.ID, target, r.Body)
 }
 
 func (rt *Router) refuseDeadShard(w http.ResponseWriter, m Member) {
@@ -516,7 +766,11 @@ type fanResult struct {
 }
 
 // fanOut issues GET path against every member's read target in
-// parallel, in ring order.
+// parallel, in ring order. Each leg is bounded by ForwardTimeout and
+// honors the target's circuit breaker (an open breaker marks the
+// member unreachable immediately instead of burning the timeout), so
+// one black-holed shard delays a merged listing by at most one
+// forward window.
 func (rt *Router) fanOut(r *http.Request, path string) []fanResult {
 	members := rt.ring.Members()
 	out := make([]fanResult, len(members))
@@ -526,22 +780,33 @@ func (rt *Router) fanOut(r *http.Request, path string) []fanResult {
 		go func(i int, m Member) {
 			defer wg.Done()
 			out[i] = fanResult{member: m}
-			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, rt.readTarget(m)+path, nil)
+			target := rt.readTarget(m)
+			br := rt.breakerFor(target)
+			if !br.allow() {
+				out[i].err = errors.New("circuit breaker open")
+				return
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ForwardTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+path, nil)
 			if err != nil {
 				out[i].err = err
 				return
 			}
 			resp, err := rt.client.Do(req)
 			if err != nil {
+				br.failure()
 				out[i].err = err
 				return
 			}
 			defer resp.Body.Close()
 			body, err := io.ReadAll(resp.Body)
 			if err != nil {
+				br.failure()
 				out[i].err = err
 				return
 			}
+			br.success()
 			if resp.StatusCode != http.StatusOK {
 				out[i].err = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
 				return
@@ -661,9 +926,43 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP tdac_router_shards Cluster members by reachability.\n# TYPE tdac_router_shards gauge\n")
 	fmt.Fprintf(&b, "tdac_router_shards{state=\"reachable\"} %d\n", len(results)-unreachable)
 	fmt.Fprintf(&b, "tdac_router_shards{state=\"unreachable\"} %d\n", unreachable)
+	rt.writeBreakerMetrics(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeBreakerMetrics appends the router's own degraded-mode gauges:
+// per-target circuit-breaker state and lifetime opens, plus the retry
+// budget's current level and lifetime retries granted.
+func (rt *Router) writeBreakerMetrics(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP tdac_router_breaker_state Per-target circuit breaker state (0=closed, 1=open, 2=half-open).\n# TYPE tdac_router_breaker_state gauge\n")
+	type line struct {
+		shard, role string
+		state       breakerState
+		opens       int
+	}
+	var lines []line
+	for _, m := range rt.ring.Members() {
+		st, opens := rt.breakerFor(m.URL).snapshot()
+		lines = append(lines, line{m.ID, "primary", st, opens})
+		if m.Follower != "" {
+			st, opens = rt.breakerFor(m.Follower).snapshot()
+			lines = append(lines, line{m.ID, "follower", st, opens})
+		}
+	}
+	for _, l := range lines {
+		fmt.Fprintf(b, "tdac_router_breaker_state{shard=%q,target=%q} %d\n", l.shard, l.role, int(l.state))
+	}
+	fmt.Fprintf(b, "# HELP tdac_router_breaker_opens_total Lifetime transitions of a target's breaker to open.\n# TYPE tdac_router_breaker_opens_total counter\n")
+	for _, l := range lines {
+		fmt.Fprintf(b, "tdac_router_breaker_opens_total{shard=%q,target=%q} %d\n", l.shard, l.role, l.opens)
+	}
+	level, spent := rt.budget.snapshot()
+	fmt.Fprintf(b, "# HELP tdac_router_retry_budget Remaining retry-budget tokens.\n# TYPE tdac_router_retry_budget gauge\n")
+	fmt.Fprintf(b, "tdac_router_retry_budget %g\n", level)
+	fmt.Fprintf(b, "# HELP tdac_router_retries_total Lifetime forward retries granted by the budget.\n# TYPE tdac_router_retries_total counter\n")
+	fmt.Fprintf(b, "tdac_router_retries_total %d\n", spent)
 }
 
 // injectShardLabel rewrites one Prometheus sample line to carry

@@ -6,9 +6,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"tdac/internal/deadline"
 )
 
 // newTestRouter wires a router over the given members with probing left
@@ -35,10 +40,21 @@ func newTestRouter(t testing.TB, members []Member) *Router {
 // recordingShard is a fake shard that records the paths it served and
 // answers with canned handlers.
 type recordingShard struct {
-	id    string
-	ts    *httptest.Server
-	mux   *http.ServeMux
+	id  string
+	ts  *httptest.Server
+	mux *http.ServeMux
+
+	mu    sync.Mutex
 	paths []string
+}
+
+// recorded returns a snapshot of the non-healthz paths served so far;
+// hijack-killed handlers may still be finishing when the router has
+// already answered, so reads must not touch paths directly.
+func (s *recordingShard) recorded() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.paths...)
 }
 
 func newRecordingShard(t testing.TB, id string) *recordingShard {
@@ -49,7 +65,9 @@ func newRecordingShard(t testing.TB, id string) *recordingShard {
 	})
 	s.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/healthz" {
+			s.mu.Lock()
 			s.paths = append(s.paths, r.Method+" "+r.URL.Path)
+			s.mu.Unlock()
 		}
 		s.mux.ServeHTTP(w, r)
 	}))
@@ -97,7 +115,7 @@ func TestRouterForwardsDatasetScopedToOwner(t *testing.T) {
 	}
 	for ownerID, name := range byOwner {
 		owner := shardOf[ownerID]
-		before := len(owner.paths)
+		before := len(owner.recorded())
 
 		resp, err := http.Post(front.URL+"/v1/datasets", "application/json",
 			strings.NewReader(fmt.Sprintf(`{"name": %q}`, name)))
@@ -125,7 +143,7 @@ func TestRouterForwardsDatasetScopedToOwner(t *testing.T) {
 			"GET /v1/datasets/" + name,
 			"POST /v1/datasets/" + name + "/claims",
 		}
-		got := owner.paths[before:]
+		got := owner.recorded()[before:]
 		if len(got) != len(want) {
 			t.Fatalf("owner %s served %v, want %v", ownerID, got, want)
 		}
@@ -152,8 +170,8 @@ func TestRouterCreateRejectsNamelessBody(t *testing.T) {
 			t.Fatalf("create with body %q = %d, want 400", body, resp.StatusCode)
 		}
 	}
-	if len(s0.paths) != 0 {
-		t.Fatalf("nameless creates reached the shard: %v", s0.paths)
+	if got := s0.recorded(); len(got) != 0 {
+		t.Fatalf("nameless creates reached the shard: %v", got)
 	}
 }
 
@@ -305,8 +323,8 @@ func TestRouterRoutesJobsByPrefix(t *testing.T) {
 	if !strings.Contains(string(body), `"s1"`) {
 		t.Fatalf("s1-job-3 answered by %s, want s1", body)
 	}
-	if len(s1.paths) != 1 || s1.paths[0] != "GET /v1/jobs/s1-job-3" {
-		t.Fatalf("s1 served %v", s1.paths)
+	if got := s1.recorded(); len(got) != 1 || got[0] != "GET /v1/jobs/s1-job-3" {
+		t.Fatalf("s1 served %v", got)
 	}
 
 	resp, err = http.Get(front.URL + "/v1/jobs/job-3")
@@ -424,13 +442,13 @@ func TestRouterFailover(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || !promoted {
 		t.Fatalf("promote = %d (follower called: %v)", resp.StatusCode, promoted)
 	}
-	before := len(follower.paths)
+	before := len(follower.recorded())
 	resp, err = http.Post(front.URL+"/v1/datasets/"+name+"/claims", "application/json", strings.NewReader(`{"claims": []}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if got := follower.paths[before:]; len(got) != 1 || got[0] != "POST /v1/datasets/"+name+"/claims" {
+	if got := follower.recorded()[before:]; len(got) != 1 || got[0] != "POST /v1/datasets/"+name+"/claims" {
 		t.Fatalf("post-promotion write went to %v, want the promoted follower", got)
 	}
 
@@ -471,5 +489,181 @@ func TestRouterReadyzReportsDeadFollowerlessShard(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "s0") {
 		t.Fatalf("readyz with dead shard = %d %s, want 503 naming s0", resp.StatusCode, body)
+	}
+}
+
+// TestRouterForwardTimeoutOnNeverRespondingShard is the regression for
+// the unbounded forwarding client: a shard that accepts the connection
+// and never answers must surface as a 503 + Retry-After within the
+// forward timeout, not pin the request forever.
+func TestRouterForwardTimeoutOnNeverRespondingShard(t *testing.T) {
+	stuck := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprintln(w, `{"status": "ok"}`)
+			return
+		}
+		<-r.Context().Done() // black hole until the forward gives up
+	}))
+	defer stuck.Close()
+
+	ring, err := NewRing([]Member{{ID: "s0", URL: stuck.URL}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRouter(RouterConfig{
+		Ring:           ring,
+		ProbeInterval:  time.Hour,
+		ForwardTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	start := time.Now()
+	resp, err := http.Get(front.URL + "/v1/datasets/stuck")
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("request failed transport-side: %v", err)
+	}
+	defer resp.Body.Close()
+	if elapsed > 2*time.Second {
+		t.Fatalf("forward took %v, want bounded by the 150ms timeout", elapsed)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}
+
+// TestRouterDecrementsDeadlineBudget: a caller-propagated budget must
+// reach the shard decremented (never inflated), and must clamp the
+// forward below the router's own timeout.
+func TestRouterDecrementsDeadlineBudget(t *testing.T) {
+	var got atomic.Value
+	s := newRecordingShard(t, "s0")
+	s.mux.HandleFunc("/v1/datasets/", func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(deadline.Header))
+		fmt.Fprintln(w, `{"ok": true}`)
+	})
+	rt := newTestRouter(t, []Member{s.member()})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, front.URL+"/v1/datasets/budgeted", nil)
+	req.Header.Set(deadline.Header, "200")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	v, _ := got.Load().(string)
+	ms, err := strconv.Atoi(v)
+	if err != nil {
+		t.Fatalf("shard saw budget %q, want an integer", v)
+	}
+	if ms <= 0 || ms > 200 {
+		t.Fatalf("shard saw budget %dms, want within (0, 200]", ms)
+	}
+
+	// An exhausted budget never reaches the shard at all.
+	before := len(s.recorded())
+	req, _ = http.NewRequest(http.MethodGet, front.URL+"/v1/datasets/budgeted", nil)
+	req.Header.Set(deadline.Header, "0")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("exhausted budget = %d, want 503", resp.StatusCode)
+	}
+	if len(s.recorded()) != before {
+		t.Fatal("exhausted budget was still forwarded to the shard")
+	}
+}
+
+// TestRouterBreakerOpensAndRecovers drives the breaker through the
+// forwarding path: consecutive transport errors open it (fail-fast
+// 503s without dialing), and after the cooldown a single successful
+// trial closes it.
+func TestRouterBreakerOpensAndRecovers(t *testing.T) {
+	var broken atomic.Bool
+	s := newRecordingShard(t, "s0")
+	s.mux.HandleFunc("/v1/datasets/", func(w http.ResponseWriter, r *http.Request) {
+		if broken.Load() {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("test server does not support hijacking")
+				return
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close() // abrupt reset: a transport error at the router
+			return
+		}
+		fmt.Fprintln(w, `{"ok": true}`)
+	})
+	ring, err := NewRing([]Member{s.member()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRouter(RouterConfig{
+		Ring:             ring,
+		ProbeInterval:    time.Hour,
+		ForwardTimeout:   500 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	get := func() (int, string) {
+		resp, err := http.Get(front.URL + "/v1/datasets/breakable")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	broken.Store(true)
+	// First request: both its attempt and its budgeted retry hit the
+	// reset, reaching the threshold — the breaker opens.
+	if code, _ := get(); code != http.StatusServiceUnavailable {
+		t.Fatalf("broken shard = %d, want 503", code)
+	}
+	if st := rt.health()[0].Breaker; st != "open" {
+		t.Fatalf("breaker after consecutive resets = %q, want open", st)
+	}
+	// While open: fail-fast 503 naming the breaker, without dialing.
+	dials := len(s.recorded())
+	code, body := get()
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "circuit breaker") {
+		t.Fatalf("open breaker = %d %s, want 503 naming the breaker", code, body)
+	}
+	if len(s.recorded()) != dials {
+		t.Fatal("open breaker still dialed the shard")
+	}
+
+	// Shard recovers; after the cooldown one trial closes the breaker.
+	broken.Store(false)
+	time.Sleep(60 * time.Millisecond)
+	if code, _ := get(); code != http.StatusOK {
+		t.Fatalf("post-recovery trial = %d, want 200", code)
+	}
+	if st := rt.health()[0].Breaker; st != "closed" {
+		t.Fatalf("breaker after recovery = %q, want closed", st)
 	}
 }

@@ -1,0 +1,58 @@
+// Package deadline propagates a caller's time budget across tdac's
+// network hops. The client stamps its context deadline into the
+// X-Tdac-Deadline header as remaining milliseconds, the router
+// decrements it by the time it spent before forwarding, and the shard
+// clamps its request timeout to min(configured, propagated) — so no
+// hop keeps working on a request the caller has already abandoned.
+// Carrying a remaining duration rather than an absolute wall time
+// keeps the scheme immune to clock skew between hops.
+package deadline
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Header is the hop-to-hop budget header. Its value is the integer
+// number of milliseconds the caller is still willing to wait.
+const Header = "X-Tdac-Deadline"
+
+// Stamp records ctx's deadline (if any) into h as a remaining budget.
+// A context without a deadline leaves h untouched.
+func Stamp(h http.Header, ctx context.Context) {
+	if dl, ok := ctx.Deadline(); ok {
+		StampRemaining(h, time.Until(dl))
+	}
+}
+
+// StampRemaining records d as the remaining budget in h, replacing any
+// previous value. Non-positive budgets are stamped as 0 so the next
+// hop refuses immediately instead of starting doomed work.
+func StampRemaining(h http.Header, d time.Duration) {
+	ms := d.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	h.Set(Header, strconv.FormatInt(ms, 10))
+}
+
+// Remaining parses the budget from an incoming request. ok is false
+// when the header is absent or malformed (a garbage value from an
+// unknown client is ignored rather than trusted). A stamped budget of
+// zero or less returns (0, true): the caller is already gone.
+func Remaining(r *http.Request) (time.Duration, bool) {
+	v := r.Header.Get(Header)
+	if v == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	if ms <= 0 {
+		return 0, true
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}

@@ -1,0 +1,72 @@
+package deadline
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestStampAndRemaining(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	h := make(http.Header)
+	Stamp(h, ctx)
+
+	r := &http.Request{Header: h}
+	rem, ok := Remaining(r)
+	if !ok {
+		t.Fatal("stamped header not parsed")
+	}
+	if rem <= time.Second || rem > 2*time.Second {
+		t.Fatalf("remaining = %v, want within (1s, 2s]", rem)
+	}
+}
+
+func TestStampWithoutDeadlineIsNoop(t *testing.T) {
+	h := make(http.Header)
+	Stamp(h, context.Background())
+	if got := h.Get(Header); got != "" {
+		t.Fatalf("header stamped without a deadline: %q", got)
+	}
+}
+
+func TestRemainingTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		value string
+		want  time.Duration
+		ok    bool
+	}{
+		{"absent", "", 0, false},
+		{"garbage", "soon", 0, false},
+		{"float", "12.5", 0, false},
+		{"positive", "1500", 1500 * time.Millisecond, true},
+		{"zero", "0", 0, true},
+		{"negative", "-20", 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := make(http.Header)
+			if tc.value != "" {
+				h.Set(Header, tc.value)
+			}
+			got, ok := Remaining(&http.Request{Header: h})
+			if got != tc.want || ok != tc.ok {
+				t.Fatalf("Remaining(%q) = (%v, %v), want (%v, %v)", tc.value, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}
+
+func TestStampRemainingClampsNegative(t *testing.T) {
+	h := make(http.Header)
+	StampRemaining(h, -time.Second)
+	if got := h.Get(Header); got != "0" {
+		t.Fatalf("negative budget stamped as %q, want 0", got)
+	}
+	StampRemaining(h, 250*time.Millisecond)
+	if got := h.Get(Header); got != "250" {
+		t.Fatalf("re-stamp = %q, want 250", got)
+	}
+}

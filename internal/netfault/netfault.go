@@ -1,0 +1,437 @@
+// Package netfault is the network analogue of internal/fault: a
+// deterministic, seedable fault-injecting http.RoundTripper (and a
+// net.Conn wrapper) that models the failures a real cluster hop sees —
+// connect refusal, black holes, fixed and ramping latency, connection
+// resets before or during the response body, slow-loris stalls, and
+// truncated transfers. Faults are scheduled by op count against the
+// wrapped transport, so a test armed with the same seed and rules
+// observes the same fault sequence on every run; see the chaos matrix
+// in internal/cluster and DESIGN.md §15.
+package netfault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Injected failure sentinels. They unwrap through url.Error, so callers
+// can errors.Is on the error returned by http.Client.Do.
+var (
+	// ErrRefused models ECONNREFUSED: the dial is rejected immediately,
+	// before any bytes reach the peer.
+	ErrRefused = errors.New("netfault: injected connection refusal")
+	// ErrReset models ECONNRESET: the connection is torn down abruptly,
+	// either before the response headers arrive or mid-body.
+	ErrReset = errors.New("netfault: injected connection reset")
+	// ErrStalled is returned by a stalled body read when the fault's
+	// reader is closed (for example by an idle-progress watchdog).
+	ErrStalled = errors.New("netfault: stalled body closed")
+)
+
+// Class enumerates the injectable fault classes.
+type Class int
+
+const (
+	// Refuse rejects the request immediately with ErrRefused; the
+	// request never reaches the wrapped transport.
+	Refuse Class = iota
+	// BlackHole accepts the request and never responds: the round trip
+	// blocks until the request context is cancelled. A hop without its
+	// own deadline hangs forever — which is the point.
+	BlackHole
+	// Latency delays the round trip by Delay before forwarding.
+	Latency
+	// RampLatency delays by Delay + n*Step on the rule's n-th firing
+	// (n starting at 0), modelling a brown-out that worsens over time.
+	RampLatency
+	// ResetMidHeaders fails the round trip with ErrReset before any
+	// response bytes arrive; the request is never processed upstream.
+	ResetMidHeaders
+	// ResetMidBody returns the upstream response but its body fails
+	// with ErrReset after BodyBytes bytes.
+	ResetMidBody
+	// StallBody returns the upstream response but its body delivers
+	// BodyBytes bytes and then blocks until the body is closed or the
+	// request context is cancelled — a slow-loris peer.
+	StallBody
+	// TruncateBody returns the upstream response but its body ends
+	// with io.ErrUnexpectedEOF after BodyBytes bytes — a transfer cut
+	// short, as a Content-Length mismatch surfaces in net/http.
+	TruncateBody
+)
+
+// String names the class for scenario labels and error messages.
+func (c Class) String() string {
+	switch c {
+	case Refuse:
+		return "refuse"
+	case BlackHole:
+		return "blackhole"
+	case Latency:
+		return "latency"
+	case RampLatency:
+		return "ramp-latency"
+	case ResetMidHeaders:
+		return "reset-mid-headers"
+	case ResetMidBody:
+		return "reset-mid-body"
+	case StallBody:
+		return "stall-body"
+	case TruncateBody:
+		return "truncate-body"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Rule schedules one fault class against a transport. Ops are counted
+// per transport across all requests; a rule fires on ops it matches
+// once the transport's op counter reaches After.
+type Rule struct {
+	// Match restricts the rule to requests whose "METHOD url" string
+	// contains it (e.g. "/events", "GET ", "/v1/wal/"). Empty matches
+	// every request.
+	Match string
+	// Class is the fault to inject.
+	Class Class
+	// After is the 1-based transport op count at which the rule arms;
+	// zero means it is armed from the first op.
+	After int
+	// Count caps how many times the rule fires; zero means no cap
+	// (every matching op faults until the rule is cleared).
+	Count int
+	// Delay is the injected latency for Latency/RampLatency, and the
+	// base delay added before body faults when set.
+	Delay time.Duration
+	// Step is the per-firing latency increment for RampLatency.
+	Step time.Duration
+	// Jitter perturbs the injected delay by a uniform factor in
+	// [1-Jitter, 1+Jitter), drawn from the transport's seeded rng so
+	// the schedule is still reproducible per seed. Zero means exact.
+	Jitter float64
+	// BodyBytes is how many real body bytes pass through before a
+	// ResetMidBody/StallBody/TruncateBody fault; zero means 1.
+	BodyBytes int
+}
+
+type armedRule struct {
+	Rule
+	fired int
+}
+
+// Transport wraps an http.RoundTripper with deterministic fault
+// injection. The zero value is not usable; call NewTransport. Safe for
+// concurrent use.
+type Transport struct {
+	// Hop names the hop for error messages ("router->shard"); optional.
+	Hop string
+
+	inner http.RoundTripper
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	ops      int
+	injected int
+	rules    []*armedRule
+}
+
+// NewTransport wraps inner (nil means http.DefaultTransport) with the
+// given fault rules. The seed drives any randomized scheduling so runs
+// are reproducible; rules are evaluated in order and the first match
+// wins.
+func NewTransport(inner http.RoundTripper, seed int64, rules ...Rule) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	t := &Transport{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	t.SetRules(rules...)
+	return t
+}
+
+// SetRules replaces the rule set, resetting per-rule fire counts but
+// not the transport op counter.
+func (t *Transport) SetRules(rules ...Rule) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules = make([]*armedRule, 0, len(rules))
+	for _, r := range rules {
+		r := r
+		t.rules = append(t.rules, &armedRule{Rule: r})
+	}
+}
+
+// Clear removes all rules: the network heals.
+func (t *Transport) Clear() { t.SetRules() }
+
+// Ops returns how many round trips the transport has seen.
+func (t *Transport) Ops() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ops
+}
+
+// Injected returns how many round trips had a fault injected.
+func (t *Transport) Injected() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.injected
+}
+
+// pick counts the op and returns the first armed matching rule, the
+// firing ordinal (0-based) for ramp schedules, and the seeded jitter
+// factor for this firing, or nil.
+func (t *Transport) pick(req *http.Request) (*Rule, int, float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ops++
+	key := req.Method + " " + req.URL.String()
+	for _, r := range t.rules {
+		if r.Match != "" && !strings.Contains(key, r.Match) {
+			continue
+		}
+		if r.After > 0 && t.ops < r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		n := r.fired
+		r.fired++
+		t.injected++
+		scale := 1.0
+		if r.Jitter > 0 {
+			scale = 1 - r.Jitter + 2*r.Jitter*t.rng.Float64()
+		}
+		return &r.Rule, n, scale
+	}
+	return nil, 0, 1
+}
+
+// hopErr wraps a sentinel with the hop name so failures in a multi-hop
+// test name where they were injected.
+func (t *Transport) hopErr(err error) error {
+	if t.Hop == "" {
+		return err
+	}
+	return fmt.Errorf("%s: %w", t.Hop, err)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rule, n, scale := t.pick(req)
+	if rule == nil {
+		return t.inner.RoundTrip(req)
+	}
+	switch rule.Class {
+	case Refuse:
+		closeBody(req)
+		return nil, t.hopErr(fmt.Errorf("dial %s: %w", req.URL.Host, ErrRefused))
+	case BlackHole:
+		closeBody(req)
+		<-req.Context().Done()
+		return nil, t.hopErr(req.Context().Err())
+	case Latency, RampLatency:
+		d := rule.Delay
+		if rule.Class == RampLatency {
+			d += time.Duration(n) * rule.Step
+		}
+		d = time.Duration(float64(d) * scale)
+		if err := sleepCtx(req, d); err != nil {
+			closeBody(req)
+			return nil, t.hopErr(err)
+		}
+		return t.inner.RoundTrip(req)
+	case ResetMidHeaders:
+		closeBody(req)
+		if err := sleepCtx(req, time.Duration(float64(rule.Delay)*scale)); err != nil {
+			return nil, t.hopErr(err)
+		}
+		return nil, t.hopErr(fmt.Errorf("read response from %s: %w", req.URL.Host, ErrReset))
+	case ResetMidBody, StallBody, TruncateBody:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		limit := rule.BodyBytes
+		if limit <= 0 {
+			limit = 1
+		}
+		var tail error
+		switch rule.Class {
+		case ResetMidBody:
+			tail = t.hopErr(ErrReset)
+		case TruncateBody:
+			tail = io.ErrUnexpectedEOF
+		}
+		resp.Body = &faultBody{
+			inner:     resp.Body,
+			remaining: limit,
+			tail:      tail,
+			stall:     rule.Class == StallBody,
+			ctx:       req.Context(),
+			closed:    make(chan struct{}),
+		}
+		return resp, nil
+	default:
+		return t.inner.RoundTrip(req)
+	}
+}
+
+// sleepCtx waits d or until the request context is cancelled.
+func sleepCtx(req *http.Request, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-req.Context().Done():
+		return req.Context().Err()
+	}
+}
+
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}
+
+// faultBody delivers a prefix of the real body, then fails (tail),
+// truncates (nil tail with stall=false means io.ErrUnexpectedEOF was
+// pre-set), or stalls until closed.
+type faultBody struct {
+	inner     io.ReadCloser
+	remaining int
+	tail      error // error after the prefix; nil only when stalling
+	stall     bool
+	ctx       context.Context
+
+	mu        sync.Mutex
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// Read implements io.Reader.
+func (b *faultBody) Read(p []byte) (int, error) {
+	b.mu.Lock()
+	remaining := b.remaining
+	b.mu.Unlock()
+	if remaining > 0 {
+		if len(p) > remaining {
+			p = p[:remaining]
+		}
+		n, err := b.inner.Read(p)
+		b.mu.Lock()
+		b.remaining -= n
+		b.mu.Unlock()
+		if err != nil {
+			// The real body ended (or failed) inside the prefix; report
+			// it as-is — the fault only governs bytes past the prefix.
+			return n, err
+		}
+		return n, nil
+	}
+	if b.stall {
+		select {
+		case <-b.closed:
+			return 0, ErrStalled
+		case <-b.ctx.Done():
+			return 0, b.ctx.Err()
+		}
+	}
+	return 0, b.tail
+}
+
+// Close implements io.Closer; it also unblocks a stalled Read, which is
+// how an idle-progress watchdog severs a slow-loris stream.
+func (b *faultBody) Close() error {
+	b.closeOnce.Do(func() { close(b.closed) })
+	return b.inner.Close()
+}
+
+// Conn wraps a net.Conn with deterministic byte-level read faults: an
+// optional per-Read delay and a read budget after which the connection
+// resets (ErrReset), stalls until Close, or truncates (io.EOF). It is
+// the building block for faulting protocols that don't go through an
+// http.RoundTripper.
+type Conn struct {
+	net.Conn
+
+	class  Class // ResetMidBody, StallBody, or TruncateBody
+	delay  time.Duration
+	budget int // bytes readable before the fault; <0 means unlimited
+
+	mu        sync.Mutex
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// WrapConn wraps c. budget < 0 disables the byte-budget fault (only
+// the per-Read delay applies).
+func WrapConn(c net.Conn, class Class, delay time.Duration, budget int) *Conn {
+	return &Conn{
+		Conn:   c,
+		class:  class,
+		delay:  delay,
+		budget: budget,
+		closed: make(chan struct{}),
+	}
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.delay > 0 {
+		timer := time.NewTimer(c.delay)
+		select {
+		case <-timer.C:
+		case <-c.closed:
+			timer.Stop()
+			return 0, net.ErrClosed
+		}
+	}
+	c.mu.Lock()
+	budget := c.budget
+	c.mu.Unlock()
+	if budget < 0 {
+		return c.Conn.Read(p)
+	}
+	if budget == 0 {
+		switch c.class {
+		case StallBody:
+			<-c.closed
+			return 0, net.ErrClosed
+		case TruncateBody:
+			return 0, io.EOF
+		default:
+			c.Conn.Close()
+			return 0, ErrReset
+		}
+	}
+	if len(p) > budget {
+		p = p[:budget]
+	}
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.budget -= n
+	c.mu.Unlock()
+	return n, err
+}
+
+// Close implements net.Conn; it also unblocks a stalled Read.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}

@@ -1,0 +1,339 @@
+package netfault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testServer serves a fixed body so body-fault tests have bytes to cut.
+func testServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, c *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	return c.Do(req)
+}
+
+func TestRefuse(t *testing.T) {
+	ts := testServer(t, "ok")
+	tr := NewTransport(nil, 1, Rule{Class: Refuse})
+	_, err := get(t, &http.Client{Transport: tr}, ts.URL)
+	if !errors.Is(err, ErrRefused) {
+		t.Fatalf("want ErrRefused, got %v", err)
+	}
+	if tr.Ops() != 1 || tr.Injected() != 1 {
+		t.Fatalf("ops=%d injected=%d, want 1/1", tr.Ops(), tr.Injected())
+	}
+}
+
+func TestBlackHoleBlocksUntilContextCancelled(t *testing.T) {
+	ts := testServer(t, "ok")
+	tr := NewTransport(nil, 1, Rule{Class: BlackHole})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	_, err := (&http.Client{Transport: tr}).Do(req)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("want error from black-holed request")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline exceeded, got %v", err)
+	}
+	if elapsed < 40*time.Millisecond {
+		t.Fatalf("black hole returned after %v, before the context deadline", elapsed)
+	}
+}
+
+func TestLatencyDelaysThenSucceeds(t *testing.T) {
+	ts := testServer(t, "ok")
+	tr := NewTransport(nil, 1, Rule{Class: Latency, Delay: 60 * time.Millisecond, Count: 1})
+	c := &http.Client{Transport: tr}
+	start := time.Now()
+	resp, err := get(t, c, ts.URL)
+	if err != nil {
+		t.Fatalf("latency get: %v", err)
+	}
+	defer resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("request returned in %v, want >= 50ms injected latency", elapsed)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "ok" {
+		t.Fatalf("body = %q, want ok", body)
+	}
+	// Count exhausted: next request is clean and fast.
+	start = time.Now()
+	resp2, err := get(t, c, ts.URL)
+	if err != nil {
+		t.Fatalf("healed get: %v", err)
+	}
+	resp2.Body.Close()
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("healed request took %v, rule should be exhausted", elapsed)
+	}
+}
+
+func TestRampLatencyGrows(t *testing.T) {
+	ts := testServer(t, "ok")
+	tr := NewTransport(nil, 1, Rule{Class: RampLatency, Delay: 10 * time.Millisecond, Step: 40 * time.Millisecond})
+	c := &http.Client{Transport: tr}
+	var times [2]time.Duration
+	for i := range times {
+		start := time.Now()
+		resp, err := get(t, c, ts.URL)
+		if err != nil {
+			t.Fatalf("ramp get %d: %v", i, err)
+		}
+		resp.Body.Close()
+		times[i] = time.Since(start)
+	}
+	if times[1] < times[0]+20*time.Millisecond {
+		t.Fatalf("ramp did not grow: first=%v second=%v", times[0], times[1])
+	}
+}
+
+func TestResetMidHeaders(t *testing.T) {
+	ts := testServer(t, "ok")
+	hits := 0
+	counting := roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		hits++
+		return http.DefaultTransport.RoundTrip(req)
+	})
+	tr := NewTransport(counting, 1, Rule{Class: ResetMidHeaders})
+	_, err := get(t, &http.Client{Transport: tr}, ts.URL)
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("want ErrReset, got %v", err)
+	}
+	if hits != 0 {
+		t.Fatalf("reset-mid-headers reached the inner transport %d times, want 0", hits)
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }
+
+func TestResetMidBody(t *testing.T) {
+	ts := testServer(t, strings.Repeat("x", 1024))
+	tr := NewTransport(nil, 1, Rule{Class: ResetMidBody, BodyBytes: 100})
+	resp, err := get(t, &http.Client{Transport: tr}, ts.URL)
+	if err != nil {
+		t.Fatalf("round trip should succeed, body should fail: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("want ErrReset from body, got %v (read %d bytes)", err, len(data))
+	}
+	if len(data) != 100 {
+		t.Fatalf("prefix = %d bytes, want 100", len(data))
+	}
+}
+
+func TestTruncateBody(t *testing.T) {
+	ts := testServer(t, strings.Repeat("y", 1024))
+	tr := NewTransport(nil, 1, Rule{Class: TruncateBody, BodyBytes: 7})
+	resp, err := get(t, &http.Client{Transport: tr}, ts.URL)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+	if len(data) != 7 {
+		t.Fatalf("prefix = %d bytes, want 7", len(data))
+	}
+}
+
+func TestStallBodyUnblocksOnClose(t *testing.T) {
+	ts := testServer(t, strings.Repeat("z", 1024))
+	tr := NewTransport(nil, 1, Rule{Class: StallBody, BodyBytes: 10})
+	resp, err := get(t, &http.Client{Transport: tr}, ts.URL)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	prefix := make([]byte, 10)
+	if _, err := io.ReadFull(resp.Body, prefix); err != nil {
+		t.Fatalf("reading prefix: %v", err)
+	}
+	// The next read stalls; a watchdog-style Close must unblock it.
+	done := make(chan error, 1)
+	go func() {
+		_, err := resp.Body.Read(make([]byte, 1))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled read returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	resp.Body.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStalled) {
+			t.Fatalf("want ErrStalled after close, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close did not unblock the stalled read")
+	}
+}
+
+func TestMatchAndAfterScheduling(t *testing.T) {
+	ts := testServer(t, "ok")
+	// Only /target requests fault, and only from the 2nd transport op on.
+	tr := NewTransport(nil, 1, Rule{Match: "/target", Class: Refuse, After: 2})
+	c := &http.Client{Transport: tr}
+
+	resp, err := get(t, c, ts.URL+"/target") // op 1: armed only from op 2
+	if err != nil {
+		t.Fatalf("op 1 should pass: %v", err)
+	}
+	resp.Body.Close()
+	resp, err = get(t, c, ts.URL+"/other") // op 2: no match
+	if err != nil {
+		t.Fatalf("non-matching request should pass: %v", err)
+	}
+	resp.Body.Close()
+	if _, err := get(t, c, ts.URL+"/target"); !errors.Is(err, ErrRefused) { // op 3
+		t.Fatalf("op 3 on /target should refuse, got %v", err)
+	}
+	if tr.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", tr.Injected())
+	}
+}
+
+func TestClearHealsTheNetwork(t *testing.T) {
+	ts := testServer(t, "ok")
+	tr := NewTransport(nil, 1, Rule{Class: Refuse})
+	c := &http.Client{Transport: tr}
+	if _, err := get(t, c, ts.URL); !errors.Is(err, ErrRefused) {
+		t.Fatalf("want refusal before Clear, got %v", err)
+	}
+	tr.Clear()
+	resp, err := get(t, c, ts.URL)
+	if err != nil {
+		t.Fatalf("after Clear: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestJitterIsDeterministicPerSeed(t *testing.T) {
+	delays := func(seed int64) []time.Duration {
+		ts := testServer(t, "ok")
+		tr := NewTransport(nil, seed, Rule{Class: Latency, Delay: 20 * time.Millisecond, Jitter: 0.5})
+		c := &http.Client{Transport: tr}
+		var out []time.Duration
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			resp, err := get(t, c, ts.URL)
+			if err != nil {
+				t.Fatalf("get %d: %v", i, err)
+			}
+			resp.Body.Close()
+			out = append(out, time.Since(start))
+		}
+		return out
+	}
+	a, b := delays(42), delays(42)
+	for i := range a {
+		diff := a[i] - b[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		// Same seed, same rule: the scheduled delays are identical; allow
+		// generous wall-clock slop for the unjittered serving overhead.
+		if diff > 15*time.Millisecond {
+			t.Fatalf("same seed diverged at op %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConnWrapperFaults(t *testing.T) {
+	payload := []byte("0123456789abcdef")
+
+	run := func(class Class, budget int) (net.Conn, *Conn, *sync.WaitGroup) {
+		server, clientSide := net.Pipe()
+		wrapped := WrapConn(clientSide, class, 0, budget)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			server.Write(payload)
+		}()
+		return server, wrapped, &wg
+	}
+
+	t.Run("reset", func(t *testing.T) {
+		server, c, wg := run(ResetMidBody, 4)
+		defer wg.Wait() // after Close unblocks the pipe writer
+		defer server.Close()
+		buf := make([]byte, 16)
+		n, err := c.Read(buf)
+		if err != nil || n != 4 {
+			t.Fatalf("prefix read: n=%d err=%v, want 4/nil", n, err)
+		}
+		if _, err := c.Read(buf); !errors.Is(err, ErrReset) {
+			t.Fatalf("want ErrReset, got %v", err)
+		}
+	})
+
+	t.Run("truncate", func(t *testing.T) {
+		server, c, wg := run(TruncateBody, 4)
+		defer wg.Wait() // after Close unblocks the pipe writer
+		defer server.Close()
+		buf := make([]byte, 16)
+		if n, _ := c.Read(buf); n != 4 {
+			t.Fatalf("prefix read n=%d, want 4", n)
+		}
+		if _, err := c.Read(buf); err != io.EOF {
+			t.Fatalf("want io.EOF, got %v", err)
+		}
+	})
+
+	t.Run("stall-unblocked-by-close", func(t *testing.T) {
+		server, c, wg := run(StallBody, 4)
+		defer wg.Wait() // after Close unblocks the pipe writer
+		defer server.Close()
+		buf := make([]byte, 16)
+		if n, _ := c.Read(buf); n != 4 {
+			t.Fatalf("prefix read n=%d, want 4", n)
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := c.Read(buf)
+			done <- err
+		}()
+		time.Sleep(20 * time.Millisecond)
+		c.Close()
+		select {
+		case err := <-done:
+			if !errors.Is(err, net.ErrClosed) {
+				t.Fatalf("want net.ErrClosed, got %v", err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("Close did not unblock the stalled Read")
+		}
+	})
+}

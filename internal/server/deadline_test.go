@@ -1,0 +1,100 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tdac/internal/deadline"
+)
+
+// TestWithTimeoutClampsToPropagatedDeadline: a caller-propagated budget
+// smaller than the configured request timeout must bound the handler's
+// context, so the shard gives up when the caller does.
+func TestWithTimeoutClampsToPropagatedDeadline(t *testing.T) {
+	var got time.Duration
+	h := withTimeout(time.Hour, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		dl, ok := r.Context().Deadline()
+		if !ok {
+			t.Error("handler context has no deadline")
+			return
+		}
+		got = time.Until(dl)
+	}))
+
+	r := httptest.NewRequest(http.MethodGet, "/v1/datasets", nil)
+	deadline.StampRemaining(r.Header, 80*time.Millisecond)
+	h.ServeHTTP(httptest.NewRecorder(), r)
+
+	if got <= 0 || got > 80*time.Millisecond {
+		t.Fatalf("handler deadline = %v, want clamped to <= 80ms", got)
+	}
+}
+
+// TestWithTimeoutKeepsSmallerConfiguredTimeout: the configured timeout
+// still wins when it is tighter than the propagated budget.
+func TestWithTimeoutKeepsSmallerConfiguredTimeout(t *testing.T) {
+	var got time.Duration
+	h := withTimeout(50*time.Millisecond, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		dl, _ := r.Context().Deadline()
+		got = time.Until(dl)
+	}))
+
+	r := httptest.NewRequest(http.MethodGet, "/v1/datasets", nil)
+	deadline.StampRemaining(r.Header, time.Hour)
+	h.ServeHTTP(httptest.NewRecorder(), r)
+
+	if got <= 0 || got > 50*time.Millisecond {
+		t.Fatalf("handler deadline = %v, want clamped to <= 50ms", got)
+	}
+}
+
+// TestWithTimeoutRefusesExhaustedBudget: a budget the upstream hops
+// already burned is refused with 503 + Retry-After, without invoking
+// the handler.
+func TestWithTimeoutRefusesExhaustedBudget(t *testing.T) {
+	called := false
+	h := withTimeout(time.Hour, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		called = true
+	}))
+
+	r := httptest.NewRequest(http.MethodGet, "/v1/datasets", nil)
+	r.Header.Set(deadline.Header, "0")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+
+	if called {
+		t.Fatal("handler ran despite exhausted budget")
+	}
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil || body.Error == "" {
+		t.Fatalf("error envelope missing: %q (err %v)", w.Body.String(), err)
+	}
+}
+
+// TestWithTimeoutIgnoresGarbageHeader: malformed budgets from unknown
+// clients are ignored, not trusted.
+func TestWithTimeoutIgnoresGarbageHeader(t *testing.T) {
+	var had bool
+	h := withTimeout(0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, had = r.Context().Deadline()
+	}))
+
+	r := httptest.NewRequest(http.MethodGet, "/v1/datasets", nil)
+	r.Header.Set(deadline.Header, "whenever")
+	h.ServeHTTP(httptest.NewRecorder(), r)
+
+	if had {
+		t.Fatal("garbage budget produced a context deadline")
+	}
+}

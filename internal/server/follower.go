@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math/rand"
 	"net/http"
 	"path/filepath"
 	"sync"
@@ -59,6 +60,18 @@ type FollowerConfig struct {
 	Dir string
 	// Poll is the manifest polling period (default 500ms).
 	Poll time.Duration
+	// Jitter spreads each poll interval uniformly across
+	// [Poll·(1-Jitter), Poll·(1+Jitter)) so a restarted fleet of
+	// followers does not synchronize manifest fetches against one
+	// primary. Zero means the default 0.2; negative disables jitter.
+	Jitter float64
+	// Seed seeds the jitter schedule; zero draws from the clock so
+	// every process jitters differently (tests pin it for determinism).
+	Seed int64
+	// FetchTimeout bounds each manifest/segment request (default 10s),
+	// so a black-holed primary turns into a failed round instead of a
+	// stuck replication loop.
+	FetchTimeout time.Duration
 	// Client performs the shipping requests (default: 10s timeout).
 	Client *http.Client
 	// Serve configures the Server built at promotion; its DataDir is
@@ -83,6 +96,9 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 	if cfg.Poll <= 0 {
 		cfg.Poll = 500 * time.Millisecond
 	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = 10 * time.Second
+	}
 	f := &Follower{
 		cfg:      cfg,
 		fsys:     cfg.FS,
@@ -106,10 +122,12 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 	return f, nil
 }
 
-// loop polls the primary until Close or Promote stops it.
+// loop polls the primary until Close or Promote stops it, re-arming a
+// jittered timer each round instead of a fixed ticker.
 func (f *Follower) loop() {
 	defer close(f.done)
-	t := time.NewTicker(f.cfg.Poll)
+	sched := newPollScheduler(f.cfg.Poll, f.cfg.Jitter, f.cfg.Seed)
+	t := time.NewTimer(sched.next())
 	defer t.Stop()
 	for {
 		select {
@@ -117,8 +135,43 @@ func (f *Follower) loop() {
 			return
 		case <-t.C:
 			_ = f.SyncOnce()
+			t.Reset(sched.next())
 		}
 	}
+}
+
+// pollScheduler produces the follower's jittered poll intervals:
+// uniform in [base·(1-frac), base·(1+frac)) from its own seeded rng,
+// so a fleet of followers restarted together spreads its manifest
+// fetches across the window instead of hammering the primary in
+// lockstep.
+type pollScheduler struct {
+	base time.Duration
+	frac float64
+	rng  *rand.Rand
+}
+
+func newPollScheduler(base time.Duration, frac float64, seed int64) *pollScheduler {
+	switch {
+	case frac == 0:
+		frac = 0.2
+	case frac < 0:
+		frac = 0
+	case frac > 1:
+		frac = 1
+	}
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &pollScheduler{base: base, frac: frac, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *pollScheduler) next() time.Duration {
+	if s.frac <= 0 {
+		return s.base
+	}
+	span := float64(s.base) * s.frac
+	return time.Duration(float64(s.base) - span + s.rng.Float64()*2*span)
 }
 
 // SyncOnce performs one replication round: fetch the primary's
@@ -159,18 +212,9 @@ func (f *Follower) syncLocked() error {
 		if ok && prev.size == info.Size && prev.crc == info.CRC {
 			continue // unchanged (sealed, or an idle tail)
 		}
-		raw, err := f.getRaw("/v1/wal/segments/" + info.Name)
+		valid, err := f.fetchVerified(info)
 		if err != nil {
-			return fmt.Errorf("fetching %s: %w", info.Name, err)
-		}
-		if int64(len(raw)) < info.Size {
-			// The primary compacted or rotated between manifest and fetch;
-			// the next round's manifest will be consistent.
-			return fmt.Errorf("fetched %s: %d bytes, manifest said %d", info.Name, len(raw), info.Size)
-		}
-		valid := raw[:info.Size]
-		if crc32.Checksum(valid, followerCastagnoli) != info.CRC {
-			return fmt.Errorf("fetched %s: checksum mismatch against manifest", info.Name)
+			return err
 		}
 		if err := f.writeMirror(info.Name, valid); err != nil {
 			return err
@@ -215,6 +259,40 @@ func (f *Follower) syncLocked() error {
 		}
 	}
 	return nil
+}
+
+// fetchAttempts is how many times one replication round retries a
+// single file fetch before failing the round.
+const fetchAttempts = 3
+
+// fetchVerified fetches one WAL file and verifies it against the
+// manifest: at least Size bytes delivered (the primary may have
+// appended since — only the manifest prefix counts) and a matching
+// CRC over that prefix. Transient failures — a reset mid-transfer, a
+// short body, corrupt bytes — retry up to fetchAttempts times with
+// full re-verification, so a flaky link costs retries, not a failed
+// round. A genuinely compacted-away file exhausts its retries cheaply
+// and the next round's manifest is consistent again.
+func (f *Follower) fetchVerified(info wal.SegmentInfo) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < fetchAttempts; attempt++ {
+		raw, err := f.getRaw("/v1/wal/segments/" + info.Name)
+		if err != nil {
+			lastErr = fmt.Errorf("fetching %s: %w", info.Name, err)
+			continue
+		}
+		if int64(len(raw)) < info.Size {
+			lastErr = fmt.Errorf("fetched %s: %d bytes, manifest said %d", info.Name, len(raw), info.Size)
+			continue
+		}
+		valid := raw[:info.Size]
+		if crc32.Checksum(valid, followerCastagnoli) != info.CRC {
+			lastErr = fmt.Errorf("fetched %s: checksum mismatch against manifest", info.Name)
+			continue
+		}
+		return valid, nil
+	}
+	return nil, lastErr
 }
 
 // writeMirror atomically installs one mirrored file: tmp, fsync,
@@ -275,8 +353,17 @@ func (f *Follower) getJSON(path string, v any) error {
 	return json.Unmarshal(raw, v)
 }
 
+// getRaw performs one bounded fetch: FetchTimeout applies per request
+// (on top of any Client-level timeout), so a black-holed primary fails
+// the round instead of wedging the loop.
 func (f *Follower) getRaw(path string) ([]byte, error) {
-	resp, err := f.client.Get(f.cfg.Primary + path)
+	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.cfg.Primary+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.client.Do(req)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -286,4 +287,125 @@ func mustGet(t testing.TB, r *Registry, name string) *Snapshot {
 		t.Fatal(err)
 	}
 	return snap
+}
+
+func TestPollSchedulerJitter(t *testing.T) {
+	base := 500 * time.Millisecond
+	seq := func(seed int64, frac float64) []time.Duration {
+		s := newPollScheduler(base, frac, seed)
+		out := make([]time.Duration, 64)
+		for i := range out {
+			out[i] = s.next()
+		}
+		return out
+	}
+
+	// Default jitter (frac 0 -> 0.2): every interval inside
+	// [0.8·base, 1.2·base), and not degenerate.
+	a := seq(7, 0)
+	lo, hi := time.Duration(float64(base)*0.8), time.Duration(float64(base)*1.2)
+	varied := false
+	for i, d := range a {
+		if d < lo || d >= hi {
+			t.Fatalf("interval %d = %v outside [%v, %v)", i, d, lo, hi)
+		}
+		if d != a[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jittered scheduler produced a constant sequence")
+	}
+
+	// Same seed, same schedule (deterministic); different seeds diverge.
+	b := seq(7, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at interval %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := seq(8, 0)
+	diverged := false
+	for i := range a {
+		if a[i] != c[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical schedules")
+	}
+
+	// Negative frac disables jitter entirely.
+	for i, d := range seq(7, -1) {
+		if d != base {
+			t.Fatalf("unjittered interval %d = %v, want exactly %v", i, d, base)
+		}
+	}
+}
+
+// TestFollowerRetriesPartialTransfer: a segment fetch that comes back
+// short or corrupt must be retried with full CRC re-verification
+// inside the same round, so a flaky link costs retries rather than a
+// failed round.
+func TestFollowerRetriesPartialTransfer(t *testing.T) {
+	primary, err := New(Config{Workers: 1, QueueSize: 8, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownServer(t, primary)
+	if err := primary.Registry().Create("gamma", smallDataset(t, "gamma")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(primary.Handler())
+	defer ts.Close()
+
+	// A mangling proxy: the first segment fetch is truncated to half,
+	// the second has a byte flipped (CRC mismatch), the third and later
+	// pass through untouched — unless mangleAll forces truncation forever.
+	var segmentFetches int
+	var mangleAll atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp, err := http.Get(ts.URL + r.URL.RequestURI())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if strings.HasPrefix(r.URL.Path, "/v1/wal/segments/") && r.URL.Path != "/v1/wal/segments" && len(body) > 2 {
+			segmentFetches++
+			switch {
+			case mangleAll.Load() || segmentFetches == 1:
+				body = body[:len(body)/2] // truncated transfer
+			case segmentFetches == 2:
+				body = append([]byte(nil), body...)
+				body[len(body)/2] ^= 0xff // corrupt transfer
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(body)
+	}))
+	defer proxy.Close()
+
+	f := newFollowerFor(t, proxy.URL, Config{})
+	if err := f.SyncOnce(); err != nil {
+		t.Fatalf("SyncOnce should retry past 2 mangled transfers: %v", err)
+	}
+	if segmentFetches < 3 {
+		t.Fatalf("segment fetched %d times, want >= 3 (2 mangled + 1 clean)", segmentFetches)
+	}
+	assertRegistriesIdentical(t, f.Registry(), primary.Registry())
+
+	// A persistently mangled file exhausts its retries and fails the
+	// round (instead of looping forever or installing bad bytes).
+	if _, err := primary.Registry().Append("gamma", []ClaimInput{
+		{Source: "s9", Object: "o9", Attribute: "colour", Value: "teal"},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	mangleAll.Store(true)
+	if err := f.SyncOnce(); err == nil {
+		t.Fatal("SyncOnce succeeded although every transfer was mangled")
+	}
 }

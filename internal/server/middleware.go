@@ -11,6 +11,8 @@ import (
 	"net/http"
 	"runtime/debug"
 	"time"
+
+	"tdac/internal/deadline"
 )
 
 // errorBody is the uniform JSON error envelope: every non-2xx response
@@ -110,12 +112,29 @@ func withBodyLimit(limit int64, next http.Handler) http.Handler {
 // withTimeout bounds each request's context. Handlers are all
 // short-running (discovery is asynchronous), so this is a backstop
 // against slow-loris bodies and stuck handlers, not a job deadline.
+// When the caller propagated a budget via X-Tdac-Deadline the timeout
+// clamps to min(d, propagated), and an already-exhausted budget is
+// refused with 503 before any work starts — no hop works past a
+// deadline the caller has abandoned (DESIGN.md §15).
 func withTimeout(d time.Duration, next http.Handler) http.Handler {
-	if d <= 0 {
-		return next
-	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), d)
+		effective := d
+		if rem, ok := deadline.Remaining(r); ok {
+			if rem <= 0 {
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable,
+					"request budget exhausted before reaching this shard")
+				return
+			}
+			if effective <= 0 || rem < effective {
+				effective = rem
+			}
+		}
+		if effective <= 0 {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), effective)
 		defer cancel()
 		next.ServeHTTP(w, r.WithContext(ctx))
 	})

@@ -49,6 +49,22 @@ passed=$(echo "$matrix" | grep -c -- '--- PASS: TestCrashRecoveryMatrix/')
 echo "    $passed crash scenarios passed"
 [ "$passed" -ge 35 ] || { echo "crash matrix ran only $passed scenarios, want >= 35" >&2; exit 1; }
 
+echo "==> network chaos matrix (seeded faults x cluster hops)"
+# The network-failure property, end to end: every netfault class
+# (refusal, black hole, latency ramps, resets, slow-loris stalls,
+# truncation) on every hop (router->shard, client->router,
+# follower->primary) must degrade bounded and clean, heal through
+# retries, and reproduce bit-identical discovery once the fault clears.
+# The scenario count is asserted so the matrix can never silently
+# shrink.
+chaos=$(go test -run '^TestNetworkChaosMatrix$' -count=1 -v ./internal/cluster) || {
+    echo "$chaos" >&2
+    exit 1
+}
+chaos_passed=$(echo "$chaos" | grep -c -- '--- PASS: TestNetworkChaosMatrix/')
+echo "    $chaos_passed chaos scenarios passed"
+[ "$chaos_passed" -ge 24 ] || { echo "chaos matrix ran only $chaos_passed scenarios, want >= 24" >&2; exit 1; }
+
 # Static analysis beyond vet, when the tool exists in the environment;
 # otherwise exercise the serving packages' benchmarks as a compile+run
 # smoke so the fallback still touches the new code paths.
