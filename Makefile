@@ -18,7 +18,7 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# bench-report regenerates BENCH_tdac.json (schema tdac-bench/5): per-phase
+# bench-report regenerates BENCH_tdac.json (schema tdac-bench/6): per-phase
 # median wall times for the paper configs, per-algorithm indexed-vs-naive
 # timings on DS1, and the WAL ingest-overhead section, then re-validates
 # the file so a broken write never lands.

@@ -42,6 +42,7 @@ import (
 	"tdac/internal/experiments"
 	"tdac/internal/obs"
 	"tdac/internal/server"
+	"tdac/internal/synth"
 	"tdac/internal/truthdata"
 	"tdac/internal/wal"
 )
@@ -55,7 +56,11 @@ import (
 // IncrementalState versus cold from-scratch Discover runs on DS1.
 // tdac-bench/5 added the "router" section: the same dataset-read
 // workload against a shard directly and through tdac-router's hop.
-const Schema = "tdac-bench/5"
+// tdac-bench/6 added the "search" section: the sublinear k-selection
+// strategies (WithSearch) on a large-attribute synthetic config where
+// the exhaustive sweep is infeasible, reported as probed-vs-candidate
+// cluster counts.
+const Schema = "tdac-bench/6"
 
 // phases lists the phase keys every config entry must report, matching
 // the pipeline's execution order.
@@ -85,6 +90,44 @@ type Report struct {
 	WAL         *WALResult         `json:"wal"`
 	// Router measures the cost of the tdac-router hop on reads.
 	Router *RouterResult `json:"router"`
+	// Search measures the sublinear k-selection strategies on a
+	// large-attribute config the exhaustive sweep cannot afford.
+	Search *SearchResult `json:"search"`
+}
+
+// SearchResult measures what WithSearch saves on a wide attribute set:
+// a synthetic config with hundreds to thousands of attributes (smoke
+// and -full scale respectively), where the exhaustive sweep would have
+// to cluster every k in [2, |A|-1] — infeasible at this width, which is
+// why the sweep itself is never timed here. Each sublinear strategy
+// runs end to end instead, and the headline number is the probe-count
+// reduction: candidate ks the sweep would require over ks the strategy
+// actually clustered. Validate gates the reduction at 5x so a strategy
+// that degenerates back into the sweep fails CI.
+type SearchResult struct {
+	Dataset string `json:"dataset"`
+	Attrs   int    `json:"attrs"`
+	Objects int    `json:"objects"`
+	// CandidateKs is |[2, |A|-1]| — the clusterings the exhaustive
+	// sweep would have to run on this config.
+	CandidateKs int `json:"candidate_ks"`
+	// Strategies holds one entry per sublinear strategy.
+	Strategies []SearchStrategyResult `json:"strategies"`
+}
+
+// SearchStrategyResult aggregates the repetitions of one strategy.
+type SearchStrategyResult struct {
+	Strategy string `json:"strategy"`
+	// ProbedKs is how many cluster counts the strategy clustered
+	// (identical across repetitions: the search is deterministic).
+	ProbedKs int `json:"probed_ks"`
+	// ReductionX is CandidateKs / ProbedKs.
+	ReductionX float64 `json:"reduction_x"`
+	// TotalMedianMS is the median end-to-end Discover wall time.
+	TotalMedianMS float64 `json:"total_median_ms"`
+	// BestK and Silhouette describe the selected partition.
+	BestK      int     `json:"best_k"`
+	Silhouette float64 `json:"silhouette"`
 }
 
 // RouterResult measures what routing costs: the same dataset-read
@@ -274,6 +317,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	report.Router = rr
 	fmt.Fprintf(stderr, "router: %d reads %.2fms direct / %.2fms routed (%.2fx)\n",
 		rr.Requests, rr.DirectMedianMS, rr.RoutedMedianMS, rr.OverheadX)
+
+	sr, err := benchSearch(*full, *reps)
+	if err != nil {
+		return fmt.Errorf("k-search benchmark: %w", err)
+	}
+	report.Search = sr
+	for _, st := range sr.Strategies {
+		fmt.Fprintf(stderr, "search: %s on %d attrs probed %d of %d candidate ks (%.0fx fewer), %.2fms median\n",
+			st.Strategy, sr.Attrs, st.ProbedKs, sr.CandidateKs, st.ReductionX, st.TotalMedianMS)
+	}
 
 	raw, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -713,6 +766,72 @@ func benchRouter(reps int) (*RouterResult, error) {
 	return rr, nil
 }
 
+// benchSearch runs the sublinear k-selection strategies on a synthetic
+// config far wider than anything the paper's tables use: 500 attributes
+// at smoke scale, 5000 at -full. The exhaustive sweep would cluster
+// |A|-2 candidate ks here — tens of seconds at smoke scale and hours at
+// full — so it is never executed; the candidate count is the analytic
+// baseline the strategies are measured against.
+func benchSearch(full bool, reps int) (*SearchResult, error) {
+	attrs, objects, groups := 500, 12, 10
+	if full {
+		attrs, groups = 5000, 25
+	}
+	sizes := make([]int, groups)
+	for i := range sizes {
+		sizes[i] = attrs / groups
+	}
+	gen, err := synth.Generate(synth.Config{
+		Name:       "large-attrs",
+		Attrs:      attrs,
+		Objects:    objects,
+		Sources:    10,
+		GroupSizes: sizes,
+		M1:         1, M2: 0, M3: 0.9,
+		FalseValues:    30,
+		DistractorProb: 0.3,
+		Coverage:       1,
+		Seed:           61,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := gen.Dataset
+	d.Index() // compile the shared index outside the timed region
+	sr := &SearchResult{
+		Dataset:     "large-attrs",
+		Attrs:       attrs,
+		Objects:     objects,
+		CandidateKs: attrs - 2, // k ∈ [2, |A|-1]
+	}
+	for _, strategy := range []string{core.SearchGolden, core.SearchMDL} {
+		var totals []time.Duration
+		st := SearchStrategyResult{Strategy: strategy}
+		for rep := 0; rep < reps; rep++ {
+			t := core.New(algorithms.NewMajorityVote())
+			t.Search = strategy
+			t.KMeans.Restarts = 1 // warm starts make restarts a no-op anyway
+			start := time.Now()
+			out, err := t.Run(d)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", strategy, sr.Dataset, err)
+			}
+			totals = append(totals, time.Since(start))
+			if rep == 0 {
+				st.ProbedKs = len(out.Explored)
+				st.BestK = len(out.Partition)
+				st.Silhouette = out.Silhouette
+			}
+		}
+		st.TotalMedianMS = medianMS(totals)
+		if st.ProbedKs > 0 {
+			st.ReductionX = float64(sr.CandidateKs) / float64(st.ProbedKs)
+		}
+		sr.Strategies = append(sr.Strategies, st)
+	}
+	return sr, nil
+}
+
 func medianMS(ds []time.Duration) float64 {
 	if len(ds) == 0 {
 		return 0
@@ -739,14 +858,15 @@ func medianInt(xs []int) int {
 	return mid
 }
 
-// Validate checks a serialized report against the tdac-bench/4 schema:
-// the version marker, at least one config, for every config a complete
+// Validate checks a serialized report against the current schema: the
+// version marker, at least one config, for every config a complete
 // per-phase median map plus sane totals, a non-empty per-algorithm
 // section with positive timings, an incremental section whose warm
-// appends beat cold runs by at least 5x, and a wal section with positive
-// ingest timings. CI runs this against the committed BENCH_tdac.json so
-// schema drift — or an incremental path that stopped paying for itself —
-// fails fast.
+// appends beat cold runs by at least 5x, a wal section with positive
+// ingest timings, and a search section whose sublinear strategies probe
+// at least 5x fewer ks than the exhaustive sweep's candidate set. CI
+// runs this against the committed BENCH_tdac.json so schema drift — or
+// an optimisation that stopped paying for itself — fails fast.
 func Validate(raw []byte) error {
 	var r Report
 	dec := json.NewDecoder(strings.NewReader(string(raw)))
@@ -850,6 +970,33 @@ func Validate(raw []byte) error {
 	if r.Router.OverheadX > 25 {
 		return fmt.Errorf("schema %s: router: routed reads %.1fx slower than direct, want <= 25x",
 			Schema, r.Router.OverheadX)
+	}
+	if r.Search == nil {
+		return fmt.Errorf("schema %s: missing search section", Schema)
+	}
+	if r.Search.Dataset == "" || r.Search.Attrs < 500 || r.Search.Objects < 1 {
+		return fmt.Errorf("schema %s: search: want a named config with >= 500 attrs", Schema)
+	}
+	if r.Search.CandidateKs < 1 {
+		return fmt.Errorf("schema %s: search: non-positive candidate_ks", Schema)
+	}
+	if len(r.Search.Strategies) < 2 {
+		return fmt.Errorf("schema %s: search: want both sublinear strategies, got %d", Schema, len(r.Search.Strategies))
+	}
+	for _, st := range r.Search.Strategies {
+		if st.Strategy == "" {
+			return fmt.Errorf("schema %s: search: entry with empty strategy", Schema)
+		}
+		if st.ProbedKs < 1 || st.TotalMedianMS <= 0 {
+			return fmt.Errorf("schema %s: search: %s: non-positive probes/timings", Schema, st.Strategy)
+		}
+		// The strategies exist to avoid clustering every k in
+		// [2, |A|-1]; probing within 5x of the full candidate set means
+		// the search degenerated back into a sweep.
+		if st.ReductionX < 5 {
+			return fmt.Errorf("schema %s: search: %s probed %d of %d candidate ks (%.1fx), want >= 5x fewer",
+				Schema, st.Strategy, st.ProbedKs, r.Search.CandidateKs, st.ReductionX)
+		}
 	}
 	return nil
 }

@@ -26,11 +26,12 @@ func TestSmokeRunEmitsValidReport(t *testing.T) {
 	if err := Validate(raw); err != nil {
 		t.Fatalf("generated report invalid: %v\n%s", err, raw)
 	}
-	for _, want := range []string{`"schema": "tdac-bench/5"`, `"dataset": "DS1"`, `"dataset": "exam62-r25"`, `"k-sweep"`,
+	for _, want := range []string{`"schema": "tdac-bench/6"`, `"dataset": "DS1"`, `"dataset": "exam62-r25"`, `"k-sweep"`,
 		`"index"`, `"indexed_median_ms"`, `"naive_median_ms"`, `"speedup_x"`,
 		`"cold_rebuild_ms"`, `"append_sync_ms"`,
 		`"ingest_off_median_ms"`, `"ingest_on_median_ms"`, `"overhead_x"`,
-		`"direct_median_ms"`, `"routed_median_ms"`} {
+		`"direct_median_ms"`, `"routed_median_ms"`,
+		`"candidate_ks"`, `"probed_ks"`, `"reduction_x"`} {
 		if !strings.Contains(string(raw), want) {
 			t.Errorf("report missing %s:\n%s", want, raw)
 		}
@@ -89,7 +90,7 @@ func TestCheckDelta(t *testing.T) {
 // must fail.
 func TestValidateRejectsDrift(t *testing.T) {
 	valid := `{
-	  "schema": "tdac-bench/5", "base": "Accu", "full": false, "reps": 1,
+	  "schema": "tdac-bench/6", "base": "Accu", "full": false, "reps": 1,
 	  "configs": [{
 	    "dataset": "DS1", "attrs": 12, "sources": 30, "objects": 150, "claims": 5000,
 	    "phase_median_ms": {"index": 1, "reference": 1, "truth-vectors": 1, "distance-matrix": 1,
@@ -104,13 +105,19 @@ func TestValidateRejectsDrift(t *testing.T) {
 	  "wal": {"batches": 32, "claims_per_batch": 25, "fsync": "always",
 	          "ingest_off_median_ms": 2.5, "ingest_on_median_ms": 9.1, "overhead_x": 3.64},
 	  "router": {"requests": 64, "shards": 1,
-	             "direct_median_ms": 4.2, "routed_median_ms": 9.8, "overhead_x": 2.33}
+	             "direct_median_ms": 4.2, "routed_median_ms": 9.8, "overhead_x": 2.33},
+	  "search": {"dataset": "large-attrs", "attrs": 500, "objects": 12, "candidate_ks": 498,
+	             "strategies": [
+	               {"strategy": "golden", "probed_ks": 15, "reduction_x": 33.2,
+	                "total_median_ms": 240, "best_k": 137, "silhouette": 0.06},
+	               {"strategy": "mdl", "probed_ks": 5, "reduction_x": 99.6,
+	                "total_median_ms": 82, "best_k": 3, "silhouette": 0.05}]}
 	}`
 	if err := Validate([]byte(valid)); err != nil {
 		t.Fatalf("baseline document rejected: %v", err)
 	}
 	cases := map[string]string{
-		"old version":       strings.Replace(valid, "tdac-bench/5", "tdac-bench/4", 1),
+		"old version":       strings.Replace(valid, "tdac-bench/6", "tdac-bench/5", 1),
 		"missing phase":     strings.Replace(valid, `"k-sweep": 1,`, "", 1),
 		"missing index":     strings.Replace(valid, `"index": 1,`, "", 1),
 		"unknown field":     strings.Replace(valid, `"reps": 1,`, `"reps": 1, "surprise": true,`, 1),
@@ -135,6 +142,14 @@ func TestValidateRejectsDrift(t *testing.T) {
 		"zero routed time":  strings.Replace(valid, `"routed_median_ms": 9.8`, `"routed_median_ms": 0`, 1),
 		"router blow-up":    strings.Replace(valid, `"overhead_x": 2.33`, `"overhead_x": 26`, 1),
 		"empty router load": strings.Replace(valid, `"requests": 64`, `"requests": 0`, 1),
+		"missing search":    strings.Replace(valid, `"search": {`, `"search2": {`, 1),
+		"narrow search":     strings.Replace(valid, `"attrs": 500`, `"attrs": 40`, 1),
+		"one strategy only": strings.Replace(valid, `"silhouette": 0.06},
+	               {"strategy": "mdl", "probed_ks": 5, "reduction_x": 99.6,
+	                "total_median_ms": 82, "best_k": 3, "silhouette": 0.05}]}`, `"silhouette": 0.06}]}`, 1),
+		"low reduction":    strings.Replace(valid, `"reduction_x": 33.2`, `"reduction_x": 4.9`, 1),
+		"zero probed ks":   strings.Replace(valid, `"probed_ks": 15`, `"probed_ks": 0`, 1),
+		"zero search time": strings.Replace(valid, `"total_median_ms": 240`, `"total_median_ms": 0`, 1),
 	}
 	for name, doc := range cases {
 		if err := Validate([]byte(doc)); err == nil {

@@ -1,0 +1,257 @@
+package clustering
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dendrogram is the full merge tree of an agglomerative clustering over
+// a shared DistMatrix, built once and cut at any k in O(n) afterwards.
+// TD-AC's sublinear k-search builds one dendrogram per discovery and
+// seeds every probed k-means from the corresponding cut, replacing the
+// per-k k-means++ seeding of the exhaustive sweep.
+//
+// The build runs the nearest-neighbour-chain algorithm with
+// Lance–Williams linkage updates over a working copy of the matrix's
+// flat triangle: O(n²) time and memory, against the O(n³) of the naive
+// closest-pair loop in Agglomerative. NN-chain requires a reducible
+// linkage; single, complete and average (UPGMA) linkage all are, and
+// the merge set it produces is exactly the greedy closest-pair one.
+//
+// Determinism: the build consumes no randomness, chain starts and tie
+// breaks follow ascending cluster index, and cuts label clusters by
+// first point occurrence — the same matrix always yields the same
+// dendrogram and the same cut assignments.
+type Dendrogram struct {
+	n int
+	// merges is the n-1 merge sequence sorted by ascending height, ties
+	// by build order — the order a greedy closest-pair loop would apply
+	// them in. merges[m] joins the trees rooted at points A and B.
+	merges []dendroMerge
+}
+
+// dendroMerge is one merge of the build: the two cluster representatives
+// joined and the linkage distance they were joined at.
+type dendroMerge struct {
+	a, b   int
+	height float64
+	order  int
+}
+
+// N returns the number of points the dendrogram was built over.
+func (d *Dendrogram) N() int { return d.n }
+
+// BuildDendrogram agglomerates the n points of m bottom-up under the
+// given linkage and returns the full merge tree. A nil or empty matrix
+// yields a trivial dendrogram whose cuts are identity assignments.
+func BuildDendrogram(m *DistMatrix, link Linkage) *Dendrogram {
+	if m == nil || m.N < 2 {
+		n := 0
+		if m != nil {
+			n = m.N
+		}
+		return &Dendrogram{n: n}
+	}
+	n := m.N
+	// Working copy of the flat triangle: Lance–Williams updates rewrite
+	// cluster-to-cluster distances in place as merges retire indices.
+	tri := append([]float64(nil), m.Tri...)
+	at := func(i, j int) float64 {
+		if i > j {
+			i, j = j, i
+		}
+		return tri[triIndex(n, i, j)]
+	}
+	set := func(i, j int, v float64) {
+		if i > j {
+			i, j = j, i
+		}
+		tri[triIndex(n, i, j)] = v
+	}
+
+	alive := make([]bool, n)
+	size := make([]int, n)
+	for i := range alive {
+		alive[i] = true
+		size[i] = 1
+	}
+
+	// nearestAlive returns the alive cluster closest to c (smallest
+	// index on ties) and the distance.
+	nearestAlive := func(c int) (int, float64) {
+		best, bestD := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if j == c || !alive[j] {
+				continue
+			}
+			if d := at(c, j); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		return best, bestD
+	}
+
+	merges := make([]dendroMerge, 0, n-1)
+	chain := make([]int, 0, n)
+	for len(merges) < n-1 {
+		if len(chain) == 0 {
+			// Deterministic chain start: the lowest-index alive cluster.
+			for c := 0; c < n; c++ {
+				if alive[c] {
+					chain = append(chain, c)
+					break
+				}
+			}
+		}
+		c := chain[len(chain)-1]
+		prev := -1
+		if len(chain) >= 2 {
+			prev = chain[len(chain)-2]
+		}
+		next, d := nearestAlive(c)
+		if next == prev || (prev >= 0 && at(c, prev) <= d) {
+			// c and prev are reciprocal nearest neighbours: merge them.
+			// (The <= keeps ties with the chain predecessor, matching the
+			// reducibility argument and keeping the chain valid.)
+			lo, hi := prev, c
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			h := at(lo, hi)
+			merges = append(merges, dendroMerge{a: lo, b: hi, height: h, order: len(merges)})
+			// Lance–Williams update: the merged cluster keeps index lo.
+			ni, nj := float64(size[lo]), float64(size[hi])
+			for x := 0; x < n; x++ {
+				if x == lo || x == hi || !alive[x] {
+					continue
+				}
+				dix, djx := at(lo, x), at(hi, x)
+				var dnew float64
+				switch link {
+				case SingleLinkage:
+					dnew = math.Min(dix, djx)
+				case CompleteLinkage:
+					dnew = math.Max(dix, djx)
+				default: // average (UPGMA)
+					dnew = (ni*dix + nj*djx) / (ni + nj)
+				}
+				set(lo, x, dnew)
+			}
+			size[lo] += size[hi]
+			alive[hi] = false
+			// Pop the merged pair; reducibility keeps the rest of the
+			// chain valid (its nearest-neighbour distances only grow
+			// toward the merged cluster).
+			chain = chain[:len(chain)-2]
+		} else {
+			chain = append(chain, next)
+		}
+	}
+
+	// A greedy closest-pair loop applies merges in ascending height; the
+	// NN-chain discovers the same merge set out of order. Sorting by
+	// (height, discovery order) recovers the greedy sequence, which is
+	// what CutAssign truncates.
+	sort.SliceStable(merges, func(i, j int) bool {
+		if merges[i].height != merges[j].height {
+			return merges[i].height < merges[j].height
+		}
+		return merges[i].order < merges[j].order
+	})
+	return &Dendrogram{n: n, merges: merges}
+}
+
+// CutAssign cuts the dendrogram into k clusters by applying the first
+// n-k merges of the greedy sequence and returns one cluster label in
+// [0,k) per point. Labels are canonical: cluster c is the c-th distinct
+// cluster encountered scanning points in ascending index order. k must
+// satisfy 1 <= k <= n.
+func (d *Dendrogram) CutAssign(k int) ([]int, error) {
+	n := d.n
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("%w (k=%d, n=%d)", ErrBadK, k, n)
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for m := 0; m < n-k; m++ {
+		ra, rb := find(d.merges[m].a), find(d.merges[m].b)
+		if ra != rb {
+			// Root toward the smaller index so canonical labelling never
+			// depends on union order.
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	assign := make([]int, n)
+	label := make(map[int]int, k)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		l, ok := label[r]
+		if !ok {
+			l = len(label)
+			label[r] = l
+		}
+		assign[i] = l
+	}
+	return assign, nil
+}
+
+// CutClustering materialises a cut as a full Clustering over the
+// original points: assignments from CutAssign, centroids as cluster
+// means, and both inertia fields accumulated exactly as KMeans reports
+// them — so a dendrogram cut can stand in anywhere a k-means result
+// does.
+func (d *Dendrogram) CutClustering(points [][]float64, k int, dist Distance) (*Clustering, error) {
+	if len(points) != d.n {
+		return nil, fmt.Errorf("cluster: dendrogram built over %d points, got %d", d.n, len(points))
+	}
+	assign, err := d.CutAssign(k)
+	if err != nil {
+		return nil, err
+	}
+	if dist == nil {
+		dist = Euclidean{}
+	}
+	dim := len(points[0])
+	centroids := make([][]float64, k)
+	counts := make([]int, k)
+	for c := range centroids {
+		centroids[c] = make([]float64, dim)
+	}
+	for i, p := range points {
+		c := assign[i]
+		counts[c]++
+		for j, x := range p {
+			centroids[c][j] += x
+		}
+	}
+	for c := range centroids {
+		if counts[c] == 0 {
+			continue
+		}
+		inv := 1 / float64(counts[c])
+		for j := range centroids[c] {
+			centroids[c][j] *= inv
+		}
+	}
+	var inertia, metricInertia float64
+	for i, p := range points {
+		inertia += sqEuclidean(p, centroids[assign[i]])
+		metricInertia += dist.Between(p, centroids[assign[i]])
+	}
+	return &Clustering{K: k, Assign: assign, Centroids: centroids,
+		Inertia: inertia, MetricInertia: metricInertia, Iterations: d.n - k}, nil
+}

@@ -1,0 +1,198 @@
+package clustering
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// canonicalCut renders an assignment as a label-independent partition
+// string so cuts from different algorithms can be compared.
+func canonicalCut(assign []int) string {
+	groups := map[int][]int{}
+	for i, g := range assign {
+		groups[g] = append(groups[g], i)
+	}
+	parts := make([]string, 0, len(groups))
+	for _, members := range groups {
+		strs := make([]string, len(members))
+		for i, m := range members {
+			strs[i] = strconv.Itoa(m)
+		}
+		parts = append(parts, strings.Join(strs, ","))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+func randomPoints(rng *rand.Rand, n, dim int) [][]float64 {
+	points := make([][]float64, n)
+	for i := range points {
+		points[i] = make([]float64, dim)
+		for j := range points[i] {
+			points[i][j] = rng.Float64()
+		}
+	}
+	return points
+}
+
+// Continuous random points make pairwise distances distinct with
+// probability 1, so the NN-chain's merge set must match the naive
+// greedy closest-pair loop of Agglomerative at every cut level.
+func TestDendrogramMatchesNaiveAgglomerative(t *testing.T) {
+	for _, link := range []Linkage{AverageLinkage, SingleLinkage, CompleteLinkage} {
+		t.Run(link.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(42 + int(link))))
+			for trial := 0; trial < 5; trial++ {
+				n := 5 + rng.Intn(12)
+				points := randomPoints(rng, n, 3)
+				m := NewDistMatrix(points, Euclidean{})
+				dend := BuildDendrogram(m, link)
+				naive := &Agglomerative{Linkage: link, Distance: Euclidean{}}
+				for k := 1; k <= n; k++ {
+					assign, err := dend.CutAssign(k)
+					if err != nil {
+						t.Fatalf("trial %d: CutAssign(%d): %v", trial, k, err)
+					}
+					ref, err := naive.Cluster(points, k)
+					if err != nil {
+						t.Fatalf("trial %d: naive Cluster(%d): %v", trial, k, err)
+					}
+					if got, want := canonicalCut(assign), canonicalCut(ref.Assign); got != want {
+						t.Fatalf("trial %d, k=%d: dendrogram cut %s, naive %s", trial, k, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDendrogramCutProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Binary vectors with heavy ties, the regime the k-search runs in.
+	n, dim := 20, 33
+	points := make([][]float64, n)
+	for i := range points {
+		points[i] = make([]float64, dim)
+		for j := range points[i] {
+			points[i][j] = float64(rng.Intn(2))
+		}
+	}
+	packed, ok := PackBinary(points)
+	if !ok {
+		t.Fatal("PackBinary rejected binary vectors")
+	}
+	m := NewDistMatrixPacked(packed)
+	dend := BuildDendrogram(m, AverageLinkage)
+	if dend.N() != n {
+		t.Fatalf("N() = %d, want %d", dend.N(), n)
+	}
+	for k := 1; k <= n; k++ {
+		assign, err := dend.CutAssign(k)
+		if err != nil {
+			t.Fatalf("CutAssign(%d): %v", k, err)
+		}
+		seen := map[int]bool{}
+		nextLabel := 0
+		for i, g := range assign {
+			if g < 0 || g >= k {
+				t.Fatalf("k=%d: point %d labelled %d, want [0,%d)", k, i, g, k)
+			}
+			// Canonical labelling: labels appear in ascending first-use order.
+			if !seen[g] {
+				if g != nextLabel {
+					t.Fatalf("k=%d: new label %d at point %d, want %d (first-occurrence order)", k, g, i, nextLabel)
+				}
+				seen[g] = true
+				nextLabel++
+			}
+		}
+		if len(seen) != k {
+			t.Fatalf("k=%d: cut produced %d non-empty clusters", k, len(seen))
+		}
+	}
+	// Cuts must be nested: the k-cut refines the (k-1)-cut.
+	prev, _ := dend.CutAssign(1)
+	for k := 2; k <= n; k++ {
+		cur, _ := dend.CutAssign(k)
+		// Two points together at k must be together at k-1.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if cur[i] == cur[j] && prev[i] != prev[j] {
+					t.Fatalf("k=%d: points %d,%d share a cluster but are split at k=%d", k, i, j, k-1)
+				}
+			}
+		}
+		prev = cur
+	}
+	// Same matrix, same dendrogram, same cuts — bit-identical.
+	dend2 := BuildDendrogram(m, AverageLinkage)
+	for k := 1; k <= n; k++ {
+		a1, _ := dend.CutAssign(k)
+		a2, _ := dend2.CutAssign(k)
+		if !reflect.DeepEqual(a1, a2) {
+			t.Fatalf("k=%d: rebuilt dendrogram cut differs", k)
+		}
+	}
+}
+
+func TestDendrogramCutClustering(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	points := randomPoints(rng, 14, 4)
+	m := NewDistMatrix(points, Euclidean{})
+	dend := BuildDendrogram(m, AverageLinkage)
+	c, err := dend.CutClustering(points, 3, Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K != 3 || len(c.Assign) != len(points) || len(c.Centroids) != 3 {
+		t.Fatalf("CutClustering shape: K=%d, |assign|=%d, |centroids|=%d", c.K, len(c.Assign), len(c.Centroids))
+	}
+	if c.Inertia <= 0 || c.MetricInertia <= 0 {
+		t.Fatalf("CutClustering inertia %v / %v, want positive", c.Inertia, c.MetricInertia)
+	}
+	if _, err := dend.CutClustering(points[:5], 3, nil); err == nil {
+		t.Error("CutClustering accepted a point count differing from the build")
+	}
+	if _, err := dend.CutAssign(0); err == nil {
+		t.Error("CutAssign(0) accepted")
+	}
+	if _, err := dend.CutAssign(len(points) + 1); err == nil {
+		t.Error("CutAssign(n+1) accepted")
+	}
+}
+
+func TestDendrogramDegenerate(t *testing.T) {
+	// nil and single-point matrices yield trivial dendrograms.
+	d := BuildDendrogram(nil, AverageLinkage)
+	if d.N() != 0 {
+		t.Fatalf("nil matrix: N() = %d", d.N())
+	}
+	one := &DistMatrix{N: 1}
+	d = BuildDendrogram(one, AverageLinkage)
+	assign, err := d.CutAssign(1)
+	if err != nil || len(assign) != 1 || assign[0] != 0 {
+		t.Fatalf("single point: assign=%v err=%v", assign, err)
+	}
+	// All-identical points: every distance ties at zero; the cut must
+	// still produce exactly k canonical clusters.
+	points := [][]float64{{1, 0}, {1, 0}, {1, 0}, {1, 0}, {1, 0}}
+	m := NewDistMatrix(points, Euclidean{})
+	d = BuildDendrogram(m, AverageLinkage)
+	for k := 1; k <= len(points); k++ {
+		assign, err := d.CutAssign(k)
+		if err != nil {
+			t.Fatalf("identical points, k=%d: %v", k, err)
+		}
+		labels := map[int]bool{}
+		for _, g := range assign {
+			labels[g] = true
+		}
+		if len(labels) != k {
+			t.Fatalf("identical points, k=%d: %d clusters", k, len(labels))
+		}
+	}
+}

@@ -66,6 +66,15 @@ type KMeans struct {
 	// Results are identical either way; the flag exists so equivalence
 	// tests and benchmarks can pin the unaccelerated path.
 	DisableAccel bool
+	// InitAssign, when non-nil, warm-starts Lloyd from a caller-supplied
+	// assignment instead of the Init seeding: each initial centroid is
+	// the mean of its assigned points. It must cover every point passed
+	// to Cluster (len == n) with labels in [0,k), every label used at
+	// least once. A warm start is fully deterministic — it overrides
+	// Init, consumes no randomness and forces a single restart — which
+	// is what lets TD-AC's k-search seed each probed k from one shared
+	// dendrogram cut and stay bit-identical across reruns.
+	InitAssign []int
 }
 
 // Clustering is the outcome of one k-means run.
@@ -128,6 +137,24 @@ func (km *KMeans) Cluster(points [][]float64, k int) (*Clustering, error) {
 	}
 	if km.Init == InitFirstK {
 		restarts = 1
+	}
+	if km.InitAssign != nil {
+		if len(km.InitAssign) != len(points) {
+			return nil, fmt.Errorf("cluster: InitAssign covers %d points, got %d", len(km.InitAssign), len(points))
+		}
+		used := make([]bool, k)
+		for i, g := range km.InitAssign {
+			if g < 0 || g >= k {
+				return nil, fmt.Errorf("cluster: InitAssign[%d] = %d outside [0,%d)", i, g, k)
+			}
+			used[g] = true
+		}
+		for g, u := range used {
+			if !u {
+				return nil, fmt.Errorf("cluster: InitAssign leaves cluster %d empty", g)
+			}
+		}
+		restarts = 1 // the warm start is deterministic; restarts would repeat it
 	}
 	seed := km.Seed
 	if seed == 0 {
@@ -249,6 +276,28 @@ func (km *KMeans) run(points [][]float64, k, maxIter int, rng *rand.Rand, dist D
 func (km *KMeans) initCentroids(points [][]float64, k int, rng *rand.Rand) [][]float64 {
 	dim := len(points[0])
 	centroids := make([][]float64, k)
+	if km.InitAssign != nil {
+		// Warm start: centroids are the means of the supplied assignment
+		// (validated in Cluster — full cover, no empty labels).
+		counts := make([]int, k)
+		for c := range centroids {
+			centroids[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := km.InitAssign[i]
+			counts[c]++
+			for j, x := range p {
+				centroids[c][j] += x
+			}
+		}
+		for c := range centroids {
+			inv := 1 / float64(counts[c])
+			for j := range centroids[c] {
+				centroids[c][j] *= inv
+			}
+		}
+		return centroids
+	}
 	switch km.Init {
 	case InitFirstK:
 		for c := 0; c < k; c++ {

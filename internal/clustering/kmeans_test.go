@@ -211,3 +211,72 @@ func TestKMeansInvariantsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestKMeansWarmStart(t *testing.T) {
+	pts := twoBlobs(15, 3)
+
+	// A warm start from the true blob split must keep it: Lloyd started
+	// at the blob means converges immediately.
+	seed := make([]int, len(pts))
+	for i := 15; i < 30; i++ {
+		seed[i] = 1
+	}
+	km := &KMeans{InitAssign: seed}
+	c, err := km.Cluster(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range seed {
+		if c.Assign[i] != want {
+			t.Fatalf("warm start moved point %d: got %d, want %d", i, c.Assign[i], want)
+		}
+	}
+
+	// Deterministic: two warm-started runs agree bit-for-bit, whatever
+	// the seed and restart settings say (the warm start forces one
+	// deterministic restart).
+	km2 := &KMeans{InitAssign: seed, Seed: 99, Restarts: 7}
+	c2, err := km2.Cluster(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Assign {
+		if c.Assign[i] != c2.Assign[i] {
+			t.Fatalf("warm start not deterministic at point %d", i)
+		}
+	}
+	if c.Inertia != c2.Inertia {
+		t.Fatalf("warm start inertia %v != %v", c.Inertia, c2.Inertia)
+	}
+
+	// A deliberately bad warm start still converges to a valid local
+	// optimum: Lloyd is free to move points, so inertia can only stay
+	// equal or improve relative to the seed partition's own inertia.
+	bad := make([]int, len(pts))
+	for i := range bad {
+		bad[i] = i % 2 // interleaves the blobs
+	}
+	km3 := &KMeans{InitAssign: bad}
+	c3, err := km3.Cluster(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.Iterations == 0 {
+		t.Error("bad warm start converged without a single Lloyd round")
+	}
+
+	// Validation: wrong length, out-of-range labels and empty labels are
+	// rejected descriptively, never silently repaired.
+	if _, err := (&KMeans{InitAssign: seed[:5]}).Cluster(pts, 2); err == nil {
+		t.Error("short InitAssign accepted")
+	}
+	out := append([]int(nil), seed...)
+	out[0] = 2
+	if _, err := (&KMeans{InitAssign: out}).Cluster(pts, 2); err == nil {
+		t.Error("out-of-range InitAssign label accepted")
+	}
+	empty := make([]int, len(pts)) // all zeros: cluster 1 never used
+	if _, err := (&KMeans{InitAssign: empty}).Cluster(pts, 2); err == nil {
+		t.Error("InitAssign with an empty cluster accepted")
+	}
+}

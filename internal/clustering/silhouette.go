@@ -156,7 +156,16 @@ func SilhouettesFromMatrix(d [][]float64, assign []int, k int) []float64 {
 // arbitrary k (the divergence the verification harness pinned). A curve
 // whose very first step does not decrease yields kMin; a curve that never
 // flattens yields the largest explored k.
+//
+// threshold must be positive: a non-positive (or NaN) value would make
+// every flat, zero-drop tail segment count as "significant"
+// (0 >= 0·firstDrop), silently turning flat curves into a vote for the
+// largest explored k. Such values are clamped to the documented default
+// 0.1 instead.
 func ElbowK(inertias []float64, kMin int, threshold float64) int {
+	if !(threshold > 0) {
+		threshold = 0.1
+	}
 	if len(inertias) < 2 {
 		return kMin
 	}

@@ -153,6 +153,16 @@ func TestElbowKNonMonotone(t *testing.T) {
 		// Two-point curves: one drop, elbow right after it.
 		{"two-points-drop", []float64{100, 10}, 2, 0.1, 3},
 		{"two-points-flat", []float64{10, 10}, 2, 0.1, 2},
+		// Non-positive thresholds clamp to the 0.1 default instead of
+		// making every flat tail "significant". The regression: with
+		// threshold 0 a zero drop satisfied `0 >= 0·firstDrop`, so this
+		// long flat tail returned the largest explored k (7) instead of
+		// the elbow at 3.
+		{"zero-threshold-flat-tail", []float64{100, 20, 20, 20, 20, 20}, 2, 0, 3},
+		{"negative-threshold-flat-tail", []float64{100, 20, 20, 20, 20, 20}, 2, -1, 3},
+		{"nan-threshold-flat-tail", []float64{100, 20, 20, 20, 20, 20}, 2, math.NaN(), 3},
+		// The clamp keeps behaving like an explicit 0.1 on a sloped curve.
+		{"zero-threshold-matches-default", []float64{100, 50, 25, 12}, 2, 0, 5},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

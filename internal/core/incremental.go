@@ -319,6 +319,9 @@ func (t *TDAC) RunWithState(ctx context.Context, d *truthdata.Dataset, st *Incre
 	if err := incrementalCompatible(t); err != nil {
 		return nil, err
 	}
+	if _, err := t.resolveSearch(); err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -339,17 +342,23 @@ func (t *TDAC) RunWithState(ctx context.Context, d *truthdata.Dataset, st *Incre
 	})
 
 	nAttrs := d.NumAttrs()
-	minK, maxK := t.kRange(nAttrs)
+	minK, maxK, err := t.kRange(nAttrs)
+	if err != nil {
+		return nil, err
+	}
 	var (
 		part     partition.Partition
 		sil      float64
 		explored []KScore
-		err      error
 	)
 	if minK > maxK {
 		part = partition.Whole(nAttrs)
 	} else {
-		part, sil, explored, err = t.sweepPartition(ctx, g, minK, maxK)
+		// The shared strategy dispatch: the maintained geometry feeds the
+		// exhaustive sweep or the sublinear search exactly as a cold run's
+		// freshly built geometry would, keeping warm-vs-cold bit-identity
+		// under every Search strategy.
+		part, sil, explored, err = t.selectOverGeometry(ctx, g, minK, maxK)
 		if err != nil {
 			return nil, err
 		}

@@ -148,6 +148,78 @@ func TestIncrementalMatchesColdAcrossAppends(t *testing.T) {
 	}
 }
 
+// TestIncrementalSearchMatchesCold re-runs the incremental-vs-cold
+// contract under both sublinear k-search strategies: the warm state
+// hands the search the same geometry a fresh build would, so the
+// dendrogram, the probed ks, and the final outcome must all be
+// bit-identical to a cold run with the same strategy.
+func TestIncrementalSearchMatchesCold(t *testing.T) {
+	g, err := synth.Generate(synth.Config{
+		Name:           "incr-search",
+		Attrs:          24,
+		Objects:        30,
+		Sources:        8,
+		GroupSizes:     []int{6, 6, 6, 6},
+		M1:             1,
+		M2:             0,
+		M3:             0.9,
+		FalseValues:    20,
+		DistractorProb: 0.3,
+		Coverage:       1,
+		Seed:           19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strategy := range []string{SearchGolden, SearchMDL} {
+		t.Run(strategy, func(t *testing.T) {
+			ctx := context.Background()
+			st := NewIncrementalState()
+			rng := rand.New(rand.NewSource(11))
+			cur := g.Dataset
+			for v := 0; v < 3; v++ {
+				searchTDAC := func() *TDAC {
+					td := incrementalTDAC()
+					td.Search = strategy
+					return td
+				}
+				cold, err := searchTDAC().RunContext(ctx, cur)
+				if err != nil {
+					t.Fatalf("cold %s run on version %d: %v", strategy, v, err)
+				}
+				incr, err := searchTDAC().RunWithState(ctx, cur, st)
+				if err != nil {
+					t.Fatalf("incremental %s run on version %d: %v", strategy, v, err)
+				}
+				assertOutcomesIdentical(t, fmt.Sprintf("%s v%d", strategy, v), cold, incr)
+				if len(cold.Explored) >= cur.NumAttrs()-2 {
+					t.Fatalf("%s v%d probed %d ks — degenerated into the exhaustive sweep", strategy, v, len(cold.Explored))
+				}
+
+				batch := make([]truthdata.Claim, 0, 2)
+				for i := 0; i < 2; i++ {
+					c := cur.Claims[rng.Intn(len(cur.Claims))]
+					c.Source = truthdata.SourceID(rng.Intn(len(cur.Sources)))
+					if rng.Intn(2) == 0 {
+						c.Value = "contested"
+					}
+					if hasConflict(cur, batch, c) {
+						continue
+					}
+					batch = append(batch, c)
+				}
+				cur = extendDataset(cur, nil, nil, nil, batch)
+				if err := cur.Validate(); err != nil {
+					t.Fatalf("version %d invalid: %v", v+1, err)
+				}
+			}
+			if c := st.Counters(); c.Primes != 1 {
+				t.Errorf("Primes = %d, want 1 (search must not force re-priming)", c.Primes)
+			}
+		})
+	}
+}
+
 // hasConflict reports whether adding c to cur+batch would give one
 // source two different values for a cell (an invalid dataset).
 func hasConflict(cur *truthdata.Dataset, batch []truthdata.Claim, c truthdata.Claim) bool {

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"tdac/internal/clustering"
+	"tdac/internal/obs"
+	"tdac/internal/partition"
+)
+
+// This file implements the sublinear k-selection strategies behind the
+// Search field (DESIGN.md §16). Both replace the exhaustive sweep's
+// |MaxK-MinK+1| clusterings with a handful of probes:
+//
+//   - one agglomerative dendrogram is built from the already-shared
+//     distance matrix (NN-chain UPGMA, O(|A|²)), and every probed
+//     k-means is warm-started from the corresponding dendrogram cut
+//     instead of running k-means++ restarts from scratch;
+//   - "golden" narrows a golden-section bracket over the silhouette-vs-k
+//     curve and stops early once an envelope bound proves the remaining
+//     bracket cannot beat the incumbent by more than searchEpsilon;
+//   - "mdl" scans k ascending and stops once an MDL-style description
+//     length has not improved for searchPatience consecutive ks.
+//
+// Either way the selected partition is the best silhouette among the
+// probed ks, so the verify harness can hold both strategies to the same
+// oracle: within epsilon of the exhaustive sweep's best silhouette.
+//
+// Determinism: the dendrogram build, the cuts, the warm-started Lloyd
+// runs (single restart, no randomness consumed) and the bracket
+// arithmetic use nothing but the geometry, so a search is bit-identical
+// across reruns and across the cold and incremental paths.
+
+const (
+	// searchEpsilon is the envelope slack of the golden strategy: the
+	// bracket is abandoned when its estimated best achievable silhouette
+	// cannot beat the incumbent by more than this.
+	searchEpsilon = 1e-3
+	// searchPatience is how many consecutive non-improving ks the MDL
+	// scan tolerates before stopping.
+	searchPatience = 4
+)
+
+// kProbe is one memoized probe of the search: the warm-started
+// clustering of one k and its silhouette.
+type kProbe struct {
+	clustering *clustering.Clustering
+	sil        float64
+	dur        time.Duration
+}
+
+// searchPartition selects a partition over [minK, maxK] with a
+// sublinear strategy (SearchGolden or SearchMDL) instead of the
+// exhaustive sweep. The Explored table carries only the probed ks,
+// ascending — consumers must read each entry's K, the range has holes.
+func (t *TDAC) searchPartition(ctx context.Context, g *geometry, minK, maxK int, strategy string) (partition.Partition, float64, []KScore, error) {
+	rec := t.Recorder
+	sweepDone := rec.Phase(obs.PhaseKSweep)
+
+	// One dendrogram for every probe. Average linkage mirrors the mean
+	// pairwise geometry the silhouette scores.
+	dend := clustering.BuildDendrogram(g.distMatrix, clustering.AverageLinkage)
+
+	probes := make(map[int]*kProbe)
+	probe := func(k int) (*kProbe, error) {
+		if p, ok := probes[k]; ok {
+			return p, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var t0 time.Time
+		if rec.Enabled() {
+			t0 = time.Now()
+		}
+		seedAssign, err := dend.CutAssign(k)
+		if err != nil {
+			return nil, fmt.Errorf("core: dendrogram cut at k=%d: %w", k, err)
+		}
+		km := t.KMeans
+		km.Distance = g.dist
+		km.InitAssign = seedAssign
+		c, err := km.Cluster(g.tv.Vectors, k)
+		if err != nil {
+			return nil, fmt.Errorf("core: clustering with k=%d: %w", k, err)
+		}
+		p := &kProbe{clustering: c, sil: clustering.SilhouetteFromDistMatrix(g.distMatrix, c.Assign, k)}
+		rec.KDone(k, p.sil)
+		if rec.Enabled() {
+			p.dur = time.Since(t0)
+		}
+		probes[k] = p
+		return p, nil
+	}
+
+	var err error
+	switch strategy {
+	case SearchGolden:
+		err = goldenSearch(probe, minK, maxK)
+	case SearchMDL:
+		err = mdlSearch(probe, minK, maxK, len(g.tv.Vectors), g.tv.Dim)
+	default:
+		err = fmt.Errorf("core: searchPartition does not implement strategy %q", strategy)
+	}
+	if err != nil {
+		return nil, 0, nil, err
+	}
+
+	// Resolve the best silhouette in ascending k — the same tie-break
+	// (smallest k wins) as the exhaustive sweep — and assemble the
+	// Explored table from the probes.
+	ks := make([]int, 0, len(probes))
+	for k := range probes {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	var (
+		best     partition.Partition
+		bestSil  float64
+		haveBest bool
+		explored []KScore
+	)
+	for _, k := range ks {
+		p := probes[k]
+		explored = append(explored, KScore{K: k, Silhouette: p.sil, Inertia: p.clustering.Inertia})
+		if !haveBest || p.sil > bestSil {
+			haveBest = true
+			bestSil = p.sil
+			best = partition.FromAssign(p.clustering.Assign, k)
+		}
+	}
+	sweepDone()
+	if rec.Enabled() {
+		seed := t.KMeans.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		maxIter := t.KMeans.MaxIterations
+		if maxIter == 0 {
+			maxIter = 100
+		}
+		ss := obs.SweepStats{
+			Seed:     seed,
+			Workers:  1, // the search is adaptive, probes run sequentially
+			MinK:     minK,
+			MaxK:     maxK,
+			Strategy: strategy,
+			Ks:       make([]obs.KStats, 0, len(ks)),
+		}
+		for _, k := range ks {
+			p := probes[k]
+			ss.Duration += p.dur
+			ss.Ks = append(ss.Ks, obs.KStats{
+				K:          k,
+				Duration:   p.dur,
+				Iterations: p.clustering.Iterations,
+				Converged:  p.clustering.Iterations < maxIter,
+				Silhouette: p.sil,
+				Inertia:    p.clustering.Inertia,
+			})
+		}
+		// Every probed silhouette read the shared matrix; the warm start
+		// replaces k-means++ seeding entirely, so no seeded runs.
+		rec.SweepDone(ss, obs.CacheStats{SilhouetteEvals: len(ks)})
+	}
+	return best, bestSil, explored, nil
+}
+
+// goldenSearch narrows a golden-section bracket over the silhouette-vs-k
+// curve. Silhouette-vs-k is treated as approximately unimodal — true on
+// clusterable geometries, where cohesion rises toward the natural group
+// count and falls as groups shatter — and the search carries an envelope
+// early stop guarding the cost side: the largest silhouette slope
+// observed between probed neighbours acts as an empirical Lipschitz
+// estimate L, and once max(f(lo), f(hi)) + L·(hi-lo)/2 cannot beat the
+// incumbent by searchEpsilon, no point of the remaining bracket can
+// plausibly win and the search stops.
+func goldenSearch(probe func(int) (*kProbe, error), minK, maxK int) error {
+	lo, hi := minK, maxK
+	plo, err := probe(lo)
+	if err != nil {
+		return err
+	}
+	phi, err := probe(hi)
+	if err != nil {
+		return err
+	}
+	if hi-lo < 2 {
+		return nil
+	}
+
+	// incumbent and slope estimate over everything probed so far.
+	type probed struct {
+		k   int
+		sil float64
+	}
+	seen := []probed{{lo, plo.sil}, {hi, phi.sil}}
+	incumbent := math.Max(plo.sil, phi.sil)
+	note := func(k int, p *kProbe) {
+		seen = append(seen, probed{k, p.sil})
+		if p.sil > incumbent {
+			incumbent = p.sil
+		}
+	}
+	slope := func() float64 {
+		sort.Slice(seen, func(i, j int) bool { return seen[i].k < seen[j].k })
+		L := 0.0
+		for i := 1; i < len(seen); i++ {
+			dk := float64(seen[i].k - seen[i-1].k)
+			if dk == 0 {
+				continue
+			}
+			if s := math.Abs(seen[i].sil-seen[i-1].sil) / dk; s > L {
+				L = s
+			}
+		}
+		return L
+	}
+
+	const invphi = 0.6180339887498949 // (√5−1)/2
+	for hi-lo > 3 {
+		span := float64(hi - lo)
+		m1 := hi - int(math.Round(invphi*span))
+		m2 := lo + int(math.Round(invphi*span))
+		if m1 <= lo {
+			m1 = lo + 1
+		}
+		if m2 >= hi {
+			m2 = hi - 1
+		}
+		if m2 <= m1 {
+			m2 = m1 + 1
+		}
+		p1, err := probe(m1)
+		if err != nil {
+			return err
+		}
+		p2, err := probe(m2)
+		if err != nil {
+			return err
+		}
+		note(m1, p1)
+		note(m2, p2)
+		// Keep the half whose interior probe scores higher; ties keep the
+		// lower half so the final tie-break toward small k stays reachable.
+		if p1.sil >= p2.sil {
+			hi = m2
+		} else {
+			lo = m1
+		}
+		flo, err := probe(lo)
+		if err != nil {
+			return err
+		}
+		fhi, err := probe(hi)
+		if err != nil {
+			return err
+		}
+		note(lo, flo)
+		note(hi, fhi)
+		// Envelope stop: with slope estimate L, no k inside (lo,hi) can
+		// exceed its nearer bracket endpoint by more than L·(hi-lo)/2.
+		bound := math.Max(flo.sil, fhi.sil) + slope()*float64(hi-lo)/2
+		if bound <= incumbent+searchEpsilon {
+			return nil
+		}
+	}
+	// Exhaust the final (≤ 4-wide) bracket.
+	for k := lo + 1; k < hi; k++ {
+		if _, err := probe(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mdlSearch scans k ascending under an MDL-style stopping rule: the
+// description length of the clustering — a data term for the
+// within-cluster spread plus a model term growing with k —
+//
+//	DL(k) = (n·d/2)·ln(max(inertia/(n·d), εvar)) + (k·d/2)·ln(n)
+//
+// is tracked, and the scan stops once DL has not improved for
+// searchPatience consecutive ks (or the range is exhausted). This
+// mirrors the MDL-scored efficient-partition-discovery recipe: model
+// cost buys spread reduction only while the data supports more groups.
+// Selection afterwards is still by silhouette among the probed prefix,
+// holding this strategy to the same oracle as the others.
+func mdlSearch(probe func(int) (*kProbe, error), minK, maxK, n, dim int) error {
+	if n < 1 || dim < 1 {
+		return fmt.Errorf("core: mdl search over degenerate geometry (%d points, dim %d)", n, dim)
+	}
+	nd := float64(n * dim)
+	dl := func(k int, p *kProbe) float64 {
+		variance := p.clustering.Inertia / nd
+		if variance < 1e-12 {
+			variance = 1e-12 // an exact fit would send the data term to -∞
+		}
+		return 0.5*nd*math.Log(variance) + 0.5*float64(k*dim)*math.Log(float64(n))
+	}
+	bestDL := math.Inf(1)
+	stale := 0
+	for k := minK; k <= maxK; k++ {
+		p, err := probe(k)
+		if err != nil {
+			return err
+		}
+		if s := dl(k, p); s < bestDL {
+			bestDL = s
+			stale = 0
+		} else {
+			stale++
+			if stale >= searchPatience {
+				return nil
+			}
+		}
+	}
+	return nil
+}

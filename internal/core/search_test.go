@@ -1,0 +1,187 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tdac/internal/algorithms"
+	"tdac/internal/clustering"
+	"tdac/internal/synth"
+)
+
+// wideDS builds a dataset with enough attributes that the sublinear
+// strategies have room to skip ks: 40 attrs in 4 planted groups give an
+// exhaustive range of [2,39] = 38 candidate ks.
+func wideDS(t testing.TB) *synth.Generated {
+	t.Helper()
+	g, err := synth.Generate(synth.Config{
+		Name:       "wide",
+		Attrs:      40,
+		Objects:    60,
+		Sources:    10,
+		GroupSizes: []int{10, 10, 10, 10},
+		M1:         1, M2: 0, M3: 0.9,
+		FalseValues:    50,
+		DistractorProb: 0.3,
+		Coverage:       1,
+		Seed:           71,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func runSearch(t *testing.T, g *synth.Generated, strategy string) *Outcome {
+	t.Helper()
+	tdac := New(algorithms.NewMajorityVote())
+	tdac.Search = strategy
+	out, err := tdac.Run(g.Dataset)
+	if err != nil {
+		t.Fatalf("Search=%q: %v", strategy, err)
+	}
+	return out
+}
+
+func TestSearchMatchesExhaustiveOracle(t *testing.T) {
+	g := wideDS(t)
+	full := runSearch(t, g, SearchExhaustive)
+	wantKs := len(g.Dataset.Attrs) - 2 // k ∈ [2, |A|-1]
+	if len(full.Explored) != wantKs {
+		t.Fatalf("exhaustive probed %d ks, want %d", len(full.Explored), wantKs)
+	}
+	for _, strategy := range []string{SearchGolden, SearchMDL} {
+		out := runSearch(t, g, strategy)
+		// The search must land on (at least) the exhaustive optimum —
+		// probes are warm-started, so the silhouette at the best k can
+		// only match or exceed the cold-seeded sweep's.
+		if out.Silhouette < full.Silhouette-1e-9 {
+			t.Errorf("%s silhouette %v below exhaustive %v", strategy, out.Silhouette, full.Silhouette)
+		}
+		if !out.Partition.Equal(g.Planted) {
+			t.Errorf("%s partition %s != planted %s", strategy, out.Partition, g.Planted)
+		}
+		if len(out.Explored) >= len(full.Explored) {
+			t.Errorf("%s probed %d ks, no fewer than exhaustive %d", strategy, len(out.Explored), len(full.Explored))
+		}
+	}
+}
+
+func TestSearchExploredAscendingWithHoles(t *testing.T) {
+	g := wideDS(t)
+	for _, strategy := range []string{SearchGolden, SearchMDL} {
+		out := runSearch(t, g, strategy)
+		last := 1
+		for i, ks := range out.Explored {
+			if ks.K <= last {
+				t.Fatalf("%s Explored[%d].K = %d not ascending past %d", strategy, i, ks.K, last)
+			}
+			if ks.K < 2 || ks.K > len(g.Dataset.Attrs)-1 {
+				t.Fatalf("%s probed out-of-range k=%d", strategy, ks.K)
+			}
+			last = ks.K
+		}
+	}
+}
+
+func TestSearchMDLProbesPrefix(t *testing.T) {
+	// The MDL scan walks k ascending and stops; its probe set must be a
+	// contiguous prefix of the range.
+	out := runSearch(t, wideDS(t), SearchMDL)
+	for i, ks := range out.Explored {
+		if ks.K != i+2 {
+			t.Fatalf("Explored[%d].K = %d, want contiguous prefix value %d", i, ks.K, i+2)
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	g := wideDS(t)
+	for _, strategy := range []string{SearchGolden, SearchMDL} {
+		a := runSearch(t, g, strategy)
+		b := runSearch(t, g, strategy)
+		if !a.Partition.Equal(b.Partition) || a.Silhouette != b.Silhouette {
+			t.Fatalf("%s is not deterministic", strategy)
+		}
+		if len(a.Explored) != len(b.Explored) {
+			t.Fatalf("%s probe sets differ across runs", strategy)
+		}
+		for i := range a.Explored {
+			if a.Explored[i] != b.Explored[i] {
+				t.Fatalf("%s Explored[%d] differs: %+v vs %+v", strategy, i, a.Explored[i], b.Explored[i])
+			}
+		}
+	}
+}
+
+func TestSearchRecoversPlantedOnSmallRange(t *testing.T) {
+	// DS2 has only 6 attrs (k range [2,5]); the strategies must still
+	// land on the planted 3-group partition.
+	d, planted := smallDS1(t)
+	for _, strategy := range []string{SearchGolden, SearchMDL} {
+		tdac := New(algorithms.NewMajorityVote())
+		tdac.Search = strategy
+		out, err := tdac.Run(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Partition.Equal(planted) {
+			t.Errorf("%s partition %s != planted %s", strategy, out.Partition, planted)
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	d, _ := smallDS1(t)
+
+	unknown := New(algorithms.NewMajorityVote())
+	unknown.Search = "bisect"
+	if _, err := unknown.Run(d); err == nil || !strings.Contains(err.Error(), "unknown Search") {
+		t.Errorf("unknown strategy: err = %v", err)
+	}
+
+	masked := New(algorithms.NewMajorityVote())
+	masked.Search = SearchGolden
+	masked.Masked = true
+	if _, err := masked.Run(d); err == nil || !strings.Contains(err.Error(), "Masked") {
+		t.Errorf("masked + search: err = %v", err)
+	}
+
+	custom := New(algorithms.NewMajorityVote())
+	custom.Search = SearchMDL
+	custom.Clusterer = &clustering.Agglomerative{Linkage: clustering.AverageLinkage, Distance: clustering.Hamming{}}
+	if _, err := custom.Run(d); err == nil || !strings.Contains(err.Error(), "KMeans") {
+		t.Errorf("custom clusterer + search: err = %v", err)
+	}
+}
+
+func TestKRangeValidation(t *testing.T) {
+	d, _ := smallDS1(t)
+	cases := []struct {
+		name       string
+		minK, maxK int
+		wantErr    string
+	}{
+		{"negative-min", -1, 0, "cannot be negative"},
+		{"negative-max", 0, -3, "cannot be negative"},
+		{"inverted", 5, 3, "inverted k range"},
+		{"min-beyond-attrs", 9, 0, "largest usable cluster count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tdac := New(algorithms.NewMajorityVote())
+			tdac.MinK = tc.minK
+			tdac.MaxK = tc.maxK
+			_, err := tdac.Run(d)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("MinK=%d MaxK=%d: err = %v, want %q", tc.minK, tc.maxK, err, tc.wantErr)
+			}
+		})
+	}
+	// MaxK beyond |A|-1 stays legal: it clips, it does not error.
+	clip := New(algorithms.NewMajorityVote())
+	clip.MaxK = 100
+	if _, err := clip.Run(d); err != nil {
+		t.Errorf("MaxK beyond range should clip, got %v", err)
+	}
+}

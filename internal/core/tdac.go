@@ -43,7 +43,29 @@ type TDAC struct {
 	Clusterer clustering.Clusterer
 	// MinK and MaxK bound the explored cluster counts. Defaults follow
 	// Algorithm 1: [2, |A|-1]. MaxK may exceed |A|-1; it is clipped.
+	// Negative bounds, an explicitly inverted pair, or an explicit MinK
+	// no dataset attribute count can satisfy are rejected with an error
+	// (they used to skip the sweep silently and return the whole set as
+	// if it had been chosen).
 	MinK, MaxK int
+	// Search selects the k-selection strategy over [MinK, MaxK]:
+	//
+	//   - "" or SearchExhaustive: the paper's exhaustive sweep — every k
+	//     is clustered and scored (bit-identical to all prior releases);
+	//   - SearchGolden: golden-section search over the silhouette-vs-k
+	//     curve with an envelope early stop, seeding each probed k-means
+	//     from a cut of one shared agglomerative dendrogram;
+	//   - SearchMDL: ascending scan with an MDL-based patience stopping
+	//     rule, same dendrogram warm start.
+	//
+	// Both sublinear strategies probe O(log(MaxK-MinK)) to O(best k)
+	// cluster counts instead of all of them and leave holes in the
+	// Explored table; the selected partition is still the best
+	// silhouette among the probed ks. They require the built-in KMeans
+	// clusterer and an unmasked encoding (the dendrogram warm start
+	// averages points into centroids, which mask markers do not
+	// survive). See DESIGN.md §16.
+	Search string
 	// Masked switches the truth vectors and default distance to the
 	// sparse-aware encoding (future-work item (i)).
 	Masked bool
@@ -122,6 +144,35 @@ type Outcome struct {
 }
 
 var errNoBase = errors.New("core: TDAC requires a Base algorithm")
+
+// The k-selection strategies of the Search field.
+const (
+	// SearchExhaustive scores every k in [MinK, MaxK] (the default).
+	SearchExhaustive = "exhaustive"
+	// SearchGolden is golden-section search with an envelope early stop.
+	SearchGolden = "golden"
+	// SearchMDL is an ascending scan with an MDL patience stopping rule.
+	SearchMDL = "mdl"
+)
+
+// resolveSearch validates the Search field against the rest of the
+// configuration and returns the canonical strategy name.
+func (t *TDAC) resolveSearch() (string, error) {
+	switch t.Search {
+	case "", SearchExhaustive:
+		return SearchExhaustive, nil
+	case SearchGolden, SearchMDL:
+		if t.Clusterer != nil {
+			return "", fmt.Errorf("core: Search %q requires the built-in KMeans clusterer (the dendrogram warm start seeds k-means, not a custom Clusterer)", t.Search)
+		}
+		if t.Masked {
+			return "", fmt.Errorf("core: Search %q is incompatible with Masked (the dendrogram warm start averages mask markers into centroids)", t.Search)
+		}
+		return t.Search, nil
+	default:
+		return "", fmt.Errorf("core: unknown Search strategy %q (known: %q, %q, %q)", t.Search, SearchExhaustive, SearchGolden, SearchMDL)
+	}
+}
 
 // Discover implements algorithms.Algorithm.
 func (t *TDAC) Discover(d *truthdata.Dataset) (*algorithms.Result, error) {
@@ -256,7 +307,13 @@ func (t *TDAC) workerCount() int {
 // order afterwards, so the outcome is bit-identical to the sequential
 // sweep. Cancellation is honoured at k granularity.
 func (t *TDAC) SelectPartition(ctx context.Context, tv *TruthVectors, nAttrs int) (partition.Partition, float64, []KScore, error) {
-	minK, maxK := t.kRange(nAttrs)
+	if _, err := t.resolveSearch(); err != nil {
+		return nil, 0, nil, err
+	}
+	minK, maxK, err := t.kRange(nAttrs)
+	if err != nil {
+		return nil, 0, nil, err
+	}
 	if minK > maxK {
 		return partition.Whole(nAttrs), 0, nil, nil
 	}
@@ -264,12 +321,41 @@ func (t *TDAC) SelectPartition(ctx context.Context, tv *TruthVectors, nAttrs int
 	if err != nil {
 		return nil, 0, nil, err
 	}
-	return t.sweepPartition(ctx, g, minK, maxK)
+	return t.selectOverGeometry(ctx, g, minK, maxK)
+}
+
+// selectOverGeometry dispatches the k-selection strategy over a prebuilt
+// geometry. It is the single entry shared by the cold path
+// (SelectPartition) and the incremental path (RunWithState), so every
+// strategy — exhaustive sweep or sublinear search — composes with both.
+func (t *TDAC) selectOverGeometry(ctx context.Context, g *geometry, minK, maxK int) (partition.Partition, float64, []KScore, error) {
+	strategy, err := t.resolveSearch()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if strategy == SearchExhaustive {
+		return t.sweepPartition(ctx, g, minK, maxK)
+	}
+	return t.searchPartition(ctx, g, minK, maxK, strategy)
 }
 
 // kRange resolves the explored cluster-count bounds for nAttrs
-// attributes; an inverted pair means the sweep is skipped entirely.
-func (t *TDAC) kRange(nAttrs int) (minK, maxK int) {
+// attributes. Invalid explicit bounds — negative values, an inverted
+// pair, a MinK above nAttrs-1 — are errors; they used to collapse to an
+// empty range that silently skipped the sweep and returned the whole
+// attribute set as if it had been chosen. The documented silent degrade
+// survives only for the default range on datasets with fewer than three
+// attributes, where minK > maxK still means "nothing to search".
+func (t *TDAC) kRange(nAttrs int) (minK, maxK int, err error) {
+	if t.MinK < 0 || t.MaxK < 0 {
+		return 0, 0, fmt.Errorf("core: k range [%d,%d]: bounds cannot be negative", t.MinK, t.MaxK)
+	}
+	if t.MinK > 0 && t.MaxK > 0 && t.MinK > t.MaxK {
+		return 0, 0, fmt.Errorf("core: inverted k range [%d,%d]: MinK exceeds MaxK", t.MinK, t.MaxK)
+	}
+	if t.MinK >= 2 && t.MinK > nAttrs-1 {
+		return 0, 0, fmt.Errorf("core: MinK %d exceeds the largest usable cluster count %d (|A|-1 of %d attributes)", t.MinK, nAttrs-1, nAttrs)
+	}
 	minK = t.MinK
 	if minK < 2 {
 		minK = 2
@@ -278,7 +364,7 @@ func (t *TDAC) kRange(nAttrs int) (minK, maxK int) {
 	if maxK == 0 || maxK > nAttrs-1 {
 		maxK = nAttrs - 1
 	}
-	return minK, maxK
+	return minK, maxK, nil
 }
 
 // geometry is the clustering input SelectPartition derives from the

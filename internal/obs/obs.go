@@ -71,15 +71,22 @@ type KStats struct {
 	Inertia    float64 `json:"inertia"`
 }
 
-// SweepStats describes one full k-sweep (Algorithm 1 lines 4–18).
+// SweepStats describes one full k-sweep (Algorithm 1 lines 4–18) or one
+// sublinear k-search over the same range.
 type SweepStats struct {
 	// Seed is the k-means base seed the sweep derived its restarts from.
 	Seed int64 `json:"seed"`
 	// Workers is the resolved worker-pool size the sweep ran on.
 	Workers int `json:"workers"`
-	// MinK and MaxK bound the explored range.
+	// MinK and MaxK bound the requested range. The exhaustive sweep
+	// explores every k in it; a search strategy probes a subset, so Ks
+	// may hold holes — consumers must read each entry's K field, never
+	// reconstruct it as MinK+index.
 	MinK int `json:"min_k"`
 	MaxK int `json:"max_k"`
+	// Strategy names the k-selection strategy ("golden", "mdl"); empty
+	// for the default exhaustive sweep.
+	Strategy string `json:"strategy,omitempty"`
 	// Duration is the wall time of the whole sweep.
 	Duration time.Duration `json:"duration_ns"`
 	// Ks holds one entry per explored cluster count, ascending k.

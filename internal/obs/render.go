@@ -57,8 +57,13 @@ func (s *RunStats) Render(w io.Writer) error {
 					conv = "all converged"
 				}
 				bestK, bestSil := sw.Best()
-				fmt.Fprintf(&b, "   k ∈ [%d,%d] on %d worker(s): %d iterations, %s, best k=%d (silhouette %.3f)",
-					sw.MinK, sw.MaxK, sw.Workers, sw.Iterations(), conv, bestK, bestSil)
+				span := fmt.Sprintf("k ∈ [%d,%d]", sw.MinK, sw.MaxK)
+				if sw.Strategy != "" {
+					span = fmt.Sprintf("%s search, %d/%d ks probed in [%d,%d]",
+						sw.Strategy, len(sw.Ks), sw.MaxK-sw.MinK+1, sw.MinK, sw.MaxK)
+				}
+				fmt.Fprintf(&b, "   %s on %d worker(s): %d iterations, %s, best k=%d (silhouette %.3f)",
+					span, sw.Workers, sw.Iterations(), conv, bestK, bestSil)
 			}
 		case PhaseBaseRuns:
 			mode := "sequential"

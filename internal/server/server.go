@@ -447,6 +447,9 @@ type discoverRequest struct {
 	// KMin/KMax bound the explored cluster counts (tdac mode only).
 	KMin int `json:"k_min"`
 	KMax int `json:"k_max"`
+	// Search selects the k-selection strategy: "exhaustive" (default),
+	// "golden" or "mdl" (tdac mode only; incompatible with sparse_aware).
+	Search string `json:"search"`
 	// Parallel runs per-group base runs concurrently (tdac mode only).
 	Parallel bool `json:"parallel"`
 	// Workers bounds the k-sweep worker pool (tdac mode only).
@@ -596,6 +599,9 @@ func (s *Server) buildSpec(snap *Snapshot, req *discoverRequest) (*JobSpec, erro
 		if req.KMin != 0 || req.KMax != 0 {
 			opts = append(opts, tdac.WithKRange(req.KMin, req.KMax))
 		}
+		if req.Search != "" {
+			opts = append(opts, tdac.WithSearch(req.Search))
+		}
 		if req.Parallel {
 			opts = append(opts, tdac.WithParallel())
 		}
@@ -627,9 +633,9 @@ func (s *Server) buildSpec(snap *Snapshot, req *discoverRequest) (*JobSpec, erro
 		}
 	} else {
 		switch {
-		case req.Reference != "", req.KMin != 0, req.KMax != 0, req.Parallel,
-			req.Workers != 0, req.SparseAware, req.Projection != 0, req.Seed != nil,
-			req.Incremental:
+		case req.Reference != "", req.KMin != 0, req.KMax != 0, req.Search != "",
+			req.Parallel, req.Workers != 0, req.SparseAware, req.Projection != 0,
+			req.Seed != nil, req.Incremental:
 			return nil, errors.New(`mode "base" accepts only algorithm, its tuning fields (max_iterations, epsilon, initial_accuracy, similarity) and timeout_ms`)
 		}
 		if len(baseOpts) > 0 {

@@ -242,6 +242,37 @@ func assertSameResult(t *testing.T, got, want *tdac.Result) {
 	}
 }
 
+// TestServerDiscoverWithSearch runs a sublinear-search job to completion
+// and checks it against the direct library call with the same strategy.
+func TestServerDiscoverWithSearch(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueSize: 4})
+	if err := s.Registry().Create("exam", examFixture(t)); err != nil {
+		t.Fatal(err)
+	}
+	client := ts.Client()
+	var accepted jobView
+	code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/datasets/exam/discover",
+		map[string]any{"search": "golden"}, &accepted)
+	if code != http.StatusAccepted {
+		t.Fatalf("discover: status %d", code)
+	}
+	final := pollJob(t, client, ts.URL, accepted.ID)
+	if final.State != JobDone {
+		t.Fatalf("job state = %s (error %q)", final.State, final.Error)
+	}
+	snap, _ := s.Registry().Get("exam")
+	direct, err := tdac.Discover(snap.Data, tdac.WithBase("Accu"), tdac.WithSearch(tdac.SearchGolden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, _ := s.Engine().Get(accepted.ID)
+	outcome, _ := job.Outcome()
+	if outcome == nil || outcome.TDAC == nil {
+		t.Fatal("job outcome missing")
+	}
+	assertSameResult(t, outcome.TDAC, direct)
+}
+
 // TestServerBaseModeEndToEnd runs a plain base-algorithm job and checks
 // it against tdac.Run on the same snapshot.
 func TestServerBaseModeEndToEnd(t *testing.T) {
@@ -336,6 +367,9 @@ func TestServer4xxPaths(t *testing.T) {
 		{"discover: bad mode", "POST", "/v1/datasets/d/discover", `{"mode":"psychic"}`, 400},
 		{"discover: base mode with tdac options", "POST", "/v1/datasets/d/discover", `{"mode":"base","k_min":2}`, 400},
 		{"discover: invalid k range", "POST", "/v1/datasets/d/discover", `{"k_min":1,"k_max":0}`, 400},
+		{"discover: unknown search", "POST", "/v1/datasets/d/discover", `{"search":"bisect"}`, 400},
+		{"discover: base mode with search", "POST", "/v1/datasets/d/discover", `{"mode":"base","search":"golden"}`, 400},
+		{"discover: search+sparse_aware", "POST", "/v1/datasets/d/discover", `{"search":"golden","sparse_aware":true}`, 400},
 		{"discover: projection+sparse_aware", "POST", "/v1/datasets/d/discover", `{"projection":4,"sparse_aware":true}`, 400},
 		{"discover: negative timeout", "POST", "/v1/datasets/d/discover", `{"timeout_ms":-5}`, 400},
 		{"discover: empty dataset", "POST", "/v1/datasets/empty/discover", `{}`, 409},

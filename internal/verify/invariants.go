@@ -84,6 +84,13 @@ func init() {
 			Quick:       false,
 			Check:       checkPlantedRecovery,
 		},
+		Invariant{
+			Name:        "search-vs-exhaustive",
+			Class:       Oracle,
+			Description: "the sublinear k-search strategies (golden, mdl) select a silhouette at least the exhaustive sweep's optimum while probing strictly fewer cluster counts, deterministically",
+			Quick:       true,
+			Check:       checkSearchVsExhaustive,
+		},
 	)
 }
 
@@ -622,6 +629,61 @@ func checkGenPartitionOptimum(cfg Config) error {
 		if out.Score-score > eps {
 			return fmt.Errorf("seed %d: tdac partition %v scores %v, enumerated optimum %v scores %v — gap %v exceeds ε=%v",
 				seed, res.Partition, score, out.Partition, out.Score, out.Score-score, eps)
+		}
+	}
+	return nil
+}
+
+func checkSearchVsExhaustive(cfg Config) error {
+	// The search probes are warm-started from dendrogram cuts, so at the
+	// k the exhaustive sweep crowns, the search's Lloyd run converges to
+	// a silhouette at least as good as the cold-seeded one — the search
+	// optimum may therefore only match or beat the sweep's, never trail
+	// it. Fewer probes is the whole point; equality would mean the
+	// strategy degenerated into the sweep it replaces.
+	for _, seed := range []int64{31, 47} {
+		gen, err := synth.Generate(synth.Config{
+			Name:       "verify-search",
+			Attrs:      30,
+			Objects:    40,
+			Sources:    10,
+			GroupSizes: []int{10, 10, 10},
+			M1:         1, M2: 0, M3: 0.9,
+			FalseValues:    30,
+			DistractorProb: 0.3,
+			Coverage:       1,
+			Seed:           seed,
+		})
+		if err != nil {
+			return fmt.Errorf("seed %d: generate: %w", seed, err)
+		}
+		full := core.New(algorithms.NewMajorityVote())
+		ref, err := full.Run(gen.Dataset)
+		if err != nil {
+			return fmt.Errorf("seed %d: exhaustive: %w", seed, err)
+		}
+		for _, strategy := range []string{core.SearchGolden, core.SearchMDL} {
+			td := core.New(algorithms.NewMajorityVote())
+			td.Search = strategy
+			out, err := td.Run(gen.Dataset)
+			if err != nil {
+				return fmt.Errorf("seed %d: %s: %w", seed, strategy, err)
+			}
+			if out.Silhouette < ref.Silhouette-1e-9 {
+				return fmt.Errorf("seed %d: %s silhouette %v trails the exhaustive optimum %v",
+					seed, strategy, out.Silhouette, ref.Silhouette)
+			}
+			if len(out.Explored) >= len(ref.Explored) {
+				return fmt.Errorf("seed %d: %s probed %d of %d candidate ks — no savings over the sweep",
+					seed, strategy, len(out.Explored), len(ref.Explored))
+			}
+			again, err := td.Run(gen.Dataset)
+			if err != nil {
+				return fmt.Errorf("seed %d: %s rerun: %w", seed, strategy, err)
+			}
+			if !again.Partition.Equal(out.Partition) || again.Silhouette != out.Silhouette {
+				return fmt.Errorf("seed %d: %s is not deterministic across reruns", seed, strategy)
+			}
 		}
 	}
 	return nil

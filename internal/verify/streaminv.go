@@ -165,6 +165,26 @@ func checkIncrementalVsCold(cfg Config) error {
 		if err := compareResult(fmt.Sprintf("round %d (%d claims)", round, cut), jv, local, cold); err != nil {
 			return err
 		}
+
+		// A sublinear search through the warm state must also match its
+		// cold counterpart — the incremental geometry feeds the search's
+		// dendrogram exactly as a fresh build would.
+		coldSearch, err := tdac.Discover(local, tdac.WithSeed(seed),
+			tdac.WithReference("MajorityVote"), tdac.WithSearch(tdac.SearchGolden))
+		if err != nil {
+			return fmt.Errorf("cold golden discover round %d: %w", round, err)
+		}
+		if err := postJSON(client, ts.URL+"/v1/datasets/grow/discover",
+			map[string]any{"seed": seed, "incremental": true, "search": "golden"}, &submitted); err != nil {
+			return err
+		}
+		jv, err = awaitJob(client, ts.URL, submitted.ID)
+		if err != nil {
+			return err
+		}
+		if err := compareResult(fmt.Sprintf("golden round %d (%d claims)", round, cut), jv, local, coldSearch); err != nil {
+			return err
+		}
 	}
 	return nil
 }

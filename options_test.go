@@ -71,6 +71,91 @@ func TestBaseOptionsThroughWithBase(t *testing.T) {
 	}
 }
 
+// TestOptionValidationMessages pins the descriptive rejection text of
+// the option constructors: every invalid value must name the option, the
+// offending bounds and the way out. A table, so a reworded error is a
+// conscious decision.
+func TestOptionValidationMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  tdac.Option
+		want string
+	}{
+		{"krange-min-too-small", tdac.WithKRange(1, 5), "minK must be at least 2"},
+		{"krange-min-zero", tdac.WithKRange(0, 0), "minK must be at least 2"},
+		{"krange-min-negative", tdac.WithKRange(-2, 5), "minK must be at least 2"},
+		{"krange-max-negative", tdac.WithKRange(2, -1), "maxK cannot be negative"},
+		{"krange-inverted", tdac.WithKRange(4, 3), "inverted range"},
+		{"search-unknown", tdac.WithSearch("bisect"), `unknown strategy (known: "exhaustive", "golden", "mdl")`},
+		{"search-empty", tdac.WithSearch(""), "unknown strategy"},
+		{"workers-negative", tdac.WithWorkers(-1), "cannot be negative"},
+		{"projection-zero", tdac.WithProjection(0), "must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tdac.ValidateOptions(tc.opt)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+
+	// The valid shapes still pass validation.
+	for _, opt := range []tdac.Option{
+		tdac.WithKRange(2, 0),
+		tdac.WithKRange(3, 3),
+		tdac.WithSearch(tdac.SearchExhaustive),
+		tdac.WithSearch(tdac.SearchGolden),
+		tdac.WithSearch(tdac.SearchMDL),
+	} {
+		if err := tdac.ValidateOptions(opt); err != nil {
+			t.Errorf("valid option rejected: %v", err)
+		}
+	}
+
+	// Cross-option conflicts surface at validation time too — the
+	// submit-time guard serving frontends rely on.
+	if err := tdac.ValidateOptions(tdac.WithSearch(tdac.SearchGolden), tdac.WithSparseAware()); err == nil ||
+		!strings.Contains(err.Error(), "WithSparseAware") {
+		t.Errorf("search + sparse-aware: err = %v", err)
+	}
+}
+
+// TestDiscoverWithSearch exercises the sublinear strategies end to end
+// through the public API: same partition as the exhaustive default,
+// deterministic across calls.
+func TestDiscoverWithSearch(t *testing.T) {
+	d := publicDataset(t, 50, 11)
+	full, err := tdac.Discover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strategy := range []string{tdac.SearchGolden, tdac.SearchMDL} {
+		a, err := tdac.Discover(d, tdac.WithSearch(strategy))
+		if err != nil {
+			t.Fatalf("WithSearch(%q): %v", strategy, err)
+		}
+		if !a.Partition.Equal(full.Partition) {
+			t.Errorf("%s partition %s != exhaustive %s", strategy, a.Partition, full.Partition)
+		}
+		b, err := tdac.Discover(d, tdac.WithSearch(strategy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Partition.Equal(b.Partition) || a.Silhouette != b.Silhouette {
+			t.Errorf("WithSearch(%q) is not deterministic", strategy)
+		}
+	}
+	// The explicit exhaustive name is the default, bit-identical.
+	exh, err := tdac.Discover(d, tdac.WithSearch(tdac.SearchExhaustive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exh.Partition.Equal(full.Partition) || exh.Silhouette != full.Silhouette {
+		t.Error(`WithSearch("exhaustive") differs from the default sweep`)
+	}
+}
+
 // TestSimilarityByName pins the registry the serving frontends consume.
 func TestSimilarityByName(t *testing.T) {
 	for _, name := range []string{"exact", "levenshtein", "numeric", "jaccard"} {

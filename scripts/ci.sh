@@ -86,8 +86,8 @@ echo "==> verification harness (tdac-verify)"
 # count is asserted so the harness can never silently shrink.
 harness=$(go run ./cmd/tdac-verify) || { echo "$harness" >&2; exit 1; }
 echo "$harness" | sed 's/^/    /'
-echo "$harness" | grep -q '^28 invariants verified$' || {
-    echo "tdac-verify did not verify all 28 invariants" >&2
+echo "$harness" | grep -q '^29 invariants verified$' || {
+    echo "tdac-verify did not verify all 29 invariants" >&2
     exit 1
 }
 

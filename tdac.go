@@ -208,6 +208,7 @@ const (
 	optBase optSet = 1 << iota
 	optReference
 	optKRange
+	optSearch
 	optParallel
 	optWorkers
 	optProjection
@@ -226,6 +227,7 @@ var optNames = []struct {
 	{optBase, "WithBase"},
 	{optReference, "WithReference"},
 	{optKRange, "WithKRange"},
+	{optSearch, "WithSearch"},
 	{optParallel, "WithParallel"},
 	{optWorkers, "WithWorkers"},
 	{optProjection, "WithProjection"},
@@ -258,6 +260,7 @@ type config struct {
 	refOpts     []BaseOption
 	minK        int
 	maxK        int
+	search      string
 	parallel    bool
 	masked      bool
 	seed        int64
@@ -340,6 +343,10 @@ func buildTDAC(cfg *config) (*core.TDAC, error) {
 		t.Reference = ref
 	}
 	t.MinK, t.MaxK = cfg.minK, cfg.maxK
+	t.Search = cfg.search
+	if cfg.search != "" && cfg.search != core.SearchExhaustive && cfg.masked {
+		return nil, fmt.Errorf("tdac: WithSearch(%q) cannot be combined with WithSparseAware (the sublinear strategies warm-start from the dense dendrogram geometry)", cfg.search)
+	}
 	t.Parallel = cfg.parallel
 	t.Masked = cfg.masked
 	t.Workers = cfg.workers
@@ -406,14 +413,62 @@ func WithReference(name string, opts ...BaseOption) Option {
 }
 
 // WithKRange bounds the cluster counts explored (default [2, |A|-1], as
-// in the paper's Algorithm 1).
+// in the paper's Algorithm 1). minK must be at least 2; maxK = 0 keeps
+// the |A|-1 default upper bound, any other maxK must not be below minK.
+// A minK larger than the dataset's |A|-1 is rejected at run time, when
+// the attribute count is known.
 func WithKRange(minK, maxK int) Option {
 	return func(c *config) error {
-		if minK < 2 || (maxK != 0 && maxK < minK) {
-			return fmt.Errorf("tdac: invalid k range [%d,%d]", minK, maxK)
+		if minK < 2 {
+			return fmt.Errorf("tdac: WithKRange(%d,%d): minK must be at least 2 — a single cluster has no silhouette to score", minK, maxK)
+		}
+		if maxK < 0 {
+			return fmt.Errorf("tdac: WithKRange(%d,%d): maxK cannot be negative (pass maxK=0 for the |A|-1 default)", minK, maxK)
+		}
+		if maxK != 0 && maxK < minK {
+			return fmt.Errorf("tdac: WithKRange(%d,%d): inverted range, maxK is below minK (pass maxK=0 for the |A|-1 default)", minK, maxK)
 		}
 		c.minK, c.maxK = minK, maxK
 		c.set |= optKRange
+		return nil
+	}
+}
+
+// The k-selection strategies accepted by WithSearch.
+const (
+	// SearchExhaustive scores every k in the range — the paper's
+	// Algorithm 1 sweep and the default.
+	SearchExhaustive = core.SearchExhaustive
+	// SearchGolden probes the silhouette-vs-k curve with a golden-section
+	// bracket and an envelope early stop.
+	SearchGolden = core.SearchGolden
+	// SearchMDL scans k ascending under an MDL-style stopping rule.
+	SearchMDL = core.SearchMDL
+)
+
+// WithSearch selects the k-selection strategy of the partition stage
+// (default SearchExhaustive, the paper's full sweep over [2, |A|-1]).
+// The sublinear strategies — SearchGolden and SearchMDL — build one
+// agglomerative dendrogram from the shared distance matrix, warm-start
+// every probed k-means from the corresponding dendrogram cut, and probe
+// only a few cluster counts instead of all of them: golden-section
+// narrowing with an envelope early stop, or an ascending scan under an
+// MDL stopping rule. On large attribute sets they cut the number of k
+// evaluations by an order of magnitude (see cmd/tdacbench's search
+// section) while still selecting the best silhouette among the probed
+// ks. Both are deterministic and incremental-safe, but require the
+// built-in k-means clusterer and the dense geometry: combining them
+// with WithSparseAware is rejected.
+func WithSearch(strategy string) Option {
+	return func(c *config) error {
+		switch strategy {
+		case SearchExhaustive, SearchGolden, SearchMDL:
+		default:
+			return fmt.Errorf("tdac: WithSearch(%q): unknown strategy (known: %q, %q, %q)",
+				strategy, SearchExhaustive, SearchGolden, SearchMDL)
+		}
+		c.search = strategy
+		c.set |= optSearch
 		return nil
 	}
 }
